@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries: paper-vs-measured table
+ * printing and a standard google-benchmark main that first emits the
+ * reproduction tables.
+ */
+#ifndef FAST_BENCH_COMMON_HPP
+#define FAST_BENCH_COMMON_HPP
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace fast::bench {
+
+inline void
+header(const std::string &title)
+{
+    std::printf("\n================================================="
+                "=============\n%s\n"
+                "================================================="
+                "=============\n",
+                title.c_str());
+}
+
+inline void
+note(const std::string &text)
+{
+    std::printf("  %s\n", text.c_str());
+}
+
+/** Print one paper-vs-measured row with the ratio. */
+inline void
+row(const std::string &name, double paper, double measured,
+    const char *unit)
+{
+    if (paper > 0)
+        std::printf("  %-24s paper %10.3f %-5s measured %10.3f %-5s"
+                    "  (x%.2f)\n",
+                    name.c_str(), paper, unit, measured, unit,
+                    measured / paper);
+    else
+        std::printf("  %-24s paper %10s %-5s measured %10.3f %-5s\n",
+                    name.c_str(), "-", unit, measured, unit);
+}
+
+/**
+ * Standard main: print the reproduction table(s) via @p report, then
+ * run any registered google-benchmark micro-benchmarks.
+ */
+#define FAST_BENCH_MAIN(report)                                       \
+    int main(int argc, char **argv)                                   \
+    {                                                                 \
+        report();                                                     \
+        ::benchmark::Initialize(&argc, argv);                         \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv))     \
+            return 1;                                                 \
+        ::benchmark::RunSpecifiedBenchmarks();                        \
+        ::benchmark::Shutdown();                                      \
+        return 0;                                                     \
+    }
+
+} // namespace fast::bench
+
+#endif // FAST_BENCH_COMMON_HPP

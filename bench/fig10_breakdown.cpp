@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig. 10 reproduction: execution-time breakdown of the bootstrap
+ * under three schemes — "OneKSW" (hybrid only, full-level keys),
+ * "Hoisting" (direct hoisting on top of hybrid), and "Aether" (the
+ * full dual-method framework with KLSS, hoisting, Min-KS, and
+ * prefetching) — plus the hybrid/KLSS time split under Aether.
+ */
+#include "bench/common.hpp"
+#include "sim/system.hpp"
+
+using namespace fast;
+
+namespace {
+
+double
+runScheme(const hw::FastConfig &cfg, const trace::OpStream &stream,
+          sim::WorkloadResult *out = nullptr)
+{
+    sim::FastSystem sys(cfg);
+    auto result = sys.execute(stream);
+    if (out)
+        *out = result;
+    return result.stats.milliseconds();
+}
+
+void
+report()
+{
+    auto stream = trace::bootstrapTrace();
+
+    auto one_ksw_cfg = hw::FastConfig::oneKeySwitch();
+    auto hoist_cfg = one_ksw_cfg;
+    hoist_cfg.name = "Hoisting";
+    hoist_cfg.use_hoisting = true;
+
+    double one_ksw = runScheme(one_ksw_cfg, stream);
+    double hoisting = runScheme(hoist_cfg, stream);
+    sim::WorkloadResult aether_result;
+    double aether =
+        runScheme(hw::FastConfig::fast(), stream, &aether_result);
+
+    bench::header("Fig. 10: bootstrap execution time by scheme (ms)");
+    std::printf("  %-10s %10.3f\n", "OneKSW", one_ksw);
+    std::printf("  %-10s %10.3f  (%.1f%% vs OneKSW)\n", "Hoisting",
+                hoisting, 100.0 * (one_ksw - hoisting) / one_ksw);
+    std::printf("  %-10s %10.3f  (x%.2f vs OneKSW)\n", "Aether",
+                aether, one_ksw / aether);
+    bench::row("hoisting-only gain", 0.10,
+               (one_ksw - hoisting) / one_ksw, "frac");
+    bench::row("Aether speedup", 1.24, one_ksw / aether, "x");
+
+    bench::header("Key-switch site assignment under Aether");
+    std::size_t klss_sites = 0, hoisted_sites = 0;
+    for (const auto &d : aether_result.aether.decisions) {
+        klss_sites += d.method == ckks::KeySwitchMethod::klss;
+        hoisted_sites += d.hoist > 1;
+    }
+    std::printf("  sites: %zu total, %zu KLSS, %zu hoisted groups\n",
+                aether_result.aether.decisions.size(), klss_sites,
+                hoisted_sites);
+    std::printf("  KLSS share of key-switch sites: %.1f%% "
+                "(paper replaces 56.96%% of hybrid time)\n",
+                100.0 * aether_result.aether.klssShare());
+    std::printf("  Hemera prefetch hit rate: %.1f%%\n",
+                100.0 * aether_result.hemera.hitRate());
+}
+
+void
+BM_AetherDecision(benchmark::State &state)
+{
+    sim::FastSystem sys(hw::FastConfig::fast());
+    auto aether = sys.makeAether();
+    auto stream = trace::bootstrapTrace();
+    for (auto _ : state) {
+        auto config = aether.run(stream);
+        benchmark::DoNotOptimize(config.decisions.size());
+    }
+}
+BENCHMARK(BM_AetherDecision)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+FAST_BENCH_MAIN(report)

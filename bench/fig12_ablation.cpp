@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fig. 12 reproduction: ablation from the full FAST design down to a
+ * plain 36-bit ALU accelerator — removing the TBM first, then the
+ * Aether-Hemera framework. Paper: Aether-Hemera alone gives 1.3x over
+ * the 36-bit ALU design; adding the TBM reaches 1.45x.
+ */
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "cost/alu_model.hpp"
+#include "hw/area.hpp"
+#include "sim/system.hpp"
+
+using namespace fast;
+
+namespace {
+
+void
+report()
+{
+    auto benches = trace::allBenchmarks();
+
+    auto geomean = [&](const hw::FastConfig &cfg) {
+        sim::FastSystem sys(cfg);
+        double log_sum = 0;
+        for (const auto &b : benches)
+            log_sum += std::log(sys.execute(b).stats.total_ns);
+        return std::exp(log_sum / static_cast<double>(benches.size()));
+    };
+
+    double fast_t = geomean(hw::FastConfig::fast());
+    double no_tbm = geomean(hw::FastConfig::fastWithoutTbm());
+    double alu36 = geomean(hw::FastConfig::alu36());
+
+    bench::header("Fig. 12: ablation (geomean over all workloads, "
+                  "normalized to the 36-bit ALU accelerator)");
+    std::printf("  %-22s %10s %10s\n", "design point", "time", "speedup");
+    std::printf("  %-22s %9.3fms %9.2fx\n", "36-bit ALU", alu36 / 1e6,
+                1.0);
+    std::printf("  %-22s %9.3fms %9.2fx\n", "FAST w/o TBM (A-H only)",
+                no_tbm / 1e6, alu36 / no_tbm);
+    std::printf("  %-22s %9.3fms %9.2fx\n", "FAST (A-H + TBM)",
+                fast_t / 1e6, alu36 / fast_t);
+    bench::row("Aether-Hemera alone", 1.3, alu36 / no_tbm, "x");
+    bench::row("with TBM", 1.45, alu36 / fast_t, "x");
+
+    bench::header("Area check: TBM vs four 36-bit ALUs (Sec. 7.6)");
+    bench::note("paper reports 1.5x group-area overhead for four "
+                "36-bit ALUs; pure multiplier-area arithmetic gives "
+                "4.0 / (1.28 * 2.8) = 1.12x — the rest is the Booth "
+                "combiner and routing the paper folds in");
+    double tbm_group = cost::AluCostModel::tbmAreaVsNative60() *
+                       cost::AluCostModel::area(
+                           cost::AluKind::multiplier, 60);
+    bench::row("4x36 vs TBM group area", 1.5, 4.0 / tbm_group, "x");
+}
+
+void
+BM_AblationPoint(benchmark::State &state)
+{
+    auto cfg = state.range(0) == 0 ? hw::FastConfig::fast()
+               : state.range(0) == 1
+                   ? hw::FastConfig::fastWithoutTbm()
+                   : hw::FastConfig::alu36();
+    sim::FastSystem sys(cfg);
+    auto stream = trace::bootstrapTrace();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sys.execute(stream).stats.total_ns);
+    }
+}
+BENCHMARK(BM_AblationPoint)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+FAST_BENCH_MAIN(report)

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fig. 13 reproduction: bootstrap performance, area, and
+ * performance-per-area across (a) scratchpad SRAM capacities and
+ * (b) cluster counts.
+ */
+#include "bench/common.hpp"
+#include "hw/area.hpp"
+#include "sim/system.hpp"
+
+using namespace fast;
+
+namespace {
+
+void
+report()
+{
+    bench::header("Fig. 13(a): on-chip memory sensitivity "
+                  "(bootstrap)");
+    std::printf("  %8s %10s %10s %10s %12s\n", "mem(MB)", "time(ms)",
+                "area", "perf", "perf/area");
+    double base_time = 0, base_area = 0;
+    for (double mb : {96.0, 128.0, 198.0, 281.0, 384.0, 512.0}) {
+        auto cfg = hw::FastConfig::fast().withMemoryMb(mb);
+        auto stream = trace::bootstrapTrace(
+            trace::BootstrapShape::forMemoryMb(mb));
+        double t = sim::FastSystem(cfg).execute(stream)
+                       .stats.milliseconds();
+        double area = hw::ChipBudget(cfg).totalAreaMm2();
+        if (mb == 281.0) {
+            base_time = t;
+            base_area = area;
+        }
+        std::printf("  %8.0f %10.3f %10.1f %10s %12s\n", mb, t, area,
+                    "", "");
+    }
+    // Second pass with normalized columns now that base is known.
+    std::printf("  normalized to 281 MB:\n");
+    for (double mb : {96.0, 128.0, 198.0, 281.0, 384.0, 512.0}) {
+        auto cfg = hw::FastConfig::fast().withMemoryMb(mb);
+        auto stream = trace::bootstrapTrace(
+            trace::BootstrapShape::forMemoryMb(mb));
+        double t = sim::FastSystem(cfg).execute(stream)
+                       .stats.milliseconds();
+        double area = hw::ChipBudget(cfg).totalAreaMm2();
+        std::printf("  %8.0f %10.3f %10.2f %10.2f %12.2f\n", mb, t,
+                    area / base_area, base_time / t,
+                    (base_time / t) / (area / base_area));
+    }
+    bench::note("paper: shrinking memory degrades performance "
+                "noticeably; growing it past the working set helps "
+                "little (bandwidth-limited)");
+
+    bench::header("Fig. 13(b): cluster-count sensitivity (bootstrap)");
+    auto stream = trace::bootstrapTrace();
+    double t4 = 0, a4 = 0;
+    for (std::size_t c : {2ul, 4ul, 8ul}) {
+        auto cfg = hw::FastConfig::fast().withClusters(c);
+        double t = sim::FastSystem(cfg).execute(stream)
+                       .stats.milliseconds();
+        double area = hw::ChipBudget(cfg).totalAreaMm2();
+        if (c == 4) {
+            t4 = t;
+            a4 = area;
+        }
+        std::printf("  %zu clusters: %7.3f ms, %7.1f mm2\n", c, t,
+                    area);
+    }
+    auto perf = [&](std::size_t c) {
+        auto cfg = hw::FastConfig::fast().withClusters(c);
+        return t4 / sim::FastSystem(cfg).execute(stream)
+                        .stats.milliseconds();
+    };
+    bench::row("2-cluster perf", 1.0 - 0.483, perf(2), "x");
+    bench::row("8-cluster perf", 1.7, perf(8), "x");
+    bench::row("8-cluster area", 1.37,
+               hw::ChipBudget(hw::FastConfig::fast().withClusters(8))
+                       .totalAreaMm2() / a4, "x");
+}
+
+void
+BM_ClusterSweep(benchmark::State &state)
+{
+    auto cfg = hw::FastConfig::fast().withClusters(
+        static_cast<std::size_t>(state.range(0)));
+    sim::FastSystem sys(cfg);
+    auto stream = trace::bootstrapTrace();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sys.execute(stream).stats.total_ns);
+    }
+}
+BENCHMARK(BM_ClusterSweep)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+FAST_BENCH_MAIN(report)

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fig. 2 reproduction: modular-operation counts of the hybrid (Set-I)
+ * and KLSS (Set-II) key-switching methods across ciphertext levels,
+ * the 'Quantitative Line' (hybrid_ops / KLSS_ops), and the per-kernel
+ * impact breakdown. Micro-benchmarks time the model evaluation and a
+ * real NTT kernel.
+ */
+#include "bench/common.hpp"
+#include "cost/opcount.hpp"
+#include "math/ntt.hpp"
+#include "math/primes.hpp"
+#include "math/random.hpp"
+
+using namespace fast;
+using cost::KeySwitchCostModel;
+using ckks::KeySwitchMethod;
+
+namespace {
+
+void
+report()
+{
+    KeySwitchCostModel model;
+    bench::header("Fig. 2(a): key-switch modular ops vs level "
+                  "(Set-I hybrid / Set-II KLSS, N = 2^16)");
+    std::printf("  %4s %14s %14s %12s\n", "ell", "hybrid (Mops)",
+                "KLSS (Mops)", "QuantLine");
+    for (std::size_t ell = 2; ell <= 35; ell += 3) {
+        auto h = model.keySwitch(KeySwitchMethod::hybrid, ell);
+        auto k = model.keySwitch(KeySwitchMethod::klss, ell);
+        std::printf("  %4zu %14.1f %14.1f %12.3f%s\n", ell,
+                    h.total() / 1e6, k.total() / 1e6,
+                    model.quantitativeLine(ell),
+                    model.quantitativeLine(ell) > 1.0 ? "  <- KLSS"
+                                                      : "");
+    }
+    bench::note("paper: KLSS ~15.2% fewer ops for ell in [25,35]; "
+                "hybrid ~23.5% fewer for ell in [5,12]");
+    bench::row("QL at ell=30", 1.0 / 0.848, model.quantitativeLine(30),
+               "");
+    bench::row("QL at ell=8", 0.765, model.quantitativeLine(8), "");
+
+    bench::header("Fig. 2(b): per-kernel impact at representative "
+                  "levels");
+    std::printf("  %4s %10s %10s %10s %10s  method\n", "ell", "NTT",
+                "BConv", "KeyMult", "elem");
+    for (std::size_t ell : {8ul, 12ul, 22ul, 30ul, 35ul}) {
+        for (auto m :
+             {KeySwitchMethod::hybrid, KeySwitchMethod::klss}) {
+            auto ops = model.keySwitch(m, ell);
+            std::printf("  %4zu %9.1fM %9.1fM %9.1fM %9.1fM  %s\n",
+                        ell, ops.ntt / 1e6, ops.bconv / 1e6,
+                        ops.keymult / 1e6, ops.elementwise / 1e6,
+                        toString(m));
+        }
+    }
+}
+
+void
+BM_CostModelKeySwitch(benchmark::State &state)
+{
+    KeySwitchCostModel model;
+    auto ell = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto ops = model.keySwitch(KeySwitchMethod::klss, ell);
+        benchmark::DoNotOptimize(ops.total());
+    }
+}
+BENCHMARK(BM_CostModelKeySwitch)->Arg(8)->Arg(35);
+
+void
+BM_RealNttKernel(benchmark::State &state)
+{
+    const std::size_t n = 1 << 14;
+    math::u64 q = math::generateNttPrimes(36, n, 1)[0];
+    math::NttTables tables(n, q);
+    math::Prng prng(1);
+    std::vector<math::u64> data(n);
+    math::sampleUniform(prng, q, data);
+    for (auto _ : state) {
+        tables.forward(data);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(
+                                math::NttTables::multCount(n)));
+}
+BENCHMARK(BM_RealNttKernel);
+
+} // namespace
+
+FAST_BENCH_MAIN(report)

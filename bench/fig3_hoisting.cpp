@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fig. 3(a) reproduction: key-switch execution breakdown under
+ * hoisting numbers h2/h4/h6, with KLSS totals normalized to the
+ * hybrid method — showing KeyMult's growing dominance and the erosion
+ * of KLSS's advantage.
+ */
+#include "bench/common.hpp"
+#include "ckks/evaluator.hpp"
+#include "cost/opcount.hpp"
+
+using namespace fast;
+using cost::KeySwitchCostModel;
+using ckks::KeySwitchMethod;
+
+namespace {
+
+void
+report()
+{
+    KeySwitchCostModel model;
+    bench::header("Fig. 3(a): hoisted key-switch breakdown "
+                  "(ell = 30, KLSS total normalized to hybrid)");
+    std::printf("  %4s %20s %20s %10s\n", "h",
+                "hybrid decomp/keymult", "KLSS decomp/keymult",
+                "KLSS/hyb");
+    for (std::size_t h : {1ul, 2ul, 4ul, 6ul}) {
+        auto hy = model.keySwitch(KeySwitchMethod::hybrid, 30, h);
+        auto kl = model.keySwitch(KeySwitchMethod::klss, 30, h);
+        std::printf("  h%-3zu %9.2f / %-9.2f %9.2f / %-9.2f %10.3f\n",
+                    h, (hy.ntt + hy.bconv) / hy.total(),
+                    hy.keymult / hy.total(),
+                    (kl.ntt + kl.bconv) / kl.total(),
+                    kl.keymult / kl.total(), kl.total() / hy.total());
+    }
+    bench::note("paper: KeyMult dominates as h grows; KLSS loses its "
+                "advantage under heavy hoisting");
+
+    auto share = [&](std::size_t h) {
+        auto kl = model.keySwitch(KeySwitchMethod::klss, 30, h);
+        return kl.keymult / kl.total();
+    };
+    bench::row("KLSS keymult share h=1 -> h=6", share(1) * 1.5,
+               share(6), "");
+}
+
+void
+BM_HoistedCostSweep(benchmark::State &state)
+{
+    KeySwitchCostModel model;
+    for (auto _ : state) {
+        double acc = 0;
+        for (std::size_t h = 1; h <= 8; ++h)
+            acc += model
+                       .keySwitch(KeySwitchMethod::klss, 30, h)
+                       .total();
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_HoistedCostSweep);
+
+void
+BM_FunctionalHoistedRotation(benchmark::State &state)
+{
+    // Time a real hoisted rotation versus the decomposition it saves.
+    auto ctx = std::make_shared<ckks::CkksContext>(
+        ckks::CkksParams::testSmall());
+    ckks::KeyGenerator keygen(ctx, 11);
+    ckks::CkksEvaluator evaluator(ctx);
+    auto key = keygen.makeRotationKey(1, KeySwitchMethod::hybrid);
+    std::vector<ckks::Complex> z(ctx->params().slots,
+                                 ckks::Complex(0.5, 0));
+    auto pt = evaluator.encode(z, ctx->params().scale, 3);
+    math::Prng prng(3);
+    auto ct = evaluator.encrypt(pt, keygen.publicKey(), prng);
+    ckks::HoistedRotator hoisted(evaluator, ct,
+                                 KeySwitchMethod::hybrid);
+    for (auto _ : state) {
+        auto rotated = hoisted.rotate(1, key);
+        benchmark::DoNotOptimize(rotated.c0.limb(0)[0]);
+    }
+}
+BENCHMARK(BM_FunctionalHoistedRotation);
+
+} // namespace
+
+FAST_BENCH_MAIN(report)

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig. 3(b) reproduction: working-set sizes across levels — one
+ * ciphertext, the hybrid and KLSS evaluation keys, and the combined
+ * sets with 4 and 8 live ciphertexts.
+ */
+#include "bench/common.hpp"
+#include "cost/worksets.hpp"
+
+using namespace fast;
+using ckks::KeySwitchMethod;
+
+namespace {
+
+constexpr double kMb = 1024.0 * 1024.0;
+
+void
+report()
+{
+    cost::WorkingSetModel ws{cost::KeySwitchCostModel()};
+    bench::header("Fig. 3(b): working-set sizes vs level (MB)");
+    std::printf("  %4s %10s %10s %10s %12s %12s\n", "ell", "ct",
+                "evk-hyb", "evk-KLSS", "hyb+4cts", "KLSS+8cts");
+    for (std::size_t ell = 5; ell <= 35; ell += 5) {
+        std::printf("  %4zu %10.1f %10.1f %10.1f %12.1f %12.1f\n", ell,
+                    ws.ciphertextBytes(ell) / kMb,
+                    ws.evkBytes(KeySwitchMethod::hybrid, ell) / kMb,
+                    ws.evkBytes(KeySwitchMethod::klss, ell) / kMb,
+                    ws.workingSetBytes(KeySwitchMethod::hybrid, ell, 1,
+                                       4) / kMb,
+                    ws.workingSetBytes(KeySwitchMethod::klss, ell, 1,
+                                       8) / kMb);
+    }
+    bench::header("Paper anchors at ell = 35 (Sec. 5.6)");
+    bench::row("ciphertext", 19.7, ws.ciphertextBytes(35) / kMb, "MB");
+    bench::row("evk hybrid", 79.3,
+               ws.evkBytes(KeySwitchMethod::hybrid, 35) / kMb, "MB");
+    bench::row("evk KLSS", 295.3,
+               ws.evkBytes(KeySwitchMethod::klss, 35) / kMb, "MB");
+    bench::note("on-chip budget 245-281 MB: KLSS infeasible at the "
+                "top of the chain, as the paper concludes");
+}
+
+void
+BM_WorkingSetSweep(benchmark::State &state)
+{
+    cost::WorkingSetModel ws{cost::KeySwitchCostModel()};
+    for (auto _ : state) {
+        double acc = 0;
+        for (std::size_t ell = 0; ell <= 35; ++ell)
+            for (std::size_t h : {1ul, 4ul, 8ul})
+                acc += ws.workingSetBytes(KeySwitchMethod::klss, ell,
+                                          h, 4);
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_WorkingSetSweep);
+
+} // namespace
+
+FAST_BENCH_MAIN(report)

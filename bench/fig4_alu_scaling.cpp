@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fig. 4 reproduction: relative area and power of multipliers and
+ * modular multipliers across word lengths, plus the TBM tradeoffs of
+ * Sec. 4.2. The micro-benchmark times the functional TBM in both
+ * modes to demonstrate the dual-36 throughput.
+ */
+#include "bench/common.hpp"
+#include "core/tbm.hpp"
+#include "cost/alu_model.hpp"
+#include "math/random.hpp"
+
+using namespace fast;
+using cost::AluCostModel;
+using cost::AluKind;
+
+namespace {
+
+void
+report()
+{
+    bench::header("Fig. 4: ALU area/power scaling vs word length "
+                  "(normalized to 36-bit)");
+    std::printf("  %5s %12s %12s %12s %12s\n", "bits", "mult-area",
+                "mult-power", "modmul-area", "modmul-power");
+    for (int bits : {24, 28, 32, 36, 45, 54, 60}) {
+        std::printf("  %5d %12.2f %12.2f %12.2f %12.2f\n", bits,
+                    AluCostModel::area(AluKind::multiplier, bits),
+                    AluCostModel::power(AluKind::multiplier, bits),
+                    AluCostModel::area(AluKind::modular_multiplier,
+                                       bits),
+                    AluCostModel::power(AluKind::modular_multiplier,
+                                        bits));
+    }
+    bench::row("60-bit modmul area", 2.9,
+               AluCostModel::area(AluKind::modular_multiplier, 60),
+               "x");
+    bench::row("60-bit modmul power", 2.8,
+               AluCostModel::power(AluKind::modular_multiplier, 60),
+               "x");
+
+    bench::header("Sec. 4.2: TBM design-point comparison");
+    bench::row("TBM area vs native 60-bit", 1.28,
+               AluCostModel::tbmAreaVsNative60(), "x");
+    bench::row("Booth 4x36 vs native 60-bit", 1.275,
+               AluCostModel::booth4x36AreaVsNative60(), "x");
+    std::printf("  base multipliers per 60-bit product: TBM %d vs "
+                "Booth %d (-33%%)\n",
+                AluCostModel::baseMultipliersPerWideProduct(true),
+                AluCostModel::baseMultipliersPerWideProduct(false));
+}
+
+void
+BM_TbmDual36(benchmark::State &state)
+{
+    core::TunableBitMultiplier tbm;
+    math::Prng prng(7);
+    const math::u64 mask = (math::u64(1) << 36) - 1;
+    math::u64 a0 = prng.next() & mask, b0 = prng.next() & mask;
+    math::u64 a1 = prng.next() & mask, b1 = prng.next() & mask;
+    for (auto _ : state) {
+        auto [lo, hi] = tbm.multiplyDual36(a0, b0, a1, b1);
+        benchmark::DoNotOptimize(lo);
+        benchmark::DoNotOptimize(hi);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_TbmDual36);
+
+void
+BM_TbmSingle60(benchmark::State &state)
+{
+    core::TunableBitMultiplier tbm;
+    math::Prng prng(8);
+    const math::u64 mask = (math::u64(1) << 60) - 1;
+    math::u64 a = prng.next() & mask, b = prng.next() & mask;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tbm.multiply60(a, b));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TbmSingle60);
+
+} // namespace
+
+FAST_BENCH_MAIN(report)

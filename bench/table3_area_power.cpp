@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table 3 reproduction: per-component area and peak power of FAST.
+ */
+#include "bench/common.hpp"
+#include "hw/area.hpp"
+
+using namespace fast;
+
+namespace {
+
+struct PaperRow {
+    const char *name;
+    double area;
+    double power;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"NTTU", 60.88, 142.7},   {"BConvU", 28.89, 86.6},
+    {"KMU", 10.58, 27.67},    {"AutoU", 0.60, 0.80},
+    {"AEM", 8.67, 10.70},     {"Register Files", 123.90, 29.40},
+    {"HBM", 29.60, 31.80},    {"NoC", 20.60, 27.00},
+};
+
+void
+report()
+{
+    hw::ChipBudget budget{hw::FastConfig::fast()};
+    bench::header("Table 3: FAST component area (mm^2) and peak "
+                  "power (W)");
+    std::printf("  %-16s %10s %10s %12s %12s\n", "component",
+                "paper-mm2", "ours-mm2", "paper-W", "ours-W");
+    const auto &components = budget.components();
+    for (std::size_t i = 0; i < components.size(); ++i) {
+        std::printf("  %-16s %10.2f %10.2f %12.2f %12.2f\n",
+                    components[i].name.c_str(), kPaper[i].area,
+                    components[i].area_mm2, kPaper[i].power,
+                    components[i].peak_power_w);
+    }
+    bench::row("total area", 283.75, budget.totalAreaMm2(), "mm2");
+    bench::note("paper total power row prints 337.5 W while its "
+                "components sum to 356.7 W; we report the "
+                "component-consistent total");
+    bench::row("total peak power (component sum)", 356.67,
+               budget.totalPeakPowerW(), "W");
+}
+
+void
+BM_ChipBudgetBuild(benchmark::State &state)
+{
+    for (auto _ : state) {
+        hw::ChipBudget budget{hw::FastConfig::fast()};
+        benchmark::DoNotOptimize(budget.totalAreaMm2());
+    }
+}
+BENCHMARK(BM_ChipBudgetBuild);
+
+} // namespace
+
+FAST_BENCH_MAIN(report)

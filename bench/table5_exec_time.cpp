@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Table 5 reproduction — the paper's headline result: execution time
+ * of FAST versus prior accelerators on Bootstrap, HELR-256/1024, and
+ * ResNet-20. Prior-work rows are published numbers (as in the paper);
+ * FAST and the SHARP variants are measured on our cycle simulator.
+ */
+#include <map>
+
+#include "bench/common.hpp"
+#include "baseline/published.hpp"
+#include "sim/system.hpp"
+
+using namespace fast;
+
+namespace {
+
+std::map<std::string, std::map<std::string, double>> g_measured;
+
+void
+measureAll()
+{
+    auto benches = trace::allBenchmarks();
+    for (auto maker :
+         {hw::FastConfig::fast, hw::FastConfig::sharp,
+          hw::FastConfig::sharpLargeMem, hw::FastConfig::sharp8Cluster,
+          hw::FastConfig::sharpLargeMem8Cluster}) {
+        auto cfg = maker();
+        sim::FastSystem sys(cfg);
+        for (const auto &bench : benches)
+            g_measured[cfg.name][bench.name] =
+                sys.execute(bench).stats.milliseconds();
+    }
+}
+
+void
+report()
+{
+    measureAll();
+    bench::header("Table 5: execution time (ms) — published rows");
+    std::printf("  %-14s %10s %10s %10s %10s\n", "accelerator",
+                "Bootstrap", "HELR256", "HELR1024", "ResNet-20");
+    for (const char *name :
+         {"BTS", "CLake", "ARK", "SHARP", "SHARP-LM", "SHARP-8C",
+          "SHARP-LM+8C", "FAST"}) {
+        const auto &r = baseline::publishedAccel(name);
+        auto cell = [](double v) {
+            if (v < 0)
+                std::printf(" %10s", "-");
+            else
+                std::printf(" %10.2f", v);
+        };
+        std::printf("  %-14s", name);
+        cell(r.bootstrap_ms);
+        cell(r.helr256_ms);
+        cell(r.helr1024_ms);
+        cell(r.resnet_ms);
+        std::printf("\n");
+    }
+
+    bench::header("Measured on our cycle simulator (ms)");
+    std::printf("  %-14s %10s %10s %10s %10s\n", "config",
+                "Bootstrap", "HELR256", "HELR1024", "ResNet-20");
+    for (const auto &[cfg, rows] : g_measured) {
+        std::printf("  %-14s %10.2f %10.2f %10.2f %10.2f\n",
+                    cfg.c_str(), rows.at("Bootstrap"),
+                    rows.at("HELR256"), rows.at("HELR1024"),
+                    rows.at("ResNet-20"));
+    }
+
+    bench::header("Paper-vs-measured, FAST");
+    const auto &fast_paper = baseline::publishedFast();
+    const auto &fast_ours = g_measured.at("FAST");
+    bench::row("Bootstrap", fast_paper.bootstrap_ms,
+               fast_ours.at("Bootstrap"), "ms");
+    bench::row("HELR256", fast_paper.helr256_ms,
+               fast_ours.at("HELR256"), "ms");
+    bench::row("HELR1024", fast_paper.helr1024_ms,
+               fast_ours.at("HELR1024"), "ms");
+    bench::row("ResNet-20", fast_paper.resnet_ms,
+               fast_ours.at("ResNet-20"), "ms");
+
+    bench::header("FAST speedup over SHARP (who wins, by how much)");
+    const auto &sharp_paper = baseline::publishedAccel("SHARP");
+    double paper_speedup = baseline::geomeanSpeedup(
+        sharp_paper, fast_paper.bootstrap_ms, fast_paper.helr256_ms,
+        fast_paper.helr1024_ms, fast_paper.resnet_ms);
+    const auto &sharp_ours = g_measured.at("SHARP");
+    baseline::PublishedAccel sharp_measured;
+    sharp_measured.bootstrap_ms = sharp_ours.at("Bootstrap");
+    sharp_measured.helr256_ms = sharp_ours.at("HELR256");
+    sharp_measured.helr1024_ms = sharp_ours.at("HELR1024");
+    sharp_measured.resnet_ms = sharp_ours.at("ResNet-20");
+    double measured_speedup = baseline::geomeanSpeedup(
+        sharp_measured, fast_ours.at("Bootstrap"),
+        fast_ours.at("HELR256"), fast_ours.at("HELR1024"),
+        fast_ours.at("ResNet-20"));
+    bench::row("geomean speedup vs SHARP", paper_speedup,
+               measured_speedup, "x");
+}
+
+void
+BM_SimulateBootstrapOnFast(benchmark::State &state)
+{
+    sim::FastSystem sys(hw::FastConfig::fast());
+    auto stream = trace::bootstrapTrace();
+    for (auto _ : state) {
+        auto result = sys.execute(stream);
+        benchmark::DoNotOptimize(result.stats.total_ns);
+    }
+}
+BENCHMARK(BM_SimulateBootstrapOnFast)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+FAST_BENCH_MAIN(report)

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Table 6 reproduction: amortized multiplication time per slot,
+ * T_mult,a/s = T_bootstrap / (slots * L_eff) [19] — the
+ * parameter-fair figure of merit, plus speedup-per-area.
+ */
+#include "bench/common.hpp"
+#include "baseline/published.hpp"
+#include "hw/area.hpp"
+#include "sim/system.hpp"
+
+using namespace fast;
+
+namespace {
+
+double
+tmultNs(double bootstrap_ms, double slots, double l_eff)
+{
+    return bootstrap_ms * 1e6 / (slots * l_eff);
+}
+
+void
+report()
+{
+    bench::header("Table 6: T_mult,a/s (ns) — published rows");
+    std::printf("  %-14s %8s %10s %10s\n", "accelerator", "slots",
+                "T_A.S(ns)", "area(mm2)");
+    for (const char *name : {"F1", "BTS", "ARK", "CLake", "SHARP",
+                             "SHARP-60", "FAST"}) {
+        const auto &r = baseline::publishedAccel(name);
+        std::printf("  %-14s %8.0f %10.1f %10.1f\n", name, r.slots,
+                    r.tmult_ns, r.area_mm2);
+    }
+
+    // Measured: bootstrap latency over slots x L_eff at Set-I scale.
+    const double slots = 32768, l_eff = 8;
+    auto stream = trace::bootstrapTrace();
+    double fast_ms = sim::FastSystem(hw::FastConfig::fast())
+                         .execute(stream)
+                         .stats.milliseconds();
+    double sharp_ms = sim::FastSystem(hw::FastConfig::sharp())
+                          .execute(stream)
+                          .stats.milliseconds();
+
+    bench::header("Measured T_mult,a/s");
+    bench::row("FAST", baseline::publishedFast().tmult_ns,
+               tmultNs(fast_ms, slots, l_eff), "ns");
+    bench::row("SHARP-like", baseline::publishedAccel("SHARP").tmult_ns,
+               tmultNs(sharp_ms, slots, l_eff), "ns");
+
+    bench::header("Speedup and speedup-per-area vs SHARP");
+    double paper_speedup = 12.8 / 5.4;
+    double measured_speedup =
+        tmultNs(sharp_ms, slots, l_eff) / tmultNs(fast_ms, slots,
+                                                  l_eff);
+    bench::row("T_mult speedup", paper_speedup, measured_speedup, "x");
+    double fast_area =
+        hw::ChipBudget(hw::FastConfig::fast()).totalAreaMm2();
+    double sharp_area =
+        hw::ChipBudget(hw::FastConfig::sharp()).totalAreaMm2();
+    bench::row("speedup per area", paper_speedup / (283.75 / 178.8),
+               measured_speedup / (fast_area / sharp_area), "x");
+}
+
+void
+BM_TmultPipeline(benchmark::State &state)
+{
+    sim::FastSystem sys(hw::FastConfig::fast());
+    auto stream = trace::bootstrapTrace();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sys.execute(stream).stats.milliseconds());
+    }
+}
+BENCHMARK(BM_TmultPipeline)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+FAST_BENCH_MAIN(report)

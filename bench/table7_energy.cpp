@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Table 7 reproduction: average power, energy, and energy-delay
+ * product of FAST on every workload.
+ */
+#include "bench/common.hpp"
+#include "sim/system.hpp"
+
+using namespace fast;
+
+namespace {
+
+struct PaperRow {
+    const char *name;
+    double power_w;
+    double energy_j;
+};
+
+// Table 7 as printed. The paper's energy/EDP cells for HELR256 and
+// ResNet-20 are internally inconsistent with power x latency (HELR256
+// lists total-training energy, ResNet-20 appears misprinted); we
+// anchor on the power column and report self-consistent energy.
+constexpr PaperRow kPaper[] = {
+    {"Bootstrap", 120, 0.16},
+    {"HELR256", 118, -1},
+    {"HELR1024", 154, 0.16},
+    {"ResNet-20", 160, -1},
+};
+
+void
+report()
+{
+    sim::FastSystem sys(hw::FastConfig::fast());
+    bench::header("Table 7: power / energy / EDP on FAST");
+    std::printf("  %-12s %10s %10s %12s %12s %12s\n", "workload",
+                "paper-W", "ours-W", "paper-J", "ours-J",
+                "ours-EDP(mJ*s)");
+    auto benches = trace::allBenchmarks();
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        auto r = sys.execute(benches[i]);
+        std::printf("  %-12s %10.0f %10.0f %12s %12.3f %12.5f\n",
+                    benches[i].name.c_str(), kPaper[i].power_w,
+                    r.energy.avg_power_w,
+                    kPaper[i].energy_j > 0
+                        ? std::to_string(kPaper[i].energy_j).substr(0, 5)
+                              .c_str()
+                        : "-",
+                    r.energy.energy_j, r.energy.edp_js * 1e3);
+    }
+    auto boot = sys.execute(benches[0]);
+    bench::row("Bootstrap energy", 0.16, boot.energy.energy_j, "J");
+    bench::note("paper average 138.5 W across workloads; EDP columns "
+                "recomputed self-consistently (see EXPERIMENTS.md)");
+}
+
+void
+BM_EnergyEvaluation(benchmark::State &state)
+{
+    sim::FastSystem sys(hw::FastConfig::fast());
+    auto stream = trace::bootstrapTrace();
+    auto result = sys.execute(stream);
+    sim::EnergyModel model(hw::FastConfig::fast());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.evaluate(result.stats).energy_j);
+    }
+}
+BENCHMARK(BM_EnergyEvaluation);
+
+} // namespace
+
+FAST_BENCH_MAIN(report)

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Design-space explorer: the adopter-facing workflow for the
+ * accelerator half of the library. Builds the paper's workload
+ * traces, lets Aether pick key-switching methods per site, and
+ * compares accelerator configurations on latency, utilization,
+ * energy, and area efficiency.
+ */
+#include <cstdio>
+
+#include "hw/area.hpp"
+#include "sim/report.hpp"
+#include "sim/system.hpp"
+
+using namespace fast;
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = argc > 1 ? argv[1] : "Bootstrap";
+    trace::OpStream stream;
+    if (workload == "HELR256") {
+        stream = trace::helrTrace(256);
+    } else if (workload == "HELR1024") {
+        stream = trace::helrTrace(1024);
+    } else if (workload == "ResNet-20") {
+        stream = trace::resnetTrace();
+    } else {
+        workload = "Bootstrap";
+        stream = trace::bootstrapTrace();
+    }
+
+    std::printf("workload: %s (%zu ops, %zu key switches)\n",
+                workload.c_str(), stream.ops.size(),
+                stream.keySwitchCount());
+    std::printf("%-14s %9s %7s %7s %7s %8s %9s %10s\n", "config",
+                "time(ms)", "NTTU", "KMU", "HBM", "power(W)",
+                "area(mm2)", "perf/area");
+
+    double base_perf_area = 0;
+    for (auto maker :
+         {hw::FastConfig::fast, hw::FastConfig::fastWithoutTbm,
+          hw::FastConfig::alu36, hw::FastConfig::oneKeySwitch,
+          hw::FastConfig::sharp, hw::FastConfig::sharp8Cluster}) {
+        auto cfg = maker();
+        sim::FastSystem sys(cfg);
+        auto r = sys.execute(stream);
+        double area = hw::ChipBudget(cfg).totalAreaMm2();
+        double perf_area = 1.0 / (r.stats.milliseconds() * area);
+        if (base_perf_area == 0)
+            base_perf_area = perf_area;
+        std::printf("%-14s %9.3f %6.0f%% %6.0f%% %6.0f%% %8.0f %9.1f"
+                    " %9.2fx\n",
+                    cfg.name.c_str(), r.stats.milliseconds(),
+                    100 * r.stats.utilization(sim::UnitKind::nttu),
+                    100 * r.stats.utilization(sim::UnitKind::kmu),
+                    100 * r.stats.utilization(sim::UnitKind::hbm),
+                    r.energy.avg_power_w, area,
+                    perf_area / base_perf_area);
+    }
+
+    // Peek at the Methods Candidate Table (Fig. 5a).
+    auto aether = sim::FastSystem(hw::FastConfig::fast()).makeAether();
+    auto mct = aether.analyze(stream);
+    std::printf("\n%s", sim::describeMct(mct, 6).c_str());
+
+    // Full execution report for FAST.
+    auto fast_result =
+        sim::FastSystem(hw::FastConfig::fast()).execute(stream);
+    std::printf("\n%s", sim::describeResult(fast_result).c_str());
+
+    // Show the Aether configuration file for the full FAST run.
+    auto config =
+        sim::FastSystem(hw::FastConfig::fast()).makeAether().run(stream);
+    auto text = config.serialize();
+    std::printf("\nAether configuration file: %zu bytes for %zu "
+                "key-switch sites (paper: ~1 KB)\n",
+                text.size(), config.decisions.size());
+    std::printf("first entries (op ct level method hoist):\n");
+    std::size_t shown = 0;
+    for (std::size_t i = 17; i < text.size() && shown < 5; ++i) {
+        std::printf("  ");
+        while (i < text.size() && text[i] != '\n')
+            std::putchar(text[i++]);
+        std::putchar('\n');
+        ++shown;
+    }
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Published prior-work numbers (paper Tables 4-6).
+ */
+#include "baseline/published.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fast::baseline {
+
+const std::vector<PublishedAccel> &
+publishedAccelerators()
+{
+    static const std::vector<PublishedAccel> rows = {
+        // name          bw  bits lanes  mem    area   boot   h256  h1024  resnet  tmult slots
+        {"F1",           1.0, 32,    0,    64, 151.4,   -1,    -1,    -1,     -1,  470.0, 1},
+        {"BTS",          1.0, 64, 2048,   512, 373.6, 22.88,   -1,  28.4,   1910,  45.7, 32768},
+        {"CLake",        1.0, 28, 2048,   282, 222.7,  6.32,  3.81,   -1,    321,  17.6, 32768},
+        {"ARK",          1.0, 64, 1024,   588, 418.3,  3.52,   -1,  7.42,    125,  14.3, 32768},
+        {"SHARP",        1.0, 36, 1024,   198, 178.8,  3.12,  1.82,  2.53,    99,  12.8, 32768},
+        {"SHARP-LM",     1.0, 36, 1024,   281, 215.0,  2.94,  1.72,  2.44,  93.88,   -1, 32768},
+        {"SHARP-8C",     1.0, 36, 2048,   198, 250.0,  2.16,  1.33,  1.89,  72.34,   -1, 32768},
+        {"SHARP-LM+8C",  1.0, 36, 2048,   281, 290.0,  2.03,  1.26,  1.83,  68.59,   -1, 32768},
+        {"SHARP-60",     1.0, 60,    0,     0,     0,    -1,    -1,    -1,     -1,  11.7, 32768},
+        {"FAST",         1.0, 60, 1024,   281, 283.75, 1.38,  1.12,  1.33,  60.49,   5.4, 32768},
+    };
+    return rows;
+}
+
+const PublishedAccel &
+publishedAccel(const std::string &name)
+{
+    for (const auto &row : publishedAccelerators())
+        if (row.name == name)
+            return row;
+    throw std::invalid_argument("unknown accelerator: " + name);
+}
+
+const PublishedAccel &
+publishedFast()
+{
+    return publishedAccel("FAST");
+}
+
+double
+geomeanSpeedup(const PublishedAccel &baseline, double bootstrap_ms,
+               double helr256_ms, double helr1024_ms, double resnet_ms)
+{
+    double log_sum = 0;
+    int terms = 0;
+    auto add = [&](double base, double ours) {
+        if (base > 0 && ours > 0) {
+            log_sum += std::log(base / ours);
+            ++terms;
+        }
+    };
+    add(baseline.bootstrap_ms, bootstrap_ms);
+    add(baseline.helr256_ms, helr256_ms);
+    add(baseline.helr1024_ms, helr1024_ms);
+    add(baseline.resnet_ms, resnet_ms);
+    return terms == 0 ? 0 : std::exp(log_sum / terms);
+}
+
+} // namespace fast::baseline

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Published results of prior FHE accelerators (Tables 4-6 of the FAST
+ * paper), sourced exactly as the paper sourced them — from BTS [23],
+ * CraterLake [40], ARK [21], SHARP [20], F1 [39], and REED/SHARP-60
+ * [5]. A negative value means the original paper did not report the
+ * metric.
+ */
+#ifndef FAST_BASELINE_PUBLISHED_HPP
+#define FAST_BASELINE_PUBLISHED_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fast::baseline {
+
+/** Hardware descriptors + published runtimes of one accelerator. */
+struct PublishedAccel {
+    std::string name;
+    // Table 4.
+    double offchip_bw_tbs = 1.0;
+    int bit_width = 0;
+    int lanes = 0;
+    double onchip_mb = 0;
+    double area_mm2 = 0;
+    // Table 5 (ms); < 0 when not reported.
+    double bootstrap_ms = -1;
+    double helr256_ms = -1;
+    double helr1024_ms = -1;
+    double resnet_ms = -1;
+    // Table 6.
+    double tmult_ns = -1;       ///< amortized mult time per slot
+    double slots = 0;
+};
+
+/** All prior-work rows, in the paper's order. */
+const std::vector<PublishedAccel> &publishedAccelerators();
+
+/** Look up one accelerator by name; throws if unknown. */
+const PublishedAccel &publishedAccel(const std::string &name);
+
+/** The paper's published FAST row, for measured-vs-paper reporting. */
+const PublishedAccel &publishedFast();
+
+/** Geometric mean speedup of @p ours vs a row over Table 5 columns. */
+double geomeanSpeedup(const PublishedAccel &baseline, double bootstrap_ms,
+                      double helr256_ms, double helr1024_ms,
+                      double resnet_ms);
+
+} // namespace fast::baseline
+
+#endif // FAST_BASELINE_PUBLISHED_HPP

@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Implementation of CKKS bootstrapping.
+ */
+#include "ckks/bootstrap.hpp"
+
+#include <cmath>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+
+namespace fast::ckks {
+
+namespace {
+
+const double kPi = std::acos(-1.0);
+
+/** Extract diagonal d of matrix m (indexed [out][in], n x n). */
+std::vector<Complex>
+diagonalOf(const std::vector<std::vector<Complex>> &m, std::size_t d)
+{
+    std::size_t n = m.size();
+    std::vector<Complex> diag(n);
+    for (std::size_t j = 0; j < n; ++j)
+        diag[j] = m[j][(j + d) % n];
+    return diag;
+}
+
+/** Cyclically rotate a vector left by @p steps. */
+std::vector<Complex>
+rotateVec(const std::vector<Complex> &v, std::size_t steps)
+{
+    std::size_t n = v.size();
+    std::vector<Complex> out(n);
+    for (std::size_t j = 0; j < n; ++j)
+        out[j] = v[(j + steps) % n];
+    return out;
+}
+
+bool
+isNegligible(const std::vector<Complex> &v)
+{
+    for (const auto &x : v)
+        if (std::abs(x) > 1e-14)
+            return false;
+    return true;
+}
+
+} // namespace
+
+Bootstrapper::Bootstrapper(std::shared_ptr<const CkksContext> ctx,
+                           BootstrapConfig config)
+    : ctx_(ctx), eval_(ctx), config_(config),
+      n_sparse_(ctx->params().slots)
+{
+    const auto &params = ctx_->params();
+    if (n_sparse_ == 0 || (n_sparse_ & (n_sparse_ - 1)) != 0)
+        throw std::invalid_argument("sparse slot count must be 2^k");
+    if (params.secret_hamming == 0 && n_sparse_ < params.degree / 2)
+        throw std::invalid_argument(
+            "sparse bootstrapping needs a sparse secret (range bound)");
+
+    std::size_t n = n_sparse_;
+    std::size_t four_n = 4 * n;
+    // psi' = primitive 4n-th root of unity; rot group 5^j mod 4n.
+    psi_pows_.resize(four_n);
+    for (std::size_t k = 0; k < four_n; ++k) {
+        double ang = 2.0 * kPi * static_cast<double>(k) /
+                     static_cast<double>(four_n);
+        psi_pows_[k] = Complex(std::cos(ang), std::sin(ang));
+    }
+    rot_group_.resize(2 * n);
+    std::size_t e = 1;
+    for (std::size_t j = 0; j < 2 * n; ++j) {
+        rot_group_[j] = e;
+        e = (e * 5) % four_n;
+    }
+
+    double q0 = static_cast<double>(params.q_chain[0]);
+    double delta = params.scale;
+    double replicas = static_cast<double>(params.degree / 2 / n);
+    double k_range = static_cast<double>(config_.range_k);
+
+    // CoeffToSlot: p_t = s_B * [(E'^H z)_t + i (E'^H z)_{t+n}
+    //                         + (E'^T conj(z))_t + i (...)_{t+n}].
+    double s_b = 0.5 * delta / (q0 * k_range * 2.0 *
+                                static_cast<double>(n) * replicas);
+    mat_cts_b_.assign(n, std::vector<Complex>(n));
+    mat_cts_c_.assign(n, std::vector<Complex>(n));
+    for (std::size_t t = 0; t < n; ++t) {
+        for (std::size_t j = 0; j < n; ++j) {
+            Complex w_t = psi_pows_[(rot_group_[j] * t) % four_n];
+            Complex w_tn = psi_pows_[(rot_group_[j] * (t + n)) % four_n];
+            mat_cts_b_[t][j] =
+                s_b * (std::conj(w_t) +
+                       Complex(0, 1) * std::conj(w_tn));
+            mat_cts_c_[t][j] =
+                s_b * (w_t + Complex(0, 1) * w_tn);
+        }
+    }
+
+    // SlotToCoeff: out_j = s_D * sum_t psi'^{e_j t} re_t
+    //                    + s_D * sum_t psi'^{e_j (t+n)} im_t.
+    double s_d = q0 / (2.0 * kPi * delta);
+    mat_stc_d_.assign(n, std::vector<Complex>(n));
+    mat_stc_f_.assign(n, std::vector<Complex>(n));
+    for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t t = 0; t < n; ++t) {
+            mat_stc_d_[j][t] =
+                s_d * psi_pows_[(rot_group_[j] * t) % four_n];
+            mat_stc_f_[j][t] =
+                s_d * psi_pows_[(rot_group_[j] * (t + n)) % four_n];
+        }
+    }
+
+    // Chebyshev coefficients of f(y) = cos((2 pi K y - pi/2) / 2^r)
+    // on [-1, 1]; after r double-angle steps this becomes sin(2piKy).
+    int d0 = config_.cheb_degree;
+    int m_nodes = d0 + 1;
+    double pow_r = std::pow(2.0, config_.double_angles);
+    auto f = [&](double y) {
+        return std::cos((2.0 * kPi * k_range * y - kPi / 2.0) / pow_r);
+    };
+    cheb_coeffs_.assign(static_cast<std::size_t>(d0) + 1, 0.0);
+    for (int j = 0; j <= d0; ++j) {
+        double acc = 0;
+        for (int m = 0; m < m_nodes; ++m) {
+            double theta = kPi * (m + 0.5) / m_nodes;
+            acc += f(std::cos(theta)) * std::cos(j * theta);
+        }
+        cheb_coeffs_[static_cast<std::size_t>(j)] =
+            (j == 0 ? 1.0 : 2.0) * acc / m_nodes;
+    }
+}
+
+std::vector<std::ptrdiff_t>
+Bootstrapper::requiredRotations() const
+{
+    std::size_t n = n_sparse_;
+    std::size_t g = config_.baby_steps
+                        ? config_.baby_steps
+                        : static_cast<std::size_t>(std::ceil(
+                              std::sqrt(static_cast<double>(n))));
+    std::vector<std::ptrdiff_t> steps;
+    for (std::size_t b = 1; b < g && b < n; ++b)
+        steps.push_back(static_cast<std::ptrdiff_t>(b));
+    for (std::size_t t = 1; t * g < n; ++t)
+        steps.push_back(static_cast<std::ptrdiff_t>(t * g));
+    // SubSum doubling rotations project onto the sparse subring.
+    std::size_t replicas = ctx_->params().degree / 2 / n;
+    for (std::size_t r = 1; r < replicas; r <<= 1)
+        steps.push_back(static_cast<std::ptrdiff_t>(r * n));
+    return steps;
+}
+
+BootstrapKeys
+Bootstrapper::makeKeys(const KeyGenerator &keygen) const
+{
+    BootstrapKeys keys;
+    keys.relin = keygen.makeRelinKey(config_.mod_method);
+    keys.conj = keygen.makeConjugationKey(config_.lt_method);
+    for (auto s : requiredRotations())
+        keys.rotations.emplace(s,
+                               keygen.makeRotationKey(s,
+                                                      config_.lt_method));
+    return keys;
+}
+
+std::size_t
+Bootstrapper::depth() const
+{
+    // CtS LT (1) + Chebyshev tree + combine + double angles + StC (1).
+    std::size_t cheb_depth = 1;
+    while ((std::size_t(1) << cheb_depth) <
+           static_cast<std::size_t>(config_.cheb_degree))
+        ++cheb_depth;
+    return 1 + cheb_depth + 1 +
+           static_cast<std::size_t>(config_.double_angles) + 1;
+}
+
+Ciphertext
+Bootstrapper::modRaise(const Ciphertext &ct) const
+{
+    const auto &params = ctx_->params();
+    Ciphertext low = ct;
+    if (low.level() != 0)
+        eval_.dropToLevel(low, 0);
+    u64 q0 = params.q_chain[0];
+    auto full = ctx_->qModuli(params.maxLevel());
+    std::size_t n = ctx_->degree();
+
+    Ciphertext out;
+    out.scale = low.scale;
+    for (auto [src, dst] : {std::pair{&low.c0, &out.c0},
+                            std::pair{&low.c1, &out.c1}}) {
+        RnsPoly coeff = *src;
+        coeff.toCoeff();
+        RnsPoly raised(n, full, math::PolyForm::coeff);
+        for (std::size_t c = 0; c < n; ++c) {
+            math::i64 v = math::toCentered(coeff.limb(0)[c], q0);
+            for (std::size_t i = 0; i < full.size(); ++i)
+                raised.limb(i)[c] = math::fromCentered(v, full[i]);
+        }
+        raised.toEval();
+        *dst = std::move(raised);
+    }
+    return out;
+}
+
+Ciphertext
+Bootstrapper::rotateMaybeHoisted(const HoistedRotator *hoisted,
+                                 const Ciphertext &ct,
+                                 std::ptrdiff_t steps,
+                                 const BootstrapKeys &keys) const
+{
+    const EvalKey &key = keys.rotations.at(steps);
+    if (hoisted)
+        return hoisted->rotate(steps, key);
+    return eval_.rotate(ct, steps, key);
+}
+
+Ciphertext
+Bootstrapper::linearTransform(
+    const Ciphertext &ct1, const std::vector<std::vector<Complex>> &m1,
+    const Ciphertext *ct2, const std::vector<std::vector<Complex>> &m2,
+    const BootstrapKeys &keys) const
+{
+    std::size_t n = n_sparse_;
+    std::size_t g = config_.baby_steps
+                        ? config_.baby_steps
+                        : static_cast<std::size_t>(std::ceil(
+                              std::sqrt(static_cast<double>(n))));
+    std::size_t giants = (n + g - 1) / g;
+    double pt_scale = ctx_->params().scale;
+    std::size_t level = ct1.level();
+
+    // Baby rotations (shared across every giant step) — the hoisting
+    // win: one decomposition per input ciphertext.
+    std::optional<HoistedRotator> h1, h2;
+    if (config_.use_hoisting) {
+        h1.emplace(eval_, ct1, config_.lt_method);
+        if (ct2)
+            h2.emplace(eval_, *ct2, config_.lt_method);
+    }
+    std::vector<Ciphertext> r1(g), r2(ct2 ? g : 0);
+    r1[0] = ct1;
+    if (ct2)
+        r2[0] = *ct2;
+    for (std::size_t b = 1; b < g; ++b) {
+        auto sb = static_cast<std::ptrdiff_t>(b);
+        r1[b] = rotateMaybeHoisted(h1 ? &*h1 : nullptr, ct1, sb, keys);
+        if (ct2)
+            r2[b] = rotateMaybeHoisted(h2 ? &*h2 : nullptr, *ct2, sb,
+                                       keys);
+    }
+
+    Ciphertext acc;
+    bool acc_set = false;
+    for (std::size_t t = 0; t < giants; ++t) {
+        Ciphertext inner;
+        bool inner_set = false;
+        for (std::size_t b = 0; b < g; ++b) {
+            std::size_t d = t * g + b;
+            if (d >= n)
+                break;
+            auto addTerm = [&](const Ciphertext &src,
+                               const std::vector<std::vector<Complex>>
+                                   &mat) {
+                auto diag = rotateVec(diagonalOf(mat, d),
+                                      (n - t * g % n) % n);
+                if (isNegligible(diag))
+                    return;
+                auto pt = eval_.encode(diag, pt_scale, level);
+                auto term = eval_.multiplyPlain(src, pt);
+                if (inner_set) {
+                    inner = eval_.add(inner, term);
+                } else {
+                    inner = std::move(term);
+                    inner_set = true;
+                }
+            };
+            addTerm(r1[b], m1);
+            if (ct2)
+                addTerm(r2[b], m2);
+        }
+        if (!inner_set)
+            continue;
+        Ciphertext shifted =
+            t == 0 ? std::move(inner)
+                   : eval_.rotate(inner,
+                                  static_cast<std::ptrdiff_t>(t * g),
+                                  keys.rotations.at(
+                                      static_cast<std::ptrdiff_t>(t * g)));
+        if (acc_set) {
+            acc = eval_.add(acc, shifted);
+        } else {
+            acc = std::move(shifted);
+            acc_set = true;
+        }
+    }
+    if (!acc_set)
+        throw std::logic_error("linear transform of zero matrix");
+    eval_.rescaleInPlace(acc);
+    return acc;
+}
+
+Ciphertext
+Bootstrapper::coeffToSlot(const Ciphertext &ct,
+                          const BootstrapKeys &keys) const
+{
+    // SubSum: project onto the sparse subring (doubling trick). The
+    // replication factor R is folded into the CtS matrices.
+    Ciphertext acc = ct;
+    std::size_t replicas = ctx_->params().degree / 2 / n_sparse_;
+    for (std::size_t r = 1; r < replicas; r <<= 1) {
+        auto steps = static_cast<std::ptrdiff_t>(r * n_sparse_);
+        acc = eval_.add(acc, eval_.rotate(acc, steps,
+                                          keys.rotations.at(steps)));
+    }
+    Ciphertext conj_ct = eval_.conjugate(acc, keys.conj);
+    return linearTransform(acc, mat_cts_b_, &conj_ct, mat_cts_c_, keys);
+}
+
+std::pair<Ciphertext, Ciphertext>
+Bootstrapper::splitReIm(const Ciphertext &ct,
+                        const BootstrapKeys &keys) const
+{
+    Ciphertext conj_ct = eval_.conjugate(ct, keys.conj);
+    Ciphertext re = eval_.add(ct, conj_ct);
+    // im = i * (conj(p) - p): multiplying by i is the exact monomial
+    // X^{N/2} — no level or scale cost.
+    Ciphertext im = eval_.multiplyByMonomial(
+        eval_.sub(conj_ct, ct), ctx_->degree() / 2);
+    return {std::move(re), std::move(im)};
+}
+
+Ciphertext
+Bootstrapper::chebyshevAndDoubleAngle(const Ciphertext &y,
+                                      const BootstrapKeys &keys) const
+{
+    auto d0 = static_cast<std::size_t>(config_.cheb_degree);
+    std::vector<Ciphertext> t_poly(d0 + 1);
+    std::vector<bool> have(d0 + 1, false);
+    t_poly[1] = y;
+    have[1] = true;
+
+    // Aligned binary ops: drop the higher operand to the lower level;
+    // scales track Delta with negligible drift.
+    auto aligned = [&](Ciphertext a, Ciphertext b) {
+        std::size_t lvl = std::min(a.level(), b.level());
+        eval_.dropToLevel(a, lvl);
+        eval_.dropToLevel(b, lvl);
+        eval_.setScale(b, a.scale);
+        return std::pair{std::move(a), std::move(b)};
+    };
+    auto mulAligned = [&](const Ciphertext &a, const Ciphertext &b) {
+        auto [x, z] = aligned(a, b);
+        auto prod = eval_.multiply(x, z, keys.relin);
+        eval_.rescaleInPlace(prod);
+        return prod;
+    };
+    auto subConst = [&](Ciphertext ct, double v) {
+        auto pt = eval_.encodeConstant(v, ct.scale, ct.level());
+        return eval_.subPlain(ct, pt);
+    };
+
+    // Build T_k bottom-up: T_{2a} = 2 T_a^2 - 1,
+    // T_{2a+1} = 2 T_{a+1} T_a - T_1.
+    std::function<const Ciphertext &(std::size_t)> get =
+        [&](std::size_t k) -> const Ciphertext & {
+        if (have[k])
+            return t_poly[k];
+        if (k % 2 == 0) {
+            std::size_t a = k / 2;
+            auto sq = mulAligned(get(a), get(a));
+            t_poly[k] = subConst(eval_.add(sq, sq), 1.0);
+        } else {
+            std::size_t a = (k + 1) / 2;
+            auto prod = mulAligned(get(a), get(a - 1));
+            auto dbl = eval_.add(prod, prod);
+            auto [x, t1] = aligned(dbl, t_poly[1]);
+            t_poly[k] = eval_.sub(x, t1);
+        }
+        have[k] = true;
+        return t_poly[k];
+    };
+
+    // Combine: sum_j c_j T_j(y).
+    Ciphertext acc;
+    bool acc_set = false;
+    std::size_t min_level = y.level();
+    for (std::size_t j = 1; j <= d0; ++j) {
+        if (std::abs(cheb_coeffs_[j]) < 1e-13)
+            continue;
+        min_level = std::min(min_level, get(j).level());
+    }
+    for (std::size_t j = 1; j <= d0; ++j) {
+        if (std::abs(cheb_coeffs_[j]) < 1e-13)
+            continue;
+        auto term = eval_.multiplyConstant(get(j), cheb_coeffs_[j]);
+        eval_.rescaleInPlace(term);
+        eval_.dropToLevel(term, min_level - 1);
+        if (acc_set) {
+            eval_.setScale(term, acc.scale);
+            acc = eval_.add(acc, term);
+        } else {
+            acc = std::move(term);
+            acc_set = true;
+        }
+    }
+    // cheb_coeffs_[0] is computed with the 1/M factor, so it is the
+    // true constant term and enters unhalved.
+    acc = eval_.addPlain(
+        acc, eval_.encodeConstant(cheb_coeffs_[0], acc.scale,
+                                  acc.level()));
+
+    // Double-angle ladder: c <- 2c^2 - 1 lifts cos(theta/2^r) to
+    // cos(theta); the result is sin(2 pi K y).
+    for (int i = 0; i < config_.double_angles; ++i) {
+        auto sq = mulAligned(acc, acc);
+        acc = subConst(eval_.add(sq, sq), 1.0);
+    }
+    return acc;
+}
+
+Ciphertext
+Bootstrapper::evalMod(const Ciphertext &ct,
+                      const BootstrapKeys &keys) const
+{
+    return chebyshevAndDoubleAngle(ct, keys);
+}
+
+Ciphertext
+Bootstrapper::slotToCoeff(const Ciphertext &re, const Ciphertext &im,
+                          const BootstrapKeys &keys) const
+{
+    auto [a, b] = std::pair{re, im};
+    std::size_t lvl = std::min(a.level(), b.level());
+    eval_.dropToLevel(a, lvl);
+    eval_.dropToLevel(b, lvl);
+    eval_.setScale(b, a.scale);
+    return linearTransform(a, mat_stc_d_, &b, mat_stc_f_, keys);
+}
+
+Ciphertext
+Bootstrapper::bootstrap(const Ciphertext &ct,
+                        const BootstrapKeys &keys) const
+{
+    Ciphertext raised = modRaise(ct);
+    Ciphertext packed = coeffToSlot(raised, keys);
+    auto [re, im] = splitReIm(packed, keys);
+    Ciphertext mod_re = evalMod(re, keys);
+    Ciphertext mod_im = evalMod(im, keys);
+    Ciphertext out = slotToCoeff(mod_re, mod_im, keys);
+    // The scale is Delta by construction of the folded constants.
+    eval_.setScale(out, ctx_->params().scale);
+    return out;
+}
+
+} // namespace fast::ckks

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * CKKS bootstrapping: ModRaise, CoeffToSlot, EvalMod, SlotToCoeff
+ * (Sec. 6.2 of the FAST paper, following the fully-packed method of
+ * SHARP/ARK at test scale).
+ *
+ * The pipeline is the dominant workload of every FAST benchmark and
+ * the place where the paper applies hoisting (in the CoeffToSlot /
+ * SlotToCoeff BSGS linear transforms) and mixes key-switching methods
+ * per stage. Each stage is exposed individually so tests can validate
+ * them in isolation, and the key-switch method of every stage is
+ * configurable — the hook Aether uses to realize its per-level method
+ * selection.
+ */
+#ifndef FAST_CKKS_BOOTSTRAP_HPP
+#define FAST_CKKS_BOOTSTRAP_HPP
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ckks/evaluator.hpp"
+
+namespace fast::ckks {
+
+/** Tunables for the bootstrapping pipeline. */
+struct BootstrapConfig {
+    /** |I| bound for the ModRaise overflow (needs a sparse secret). */
+    int range_k = 16;
+    /** Chebyshev interpolation degree for the scaled cosine. */
+    int cheb_degree = 31;
+    /** Double-angle iterations after the Chebyshev kernel. */
+    int double_angles = 3;
+    /** Key-switch method for the linear-transform rotations. */
+    KeySwitchMethod lt_method = KeySwitchMethod::hybrid;
+    /** Key-switch method for EvalMod multiplications. */
+    KeySwitchMethod mod_method = KeySwitchMethod::hybrid;
+    /** BSGS baby-step count (0 = ceil(sqrt(n))). */
+    std::size_t baby_steps = 0;
+    /** Use hoisting for the BSGS baby rotations. */
+    bool use_hoisting = true;
+};
+
+/** The key bundle bootstrapping needs. */
+struct BootstrapKeys {
+    EvalKey relin;
+    EvalKey conj;
+    std::map<std::ptrdiff_t, EvalKey> rotations;
+};
+
+/**
+ * Bootstrapper for sparse-packed ciphertexts (params.slots slots).
+ */
+class Bootstrapper
+{
+  public:
+    Bootstrapper(std::shared_ptr<const CkksContext> ctx,
+                 BootstrapConfig config);
+
+    const BootstrapConfig &config() const { return config_; }
+
+    /** Rotation steps required by the BSGS transforms. */
+    std::vector<std::ptrdiff_t> requiredRotations() const;
+
+    /** Generate the full key bundle. */
+    BootstrapKeys makeKeys(const KeyGenerator &keygen) const;
+
+    /**
+     * Refresh a level-0 (or low-level) ciphertext back to a high
+     * level. The output level is maxLevel minus the pipeline depth.
+     */
+    Ciphertext bootstrap(const Ciphertext &ct,
+                         const BootstrapKeys &keys) const;
+
+    /** @name Individual stages (public for testing and tracing). */
+    ///@{
+    /** Extend a low-level ciphertext's residues to the full chain. */
+    Ciphertext modRaise(const Ciphertext &ct) const;
+
+    /**
+     * Homomorphic decoding: output slots hold the packed reduced
+     * coefficients y_t = (Delta*w_t/q0 + I_t)/K (real part at t,
+     * imaginary part carrying t+n).
+     */
+    Ciphertext coeffToSlot(const Ciphertext &ct,
+                           const BootstrapKeys &keys) const;
+
+    /** Split packed slots into two real-valued ciphertexts. */
+    std::pair<Ciphertext, Ciphertext> splitReIm(
+        const Ciphertext &ct, const BootstrapKeys &keys) const;
+
+    /** Approximate x - round(x) removal: sin(2*pi*K*y) via Chebyshev
+     *  + double angles. Input and output are real-valued slots. */
+    Ciphertext evalMod(const Ciphertext &ct,
+                       const BootstrapKeys &keys) const;
+
+    /** Homomorphic re-encoding of the two coefficient halves. */
+    Ciphertext slotToCoeff(const Ciphertext &re, const Ciphertext &im,
+                           const BootstrapKeys &keys) const;
+    ///@}
+
+    /**
+     * Generic BSGS linear transform on the slot vector:
+     * out = M1 * slots(ct1) + M2 * slots(ct2), matrices given as
+     * [out][in] over the sparse slot dimension. ct2 may be null.
+     * Consumes one level. Baby rotations are hoisted when enabled.
+     */
+    Ciphertext linearTransform(
+        const Ciphertext &ct1,
+        const std::vector<std::vector<Complex>> &m1,
+        const Ciphertext *ct2,
+        const std::vector<std::vector<Complex>> &m2,
+        const BootstrapKeys &keys) const;
+
+    /** Total multiplicative depth of the pipeline. */
+    std::size_t depth() const;
+
+  private:
+    Ciphertext chebyshevAndDoubleAngle(const Ciphertext &y,
+                                       const BootstrapKeys &keys) const;
+    Ciphertext rotateMaybeHoisted(const HoistedRotator *hoisted,
+                                  const Ciphertext &ct,
+                                  std::ptrdiff_t steps,
+                                  const BootstrapKeys &keys) const;
+
+    std::shared_ptr<const CkksContext> ctx_;
+    CkksEvaluator eval_;
+    BootstrapConfig config_;
+    std::size_t n_sparse_;              ///< sparse slot count
+    std::vector<Complex> psi_pows_;     ///< psi'^k, psi' of order 4n
+    std::vector<std::size_t> rot_group_;  ///< 5^j mod 4n
+    std::vector<std::vector<Complex>> mat_cts_b_;  ///< CtS on ct
+    std::vector<std::vector<Complex>> mat_cts_c_;  ///< CtS on conj(ct)
+    std::vector<std::vector<Complex>> mat_stc_d_;  ///< StC on re
+    std::vector<std::vector<Complex>> mat_stc_f_;  ///< StC on im
+    std::vector<double> cheb_coeffs_;
+};
+
+} // namespace fast::ckks
+
+#endif // FAST_CKKS_BOOTSTRAP_HPP

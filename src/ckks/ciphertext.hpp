@@ -1,0 +1,49 @@
+/**
+ * @file
+ * CKKS plaintext and ciphertext containers.
+ */
+#ifndef FAST_CKKS_CIPHERTEXT_HPP
+#define FAST_CKKS_CIPHERTEXT_HPP
+
+#include "math/poly.hpp"
+
+namespace fast::ckks {
+
+using math::RnsPoly;
+
+/**
+ * An encoded (not encrypted) polynomial with its scale. Kept in eval
+ * form so plaintext-ciphertext operations are element-wise.
+ */
+struct Plaintext {
+    RnsPoly poly;
+    double scale = 1.0;
+
+    /** Remaining multiplicative level (limbs - 1). */
+    std::size_t level() const { return poly.limbCount() - 1; }
+};
+
+/**
+ * A CKKS ciphertext (c0, c1) under modulus Q_ell = q_0..q_ell
+ * (Sec. 2.1.1): Dec(ct) = c0 + c1*s ~ Delta*m. Both polynomials are
+ * held in eval form between operations, matching the accelerator's
+ * on-chip layout.
+ */
+struct Ciphertext {
+    RnsPoly c0;
+    RnsPoly c1;
+    double scale = 1.0;
+
+    /** Remaining multiplicative level ell (limbs - 1). */
+    std::size_t level() const { return c0.limbCount() - 1; }
+
+    /** Number of RNS limbs per polynomial. */
+    std::size_t limbCount() const { return c0.limbCount(); }
+
+    /** Ring degree N. */
+    std::size_t degree() const { return c0.degree(); }
+};
+
+} // namespace fast::ckks
+
+#endif // FAST_CKKS_CIPHERTEXT_HPP

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Implementation of the shared CKKS context.
+ */
+#include "ckks/context.hpp"
+
+#include <stdexcept>
+
+namespace fast::ckks {
+
+CkksContext::CkksContext(CkksParams params)
+    : params_(std::move(params)), encoder_(params_.degree)
+{
+    params_.validate();
+}
+
+std::vector<u64>
+CkksContext::qModuli(std::size_t ell) const
+{
+    if (ell >= params_.q_chain.size())
+        throw std::out_of_range("level exceeds modulus chain");
+    return {params_.q_chain.begin(),
+            params_.q_chain.begin() + static_cast<std::ptrdiff_t>(ell + 1)};
+}
+
+std::vector<u64>
+CkksContext::extendedModuli(std::size_t ell) const
+{
+    auto m = qModuli(ell);
+    m.insert(m.end(), params_.p_chain.begin(), params_.p_chain.end());
+    return m;
+}
+
+std::vector<u64>
+CkksContext::keyModuli() const
+{
+    return extendedModuli(params_.maxLevel());
+}
+
+u64
+CkksContext::specialProductMod(u64 m) const
+{
+    u64 r = 1 % m;
+    for (u64 p : params_.p_chain)
+        r = math::mulMod(r, p % m, m);
+    return r;
+}
+
+const math::BaseConverter &
+CkksContext::converter(const std::vector<u64> &from,
+                       const std::vector<u64> &to) const
+{
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto key = std::make_pair(from, to);
+    auto it = conv_cache_.find(key);
+    if (it == conv_cache_.end()) {
+        it = conv_cache_
+                 .emplace(key, std::make_unique<math::BaseConverter>(
+                                   math::RnsBasis(from),
+                                   math::RnsBasis(to)))
+                 .first;
+    }
+    return *it->second;
+}
+
+const math::RnsBasis &
+CkksContext::basis(const std::vector<u64> &moduli) const
+{
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = basis_cache_.find(moduli);
+    if (it == basis_cache_.end()) {
+        it = basis_cache_
+                 .emplace(moduli,
+                          std::make_unique<math::RnsBasis>(moduli))
+                 .first;
+    }
+    return *it->second;
+}
+
+} // namespace fast::ckks

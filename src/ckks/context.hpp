@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared CKKS context: parameters, encoder, bases, and cached base
+ * converters.
+ */
+#ifndef FAST_CKKS_CONTEXT_HPP
+#define FAST_CKKS_CONTEXT_HPP
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "ckks/encoder.hpp"
+#include "ckks/params.hpp"
+#include "math/rns.hpp"
+
+namespace fast::ckks {
+
+/**
+ * Immutable per-parameter-set state shared by the encryptor,
+ * evaluator, and key-switching engines.
+ */
+class CkksContext
+{
+  public:
+    explicit CkksContext(CkksParams params);
+
+    const CkksParams &params() const { return params_; }
+    const CkksEncoder &encoder() const { return encoder_; }
+    std::size_t degree() const { return params_.degree; }
+
+    /** Moduli q_0..q_ell of a level-ell ciphertext. */
+    std::vector<u64> qModuli(std::size_t ell) const;
+
+    /** Moduli q_0..q_ell followed by the special primes. */
+    std::vector<u64> extendedModuli(std::size_t ell) const;
+
+    /** Moduli of the full key basis: q_0..q_L + specials. */
+    std::vector<u64> keyModuli() const;
+
+    /** Product of the special primes mod @p m. */
+    u64 specialProductMod(u64 m) const;
+
+    /**
+     * Cached BaseConverter between two bases (built on first use;
+     * thread-safe).
+     */
+    const math::BaseConverter &converter(
+        const std::vector<u64> &from, const std::vector<u64> &to) const;
+
+    /** Cached RnsBasis for an arbitrary modulus list. */
+    const math::RnsBasis &basis(const std::vector<u64> &moduli) const;
+
+  private:
+    CkksParams params_;
+    CkksEncoder encoder_;
+
+    mutable std::mutex cache_mutex_;
+    mutable std::map<std::pair<std::vector<u64>, std::vector<u64>>,
+                     std::unique_ptr<math::BaseConverter>> conv_cache_;
+    mutable std::map<std::vector<u64>,
+                     std::unique_ptr<math::RnsBasis>> basis_cache_;
+};
+
+} // namespace fast::ckks
+
+#endif // FAST_CKKS_CONTEXT_HPP

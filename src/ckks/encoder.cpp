@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Implementation of the canonical-embedding encoder.
+ */
+#include "ckks/encoder.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/bignum.hpp"
+#include "math/rns.hpp"
+
+namespace fast::ckks {
+
+namespace {
+
+std::size_t
+bitReverse(std::size_t x, int bits)
+{
+    std::size_t r = 0;
+    for (int i = 0; i < bits; ++i) {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    return r;
+}
+
+} // namespace
+
+CkksEncoder::CkksEncoder(std::size_t degree) : n_(degree)
+{
+    if (degree == 0 || (degree & (degree - 1)) != 0)
+        throw std::invalid_argument("degree must be a power of two");
+    log_n_ = 0;
+    while ((std::size_t(1) << log_n_) < n_)
+        ++log_n_;
+
+    roots_.resize(n_);
+    const double pi = std::acos(-1.0);
+    for (std::size_t i = 0; i < n_; ++i) {
+        std::size_t r = bitReverse(i, log_n_);
+        double angle = pi * static_cast<double>(r) /
+                       static_cast<double>(n_);
+        roots_[i] = Complex(std::cos(angle), std::sin(angle));
+    }
+
+    // Slot j evaluates at psi^{5^j mod 2N}; eval index k holds the
+    // point psi^{2*br(k)+1}, so k = br((5^j - 1) / 2).
+    std::size_t half = n_ / 2;
+    slot_to_eval_.resize(half);
+    slot_to_eval_conj_.resize(half);
+    u64 two_n = 2 * n_;
+    u64 e = 1;
+    for (std::size_t j = 0; j < half; ++j) {
+        slot_to_eval_[j] =
+            bitReverse(static_cast<std::size_t>((e - 1) / 2), log_n_);
+        u64 e_conj = two_n - e;
+        slot_to_eval_conj_[j] =
+            bitReverse(static_cast<std::size_t>((e_conj - 1) / 2),
+                       log_n_);
+        e = (e * 5) % two_n;
+    }
+}
+
+void
+CkksEncoder::forwardFft(std::vector<Complex> &data) const
+{
+    std::size_t t = n_;
+    for (std::size_t m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        for (std::size_t i = 0; i < m; ++i) {
+            std::size_t j1 = 2 * i * t;
+            Complex w = roots_[m + i];
+            for (std::size_t j = j1; j < j1 + t; ++j) {
+                Complex u = data[j];
+                Complex v = data[j + t] * w;
+                data[j] = u + v;
+                data[j + t] = u - v;
+            }
+        }
+    }
+}
+
+void
+CkksEncoder::inverseFft(std::vector<Complex> &data) const
+{
+    std::size_t t = 1;
+    for (std::size_t m = n_ >> 1; m >= 1; m >>= 1) {
+        std::size_t j1 = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+            Complex w = std::conj(roots_[m + i]);
+            for (std::size_t j = j1; j < j1 + t; ++j) {
+                Complex u = data[j];
+                Complex v = data[j + t];
+                data[j] = u + v;
+                data[j + t] = (u - v) * w;
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    double inv_n = 1.0 / static_cast<double>(n_);
+    for (auto &v : data)
+        v *= inv_n;
+}
+
+std::vector<Complex>
+CkksEncoder::embed(const std::vector<Complex> &coeffs) const
+{
+    std::vector<Complex> data = coeffs;
+    data.resize(n_, Complex(0, 0));
+    forwardFft(data);
+    std::vector<Complex> slots(n_ / 2);
+    for (std::size_t j = 0; j < slots.size(); ++j)
+        slots[j] = data[slot_to_eval_[j]];
+    return slots;
+}
+
+std::vector<Complex>
+CkksEncoder::embedInverse(const std::vector<Complex> &slots) const
+{
+    if (slots.size() != n_ / 2)
+        throw std::invalid_argument("embedInverse needs N/2 slots");
+    std::vector<Complex> data(n_);
+    for (std::size_t j = 0; j < slots.size(); ++j) {
+        data[slot_to_eval_[j]] = slots[j];
+        data[slot_to_eval_conj_[j]] = std::conj(slots[j]);
+    }
+    inverseFft(data);
+    return data;
+}
+
+RnsPoly
+CkksEncoder::encode(const std::vector<Complex> &values, double scale,
+                    const std::vector<u64> &moduli) const
+{
+    std::size_t half = n_ / 2;
+    if (values.empty() || half % values.size() != 0)
+        throw std::invalid_argument(
+            "message length must divide the slot count");
+    std::vector<Complex> full(half);
+    for (std::size_t j = 0; j < half; ++j)
+        full[j] = values[j % values.size()];
+
+    auto coeffs = embedInverse(full);
+    RnsPoly poly(n_, moduli, math::PolyForm::coeff);
+    for (std::size_t k = 0; k < n_; ++k) {
+        double v = coeffs[k].real() * scale;
+        if (std::abs(v) >= 9.0e18)
+            throw std::overflow_error("encoded coefficient overflow");
+        poly.setCoefficient(k, static_cast<math::i64>(std::llround(v)));
+    }
+    return poly;
+}
+
+std::vector<Complex>
+CkksEncoder::decode(const RnsPoly &poly, double scale,
+                    std::size_t slot_count) const
+{
+    if (poly.form() != math::PolyForm::coeff)
+        throw std::logic_error("decode requires coeff form");
+    std::size_t half = n_ / 2;
+    if (slot_count == 0 || half % slot_count != 0)
+        throw std::invalid_argument("slot_count must divide N/2");
+
+    // CRT-compose each coefficient and center it against Q.
+    math::RnsBasis basis(poly.moduli());
+    const math::BigUInt &big_q = basis.product();
+    math::BigUInt half_q = big_q >> 1;
+    std::vector<Complex> coeffs(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+        math::BigUInt v = basis.compose(poly.coefficientResidues(k));
+        double d = v > half_q ? -((big_q - v).toDouble())
+                              : v.toDouble();
+        coeffs[k] = Complex(d / scale, 0);
+    }
+
+    auto slots = embed(coeffs);
+    // Average the replicas of a sparse-packed message.
+    std::vector<Complex> out(slot_count, Complex(0, 0));
+    std::size_t reps = half / slot_count;
+    for (std::size_t j = 0; j < half; ++j)
+        out[j % slot_count] += slots[j];
+    for (auto &v : out)
+        v /= static_cast<double>(reps);
+    return out;
+}
+
+u64
+CkksEncoder::galoisForRotation(std::ptrdiff_t steps) const
+{
+    std::size_t half = n_ / 2;
+    std::ptrdiff_t r = steps % static_cast<std::ptrdiff_t>(half);
+    if (r < 0)
+        r += static_cast<std::ptrdiff_t>(half);
+    return math::powMod(5, static_cast<u64>(r), 2 * n_);
+}
+
+} // namespace fast::ckks

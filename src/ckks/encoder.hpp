@@ -1,0 +1,90 @@
+/**
+ * @file
+ * CKKS canonical-embedding encoder.
+ *
+ * Messages are vectors of complex numbers placed on the n = N/2 slots
+ * of the canonical embedding (Sec. 2.1.1). Encoding scales by Delta,
+ * evaluates an inverse complex negacyclic FFT to obtain real
+ * coefficients, and rounds into RNS form; decoding is the forward
+ * transform after CRT composition. The slot ordering follows the
+ * rotation group (powers of 5), so a cyclic slot rotation by r equals
+ * the Galois automorphism X -> X^{5^r} — the property HRot and the
+ * AutoU unit depend on.
+ */
+#ifndef FAST_CKKS_ENCODER_HPP
+#define FAST_CKKS_ENCODER_HPP
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "math/poly.hpp"
+
+namespace fast::ckks {
+
+using math::RnsPoly;
+using math::u64;
+using Complex = std::complex<double>;
+
+/**
+ * Encoder/decoder for one ring degree. Stateless apart from the
+ * precomputed FFT tables and slot-index maps.
+ */
+class CkksEncoder
+{
+  public:
+    /** Build tables for ring degree @p degree (power of two). */
+    explicit CkksEncoder(std::size_t degree);
+
+    std::size_t degree() const { return n_; }
+    std::size_t slotCount() const { return n_ / 2; }
+
+    /**
+     * Encode @p values into a coefficient-form RNS polynomial.
+     * Vectors shorter than N/2 slots are replicated to fill the ring
+     * (standard sparse packing); the length must divide N/2.
+     *
+     * @param values  complex message, |values| divides N/2.
+     * @param scale   Delta; coefficients are rounded(value * Delta).
+     * @param moduli  target RNS basis.
+     */
+    RnsPoly encode(const std::vector<Complex> &values, double scale,
+                   const std::vector<u64> &moduli) const;
+
+    /**
+     * Decode a coefficient-form polynomial back to @p slot_count slots
+     * (averaging replicas when slot_count < N/2).
+     */
+    std::vector<Complex> decode(const RnsPoly &poly, double scale,
+                                std::size_t slot_count) const;
+
+    /**
+     * The Galois element implementing a cyclic rotation of the slot
+     * vector by @p steps (negative = rotate the other way).
+     */
+    u64 galoisForRotation(std::ptrdiff_t steps) const;
+
+    /** The Galois element implementing complex conjugation (2N-1). */
+    u64 galoisForConjugation() const { return 2 * n_ - 1; }
+
+    /** Forward complex negacyclic transform (coeff -> slots order). */
+    std::vector<Complex> embed(const std::vector<Complex> &coeffs) const;
+
+    /** Inverse of embed. */
+    std::vector<Complex> embedInverse(
+        const std::vector<Complex> &slots) const;
+
+  private:
+    std::size_t n_;
+    int log_n_;
+    std::vector<Complex> roots_;      ///< psi powers, bit-rev order
+    std::vector<std::size_t> slot_to_eval_;  ///< slot j -> eval index
+    std::vector<std::size_t> slot_to_eval_conj_;
+
+    void forwardFft(std::vector<Complex> &data) const;
+    void inverseFft(std::vector<Complex> &data) const;
+};
+
+} // namespace fast::ckks
+
+#endif // FAST_CKKS_ENCODER_HPP

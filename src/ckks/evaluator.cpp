@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Implementation of the CKKS evaluator.
+ */
+#include "ckks/evaluator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fast::ckks {
+
+namespace {
+
+/** Scales must agree to within floating-point bookkeeping noise. */
+void
+requireSameScale(double a, double b)
+{
+    if (std::abs(a - b) > 1e-6 * std::max(a, b))
+        throw std::invalid_argument("ciphertext scales do not match");
+}
+
+} // namespace
+
+CkksEvaluator::CkksEvaluator(std::shared_ptr<const CkksContext> ctx)
+    : ctx_(ctx), switcher_(ctx)
+{
+}
+
+Plaintext
+CkksEvaluator::encode(const std::vector<Complex> &values, double scale,
+                      std::size_t level) const
+{
+    Plaintext pt;
+    pt.poly = ctx_->encoder().encode(values, scale,
+                                     ctx_->qModuli(level));
+    pt.poly.toEval();
+    pt.scale = scale;
+    return pt;
+}
+
+Plaintext
+CkksEvaluator::encodeConstant(double value, double scale,
+                              std::size_t level) const
+{
+    return encode({Complex(value, 0)}, scale, level);
+}
+
+Ciphertext
+CkksEvaluator::encrypt(const Plaintext &pt, const PublicKey &pk,
+                       math::Prng &prng) const
+{
+    std::size_t level = pt.level();
+    std::size_t limbs = level + 1;
+    std::size_t n = ctx_->degree();
+    auto moduli = ctx_->qModuli(level);
+
+    RnsPoly u(n, moduli, math::PolyForm::coeff);
+    u.fillTernary(prng);
+    u.toEval();
+    RnsPoly e0(n, moduli, math::PolyForm::coeff);
+    e0.fillGaussian(prng, ctx_->params().noise_sigma);
+    e0.toEval();
+    RnsPoly e1(n, moduli, math::PolyForm::coeff);
+    e1.fillGaussian(prng, ctx_->params().noise_sigma);
+    e1.toEval();
+
+    RnsPoly pk_b = pk.b;
+    pk_b.keepLimbs(limbs);
+    RnsPoly pk_a = pk.a;
+    pk_a.keepLimbs(limbs);
+
+    Ciphertext ct;
+    ct.c0 = pk_b.hadamard(u);
+    ct.c0 += e0;
+    RnsPoly msg = pt.poly;
+    if (!msg.isEval())
+        msg.toEval();
+    ct.c0 += msg;
+    ct.c1 = pk_a.hadamard(u);
+    ct.c1 += e1;
+    ct.scale = pt.scale;
+    return ct;
+}
+
+Ciphertext
+CkksEvaluator::encryptSymmetric(const Plaintext &pt, const SecretKey &sk,
+                                math::Prng &prng) const
+{
+    std::size_t level = pt.level();
+    std::size_t n = ctx_->degree();
+    auto moduli = ctx_->qModuli(level);
+
+    RnsPoly a(n, moduli, math::PolyForm::eval);
+    a.fillUniform(prng);
+    RnsPoly e(n, moduli, math::PolyForm::coeff);
+    e.fillGaussian(prng, ctx_->params().noise_sigma);
+    e.toEval();
+
+    RnsPoly s = sk.s;
+    s.keepLimbs(level + 1);
+
+    Ciphertext ct;
+    ct.c1 = a;
+    ct.c0 = a.hadamard(s);
+    ct.c0.negateInPlace();
+    ct.c0 += e;
+    RnsPoly msg = pt.poly;
+    if (!msg.isEval())
+        msg.toEval();
+    ct.c0 += msg;
+    ct.scale = pt.scale;
+    return ct;
+}
+
+Plaintext
+CkksEvaluator::decrypt(const Ciphertext &ct, const SecretKey &sk) const
+{
+    RnsPoly s = sk.s;
+    s.keepLimbs(ct.limbCount());
+    Plaintext pt;
+    pt.poly = ct.c1.hadamard(s);
+    pt.poly += ct.c0;
+    pt.poly.toCoeff();
+    pt.scale = ct.scale;
+    return pt;
+}
+
+std::vector<Complex>
+CkksEvaluator::decryptDecode(const Ciphertext &ct, const SecretKey &sk,
+                             std::size_t slot_count) const
+{
+    Plaintext pt = decrypt(ct, sk);
+    return ctx_->encoder().decode(pt.poly, pt.scale, slot_count);
+}
+
+void
+CkksEvaluator::requireSameShape(const Ciphertext &a,
+                                const Ciphertext &b) const
+{
+    if (a.limbCount() != b.limbCount())
+        throw std::invalid_argument("ciphertext levels do not match");
+    requireSameScale(a.scale, b.scale);
+}
+
+Ciphertext
+CkksEvaluator::add(const Ciphertext &a, const Ciphertext &b) const
+{
+    requireSameShape(a, b);
+    Ciphertext out = a;
+    out.c0 += b.c0;
+    out.c1 += b.c1;
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::sub(const Ciphertext &a, const Ciphertext &b) const
+{
+    requireSameShape(a, b);
+    Ciphertext out = a;
+    out.c0 -= b.c0;
+    out.c1 -= b.c1;
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::negate(const Ciphertext &a) const
+{
+    Ciphertext out = a;
+    out.c0.negateInPlace();
+    out.c1.negateInPlace();
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::addPlain(const Ciphertext &a, const Plaintext &p) const
+{
+    if (p.poly.limbCount() != a.limbCount())
+        throw std::invalid_argument("plaintext level mismatch");
+    requireSameScale(a.scale, p.scale);
+    Ciphertext out = a;
+    out.c0 += p.poly;
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::subPlain(const Ciphertext &a, const Plaintext &p) const
+{
+    if (p.poly.limbCount() != a.limbCount())
+        throw std::invalid_argument("plaintext level mismatch");
+    requireSameScale(a.scale, p.scale);
+    Ciphertext out = a;
+    out.c0 -= p.poly;
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::multiplyPlain(const Ciphertext &a, const Plaintext &p) const
+{
+    if (p.poly.limbCount() != a.limbCount())
+        throw std::invalid_argument("plaintext level mismatch");
+    Ciphertext out = a;
+    out.c0.hadamardInPlace(p.poly);
+    out.c1.hadamardInPlace(p.poly);
+    out.scale = a.scale * p.scale;
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::multiplyConstant(const Ciphertext &a, double value) const
+{
+    double scale = ctx_->params().scale;
+    auto v = static_cast<math::i64>(std::llround(value * scale));
+    Ciphertext out = a;
+    std::vector<u64> scalars(a.limbCount());
+    for (std::size_t i = 0; i < scalars.size(); ++i)
+        scalars[i] = math::fromCentered(v, a.c0.modulus(i));
+    out.c0.scalePerLimb(scalars);
+    out.c1.scalePerLimb(scalars);
+    out.scale = a.scale * scale;
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::multiplyByMonomial(const Ciphertext &a,
+                                  std::size_t power) const
+{
+    RnsPoly mono(ctx_->degree(), a.c0.moduli(), math::PolyForm::coeff);
+    std::size_t n = ctx_->degree();
+    std::size_t p = power % (2 * n);
+    // X^{N + k} = -X^k in the negacyclic ring.
+    mono.setCoefficient(p % n, p < n ? 1 : -1);
+    mono.toEval();
+    Ciphertext out = a;
+    out.c0.hadamardInPlace(mono);
+    out.c1.hadamardInPlace(mono);
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::multiply(const Ciphertext &a, const Ciphertext &b,
+                        const EvalKey &relin_key) const
+{
+    if (a.limbCount() != b.limbCount())
+        throw std::invalid_argument("ciphertext levels do not match");
+    // Tensor product: (d0, d1, d2) = (a0*b0, a0*b1 + a1*b0, a1*b1).
+    RnsPoly d0 = a.c0.hadamard(b.c0);
+    RnsPoly d1 = a.c0.hadamard(b.c1);
+    d1 += a.c1.hadamard(b.c0);
+    RnsPoly d2 = a.c1.hadamard(b.c1);
+
+    // Relinearize the s^2 component.
+    KeySwitchDelta delta = switcher_.apply(d2, relin_key);
+    Ciphertext out;
+    out.c0 = std::move(d0);
+    out.c0 += delta.d0;
+    out.c1 = std::move(d1);
+    out.c1 += delta.d1;
+    out.scale = a.scale * b.scale;
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::square(const Ciphertext &a, const EvalKey &relin_key) const
+{
+    return multiply(a, a, relin_key);
+}
+
+void
+CkksEvaluator::rescaleInPlace(Ciphertext &ct) const
+{
+    if (ct.limbCount() < 2)
+        throw std::logic_error("cannot rescale at the last level");
+    std::size_t n = ct.degree();
+    std::size_t last = ct.limbCount() - 1;
+    u64 q_last = ct.c0.modulus(last);
+
+    for (RnsPoly *poly : {&ct.c0, &ct.c1}) {
+        // Last limb to coefficient form for centered lifting.
+        std::vector<u64> tail = poly->limb(last);
+        math::NttTableCache::get(n, q_last)->inverse(tail);
+        for (std::size_t i = 0; i < last; ++i) {
+            u64 q = poly->modulus(i);
+            u64 inv = math::invMod(q_last % q, q);
+            u64 inv_shoup = math::shoupPrecompute(inv, q);
+            // Centered lift of the tail into q_i, then NTT.
+            std::vector<u64> lifted(n);
+            for (std::size_t c = 0; c < n; ++c)
+                lifted[c] = math::fromCentered(
+                    math::toCentered(tail[c], q_last), q);
+            math::NttTableCache::get(n, q)->forward(lifted);
+            auto &limb = poly->limb(i);
+            for (std::size_t c = 0; c < n; ++c) {
+                u64 diff = math::subMod(limb[c], lifted[c], q);
+                limb[c] = math::mulModShoup(diff, inv, inv_shoup, q);
+            }
+        }
+        poly->dropLastLimbs(1);
+    }
+    ct.scale /= static_cast<double>(q_last);
+}
+
+void
+CkksEvaluator::rescaleDoubleInPlace(Ciphertext &ct) const
+{
+    if (ct.limbCount() < 3)
+        throw std::logic_error("double rescale needs two spare limbs");
+    std::size_t n = ct.degree();
+    std::size_t last = ct.limbCount() - 1;
+    u64 q1 = ct.c0.modulus(last - 1);
+    u64 q2 = ct.c0.modulus(last);
+    // CRT pair constants: x = r1 + q1 * ([r2 - r1]_{q2} * q1^{-1} mod q2).
+    u64 q1_inv_q2 = math::invMod(q1 % q2, q2);
+    math::u128 q1q2 = (math::u128)q1 * q2;
+    math::u128 half = q1q2 >> 1;
+
+    for (RnsPoly *poly : {&ct.c0, &ct.c1}) {
+        std::vector<u64> tail1 = poly->limb(last - 1);
+        std::vector<u64> tail2 = poly->limb(last);
+        math::NttTableCache::get(n, q1)->inverse(tail1);
+        math::NttTableCache::get(n, q2)->inverse(tail2);
+        for (std::size_t i = 0; i + 2 < poly->limbCount(); ++i) {
+            u64 q = poly->modulus(i);
+            u64 inv = math::invMod(
+                math::mulMod(q1 % q, q2 % q, q), q);
+            u64 inv_shoup = math::shoupPrecompute(inv, q);
+            std::vector<u64> lifted(n);
+            for (std::size_t c = 0; c < n; ++c) {
+                // Compose the pair, center against q1*q2, reduce.
+                u64 t = math::mulMod(
+                    math::subMod(tail2[c] % q2, tail1[c] % q2, q2),
+                    q1_inv_q2, q2);
+                math::u128 v = (math::u128)tail1[c] +
+                               (math::u128)q1 * t;
+                if (v > half) {
+                    math::u128 neg = q1q2 - v;
+                    lifted[c] = math::negMod(
+                        static_cast<u64>(neg % q), q);
+                } else {
+                    lifted[c] = static_cast<u64>(v % q);
+                }
+            }
+            math::NttTableCache::get(n, q)->forward(lifted);
+            auto &limb = poly->limb(i);
+            for (std::size_t c = 0; c < n; ++c) {
+                u64 diff = math::subMod(limb[c], lifted[c], q);
+                limb[c] = math::mulModShoup(diff, inv, inv_shoup, q);
+            }
+        }
+        poly->dropLastLimbs(2);
+    }
+    ct.scale /= static_cast<double>(q1);
+    ct.scale /= static_cast<double>(q2);
+}
+
+void
+CkksEvaluator::dropToLevel(Ciphertext &ct, std::size_t level) const
+{
+    if (level + 1 > ct.limbCount())
+        throw std::invalid_argument("cannot raise level by dropping");
+    ct.c0.keepLimbs(level + 1);
+    ct.c1.keepLimbs(level + 1);
+}
+
+Ciphertext
+CkksEvaluator::rotate(const Ciphertext &ct, std::ptrdiff_t steps,
+                      const EvalKey &key) const
+{
+    u64 g = ctx_->encoder().galoisForRotation(steps);
+    return applyGalois(ct, g, key);
+}
+
+Ciphertext
+CkksEvaluator::conjugate(const Ciphertext &ct, const EvalKey &key) const
+{
+    return applyGalois(ct, ctx_->encoder().galoisForConjugation(), key);
+}
+
+Ciphertext
+CkksEvaluator::applyGalois(const Ciphertext &ct, u64 galois_elt,
+                           const EvalKey &key) const
+{
+    if (key.galois != galois_elt)
+        throw std::invalid_argument("wrong galois key for this rotation");
+    RnsPoly rot_c1 = ct.c1.automorphism(galois_elt);
+    KeySwitchDelta delta = switcher_.apply(rot_c1, key);
+    Ciphertext out;
+    out.c0 = ct.c0.automorphism(galois_elt);
+    out.c0 += delta.d0;
+    out.c1 = std::move(delta.d1);
+    out.scale = ct.scale;
+    return out;
+}
+
+HoistedRotator::HoistedRotator(const CkksEvaluator &evaluator,
+                               const Ciphertext &ct,
+                               KeySwitchMethod method)
+    : evaluator_(evaluator), base_(ct), method_(method),
+      digits_(evaluator.switcher().decompose(ct.c1, method))
+{
+}
+
+Ciphertext
+HoistedRotator::rotate(std::ptrdiff_t steps, const EvalKey &key) const
+{
+    if (key.method != method_)
+        throw std::invalid_argument("key method mismatch in hoisting");
+    u64 g = evaluator_.context().encoder().galoisForRotation(steps);
+    if (key.galois != g)
+        throw std::invalid_argument("wrong galois key for this rotation");
+
+    // Automorphism commutes with decomposition: rotate the digits.
+    std::vector<RnsPoly> rotated;
+    rotated.reserve(digits_.size());
+    for (const auto &d : digits_)
+        rotated.push_back(d.automorphism(g));
+
+    KeySwitchDelta delta =
+        evaluator_.switcher().keyMultModDown(rotated, key);
+    Ciphertext out;
+    out.c0 = base_.c0.automorphism(g);
+    out.c0 += delta.d0;
+    out.c1 = std::move(delta.d1);
+    out.scale = base_.scale;
+    return out;
+}
+
+} // namespace fast::ckks

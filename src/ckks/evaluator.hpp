@@ -1,0 +1,150 @@
+/**
+ * @file
+ * CKKS encryption, decryption, and homomorphic evaluation.
+ *
+ * Implements the paper's primitive operation set (Sec. 2.1.2): HAdd,
+ * HMult, PAdd, PMult, CMult, HRot, conjugation, rescaling, and modulus
+ * drops, on top of the KeySwitcher. Also provides HoistedRotator,
+ * which shares one decomposition across many rotations of the same
+ * ciphertext (the hoisting technique, Sec. 2.2.3).
+ */
+#ifndef FAST_CKKS_EVALUATOR_HPP
+#define FAST_CKKS_EVALUATOR_HPP
+
+#include <memory>
+#include <vector>
+
+#include "ckks/ciphertext.hpp"
+#include "ckks/keyswitch.hpp"
+
+namespace fast::ckks {
+
+/**
+ * The homomorphic evaluator. Stateless; all key material is passed
+ * explicitly so a single evaluator serves any number of parties.
+ */
+class CkksEvaluator
+{
+  public:
+    explicit CkksEvaluator(std::shared_ptr<const CkksContext> ctx);
+
+    const CkksContext &context() const { return *ctx_; }
+    const KeySwitcher &switcher() const { return switcher_; }
+
+    /** @name Encoding and encryption. */
+    ///@{
+    /** Encode to eval form at the given level and scale. */
+    Plaintext encode(const std::vector<Complex> &values, double scale,
+                     std::size_t level) const;
+    /** Encode a real constant replicated across all slots. */
+    Plaintext encodeConstant(double value, double scale,
+                             std::size_t level) const;
+
+    Ciphertext encrypt(const Plaintext &pt, const PublicKey &pk,
+                       math::Prng &prng) const;
+    Ciphertext encryptSymmetric(const Plaintext &pt, const SecretKey &sk,
+                                math::Prng &prng) const;
+
+    /** Decrypt to a coefficient-form plaintext. */
+    Plaintext decrypt(const Ciphertext &ct, const SecretKey &sk) const;
+
+    /** Decrypt and decode to @p slot_count complex slots. */
+    std::vector<Complex> decryptDecode(const Ciphertext &ct,
+                                       const SecretKey &sk,
+                                       std::size_t slot_count) const;
+    ///@}
+
+    /** @name Arithmetic. */
+    ///@{
+    Ciphertext add(const Ciphertext &a, const Ciphertext &b) const;
+    Ciphertext sub(const Ciphertext &a, const Ciphertext &b) const;
+    Ciphertext negate(const Ciphertext &a) const;
+    Ciphertext addPlain(const Ciphertext &a, const Plaintext &p) const;
+    Ciphertext subPlain(const Ciphertext &a, const Plaintext &p) const;
+    /** PMult: plaintext-ciphertext product (scales multiply). */
+    Ciphertext multiplyPlain(const Ciphertext &a,
+                             const Plaintext &p) const;
+    /** CMult: multiply by a real constant (scales by ctx scale). */
+    Ciphertext multiplyConstant(const Ciphertext &a, double value) const;
+    /**
+     * Multiply by the monomial X^power — exact, no scale or level
+     * change. With power = N/2 this multiplies every slot by i
+     * (the slots sit at exponents congruent to 1 mod 4), which the
+     * bootstrapper uses to split real and imaginary parts for free.
+     */
+    Ciphertext multiplyByMonomial(const Ciphertext &a,
+                                  std::size_t power) const;
+    /** HMult: ciphertext-ciphertext product with relinearization. */
+    Ciphertext multiply(const Ciphertext &a, const Ciphertext &b,
+                        const EvalKey &relin_key) const;
+    Ciphertext square(const Ciphertext &a,
+                      const EvalKey &relin_key) const;
+    ///@}
+
+    /** @name Maintenance. */
+    ///@{
+    /** Divide by the last prime and drop it (scale /= q_last). */
+    void rescaleInPlace(Ciphertext &ct) const;
+    /**
+     * DSU-style double rescale (Sec. 5.7.1): divide by the product of
+     * the last two primes in a single fused pass — the operation the
+     * paper applies after every multiplication to hold 36-bit
+     * precision.
+     */
+    void rescaleDoubleInPlace(Ciphertext &ct) const;
+    /** Drop limbs without dividing (modulus switch to @p level). */
+    void dropToLevel(Ciphertext &ct, std::size_t level) const;
+    /** Force the bookkeeping scale (used after EvalMod-style steps). */
+    void setScale(Ciphertext &ct, double scale) const { ct.scale = scale; }
+    ///@}
+
+    /** @name Rotations. */
+    ///@{
+    /** HRot: rotate slots left by @p steps using a matching key. */
+    Ciphertext rotate(const Ciphertext &ct, std::ptrdiff_t steps,
+                      const EvalKey &key) const;
+    Ciphertext conjugate(const Ciphertext &ct, const EvalKey &key) const;
+    Ciphertext applyGalois(const Ciphertext &ct, u64 galois_elt,
+                           const EvalKey &key) const;
+    ///@}
+
+  private:
+    void requireSameShape(const Ciphertext &a, const Ciphertext &b) const;
+
+    std::shared_ptr<const CkksContext> ctx_;
+    KeySwitcher switcher_;
+};
+
+/**
+ * Hoisted rotation helper: decomposes a ciphertext's c1 once and
+ * reuses the digits for every subsequent rotation. The per-rotation
+ * cost drops from ModUp + KeyMult + ModDown to an automorphism +
+ * KeyMult + ModDown (Sec. 2.2.3); the cost model quantifies the
+ * savings and Aether decides when they pay off.
+ */
+class HoistedRotator
+{
+  public:
+    /**
+     * Decompose @p ct under the given method (must match the rotation
+     * keys that will be used).
+     */
+    HoistedRotator(const CkksEvaluator &evaluator, const Ciphertext &ct,
+                   KeySwitchMethod method);
+
+    /** Rotate by @p steps; key must be for the same method. */
+    Ciphertext rotate(std::ptrdiff_t steps, const EvalKey &key) const;
+
+    /** Number of precomputed digit polynomials. */
+    std::size_t digitCount() const { return digits_.size(); }
+
+  private:
+    const CkksEvaluator &evaluator_;
+    Ciphertext base_;
+    KeySwitchMethod method_;
+    std::vector<RnsPoly> digits_;
+};
+
+} // namespace fast::ckks
+
+#endif // FAST_CKKS_EVALUATOR_HPP

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Implementation of CKKS key generation.
+ */
+#include "ckks/keys.hpp"
+
+#include <cmath>
+
+#include "math/bignum.hpp"
+
+namespace fast::ckks {
+
+namespace {
+
+/** Product of the special primes as a big integer. */
+math::BigUInt
+specialProduct(const CkksParams &params)
+{
+    return math::BigUInt::productOf(params.p_chain);
+}
+
+} // namespace
+
+std::size_t
+EvalKey::storedBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &part : parts)
+        total += part.b.limbCount() * part.b.degree() * sizeof(u64);
+    return total;
+}
+
+std::vector<RnsPoly>
+expandEvalKeyA(const CkksContext &ctx, u64 seed, std::size_t part_count)
+{
+    math::Prng prng(seed);
+    auto moduli = ctx.keyModuli();
+    std::vector<RnsPoly> out;
+    out.reserve(part_count);
+    for (std::size_t j = 0; j < part_count; ++j) {
+        RnsPoly a(ctx.degree(), moduli, math::PolyForm::eval);
+        a.fillUniform(prng);
+        out.push_back(std::move(a));
+    }
+    return out;
+}
+
+KeyGenerator::KeyGenerator(std::shared_ptr<const CkksContext> ctx, u64 seed)
+    : ctx_(std::move(ctx)), prng_(seed), next_key_seed_(seed ^ 0x9e37ull)
+{
+    const auto &params = ctx_->params();
+    auto key_moduli = ctx_->keyModuli();
+
+    secret_.s = RnsPoly(ctx_->degree(), key_moduli,
+                        math::PolyForm::coeff);
+    if (params.secret_hamming > 0)
+        secret_.s.fillSparseTernary(prng_, params.secret_hamming);
+    else
+        secret_.s.fillTernary(prng_);
+    secret_.s.toEval();
+
+    // Public key over Q only.
+    auto q_moduli = ctx_->qModuli(params.maxLevel());
+    RnsPoly s_q = secret_.s;
+    s_q.keepLimbs(q_moduli.size());
+    public_.a = RnsPoly(ctx_->degree(), q_moduli, math::PolyForm::eval);
+    public_.a.fillUniform(prng_);
+    RnsPoly e(ctx_->degree(), q_moduli, math::PolyForm::coeff);
+    e.fillGaussian(prng_, params.noise_sigma);
+    e.toEval();
+    public_.b = public_.a.hadamard(s_q);
+    public_.b.negateInPlace();
+    public_.b += e;
+}
+
+EvalKey
+KeyGenerator::makeRelinKey(KeySwitchMethod method) const
+{
+    RnsPoly s_sq = secret_.s.hadamard(secret_.s);
+    return makeKeyFor(s_sq, method, 0);
+}
+
+EvalKey
+KeyGenerator::makeRotationKey(std::ptrdiff_t steps,
+                              KeySwitchMethod method) const
+{
+    return makeGaloisKey(ctx_->encoder().galoisForRotation(steps),
+                         method);
+}
+
+EvalKey
+KeyGenerator::makeConjugationKey(KeySwitchMethod method) const
+{
+    return makeGaloisKey(ctx_->encoder().galoisForConjugation(), method);
+}
+
+EvalKey
+KeyGenerator::makeGaloisKey(u64 galois_elt, KeySwitchMethod method) const
+{
+    RnsPoly s_rot = secret_.s.automorphism(galois_elt);
+    return makeKeyFor(s_rot, method, galois_elt);
+}
+
+EvalKey
+KeyGenerator::makeKeyFor(const RnsPoly &target, KeySwitchMethod method,
+                         u64 galois) const
+{
+    EvalKey key = method == KeySwitchMethod::hybrid
+                      ? makeHybridKey(target, galois)
+                      : makeGadgetKey(target, galois);
+    return key;
+}
+
+namespace {
+
+/**
+ * Assemble evk parts: part j encrypts factor_j(m) * target under s,
+ * where factors[j][limb] is the per-limb multiplier (already includes
+ * the special-prime product P).
+ */
+std::vector<EvalKeyPart>
+makeParts(const CkksContext &ctx, const SecretKey &secret,
+          const RnsPoly &target,
+          const std::vector<std::vector<u64>> &factors, u64 seed,
+          math::Prng &noise_prng, double sigma)
+{
+    auto a_halves = expandEvalKeyA(ctx, seed, factors.size());
+    std::vector<EvalKeyPart> parts;
+    parts.reserve(factors.size());
+    for (std::size_t j = 0; j < factors.size(); ++j) {
+        EvalKeyPart part;
+        part.a = std::move(a_halves[j]);
+        RnsPoly e(ctx.degree(), ctx.keyModuli(), math::PolyForm::coeff);
+        e.fillGaussian(noise_prng, sigma);
+        e.toEval();
+        // b = -a*s + e + factor .* target
+        part.b = part.a.hadamard(secret.s);
+        part.b.negateInPlace();
+        part.b += e;
+        RnsPoly scaled_target = target;
+        scaled_target.scalePerLimb(factors[j]);
+        part.b += scaled_target;
+        parts.push_back(std::move(part));
+    }
+    return parts;
+}
+
+} // namespace
+
+EvalKey
+KeyGenerator::makeHybridKey(const RnsPoly &target, u64 galois) const
+{
+    const auto &params = ctx_->params();
+    std::size_t top = params.maxLevel();
+    std::size_t limbs = params.limbsAtLevel(top);
+    std::size_t beta = params.betaAtLevel(top);
+    auto key_moduli = ctx_->keyModuli();
+    math::BigUInt p_big = specialProduct(params);
+
+    std::vector<std::vector<u64>> factors(beta);
+    for (std::size_t j = 0; j < beta; ++j) {
+        std::size_t first = j * params.alpha;
+        std::size_t count = std::min(params.alpha, limbs - first);
+        // Group basis G_j and complement product Qhat_j = Q / Q_j.
+        std::vector<u64> group(params.q_chain.begin() + first,
+                               params.q_chain.begin() + first + count);
+        math::BigUInt q_hat(u64(1));
+        for (std::size_t i = 0; i < limbs; ++i)
+            if (i < first || i >= first + count)
+                q_hat = q_hat * params.q_chain[i];
+        // t_j = Qhat_j^{-1} mod Q_j via CRT over the group basis.
+        math::RnsBasis group_basis(group);
+        std::vector<u64> inv_res(group.size());
+        for (std::size_t i = 0; i < group.size(); ++i)
+            inv_res[i] = math::invMod(q_hat.mod(group[i]), group[i]);
+        math::BigUInt t_j = group_basis.compose(inv_res);
+
+        factors[j].resize(key_moduli.size());
+        for (std::size_t mi = 0; mi < key_moduli.size(); ++mi) {
+            u64 m = key_moduli[mi];
+            u64 f = math::mulMod(p_big.mod(m), q_hat.mod(m), m);
+            factors[j][mi] = math::mulMod(f, t_j.mod(m), m);
+        }
+    }
+
+    EvalKey key;
+    key.method = KeySwitchMethod::hybrid;
+    key.galois = galois;
+    key.seed = next_key_seed_ + prng_.next() % 1000003;
+    key.parts = makeParts(*ctx_, secret_, target, factors, key.seed,
+                          prng_, params.noise_sigma);
+    return key;
+}
+
+EvalKey
+KeyGenerator::makeGadgetKey(const RnsPoly &target, u64 galois) const
+{
+    const auto &params = ctx_->params();
+    std::size_t top = params.maxLevel();
+    std::size_t digits = params.gadgetDigitsAtLevel(top);
+    auto key_moduli = ctx_->keyModuli();
+    math::BigUInt p_big = specialProduct(params);
+
+    // Part t encrypts P * 2^{v*t} * target.
+    std::vector<std::vector<u64>> factors(digits);
+    for (std::size_t t = 0; t < digits; ++t) {
+        factors[t].resize(key_moduli.size());
+        for (std::size_t mi = 0; mi < key_moduli.size(); ++mi) {
+            u64 m = key_moduli[mi];
+            u64 w = math::powMod(2,
+                                 static_cast<u64>(params.digit_bits) * t,
+                                 m);
+            factors[t][mi] = math::mulMod(p_big.mod(m), w, m);
+        }
+    }
+
+    EvalKey key;
+    key.method = KeySwitchMethod::klss;
+    key.galois = galois;
+    key.digit_bits = params.digit_bits;
+    key.seed = next_key_seed_ + prng_.next() % 1000003;
+    key.parts = makeParts(*ctx_, secret_, target, factors, key.seed,
+                          prng_, params.noise_sigma);
+    return key;
+}
+
+bool
+KeyGenerator::verifySeedExpansion(const CkksContext &ctx,
+                                  const EvalKey &key)
+{
+    auto expanded = expandEvalKeyA(ctx, key.seed, key.parts.size());
+    for (std::size_t j = 0; j < key.parts.size(); ++j)
+        if (!(expanded[j] == key.parts[j].a))
+            return false;
+    return true;
+}
+
+} // namespace fast::ckks

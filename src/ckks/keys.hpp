@@ -1,0 +1,109 @@
+/**
+ * @file
+ * CKKS key material and key generation.
+ *
+ * Evaluation keys come in two flavors matching the paper's two
+ * key-switching methods (Sec. 2.1.3): hybrid keys carry one part per
+ * RNS digit group (beta parts), gadget (KLSS-style) keys carry one
+ * part per 2^v digit (beta~ parts). Every part's `a` half is expanded
+ * from a PRNG seed, reproducing the paper's Evaluation Key Generator
+ * (EKG, Sec. 5.7.2) that halves evk storage.
+ */
+#ifndef FAST_CKKS_KEYS_HPP
+#define FAST_CKKS_KEYS_HPP
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ckks/ciphertext.hpp"
+#include "ckks/context.hpp"
+
+namespace fast::ckks {
+
+/** The ternary secret key over the full key basis (Q + specials). */
+struct SecretKey {
+    RnsPoly s;  ///< eval form over keyModuli()
+};
+
+/** Public encryption key (b, a) = (-a*s + e, a) over the full Q. */
+struct PublicKey {
+    RnsPoly b;
+    RnsPoly a;
+};
+
+/** One (b_j, a_j) pair of an evaluation key, over the key basis. */
+struct EvalKeyPart {
+    RnsPoly b;
+    RnsPoly a;
+};
+
+/**
+ * An evaluation key: re-encrypts data under some derived key s'
+ * (s^2 for relinearization, phi_g(s) for rotation) back to s.
+ */
+struct EvalKey {
+    KeySwitchMethod method = KeySwitchMethod::hybrid;
+    u64 galois = 0;      ///< 0 for relinearization keys
+    int digit_bits = 0;  ///< gadget digit width (KLSS keys only)
+    u64 seed = 0;        ///< PRNG seed regenerating all `a` halves
+    std::vector<EvalKeyPart> parts;
+
+    /** Size in bytes of the stored halves (b only, thanks to EKG). */
+    std::size_t storedBytes() const;
+};
+
+/**
+ * Generates all key material for a context. Deterministic for a seed.
+ */
+class KeyGenerator
+{
+  public:
+    KeyGenerator(std::shared_ptr<const CkksContext> ctx, u64 seed);
+
+    const SecretKey &secretKey() const { return secret_; }
+    const PublicKey &publicKey() const { return public_; }
+
+    /** Relinearization key (s^2 -> s) for the given method. */
+    EvalKey makeRelinKey(KeySwitchMethod method) const;
+
+    /** Rotation key for a left-rotation by @p steps. */
+    EvalKey makeRotationKey(std::ptrdiff_t steps,
+                            KeySwitchMethod method) const;
+
+    /** Conjugation key (galois element 2N-1). */
+    EvalKey makeConjugationKey(KeySwitchMethod method) const;
+
+    /** Key for an arbitrary galois element. */
+    EvalKey makeGaloisKey(u64 galois_elt, KeySwitchMethod method) const;
+
+    /**
+     * Verify that an EvalKey's `a` halves match its seed — the
+     * integrity check the on-chip EKG performs when re-expanding.
+     */
+    static bool verifySeedExpansion(const CkksContext &ctx,
+                                    const EvalKey &key);
+
+  private:
+    EvalKey makeKeyFor(const RnsPoly &target, KeySwitchMethod method,
+                       u64 galois) const;
+    EvalKey makeHybridKey(const RnsPoly &target, u64 galois) const;
+    EvalKey makeGadgetKey(const RnsPoly &target, u64 galois) const;
+
+    std::shared_ptr<const CkksContext> ctx_;
+    mutable math::Prng prng_;
+    u64 next_key_seed_;
+    SecretKey secret_;
+    PublicKey public_;
+};
+
+/**
+ * Expand the `a` halves of an evk from its seed over the key basis —
+ * the software model of the EKG PRNG module.
+ */
+std::vector<RnsPoly> expandEvalKeyA(const CkksContext &ctx, u64 seed,
+                                    std::size_t part_count);
+
+} // namespace fast::ckks
+
+#endif // FAST_CKKS_KEYS_HPP

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Implementation of hybrid and gadget key-switching.
+ */
+#include "ckks/keyswitch.hpp"
+
+#include <stdexcept>
+
+#include "math/bignum.hpp"
+#include "math/rns.hpp"
+
+namespace fast::ckks {
+
+KeySwitcher::KeySwitcher(std::shared_ptr<const CkksContext> ctx)
+    : ctx_(std::move(ctx))
+{
+}
+
+std::vector<RnsPoly>
+KeySwitcher::decompose(const RnsPoly &input, KeySwitchMethod method) const
+{
+    if (!input.isEval())
+        throw std::logic_error("decompose expects eval form");
+    return method == KeySwitchMethod::hybrid ? modUpHybrid(input)
+                                             : decomposeGadget(input);
+}
+
+std::vector<RnsPoly>
+KeySwitcher::modUpHybrid(const RnsPoly &input) const
+{
+    const auto &params = ctx_->params();
+    std::size_t n = input.degree();
+    std::size_t limbs = input.limbCount();
+    std::size_t ell = limbs - 1;
+    std::size_t beta = params.betaAtLevel(ell);
+    auto ext_moduli = ctx_->extendedModuli(ell);
+
+    std::vector<RnsPoly> digits;
+    digits.reserve(beta);
+    for (std::size_t j = 0; j < beta; ++j) {
+        std::size_t first = j * params.alpha;
+        std::size_t count = std::min(params.alpha, limbs - first);
+
+        // Group limbs back to coefficient form (the INTT step).
+        std::vector<u64> group_mods(count);
+        std::vector<std::vector<u64>> group_coeff(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            group_mods[i] = input.modulus(first + i);
+            group_coeff[i] = input.limb(first + i);
+            math::NttTableCache::get(n, group_mods[i])
+                ->inverse(group_coeff[i]);
+        }
+
+        // Complement basis: every extended modulus not in the group.
+        std::vector<u64> comp_mods;
+        std::vector<std::size_t> comp_index;
+        for (std::size_t mi = 0; mi < ext_moduli.size(); ++mi) {
+            if (mi >= first && mi < first + count)
+                continue;
+            comp_mods.push_back(ext_moduli[mi]);
+            comp_index.push_back(mi);
+        }
+
+        const auto &conv = ctx_->converter(group_mods, comp_mods);
+
+        RnsPoly digit(n, ext_moduli, math::PolyForm::eval);
+        // Own limbs: already in eval form, pass through unchanged.
+        for (std::size_t i = 0; i < count; ++i)
+            digit.limb(first + i) = input.limb(first + i);
+
+        // Converted limbs: BConv coefficient-wise, then NTT.
+        std::vector<std::vector<u64>> converted(
+            comp_mods.size(), std::vector<u64>(n));
+        std::vector<u64> residues(count), out;
+        for (std::size_t c = 0; c < n; ++c) {
+            for (std::size_t i = 0; i < count; ++i)
+                residues[i] = group_coeff[i][c];
+            out = conv.convert(residues);
+            for (std::size_t t = 0; t < comp_mods.size(); ++t)
+                converted[t][c] = out[t];
+        }
+        for (std::size_t t = 0; t < comp_mods.size(); ++t) {
+            math::NttTableCache::get(n, comp_mods[t])
+                ->forward(converted[t]);
+            digit.limb(comp_index[t]) = std::move(converted[t]);
+        }
+        digits.push_back(std::move(digit));
+    }
+    return digits;
+}
+
+std::vector<RnsPoly>
+KeySwitcher::decomposeGadget(const RnsPoly &input) const
+{
+    const auto &params = ctx_->params();
+    std::size_t n = input.degree();
+    std::size_t ell = input.limbCount() - 1;
+    std::size_t digit_count = params.gadgetDigitsAtLevel(ell);
+    int v = params.digit_bits;
+    auto ext_moduli = ctx_->extendedModuli(ell);
+
+    // Back to coefficient form for the integer digit split.
+    RnsPoly coeff_poly = input;
+    coeff_poly.toCoeff();
+    const auto &q_basis = ctx_->basis(coeff_poly.moduli());
+
+    std::vector<RnsPoly> digits(
+        digit_count,
+        RnsPoly(n, ext_moduli, math::PolyForm::coeff));
+
+    std::vector<u64> residues(coeff_poly.limbCount());
+    for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t i = 0; i < residues.size(); ++i)
+            residues[i] = coeff_poly.limb(i)[c];
+        math::BigUInt x = q_basis.compose(residues);
+        // x = sum_t digit_t * 2^{v t}, digits in [0, 2^v).
+        for (std::size_t t = 0; t < digit_count; ++t) {
+            math::BigUInt low = x.lowBits(static_cast<std::size_t>(v));
+            u64 d = low.word(0);
+            x = x >> static_cast<std::size_t>(v);
+            if (d == 0)
+                continue;
+            auto &digit = digits[t];
+            for (std::size_t mi = 0; mi < ext_moduli.size(); ++mi)
+                digit.limb(mi)[c] = d % ext_moduli[mi];
+        }
+    }
+    for (auto &digit : digits)
+        digit.toEval();
+    return digits;
+}
+
+RnsPoly
+KeySwitcher::restrictKeyPoly(const RnsPoly &key_poly,
+                             std::size_t q_limbs) const
+{
+    const auto &params = ctx_->params();
+    std::size_t total_q = params.q_chain.size();
+    std::size_t specials = params.p_chain.size();
+    auto ext_moduli = ctx_->extendedModuli(q_limbs - 1);
+
+    RnsPoly out(key_poly.degree(), ext_moduli, math::PolyForm::eval);
+    for (std::size_t i = 0; i < q_limbs; ++i)
+        out.limb(i) = key_poly.limb(i);
+    for (std::size_t i = 0; i < specials; ++i)
+        out.limb(q_limbs + i) = key_poly.limb(total_q + i);
+    return out;
+}
+
+KeySwitchDelta
+KeySwitcher::keyMultModDown(const std::vector<RnsPoly> &digits,
+                            const EvalKey &key) const
+{
+    if (digits.empty())
+        throw std::invalid_argument("no digits to key-switch");
+    if (digits.size() > key.parts.size())
+        throw std::invalid_argument("digit count exceeds key parts");
+
+    std::size_t specials = ctx_->params().p_chain.size();
+    std::size_t q_limbs = digits[0].limbCount() - specials;
+    auto ext_moduli = digits[0].moduli();
+
+    RnsPoly acc0(digits[0].degree(), ext_moduli, math::PolyForm::eval);
+    RnsPoly acc1 = acc0;
+    for (std::size_t j = 0; j < digits.size(); ++j) {
+        RnsPoly b = restrictKeyPoly(key.parts[j].b, q_limbs);
+        RnsPoly a = restrictKeyPoly(key.parts[j].a, q_limbs);
+        b.hadamardInPlace(digits[j]);
+        a.hadamardInPlace(digits[j]);
+        acc0 += b;
+        acc1 += a;
+    }
+    return {modDown(acc0), modDown(acc1)};
+}
+
+RnsPoly
+KeySwitcher::modDown(const RnsPoly &extended) const
+{
+    const auto &params = ctx_->params();
+    std::size_t specials = params.p_chain.size();
+    std::size_t q_limbs = extended.limbCount() - specials;
+    std::size_t n = extended.degree();
+
+    // Special limbs to coefficient form.
+    std::vector<std::vector<u64>> p_coeff(specials);
+    for (std::size_t i = 0; i < specials; ++i) {
+        p_coeff[i] = extended.limb(q_limbs + i);
+        math::NttTableCache::get(n, params.p_chain[i])
+            ->inverse(p_coeff[i]);
+    }
+
+    // BConv specials -> q basis.
+    std::vector<u64> q_mods(extended.moduli().begin(),
+                            extended.moduli().begin() +
+                                static_cast<std::ptrdiff_t>(q_limbs));
+    const auto &conv = ctx_->converter(params.p_chain, q_mods);
+    std::vector<std::vector<u64>> converted(
+        q_limbs, std::vector<u64>(n));
+    std::vector<u64> residues(specials), out;
+    for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t i = 0; i < specials; ++i)
+            residues[i] = p_coeff[i][c];
+        out = conv.convert(residues);
+        for (std::size_t i = 0; i < q_limbs; ++i)
+            converted[i][c] = out[i];
+    }
+
+    // result_i = (x_i - conv_i) * P^{-1} mod q_i.
+    RnsPoly result(n, q_mods, math::PolyForm::eval);
+    for (std::size_t i = 0; i < q_limbs; ++i) {
+        u64 q = q_mods[i];
+        math::NttTableCache::get(n, q)->forward(converted[i]);
+        u64 p_inv = math::invMod(ctx_->specialProductMod(q), q);
+        u64 p_inv_shoup = math::shoupPrecompute(p_inv, q);
+        const auto &src = extended.limb(i);
+        auto &dst = result.limb(i);
+        for (std::size_t c = 0; c < n; ++c) {
+            u64 diff = math::subMod(src[c], converted[i][c], q);
+            dst[c] = math::mulModShoup(diff, p_inv, p_inv_shoup, q);
+        }
+    }
+    return result;
+}
+
+KeySwitchDelta
+KeySwitcher::apply(const RnsPoly &input, const EvalKey &key) const
+{
+    return keyMultModDown(decompose(input, key.method), key);
+}
+
+} // namespace fast::ckks

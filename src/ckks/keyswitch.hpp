@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Key-switching: hybrid (ModUp/KeyMult/ModDown) and KLSS-style gadget
+ * decomposition, plus the shared decomposition entry point that makes
+ * hoisting possible.
+ *
+ * Both methods implement the same contract (Fig. 1 of the paper):
+ * given a polynomial d under modulus Q_ell and an evaluation key for
+ * s' -> s, produce (delta0, delta1) with delta0 + delta1*s ~ d*s'.
+ *
+ *  - Hybrid: split d's limbs into beta groups of alpha, ModUp each
+ *    group to the extended basis (INTT + BConv + NTT), multiply with
+ *    the per-group key parts, ModDown by the special product P.
+ *  - KLSS/gadget: INTT d, CRT-compose each coefficient, split into
+ *    beta~ digits of 2^v, re-embed each digit over the extended basis
+ *    (NTT), inner-product with the per-digit key parts, ModDown.
+ *    The digit-times-key products are small enough to be evaluated
+ *    exactly over the auxiliary 60-bit basis R_T in hardware; here we
+ *    compute them over the extended basis, which is mathematically
+ *    identical (see DESIGN.md and the RnsExactness tests).
+ *
+ * Decomposition commutes with Galois automorphisms, so callers may
+ * decompose once and reuse the digits across many rotations — the
+ * hoisting technique (Sec. 2.2.3).
+ */
+#ifndef FAST_CKKS_KEYSWITCH_HPP
+#define FAST_CKKS_KEYSWITCH_HPP
+
+#include <memory>
+#include <vector>
+
+#include "ckks/context.hpp"
+#include "ckks/keys.hpp"
+
+namespace fast::ckks {
+
+/** The additive result of a key switch, over the Q_ell basis. */
+struct KeySwitchDelta {
+    RnsPoly d0;
+    RnsPoly d1;
+};
+
+/**
+ * Stateless key-switching engine bound to a context.
+ */
+class KeySwitcher
+{
+  public:
+    explicit KeySwitcher(std::shared_ptr<const CkksContext> ctx);
+
+    /**
+     * Decompose @p input (eval form, basis q_0..q_ell) into digit
+     * polynomials over the extended basis (q_0..q_ell + specials),
+     * eval form. For hybrid this is ModUp of each limb group; for
+     * KLSS it is the base-2^v gadget decomposition.
+     */
+    std::vector<RnsPoly> decompose(const RnsPoly &input,
+                                   KeySwitchMethod method) const;
+
+    /**
+     * Inner product of digits with the key parts followed by ModDown.
+     * @p digits must come from decompose() with the matching method
+     * (possibly automorphed for hoisted rotations).
+     */
+    KeySwitchDelta keyMultModDown(const std::vector<RnsPoly> &digits,
+                                  const EvalKey &key) const;
+
+    /** decompose + keyMultModDown in one call. */
+    KeySwitchDelta apply(const RnsPoly &input, const EvalKey &key) const;
+
+    /**
+     * ModDown: divide an extended-basis polynomial by the special
+     * product P and return it on the q-basis (both eval form).
+     */
+    RnsPoly modDown(const RnsPoly &extended) const;
+
+    /**
+     * Restrict an evk part (stored over q_0..q_L + specials) to the
+     * extended basis of a level with @p q_limbs q-primes.
+     */
+    RnsPoly restrictKeyPoly(const RnsPoly &key_poly,
+                            std::size_t q_limbs) const;
+
+    const CkksContext &context() const { return *ctx_; }
+
+  private:
+    std::vector<RnsPoly> modUpHybrid(const RnsPoly &input) const;
+    std::vector<RnsPoly> decomposeGadget(const RnsPoly &input) const;
+
+    std::shared_ptr<const CkksContext> ctx_;
+};
+
+} // namespace fast::ckks
+
+#endif // FAST_CKKS_KEYSWITCH_HPP

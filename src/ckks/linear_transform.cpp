@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Implementation of BSGS homomorphic linear transforms.
+ */
+#include "ckks/linear_transform.hpp"
+
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+namespace fast::ckks {
+
+namespace {
+
+std::vector<Complex>
+diagonalOf(const std::vector<std::vector<Complex>> &m, std::size_t d)
+{
+    std::size_t n = m.size();
+    std::vector<Complex> diag(n);
+    for (std::size_t j = 0; j < n; ++j)
+        diag[j] = m[j][(j + d) % n];
+    return diag;
+}
+
+std::vector<Complex>
+rotateLeft(const std::vector<Complex> &v, std::size_t steps)
+{
+    std::size_t n = v.size();
+    std::vector<Complex> out(n);
+    for (std::size_t j = 0; j < n; ++j)
+        out[j] = v[(j + steps) % n];
+    return out;
+}
+
+bool
+isNegligible(const std::vector<Complex> &v)
+{
+    for (const auto &x : v)
+        if (std::abs(x) > 1e-14)
+            return false;
+    return true;
+}
+
+} // namespace
+
+LinearTransform::LinearTransform(
+    std::vector<std::vector<Complex>> matrix, std::size_t baby_steps)
+    : n_(matrix.size()), matrix_(std::move(matrix))
+{
+    if (n_ == 0)
+        throw std::invalid_argument("empty matrix");
+    for (const auto &row : matrix_)
+        if (row.size() != n_)
+            throw std::invalid_argument("matrix must be square");
+    baby_ = baby_steps ? baby_steps
+                       : static_cast<std::size_t>(std::ceil(
+                             std::sqrt(static_cast<double>(n_))));
+}
+
+std::vector<std::ptrdiff_t>
+LinearTransform::requiredRotations() const
+{
+    std::vector<std::ptrdiff_t> steps;
+    for (std::size_t b = 1; b < baby_ && b < n_; ++b)
+        steps.push_back(static_cast<std::ptrdiff_t>(b));
+    for (std::size_t t = 1; t * baby_ < n_; ++t)
+        steps.push_back(static_cast<std::ptrdiff_t>(t * baby_));
+    return steps;
+}
+
+std::vector<Complex>
+LinearTransform::applyPlain(const std::vector<Complex> &v) const
+{
+    if (v.size() % n_ != 0 && n_ % v.size() != 0)
+        throw std::invalid_argument("vector size incompatible");
+    std::vector<Complex> out(n_, Complex(0, 0));
+    for (std::size_t i = 0; i < n_; ++i)
+        for (std::size_t j = 0; j < n_; ++j)
+            out[i] += matrix_[i][j] * v[j % v.size()];
+    return out;
+}
+
+Ciphertext
+LinearTransform::apply(const CkksEvaluator &eval, const Ciphertext &ct,
+                       const std::map<std::ptrdiff_t, EvalKey> &keys,
+                       KeySwitchMethod method, bool hoist_babies) const
+{
+    std::size_t giants = giantSteps();
+    double pt_scale = eval.context().params().scale;
+    std::size_t level = ct.level();
+
+    std::optional<HoistedRotator> hoisted;
+    if (hoist_babies)
+        hoisted.emplace(eval, ct, method);
+    std::vector<Ciphertext> babies(baby_);
+    babies[0] = ct;
+    for (std::size_t b = 1; b < baby_ && b < n_; ++b) {
+        auto sb = static_cast<std::ptrdiff_t>(b);
+        const auto &key = keys.at(sb);
+        babies[b] = hoisted ? hoisted->rotate(sb, key)
+                            : eval.rotate(ct, sb, key);
+    }
+
+    Ciphertext acc;
+    bool acc_set = false;
+    for (std::size_t t = 0; t < giants; ++t) {
+        Ciphertext inner;
+        bool inner_set = false;
+        for (std::size_t b = 0; b < baby_; ++b) {
+            std::size_t d = t * baby_ + b;
+            if (d >= n_)
+                break;
+            auto diag = rotateLeft(diagonalOf(matrix_, d),
+                                   (n_ - t * baby_ % n_) % n_);
+            if (isNegligible(diag))
+                continue;
+            auto pt = eval.encode(diag, pt_scale, level);
+            auto term = eval.multiplyPlain(babies[b], pt);
+            if (inner_set) {
+                inner = eval.add(inner, term);
+            } else {
+                inner = std::move(term);
+                inner_set = true;
+            }
+        }
+        if (!inner_set)
+            continue;
+        Ciphertext shifted =
+            t == 0 ? std::move(inner)
+                   : eval.rotate(inner,
+                                 static_cast<std::ptrdiff_t>(t * baby_),
+                                 keys.at(static_cast<std::ptrdiff_t>(
+                                     t * baby_)));
+        if (acc_set) {
+            acc = eval.add(acc, shifted);
+        } else {
+            acc = std::move(shifted);
+            acc_set = true;
+        }
+    }
+    if (!acc_set)
+        throw std::invalid_argument("transform of the zero matrix");
+    auto out = acc;
+    eval.rescaleInPlace(out);
+    return out;
+}
+
+} // namespace fast::ckks

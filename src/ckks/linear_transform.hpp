@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Homomorphic linear transforms (matrix-vector products on slots).
+ *
+ * The workhorse of the paper's linear operations (Sec. 2.2.1) and of
+ * CoeffToSlot/SlotToCoeff: out_slots = M * in_slots, computed as a
+ * sum of diagonal plaintext multiplications over rotated copies of
+ * the ciphertext, organized baby-step/giant-step so only
+ * O(sqrt(n)) rotations are needed — with the baby rotations hoisted
+ * (one decomposition shared across the group, Sec. 2.2.3).
+ */
+#ifndef FAST_CKKS_LINEAR_TRANSFORM_HPP
+#define FAST_CKKS_LINEAR_TRANSFORM_HPP
+
+#include <map>
+#include <vector>
+
+#include "ckks/evaluator.hpp"
+
+namespace fast::ckks {
+
+/**
+ * A precompiled n x n slot-space matrix, indexed [out][in], where n
+ * must divide the ciphertext's sparse slot count.
+ */
+class LinearTransform
+{
+  public:
+    /** Compile a dense matrix; zero diagonals are skipped. */
+    LinearTransform(std::vector<std::vector<Complex>> matrix,
+                    std::size_t baby_steps = 0);
+
+    std::size_t dimension() const { return n_; }
+    std::size_t babySteps() const { return baby_; }
+    std::size_t giantSteps() const { return (n_ + baby_ - 1) / baby_; }
+
+    /** Rotation steps required (give these to the key generator). */
+    std::vector<std::ptrdiff_t> requiredRotations() const;
+
+    /**
+     * Apply homomorphically; consumes one level. @p rotation_keys
+     * must cover requiredRotations() for the chosen method.
+     */
+    Ciphertext apply(const CkksEvaluator &eval, const Ciphertext &ct,
+                     const std::map<std::ptrdiff_t, EvalKey> &keys,
+                     KeySwitchMethod method = KeySwitchMethod::hybrid,
+                     bool hoist_babies = true) const;
+
+    /** Plaintext reference: M * v (for validation). */
+    std::vector<Complex> applyPlain(
+        const std::vector<Complex> &v) const;
+
+  private:
+    std::size_t n_;
+    std::size_t baby_;
+    std::vector<std::vector<Complex>> matrix_;  ///< [out][in]
+};
+
+} // namespace fast::ckks
+
+#endif // FAST_CKKS_LINEAR_TRANSFORM_HPP

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Implementation of the noise inspector.
+ */
+#include "ckks/noise.hpp"
+
+#include <cmath>
+
+namespace fast::ckks {
+
+NoiseReport
+NoiseInspector::measure(const Ciphertext &ct,
+                        const std::vector<Complex> &expected) const
+{
+    auto decoded = eval_.decryptDecode(ct, sk_, expected.size());
+    NoiseReport report;
+    report.level = ct.level();
+    report.log2_scale = std::log2(ct.scale);
+    double sum = 0;
+    for (std::size_t j = 0; j < expected.size(); ++j) {
+        double err = std::abs(decoded[j] - expected[j]);
+        report.max_abs_error = std::max(report.max_abs_error, err);
+        sum += err;
+    }
+    report.mean_abs_error = sum / static_cast<double>(expected.size());
+    report.precision_bits =
+        report.max_abs_error > 0 ? -std::log2(report.max_abs_error)
+                                 : 52.0;
+    return report;
+}
+
+double
+NoiseInspector::budgetBits(const Ciphertext &ct) const
+{
+    double q_bits = 0;
+    for (std::size_t i = 0; i < ct.limbCount(); ++i)
+        q_bits += std::log2(static_cast<double>(ct.c0.modulus(i)));
+    return q_bits - std::log2(ct.scale);
+}
+
+} // namespace fast::ckks

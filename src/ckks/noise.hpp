@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Noise diagnostics: measure the actual error of a ciphertext against
+ * a known reference (requires the secret key) and track the remaining
+ * noise budget. The paper's precision discussion (Sec. 2.1.1: error
+ * growth limits operations before bootstrapping) in tool form.
+ */
+#ifndef FAST_CKKS_NOISE_HPP
+#define FAST_CKKS_NOISE_HPP
+
+#include "ckks/evaluator.hpp"
+
+namespace fast::ckks {
+
+/** A decrypted-and-compared precision measurement. */
+struct NoiseReport {
+    double max_abs_error = 0;   ///< max |decoded - expected|
+    double mean_abs_error = 0;
+    double precision_bits = 0;  ///< -log2(max error)
+    std::size_t level = 0;      ///< remaining multiplicative level
+    double log2_scale = 0;
+};
+
+/**
+ * Noise inspector. Holds the secret key, so this is a debugging /
+ * validation facility — never ship it to the evaluating party.
+ */
+class NoiseInspector
+{
+  public:
+    NoiseInspector(const CkksEvaluator &eval, const SecretKey &sk)
+        : eval_(eval), sk_(sk)
+    {
+    }
+
+    /** Compare a ciphertext's slots against expected values. */
+    NoiseReport measure(const Ciphertext &ct,
+                        const std::vector<Complex> &expected) const;
+
+    /**
+     * Bits of modulus headroom left: log2(Q_ell) - log2(scale). When
+     * this approaches log2(q_0) the ciphertext must bootstrap.
+     */
+    double budgetBits(const Ciphertext &ct) const;
+
+    /** True when no rescale levels remain (bootstrap required). */
+    bool exhausted(const Ciphertext &ct) const
+    {
+        return ct.level() == 0;
+    }
+
+  private:
+    const CkksEvaluator &eval_;
+    const SecretKey &sk_;
+};
+
+} // namespace fast::ckks
+
+#endif // FAST_CKKS_NOISE_HPP

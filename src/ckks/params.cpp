@@ -1,0 +1,189 @@
+/**
+ * @file
+ * CKKS parameter set construction.
+ */
+#include "ckks/params.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/primes.hpp"
+
+namespace fast::ckks {
+
+const char *
+toString(KeySwitchMethod method)
+{
+    return method == KeySwitchMethod::hybrid ? "Hybrid" : "KLSS";
+}
+
+std::size_t
+CkksParams::gadgetDigitsAtLevel(std::size_t ell) const
+{
+    double bits = modulusBitsAtLevel(ell);
+    return static_cast<std::size_t>(
+        std::ceil(bits / static_cast<double>(digit_bits)));
+}
+
+double
+CkksParams::modulusBitsAtLevel(std::size_t ell) const
+{
+    double bits = 0;
+    for (std::size_t i = 0; i <= ell && i < q_chain.size(); ++i)
+        bits += std::log2(static_cast<double>(q_chain[i]));
+    return bits;
+}
+
+void
+CkksParams::validate() const
+{
+    if (degree == 0 || (degree & (degree - 1)) != 0)
+        throw std::invalid_argument("degree must be a power of two");
+    if (slots > degree / 2)
+        throw std::invalid_argument("slots must be <= N/2");
+    if (q_chain.empty())
+        throw std::invalid_argument("empty modulus chain");
+    if (alpha == 0)
+        throw std::invalid_argument("alpha must be positive");
+    if (digit_bits < 2 || digit_bits > 60)
+        throw std::invalid_argument("digit_bits out of range");
+    if (scale <= 1)
+        throw std::invalid_argument("scale must exceed 1");
+    // All moduli must be distinct across q, p, and t bases.
+    std::vector<u64> all = q_chain;
+    all.insert(all.end(), p_chain.begin(), p_chain.end());
+    all.insert(all.end(), t_basis.begin(), t_basis.end());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        for (std::size_t j = i + 1; j < all.size(); ++j)
+            if (all[i] == all[j])
+                throw std::invalid_argument("duplicate modulus");
+    for (u64 q : all)
+        if (q % (2 * degree) != 1)
+            throw std::invalid_argument("modulus not NTT-friendly");
+}
+
+namespace {
+
+/**
+ * Assemble a parameter set, carving disjoint prime chains out of each
+ * bit size with the skip mechanism.
+ */
+CkksParams
+build(std::string name, std::size_t degree, std::size_t slots,
+      std::size_t levels, int q_bits, std::size_t special_count,
+      std::size_t alpha, int digit_bits, std::size_t t_count,
+      double scale)
+{
+    CkksParams p;
+    p.name = std::move(name);
+    p.degree = degree;
+    p.slots = slots;
+    p.q_chain = math::generateNttPrimes(q_bits, degree, levels + 1);
+    p.p_chain = math::generateNttPrimes(q_bits, degree, special_count,
+                                        levels + 1);
+    p.alpha = alpha;
+    p.digit_bits = digit_bits;
+    if (t_count > 0)
+        p.t_basis = math::generateNttPrimes(60, degree, t_count);
+    p.scale = scale;
+    p.validate();
+    return p;
+}
+
+} // namespace
+
+CkksParams
+CkksParams::paperSetI()
+{
+    // Table 2 Set-I: N=2^16, n=2^15, L=35, alpha=12, 36-bit moduli,
+    // hybrid key-switching. 12 special primes (one full digit group).
+    return build("Set-I", std::size_t(1) << 16, std::size_t(1) << 15,
+                 35, 36, 12, 12, 60, 0, std::pow(2.0, 36));
+}
+
+CkksParams
+CkksParams::paperSetII()
+{
+    // Table 2 Set-II: N=2^16, n=2^15, L=35, alpha=5, alpha~=9, 36-bit
+    // moduli, hybrid + KLSS with v=60-bit digits. The 60-bit R_T basis
+    // must cover 2*(alpha*36) + log2(N) + v bits ~ 437 -> 8 primes.
+    return build("Set-II", std::size_t(1) << 16, std::size_t(1) << 15,
+                 35, 36, 9, 5, 60, 8, std::pow(2.0, 36));
+}
+
+CkksParams
+CkksParams::testSmall()
+{
+    // N=2^8: exhaustive property tests. 30-bit working primes with a
+    // 45-bit q_0 for decryption headroom.
+    CkksParams p;
+    p.name = "Test-S";
+    p.degree = 1 << 8;
+    p.slots = 1 << 7;
+    p.q_chain = math::generateNttPrimes(45, p.degree, 1);
+    auto work = math::generateNttPrimes(30, p.degree, 4);
+    p.q_chain.insert(p.q_chain.end(), work.begin(), work.end());
+    p.p_chain = math::generateNttPrimes(36, p.degree, 3);
+    p.alpha = 2;
+    p.digit_bits = 16;
+    p.t_basis = math::generateNttPrimes(60, p.degree, 3);
+    p.scale = std::pow(2.0, 30);
+    p.validate();
+    return p;
+}
+
+CkksParams
+CkksParams::testMedium()
+{
+    // N=2^12, L=8: integration-test scale.
+    CkksParams p;
+    p.name = "Test-M";
+    p.degree = 1 << 12;
+    p.slots = 1 << 11;
+    p.q_chain = math::generateNttPrimes(50, p.degree, 1);
+    auto work = math::generateNttPrimes(35, p.degree, 8);
+    p.q_chain.insert(p.q_chain.end(), work.begin(), work.end());
+    p.p_chain = math::generateNttPrimes(37, p.degree, 3);
+    p.alpha = 2;
+    p.digit_bits = 20;
+    p.t_basis = math::generateNttPrimes(60, p.degree, 3);
+    p.scale = std::pow(2.0, 35);
+    p.validate();
+    return p;
+}
+
+CkksParams
+CkksParams::testMediumKlss()
+{
+    CkksParams p = testMedium();
+    p.name = "Test-M-KLSS";
+    // Wider digits: fewer gadget digits, more noise per digit — the
+    // regime the 60-bit KLSS configuration occupies at paper scale.
+    p.digit_bits = 30;
+    return p;
+}
+
+CkksParams
+CkksParams::testBoot()
+{
+    // Bootstrappable test set: sparse slots, deep chain. q_0 is large
+    // relative to the scale so EvalMod's sine approximation holds
+    // (|m| << q_0).
+    CkksParams p;
+    p.name = "Test-Boot";
+    p.degree = 1 << 12;
+    p.slots = 1 << 3;
+    p.q_chain = math::generateNttPrimes(52, p.degree, 1);
+    auto work = math::generateNttPrimes(45, p.degree, 14);
+    p.q_chain.insert(p.q_chain.end(), work.begin(), work.end());
+    p.p_chain = math::generateNttPrimes(50, p.degree, 3);
+    p.alpha = 3;
+    p.digit_bits = 25;
+    p.t_basis = math::generateNttPrimes(60, p.degree, 3);
+    p.scale = std::pow(2.0, 45);
+    p.secret_hamming = 32;
+    p.validate();
+    return p;
+}
+
+} // namespace fast::ckks

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * CKKS parameter sets.
+ *
+ * Mirrors Table 2 of the FAST paper plus reduced test-scale sets that
+ * exercise the identical code paths at interactive speed. A parameter
+ * set fixes the ring degree N, the modulus chain q_0..q_L, the special
+ * (auxiliary) primes P used by key-switching, the hybrid digit size
+ * alpha, and the KLSS gadget digit width v.
+ */
+#ifndef FAST_CKKS_PARAMS_HPP
+#define FAST_CKKS_PARAMS_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "math/modarith.hpp"
+
+namespace fast::ckks {
+
+using math::u64;
+
+/** Which key-switching algorithm a key / operation uses (Sec. 2.1.3). */
+enum class KeySwitchMethod {
+    hybrid,  ///< ModUp / KeyMult / ModDown over beta digit groups
+    klss,    ///< gadget (digit) decomposition with 60-bit digits
+};
+
+/** Human-readable method name. */
+const char *toString(KeySwitchMethod method);
+
+/**
+ * A complete CKKS parameter set.
+ */
+struct CkksParams {
+    std::string name;          ///< e.g. "Set-I", "Test-S"
+    std::size_t degree = 0;    ///< ring degree N (power of two)
+    std::size_t slots = 0;     ///< message slots n <= N/2
+    std::vector<u64> q_chain;  ///< q_0..q_L (level i uses q_0..q_i)
+    std::vector<u64> p_chain;  ///< special primes (product P)
+    std::size_t alpha = 1;     ///< limbs per hybrid decomposition group
+    int digit_bits = 60;       ///< KLSS gadget digit width v
+    std::vector<u64> t_basis;  ///< 60-bit auxiliary basis R_T for KLSS
+    double scale = 0;          ///< default encoding scale (Delta)
+    double noise_sigma = 3.2;  ///< RLWE error standard deviation
+    std::size_t secret_hamming = 0;  ///< sparse secret weight (0 = dense)
+
+    /** Maximum multiplicative level L (chain has L+1 primes). */
+    std::size_t maxLevel() const { return q_chain.size() - 1; }
+
+    /** Number of limbs of a ciphertext at level ell. */
+    std::size_t limbsAtLevel(std::size_t ell) const { return ell + 1; }
+
+    /** Number of hybrid digit groups beta at level ell. */
+    std::size_t betaAtLevel(std::size_t ell) const
+    {
+        return (limbsAtLevel(ell) + alpha - 1) / alpha;
+    }
+
+    /** Number of KLSS gadget digits at level ell. */
+    std::size_t gadgetDigitsAtLevel(std::size_t ell) const;
+
+    /** Total modulus bits at level ell (sum of q_i bit sizes). */
+    double modulusBitsAtLevel(std::size_t ell) const;
+
+    /** Throws std::invalid_argument when internally inconsistent. */
+    void validate() const;
+
+    /**
+     * Paper Table 2 Set-I: N=2^16, L=35, alpha=12, 36-bit primes,
+     * hybrid key-switching only. Used by the cost models and the
+     * simulator (not functionally instantiated in unit tests).
+     */
+    static CkksParams paperSetI();
+
+    /** Paper Table 2 Set-II: N=2^16, L=35, alpha=5, hybrid + KLSS. */
+    static CkksParams paperSetII();
+
+    /**
+     * Small functional set: N=2^8, L=4. Fast enough for exhaustive
+     * property tests of every homomorphic operation.
+     */
+    static CkksParams testSmall();
+
+    /**
+     * Medium functional set: N=2^12, L=8, alpha=2. Used by the
+     * integration tests (key-switching, hoisting, bootstrapping).
+     */
+    static CkksParams testMedium();
+
+    /** Medium set with a wider gadget digit for KLSS stress tests. */
+    static CkksParams testMediumKlss();
+
+    /**
+     * Bootstrappable functional set: N=2^12, deeper chain and sparse
+     * slots so the full pipeline runs in seconds.
+     */
+    static CkksParams testBoot();
+};
+
+} // namespace fast::ckks
+
+#endif // FAST_CKKS_PARAMS_HPP

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Implementation of homomorphic polynomial evaluation.
+ */
+#include "ckks/polyeval.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fast::ckks {
+
+namespace {
+
+const double kPi = std::acos(-1.0);
+
+} // namespace
+
+double
+ChebyshevSeries::operator()(double x) const
+{
+    if (coeffs.empty())
+        return 0;
+    double u = (2 * x - domain_min - domain_max) /
+               (domain_max - domain_min);
+    // Clenshaw recurrence.
+    double b1 = 0, b2 = 0;
+    for (std::size_t j = coeffs.size(); j-- > 1;) {
+        double b0 = coeffs[j] + 2 * u * b1 - b2;
+        b2 = b1;
+        b1 = b0;
+    }
+    return coeffs[0] + u * b1 - b2;
+}
+
+ChebyshevSeries
+ChebyshevSeries::fit(const std::function<double(double)> &f, double a,
+                     double b, std::size_t degree)
+{
+    if (b <= a)
+        throw std::invalid_argument("empty interpolation domain");
+    ChebyshevSeries series;
+    series.domain_min = a;
+    series.domain_max = b;
+    std::size_t m = degree + 1;
+    series.coeffs.assign(m, 0.0);
+    for (std::size_t j = 0; j < m; ++j) {
+        double acc = 0;
+        for (std::size_t k = 0; k < m; ++k) {
+            double theta = kPi * (static_cast<double>(k) + 0.5) /
+                           static_cast<double>(m);
+            double u = std::cos(theta);
+            double x = 0.5 * (a + b) + 0.5 * (b - a) * u;
+            acc += f(x) * std::cos(static_cast<double>(j) * theta);
+        }
+        series.coeffs[j] = (j == 0 ? 1.0 : 2.0) * acc /
+                           static_cast<double>(m);
+    }
+    return series;
+}
+
+double
+ChebyshevSeries::maxError(const std::function<double(double)> &f,
+                          std::size_t samples) const
+{
+    double max_err = 0;
+    for (std::size_t i = 0; i <= samples; ++i) {
+        double x = domain_min + (domain_max - domain_min) *
+                                    static_cast<double>(i) /
+                                    static_cast<double>(samples);
+        max_err = std::max(max_err, std::abs((*this)(x) - f(x)));
+    }
+    return max_err;
+}
+
+std::pair<Ciphertext, Ciphertext>
+PolynomialEvaluator::aligned(Ciphertext a, Ciphertext b) const
+{
+    std::size_t lvl = std::min(a.level(), b.level());
+    eval_.dropToLevel(a, lvl);
+    eval_.dropToLevel(b, lvl);
+    eval_.setScale(b, a.scale);
+    return {std::move(a), std::move(b)};
+}
+
+std::size_t
+PolynomialEvaluator::depthFor(std::size_t degree)
+{
+    std::size_t d = 0;
+    while ((std::size_t(1) << d) < std::max<std::size_t>(degree, 1))
+        ++d;
+    return d + 2;  // power tree + constant-mult combine
+}
+
+Ciphertext
+PolynomialEvaluator::evaluate(const Ciphertext &ct,
+                              const ChebyshevSeries &series,
+                              const EvalKey &relin_key) const
+{
+    if (series.coeffs.size() < 2)
+        throw std::invalid_argument(
+            "series must have degree >= 1 for ciphertext evaluation");
+    auto d0 = series.degree();
+
+    // Map slots into [-1, 1]: u = (2x - (a+b)) / (b - a).
+    double a = series.domain_min, b = series.domain_max;
+    auto u = eval_.multiplyConstant(ct, 2.0 / (b - a));
+    eval_.rescaleInPlace(u);
+    u = eval_.subPlain(u, eval_.encodeConstant((a + b) / (b - a),
+                                               u.scale, u.level()));
+
+    // Chebyshev basis via the halving recurrences.
+    std::vector<Ciphertext> t_poly(d0 + 1);
+    std::vector<bool> have(d0 + 1, false);
+    t_poly[1] = u;
+    have[1] = true;
+
+    auto mulAligned = [&](const Ciphertext &x, const Ciphertext &y) {
+        auto [p, q] = aligned(x, y);
+        auto prod = eval_.multiply(p, q, relin_key);
+        eval_.rescaleInPlace(prod);
+        return prod;
+    };
+    auto subConst = [&](Ciphertext v, double c) {
+        return eval_.subPlain(
+            v, eval_.encodeConstant(c, v.scale, v.level()));
+    };
+
+    std::function<const Ciphertext &(std::size_t)> get =
+        [&](std::size_t k) -> const Ciphertext & {
+        if (have[k])
+            return t_poly[k];
+        if (k % 2 == 0) {
+            auto sq = mulAligned(get(k / 2), get(k / 2));
+            t_poly[k] = subConst(eval_.add(sq, sq), 1.0);
+        } else {
+            auto prod = mulAligned(get((k + 1) / 2), get(k / 2));
+            auto dbl = eval_.add(prod, prod);
+            auto [x, t1] = aligned(dbl, t_poly[1]);
+            t_poly[k] = eval_.sub(x, t1);
+        }
+        have[k] = true;
+        return t_poly[k];
+    };
+
+    // Combine sum_j c_j T_j.
+    std::size_t min_level = u.level();
+    for (std::size_t j = 1; j <= d0; ++j)
+        if (std::abs(series.coeffs[j]) > 1e-13)
+            min_level = std::min(min_level, get(j).level());
+
+    Ciphertext acc;
+    bool acc_set = false;
+    for (std::size_t j = 1; j <= d0; ++j) {
+        if (std::abs(series.coeffs[j]) < 1e-13)
+            continue;
+        auto term = eval_.multiplyConstant(get(j), series.coeffs[j]);
+        eval_.rescaleInPlace(term);
+        eval_.dropToLevel(term, min_level - 1);
+        if (acc_set) {
+            eval_.setScale(term, acc.scale);
+            acc = eval_.add(acc, term);
+        } else {
+            acc = std::move(term);
+            acc_set = true;
+        }
+    }
+    if (!acc_set)
+        throw std::invalid_argument("series has no nonzero terms");
+    return eval_.addPlain(
+        acc, eval_.encodeConstant(series.coeffs[0], acc.scale,
+                                  acc.level()));
+}
+
+Ciphertext
+PolynomialEvaluator::evaluateMonomial(const Ciphertext &ct,
+                                      const std::vector<double> &coeffs,
+                                      const EvalKey &relin_key) const
+{
+    if (coeffs.size() < 2)
+        throw std::invalid_argument("need degree >= 1");
+    // Powers by repeated squaring/multiplication (fine for the small
+    // degrees monomial bases are numerically safe at).
+    std::vector<Ciphertext> powers(coeffs.size());
+    std::vector<bool> have(coeffs.size(), false);
+    powers[1] = ct;
+    have[1] = true;
+    std::function<const Ciphertext &(std::size_t)> pow =
+        [&](std::size_t k) -> const Ciphertext & {
+        if (have[k])
+            return powers[k];
+        std::size_t half = k / 2;
+        auto [a, b] = aligned(pow(half), pow(k - half));
+        auto prod = eval_.multiply(a, b, relin_key);
+        eval_.rescaleInPlace(prod);
+        powers[k] = std::move(prod);
+        have[k] = true;
+        return powers[k];
+    };
+
+    std::size_t min_level = ct.level();
+    for (std::size_t k = 1; k < coeffs.size(); ++k)
+        if (std::abs(coeffs[k]) > 1e-13)
+            min_level = std::min(min_level, pow(k).level());
+
+    Ciphertext acc;
+    bool acc_set = false;
+    for (std::size_t k = 1; k < coeffs.size(); ++k) {
+        if (std::abs(coeffs[k]) < 1e-13)
+            continue;
+        auto term = eval_.multiplyConstant(pow(k), coeffs[k]);
+        eval_.rescaleInPlace(term);
+        eval_.dropToLevel(term, min_level - 1);
+        if (acc_set) {
+            eval_.setScale(term, acc.scale);
+            acc = eval_.add(acc, term);
+        } else {
+            acc = std::move(term);
+            acc_set = true;
+        }
+    }
+    if (!acc_set)
+        throw std::invalid_argument("polynomial has no nonzero terms");
+    return eval_.addPlain(acc, eval_.encodeConstant(coeffs[0], acc.scale,
+                                                    acc.level()));
+}
+
+namespace approx {
+
+ChebyshevSeries
+relu(double bound, std::size_t degree)
+{
+    // Smooth surrogate: relu(x) ~ 0.5 x + 0.5 x * tanh(s x) with a
+    // sharpness that keeps the fit stable at the requested degree.
+    double s = static_cast<double>(degree) / (2.0 * bound);
+    return ChebyshevSeries::fit(
+        [s](double x) {
+            return 0.5 * x + 0.5 * x * std::tanh(s * x);
+        },
+        -bound, bound, degree);
+}
+
+ChebyshevSeries
+sigmoid(double bound, std::size_t degree)
+{
+    return ChebyshevSeries::fit(
+        [](double x) { return 1.0 / (1.0 + std::exp(-x)); }, -bound,
+        bound, degree);
+}
+
+ChebyshevSeries
+exponential(double bound, std::size_t degree)
+{
+    return ChebyshevSeries::fit([](double x) { return std::exp(x); },
+                                -bound, bound, degree);
+}
+
+} // namespace approx
+
+} // namespace fast::ckks

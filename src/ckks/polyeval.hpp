@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Homomorphic polynomial evaluation.
+ *
+ * CKKS supports non-linear functions only through polynomial
+ * approximation (Sec. 2.2.2 of the FAST paper — e.g. ReLU via a
+ * degree-~40 polynomial, the sigmoid in HELR, the scaled sine in
+ * EvalMod). This module provides:
+ *
+ *  - Chebyshev interpolation of arbitrary real functions on [a, b];
+ *  - depth-optimal homomorphic evaluation of Chebyshev series using
+ *    the T_{2k} = 2T_k^2 - 1 / T_{2k+1} = 2T_{k+1}T_k - T_1
+ *    recurrences (log-depth, the same machinery bootstrapping's
+ *    EvalMod uses);
+ *  - monomial-basis evaluation for low-degree polynomials.
+ */
+#ifndef FAST_CKKS_POLYEVAL_HPP
+#define FAST_CKKS_POLYEVAL_HPP
+
+#include <functional>
+#include <vector>
+
+#include "ckks/evaluator.hpp"
+
+namespace fast::ckks {
+
+/**
+ * A polynomial in Chebyshev basis over [domain_min, domain_max]:
+ * f(x) ~ c_0 + sum_{j>=1} c_j T_j(u), u = affine map of x to [-1,1].
+ */
+struct ChebyshevSeries {
+    std::vector<double> coeffs;  ///< c_0 is the true constant term
+    double domain_min = -1;
+    double domain_max = 1;
+
+    std::size_t degree() const
+    {
+        return coeffs.empty() ? 0 : coeffs.size() - 1;
+    }
+
+    /** Evaluate in plaintext (for testing / error analysis). */
+    double operator()(double x) const;
+
+    /**
+     * Interpolate @p f at degree @p degree Chebyshev nodes on
+     * [a, b]. Error decays near-exponentially for smooth f.
+     */
+    static ChebyshevSeries fit(const std::function<double(double)> &f,
+                               double a, double b, std::size_t degree);
+
+    /** Max |f - fit| sampled on the domain (model quality check). */
+    double maxError(const std::function<double(double)> &f,
+                    std::size_t samples = 512) const;
+};
+
+/**
+ * Homomorphic polynomial evaluator bound to a CkksEvaluator.
+ */
+class PolynomialEvaluator
+{
+  public:
+    explicit PolynomialEvaluator(const CkksEvaluator &eval)
+        : eval_(eval)
+    {
+    }
+
+    /**
+     * Evaluate a Chebyshev series on a ciphertext. Consumes
+     * ceil(log2(degree)) + 2 levels. The input's slots must lie in
+     * the series' domain.
+     */
+    Ciphertext evaluate(const Ciphertext &ct,
+                        const ChebyshevSeries &series,
+                        const EvalKey &relin_key) const;
+
+    /**
+     * Evaluate sum_k a_k x^k (monomial basis) for small degrees;
+     * coefficients indexed by power.
+     */
+    Ciphertext evaluateMonomial(const Ciphertext &ct,
+                                const std::vector<double> &coeffs,
+                                const EvalKey &relin_key) const;
+
+    /** Multiplicative depth evaluate() will consume. */
+    static std::size_t depthFor(std::size_t degree);
+
+  private:
+    /** Align two ciphertexts to a common level and scale. */
+    std::pair<Ciphertext, Ciphertext> aligned(Ciphertext a,
+                                              Ciphertext b) const;
+
+    const CkksEvaluator &eval_;
+};
+
+/** Ready-made approximations used across the paper's workloads. */
+namespace approx {
+
+/** ReLU(x) ~ x * (0.5 + 0.5 * tanh-like sign approx) on [-bound, bound]. */
+ChebyshevSeries relu(double bound, std::size_t degree = 27);
+
+/** Logistic sigmoid on [-bound, bound]. */
+ChebyshevSeries sigmoid(double bound, std::size_t degree = 15);
+
+/** exp(x) on [-bound, bound]. */
+ChebyshevSeries exponential(double bound, std::size_t degree = 15);
+
+} // namespace approx
+
+} // namespace fast::ckks
+
+#endif // FAST_CKKS_POLYEVAL_HPP

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Implementation of rotation-key sets.
+ */
+#include "ckks/rotation_keys.hpp"
+
+#include <stdexcept>
+
+namespace fast::ckks {
+
+RotationKeySet::RotationKeySet(const KeyGenerator &keygen,
+                               KeySwitchMethod method,
+                               std::size_t slot_count)
+    : method_(method), slots_(slot_count)
+{
+    if (slot_count == 0 || (slot_count & (slot_count - 1)) != 0)
+        throw std::invalid_argument("slot count must be a power of two");
+    for (std::size_t p = 1; p < slots_; p <<= 1)
+        keys_.emplace(p, keygen.makeRotationKey(
+                             static_cast<std::ptrdiff_t>(p), method));
+}
+
+std::size_t
+RotationKeySet::normalize(std::ptrdiff_t steps) const
+{
+    auto n = static_cast<std::ptrdiff_t>(slots_);
+    return static_cast<std::size_t>(((steps % n) + n) % n);
+}
+
+void
+RotationKeySet::addExact(const KeyGenerator &keygen,
+                         std::ptrdiff_t steps)
+{
+    std::size_t amount = normalize(steps);
+    if (amount == 0)
+        return;
+    keys_.emplace(amount, keygen.makeRotationKey(
+                              static_cast<std::ptrdiff_t>(amount),
+                              method_));
+}
+
+bool
+RotationKeySet::hasExact(std::ptrdiff_t steps) const
+{
+    std::size_t amount = normalize(steps);
+    return amount == 0 || keys_.count(amount) != 0;
+}
+
+std::size_t
+RotationKeySet::switchesFor(std::ptrdiff_t steps) const
+{
+    std::size_t amount = normalize(steps);
+    if (amount == 0)
+        return 0;
+    if (keys_.count(amount))
+        return 1;
+    std::size_t switches = 0;
+    for (std::size_t bit = 1; bit < slots_; bit <<= 1)
+        switches += (amount & bit) ? 1 : 0;
+    return switches;
+}
+
+Ciphertext
+RotationKeySet::rotate(const CkksEvaluator &eval, const Ciphertext &ct,
+                       std::ptrdiff_t steps) const
+{
+    std::size_t amount = normalize(steps);
+    if (amount == 0)
+        return ct;
+    auto exact = keys_.find(amount);
+    if (exact != keys_.end())
+        return eval.rotate(ct, static_cast<std::ptrdiff_t>(amount),
+                           exact->second);
+    Ciphertext out = ct;
+    for (std::size_t bit = 1; bit < slots_; bit <<= 1) {
+        if ((amount & bit) == 0)
+            continue;
+        out = eval.rotate(out, static_cast<std::ptrdiff_t>(bit),
+                          keys_.at(bit));
+    }
+    return out;
+}
+
+std::size_t
+RotationKeySet::storedBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &[amount, key] : keys_) {
+        (void)amount;
+        total += key.storedBytes();
+    }
+    return total;
+}
+
+} // namespace fast::ckks

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Rotation-key sets: rotate by arbitrary step counts using only a
+ * logarithmic basis of keys.
+ *
+ * Applications need many distinct rotation amounts, but each key
+ * costs tens of megabytes (Fig. 3b) — generating one per amount is
+ * untenable. A RotationKeySet holds keys for the signed powers of
+ * two and composes any rotation from at most log2(n) applications,
+ * trading key storage for extra key switches — the same
+ * storage/compute tradeoff Aether navigates on the accelerator.
+ */
+#ifndef FAST_CKKS_ROTATION_KEYS_HPP
+#define FAST_CKKS_ROTATION_KEYS_HPP
+
+#include <map>
+#include <memory>
+
+#include "ckks/evaluator.hpp"
+
+namespace fast::ckks {
+
+/**
+ * A set of rotation keys with composition support.
+ */
+class RotationKeySet
+{
+  public:
+    /**
+     * Generate keys for every power of two below the slot count
+     * (positive directions; negative amounts wrap around).
+     */
+    RotationKeySet(const KeyGenerator &keygen, KeySwitchMethod method,
+                   std::size_t slot_count);
+
+    /** Also pin a key for an exact amount (hot rotation amounts). */
+    void addExact(const KeyGenerator &keygen, std::ptrdiff_t steps);
+
+    /** Whether @p steps can be served with a single key switch. */
+    bool hasExact(std::ptrdiff_t steps) const;
+
+    /**
+     * Rotate by any amount: one key switch when an exact key exists,
+     * otherwise a composition over the power-of-two basis.
+     */
+    Ciphertext rotate(const CkksEvaluator &eval, const Ciphertext &ct,
+                      std::ptrdiff_t steps) const;
+
+    /** Number of key switches rotate() will perform for @p steps. */
+    std::size_t switchesFor(std::ptrdiff_t steps) const;
+
+    /** Total stored key bytes (b halves, EKG-compressed). */
+    std::size_t storedBytes() const;
+
+    std::size_t keyCount() const { return keys_.size(); }
+    KeySwitchMethod method() const { return method_; }
+
+  private:
+    std::size_t normalize(std::ptrdiff_t steps) const;
+
+    KeySwitchMethod method_;
+    std::size_t slots_;
+    std::map<std::size_t, EvalKey> keys_;  ///< by normalized amount
+};
+
+} // namespace fast::ckks
+
+#endif // FAST_CKKS_ROTATION_KEYS_HPP

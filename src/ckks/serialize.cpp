@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Implementation of binary serialization.
+ */
+#include "ckks/serialize.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fast::ckks {
+
+namespace {
+
+constexpr std::uint32_t kPolyMagic = 0x46504f4c;  // "FPOL"
+constexpr std::uint32_t kCtMagic = 0x46435458;    // "FCTX"
+constexpr std::uint32_t kPtMagic = 0x46505458;    // "FPTX"
+constexpr std::uint32_t kKeyMagic = 0x46455648;   // "FEVH"
+
+template <typename T>
+void
+put(Bytes &out, const T &value)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto *p = reinterpret_cast<const std::uint8_t *>(&value);
+    out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T
+take(const Bytes &data, std::size_t &offset)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (offset + sizeof(T) > data.size())
+        throw std::invalid_argument("truncated serialized object");
+    T value;
+    std::memcpy(&value, data.data() + offset, sizeof(T));
+    offset += sizeof(T);
+    return value;
+}
+
+} // namespace
+
+Bytes
+serialize(const math::RnsPoly &poly)
+{
+    Bytes out;
+    put(out, kPolyMagic);
+    put(out, static_cast<std::uint64_t>(poly.degree()));
+    put(out, static_cast<std::uint64_t>(poly.limbCount()));
+    put(out, static_cast<std::uint8_t>(poly.isEval() ? 1 : 0));
+    for (std::size_t i = 0; i < poly.limbCount(); ++i)
+        put(out, poly.modulus(i));
+    for (std::size_t i = 0; i < poly.limbCount(); ++i) {
+        const auto &limb = poly.limb(i);
+        const auto *p =
+            reinterpret_cast<const std::uint8_t *>(limb.data());
+        out.insert(out.end(), p, p + limb.size() * sizeof(math::u64));
+    }
+    return out;
+}
+
+math::RnsPoly
+deserializePoly(const Bytes &data, std::size_t &offset)
+{
+    if (take<std::uint32_t>(data, offset) != kPolyMagic)
+        throw std::invalid_argument("not a serialized polynomial");
+    auto n = static_cast<std::size_t>(take<std::uint64_t>(data, offset));
+    auto limbs =
+        static_cast<std::size_t>(take<std::uint64_t>(data, offset));
+    bool eval = take<std::uint8_t>(data, offset) != 0;
+    std::vector<math::u64> moduli(limbs);
+    for (auto &m : moduli)
+        m = take<math::u64>(data, offset);
+    math::RnsPoly poly(n, std::move(moduli),
+                       eval ? math::PolyForm::eval
+                            : math::PolyForm::coeff);
+    for (std::size_t i = 0; i < limbs; ++i) {
+        if (offset + n * sizeof(math::u64) > data.size())
+            throw std::invalid_argument("truncated polynomial limbs");
+        std::memcpy(poly.limb(i).data(), data.data() + offset,
+                    n * sizeof(math::u64));
+        offset += n * sizeof(math::u64);
+    }
+    return poly;
+}
+
+Bytes
+serialize(const Ciphertext &ct)
+{
+    Bytes out;
+    put(out, kCtMagic);
+    put(out, ct.scale);
+    auto c0 = serialize(ct.c0);
+    auto c1 = serialize(ct.c1);
+    out.insert(out.end(), c0.begin(), c0.end());
+    out.insert(out.end(), c1.begin(), c1.end());
+    return out;
+}
+
+Ciphertext
+deserializeCiphertext(const Bytes &data)
+{
+    std::size_t offset = 0;
+    if (take<std::uint32_t>(data, offset) != kCtMagic)
+        throw std::invalid_argument("not a serialized ciphertext");
+    Ciphertext ct;
+    ct.scale = take<double>(data, offset);
+    ct.c0 = deserializePoly(data, offset);
+    ct.c1 = deserializePoly(data, offset);
+    return ct;
+}
+
+Bytes
+serialize(const Plaintext &pt)
+{
+    Bytes out;
+    put(out, kPtMagic);
+    put(out, pt.scale);
+    auto poly = serialize(pt.poly);
+    out.insert(out.end(), poly.begin(), poly.end());
+    return out;
+}
+
+Plaintext
+deserializePlaintext(const Bytes &data)
+{
+    std::size_t offset = 0;
+    if (take<std::uint32_t>(data, offset) != kPtMagic)
+        throw std::invalid_argument("not a serialized plaintext");
+    Plaintext pt;
+    pt.scale = take<double>(data, offset);
+    pt.poly = deserializePoly(data, offset);
+    return pt;
+}
+
+Bytes
+serialize(const EvalKey &key)
+{
+    Bytes out;
+    put(out, kKeyMagic);
+    put(out, static_cast<std::uint8_t>(
+                 key.method == KeySwitchMethod::hybrid ? 0 : 1));
+    put(out, key.galois);
+    put(out, static_cast<std::int32_t>(key.digit_bits));
+    put(out, key.seed);
+    put(out, static_cast<std::uint64_t>(key.parts.size()));
+    // EKG compression: only the b halves are stored.
+    for (const auto &part : key.parts) {
+        auto b = serialize(part.b);
+        out.insert(out.end(), b.begin(), b.end());
+    }
+    return out;
+}
+
+EvalKey
+deserializeEvalKey(const Bytes &data, const CkksContext &ctx)
+{
+    std::size_t offset = 0;
+    if (take<std::uint32_t>(data, offset) != kKeyMagic)
+        throw std::invalid_argument("not a serialized EvalKey");
+    EvalKey key;
+    key.method = take<std::uint8_t>(data, offset) == 0
+                     ? KeySwitchMethod::hybrid
+                     : KeySwitchMethod::klss;
+    key.galois = take<math::u64>(data, offset);
+    key.digit_bits = take<std::int32_t>(data, offset);
+    key.seed = take<math::u64>(data, offset);
+    auto parts =
+        static_cast<std::size_t>(take<std::uint64_t>(data, offset));
+    // Regenerate the a halves from the seed — the on-chip EKG path.
+    auto a_halves = expandEvalKeyA(ctx, key.seed, parts);
+    key.parts.resize(parts);
+    for (std::size_t j = 0; j < parts; ++j) {
+        key.parts[j].b = deserializePoly(data, offset);
+        key.parts[j].a = std::move(a_halves[j]);
+    }
+    return key;
+}
+
+std::size_t
+serializedBytes(const Ciphertext &ct)
+{
+    auto poly = [](const math::RnsPoly &p) {
+        return 4 + 8 + 8 + 1 + p.limbCount() * 8 +
+               p.limbCount() * p.degree() * 8;
+    };
+    return 4 + 8 + poly(ct.c0) + poly(ct.c1);
+}
+
+std::size_t
+serializedBytes(const EvalKey &key)
+{
+    std::size_t total = 4 + 1 + 8 + 4 + 8 + 8;
+    for (const auto &part : key.parts)
+        total += 4 + 8 + 8 + 1 + part.b.limbCount() * 8 +
+                 part.b.limbCount() * part.b.degree() * 8;
+    return total;
+}
+
+} // namespace fast::ckks

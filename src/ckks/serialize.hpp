@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Binary serialization of CKKS objects.
+ *
+ * Ciphertexts travel between the client and the evaluating server,
+ * and evaluation keys stream from host memory into the accelerator's
+ * Evk Pool (Sec. 4.1.2) — both need a stable wire format. Evaluation
+ * keys serialize with only their `b` halves plus the PRNG seed; the
+ * `a` halves are regenerated on load, exactly the storage-halving
+ * trick of the paper's EKG (Sec. 5.7.2).
+ */
+#ifndef FAST_CKKS_SERIALIZE_HPP
+#define FAST_CKKS_SERIALIZE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "ckks/keys.hpp"
+
+namespace fast::ckks {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/** @name Polynomials. */
+///@{
+Bytes serialize(const math::RnsPoly &poly);
+math::RnsPoly deserializePoly(const Bytes &data, std::size_t &offset);
+///@}
+
+/** @name Ciphertexts and plaintexts. */
+///@{
+Bytes serialize(const Ciphertext &ct);
+Ciphertext deserializeCiphertext(const Bytes &data);
+
+Bytes serialize(const Plaintext &pt);
+Plaintext deserializePlaintext(const Bytes &data);
+///@}
+
+/** @name Evaluation keys (EKG-compressed: b halves + seed). */
+///@{
+Bytes serialize(const EvalKey &key);
+
+/**
+ * Reconstruct an EvalKey; the `a` halves are re-expanded from the
+ * stored seed via the context's key basis (must match the writer's).
+ */
+EvalKey deserializeEvalKey(const Bytes &data, const CkksContext &ctx);
+///@}
+
+/** Serialized size in bytes without building the buffer. */
+std::size_t serializedBytes(const Ciphertext &ct);
+std::size_t serializedBytes(const EvalKey &key);
+
+} // namespace fast::ckks
+
+#endif // FAST_CKKS_SERIALIZE_HPP

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Aether: the offline key-switching method analysis and decision tool
+ * (Sec. 4.1.1, Fig. 5a).
+ *
+ * Aether consumes an application's FHE operation flow, fills a
+ * Methods Candidate Table (MCT) — one entry per key-switching site,
+ * with cost, delay, key size, and key transfer time recorded for both
+ * the hybrid and KLSS methods under each feasible hoisting
+ * configuration — then runs the paper's three-step filter:
+ *
+ *   STEP-1  drop candidates whose evk working set exceeds the chip's
+ *           reserved key storage;
+ *   STEP-2  drop candidates whose evk transfer cannot be hidden
+ *           behind the preceding key-switch's execution (the paper's
+ *           transfer/execution comparison);
+ *   STEP-3  among the survivors pick minimal execution time, breaking
+ *           near-ties toward the smaller key.
+ *
+ * The result is the Aether configuration file (~1 KB), a per-site
+ * record of {ciphertext index, level, method, hoisting number} that
+ * Hemera reads at run time.
+ */
+#ifndef FAST_CORE_AETHER_HPP
+#define FAST_CORE_AETHER_HPP
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cost/opcount.hpp"
+#include "cost/worksets.hpp"
+#include "trace/op.hpp"
+
+namespace fast::core {
+
+using ckks::KeySwitchMethod;
+
+/** One candidate configuration inside an MCT entry. */
+struct MctCandidate {
+    KeySwitchMethod method = KeySwitchMethod::hybrid;
+    std::size_t hoist = 1;      ///< rotations sharing one decomposition
+    double cost_ops = 0;        ///< modular multiplications
+    double delay_s = 0;         ///< estimated compute time
+    double key_bytes = 0;       ///< resident evk working set
+    double transfer_s = 0;      ///< evk HBM transfer time
+};
+
+/** One Methods Candidate Table entry (bottom of Fig. 5a). */
+struct MctEntry {
+    std::size_t op_index = 0;    ///< first op of this site in the trace
+    std::size_t ct_index = 0;    ///< ciphertext id
+    std::size_t level = 0;       ///< ell at execution
+    std::size_t times = 1;       ///< rotations at this site (h or 1)
+    bool is_rotation = false;    ///< HRot vs HMult/conjugate
+    /** Identities of the evks this site consumes (rotation steps, or
+     *  a single relin/conj id), used for key-reuse-aware transfer
+     *  estimates. */
+    std::vector<int> key_ids;
+    std::vector<MctCandidate> candidates;
+};
+
+/** One record of the Aether configuration file. */
+struct AetherDecision {
+    std::size_t op_index = 0;
+    std::size_t ct_index = 0;
+    std::size_t level = 0;
+    KeySwitchMethod method = KeySwitchMethod::hybrid;
+    std::size_t hoist = 1;
+};
+
+/** The configuration file Aether emits and Hemera consumes. */
+struct AetherConfig {
+    std::vector<AetherDecision> decisions;
+
+    /** Text serialization (the "file"; about 1 KB for real traces). */
+    std::string serialize() const;
+    static AetherConfig deserialize(const std::string &text);
+
+    /** Decision lookup by trace op index; falls back to hybrid/1. */
+    AetherDecision decisionFor(std::size_t op_index) const;
+
+    /** Fraction of key-switch sites assigned to KLSS. */
+    double klssShare() const;
+};
+
+/**
+ * The offline analyzer.
+ */
+class Aether
+{
+  public:
+    struct Settings {
+        /** On-chip bytes reserved for evaluation keys (STEP-1). */
+        double key_capacity_bytes = 120.0 * 1024 * 1024;
+        /** HBM bandwidth for evk transfers. */
+        double hbm_bytes_per_s = 1e12;
+        /** Effective modular-mult throughput of the accelerator. */
+        double ops_per_s = 2048e9;
+        /** Relative latency slack treated as a tie in STEP-3. */
+        double tie_tolerance = 0.02;
+        /**
+         * Prefetch window: evk transfers may overlap this many
+         * preceding key-switch executions (Hemera's history-driven
+         * prefetcher runs ahead of execution).
+         */
+        std::size_t prefetch_window = 4;
+        /** Allow disabling methods (for ablation studies). */
+        bool allow_klss = true;
+        bool allow_hoisting = true;
+        /**
+         * Optional microarchitecture-aware delay estimator for one
+         * key-switch site: (method, level, hoisted rotations) ->
+         * seconds. When unset, delays fall back to cost_ops /
+         * ops_per_s. FastSystem wires this to the same unit models
+         * the simulator executes, so Aether's MCT Delay column
+         * reflects the machine it schedules for.
+         */
+        std::function<double(KeySwitchMethod, std::size_t,
+                             std::size_t)> delay_estimator;
+    };
+
+    Aether(cost::KeySwitchCostModel model, Settings settings);
+
+    const Settings &settings() const { return settings_; }
+
+    /** Analysis workflow: build the MCT from an operation flow. */
+    std::vector<MctEntry> analyze(const trace::OpStream &stream) const;
+
+    /** Three-step selection over an MCT. */
+    AetherConfig select(const std::vector<MctEntry> &mct) const;
+
+    /**
+     * For each MCT index and key id, the number of uses of that key
+     * within +-window sites — the reuse a resident key can actually
+     * capture before eviction (transfer amortization).
+     */
+    static std::map<int, std::vector<std::size_t>> keyUseSites(
+        const std::vector<MctEntry> &mct);
+
+    /** analyze + select. */
+    AetherConfig run(const trace::OpStream &stream) const;
+
+  private:
+    MctCandidate makeCandidate(KeySwitchMethod method, std::size_t ell,
+                               std::size_t hoist,
+                               std::size_t site_rotations) const;
+
+    cost::KeySwitchCostModel model_;
+    cost::WorkingSetModel worksets_;
+    Settings settings_;
+};
+
+} // namespace fast::core
+
+#endif // FAST_CORE_AETHER_HPP

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Implementation of the Hemera runtime.
+ */
+#include "core/hemera.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fast::core {
+
+EvkPool::EvkPool(cost::KeySwitchCostModel model) : model_(model)
+{
+}
+
+void
+EvkPool::populate(std::size_t max_level)
+{
+    for (std::size_t level = 0; level <= max_level; ++level) {
+        for (auto method :
+             {KeySwitchMethod::hybrid, KeySwitchMethod::klss}) {
+            for (bool rot : {false, true}) {
+                EvkPoolEntry entry;
+                entry.level = level;
+                entry.method = method;
+                entry.is_rotation = rot;
+                entry.bytes = model_.evkBytes(method, level);
+                entry.hbm_address = next_address_;
+                next_address_ += static_cast<std::uint64_t>(entry.bytes);
+                total_bytes_ += entry.bytes;
+                entries_[{level, method, rot}] = entry;
+            }
+        }
+    }
+}
+
+const EvkPoolEntry &
+EvkPool::lookup(std::size_t level, KeySwitchMethod method,
+                bool is_rotation) const
+{
+    auto it = entries_.find({level, method, is_rotation});
+    if (it == entries_.end())
+        throw std::out_of_range("evk pool: no key for this level");
+    return it->second;
+}
+
+void
+Hemera::HistoryRecorder::record(std::size_t level, KeySwitchMethod method,
+                                std::size_t hoist)
+{
+    auto &q = per_level[level];
+    q.emplace_back(method, hoist);
+    while (q.size() > depth)
+        q.pop_front();
+}
+
+std::optional<std::pair<KeySwitchMethod, std::size_t>>
+Hemera::HistoryRecorder::predict(std::size_t level) const
+{
+    auto it = per_level.find(level);
+    if (it == per_level.end() || it->second.empty())
+        return std::nullopt;
+    return it->second.back();
+}
+
+Hemera::Hemera(cost::KeySwitchCostModel model, std::size_t history_depth)
+    : model_(model), pool_(model)
+{
+    history_.depth = history_depth;
+}
+
+std::vector<EvkTransfer>
+Hemera::plan(const trace::OpStream &stream, const AetherConfig &config)
+{
+    // Populate the pool for every level the trace touches.
+    std::size_t max_level = 0;
+    for (const auto &op : stream.ops)
+        max_level = std::max(max_level, op.level);
+    pool_.populate(max_level);
+
+    std::vector<EvkTransfer> transfers;
+    std::size_t processed_group = 0;
+    stats_ = {};
+
+    for (std::size_t i = 0; i < stream.ops.size(); ++i) {
+        const auto &op = stream.ops[i];
+        if (!op.needsKeySwitch())
+            continue;
+        if (op.hoist_group != 0 && op.hoist_group == processed_group)
+            continue;  // keys for the whole group planned at its head
+        if (op.hoist_group != 0)
+            processed_group = op.hoist_group;
+
+        // The Monitor consults the Aether configuration file.
+        AetherDecision d = config.decisionFor(i);
+        stats_.config_lookups_ns += kConfigLookupNs;
+
+        bool is_rotation = op.kind == trace::FheOpKind::hrot;
+        const auto &entry = pool_.lookup(
+            std::min(op.level, max_level), d.method, is_rotation);
+
+        EvkTransfer t;
+        t.op_index = i;
+        t.method = d.method;
+        t.hoist = d.hoist;
+        t.level = op.level;
+        // A hoisted site needs all of its rotations' keys; a
+        // sequential site streams them one at a time but still moves
+        // the same total volume.
+        std::size_t key_count =
+            op.hoist_group != 0 ? op.hoist_size : 1;
+        t.bytes = entry.bytes * static_cast<double>(key_count);
+        double batch_bytes =
+            static_cast<double>(kBatchElements) * sizeof(std::uint64_t);
+        t.batches = static_cast<std::size_t>(
+            std::ceil(t.bytes / batch_bytes));
+
+        // Prefetching: a history hit means the transfer was issued
+        // ahead of time and overlaps the previous site's compute.
+        auto predicted = history_.predict(op.level);
+        t.prefetched = predicted &&
+                       predicted->first == d.method &&
+                       predicted->second == d.hoist;
+        if (t.prefetched)
+            ++stats_.prefetch_hits;
+        else
+            ++stats_.prefetch_misses;
+        history_.record(op.level, d.method, d.hoist);
+
+        stats_.total_bytes += t.bytes;
+        ++stats_.transfers;
+        transfers.push_back(t);
+    }
+    return transfers;
+}
+
+} // namespace fast::core

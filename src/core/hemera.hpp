@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Hemera: the online evaluation-key management runtime (Sec. 4.1.2,
+ * Fig. 5b).
+ *
+ * Hemera owns the Evk Pool (HBM addresses of every evaluation key,
+ * indexed by level), a Monitor that walks the operation flow ahead of
+ * execution, a History Recorder that learns recurring
+ * (level -> method/hoist) patterns, and a batch-wise transfer engine
+ * that moves keys in 256-element batches, prefetching them so HBM
+ * traffic overlaps key-switch execution.
+ */
+#ifndef FAST_CORE_HEMERA_HPP
+#define FAST_CORE_HEMERA_HPP
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "core/aether.hpp"
+
+namespace fast::core {
+
+/** One evaluation key registered in the pool. */
+struct EvkPoolEntry {
+    std::size_t level = 0;
+    KeySwitchMethod method = KeySwitchMethod::hybrid;
+    bool is_rotation = false;
+    std::uint64_t hbm_address = 0;
+    double bytes = 0;
+};
+
+/**
+ * Evk Pool: key addresses on HBM, L groups (one per level), each with
+ * the rotation and multiplication keys for both methods.
+ */
+class EvkPool
+{
+  public:
+    explicit EvkPool(cost::KeySwitchCostModel model);
+
+    /** Register all keys up to @p max_level; assigns HBM addresses. */
+    void populate(std::size_t max_level);
+
+    /** Look up the key for a level/method/kind. */
+    const EvkPoolEntry &lookup(std::size_t level, KeySwitchMethod method,
+                               bool is_rotation) const;
+
+    std::size_t size() const { return entries_.size(); }
+    double totalBytes() const { return total_bytes_; }
+
+  private:
+    cost::KeySwitchCostModel model_;
+    std::map<std::tuple<std::size_t, KeySwitchMethod, bool>,
+             EvkPoolEntry> entries_;
+    std::uint64_t next_address_ = 0;
+    double total_bytes_ = 0;
+};
+
+/** One planned evk movement for the simulator to execute. */
+struct EvkTransfer {
+    std::size_t op_index = 0;     ///< key-switch site in the trace
+    double bytes = 0;             ///< evk bytes to move
+    std::size_t batches = 0;      ///< 256-element HBM batches
+    bool prefetched = false;      ///< predicted by the history recorder
+    KeySwitchMethod method = KeySwitchMethod::hybrid;
+    std::size_t hoist = 1;
+    std::size_t level = 0;
+};
+
+/** Statistics of one Hemera planning pass. */
+struct HemeraStats {
+    std::size_t transfers = 0;
+    std::size_t prefetch_hits = 0;
+    std::size_t prefetch_misses = 0;
+    double total_bytes = 0;
+    double config_lookups_ns = 0;  ///< cumulative config access time
+
+    double hitRate() const
+    {
+        auto total = prefetch_hits + prefetch_misses;
+        return total == 0
+                   ? 0.0
+                   : static_cast<double>(prefetch_hits) /
+                         static_cast<double>(total);
+    }
+};
+
+/**
+ * The runtime manager. Given a trace and the Aether configuration,
+ * plans every evk transfer with prefetch marking; the simulator
+ * replays the plan against its HBM model.
+ */
+class Hemera
+{
+  public:
+    /** Elements per HBM batch (matches the units' 256-lane width). */
+    static constexpr std::size_t kBatchElements = 256;
+    /** Latency of one Aether-config lookup (paper: < 900 ns). */
+    static constexpr double kConfigLookupNs = 900.0;
+
+    Hemera(cost::KeySwitchCostModel model, std::size_t history_depth = 8);
+
+    /** Plan all transfers for a trace under an Aether config. */
+    std::vector<EvkTransfer> plan(const trace::OpStream &stream,
+                                  const AetherConfig &config);
+
+    const HemeraStats &stats() const { return stats_; }
+    const EvkPool &pool() const { return pool_; }
+
+  private:
+    /** History Recorder: predicts the next (method, hoist) per level. */
+    struct HistoryRecorder {
+        std::size_t depth;
+        std::map<std::size_t,
+                 std::deque<std::pair<KeySwitchMethod, std::size_t>>>
+            per_level;
+
+        void record(std::size_t level, KeySwitchMethod method,
+                    std::size_t hoist);
+        std::optional<std::pair<KeySwitchMethod, std::size_t>>
+        predict(std::size_t level) const;
+    };
+
+    cost::KeySwitchCostModel model_;
+    EvkPool pool_;
+    HistoryRecorder history_;
+    HemeraStats stats_;
+};
+
+} // namespace fast::core
+
+#endif // FAST_CORE_HEMERA_HPP

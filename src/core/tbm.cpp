@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Implementation of the TBM functional model.
+ */
+#include "core/tbm.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace fast::core {
+
+namespace {
+
+void
+requireWidth(u64 v, int bits, const char *what)
+{
+    if (bits < 64 && (v >> bits) != 0)
+        throw std::invalid_argument(std::string(what) +
+                                    ": operand exceeds datapath width");
+}
+
+} // namespace
+
+u128
+TunableBitMultiplier::baseMultiply(u64 a, u64 b)
+{
+    // The physical base multiplier is 36x36; the Karatsuba middle
+    // term feeds it (a0+a1)(b0+b1) which is at most 37 bits per
+    // operand — the paper's Combiner-C accommodates the extra bit.
+    requireWidth(a, 37, "base multiplier");
+    requireWidth(b, 37, "base multiplier");
+    ++stats_.base_mults;
+    return (u128)a * b;
+}
+
+std::pair<u128, u128>
+TunableBitMultiplier::multiplyDual36(u64 a0, u64 b0, u64 a1, u64 b1)
+{
+    requireWidth(a0, kNarrowBits, "dual36");
+    requireWidth(b0, kNarrowBits, "dual36");
+    requireWidth(a1, kNarrowBits, "dual36");
+    requireWidth(b1, kNarrowBits, "dual36");
+    // Multiplier B takes the low lane, multiplier A the high lane;
+    // both issue in the same cycle (red datapath in Fig. 6).
+    u128 low = baseMultiply(a0, b0);
+    u128 high = baseMultiply(a1, b1);
+    ++stats_.cycles;
+    stats_.products36 += 2;
+    return {low, high};
+}
+
+u128
+TunableBitMultiplier::multiply60(u64 a, u64 b)
+{
+    requireWidth(a, kWideBits, "single60");
+    requireWidth(b, kWideBits, "single60");
+    // Split: low 36 bits full precision, upper segment zero-extended
+    // to 24 significant bits (Sec. 4.2).
+    const u64 mask36 = (u64(1) << 36) - 1;
+    u64 a0 = a & mask36, a1 = a >> 36;
+    u64 b0 = b & mask36, b1 = b >> 36;
+
+    // Karatsuba with three base multipliers:
+    //   p0 = a0*b0, p1 = a1*b1, pm = (a0+a1)(b0+b1),
+    //   mid = pm - p0 - p1 = a0*b1 + a1*b0.
+    u128 p0 = baseMultiply(a0, b0);           // M-B
+    u128 p1 = baseMultiply(a1, b1);           // M-A
+    u128 pm = baseMultiply(a0 + a1, b0 + b1); // M-C
+    u128 mid = pm - p0 - p1;
+
+    ++stats_.cycles;
+    ++stats_.products60;
+    return (p1 << 72) + (mid << 36) + p0;
+}
+
+u64
+TunableBitMultiplier::mulMod60(u64 a, u64 b, const math::Modulus &q)
+{
+    return q.reduce128(multiply60(a % q.value(), b % q.value()));
+}
+
+std::pair<u64, u64>
+TunableBitMultiplier::mulModDual36(u64 a0, u64 b0, u64 a1, u64 b1,
+                                   const math::Modulus &q0,
+                                   const math::Modulus &q1)
+{
+    auto [p_low, p_high] = multiplyDual36(a0, b0, a1, b1);
+    return {q0.reduce128(p_low), q1.reduce128(p_high)};
+}
+
+} // namespace fast::core

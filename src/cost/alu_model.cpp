@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Implementation of the ALU scaling model.
+ */
+#include "cost/alu_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fast::cost {
+
+namespace {
+
+/** Exponent e with (60/36)^e hitting the paper's 60-bit anchor. */
+double
+exponentFor(double anchor)
+{
+    return std::log(anchor) / std::log(60.0 / 36.0);
+}
+
+double
+scale(int bits, double anchor)
+{
+    if (bits < 8 || bits > 128)
+        throw std::invalid_argument("ALU width out of modeled range");
+    return std::pow(static_cast<double>(bits) / 36.0,
+                    exponentFor(anchor));
+}
+
+} // namespace
+
+double
+AluCostModel::area(AluKind kind, int bits)
+{
+    // Fig. 4 anchors: 60-bit / 36-bit area = 2.9 (modmult), 2.8 (mult).
+    return scale(bits, kind == AluKind::modular_multiplier ? 2.9 : 2.8);
+}
+
+double
+AluCostModel::power(AluKind kind, int bits)
+{
+    // Fig. 4 anchors: 60-bit / 36-bit power = 2.8 (modmult), 2.7 (mult).
+    return scale(bits, kind == AluKind::modular_multiplier ? 2.8 : 2.7);
+}
+
+double
+AluCostModel::tbmAreaVsNative60()
+{
+    return 1.28;
+}
+
+double
+AluCostModel::tbmControlOverhead()
+{
+    return 0.19;
+}
+
+double
+AluCostModel::booth4x36AreaVsNative60()
+{
+    return 1.275;
+}
+
+int
+AluCostModel::tbmParallelism(int bits)
+{
+    if (bits <= 36)
+        return 2;
+    if (bits <= 60)
+        return 1;
+    throw std::invalid_argument("TBM supports widths up to 60 bits");
+}
+
+int
+AluCostModel::baseMultipliersPerWideProduct(bool karatsuba)
+{
+    return karatsuba ? 3 : 4;
+}
+
+} // namespace fast::cost

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * ALU area/power scaling model (Sec. 3.2, Fig. 4) and the TBM area
+ * accounting (Sec. 4.2).
+ *
+ * The paper synthesizes multipliers and Montgomery modular multipliers
+ * at TSMC 7 nm and reports super-linear area/power growth with word
+ * length: the 60-bit modular multiplier costs ~2.9x the area and
+ * ~2.8x the power of the 36-bit one. We model cost = (bits/36)^e with
+ * the exponent calibrated to those anchors, and expose the paper's
+ * TBM / Booth-composition comparisons on top.
+ */
+#ifndef FAST_COST_ALU_MODEL_HPP
+#define FAST_COST_ALU_MODEL_HPP
+
+namespace fast::cost {
+
+/** What kind of arithmetic unit is being scaled. */
+enum class AluKind {
+    multiplier,         ///< integer multiplier only
+    modular_multiplier, ///< multiplier + modular reduction
+};
+
+/**
+ * Relative area/power of word-sized arithmetic units, normalized to
+ * the 36-bit configuration of each kind.
+ */
+class AluCostModel
+{
+  public:
+    /** Relative area of a @p bits-wide unit (36-bit == 1.0). */
+    static double area(AluKind kind, int bits);
+
+    /** Relative power of a @p bits-wide unit (36-bit == 1.0). */
+    static double power(AluKind kind, int bits);
+
+    /**
+     * TBM area relative to one conventional 60-bit multiplier:
+     * three 36-bit base multipliers plus combiner/control logic; the
+     * paper reports +28% area for 2x 36-bit parallelism (Sec. 4.2).
+     */
+    static double tbmAreaVsNative60();
+
+    /** TBM control-logic overhead fraction (paper: 19%). */
+    static double tbmControlOverhead();
+
+    /**
+     * Area of composing one 60-bit multiply from four 36-bit units
+     * with a Booth-style scheme, relative to a native 60-bit unit
+     * (paper: +27.5%), with a 75% parallelism loss.
+     */
+    static double booth4x36AreaVsNative60();
+
+    /**
+     * 36-bit multiplications a TBM delivers per cycle in 36-bit mode
+     * (2) and 60-bit multiplications in 60-bit mode (1).
+     */
+    static int tbmParallelism(int bits);
+
+    /**
+     * Base multipliers needed per 60-bit product: 3 for the TBM's
+     * Karatsuba datapath vs 4 for the naive composition — the 33%
+     * reduction the paper cites.
+     */
+    static int baseMultipliersPerWideProduct(bool karatsuba);
+};
+
+} // namespace fast::cost
+
+#endif // FAST_COST_ALU_MODEL_HPP

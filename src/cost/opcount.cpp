@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Implementation of the key-switching op-count models.
+ */
+#include "cost/opcount.hpp"
+
+#include <cmath>
+
+namespace fast::cost {
+
+OpBreakdown &
+OpBreakdown::operator+=(const OpBreakdown &o)
+{
+    ntt += o.ntt;
+    bconv += o.bconv;
+    keymult += o.keymult;
+    elementwise += o.elementwise;
+    return *this;
+}
+
+OpBreakdown
+OpBreakdown::operator+(const OpBreakdown &o) const
+{
+    OpBreakdown r = *this;
+    r += o;
+    return r;
+}
+
+OpBreakdown
+OpBreakdown::operator*(double f) const
+{
+    return {ntt * f, bconv * f, keymult * f, elementwise * f};
+}
+
+KeySwitchCostModel::KeySwitchCostModel(Config config) : config_(config)
+{
+}
+
+KeySwitchCostModel
+KeySwitchCostModel::fromParams(const ckks::CkksParams &params)
+{
+    Config c;
+    c.degree = params.degree;
+    c.q_bits = 36;
+    c.alpha = params.alpha;
+    c.specials = params.p_chain.size();
+    c.klss_alpha = params.alpha;
+    c.klss_specials = params.p_chain.size();
+    c.digit_bits = params.digit_bits;
+    return KeySwitchCostModel(c);
+}
+
+double
+KeySwitchCostModel::nttOps() const
+{
+    auto n = static_cast<double>(config_.degree);
+    return n / 2.0 * std::log2(n);
+}
+
+std::size_t
+KeySwitchCostModel::klssAuxLimbs() const
+{
+    // T must exceed the exact product bound of one group times one
+    // 60-bit evk digit plus the convolution growth:
+    // alpha*q_bits + v + log2(N * alpha') margin.
+    double need = static_cast<double>(config_.klss_alpha) *
+                      config_.q_bits +
+                  config_.digit_bits +
+                  std::log2(static_cast<double>(config_.degree)) + 2;
+    return static_cast<std::size_t>(std::ceil(need / 60.0));
+}
+
+std::size_t
+KeySwitchCostModel::klssOutputGroups(std::size_t ell) const
+{
+    // Output groups must cover P*Q_ell in v-bit digits per alpha'
+    // T-limbs of capacity; one extra group absorbs the carry margin.
+    double pq_bits = static_cast<double>(ell + 1 +
+                                         config_.klss_specials) *
+                     config_.q_bits;
+    double cap = static_cast<double>(klssAuxLimbs()) * 60.0;
+    // One extra group absorbs the gadget carry margin.
+    return static_cast<std::size_t>(std::ceil(pq_bits / cap)) + 1;
+}
+
+OpBreakdown
+KeySwitchCostModel::hybridKeySwitch(std::size_t ell,
+                                    std::size_t hoisted) const
+{
+    auto n = static_cast<double>(config_.degree);
+    double l = static_cast<double>(ell + 1);
+    double a = static_cast<double>(config_.alpha);
+    double k = static_cast<double>(config_.specials);
+    double beta = std::ceil(l / a);
+    double h = static_cast<double>(hoisted);
+
+    OpBreakdown ops;
+    // ModUp, shared across hoisted rotations: INTT of all l limbs,
+    // BConv of each group to the complement + specials, NTT of the
+    // converted limbs.
+    ops.ntt += l * nttOps();                         // INTT inputs
+    ops.ntt += beta * (l + k - a) * nttOps();        // NTT converted
+    ops.bconv += l * n;                              // qHatInv scaling
+    ops.bconv += beta * n * a * (l + k - a);         // conversion MACs
+
+    // Per rotation: KeyMult over the extended basis (two outputs).
+    ops.keymult += h * 2.0 * beta * (l + k) * n;
+
+    // Per rotation: ModDown of both outputs: INTT specials, BConv
+    // specials -> q, NTT back, subtract-and-scale.
+    ops.ntt += h * 2.0 * (k + l) * nttOps();
+    ops.bconv += h * 2.0 * (k * n + n * k * l);
+    ops.elementwise += h * 2.0 * l * n;
+    return ops;
+}
+
+OpBreakdown
+KeySwitchCostModel::klssKeySwitch(std::size_t ell,
+                                  std::size_t hoisted) const
+{
+    auto n = static_cast<double>(config_.degree);
+    double l = static_cast<double>(ell + 1);
+    double a = static_cast<double>(config_.klss_alpha);
+    double beta = std::ceil(l / a);
+    double ap = static_cast<double>(klssAuxLimbs());
+    double bt = static_cast<double>(klssOutputGroups(ell));
+    double h = static_cast<double>(hoisted);
+
+    double w = config_.wide_op_weight;  // 60-bit R_T kernels
+
+    OpBreakdown ops;
+    // Double decomposition (shared across hoisted rotations): INTT
+    // the l input limbs, exact-convert each group into R_T, NTT over
+    // the small T basis only — this is where KLSS saves NTT work.
+    ops.ntt += l * nttOps();                 // INTT inputs (36-bit)
+    ops.ntt += w * beta * ap * nttOps();     // NTT into R_T
+    ops.bconv += l * n;                      // scaling stage
+    ops.bconv += w * beta * n * a * ap;      // group -> T conversion
+
+    // Per rotation: KeyMult is a beta x beta~ vector-matrix product
+    // with alpha' limbs per entry (two output polys) — larger than
+    // the hybrid KeyMult, as the paper notes.
+    ops.keymult += h * w * 2.0 * beta * bt * ap * n;
+
+    // Per rotation: recover limbs (INTT over T, exact conversion back
+    // to P*Q with the ModDown division folded in, NTT of the l
+    // output limbs) and the final subtract-and-scale.
+    ops.ntt += h * w * 2.0 * bt * ap * nttOps();  // INTT over T
+    ops.bconv += h * w * 2.0 * bt * n * ap * a;   // T -> limbs MACs
+    ops.ntt += h * 2.0 * l * nttOps();        // NTT recovered (36-bit)
+    ops.elementwise += h * 2.0 * l * n;
+    return ops;
+}
+
+OpBreakdown
+KeySwitchCostModel::keySwitch(KeySwitchMethod method, std::size_t ell,
+                              std::size_t hoisted) const
+{
+    return method == KeySwitchMethod::hybrid
+               ? hybridKeySwitch(ell, hoisted)
+               : klssKeySwitch(ell, hoisted);
+}
+
+OpBreakdown
+KeySwitchCostModel::hmult(KeySwitchMethod method, std::size_t ell) const
+{
+    auto n = static_cast<double>(config_.degree);
+    double l = static_cast<double>(ell + 1);
+    OpBreakdown ops = keySwitch(method, ell, 1);
+    ops.elementwise += 4.0 * l * n;        // tensor product
+    ops.elementwise += 2.0 * (l - 1) * n;  // rescale
+    ops.ntt += 2.0 * nttOps();             // rescale tail INTT/NTT
+    return ops;
+}
+
+OpBreakdown
+KeySwitchCostModel::hrot(KeySwitchMethod method, std::size_t ell,
+                         std::size_t hoisted) const
+{
+    return keySwitch(method, ell, hoisted);
+}
+
+double
+KeySwitchCostModel::quantitativeLine(std::size_t ell,
+                                     std::size_t hoisted) const
+{
+    double hybrid = keySwitch(KeySwitchMethod::hybrid, ell,
+                              hoisted).total();
+    double klss = keySwitch(KeySwitchMethod::klss, ell,
+                            hoisted).total();
+    return hybrid / klss;
+}
+
+double
+KeySwitchCostModel::ciphertextBytes(std::size_t ell) const
+{
+    return 2.0 * static_cast<double>(ell + 1) *
+           static_cast<double>(config_.degree) * config_.q_bits / 8.0;
+}
+
+double
+KeySwitchCostModel::evkBytes(KeySwitchMethod method,
+                             std::size_t ell) const
+{
+    auto n = static_cast<double>(config_.degree);
+    double l = static_cast<double>(ell + 1);
+    if (method == KeySwitchMethod::hybrid) {
+        double beta = std::ceil(l / static_cast<double>(config_.alpha));
+        double limbs = l + static_cast<double>(config_.specials);
+        return 2.0 * beta * limbs * n * config_.q_bits / 8.0;
+    }
+    double beta = std::ceil(l / static_cast<double>(config_.klss_alpha));
+    double bt = static_cast<double>(klssOutputGroups(ell));
+    double ap = static_cast<double>(klssAuxLimbs());
+    return 2.0 * beta * bt * ap * n * 60.0 / 8.0;
+}
+
+double
+KeySwitchCostModel::evkBytesMinKs(KeySwitchMethod method) const
+{
+    std::size_t min_level =
+        (method == KeySwitchMethod::hybrid ? config_.alpha
+                                           : config_.klss_alpha) - 1;
+    return evkBytes(method, min_level);
+}
+
+double
+KeySwitchCostModel::digitsBytes(KeySwitchMethod method,
+                                std::size_t ell) const
+{
+    auto n = static_cast<double>(config_.degree);
+    double l = static_cast<double>(ell + 1);
+    if (method == KeySwitchMethod::hybrid) {
+        double beta = std::ceil(l / static_cast<double>(config_.alpha));
+        return beta * (l + config_.specials) * n * config_.q_bits / 8.0;
+    }
+    double beta = std::ceil(l / static_cast<double>(config_.klss_alpha));
+    return beta * static_cast<double>(klssAuxLimbs()) * n * 60.0 / 8.0;
+}
+
+} // namespace fast::cost

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Modular-operation count models for the hybrid and KLSS key-switching
+ * methods (Sec. 3.1, Fig. 2/3a/11b of the FAST paper).
+ *
+ * The counts follow the kernel structure implemented functionally in
+ * src/ckks/keyswitch.cpp: ModUp (INTT + BConv + NTT), KeyMult,
+ * ModDown for the hybrid method; double decomposition into the 60-bit
+ * auxiliary basis R_T, KeyMult over R_T, limb recovery, and ModDown
+ * for KLSS [Kim-Lee-Seo-Song, CRYPTO'23]. Hoisting shares one
+ * decomposition across h rotations (Sec. 2.2.3), so only the
+ * KeyMult/ModDown terms scale with h.
+ */
+#ifndef FAST_COST_OPCOUNT_HPP
+#define FAST_COST_OPCOUNT_HPP
+
+#include <cstddef>
+#include <string>
+
+#include "ckks/params.hpp"
+
+namespace fast::cost {
+
+using ckks::KeySwitchMethod;
+
+/** Modular-multiplication counts split by hardware kernel. */
+struct OpBreakdown {
+    double ntt = 0;          ///< (I)NTT butterflies
+    double bconv = 0;        ///< base-conversion MACs (both stages)
+    double keymult = 0;      ///< digit-by-evk multiplications
+    double elementwise = 0;  ///< tensor products, rescale, ModDown scale
+
+    double total() const { return ntt + bconv + keymult + elementwise; }
+
+    OpBreakdown &operator+=(const OpBreakdown &o);
+    OpBreakdown operator+(const OpBreakdown &o) const;
+    OpBreakdown operator*(double f) const;
+};
+
+/**
+ * Parameterized op-count model. Defaults reproduce the paper's
+ * Set-I (hybrid) / Set-II (KLSS) configuration at N = 2^16.
+ */
+class KeySwitchCostModel
+{
+  public:
+    struct Config {
+        std::size_t degree = std::size_t(1) << 16;
+        int q_bits = 36;             ///< working prime width
+        std::size_t alpha = 12;      ///< hybrid group size (Set-I)
+        std::size_t specials = 12;   ///< hybrid special primes k
+        std::size_t klss_alpha = 5;  ///< KLSS group size (Set-II)
+        std::size_t klss_specials = 9;  ///< KLSS special limbs alpha~
+        int digit_bits = 60;         ///< KLSS digit width v
+        /**
+         * Relative cost of one 60-bit modular op in 36-bit-op units.
+         * The paper reports op counts in which the wide R_T kernels
+         * carry extra datapath cost; 1.3 reproduces its efficiency
+         * bands (KLSS ~15% better at ell in [25,35], hybrid ~23%
+         * better at ell in [5,12]). See DESIGN.md calibration notes.
+         */
+        double wide_op_weight = 1.3;
+    };
+
+    KeySwitchCostModel() : KeySwitchCostModel(Config{}) {}
+    explicit KeySwitchCostModel(Config config);
+
+    /** Build a model from a CKKS parameter set. */
+    static KeySwitchCostModel fromParams(const ckks::CkksParams &params);
+
+    const Config &config() const { return config_; }
+
+    /** Mults of one N-point NTT: (N/2) log2 N. */
+    double nttOps() const;
+
+    /** Limbs of R_T needed so group products stay exact (alpha'). */
+    std::size_t klssAuxLimbs() const;
+
+    /** KLSS output limb groups beta~ at level ell. */
+    std::size_t klssOutputGroups(std::size_t ell) const;
+
+    /**
+     * Key-switch cost at level ell for @p hoisted rotations sharing
+     * one decomposition (hoisted == 1 is a plain key switch).
+     */
+    OpBreakdown keySwitch(KeySwitchMethod method, std::size_t ell,
+                          std::size_t hoisted = 1) const;
+
+    /** HMult = tensor + key switch + rescale. */
+    OpBreakdown hmult(KeySwitchMethod method, std::size_t ell) const;
+
+    /** HRot = key switch (+ free automorphism); hoisting-aware. */
+    OpBreakdown hrot(KeySwitchMethod method, std::size_t ell,
+                     std::size_t hoisted = 1) const;
+
+    /**
+     * The paper's 'Quantitative Line' (Fig. 2a): hybrid_ops/KLSS_ops.
+     * > 1 means KLSS is more efficient at this level.
+     */
+    double quantitativeLine(std::size_t ell,
+                            std::size_t hoisted = 1) const;
+
+    /** evk bytes needed at level ell (q_bits-packed, both halves). */
+    double evkBytes(KeySwitchMethod method, std::size_t ell) const;
+
+    /**
+     * evk bytes under Min-KS (ARK [21]): non-hoisted key switches use
+     * keys stored at the minimum modulus (one digit group), slashing
+     * off-chip traffic. Hoisted rotations need full-level keys.
+     */
+    double evkBytesMinKs(KeySwitchMethod method) const;
+
+    /**
+     * Bytes of the decomposed digit polynomials that stay resident
+     * while rotations are hoisted (hybrid: beta extended-basis polys;
+     * KLSS: beta alpha'-limb polys over R_T).
+     */
+    double digitsBytes(KeySwitchMethod method, std::size_t ell) const;
+
+    /** Ciphertext bytes at level ell (two polys, q_bits-packed). */
+    double ciphertextBytes(std::size_t ell) const;
+
+  private:
+    OpBreakdown hybridKeySwitch(std::size_t ell,
+                                std::size_t hoisted) const;
+    OpBreakdown klssKeySwitch(std::size_t ell,
+                              std::size_t hoisted) const;
+
+    Config config_;
+};
+
+} // namespace fast::cost
+
+#endif // FAST_COST_OPCOUNT_HPP

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Working-set size model (Sec. 3.1, Fig. 3b): on-chip bytes needed by
+ * ciphertexts plus evaluation keys at a given level, key-switching
+ * method, and hoisting configuration. Aether's STEP-1 filter uses
+ * this against the accelerator's reserved key storage (Sec. 4.1.1).
+ */
+#ifndef FAST_COST_WORKSETS_HPP
+#define FAST_COST_WORKSETS_HPP
+
+#include "cost/opcount.hpp"
+
+namespace fast::cost {
+
+/**
+ * Working-set calculator layered on the op-count model's size
+ * formulas.
+ */
+class WorkingSetModel
+{
+  public:
+    explicit WorkingSetModel(KeySwitchCostModel model)
+        : model_(std::move(model))
+    {
+    }
+
+    const KeySwitchCostModel &model() const { return model_; }
+
+    /** Bytes of one ciphertext at level ell. */
+    double ciphertextBytes(std::size_t ell) const
+    {
+        return model_.ciphertextBytes(ell);
+    }
+
+    /** Bytes of one evk for the method at level ell. */
+    double evkBytes(KeySwitchMethod method, std::size_t ell) const
+    {
+        return model_.evkBytes(method, ell);
+    }
+
+    /**
+     * Total working set: @p live_cts resident ciphertexts plus the
+     * evks of @p hoisted_rotations distinct rotations (hoisting keeps
+     * one evk per rotation index resident simultaneously, which is
+     * exactly why Fig. 3b shows storage scaling with the hoisting
+     * number).
+     */
+    double workingSetBytes(KeySwitchMethod method, std::size_t ell,
+                           std::size_t hoisted_rotations,
+                           std::size_t live_cts) const
+    {
+        return static_cast<double>(live_cts) * ciphertextBytes(ell) +
+               static_cast<double>(
+                   hoisted_rotations == 0 ? 1 : hoisted_rotations) *
+                   evkBytes(method, ell);
+    }
+
+    /** True when the working set exceeds @p capacity_bytes. */
+    bool exceedsCapacity(KeySwitchMethod method, std::size_t ell,
+                         std::size_t hoisted_rotations,
+                         std::size_t live_cts,
+                         double capacity_bytes) const
+    {
+        return workingSetBytes(method, ell, hoisted_rotations,
+                               live_cts) > capacity_bytes;
+    }
+
+  private:
+    KeySwitchCostModel model_;
+};
+
+} // namespace fast::cost
+
+#endif // FAST_COST_WORKSETS_HPP

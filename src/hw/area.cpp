@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Implementation of the area/power roll-up.
+ */
+#include "hw/area.hpp"
+
+#include "cost/alu_model.hpp"
+
+namespace fast::hw {
+
+namespace {
+
+/** Paper Table 3 anchors: FAST at 4 clusters, 281 MB, 60-bit TBM. */
+struct Anchor {
+    const char *name;
+    double area;       // mm^2
+    double power;      // W
+    bool per_cluster;  // scales with cluster count
+    bool per_memory;   // scales with on-chip capacity
+    bool alu_scaled;   // scales with datapath width
+};
+
+constexpr Anchor kAnchors[] = {
+    {"NTTU", 60.88, 142.7, true, false, true},
+    {"BConvU", 28.89, 86.6, true, false, true},
+    {"KMU", 10.58, 27.67, true, false, true},
+    {"AutoU", 0.60, 0.80, true, false, false},
+    {"AEM", 8.67, 10.70, true, false, false},
+    {"Register Files", 123.90, 29.40, false, true, false},
+    {"HBM", 29.60, 31.80, false, false, false},
+    {"NoC", 20.60, 27.00, true, false, false},
+};
+
+constexpr double kAnchorClusters = 4.0;
+constexpr double kAnchorMemoryMb = 281.0;
+
+} // namespace
+
+ChipBudget::ChipBudget(const FastConfig &config)
+{
+    using cost::AluCostModel;
+    using cost::AluKind;
+
+    // Datapath scaling relative to the anchor (60-bit TBM): the TBM
+    // costs 1.28x a native 60-bit multiplier; a plain 60-bit unit is
+    // 1/1.28 of the anchor; a 36-bit unit is 1/2.9 of a 60-bit one.
+    double anchor_alu =
+        AluCostModel::area(AluKind::modular_multiplier, 60) *
+        AluCostModel::tbmAreaVsNative60();
+    double cfg_alu =
+        AluCostModel::area(AluKind::modular_multiplier,
+                           config.alu_bits) *
+        (config.has_tbm ? AluCostModel::tbmAreaVsNative60() : 1.0);
+    double alu_area_scale = cfg_alu / anchor_alu;
+
+    double anchor_alu_p =
+        AluCostModel::power(AluKind::modular_multiplier, 60) *
+        AluCostModel::tbmAreaVsNative60();
+    double cfg_alu_p =
+        AluCostModel::power(AluKind::modular_multiplier,
+                            config.alu_bits) *
+        (config.has_tbm ? AluCostModel::tbmAreaVsNative60() : 1.0);
+    double alu_power_scale = cfg_alu_p / anchor_alu_p;
+
+    double cluster_scale =
+        static_cast<double>(config.clusters) / kAnchorClusters;
+    double memory_scale = config.onchip_mb / kAnchorMemoryMb;
+
+    for (const auto &anchor : kAnchors) {
+        ComponentBudget c;
+        c.name = anchor.name;
+        double area_scale = 1.0, power_scale = 1.0;
+        if (anchor.per_cluster) {
+            area_scale *= cluster_scale;
+            power_scale *= cluster_scale;
+        }
+        if (anchor.per_memory) {
+            area_scale *= memory_scale;
+            power_scale *= memory_scale;
+        }
+        if (anchor.alu_scaled) {
+            area_scale *= alu_area_scale;
+            power_scale *= alu_power_scale;
+        }
+        c.area_mm2 = anchor.area * area_scale;
+        c.peak_power_w = anchor.power * power_scale;
+        components_.push_back(c);
+    }
+}
+
+double
+ChipBudget::totalAreaMm2() const
+{
+    double total = 0;
+    for (const auto &c : components_)
+        total += c.area_mm2;
+    return total;
+}
+
+double
+ChipBudget::totalPeakPowerW() const
+{
+    double total = 0;
+    for (const auto &c : components_)
+        total += c.peak_power_w;
+    return total;
+}
+
+} // namespace fast::hw

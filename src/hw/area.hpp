@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Chip area and peak-power roll-up (Table 3 / Table 4 / Fig. 13).
+ *
+ * Component values are anchored to the paper's synthesized 7 nm
+ * numbers for the 4-cluster, 281 MB FAST configuration and scaled:
+ * execution units with cluster count, the register file with on-chip
+ * capacity, the NoC with cluster count, HBM fixed. ALU-width effects
+ * come from cost::AluCostModel.
+ */
+#ifndef FAST_HW_AREA_HPP
+#define FAST_HW_AREA_HPP
+
+#include <string>
+#include <vector>
+
+#include "hw/config.hpp"
+
+namespace fast::hw {
+
+/** One row of the area/power table. */
+struct ComponentBudget {
+    std::string name;
+    double area_mm2 = 0;
+    double peak_power_w = 0;
+};
+
+/**
+ * Area/power estimator for a configuration.
+ */
+class ChipBudget
+{
+  public:
+    explicit ChipBudget(const FastConfig &config);
+
+    /** Per-component breakdown (Table 3 rows). */
+    const std::vector<ComponentBudget> &components() const
+    {
+        return components_;
+    }
+
+    double totalAreaMm2() const;
+    double totalPeakPowerW() const;
+
+  private:
+    std::vector<ComponentBudget> components_;
+};
+
+} // namespace fast::hw
+
+#endif // FAST_HW_AREA_HPP

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Implementation of Benes routing via the classic looping algorithm.
+ */
+#include "hw/benes.hpp"
+
+#include <stdexcept>
+
+namespace fast::hw {
+
+namespace {
+
+int
+log2Exact(std::size_t n)
+{
+    int lg = 0;
+    while ((std::size_t(1) << lg) < n)
+        ++lg;
+    if ((std::size_t(1) << lg) != n || n < 2)
+        throw std::invalid_argument(
+            "Benes network size must be a power of two >= 2");
+    return lg;
+}
+
+} // namespace
+
+BenesNetwork::BenesNetwork(std::size_t size) : n_(size)
+{
+    log_n_ = log2Exact(size);
+    settings_.assign(stageCount(),
+                     std::vector<bool>(switchesPerStage(), false));
+}
+
+std::size_t
+BenesNetwork::stageCount() const
+{
+    return 2 * static_cast<std::size_t>(log_n_) - 1;
+}
+
+namespace {
+
+/**
+ * Recursive router. perm maps output j -> input perm[j] within this
+ * subnetwork. `stage` is the global stage of this subnetwork's input
+ * column, `offset` the global index of its first switch in every
+ * column it occupies, and `set` the global settings table.
+ */
+void
+routeRec(const std::vector<std::size_t> &perm, std::size_t stage,
+         std::size_t offset, std::vector<std::vector<bool>> &set,
+         std::size_t total_stages)
+{
+    std::size_t n = perm.size();
+    if (n == 2) {
+        // A single 2x2 switch in the middle column.
+        set[stage][offset] = perm[0] == 1;
+        return;
+    }
+    std::size_t half = n / 2;
+    std::size_t out_stage = total_stages - 1 - stage;
+
+    // inverse permutation: input i -> output position.
+    std::vector<std::size_t> inv(n);
+    for (std::size_t j = 0; j < n; ++j)
+        inv[perm[j]] = j;
+
+    std::vector<int> in_cross(half, -1);   // -1 undecided, 0/1 set
+    std::vector<int> out_cross(half, -1);
+    std::vector<std::size_t> top(half), bottom(half);
+
+    // Looping algorithm: alternate output/input constraints around
+    // each cycle. An output switch routes straight as top -> 2t,
+    // bottom -> 2t+1; an input switch routes straight as 2s -> top,
+    // 2s+1 -> bottom.
+    for (std::size_t seed = 0; seed < half; ++seed) {
+        if (out_cross[seed] != -1)
+            continue;
+        std::size_t j = 2 * seed;  // start at the even output terminal
+        bool via_top = true;       // arbitrary seed choice
+        out_cross[seed] = 0;
+        while (true) {
+            std::size_t t = j / 2;
+            // Record the subnet terminal: position t of this subnet
+            // is fed from input-switch position perm[j]/2.
+            std::size_t i = perm[j];
+            std::size_t s = i / 2;
+            (via_top ? top : bottom)[t] = s;
+            // Set the input switch to steer input i to this subnet.
+            int need_in = via_top ? (i % 2 == 1) : (i % 2 == 0);
+            if (in_cross[s] != -1)
+                break;  // cycle closed at an input switch
+            in_cross[s] = need_in;
+            // The partner input is forced to the other subnet.
+            std::size_t i2 = i ^ 1;
+            via_top = !via_top;
+            std::size_t j2 = inv[i2];
+            std::size_t t2 = j2 / 2;
+            (via_top ? top : bottom)[t2] = i2 / 2;
+            int need_out = via_top ? (j2 % 2 == 1) : (j2 % 2 == 0);
+            if (out_cross[t2] != -1)
+                break;  // cycle closed at an output switch
+            out_cross[t2] = need_out;
+            // Continue from the other terminal of output switch t2.
+            j = j2 ^ 1;
+            via_top = !via_top;
+        }
+    }
+
+    for (std::size_t s = 0; s < half; ++s) {
+        set[stage][offset + s] = in_cross[s] == 1;
+        set[out_stage][offset + s] = out_cross[s] == 1;
+    }
+    routeRec(top, stage + 1, offset, set, total_stages);
+    routeRec(bottom, stage + 1, offset + half / 2, set, total_stages);
+}
+
+} // namespace
+
+void
+BenesNetwork::route(const std::vector<std::size_t> &perm)
+{
+    if (perm.size() != n_)
+        throw std::invalid_argument("permutation size mismatch");
+    std::vector<bool> seen(n_, false);
+    for (std::size_t v : perm) {
+        if (v >= n_ || seen[v])
+            throw std::invalid_argument("not a permutation");
+        seen[v] = true;
+    }
+    for (auto &stage : settings_)
+        stage.assign(switchesPerStage(), false);
+    routeRec(perm, 0, 0, settings_, stageCount());
+}
+
+std::vector<std::size_t>
+BenesNetwork::apply(const std::vector<std::size_t> &data) const
+{
+    if (data.size() != n_)
+        throw std::invalid_argument("data size mismatch");
+    // Evaluate stage by stage. The network has a butterfly topology:
+    // at recursion depth d, switch groups span n/2^d terminals and a
+    // switch connects partner wires within its group.
+    std::vector<std::size_t> wires = data;
+    std::size_t stages = stageCount();
+    auto applyStage = [&](std::size_t stage) {
+        // Depth of the recursion this stage belongs to.
+        std::size_t depth =
+            stage < static_cast<std::size_t>(log_n_)
+                ? stage
+                : stages - 1 - stage;
+        std::size_t group = n_ >> depth;       // terminals per subnet
+        std::size_t half = group / 2;
+        std::vector<std::size_t> next(n_);
+        for (std::size_t g = 0; g < n_ / group; ++g) {
+            std::size_t base = g * group;
+            std::size_t sw_base = g * half;
+            for (std::size_t s = 0; s < half; ++s) {
+                bool crossed = settings_[stage][sw_base + s];
+                // Input side (first log_n stages): wires 2s, 2s+1 of
+                // the group map to top[s], bottom[s].
+                std::size_t a = base + 2 * s;
+                std::size_t b = base + 2 * s + 1;
+                std::size_t to_top = base + s;
+                std::size_t to_bottom = base + half + s;
+                if (stage < static_cast<std::size_t>(log_n_) - 0 &&
+                    stage != stages - 1 - depth) {
+                    // entering subnetworks
+                    next[to_top] = crossed ? wires[b] : wires[a];
+                    next[to_bottom] = crossed ? wires[a] : wires[b];
+                } else {
+                    // leaving subnetworks
+                    next[a] = crossed ? wires[to_bottom]
+                                      : wires[to_top];
+                    next[b] = crossed ? wires[to_top]
+                                      : wires[to_bottom];
+                }
+            }
+        }
+        wires = std::move(next);
+    };
+    for (std::size_t stage = 0; stage < stages; ++stage)
+        applyStage(stage);
+    return wires;
+}
+
+std::vector<std::size_t>
+automorphismPermutation(std::size_t n, std::size_t galois)
+{
+    // Matches RnsPoly::automorphism in eval form: out[k] = in[k']
+    // with 2*br(k')+1 = (2*br(k)+1)*g mod 2N.
+    int lg = log2Exact(n);
+    auto bit_reverse = [lg](std::size_t x) {
+        std::size_t r = 0;
+        for (int i = 0; i < lg; ++i) {
+            r = (r << 1) | (x & 1);
+            x >>= 1;
+        }
+        return r;
+    };
+    std::size_t two_n = 2 * n;
+    std::vector<std::size_t> perm(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        std::size_t e = 2 * bit_reverse(k) + 1;
+        std::size_t src_e = (e * galois) % two_n;
+        perm[k] = bit_reverse((src_e - 1) / 2);
+    }
+    return perm;
+}
+
+} // namespace fast::hw

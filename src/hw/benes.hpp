@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Benes permutation network — the datapath of FAST's Automorphism
+ * Unit (AutoU, Sec. 5.5).
+ *
+ * A 2N-input Benes network routes any permutation through
+ * 2*log2(N)-1 stages of 2x2 switches. AutoU uses it to realize the
+ * slot permutation of phi_r: i -> i*5^r mod N. This is a full
+ * implementation of the looping route-computation algorithm plus a
+ * stage-by-stage functional evaluator, so tests can verify that every
+ * automorphism permutation is routable.
+ */
+#ifndef FAST_HW_BENES_HPP
+#define FAST_HW_BENES_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace fast::hw {
+
+/**
+ * A Benes network for a power-of-two number of terminals.
+ */
+class BenesNetwork
+{
+  public:
+    /** @param size number of inputs (power of two, >= 2). */
+    explicit BenesNetwork(std::size_t size);
+
+    std::size_t size() const { return n_; }
+
+    /** Number of switch stages: 2*log2(n) - 1. */
+    std::size_t stageCount() const;
+
+    /** Switches per stage: n/2. */
+    std::size_t switchesPerStage() const { return n_ / 2; }
+
+    /**
+     * Compute switch settings routing output j to input perm[j].
+     * @throws std::invalid_argument if perm is not a permutation.
+     */
+    void route(const std::vector<std::size_t> &perm);
+
+    /** Apply the routed configuration to a data vector. */
+    std::vector<std::size_t> apply(
+        const std::vector<std::size_t> &data) const;
+
+    /** The switch settings (stage-major); true = crossed. */
+    const std::vector<std::vector<bool>> &settings() const
+    {
+        return settings_;
+    }
+
+  private:
+    void routeRecursive(const std::vector<std::size_t> &perm,
+                        std::size_t stage, std::size_t offset);
+
+    std::size_t n_;
+    int log_n_;
+    std::vector<std::vector<bool>> settings_;  ///< [stage][switch]
+};
+
+/**
+ * The permutation AutoU must route for the automorphism
+ * i -> (i * galois) mod 2N with negacyclic sign handling folded into
+ * the eval-domain index map (matches RnsPoly::automorphism).
+ */
+std::vector<std::size_t> automorphismPermutation(std::size_t n,
+                                                 std::size_t galois);
+
+} // namespace fast::hw
+
+#endif // FAST_HW_BENES_HPP

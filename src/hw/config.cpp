@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Named accelerator configurations.
+ */
+#include "hw/config.hpp"
+
+namespace fast::hw {
+
+FastConfig
+FastConfig::fast()
+{
+    return FastConfig{};
+}
+
+FastConfig
+FastConfig::fastWithoutTbm()
+{
+    FastConfig c;
+    c.name = "FAST-noTBM";
+    c.has_tbm = false;  // fixed 60-bit units: no dual-36 speedup
+    return c;
+}
+
+FastConfig
+FastConfig::alu36()
+{
+    FastConfig c;
+    c.name = "ALU36";
+    c.alu_bits = 36;
+    c.has_tbm = false;
+    c.use_aether = false;
+    c.use_klss = false;  // 60-bit KLSS arithmetic would need Booth
+    c.use_hoisting = false;
+    return c;
+}
+
+FastConfig
+FastConfig::oneKeySwitch()
+{
+    FastConfig c;
+    c.name = "OneKSW";
+    c.use_aether = false;
+    c.use_klss = false;
+    c.use_hoisting = false;
+    c.use_min_ks = false;
+    return c;
+}
+
+FastConfig
+FastConfig::sharp()
+{
+    FastConfig c;
+    c.name = "SHARP";
+    c.clusters = 4;
+    c.lanes = 256;  // 1024 lanes total, 36-bit
+    c.alu_bits = 36;
+    c.has_tbm = false;
+    c.use_aether = false;
+    c.use_klss = false;
+    c.use_hoisting = false;
+    c.onchip_mb = 198;
+    c.evk_reserve_mb = 80;
+    return c;
+}
+
+FastConfig
+FastConfig::sharpLargeMem()
+{
+    FastConfig c = sharp();
+    c.name = "SHARP-LM";
+    c.onchip_mb = 281;
+    c.evk_reserve_mb = 140;
+    c.use_hoisting = true;  // the paper grants SHARP-LM hoisting
+    return c;
+}
+
+FastConfig
+FastConfig::sharp8Cluster()
+{
+    FastConfig c = sharp();
+    c.name = "SHARP-8C";
+    c.clusters = 8;
+    return c;
+}
+
+FastConfig
+FastConfig::sharpLargeMem8Cluster()
+{
+    FastConfig c = sharpLargeMem();
+    c.name = "SHARP-LM+8C";
+    c.clusters = 8;
+    return c;
+}
+
+FastConfig
+FastConfig::withClusters(std::size_t n) const
+{
+    FastConfig c = *this;
+    c.clusters = n;
+    c.name = name + "-" + std::to_string(n) + "C";
+    return c;
+}
+
+FastConfig
+FastConfig::withMemoryMb(double mb) const
+{
+    FastConfig c = *this;
+    c.onchip_mb = mb;
+    c.evk_reserve_mb = mb * (evk_reserve_mb / onchip_mb);
+    c.name = name + "-" + std::to_string(static_cast<int>(mb)) + "MB";
+    return c;
+}
+
+} // namespace fast::hw

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Accelerator configurations: FAST (Sec. 5) and the SHARP-style
+ * comparison points used throughout the evaluation (Table 4).
+ */
+#ifndef FAST_HW_CONFIG_HPP
+#define FAST_HW_CONFIG_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace fast::hw {
+
+/**
+ * Top-level accelerator configuration. FAST's default: 4 clusters of
+ * 256 lanes at 1 GHz, 60-bit TBM datapath, 1 TB/s HBM, 281 MB of
+ * on-chip memory with a reservation for evaluation keys.
+ */
+struct FastConfig {
+    std::string name = "FAST";
+    std::size_t clusters = 4;
+    std::size_t lanes = 256;      ///< per cluster
+    double freq_ghz = 1.0;
+    int alu_bits = 60;            ///< native datapath width
+    bool has_tbm = true;          ///< dual-36 mode available
+    bool use_aether = true;       ///< per-level method selection
+    bool use_hoisting = true;
+    bool use_klss = true;
+    bool use_min_ks = true;  ///< ARK minimum key-switching keys
+    double hbm_bytes_per_s = 1e12;
+    double onchip_mb = 281;
+    double evk_reserve_mb = 200;  ///< key-storage reservation (Aether)
+
+    /**
+     * Modular multiplications per cycle across the chip for a kernel
+     * of the given operand width: lanes x clusters, doubled in 36-bit
+     * mode when the TBM is present (Sec. 5.2-5.4).
+     */
+    double modMultsPerCycle(int bits) const
+    {
+        double base = static_cast<double>(clusters) *
+                      static_cast<double>(lanes);
+        if (bits <= 36 && has_tbm)
+            return 2.0 * base;
+        if (bits > alu_bits) {
+            // Composing wide products from narrow units costs 4 base
+            // multipliers (Booth) — a 75% parallelism loss (Sec. 3.2).
+            return base / 4.0;
+        }
+        return base;
+    }
+
+    /** Effective mod-mult throughput (ops/s) for Aether's estimates. */
+    double opsPerSecond(int bits) const
+    {
+        return modMultsPerCycle(bits) * freq_ghz * 1e9;
+    }
+
+    /** @name Named configurations. */
+    ///@{
+    static FastConfig fast();
+    /** FAST with the TBM removed (fixed 60-bit ALUs, no dual mode). */
+    static FastConfig fastWithoutTbm();
+    /** Plain 36-bit ALU accelerator (Fig. 12's final ablation). */
+    static FastConfig alu36();
+    /**
+     * The Fig. 10 "OneKSW" baseline: the FAST chip running only the
+     * hybrid method with full-level keys — no hoisting, no KLSS, no
+     * Min-KS (those are the optimizations Aether-Hemera integrates).
+     */
+    static FastConfig oneKeySwitch();
+    static FastConfig sharp();
+    static FastConfig sharpLargeMem();
+    static FastConfig sharp8Cluster();
+    static FastConfig sharpLargeMem8Cluster();
+    ///@}
+
+    /** Scale the cluster count (Fig. 13b sensitivity). */
+    FastConfig withClusters(std::size_t n) const;
+    /** Scale the on-chip memory (Fig. 13a sensitivity). */
+    FastConfig withMemoryMb(double mb) const;
+};
+
+} // namespace fast::hw
+
+#endif // FAST_HW_CONFIG_HPP

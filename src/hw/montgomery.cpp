@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Implementation of the TBM-based Montgomery multiplier. Uses
+ * R = 2^60 so every REDC product fits the TBM's 60-bit mode.
+ */
+#include "hw/montgomery.hpp"
+
+#include <stdexcept>
+
+namespace fast::hw {
+
+namespace {
+
+constexpr int kRBits = 60;
+constexpr u64 kRMask = (u64(1) << kRBits) - 1;
+
+/** q^-1 mod 2^60 by Newton iteration (setup-time, plain arithmetic). */
+u64
+inverseMod2k(u64 q)
+{
+    u64 inv = 1;
+    for (int i = 0; i < 6; ++i)  // doubles correct bits each round
+        inv = (inv * (2 - q * inv)) & kRMask;
+    return inv & kRMask;
+}
+
+} // namespace
+
+MontgomeryMultiplier::MontgomeryMultiplier(u64 q) : q_(q)
+{
+    if (q % 2 == 0 || q >= (u64(1) << 59))
+        throw std::invalid_argument(
+            "Montgomery modulus must be odd and < 2^59");
+    q_inv_neg_ = (~inverseMod2k(q) + 1) & kRMask;  // -q^-1 mod 2^60
+    // R^2 mod q via repeated doubling (setup only).
+    u64 r_mod_q = (u64(1) << kRBits) % q;
+    u128 r2 = (u128)r_mod_q * r_mod_q % q;
+    r2_ = static_cast<u64>(r2);
+}
+
+u64
+MontgomeryMultiplier::redc(u128 t, core::TunableBitMultiplier &tbm) const
+{
+    // m = (t mod R) * (-q^-1) mod R, computed on the TBM.
+    u64 t_lo = static_cast<u64>(t) & kRMask;
+    u64 m =
+        static_cast<u64>(tbm.multiply60(t_lo, q_inv_neg_)) & kRMask;
+    u128 mq = tbm.multiply60(m, q_);
+    u64 out = static_cast<u64>((t + mq) >> kRBits);
+    return out >= q_ ? out - q_ : out;
+}
+
+u64
+MontgomeryMultiplier::mulMont(u64 a, u64 b,
+                              core::TunableBitMultiplier &tbm) const
+{
+    return redc(tbm.multiply60(a, b), tbm);
+}
+
+u64
+MontgomeryMultiplier::toMont(u64 a) const
+{
+    core::TunableBitMultiplier tbm;
+    return mulMont(a % q_, r2_, tbm);
+}
+
+u64
+MontgomeryMultiplier::fromMont(u64 a) const
+{
+    core::TunableBitMultiplier tbm;
+    return redc(a, tbm);
+}
+
+u64
+MontgomeryMultiplier::mulMod(u64 a, u64 b,
+                             core::TunableBitMultiplier &tbm) const
+{
+    u64 am = mulMont(a % q_, r2_, tbm);  // a * R
+    u64 prod = mulMont(am, b % q_, tbm);  // a * b (form cancels)
+    return prod;
+}
+
+} // namespace fast::hw

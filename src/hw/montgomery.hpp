@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Montgomery modular multiplier built on the TBM datapath.
+ *
+ * FAST's NTTU replaces the basic multiplier inside its Montgomery
+ * modular multipliers with the TBM (Sec. 5.2). This is the functional
+ * model: REDC with R = 2^64, where every integer product is produced
+ * by TBM base-multiplier firings — so tests can verify bit-exactness
+ * AND audit the multiplier count per modular operation in each mode.
+ */
+#ifndef FAST_HW_MONTGOMERY_HPP
+#define FAST_HW_MONTGOMERY_HPP
+
+#include "core/tbm.hpp"
+
+namespace fast::hw {
+
+using math::u128;
+using math::u64;
+
+/**
+ * Montgomery arithmetic context for one odd modulus q < 2^60.
+ */
+class MontgomeryMultiplier
+{
+  public:
+    explicit MontgomeryMultiplier(u64 q);
+
+    u64 modulus() const { return q_; }
+
+    /** Map into Montgomery form: a * R mod q. */
+    u64 toMont(u64 a) const;
+
+    /** Map out of Montgomery form. */
+    u64 fromMont(u64 a) const;
+
+    /**
+     * Montgomery product (a * b * R^-1 mod q) with all integer
+     * multiplications executed on @p tbm in 60-bit mode.
+     */
+    u64 mulMont(u64 a, u64 b, core::TunableBitMultiplier &tbm) const;
+
+    /**
+     * Full modular multiply a * b mod q (wraps form conversion; the
+     * NTT keeps operands in Montgomery form between butterflies).
+     */
+    u64 mulMod(u64 a, u64 b, core::TunableBitMultiplier &tbm) const;
+
+  private:
+    u64 redc(u128 t, core::TunableBitMultiplier &tbm) const;
+
+    u64 q_;
+    u64 q_inv_neg_;  ///< -q^-1 mod 2^64
+    u64 r2_;         ///< R^2 mod q for form conversion
+};
+
+} // namespace fast::hw
+
+#endif // FAST_HW_MONTGOMERY_HPP

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Implementation of the NTTU timing model and the four-step
+ * functional reference.
+ */
+#include "hw/nttu.hpp"
+
+#include <stdexcept>
+
+#include "math/primes.hpp"
+
+namespace fast::hw {
+
+double
+NttUnit::cycles(std::size_t n, std::size_t limbs, int bits,
+                std::size_t streams) const
+{
+    double par = 1.0;
+    if (bits > config_.alu_bits)
+        par = 0.25;  // Booth composition of wide ops on narrow ALUs
+    else if (config_.has_tbm)
+        par = bits <= 36 ? (streams >= 2 ? 2.0 : 1.0) : 2.0 / 1.3;
+    double per_limb = static_cast<double>(n) /
+                      (static_cast<double>(config_.lanes) * par);
+    return static_cast<double>(limbs) * per_limb + kPipelineDepth;
+}
+
+namespace {
+
+using math::mulMod;
+using math::u64;
+
+/** Naive DFT of size m with the given primitive m-th root. */
+std::vector<u64>
+subDft(const std::vector<u64> &in, u64 root, u64 q)
+{
+    std::size_t m = in.size();
+    std::vector<u64> out(m, 0);
+    for (std::size_t t = 0; t < m; ++t) {
+        u64 acc = 0;
+        u64 w = 1;
+        u64 step = math::powMod(root, t, q);
+        for (std::size_t k = 0; k < m; ++k) {
+            acc = math::addMod(acc, mulMod(in[k], w, q), q);
+            w = mulMod(w, step, q);
+        }
+        out[t] = acc;
+    }
+    return out;
+}
+
+std::size_t
+bitReverse(std::size_t x, int bits)
+{
+    std::size_t r = 0;
+    for (int i = 0; i < bits; ++i) {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    return r;
+}
+
+/**
+ * Recursive four-step cyclic DFT: y[t1 + n1*t2] =
+ * sum_b [sum_a x[a*n2+b] (w^{n2})^{a t1}] w^{b t1} (w^{n1})^{b t2}.
+ * Small sizes fall back to the naive kernel — mirroring the ten-step
+ * hardware, whose innermost butterflies handle N^(1/4) points.
+ */
+std::vector<u64>
+cyclicDftRecursive(const std::vector<u64> &x, u64 root, u64 q)
+{
+    std::size_t n = x.size();
+    if (n <= 8)
+        return subDft(x, root, q);
+    int lg = 0;
+    while ((std::size_t(1) << lg) < n)
+        ++lg;
+    std::size_t n1 = std::size_t(1) << (lg / 2);
+    std::size_t n2 = n / n1;
+
+    u64 root_col = math::powMod(root, n2, q);
+    std::vector<std::vector<u64>> cols(n2);
+    for (std::size_t b = 0; b < n2; ++b) {
+        std::vector<u64> col(n1);
+        for (std::size_t a = 0; a < n1; ++a)
+            col[a] = x[a * n2 + b];
+        cols[b] = cyclicDftRecursive(col, root_col, q);
+    }
+
+    u64 root_row = math::powMod(root, n1, q);
+    std::vector<u64> out(n);
+    for (std::size_t t1 = 0; t1 < n1; ++t1) {
+        std::vector<u64> row(n2);
+        for (std::size_t b = 0; b < n2; ++b) {
+            u64 tw = math::powMod(root, static_cast<u64>(b) * t1, q);
+            row[b] = mulMod(cols[b][t1], tw, q);
+        }
+        auto y = cyclicDftRecursive(row, root_row, q);
+        for (std::size_t t2 = 0; t2 < n2; ++t2)
+            out[t1 + n1 * t2] = y[t2];
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<math::u64>
+fourStepForwardNtt(const std::vector<math::u64> &in, std::size_t n1,
+                   std::size_t n2, math::u64 q)
+{
+    std::size_t n = in.size();
+    if (n1 * n2 != n)
+        throw std::invalid_argument("four-step: n1*n2 != N");
+    u64 psi = math::minimalPrimitiveRoot2N(q, n);
+    u64 omega = mulMod(psi, psi, q);
+
+    // Negacyclic pre-twist x_k *= psi^k turns the problem into a
+    // cyclic DFT with root omega (the "twisting" steps of the
+    // ten-step method).
+    std::vector<u64> x(n);
+    u64 tw = 1;
+    for (std::size_t k = 0; k < n; ++k) {
+        x[k] = mulMod(in[k], tw, q);
+        tw = mulMod(tw, psi, q);
+    }
+
+    // Step 1: column DFTs of size n1 (root omega^{n2}).
+    u64 root_col = math::powMod(omega, n2, q);
+    std::vector<std::vector<u64>> cols(n2);
+    for (std::size_t b = 0; b < n2; ++b) {
+        std::vector<u64> col(n1);
+        for (std::size_t a = 0; a < n1; ++a)
+            col[a] = x[a * n2 + b];
+        cols[b] = subDft(col, root_col, q);
+    }
+
+    // Step 2: twiddle D[t1][b] = C[t1][b] * omega^{b*t1}.
+    // Step 3: row DFTs of size n2 (root omega^{n1}).
+    u64 root_row = math::powMod(omega, n1, q);
+    std::vector<u64> natural(n);
+    for (std::size_t t1 = 0; t1 < n1; ++t1) {
+        std::vector<u64> row(n2);
+        for (std::size_t b = 0; b < n2; ++b) {
+            u64 twiddle = math::powMod(omega,
+                                       static_cast<u64>(b) * t1, q);
+            row[b] = mulMod(cols[b][t1], twiddle, q);
+        }
+        auto y = subDft(row, root_row, q);
+        // Step 4: transpose into y[t1 + n1*t2].
+        for (std::size_t t2 = 0; t2 < n2; ++t2)
+            natural[t1 + n1 * t2] = y[t2];
+    }
+
+    // Match NttTables::forward's bit-reversed output ordering.
+    int lg = 0;
+    while ((std::size_t(1) << lg) < n)
+        ++lg;
+    std::vector<u64> out(n);
+    for (std::size_t k = 0; k < n; ++k)
+        out[k] = natural[bitReverse(k, lg)];
+    return out;
+}
+
+std::vector<math::u64>
+tenStepForwardNtt(const std::vector<math::u64> &in, math::u64 q)
+{
+    std::size_t n = in.size();
+    u64 psi = math::minimalPrimitiveRoot2N(q, n);
+    u64 omega = mulMod(psi, psi, q);
+
+    // Negacyclic pre-twist, then the fully recursive decomposition.
+    std::vector<u64> x(n);
+    u64 tw = 1;
+    for (std::size_t k = 0; k < n; ++k) {
+        x[k] = mulMod(in[k], tw, q);
+        tw = mulMod(tw, psi, q);
+    }
+    auto natural = cyclicDftRecursive(x, omega, q);
+
+    int lg = 0;
+    while ((std::size_t(1) << lg) < n)
+        ++lg;
+    std::vector<u64> out(n);
+    for (std::size_t k = 0; k < n; ++k)
+        out[k] = natural[bitReverse(k, lg)];
+    return out;
+}
+
+} // namespace fast::hw

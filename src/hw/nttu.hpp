@@ -1,0 +1,75 @@
+/**
+ * @file
+ * NTT Unit model (Sec. 5.2): a radix-2 pipelined ten-step NTT engine.
+ *
+ * The timing model follows the SHARP-style dataflow: each cluster
+ * streams sqrt(N) elements per cycle through the butterfly pipeline
+ * (2*sqrt(N) in 36-bit TBM mode), so one N-point limb costs about
+ * N / (lanes * parallelism) cycles plus the pipeline depth. The
+ * functional model implements the four-step NTT decomposition
+ * (columns -> twiddle -> rows, the core of the ten-step method) and
+ * is verified against the direct transform.
+ */
+#ifndef FAST_HW_NTTU_HPP
+#define FAST_HW_NTTU_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/config.hpp"
+#include "math/ntt.hpp"
+
+namespace fast::hw {
+
+/** Cycle/throughput model of one cluster's NTTU. */
+class NttUnit
+{
+  public:
+    explicit NttUnit(const FastConfig &config) : config_(config) {}
+
+    /** Pipeline fill depth (butterfly + transpose + twist stages). */
+    static constexpr std::size_t kPipelineDepth = 48;
+
+    /**
+     * Cycles for @p limbs transforms of degree @p n at the given
+     * operand width, on one cluster. The dual-36 mode doubles
+     * throughput only when two same-modulus polynomial streams can be
+     * paired on one twiddle (Sec. 5.2); @p streams < 2 disables it.
+     */
+    double cycles(std::size_t n, std::size_t limbs, int bits,
+                  std::size_t streams = 2) const;
+
+    /** Modular multiplications performed (for utilization/energy). */
+    double mults(std::size_t n, std::size_t limbs) const
+    {
+        return static_cast<double>(limbs) *
+               math::NttTables::multCount(n);
+    }
+
+  private:
+    FastConfig config_;
+};
+
+/**
+ * Functional four-step NTT: N = n1 * n2, column transforms of size
+ * n1, twiddle correction, row transforms of size n2. Operating on the
+ * *cyclic* NTT core after the negacyclic pre-twist — exactly how the
+ * ten-step hardware decomposes the problem. Returns the same output
+ * as NttTables::forward.
+ */
+std::vector<math::u64> fourStepForwardNtt(const std::vector<math::u64> &in,
+                                          std::size_t n1, std::size_t n2,
+                                          math::u64 q);
+
+/**
+ * Functional ten-step NTT (Sec. 5.2): the four-step decomposition
+ * applied recursively, mapping the N elements onto the paper's
+ * sqrt(N) x N^(1/4) x N^(1/4) arrangement. Bit-exact with
+ * NttTables::forward.
+ */
+std::vector<math::u64> tenStepForwardNtt(const std::vector<math::u64> &in,
+                                         math::u64 q);
+
+} // namespace fast::hw
+
+#endif // FAST_HW_NTTU_HPP

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Implementation of the minimal unsigned bignum.
+ */
+#include "math/bignum.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fast::math {
+
+BigUInt::BigUInt(u64 v)
+{
+    if (v)
+        words_.push_back(v);
+}
+
+BigUInt::BigUInt(std::vector<u64> words) : words_(std::move(words))
+{
+    normalize();
+}
+
+void
+BigUInt::normalize()
+{
+    while (!words_.empty() && words_.back() == 0)
+        words_.pop_back();
+}
+
+std::size_t
+BigUInt::bits() const
+{
+    if (words_.empty())
+        return 0;
+    u64 top = words_.back();
+    std::size_t b = 0;
+    while (top) {
+        ++b;
+        top >>= 1;
+    }
+    return (words_.size() - 1) * 64 + b;
+}
+
+int
+BigUInt::compare(const BigUInt &other) const
+{
+    if (words_.size() != other.words_.size())
+        return words_.size() < other.words_.size() ? -1 : 1;
+    for (std::size_t i = words_.size(); i-- > 0;) {
+        if (words_[i] != other.words_[i])
+            return words_[i] < other.words_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+BigUInt
+BigUInt::operator+(const BigUInt &o) const
+{
+    std::vector<u64> out(std::max(words_.size(), o.words_.size()) + 1, 0);
+    u64 carry = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        u128 s = (u128)word(i) + o.word(i) + carry;
+        out[i] = static_cast<u64>(s);
+        carry = static_cast<u64>(s >> 64);
+    }
+    return BigUInt(std::move(out));
+}
+
+BigUInt
+BigUInt::operator-(const BigUInt &o) const
+{
+    if (*this < o)
+        throw std::underflow_error("BigUInt subtraction underflow");
+    std::vector<u64> out(words_.size(), 0);
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        u128 lhs = words_[i];
+        u128 rhs = (u128)o.word(i) + borrow;
+        if (lhs >= rhs) {
+            out[i] = static_cast<u64>(lhs - rhs);
+            borrow = 0;
+        } else {
+            out[i] = static_cast<u64>((lhs + ((u128)1 << 64)) - rhs);
+            borrow = 1;
+        }
+    }
+    return BigUInt(std::move(out));
+}
+
+BigUInt
+BigUInt::operator*(const BigUInt &o) const
+{
+    if (isZero() || o.isZero())
+        return BigUInt();
+    std::vector<u64> out(words_.size() + o.words_.size(), 0);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        u64 carry = 0;
+        for (std::size_t j = 0; j < o.words_.size(); ++j) {
+            u128 cur = (u128)words_[i] * o.words_[j] + out[i + j] + carry;
+            out[i + j] = static_cast<u64>(cur);
+            carry = static_cast<u64>(cur >> 64);
+        }
+        out[i + o.words_.size()] += carry;
+    }
+    return BigUInt(std::move(out));
+}
+
+BigUInt
+BigUInt::operator*(u64 o) const
+{
+    return *this * BigUInt(o);
+}
+
+BigUInt
+BigUInt::operator<<(std::size_t shift) const
+{
+    if (isZero())
+        return BigUInt();
+    std::size_t word_shift = shift / 64;
+    std::size_t bit_shift = shift % 64;
+    std::vector<u64> out(words_.size() + word_shift + 1, 0);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        out[i + word_shift] |= bit_shift ? (words_[i] << bit_shift)
+                                         : words_[i];
+        if (bit_shift)
+            out[i + word_shift + 1] |= words_[i] >> (64 - bit_shift);
+    }
+    return BigUInt(std::move(out));
+}
+
+BigUInt
+BigUInt::operator>>(std::size_t shift) const
+{
+    std::size_t word_shift = shift / 64;
+    std::size_t bit_shift = shift % 64;
+    if (word_shift >= words_.size())
+        return BigUInt();
+    std::vector<u64> out(words_.size() - word_shift, 0);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = words_[i + word_shift] >> bit_shift;
+        if (bit_shift && i + word_shift + 1 < words_.size())
+            out[i] |= words_[i + word_shift + 1] << (64 - bit_shift);
+    }
+    return BigUInt(std::move(out));
+}
+
+u64
+BigUInt::mod(u64 q) const
+{
+    u128 r = 0;
+    for (std::size_t i = words_.size(); i-- > 0;) {
+        r = ((r << 64) | words_[i]) % q;
+    }
+    return static_cast<u64>(r);
+}
+
+std::pair<BigUInt, u64>
+BigUInt::divMod(u64 d) const
+{
+    if (d == 0)
+        throw std::invalid_argument("division by zero");
+    std::vector<u64> out(words_.size(), 0);
+    u128 rem = 0;
+    for (std::size_t i = words_.size(); i-- > 0;) {
+        u128 cur = (rem << 64) | words_[i];
+        out[i] = static_cast<u64>(cur / d);
+        rem = cur % d;
+    }
+    return {BigUInt(std::move(out)), static_cast<u64>(rem)};
+}
+
+BigUInt
+BigUInt::lowBits(std::size_t bit_count) const
+{
+    std::size_t full = bit_count / 64;
+    std::size_t partial = bit_count % 64;
+    std::vector<u64> out;
+    for (std::size_t i = 0; i < full && i < words_.size(); ++i)
+        out.push_back(words_[i]);
+    if (partial && full < words_.size())
+        out.push_back(words_[full] & ((u64(1) << partial) - 1));
+    return BigUInt(std::move(out));
+}
+
+double
+BigUInt::toDouble() const
+{
+    double r = 0;
+    for (std::size_t i = words_.size(); i-- > 0;)
+        r = r * 18446744073709551616.0 + static_cast<double>(words_[i]);
+    return r;
+}
+
+std::string
+BigUInt::toString() const
+{
+    if (isZero())
+        return "0";
+    BigUInt v = *this;
+    std::string digits;
+    while (!v.isZero()) {
+        auto [q, r] = v.divMod(10);
+        digits.push_back(static_cast<char>('0' + r));
+        v = q;
+    }
+    std::reverse(digits.begin(), digits.end());
+    return digits;
+}
+
+BigUInt
+BigUInt::productOf(const std::vector<u64> &moduli)
+{
+    BigUInt p(u64(1));
+    for (u64 m : moduli)
+        p = p * m;
+    return p;
+}
+
+} // namespace fast::math

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Minimal unsigned arbitrary-precision integer.
+ *
+ * CKKS works almost entirely in RNS form, but a handful of places need
+ * the composed integer: CRT reconstruction when decoding test values,
+ * exact base conversion used to validate the approximate BConv kernel,
+ * and the coefficient-wise digit decomposition at the heart of the
+ * KLSS-style gadget key-switching (Sec. 2.1.3). Those paths are cold,
+ * so this class favors clarity over speed.
+ */
+#ifndef FAST_MATH_BIGNUM_HPP
+#define FAST_MATH_BIGNUM_HPP
+
+#include <string>
+#include <vector>
+
+#include "math/modarith.hpp"
+
+namespace fast::math {
+
+/**
+ * Unsigned big integer stored as little-endian 64-bit words.
+ * The representation is normalized: no trailing zero words.
+ */
+class BigUInt
+{
+  public:
+    /** Zero. */
+    BigUInt() = default;
+
+    /** From a 64-bit value. */
+    explicit BigUInt(u64 v);
+
+    /** From little-endian words (normalized on construction). */
+    explicit BigUInt(std::vector<u64> words);
+
+    /** True iff the value is zero. */
+    bool isZero() const { return words_.empty(); }
+
+    /** Number of significant bits. */
+    std::size_t bits() const;
+
+    /** Little-endian word access; word(i) == 0 beyond the top word. */
+    u64 word(std::size_t i) const
+    {
+        return i < words_.size() ? words_[i] : 0;
+    }
+
+    std::size_t wordCount() const { return words_.size(); }
+
+    /** Three-way comparison: -1, 0, or 1. */
+    int compare(const BigUInt &other) const;
+
+    bool operator==(const BigUInt &o) const { return compare(o) == 0; }
+    bool operator!=(const BigUInt &o) const { return compare(o) != 0; }
+    bool operator<(const BigUInt &o) const { return compare(o) < 0; }
+    bool operator<=(const BigUInt &o) const { return compare(o) <= 0; }
+    bool operator>(const BigUInt &o) const { return compare(o) > 0; }
+    bool operator>=(const BigUInt &o) const { return compare(o) >= 0; }
+
+    BigUInt operator+(const BigUInt &o) const;
+
+    /** Subtraction; throws std::underflow_error if o > *this. */
+    BigUInt operator-(const BigUInt &o) const;
+
+    BigUInt operator*(const BigUInt &o) const;
+    BigUInt operator*(u64 o) const;
+
+    /** Left shift by whole bits. */
+    BigUInt operator<<(std::size_t shift) const;
+
+    /** Right shift by whole bits. */
+    BigUInt operator>>(std::size_t shift) const;
+
+    /** Value mod a word-size modulus. */
+    u64 mod(u64 q) const;
+
+    /** Quotient and remainder by a word-size divisor. */
+    std::pair<BigUInt, u64> divMod(u64 d) const;
+
+    /** Low @p bit_count bits as a (possibly multi-word) value. */
+    BigUInt lowBits(std::size_t bit_count) const;
+
+    /** Convert to double (may lose precision; used for size metrics). */
+    double toDouble() const;
+
+    /** Decimal string, for diagnostics. */
+    std::string toString() const;
+
+    /** Product of a list of word-size moduli. */
+    static BigUInt productOf(const std::vector<u64> &moduli);
+
+  private:
+    void normalize();
+
+    std::vector<u64> words_;  ///< little-endian, normalized
+};
+
+} // namespace fast::math
+
+#endif // FAST_MATH_BIGNUM_HPP

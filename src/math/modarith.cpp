@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Implementation of scalar modular arithmetic.
+ */
+#include "math/modarith.hpp"
+
+namespace fast::math {
+
+Modulus::Modulus(u64 q) : q_(q)
+{
+    if (q < 2 || q >= (u64(1) << 62))
+        throw std::invalid_argument("Modulus must be in [2, 2^62)");
+    // Compute floor(2^128 / q) by long division of 2^128 by q using
+    // 128-bit intermediate quantities.
+    u128 numerator_hi = (~u128(0)) / q;  // floor((2^128 - 1) / q)
+    // (2^128 - 1) = q * numerator_hi + rem; 2^128 = q * numerator_hi +
+    // rem + 1, so floor(2^128 / q) is numerator_hi unless rem + 1 == q.
+    u128 rem = (~u128(0)) % q;
+    u128 cr = numerator_hi + ((rem + 1 == q) ? 1 : 0);
+    cr0_ = static_cast<u64>(cr);
+    cr1_ = static_cast<u64>(cr >> 64);
+}
+
+int
+Modulus::bits() const
+{
+    int b = 0;
+    u64 v = q_;
+    while (v) {
+        ++b;
+        v >>= 1;
+    }
+    return b;
+}
+
+u64
+Modulus::reduce(u64 a) const
+{
+    return a % q_;
+}
+
+u64
+Modulus::reduce128(u128 a) const
+{
+    // Barrett reduction: q_hat = floor(a * cr / 2^128), r = a - q_hat*q,
+    // then at most one correction step.
+    u64 a_lo = static_cast<u64>(a);
+    u64 a_hi = static_cast<u64>(a >> 64);
+
+    // 256-bit product (a_hi:a_lo) * (cr1_:cr0_), keep bits [128, 192).
+    u128 p0 = (u128)a_lo * cr0_;
+    u128 p1 = (u128)a_lo * cr1_;
+    u128 p2 = (u128)a_hi * cr0_;
+    u128 p3 = (u128)a_hi * cr1_;
+
+    u128 mid = p1 + p2 + (p0 >> 64);
+    u64 carry = mid < p1 ? 1 : 0;  // detect wrap of p1 + p2
+    // Recompute carefully: mid may wrap when adding three terms.
+    mid = (p0 >> 64);
+    u128 t = mid + p1;
+    carry = t < p1 ? 1 : 0;
+    mid = t + p2;
+    carry += mid < p2 ? 1 : 0;
+
+    u128 hi = p3 + (mid >> 64) + ((u128)carry << 64);
+    u64 q_hat = static_cast<u64>(hi);  // floor(a * cr / 2^128) low word
+
+    u64 r = a_lo - q_hat * q_;
+    while (r >= q_)
+        r -= q_;
+    return r;
+}
+
+u64
+powMod(u64 base, u64 exp, u64 q)
+{
+    u64 result = 1 % q;
+    u64 b = base % q;
+    while (exp) {
+        if (exp & 1)
+            result = mulMod(result, b, q);
+        b = mulMod(b, b, q);
+        exp >>= 1;
+    }
+    return result;
+}
+
+u64
+gcd(u64 a, u64 b)
+{
+    while (b) {
+        u64 t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+u64
+invMod(u64 a, u64 q)
+{
+    // Extended Euclid over signed 128-bit to avoid overflow.
+    __int128 t = 0, new_t = 1;
+    __int128 r = q, new_r = a % q;
+    while (new_r != 0) {
+        __int128 quotient = r / new_r;
+        __int128 tmp = t - quotient * new_t;
+        t = new_t;
+        new_t = tmp;
+        tmp = r - quotient * new_r;
+        r = new_r;
+        new_r = tmp;
+    }
+    if (r != 1)
+        throw std::invalid_argument("invMod: operand not invertible");
+    if (t < 0)
+        t += q;
+    return static_cast<u64>(t);
+}
+
+} // namespace fast::math

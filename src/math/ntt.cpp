@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Implementation of the negacyclic NTT with Shoup twiddles.
+ */
+#include "math/ntt.hpp"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "math/primes.hpp"
+
+namespace fast::math {
+
+namespace {
+
+int
+log2Exact(std::size_t n)
+{
+    int lg = 0;
+    while ((std::size_t(1) << lg) < n)
+        ++lg;
+    if ((std::size_t(1) << lg) != n)
+        throw std::invalid_argument("NTT degree must be a power of two");
+    return lg;
+}
+
+std::size_t
+bitReverse(std::size_t x, int bits)
+{
+    std::size_t r = 0;
+    for (int i = 0; i < bits; ++i) {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    return r;
+}
+
+} // namespace
+
+NttTables::NttTables(std::size_t n, u64 q) : n_(n), q_(q)
+{
+    log_n_ = log2Exact(n);
+    u64 psi = minimalPrimitiveRoot2N(q, n);
+    u64 psi_inv = invMod(psi, q);
+    n_inv_ = invMod(static_cast<u64>(n % q), q);
+    n_inv_shoup_ = shoupPrecompute(n_inv_, q);
+
+    roots_.resize(n);
+    roots_shoup_.resize(n);
+    inv_roots_.resize(n);
+    inv_roots_shoup_.resize(n);
+
+    // Powers of psi stored in bit-reversed index order; this is the
+    // classic layout that lets both butterfly loops walk the table
+    // sequentially.
+    u64 power = 1;
+    std::vector<u64> pows(n), inv_pows(n);
+    u64 ipower = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+        pows[i] = power;
+        inv_pows[i] = ipower;
+        power = mulMod(power, psi, q);
+        ipower = mulMod(ipower, psi_inv, q);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t r = bitReverse(i, log_n_);
+        roots_[i] = pows[r];
+        roots_shoup_[i] = shoupPrecompute(roots_[i], q);
+        inv_roots_[i] = inv_pows[r];
+        inv_roots_shoup_[i] = shoupPrecompute(inv_roots_[i], q);
+    }
+}
+
+void
+NttTables::forward(u64 *data) const
+{
+    // Cooley-Tukey decimation-in-time with merged psi twiddles
+    // (Longa-Naehrig). Input natural order, output bit-reversed.
+    const u64 q = q_;
+    std::size_t t = n_;
+    for (std::size_t m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        for (std::size_t i = 0; i < m; ++i) {
+            std::size_t j1 = 2 * i * t;
+            std::size_t j2 = j1 + t;
+            u64 w = roots_[m + i];
+            u64 wp = roots_shoup_[m + i];
+            for (std::size_t j = j1; j < j2; ++j) {
+                u64 u = data[j];
+                u64 v = mulModShoup(data[j + t], w, wp, q);
+                data[j] = addMod(u, v, q);
+                data[j + t] = subMod(u, v, q);
+            }
+        }
+    }
+}
+
+void
+NttTables::inverse(u64 *data) const
+{
+    // Gentleman-Sande decimation-in-frequency with merged inverse
+    // twiddles. Input bit-reversed, output natural order.
+    const u64 q = q_;
+    std::size_t t = 1;
+    for (std::size_t m = n_ >> 1; m >= 1; m >>= 1) {
+        std::size_t j1 = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+            std::size_t j2 = j1 + t;
+            u64 w = inv_roots_[m + i];
+            u64 wp = inv_roots_shoup_[m + i];
+            for (std::size_t j = j1; j < j2; ++j) {
+                u64 u = data[j];
+                u64 v = data[j + t];
+                data[j] = addMod(u, v, q);
+                data[j + t] = mulModShoup(subMod(u, v, q), w, wp, q);
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    for (std::size_t j = 0; j < n_; ++j)
+        data[j] = mulModShoup(data[j], n_inv_, n_inv_shoup_, q);
+}
+
+std::size_t
+NttTables::multCount(std::size_t n)
+{
+    std::size_t lg = 0;
+    while ((std::size_t(1) << lg) < n)
+        ++lg;
+    return (n / 2) * lg;
+}
+
+std::shared_ptr<const NttTables>
+NttTableCache::get(std::size_t n, u64 q)
+{
+    static std::mutex mutex;
+    static std::map<std::pair<std::size_t, u64>,
+                    std::shared_ptr<const NttTables>> cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto key = std::make_pair(n, q);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    auto tables = std::make_shared<const NttTables>(n, q);
+    cache.emplace(key, tables);
+    return tables;
+}
+
+} // namespace fast::math

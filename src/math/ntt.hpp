@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Negacyclic Number-Theoretic Transform.
+ *
+ * The NTT converts polynomials in Z_q[X]/(X^N + 1) between coefficient
+ * and evaluation ("slot point") representation so that polynomial
+ * multiplication becomes element-wise (Sec. 2.1.2). This is the single
+ * hottest kernel in CKKS and the unit the FAST NTTU accelerates
+ * (Sec. 5.2). The implementation uses the standard merged-twiddle
+ * Cooley-Tukey forward / Gentleman-Sande inverse butterflies with
+ * Shoup-precomputed root tables, i.e. (N/2)·log2(N) modular
+ * multiplications per transform — the exact count the cost model and
+ * the NTTU cycle model assume.
+ */
+#ifndef FAST_MATH_NTT_HPP
+#define FAST_MATH_NTT_HPP
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "math/modarith.hpp"
+
+namespace fast::math {
+
+/**
+ * Precomputed tables for the negacyclic NTT over one prime modulus.
+ * Construction is O(N); transforms are O(N log N).
+ */
+class NttTables
+{
+  public:
+    /**
+     * Build tables for ring degree @p n (power of two) and prime @p q
+     * with q = 1 mod 2n.
+     */
+    NttTables(std::size_t n, u64 q);
+
+    std::size_t degree() const { return n_; }
+    u64 modulus() const { return q_; }
+
+    /** In-place forward NTT: coefficient order in, bit-reversed out. */
+    void forward(u64 *data) const;
+
+    /** In-place inverse NTT: bit-reversed in, coefficient order out. */
+    void inverse(u64 *data) const;
+
+    /** Convenience overloads operating on whole vectors. */
+    void forward(std::vector<u64> &data) const { forward(data.data()); }
+    void inverse(std::vector<u64> &data) const { inverse(data.data()); }
+
+    /** Modular multiplications consumed by one transform. */
+    static std::size_t multCount(std::size_t n);
+
+  private:
+    std::size_t n_;
+    int log_n_;
+    u64 q_;
+    u64 n_inv_;          ///< N^-1 mod q for the inverse transform
+    u64 n_inv_shoup_;
+    std::vector<u64> roots_;          ///< psi powers, bit-rev order
+    std::vector<u64> roots_shoup_;
+    std::vector<u64> inv_roots_;      ///< psi^-1 powers, bit-rev order
+    std::vector<u64> inv_roots_shoup_;
+};
+
+/**
+ * Shared cache of NTT tables keyed by (degree, modulus). Parameter
+ * setup constructs tables once; evaluators and the simulator's
+ * functional checks all reuse them.
+ */
+class NttTableCache
+{
+  public:
+    /** Get or build tables for (n, q). */
+    static std::shared_ptr<const NttTables> get(std::size_t n, u64 q);
+};
+
+} // namespace fast::math
+
+#endif // FAST_MATH_NTT_HPP

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Implementation of RNS polynomials.
+ */
+#include "math/poly.hpp"
+
+#include <stdexcept>
+
+namespace fast::math {
+
+namespace {
+
+std::size_t
+bitReverse(std::size_t x, int bits)
+{
+    std::size_t r = 0;
+    for (int i = 0; i < bits; ++i) {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    return r;
+}
+
+int
+log2Of(std::size_t n)
+{
+    int lg = 0;
+    while ((std::size_t(1) << lg) < n)
+        ++lg;
+    return lg;
+}
+
+} // namespace
+
+RnsPoly::RnsPoly(std::size_t n, std::vector<u64> moduli, PolyForm form)
+    : n_(n), moduli_(std::move(moduli)), form_(form)
+{
+    limbs_.resize(moduli_.size());
+    for (auto &l : limbs_)
+        l.assign(n_, 0);
+}
+
+std::vector<u64>
+RnsPoly::coefficientResidues(std::size_t j) const
+{
+    std::vector<u64> out(limbCount());
+    for (std::size_t i = 0; i < limbCount(); ++i)
+        out[i] = limbs_[i][j];
+    return out;
+}
+
+void
+RnsPoly::requireCompatible(const RnsPoly &other) const
+{
+    if (n_ != other.n_ || moduli_ != other.moduli_ ||
+        form_ != other.form_)
+        throw std::invalid_argument("RnsPoly operands incompatible");
+}
+
+RnsPoly &
+RnsPoly::operator+=(const RnsPoly &other)
+{
+    requireCompatible(other);
+    for (std::size_t i = 0; i < limbCount(); ++i) {
+        u64 q = moduli_[i];
+        auto &dst = limbs_[i];
+        const auto &src = other.limbs_[i];
+        for (std::size_t j = 0; j < n_; ++j)
+            dst[j] = addMod(dst[j], src[j], q);
+    }
+    return *this;
+}
+
+RnsPoly &
+RnsPoly::operator-=(const RnsPoly &other)
+{
+    requireCompatible(other);
+    for (std::size_t i = 0; i < limbCount(); ++i) {
+        u64 q = moduli_[i];
+        auto &dst = limbs_[i];
+        const auto &src = other.limbs_[i];
+        for (std::size_t j = 0; j < n_; ++j)
+            dst[j] = subMod(dst[j], src[j], q);
+    }
+    return *this;
+}
+
+RnsPoly
+RnsPoly::operator+(const RnsPoly &other) const
+{
+    RnsPoly out = *this;
+    out += other;
+    return out;
+}
+
+RnsPoly
+RnsPoly::operator-(const RnsPoly &other) const
+{
+    RnsPoly out = *this;
+    out -= other;
+    return out;
+}
+
+void
+RnsPoly::negateInPlace()
+{
+    for (std::size_t i = 0; i < limbCount(); ++i) {
+        u64 q = moduli_[i];
+        for (auto &v : limbs_[i])
+            v = negMod(v, q);
+    }
+}
+
+RnsPoly &
+RnsPoly::hadamardInPlace(const RnsPoly &other)
+{
+    requireCompatible(other);
+    if (form_ != PolyForm::eval)
+        throw std::logic_error("hadamard product requires eval form");
+    for (std::size_t i = 0; i < limbCount(); ++i) {
+        Modulus q(moduli_[i]);
+        auto &dst = limbs_[i];
+        const auto &src = other.limbs_[i];
+        for (std::size_t j = 0; j < n_; ++j)
+            dst[j] = mulMod(dst[j], src[j], q);
+    }
+    return *this;
+}
+
+RnsPoly
+RnsPoly::hadamard(const RnsPoly &other) const
+{
+    RnsPoly out = *this;
+    out.hadamardInPlace(other);
+    return out;
+}
+
+void
+RnsPoly::scalePerLimb(const std::vector<u64> &scalars)
+{
+    if (scalars.size() != limbCount())
+        throw std::invalid_argument("scalePerLimb size mismatch");
+    for (std::size_t i = 0; i < limbCount(); ++i) {
+        u64 q = moduli_[i];
+        u64 s = scalars[i] % q;
+        u64 sp = shoupPrecompute(s, q);
+        for (auto &v : limbs_[i])
+            v = mulModShoup(v, s, sp, q);
+    }
+}
+
+void
+RnsPoly::scaleUniform(u64 scalar)
+{
+    std::vector<u64> scalars(limbCount());
+    for (std::size_t i = 0; i < limbCount(); ++i)
+        scalars[i] = scalar % moduli_[i];
+    scalePerLimb(scalars);
+}
+
+void
+RnsPoly::toEval()
+{
+    if (form_ == PolyForm::eval)
+        return;
+    for (std::size_t i = 0; i < limbCount(); ++i)
+        NttTableCache::get(n_, moduli_[i])->forward(limbs_[i]);
+    form_ = PolyForm::eval;
+}
+
+void
+RnsPoly::toCoeff()
+{
+    if (form_ == PolyForm::coeff)
+        return;
+    for (std::size_t i = 0; i < limbCount(); ++i)
+        NttTableCache::get(n_, moduli_[i])->inverse(limbs_[i]);
+    form_ = PolyForm::coeff;
+}
+
+void
+RnsPoly::dropLastLimbs(std::size_t count)
+{
+    if (count > limbCount())
+        throw std::out_of_range("dropLastLimbs count");
+    moduli_.resize(moduli_.size() - count);
+    limbs_.resize(limbs_.size() - count);
+}
+
+void
+RnsPoly::keepLimbs(std::size_t count)
+{
+    if (count > limbCount())
+        throw std::out_of_range("keepLimbs count");
+    dropLastLimbs(limbCount() - count);
+}
+
+void
+RnsPoly::appendLimb(u64 q)
+{
+    moduli_.push_back(q);
+    limbs_.emplace_back(n_, 0);
+}
+
+RnsPoly
+RnsPoly::automorphism(u64 galois_elt) const
+{
+    u64 two_n = 2 * static_cast<u64>(n_);
+    if (galois_elt % 2 == 0 || galois_elt >= two_n)
+        throw std::invalid_argument("Galois element must be odd, < 2N");
+
+    RnsPoly out(n_, moduli_, form_);
+    if (form_ == PolyForm::coeff) {
+        // X^i -> X^{i*g mod 2N}, with X^N = -1 giving a sign flip.
+        for (std::size_t j = 0; j < n_; ++j) {
+            u64 idx = (static_cast<u64>(j) * galois_elt) % two_n;
+            bool flip = idx >= n_;
+            std::size_t dst = static_cast<std::size_t>(
+                flip ? idx - n_ : idx);
+            for (std::size_t i = 0; i < limbCount(); ++i) {
+                u64 v = limbs_[i][j];
+                out.limbs_[i][dst] =
+                    flip ? negMod(v, moduli_[i]) : v;
+            }
+        }
+    } else {
+        // Eval slot k holds a(psi^{2*br(k)+1}); the automorphism
+        // permutes evaluation points: out[k] = in[k'] with
+        // 2*br(k')+1 = (2*br(k)+1)*g mod 2N. This is the permutation
+        // FAST's AutoU routes through its Benes network (Sec. 5.5).
+        int lg = log2Of(n_);
+        for (std::size_t k = 0; k < n_; ++k) {
+            u64 e = (2 * static_cast<u64>(bitReverse(k, lg)) + 1);
+            u64 src_e = (e * galois_elt) % two_n;
+            std::size_t kp = bitReverse(
+                static_cast<std::size_t>((src_e - 1) / 2), lg);
+            for (std::size_t i = 0; i < limbCount(); ++i)
+                out.limbs_[i][k] = limbs_[i][kp];
+        }
+    }
+    return out;
+}
+
+void
+RnsPoly::fillUniform(Prng &prng)
+{
+    for (std::size_t i = 0; i < limbCount(); ++i)
+        sampleUniform(prng, moduli_[i], limbs_[i]);
+}
+
+void
+RnsPoly::fillTernary(Prng &prng)
+{
+    std::vector<i64> values(n_);
+    sampleTernarySigned(prng, values);
+    for (std::size_t i = 0; i < limbCount(); ++i)
+        for (std::size_t j = 0; j < n_; ++j)
+            limbs_[i][j] = fromCentered(values[j], moduli_[i]);
+}
+
+void
+RnsPoly::fillSparseTernary(Prng &prng, std::size_t hamming)
+{
+    if (hamming > n_)
+        throw std::invalid_argument("hamming weight exceeds degree");
+    std::vector<i64> values(n_, 0);
+    std::size_t placed = 0;
+    while (placed < hamming) {
+        std::size_t pos = static_cast<std::size_t>(prng.uniform(n_));
+        if (values[pos] != 0)
+            continue;
+        values[pos] = prng.uniform(2) ? 1 : -1;
+        ++placed;
+    }
+    for (std::size_t i = 0; i < limbCount(); ++i)
+        for (std::size_t j = 0; j < n_; ++j)
+            limbs_[i][j] = fromCentered(values[j], moduli_[i]);
+}
+
+void
+RnsPoly::fillGaussian(Prng &prng, double sigma)
+{
+    std::vector<i64> values(n_);
+    sampleGaussianSigned(prng, sigma, values);
+    for (std::size_t i = 0; i < limbCount(); ++i)
+        for (std::size_t j = 0; j < n_; ++j)
+            limbs_[i][j] = fromCentered(values[j], moduli_[i]);
+}
+
+void
+RnsPoly::setCoefficient(std::size_t j, i64 value)
+{
+    if (form_ != PolyForm::coeff)
+        throw std::logic_error("setCoefficient requires coeff form");
+    for (std::size_t i = 0; i < limbCount(); ++i)
+        limbs_[i][j] = fromCentered(value, moduli_[i]);
+}
+
+bool
+RnsPoly::operator==(const RnsPoly &other) const
+{
+    return n_ == other.n_ && moduli_ == other.moduli_ &&
+           form_ == other.form_ && limbs_ == other.limbs_;
+}
+
+std::vector<u64>
+negacyclicMulSchoolbook(const std::vector<u64> &a, const std::vector<u64> &b,
+                        u64 q)
+{
+    std::size_t n = a.size();
+    std::vector<u64> out(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            u64 p = mulMod(a[i], b[j], q);
+            std::size_t k = i + j;
+            if (k < n)
+                out[k] = addMod(out[k], p, q);
+            else
+                out[k - n] = subMod(out[k - n], p, q);
+        }
+    }
+    return out;
+}
+
+} // namespace fast::math

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * RNS polynomials over Z_Q[X]/(X^N + 1).
+ *
+ * An RnsPoly holds one residue limb per prime in its basis, each limb
+ * an N-coefficient vector, in either coefficient or evaluation (NTT)
+ * representation — exactly the data layout the FAST register files
+ * store and the paper's ciphertext structure describes (Sec. 2.1.1).
+ */
+#ifndef FAST_MATH_POLY_HPP
+#define FAST_MATH_POLY_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "math/modarith.hpp"
+#include "math/ntt.hpp"
+#include "math/random.hpp"
+
+namespace fast::math {
+
+/** Representation of a polynomial's limb data. */
+enum class PolyForm {
+    coeff,  ///< coefficient representation
+    eval,   ///< evaluation (NTT / slot-point) representation
+};
+
+/**
+ * A polynomial in Z[X]/(X^N + 1) stored in RNS limbs.
+ */
+class RnsPoly
+{
+  public:
+    RnsPoly() : n_(0), form_(PolyForm::coeff) {}
+
+    /** Zero polynomial with the given degree, moduli, and form. */
+    RnsPoly(std::size_t n, std::vector<u64> moduli,
+            PolyForm form = PolyForm::eval);
+
+    std::size_t degree() const { return n_; }
+    std::size_t limbCount() const { return moduli_.size(); }
+    PolyForm form() const { return form_; }
+    bool isEval() const { return form_ == PolyForm::eval; }
+
+    u64 modulus(std::size_t i) const { return moduli_[i]; }
+    const std::vector<u64> &moduli() const { return moduli_; }
+
+    std::vector<u64> &limb(std::size_t i) { return limbs_[i]; }
+    const std::vector<u64> &limb(std::size_t i) const { return limbs_[i]; }
+
+    /** The residues of coefficient/slot @p j across all limbs. */
+    std::vector<u64> coefficientResidues(std::size_t j) const;
+
+    /** @name Element-wise arithmetic (moduli must match). */
+    ///@{
+    RnsPoly &operator+=(const RnsPoly &other);
+    RnsPoly &operator-=(const RnsPoly &other);
+    RnsPoly operator+(const RnsPoly &other) const;
+    RnsPoly operator-(const RnsPoly &other) const;
+    void negateInPlace();
+
+    /**
+     * Hadamard (slot-wise) product; both operands must be in eval
+     * form. This is how polynomial multiplication is done after NTT.
+     */
+    RnsPoly &hadamardInPlace(const RnsPoly &other);
+    RnsPoly hadamard(const RnsPoly &other) const;
+
+    /** Multiply limb i by scalar s_i (one scalar per limb). */
+    void scalePerLimb(const std::vector<u64> &scalars);
+
+    /** Multiply every limb by the same 64-bit constant (reduced). */
+    void scaleUniform(u64 scalar);
+    ///@}
+
+    /** @name Representation changes. */
+    ///@{
+    /** Forward-NTT every limb (no-op if already eval). */
+    void toEval();
+    /** Inverse-NTT every limb (no-op if already coeff). */
+    void toCoeff();
+    ///@}
+
+    /** @name Limb (modulus chain) manipulation. */
+    ///@{
+    /** Drop the last @p count limbs (rescale/level-drop support). */
+    void dropLastLimbs(std::size_t count);
+    /** Keep only the first @p count limbs. */
+    void keepLimbs(std::size_t count);
+    /** Append a zero limb for modulus @p q. */
+    void appendLimb(u64 q);
+    ///@}
+
+    /**
+     * Apply the Galois automorphism X -> X^g (g odd, 0 < g < 2N).
+     * Works in either representation; rotation by r slots uses
+     * g = 5^r mod 2N and conjugation uses g = 2N - 1 (Sec. 5.5).
+     */
+    RnsPoly automorphism(u64 galois_elt) const;
+
+    /** @name Sampling helpers (fill in the current form). */
+    ///@{
+    void fillUniform(Prng &prng);
+    /** Same signed ternary value replicated across all limbs. */
+    void fillTernary(Prng &prng);
+    /**
+     * Sparse ternary: exactly @p hamming nonzero (+-1) coefficients.
+     * Sparse secrets bound the ModRaise overflow count I during
+     * bootstrapping (Sec. 2.1.2).
+     */
+    void fillSparseTernary(Prng &prng, std::size_t hamming);
+    /** Same signed Gaussian noise replicated across all limbs. */
+    void fillGaussian(Prng &prng, double sigma = 3.2);
+    ///@}
+
+    /**
+     * Set coefficient j of every limb from a signed integer (the same
+     * integer reduced per limb modulus). Requires coeff form.
+     */
+    void setCoefficient(std::size_t j, i64 value);
+
+    bool operator==(const RnsPoly &other) const;
+
+  private:
+    void requireCompatible(const RnsPoly &other) const;
+
+    std::size_t n_;
+    std::vector<u64> moduli_;
+    std::vector<std::vector<u64>> limbs_;
+    PolyForm form_;
+};
+
+/**
+ * Reference negacyclic convolution (schoolbook, O(N^2)) over a single
+ * modulus. Used by tests to validate the NTT-based product.
+ */
+std::vector<u64> negacyclicMulSchoolbook(const std::vector<u64> &a,
+                                         const std::vector<u64> &b, u64 q);
+
+} // namespace fast::math
+
+#endif // FAST_MATH_POLY_HPP

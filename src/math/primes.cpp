@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Implementation of prime generation for NTT-friendly moduli chains.
+ */
+#include "math/primes.hpp"
+
+#include <stdexcept>
+
+namespace fast::math {
+
+namespace {
+
+/** One Miller-Rabin round with witness a; n - 1 = d * 2^r, d odd. */
+bool
+millerRabinRound(u64 n, u64 a, u64 d, int r)
+{
+    a %= n;
+    if (a == 0)
+        return true;
+    u64 x = powMod(a, d, n);
+    if (x == 1 || x == n - 1)
+        return true;
+    for (int i = 1; i < r; ++i) {
+        x = mulMod(x, x, n);
+        if (x == n - 1)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+isPrime(u64 n)
+{
+    if (n < 2)
+        return false;
+    for (u64 p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                  23ull, 29ull, 31ull, 37ull}) {
+        if (n == p)
+            return true;
+        if (n % p == 0)
+            return false;
+    }
+    u64 d = n - 1;
+    int r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    // This witness set is deterministic for all n < 2^64.
+    for (u64 a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                  23ull, 29ull, 31ull, 37ull}) {
+        if (!millerRabinRound(n, a, d, r))
+            return false;
+    }
+    return true;
+}
+
+std::vector<u64>
+generateNttPrimes(int bit_size, std::size_t ring_degree, std::size_t count,
+                  std::size_t skip)
+{
+    if (bit_size < 20 || bit_size > 61)
+        throw std::invalid_argument("prime bit size out of range [20, 61]");
+    u64 step = 2 * static_cast<u64>(ring_degree);
+    // Start at the largest candidate = 1 mod 2N strictly below 2^bit_size.
+    u64 upper = u64(1) << bit_size;
+    u64 candidate = upper - (upper % step) + 1;
+    while (candidate >= upper)
+        candidate -= step;
+
+    std::vector<u64> primes;
+    primes.reserve(count);
+    while (primes.size() < count) {
+        if (candidate < (u64(1) << (bit_size - 1)))
+            throw std::runtime_error("ran out of primes for bit size");
+        if (isPrime(candidate)) {
+            if (skip > 0)
+                --skip;
+            else
+                primes.push_back(candidate);
+        }
+        candidate -= step;
+    }
+    return primes;
+}
+
+u64
+primitiveRoot(u64 q)
+{
+    // Factor q - 1 by trial division (moduli are word-sized, and this
+    // runs only at parameter setup time).
+    u64 phi = q - 1;
+    std::vector<u64> factors;
+    u64 m = phi;
+    for (u64 p = 2; p * p <= m; p += (p == 2 ? 1 : 2)) {
+        if (m % p == 0) {
+            factors.push_back(p);
+            while (m % p == 0)
+                m /= p;
+        }
+    }
+    if (m > 1)
+        factors.push_back(m);
+
+    for (u64 g = 2; g < q; ++g) {
+        bool ok = true;
+        for (u64 f : factors) {
+            if (powMod(g, phi / f, q) == 1) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            return g;
+    }
+    throw std::runtime_error("no primitive root found (q not prime?)");
+}
+
+u64
+minimalPrimitiveRoot2N(u64 q, std::size_t ring_degree)
+{
+    u64 order = 2 * static_cast<u64>(ring_degree);
+    if ((q - 1) % order != 0)
+        throw std::invalid_argument("q != 1 mod 2N");
+    u64 g = primitiveRoot(q);
+    u64 psi = powMod(g, (q - 1) / order, q);
+    // psi has order exactly 2N because g is a primitive root. Find the
+    // smallest such root for reproducibility across runs.
+    u64 best = psi;
+    u64 current = psi;
+    u64 psi_sq = mulMod(psi, psi, q);
+    for (u64 i = 1; i < static_cast<u64>(ring_degree); ++i) {
+        // Odd powers of psi are exactly the primitive 2N-th roots.
+        current = mulMod(current, psi_sq, q);
+        if (current < best)
+            best = current;
+    }
+    return best;
+}
+
+} // namespace fast::math

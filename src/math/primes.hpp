@@ -1,0 +1,55 @@
+/**
+ * @file
+ * NTT-friendly prime generation.
+ *
+ * CKKS in RNS form needs a chain of word-sized primes q_i with
+ * q_i = 1 (mod 2N) so that the negacyclic NTT of degree N exists
+ * (Sec. 2.1.1). The KLSS key-switching method additionally needs an
+ * auxiliary basis of ~60-bit primes (Sec. 2.1.3). This module provides
+ * deterministic Miller-Rabin primality testing for 64-bit integers and
+ * generators for both kinds of prime chains.
+ */
+#ifndef FAST_MATH_PRIMES_HPP
+#define FAST_MATH_PRIMES_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "math/modarith.hpp"
+
+namespace fast::math {
+
+/** Deterministic Miller-Rabin primality test for 64-bit integers. */
+bool isPrime(u64 n);
+
+/**
+ * Generate a descending chain of NTT-friendly primes.
+ *
+ * Primes are congruent to 1 mod (2 * ring_degree), have the requested
+ * bit size, and are returned largest-first starting just below
+ * 2^bit_size.
+ *
+ * @param bit_size    target bit width of each prime (e.g. 36 or 60).
+ * @param ring_degree polynomial ring degree N (power of two).
+ * @param count       number of primes to generate.
+ * @param skip        number of matching primes to skip first (lets
+ *                    callers carve disjoint chains from one bit size).
+ */
+std::vector<u64> generateNttPrimes(int bit_size, std::size_t ring_degree,
+                                   std::size_t count, std::size_t skip = 0);
+
+/**
+ * Find a primitive root modulo prime q.
+ * @return a generator of the multiplicative group Z_q^*.
+ */
+u64 primitiveRoot(u64 q);
+
+/**
+ * Find a primitive 2N-th root of unity mod q (requires q = 1 mod 2N).
+ * This is the "psi" used by the negacyclic NTT.
+ */
+u64 minimalPrimitiveRoot2N(u64 q, std::size_t ring_degree);
+
+} // namespace fast::math
+
+#endif // FAST_MATH_PRIMES_HPP

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Implementation of the PRNG and noise samplers.
+ */
+#include "math/random.hpp"
+
+#include <cmath>
+
+namespace fast::math {
+
+namespace {
+
+u64
+splitmix64(u64 &state)
+{
+    u64 z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+inline u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Prng::Prng(u64 seed)
+{
+    u64 sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+u64
+Prng::next()
+{
+    u64 result = rotl(s_[1] * 5, 7) * 9;
+    u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+u64
+Prng::uniform(u64 bound)
+{
+    if (bound == 0)
+        return next();
+    // Rejection sampling to remove modulo bias.
+    u64 threshold = (~u64(0) - bound + 1) % bound;
+    u64 r;
+    do {
+        r = next();
+    } while (r < threshold);
+    return r % bound;
+}
+
+double
+Prng::uniformReal()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+void
+sampleUniform(Prng &prng, u64 q, std::vector<u64> &out)
+{
+    for (auto &v : out)
+        v = prng.uniform(q);
+}
+
+void
+sampleTernary(Prng &prng, u64 q, std::vector<u64> &out)
+{
+    for (auto &v : out) {
+        u64 r = prng.uniform(3);
+        v = r == 2 ? q - 1 : r;  // {0, 1, q-1} == {0, 1, -1}
+    }
+}
+
+void
+sampleTernarySigned(Prng &prng, std::vector<i64> &out)
+{
+    for (auto &v : out)
+        v = static_cast<i64>(prng.uniform(3)) - 1;
+}
+
+void
+sampleGaussianSigned(Prng &prng, double sigma, std::vector<i64> &out)
+{
+    for (std::size_t i = 0; i < out.size(); i += 2) {
+        // Box-Muller; round to the nearest integer.
+        double u1 = prng.uniformReal();
+        double u2 = prng.uniformReal();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        double mag = sigma * std::sqrt(-2.0 * std::log(u1));
+        out[i] = static_cast<i64>(std::llround(mag *
+                                               std::cos(2 * M_PI * u2)));
+        if (i + 1 < out.size())
+            out[i + 1] = static_cast<i64>(std::llround(mag *
+                                          std::sin(2 * M_PI * u2)));
+    }
+}
+
+void
+sampleGaussian(Prng &prng, u64 q, double sigma, std::vector<u64> &out)
+{
+    std::vector<i64> signed_noise(out.size());
+    sampleGaussianSigned(prng, sigma, signed_noise);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = fromCentered(signed_noise[i], q);
+}
+
+} // namespace fast::math

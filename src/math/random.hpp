@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Pseudo-random generation and lattice noise samplers.
+ *
+ * A seedable counter-based PRNG backs three samplers used by CKKS key
+ * and ciphertext generation: uniform mod q, ternary {-1, 0, 1} secrets,
+ * and centered discrete Gaussian errors. The same PRNG is reused by the
+ * Evaluation Key Generator (EKG, Sec. 5.7.2): the `a` half of every evk
+ * is expanded on the fly from a 64-bit seed so only the `b` half has to
+ * be stored on chip.
+ */
+#ifndef FAST_MATH_RANDOM_HPP
+#define FAST_MATH_RANDOM_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "math/modarith.hpp"
+
+namespace fast::math {
+
+/**
+ * xoshiro256** PRNG. Small, fast, and deterministic across platforms,
+ * which keeps every test and experiment in this repo reproducible.
+ */
+class Prng
+{
+  public:
+    /** Seed with splitmix64 expansion of a single 64-bit value. */
+    explicit Prng(u64 seed);
+
+    /** Next raw 64-bit output. */
+    u64 next();
+
+    /** Unbiased uniform draw in [0, bound) via rejection sampling. */
+    u64 uniform(u64 bound);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+  private:
+    u64 s_[4];
+};
+
+/** Fill @p out with uniform values mod q. */
+void sampleUniform(Prng &prng, u64 q, std::vector<u64> &out);
+
+/**
+ * Sample a ternary polynomial with coefficients in {-1, 0, 1}
+ * (represented mod q), the standard CKKS secret distribution.
+ */
+void sampleTernary(Prng &prng, u64 q, std::vector<u64> &out);
+
+/**
+ * Sample centered discrete Gaussian noise with standard deviation
+ * @p sigma (default 3.2, the usual RLWE parameter), represented mod q.
+ * Uses rounded Box-Muller, adequate for functional validation.
+ */
+void sampleGaussian(Prng &prng, u64 q, double sigma, std::vector<u64> &out);
+
+/**
+ * Sample the signed integer coefficients of a Gaussian directly
+ * (used to replicate the identical error across RNS limbs).
+ */
+void sampleGaussianSigned(Prng &prng, double sigma, std::vector<i64> &out);
+
+/** Sample signed ternary coefficients in {-1, 0, 1}. */
+void sampleTernarySigned(Prng &prng, std::vector<i64> &out);
+
+} // namespace fast::math
+
+#endif // FAST_MATH_RANDOM_HPP

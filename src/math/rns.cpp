@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Implementation of RNS bases and base conversion.
+ */
+#include "math/rns.hpp"
+
+#include <stdexcept>
+
+namespace fast::math {
+
+RnsBasis::RnsBasis(std::vector<u64> moduli) : moduli_(std::move(moduli))
+{
+    if (moduli_.empty())
+        throw std::invalid_argument("RNS basis cannot be empty");
+    mods_.reserve(moduli_.size());
+    for (u64 q : moduli_)
+        mods_.emplace_back(q);
+    product_ = BigUInt::productOf(moduli_);
+    q_hat_inv_.resize(moduli_.size());
+    q_hat_.resize(moduli_.size());
+    for (std::size_t i = 0; i < moduli_.size(); ++i) {
+        auto [q_hat, rem] = product_.divMod(moduli_[i]);
+        if (rem != 0)
+            throw std::invalid_argument("duplicate modulus in basis");
+        q_hat_[i] = q_hat;
+        q_hat_inv_[i] = invMod(q_hat.mod(moduli_[i]), moduli_[i]);
+    }
+}
+
+u64
+RnsBasis::qHatMod(std::size_t i, u64 p) const
+{
+    return q_hat_[i].mod(p);
+}
+
+RnsBasis
+RnsBasis::subBasis(std::size_t first, std::size_t count) const
+{
+    if (first + count > moduli_.size())
+        throw std::out_of_range("subBasis range");
+    std::vector<u64> sub(moduli_.begin() + first,
+                         moduli_.begin() + first + count);
+    return RnsBasis(std::move(sub));
+}
+
+BigUInt
+RnsBasis::compose(const std::vector<u64> &residues) const
+{
+    if (residues.size() != moduli_.size())
+        throw std::invalid_argument("residue count mismatch");
+    // x = sum_i [x_i * qHatInv_i]_{q_i} * (Q / q_i)  mod Q
+    BigUInt acc;
+    for (std::size_t i = 0; i < moduli_.size(); ++i) {
+        u64 t = mulMod(residues[i] % moduli_[i], q_hat_inv_[i], moduli_[i]);
+        acc = acc + q_hat_[i] * t;
+    }
+    // Reduce mod Q: acc < Q * k with k <= basis size, so subtract.
+    while (acc >= product_)
+        acc = acc - product_;
+    return acc;
+}
+
+std::vector<u64>
+RnsBasis::decompose(const BigUInt &value) const
+{
+    std::vector<u64> out(moduli_.size());
+    for (std::size_t i = 0; i < moduli_.size(); ++i)
+        out[i] = value.mod(moduli_[i]);
+    return out;
+}
+
+BaseConverter::BaseConverter(const RnsBasis &from, const RnsBasis &to)
+    : from_(from), to_(to)
+{
+    base_table_.resize(from_.size() * to_.size());
+    for (std::size_t i = 0; i < from_.size(); ++i)
+        for (std::size_t j = 0; j < to_.size(); ++j)
+            base_table_[i * to_.size() + j] =
+                from_.qHatMod(i, to_.modulus(j));
+}
+
+void
+BaseConverter::scaleInputs(const std::vector<u64> &in,
+                           std::vector<u64> &scaled) const
+{
+    scaled.resize(from_.size());
+    for (std::size_t i = 0; i < from_.size(); ++i)
+        scaled[i] = mulMod(in[i], from_.qHatInv(i), from_.modulus(i));
+}
+
+void
+BaseConverter::accumulate(const std::vector<u64> &scaled,
+                          std::vector<u64> &out) const
+{
+    out.assign(to_.size(), 0);
+    for (std::size_t j = 0; j < to_.size(); ++j) {
+        const Modulus &pj = to_.modulusObj(j);
+        u128 acc = 0;
+        for (std::size_t i = 0; i < from_.size(); ++i) {
+            acc += (u128)scaled[i] * baseTable(i, j);
+            // Lazy reduction: fold when the accumulator nears 2^127 to
+            // mirror the BConvU's bottom-row modular reduction step.
+            if ((acc >> 120) != 0)
+                acc = acc % pj.value();
+        }
+        out[j] = static_cast<u64>(acc % pj.value());
+    }
+}
+
+std::vector<u64>
+BaseConverter::convert(const std::vector<u64> &in) const
+{
+    if (in.size() != from_.size())
+        throw std::invalid_argument("BaseConverter input size mismatch");
+    std::vector<u64> scaled;
+    scaleInputs(in, scaled);
+    std::vector<u64> out;
+    accumulate(scaled, out);
+    return out;
+}
+
+} // namespace fast::math

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Residue Number System bases and base conversion.
+ *
+ * CKKS decomposes its huge ciphertext modulus Q into a chain of
+ * word-sized primes (Sec. 2.1.1); every polynomial is held as one
+ * "limb" per prime. This module provides:
+ *
+ *  - RnsBasis: an ordered set of NTT-friendly primes with the
+ *    precomputed CRT constants (Q/q_i mod q_j, (Q/q_i)^-1 mod q_i).
+ *  - fastBaseConvert: the approximate HPS base conversion used by
+ *    ModUp/ModDown in the hybrid key-switching method; implemented as
+ *    the two-stage kernel the FAST BConvU executes (element-wise
+ *    scaling, then a matrix-matrix product with the base table,
+ *    Sec. 5.3).
+ *  - exact CRT composition/decomposition via BigUInt, used by tests
+ *    and by the KLSS gadget decomposition.
+ */
+#ifndef FAST_MATH_RNS_HPP
+#define FAST_MATH_RNS_HPP
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "math/bignum.hpp"
+#include "math/modarith.hpp"
+
+namespace fast::math {
+
+/**
+ * An ordered RNS basis {q_0, ..., q_{k-1}} with CRT precomputation.
+ */
+class RnsBasis
+{
+  public:
+    /** Build a basis from a list of distinct primes. */
+    explicit RnsBasis(std::vector<u64> moduli);
+
+    std::size_t size() const { return moduli_.size(); }
+    u64 modulus(std::size_t i) const { return moduli_[i]; }
+    const Modulus &modulusObj(std::size_t i) const { return mods_[i]; }
+    const std::vector<u64> &moduli() const { return moduli_; }
+
+    /** Product of all moduli. */
+    const BigUInt &product() const { return product_; }
+
+    /** (Q/q_i)^-1 mod q_i — the "Q-hat inverse" CRT constant. */
+    u64 qHatInv(std::size_t i) const { return q_hat_inv_[i]; }
+
+    /** Q/q_i mod p for an arbitrary external modulus p. */
+    u64 qHatMod(std::size_t i, u64 p) const;
+
+    /**
+     * A sub-basis formed from moduli [first, first+count). CRT
+     * constants are recomputed for the sub-product.
+     */
+    RnsBasis subBasis(std::size_t first, std::size_t count) const;
+
+    /**
+     * Exact CRT composition of residues (one per modulus) into the
+     * canonical representative in [0, Q).
+     */
+    BigUInt compose(const std::vector<u64> &residues) const;
+
+    /** Decompose a value in [0, Q) into residues. */
+    std::vector<u64> decompose(const BigUInt &value) const;
+
+  private:
+    std::vector<u64> moduli_;
+    std::vector<Modulus> mods_;
+    BigUInt product_;
+    std::vector<u64> q_hat_inv_;
+    std::vector<BigUInt> q_hat_;  ///< Q/q_i as big integers
+};
+
+/**
+ * Precomputed table for fast (approximate) base conversion from basis
+ * Q to basis P: conv(x)_j = sum_i [x_i * qHatInv_i]_{q_i} * (Q/q_i)
+ * mod p_j. The result may differ from the exact conversion by a small
+ * multiple of Q (the classic HPS "approximation error"), which the
+ * CKKS algorithms tolerate by construction.
+ */
+class BaseConverter
+{
+  public:
+    BaseConverter(const RnsBasis &from, const RnsBasis &to);
+
+    const RnsBasis &from() const { return from_; }
+    const RnsBasis &to() const { return to_; }
+
+    /**
+     * Convert one coefficient vector: input residues in basis `from`
+     * (size from.size()), output residues in basis `to`.
+     */
+    std::vector<u64> convert(const std::vector<u64> &in) const;
+
+    /**
+     * Stage 1 of the hardware kernel: element-wise scaling
+     * y_i = [x_i * qHatInv_i] mod q_i.
+     */
+    void scaleInputs(const std::vector<u64> &in,
+                     std::vector<u64> &scaled) const;
+
+    /**
+     * Stage 2 of the hardware kernel: out_j = sum_i scaled_i *
+     * baseTable(i, j) mod p_j. This is the matrix product the BConvU
+     * systolic array computes.
+     */
+    void accumulate(const std::vector<u64> &scaled,
+                    std::vector<u64> &out) const;
+
+    /** Base-table entry (Q/q_i mod p_j). */
+    u64 baseTable(std::size_t i, std::size_t j) const
+    {
+        return base_table_[i * to_.size() + j];
+    }
+
+  private:
+    RnsBasis from_;
+    RnsBasis to_;
+    std::vector<u64> base_table_;  ///< row-major (from x to)
+};
+
+} // namespace fast::math
+
+#endif // FAST_MATH_RNS_HPP

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Implementation of the energy model.
+ */
+#include "sim/energy.hpp"
+
+namespace fast::sim {
+
+namespace {
+
+/** Map a budget component name to the unit whose activity drives it. */
+UnitKind
+unitFor(const std::string &name)
+{
+    if (name == "NTTU")
+        return UnitKind::nttu;
+    if (name == "BConvU")
+        return UnitKind::bconvu;
+    if (name == "KMU")
+        return UnitKind::kmu;
+    if (name == "AutoU")
+        return UnitKind::autou;
+    if (name == "AEM")
+        return UnitKind::aem;
+    if (name == "NoC")
+        return UnitKind::noc;
+    if (name == "HBM")
+        return UnitKind::hbm;
+    return UnitKind::count;  // RF: tied to overall activity
+}
+
+} // namespace
+
+EnergyReport
+EnergyModel::evaluate(const SimStats &stats) const
+{
+    EnergyReport report;
+    if (stats.total_ns <= 0)
+        return report;
+
+    double overall_activity = 0;
+    double compute_peak = 0;
+    for (const auto &c : budget_.components()) {
+        UnitKind u = unitFor(c.name);
+        if (u == UnitKind::count)
+            continue;
+        overall_activity += stats.utilization(u) * c.peak_power_w;
+        compute_peak += c.peak_power_w;
+    }
+    double avg_util =
+        compute_peak > 0 ? overall_activity / compute_peak : 0;
+
+    double dynamic = 0;
+    for (const auto &c : budget_.components()) {
+        UnitKind u = unitFor(c.name);
+        double util = u == UnitKind::count ? avg_util
+                                           : stats.utilization(u);
+        dynamic += kDynamicDerate * (1.0 - kStaticFraction) *
+                   c.peak_power_w * util;
+    }
+    double stat = kStaticFraction * budget_.totalPeakPowerW();
+
+    report.avg_power_w = stat + dynamic;
+    report.energy_j = report.avg_power_w * stats.total_ns * 1e-9;
+    report.edp_js = report.energy_j * stats.total_ns * 1e-9;
+    return report;
+}
+
+} // namespace fast::sim

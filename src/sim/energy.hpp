@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Power, energy, and EDP model (Table 7). Average power combines a
+ * static floor with per-unit dynamic power weighted by utilization,
+ * using the ChipBudget peak-power breakdown.
+ */
+#ifndef FAST_SIM_ENERGY_HPP
+#define FAST_SIM_ENERGY_HPP
+
+#include "hw/area.hpp"
+#include "sim/simulator.hpp"
+
+namespace fast::sim {
+
+/** Energy metrics of one workload run. */
+struct EnergyReport {
+    double avg_power_w = 0;
+    double energy_j = 0;
+    double edp_js = 0;  ///< energy-delay product (J*s)
+};
+
+/**
+ * Maps simulation activity onto the chip's power budget.
+ */
+class EnergyModel
+{
+  public:
+    /** Static (leakage + clocking) fraction of peak power. */
+    static constexpr double kStaticFraction = 0.12;
+    /**
+     * Dynamic derating: busy units do not toggle every gate at the
+     * synthesis-corner peak; calibrated against the paper's reported
+     * workload averages (Table 7).
+     */
+    static constexpr double kDynamicDerate = 0.62;
+
+    explicit EnergyModel(const hw::FastConfig &config)
+        : config_(config), budget_(config)
+    {
+    }
+
+    EnergyReport evaluate(const SimStats &stats) const;
+
+    const hw::ChipBudget &budget() const { return budget_; }
+
+  private:
+    hw::FastConfig config_;
+    hw::ChipBudget budget_;
+};
+
+} // namespace fast::sim
+
+#endif // FAST_SIM_ENERGY_HPP

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Hardware-aligned kernel IR (Sec. 6.1): each FHE operation is
+ * partitioned into kernels mapped onto FAST's execution units with
+ * cycle-level timing.
+ */
+#ifndef FAST_SIM_KERNEL_HPP
+#define FAST_SIM_KERNEL_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fast::sim {
+
+/** The execution resource a kernel occupies. */
+enum class UnitKind {
+    nttu,    ///< NTT unit
+    bconvu,  ///< base-conversion systolic arrays
+    kmu,     ///< key-mult / element-wise unit
+    autou,   ///< automorphism (Benes) unit
+    aem,     ///< auxiliary module (DSU rescale datapath)
+    noc,     ///< lane-wise network-on-chip (transposes, Fig. 7)
+    hbm,     ///< off-chip transfers
+    count,
+};
+
+const char *toString(UnitKind unit);
+
+/** One scheduled unit occupancy. */
+struct Kernel {
+    UnitKind unit = UnitKind::kmu;
+    double cycles = 0;     ///< occupancy (HBM kernels use ns directly)
+    double mults = 0;      ///< modular mults performed (energy/util)
+    double hbm_bytes = 0;  ///< bytes moved (HBM kernels only)
+    bool prefetchable = false;  ///< may start before its op (Hemera)
+    std::string label;
+};
+
+/** All kernels of one trace operation, executed in order. */
+struct LoweredOp {
+    std::size_t op_index = 0;
+    std::size_t ct_index = 0;
+    std::vector<Kernel> kernels;
+};
+
+} // namespace fast::sim
+
+#endif // FAST_SIM_KERNEL_HPP

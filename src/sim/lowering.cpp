@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Implementation of trace-to-kernel lowering.
+ */
+#include "sim/lowering.hpp"
+
+#include <array>
+#include <cmath>
+#include <list>
+#include <map>
+#include <string>
+
+namespace fast::sim {
+
+namespace {
+
+double
+evkTransferBytes(const cost::KeySwitchCostModel &model,
+                 KeySwitchMethod method, std::size_t ell)
+{
+    // The EKG regenerates the `a` halves on chip, halving traffic.
+    return model.evkBytes(method, ell) *
+           hw::AuxModule::ekgTrafficFactor();
+}
+
+/**
+ * On-chip evaluation-key cache: models the evk-reserve region of the
+ * register file together with ARK-style inter-operation key reuse.
+ * Keys are identified by their rotation amount (or relin/conj role)
+ * and method; a reuse at a lower level is free (the resident key's
+ * limb prefix), a reuse at a higher level fetches only the missing
+ * limbs. LRU eviction under the configured capacity.
+ */
+class EvkCache
+{
+  public:
+    explicit EvkCache(double capacity_bytes)
+        : capacity_(capacity_bytes)
+    {
+    }
+
+    /** Returns the bytes that must cross HBM for this access. */
+    double access(const std::string &key, double bytes)
+    {
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            double fetch = bytes > it->second ? bytes - it->second : 0;
+            used_ += fetch;
+            it->second = std::max(it->second, bytes);
+            touch(key);
+            evictUntilFits();
+            return fetch;
+        }
+        entries_[key] = bytes;
+        lru_.push_back(key);
+        used_ += bytes;
+        evictUntilFits(key);
+        return bytes;
+    }
+
+  private:
+    void touch(const std::string &key)
+    {
+        lru_.remove(key);
+        lru_.push_back(key);
+    }
+
+    void evictUntilFits(const std::string &keep = {})
+    {
+        while (used_ > capacity_ && lru_.size() > 1) {
+            const std::string &victim = lru_.front();
+            if (victim == keep) {
+                lru_.push_back(victim);
+                lru_.pop_front();
+                continue;
+            }
+            used_ -= entries_[victim];
+            entries_.erase(victim);
+            lru_.pop_front();
+        }
+    }
+
+    double capacity_;
+    double used_ = 0;
+    std::map<std::string, double> entries_;
+    std::list<std::string> lru_;
+};
+
+std::string
+evkCacheKey(const trace::FheOp &op, KeySwitchMethod method)
+{
+    std::string id = method == KeySwitchMethod::hybrid ? "H" : "K";
+    switch (op.kind) {
+      case trace::FheOpKind::hmult: return id + ":relin";
+      case trace::FheOpKind::conjugate: return id + ":conj";
+      default: return id + ":rot" + std::to_string(op.rot_steps);
+    }
+}
+
+} // namespace
+
+Lowering::Lowering(hw::FastConfig config, cost::KeySwitchCostModel model)
+    : config_(config), model_(model), nttu_(config), bconvu_(config),
+      kmu_(config), autou_(config), aem_(config), noc_(config)
+{
+}
+
+void
+Lowering::emitNtt(LoweredOp &out, std::size_t limbs, int bits,
+                  std::size_t streams, const char *label) const
+{
+    std::size_t n = perCluster();
+    Kernel k;
+    k.unit = UnitKind::nttu;
+    k.cycles = nttu_.cycles(n, limbs, bits, streams);
+    k.mults = nttu_.mults(n, limbs) * config_.clusters;
+    k.label = label;
+    out.kernels.push_back(k);
+
+    // The ten-step method's inter-lane-group transpose rides the NoC.
+    Kernel t;
+    t.unit = UnitKind::noc;
+    t.cycles = noc_.transposeCycles(n, limbs);
+    t.label = "ntt-transpose";
+    out.kernels.push_back(t);
+}
+
+void
+Lowering::emitElementwise(LoweredOp &out, std::size_t limbs,
+                          double factor, const char *label) const
+{
+    std::size_t n = perCluster();
+    Kernel k;
+    k.unit = UnitKind::kmu;
+    k.cycles = kmu_.elementwiseCycles(n, limbs, 36) * factor;
+    k.mults = static_cast<double>(n) * limbs * factor *
+              static_cast<double>(config_.clusters);
+    k.label = label;
+    out.kernels.push_back(k);
+}
+
+void
+Lowering::emitPlainOperandFetch(LoweredOp &out, std::size_t limbs) const
+{
+    // OF-Limb (ARK [21], adopted in Sec. 6.1): plaintext operands are
+    // stored at a single limb and extended to the working basis on
+    // chip, so only one limb crosses HBM.
+    Kernel k;
+    k.unit = UnitKind::hbm;
+    k.hbm_bytes = static_cast<double>(model_.config().degree) *
+                  model_.config().q_bits / 8.0;
+    k.prefetchable = true;  // plaintext operands are known statically
+    k.label = "pt-fetch";
+    out.kernels.push_back(k);
+
+    // On-the-fly limb generation runs on the NTTU in 36-bit mode
+    // (Sec. 5.2: "of-limbs generation").
+    emitNtt(out, limbs, 36, 2, "of-limb");
+}
+
+void
+Lowering::emitRescale(LoweredOp &out, std::size_t limbs) const
+{
+    std::size_t n = perCluster();
+    emitNtt(out, 2, 36, 2, "rescale-ntt");
+
+    Kernel dsu;
+    dsu.unit = UnitKind::aem;
+    dsu.cycles = aem_.dsuCycles(n, limbs);
+    dsu.mults = static_cast<double>(n) * limbs * config_.clusters;
+    dsu.label = "rescale-dsu";
+    out.kernels.push_back(dsu);
+}
+
+void
+Lowering::emitDecompose(LoweredOp &out, KeySwitchMethod method,
+                        std::size_t ell) const
+{
+    std::size_t n = perCluster();
+    const auto &cfg = model_.config();
+    std::size_t l = ell + 1;
+
+    // Stage 1 scaling runs on the KMU (Sec. 5.4).
+    emitElementwise(out, l, 1.0, "bconv-scale");
+
+    // The single input polynomial cannot pair limbs for dual-36 mode.
+    emitNtt(out, l, 36, 1, "modup-intt");
+
+    if (method == KeySwitchMethod::hybrid) {
+        std::size_t a = cfg.alpha, k = cfg.specials;
+        std::size_t beta = (l + a - 1) / a;
+        std::size_t conv_out = beta * (l + k - a);
+
+        Kernel conv;
+        conv.unit = UnitKind::bconvu;
+        conv.cycles = bconvu_.cycles(n, a, conv_out, 36);
+        conv.mults = bconvu_.mults(n, a, conv_out) * config_.clusters;
+        conv.label = "modup-bconv";
+        out.kernels.push_back(conv);
+
+        emitNtt(out, conv_out, 36, 2, "modup-ntt");
+    } else {
+        std::size_t a = cfg.klss_alpha;
+        std::size_t beta = (l + a - 1) / a;
+        std::size_t ap = model_.klssAuxLimbs();
+
+        Kernel conv;
+        conv.unit = UnitKind::bconvu;
+        conv.cycles = bconvu_.cycles(n, a, beta * ap, 60);
+        conv.mults = bconvu_.mults(n, a, beta * ap) * config_.clusters;
+        conv.label = "klss-decompose";
+        out.kernels.push_back(conv);
+
+        emitNtt(out, beta * ap, 60, 2, "klss-ntt-T");
+    }
+}
+
+void
+Lowering::emitKeyMultModDown(LoweredOp &out, KeySwitchMethod method,
+                             std::size_t ell, bool rotation,
+                             bool prefetchable, double evk_fetch_bytes,
+                             bool input_reuse) const
+{
+    std::size_t n = perCluster();
+    const auto &cfg = model_.config();
+    std::size_t l = ell + 1;
+    int bits = methodBits(method);
+
+    // Evaluation key from HBM (halved by the EKG; zero on an on-chip
+    // cache hit thanks to inter-operation key reuse).
+    if (evk_fetch_bytes > 0) {
+        Kernel evk;
+        evk.unit = UnitKind::hbm;
+        evk.hbm_bytes = evk_fetch_bytes;
+        evk.prefetchable = prefetchable;
+        evk.label = "evk-fetch";
+        out.kernels.push_back(evk);
+    }
+
+    if (method == KeySwitchMethod::hybrid) {
+        std::size_t a = cfg.alpha, k = cfg.specials;
+        std::size_t beta = (l + a - 1) / a;
+
+        if (rotation) {
+            Kernel rot;
+            rot.unit = UnitKind::autou;
+            rot.cycles =
+                autou_.cycles(n, beta * (l + k) + l, bits);
+            rot.label = "automorphism";
+            out.kernels.push_back(rot);
+        }
+
+        Kernel km;
+        km.unit = UnitKind::kmu;
+        km.cycles =
+            kmu_.keyMultCycles(n, beta, l + k, bits, input_reuse);
+        km.mults = 2.0 * n * beta * (l + k) * config_.clusters;
+        km.label = "keymult";
+        out.kernels.push_back(km);
+
+        emitNtt(out, 2 * (k + l), bits, 2, "moddown-ntt");
+
+        Kernel md_conv;
+        md_conv.unit = UnitKind::bconvu;
+        md_conv.cycles = bconvu_.cycles(n, k, 2 * l, bits);
+        md_conv.mults = bconvu_.mults(n, k, 2 * l) * config_.clusters;
+        md_conv.label = "moddown-bconv";
+        out.kernels.push_back(md_conv);
+    } else {
+        std::size_t a = cfg.klss_alpha;
+        std::size_t beta = (l + a - 1) / a;
+        std::size_t ap = model_.klssAuxLimbs();
+        std::size_t bt = model_.klssOutputGroups(ell);
+
+        if (rotation) {
+            Kernel rot;
+            rot.unit = UnitKind::autou;
+            rot.cycles = autou_.cycles(n, beta * ap + l, bits);
+            rot.label = "automorphism";
+            out.kernels.push_back(rot);
+        }
+
+        // The KLSS vector-matrix structure always reuses input limbs
+        // across the KMU's columns (Sec. 5.4).
+        Kernel km;
+        km.unit = UnitKind::kmu;
+        km.cycles = kmu_.keyMultCycles(n, beta, bt * ap, bits, true);
+        km.mults = 2.0 * n * beta * bt * ap * config_.clusters;
+        km.label = "klss-keymult";
+        out.kernels.push_back(km);
+
+        emitNtt(out, 2 * bt * ap, bits, 2, "recover-intt");
+
+        Kernel rec_conv;
+        rec_conv.unit = UnitKind::bconvu;
+        rec_conv.cycles = bconvu_.cycles(n, ap, 2 * l, bits);
+        rec_conv.mults = bconvu_.mults(n, ap, 2 * l) * config_.clusters;
+        rec_conv.label = "recover-bconv";
+        out.kernels.push_back(rec_conv);
+
+        emitNtt(out, 2 * l, 36, 2, "recover-ntt");
+    }
+    emitElementwise(out, 2 * l, 1.0, "moddown-scale");
+}
+
+double
+Lowering::keySwitchSeconds(KeySwitchMethod method, std::size_t ell,
+                           std::size_t hoisted) const
+{
+    LoweredOp op;
+    emitDecompose(op, method, ell);
+    bool reuse = hoisted > 1 || method == KeySwitchMethod::klss;
+    for (std::size_t r = 0; r < std::max<std::size_t>(1, hoisted); ++r)
+        emitKeyMultModDown(op, method, ell, true, true, 0, reuse);
+    // Per-unit serial occupancy; units overlap with each other.
+    std::array<double, static_cast<std::size_t>(UnitKind::count)>
+        unit_cycles{};
+    for (const auto &k : op.kernels)
+        unit_cycles[static_cast<std::size_t>(k.unit)] += k.cycles;
+    double crit = 0;
+    for (double c : unit_cycles)
+        crit = std::max(crit, c);
+    return crit / (config_.freq_ghz * 1e9);
+}
+
+std::vector<LoweredOp>
+Lowering::lower(const trace::OpStream &stream,
+                const core::AetherConfig &decisions,
+                bool prefetch_enabled) const
+{
+    std::vector<LoweredOp> lowered;
+    lowered.reserve(stream.ops.size());
+
+    // Track the active decision for each hoisting group.
+    std::size_t active_group = 0;
+    core::AetherDecision group_decision;
+    EvkCache cache(config_.evk_reserve_mb * 1024.0 * 1024.0);
+    auto evkFetch = [&](const trace::FheOp &op, KeySwitchMethod method,
+                        std::size_t ell, bool hoisted) {
+        // Min-KS (ARK [21], Sec. 6.1): non-hoisted hybrid key
+        // switches use keys stored at the minimum modulus; hoisted
+        // rotations and KLSS need the full-level key.
+        bool min_ks = config_.use_min_ks && !hoisted &&
+                      method == KeySwitchMethod::hybrid;
+        double bytes = min_ks
+                           ? model_.evkBytesMinKs(method) *
+                                 hw::AuxModule::ekgTrafficFactor()
+                           : evkTransferBytes(model_, method, ell);
+        std::string id = evkCacheKey(op, method) +
+                         (min_ks ? ":mk" : "");
+        return cache.access(id, bytes);
+    };
+
+    for (std::size_t i = 0; i < stream.ops.size(); ++i) {
+        const auto &op = stream.ops[i];
+        LoweredOp out;
+        out.op_index = i;
+        out.ct_index = op.ct_index;
+        std::size_t l = op.level + 1;
+
+        switch (op.kind) {
+          case trace::FheOpKind::hmult: {
+            auto d = decisions.decisionFor(i);
+            emitElementwise(out, 4 * l, 1.0, "tensor");
+            emitDecompose(out, d.method, op.level);
+            emitKeyMultModDown(out, d.method, op.level, false,
+                               prefetch_enabled,
+                               evkFetch(op, d.method, op.level, false),
+                               d.method == KeySwitchMethod::klss);
+            break;
+          }
+          case trace::FheOpKind::conjugate: {
+            auto d = decisions.decisionFor(i);
+            emitDecompose(out, d.method, op.level);
+            emitKeyMultModDown(out, d.method, op.level, true,
+                               prefetch_enabled,
+                               evkFetch(op, d.method, op.level, false),
+                               d.method == KeySwitchMethod::klss);
+            break;
+          }
+          case trace::FheOpKind::hrot: {
+            core::AetherDecision d;
+            bool group_head = false;
+            if (op.hoist_group != 0 && op.hoist_group == active_group) {
+                d = group_decision;
+            } else {
+                d = decisions.decisionFor(i);
+                if (op.hoist_group != 0) {
+                    active_group = op.hoist_group;
+                    group_decision = d;
+                    group_head = true;
+                }
+            }
+            bool hoisted = op.hoist_group != 0 && d.hoist > 1 &&
+                           config_.use_hoisting;
+            // Hoisted groups decompose once at the head; otherwise
+            // every rotation pays the full decomposition.
+            if (!hoisted || group_head || op.hoist_group == 0)
+                emitDecompose(out, d.method, op.level);
+            emitKeyMultModDown(out, d.method, op.level, true,
+                               prefetch_enabled,
+                               evkFetch(op, d.method, op.level, hoisted),
+                               hoisted ||
+                                   d.method == KeySwitchMethod::klss);
+            break;
+          }
+          case trace::FheOpKind::pmult:
+            emitPlainOperandFetch(out, l);
+            emitElementwise(out, 2 * l, 1.0, "pmult");
+            break;
+          case trace::FheOpKind::cmult:
+            emitElementwise(out, 2 * l, 1.0, "cmult");
+            break;
+          case trace::FheOpKind::hadd:
+          case trace::FheOpKind::padd: {
+            std::size_t n = perCluster();
+            Kernel k;
+            k.unit = UnitKind::kmu;
+            k.cycles = kmu_.elementwiseCycles(n, 2 * l, 36);
+            k.mults = 0;  // adds occupy the KMU but not multipliers
+            k.label = "add";
+            out.kernels.push_back(k);
+            break;
+          }
+          case trace::FheOpKind::rescale:
+            emitRescale(out, l);
+            break;
+          case trace::FheOpKind::modraise: {
+            emitElementwise(out, l, 2.0, "modraise-lift");
+            emitNtt(out, 2 * l, 36, 2, "modraise-ntt");
+            break;
+          }
+          case trace::FheOpKind::bootstrap_begin:
+          case trace::FheOpKind::bootstrap_end:
+            break;
+        }
+        lowered.push_back(std::move(out));
+    }
+    return lowered;
+}
+
+} // namespace fast::sim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Lowering of FHE operations to hardware kernels under a chosen
+ * key-switching method and hoisting configuration — the bridge from
+ * the Aether-annotated trace to the cycle simulator.
+ */
+#ifndef FAST_SIM_LOWERING_HPP
+#define FAST_SIM_LOWERING_HPP
+
+#include <vector>
+
+#include "core/aether.hpp"
+#include "hw/config.hpp"
+#include "hw/nttu.hpp"
+#include "hw/units.hpp"
+#include "sim/kernel.hpp"
+#include "trace/op.hpp"
+
+namespace fast::sim {
+
+using ckks::KeySwitchMethod;
+
+/**
+ * Lowers one trace into per-op kernel lists. Polynomials are
+ * distributed across clusters (the SHARP/ARK data layout, Sec. 5.1),
+ * so every unit model sees N / clusters coefficients.
+ */
+class Lowering
+{
+  public:
+    Lowering(hw::FastConfig config, cost::KeySwitchCostModel model);
+
+    const hw::FastConfig &config() const { return config_; }
+
+    /**
+     * Lower a whole trace. @p decisions assigns a method/hoisting to
+     * every key-switch site (op_index of the site head).
+     */
+    std::vector<LoweredOp> lower(const trace::OpStream &stream,
+                                 const core::AetherConfig &decisions,
+                                 bool prefetch_enabled) const;
+
+    /**
+     * Microarchitecture-level latency of one key-switch site: one
+     * decomposition plus @p hoisted KeyMult/ModDown passes, each unit
+     * pipelining independently (the simulator's intra-op model).
+     * Used as Aether's delay estimator.
+     */
+    double keySwitchSeconds(KeySwitchMethod method, std::size_t ell,
+                            std::size_t hoisted) const;
+
+  private:
+    /** Coefficients handled per cluster. */
+    std::size_t perCluster() const
+    {
+        return config_.clusters == 0
+                   ? model_.config().degree
+                   : model_.config().degree / config_.clusters;
+    }
+
+    int methodBits(KeySwitchMethod method) const
+    {
+        return method == KeySwitchMethod::klss ? 60 : 36;
+    }
+
+    void emitDecompose(LoweredOp &out, KeySwitchMethod method,
+                       std::size_t ell) const;
+    void emitKeyMultModDown(LoweredOp &out, KeySwitchMethod method,
+                            std::size_t ell, bool rotation,
+                            bool prefetchable, double evk_fetch_bytes,
+                            bool input_reuse) const;
+    void emitElementwise(LoweredOp &out, std::size_t limbs,
+                         double factor, const char *label) const;
+    /** NTTU kernel plus its ten-step NoC transpose companion. */
+    void emitNtt(LoweredOp &out, std::size_t limbs, int bits,
+                 std::size_t streams, const char *label) const;
+    void emitPlainOperandFetch(LoweredOp &out, std::size_t limbs) const;
+    void emitRescale(LoweredOp &out, std::size_t limbs) const;
+
+    hw::FastConfig config_;
+    cost::KeySwitchCostModel model_;
+    hw::NttUnit nttu_;
+    hw::BConvUnit bconvu_;
+    hw::KeyMultUnit kmu_;
+    hw::AutoUnit autou_;
+    hw::AuxModule aem_;
+    hw::NocUnit noc_;
+};
+
+} // namespace fast::sim
+
+#endif // FAST_SIM_LOWERING_HPP

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Implementation of the report formatters.
+ */
+#include "sim/report.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace fast::sim {
+
+namespace {
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+describeMct(const std::vector<core::MctEntry> &mct, std::size_t max_rows)
+{
+    std::string out;
+    appendf(out, "Methods Candidate Table (%zu entries)\n",
+            mct.size());
+    appendf(out, "%6s %5s %5s %3s | %-28s | %-28s\n", "op", "ct",
+            "level", "h", "hybrid cost/delay/key/xfer",
+            "KLSS cost/delay/key/xfer");
+    std::size_t rows = 0;
+    for (const auto &e : mct) {
+        if (rows++ >= max_rows) {
+            appendf(out, "  ... (%zu more)\n", mct.size() - max_rows);
+            break;
+        }
+        const core::MctCandidate *hybrid = nullptr, *klss = nullptr;
+        for (const auto &c : e.candidates) {
+            if (c.hoist != e.times && e.times > 1)
+                continue;  // show the site-matching hoist config
+            if (c.method == ckks::KeySwitchMethod::hybrid)
+                hybrid = &c;
+            else
+                klss = &c;
+        }
+        auto cell = [&](const core::MctCandidate *c) {
+            if (!c) {
+                appendf(out, "| %-28s ", "-");
+                return;
+            }
+            appendf(out, "| %6.1fM %6.1fus %5.0fMB %5.0fus ",
+                    c->cost_ops / 1e6, c->delay_s * 1e6,
+                    c->key_bytes / 1048576.0, c->transfer_s * 1e6);
+        };
+        appendf(out, "%6zu %5zu %5zu %3zu ", e.op_index, e.ct_index,
+                e.level, e.times);
+        cell(hybrid);
+        cell(klss);
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+describeResult(const WorkloadResult &result)
+{
+    std::string out;
+    appendf(out, "workload: %s\n", result.workload.c_str());
+    appendf(out, "  latency: %.3f ms\n", result.stats.milliseconds());
+    appendf(out, "  utilization:");
+    for (auto u : {UnitKind::nttu, UnitKind::bconvu, UnitKind::kmu,
+                   UnitKind::autou, UnitKind::noc, UnitKind::hbm}) {
+        appendf(out, " %s %.0f%%", toString(u),
+                100.0 * result.stats.utilization(u));
+    }
+    out += '\n';
+    appendf(out, "  HBM: %.1f MB moved, %.3f ms stalled\n",
+            result.stats.hbm_bytes / 1048576.0,
+            result.stats.hbm_stall_ns / 1e6);
+    appendf(out, "  Aether: %zu sites, %.0f%% KLSS; Hemera hit rate "
+                 "%.0f%%\n",
+            result.aether.decisions.size(),
+            100.0 * result.aether.klssShare(),
+            100.0 * result.hemera.hitRate());
+    appendf(out, "  power %.0f W, energy %.3f J, EDP %.3e J*s\n",
+            result.energy.avg_power_w, result.energy.energy_j,
+            result.energy.edp_js);
+    return out;
+}
+
+} // namespace fast::sim

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Human-readable reports: the Methods Candidate Table (the paper's
+ * Fig. 5a) and a workload execution summary. Pure formatting — used
+ * by the examples and available to adopters for debugging Aether
+ * decisions.
+ */
+#ifndef FAST_SIM_REPORT_HPP
+#define FAST_SIM_REPORT_HPP
+
+#include <string>
+
+#include "sim/system.hpp"
+
+namespace fast::sim {
+
+/** Render an MCT (or its head) as a fixed-width table. */
+std::string describeMct(const std::vector<core::MctEntry> &mct,
+                        std::size_t max_rows = 12);
+
+/** Render a workload result: timing, utilization, energy, Aether. */
+std::string describeResult(const WorkloadResult &result);
+
+} // namespace fast::sim
+
+#endif // FAST_SIM_REPORT_HPP

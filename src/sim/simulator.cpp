@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Implementation of the kernel-level cycle simulator.
+ */
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace fast::sim {
+
+const char *
+toString(UnitKind unit)
+{
+    switch (unit) {
+      case UnitKind::nttu: return "NTTU";
+      case UnitKind::bconvu: return "BConvU";
+      case UnitKind::kmu: return "KMU";
+      case UnitKind::autou: return "AutoU";
+      case UnitKind::aem: return "AEM";
+      case UnitKind::noc: return "NoC";
+      case UnitKind::hbm: return "HBM";
+      case UnitKind::count: break;
+    }
+    return "?";
+}
+
+double
+SimStats::totalMults() const
+{
+    double total = 0;
+    for (double m : mults)
+        total += m;
+    return total;
+}
+
+SimStats
+Simulator::run(const std::vector<LoweredOp> &ops) const
+{
+    SimStats stats;
+    std::array<double, static_cast<std::size_t>(UnitKind::count)>
+        unit_free{};
+    std::map<std::size_t, double> ct_ready;
+    double hbm_bytes_per_ns = config_.hbm_bytes_per_s / 1e9;
+    double cycle_ns = 1.0 / config_.freq_ghz;
+
+    for (const auto &op : ops) {
+        double arrival = ct_ready.count(op.ct_index)
+                             ? ct_ready[op.ct_index]
+                             : 0.0;
+        // The units are fully pipelined (Sec. 6.1): within one
+        // operation, kernels on different units overlap; each unit
+        // serializes its own work. HBM transfers gate the compute
+        // kernels that follow them in the kernel list.
+        double data_ready = arrival;
+        double op_end = arrival;
+
+        for (const auto &kernel : op.kernels) {
+            auto u = static_cast<std::size_t>(kernel.unit);
+            double duration;
+            double earliest;
+
+            if (kernel.unit == UnitKind::hbm) {
+                duration = kernel.hbm_bytes / hbm_bytes_per_ns;
+                // Prefetchable transfers are issued by Hemera as soon
+                // as the HBM channel frees up — the Aether config is
+                // static, so the whole schedule is known in advance.
+                earliest = kernel.prefetchable ? 0.0 : arrival;
+                stats.hbm_bytes += kernel.hbm_bytes;
+            } else {
+                duration = kernel.cycles * cycle_ns;
+                earliest = data_ready;
+            }
+
+            double start = std::max(earliest, unit_free[u]);
+            double end = start + duration;
+            unit_free[u] = end;
+            stats.busy_ns[u] += duration;
+            stats.mults[u] += kernel.mults;
+            stats.label_ns[kernel.label] += duration;
+
+            if (kernel.unit == UnitKind::hbm) {
+                // Later compute kernels wait for the operands; any
+                // time past the arrival point is a pipeline stall.
+                if (end > data_ready) {
+                    stats.hbm_stall_ns +=
+                        end - std::max(data_ready, arrival);
+                    data_ready = end;
+                }
+            }
+            op_end = std::max(op_end, end);
+        }
+        ct_ready[op.ct_index] = op_end;
+        stats.total_ns = std::max(stats.total_ns, op_end);
+    }
+    return stats;
+}
+
+SimStats
+Simulator::run(const trace::OpStream &stream,
+               const cost::KeySwitchCostModel &model,
+               const core::AetherConfig &decisions, bool prefetch) const
+{
+    Lowering lowering(config_, model);
+    return run(lowering.lower(stream, decisions, prefetch));
+}
+
+} // namespace fast::sim

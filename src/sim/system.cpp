@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Implementation of the top-level system driver.
+ */
+#include "sim/system.hpp"
+
+namespace fast::sim {
+
+FastSystem::FastSystem(hw::FastConfig config)
+    : config_(config), model_()
+{
+}
+
+core::Aether
+FastSystem::makeAether() const
+{
+    core::Aether::Settings settings;
+    settings.key_capacity_bytes =
+        config_.evk_reserve_mb * 1024.0 * 1024.0;
+    settings.hbm_bytes_per_s = config_.hbm_bytes_per_s;
+    settings.ops_per_s = config_.opsPerSecond(36);
+    settings.allow_klss = config_.use_klss && config_.use_aether;
+    settings.allow_hoisting = config_.use_hoisting;
+    // Aether schedules for this machine: estimate site delays with
+    // the same unit models the simulator executes.
+    auto lowering = std::make_shared<Lowering>(config_, model_);
+    settings.delay_estimator = [lowering](ckks::KeySwitchMethod m,
+                                          std::size_t ell,
+                                          std::size_t h) {
+        return lowering->keySwitchSeconds(m, ell, h);
+    };
+    return core::Aether(model_, settings);
+}
+
+WorkloadResult
+FastSystem::execute(const trace::OpStream &stream) const
+{
+    return execute(stream, makeAether().run(stream));
+}
+
+WorkloadResult
+FastSystem::execute(const trace::OpStream &stream,
+                    const core::AetherConfig &aether) const
+{
+    WorkloadResult result;
+    result.workload = stream.name;
+    result.aether = aether;
+
+    core::Hemera hemera(model_);
+    hemera.plan(stream, aether);
+    result.hemera = hemera.stats();
+
+    Simulator simulator(config_);
+    result.stats = simulator.run(stream, model_, aether,
+                                 /*prefetch=*/config_.use_aether);
+
+    EnergyModel energy(config_);
+    result.energy = energy.evaluate(result.stats);
+    return result;
+}
+
+} // namespace fast::sim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Top-level system driver: wires Aether (offline analysis), Hemera
+ * (runtime key management), the lowering pass, the cycle simulator,
+ * and the energy model into one call — the software equivalent of
+ * running a workload on the FAST board.
+ */
+#ifndef FAST_SIM_SYSTEM_HPP
+#define FAST_SIM_SYSTEM_HPP
+
+#include "core/hemera.hpp"
+#include "sim/energy.hpp"
+#include "sim/simulator.hpp"
+#include "trace/workloads.hpp"
+
+namespace fast::sim {
+
+/** Everything one workload execution produces. */
+struct WorkloadResult {
+    std::string workload;
+    core::AetherConfig aether;     ///< per-site method decisions
+    core::HemeraStats hemera;      ///< transfer/prefetch statistics
+    SimStats stats;                ///< cycle-level metrics
+    EnergyReport energy;           ///< power/energy/EDP
+};
+
+/**
+ * A configured accelerator instance.
+ */
+class FastSystem
+{
+  public:
+    explicit FastSystem(hw::FastConfig config);
+
+    const hw::FastConfig &config() const { return config_; }
+    const cost::KeySwitchCostModel &costModel() const { return model_; }
+
+    /** Run a workload end to end. */
+    WorkloadResult execute(const trace::OpStream &stream) const;
+
+    /**
+     * Run with an explicit Aether configuration (ablation studies:
+     * OneKSW, hoisting-only, oracle, ...).
+     */
+    WorkloadResult execute(const trace::OpStream &stream,
+                           const core::AetherConfig &aether) const;
+
+    /** The Aether instance this system uses for its decisions. */
+    core::Aether makeAether() const;
+
+  private:
+    hw::FastConfig config_;
+    cost::KeySwitchCostModel model_;
+};
+
+} // namespace fast::sim
+
+#endif // FAST_SIM_SYSTEM_HPP

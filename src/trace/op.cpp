@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Implementation of trace helpers.
+ */
+#include "trace/op.hpp"
+
+namespace fast::trace {
+
+const char *
+toString(FheOpKind kind)
+{
+    switch (kind) {
+      case FheOpKind::hmult: return "HMult";
+      case FheOpKind::pmult: return "PMult";
+      case FheOpKind::cmult: return "CMult";
+      case FheOpKind::hadd: return "HAdd";
+      case FheOpKind::padd: return "PAdd";
+      case FheOpKind::hrot: return "HRot";
+      case FheOpKind::conjugate: return "Conj";
+      case FheOpKind::rescale: return "Rescale";
+      case FheOpKind::modraise: return "ModRaise";
+      case FheOpKind::bootstrap_begin: return "BootstrapBegin";
+      case FheOpKind::bootstrap_end: return "BootstrapEnd";
+    }
+    return "?";
+}
+
+std::size_t
+OpStream::countKind(FheOpKind kind) const
+{
+    std::size_t count = 0;
+    for (const auto &op : ops)
+        count += op.kind == kind ? 1 : 0;
+    return count;
+}
+
+std::size_t
+OpStream::keySwitchCount() const
+{
+    std::size_t count = 0;
+    for (const auto &op : ops)
+        count += op.needsKeySwitch() ? 1 : 0;
+    return count;
+}
+
+std::map<std::size_t, std::size_t>
+OpStream::keySwitchLevels() const
+{
+    std::map<std::size_t, std::size_t> hist;
+    for (const auto &op : ops)
+        if (op.needsKeySwitch())
+            ++hist[op.level];
+    return hist;
+}
+
+std::size_t
+OpStream::bootstrapOpCount() const
+{
+    std::size_t count = 0;
+    int depth = 0;
+    for (const auto &op : ops) {
+        if (op.kind == FheOpKind::bootstrap_begin) {
+            ++depth;
+        } else if (op.kind == FheOpKind::bootstrap_end) {
+            --depth;
+        } else if (depth > 0) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+} // namespace fast::trace

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * FHE operation trace intermediate representation.
+ *
+ * The paper's methodology (Sec. 6.1) translates each application into
+ * a "cryptographically structured operation trace ... preserving the
+ * original execution order and dependencies", which is then
+ * partitioned into hardware-aligned kernels. This IR is that trace:
+ * one record per primitive FHE operation, annotated with the current
+ * level, the logical ciphertext it touches, and its hoisting group
+ * (rotations sharing a decomposition).
+ */
+#ifndef FAST_TRACE_OP_HPP
+#define FAST_TRACE_OP_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fast::trace {
+
+/** Primitive FHE operations (Sec. 2.1.2). */
+enum class FheOpKind {
+    hmult,     ///< ciphertext x ciphertext (keyswitch + rescale)
+    pmult,     ///< plaintext x ciphertext
+    cmult,     ///< constant x ciphertext
+    hadd,      ///< ciphertext + ciphertext
+    padd,      ///< plaintext + ciphertext
+    hrot,      ///< rotation (keyswitch)
+    conjugate, ///< conjugation (keyswitch)
+    rescale,   ///< divide by one prime
+    modraise,  ///< bootstrap ModRaise
+    bootstrap_begin,  ///< marker: bootstrapping region entry
+    bootstrap_end,    ///< marker: bootstrapping region exit
+};
+
+const char *toString(FheOpKind kind);
+
+/** One primitive operation in execution order. */
+struct FheOp {
+    FheOpKind kind = FheOpKind::hadd;
+    std::size_t ct_index = 0;  ///< logical ciphertext id
+    std::size_t level = 0;     ///< multiplicative level at execution
+    int rot_steps = 0;         ///< rotation amount for hrot
+
+    /**
+     * Hoisting group id (0 = not hoisted). All hrot ops with the same
+     * nonzero group id on the same ct share a single decomposition.
+     */
+    std::size_t hoist_group = 0;
+    /** Number of rotations in that hoisting group. */
+    std::size_t hoist_size = 1;
+
+    /** True for operations that need a key switch. */
+    bool needsKeySwitch() const
+    {
+        return kind == FheOpKind::hmult || kind == FheOpKind::hrot ||
+               kind == FheOpKind::conjugate;
+    }
+};
+
+/** A full application trace. */
+struct OpStream {
+    std::string name;
+    std::vector<FheOp> ops;
+
+    std::size_t countKind(FheOpKind kind) const;
+    /** Count of key-switch operations (HMult + HRot + conj). */
+    std::size_t keySwitchCount() const;
+    /** Histogram of key switches per level. */
+    std::map<std::size_t, std::size_t> keySwitchLevels() const;
+    /** Ops inside bootstrap_begin/end markers. */
+    std::size_t bootstrapOpCount() const;
+};
+
+} // namespace fast::trace
+
+#endif // FAST_TRACE_OP_HPP

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Implementation of the benchmark trace generators.
+ */
+#include "trace/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fast::trace {
+
+BootstrapShape
+BootstrapShape::forMemoryMb(double onchip_mb)
+{
+    BootstrapShape shape;
+    if (onchip_mb < 128) {
+        shape.baby_rotations = 2;   // 2 x 16 = 32 diagonals
+        shape.giant_rotations = 16;
+    } else if (onchip_mb < 384) {
+        shape.baby_rotations = 4;   // 4 x 8 (the default)
+        shape.giant_rotations = 8;
+    } else {
+        shape.baby_rotations = 8;   // 8 x 4
+        shape.giant_rotations = 4;
+    }
+    return shape;
+}
+
+TraceBuilder::TraceBuilder(std::string name)
+{
+    stream_.name = std::move(name);
+}
+
+OpStream
+TraceBuilder::take()
+{
+    return std::move(stream_);
+}
+
+void
+TraceBuilder::hmult(std::size_t ct, std::size_t level, bool double_rescale)
+{
+    stream_.ops.push_back({FheOpKind::hmult, ct, level, 0, 0, 1});
+    rescale(ct, level);
+    if (double_rescale && level >= 1)
+        rescale(ct, level - 1);
+}
+
+void
+TraceBuilder::pmult(std::size_t ct, std::size_t level, bool double_rescale)
+{
+    stream_.ops.push_back({FheOpKind::pmult, ct, level, 0, 0, 1});
+    rescale(ct, level);
+    if (double_rescale && level >= 1)
+        rescale(ct, level - 1);
+}
+
+void
+TraceBuilder::cmult(std::size_t ct, std::size_t level)
+{
+    stream_.ops.push_back({FheOpKind::cmult, ct, level, 0, 0, 1});
+}
+
+void
+TraceBuilder::hadd(std::size_t ct, std::size_t level)
+{
+    stream_.ops.push_back({FheOpKind::hadd, ct, level, 0, 0, 1});
+}
+
+void
+TraceBuilder::padd(std::size_t ct, std::size_t level)
+{
+    stream_.ops.push_back({FheOpKind::padd, ct, level, 0, 0, 1});
+}
+
+void
+TraceBuilder::rotation(std::size_t ct, std::size_t level, int steps,
+                       std::size_t hoist_group, std::size_t hoist_size)
+{
+    stream_.ops.push_back({FheOpKind::hrot, ct, level, steps,
+                           hoist_group, hoist_size});
+}
+
+void
+TraceBuilder::conjugate(std::size_t ct, std::size_t level)
+{
+    stream_.ops.push_back({FheOpKind::conjugate, ct, level, 0, 0, 1});
+}
+
+void
+TraceBuilder::rescale(std::size_t ct, std::size_t level)
+{
+    stream_.ops.push_back({FheOpKind::rescale, ct, level, 0, 0, 1});
+}
+
+void
+TraceBuilder::modRaise(std::size_t ct, std::size_t to_level)
+{
+    stream_.ops.push_back({FheOpKind::modraise, ct, to_level, 0, 0, 1});
+}
+
+std::size_t
+TraceBuilder::hoistedRotations(std::size_t ct, std::size_t level,
+                               std::size_t count)
+{
+    std::size_t group = next_hoist_group_++;
+    for (std::size_t i = 0; i < count; ++i)
+        rotation(ct, level, static_cast<int>(i + 1), group, count);
+    return group;
+}
+
+std::size_t
+TraceBuilder::emitBootstrap(std::size_t ct, const BootstrapShape &shape)
+{
+    auto scaled = [&](std::size_t v) {
+        return std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::llround(static_cast<double>(v) * shape.scale)));
+    };
+
+    stream_.ops.push_back(
+        {FheOpKind::bootstrap_begin, ct, shape.start_level, 0, 0, 1});
+    modRaise(ct, shape.start_level);
+
+    std::size_t level = shape.start_level;
+
+    // CoeffToSlot: radix-decomposed homomorphic DFT with hoisted baby
+    // rotations (the stage where FAST applies hoisting, Sec. 7.2).
+    for (std::size_t m = 0; m < shape.cts_matrices; ++m) {
+        hoistedRotations(ct, level, scaled(shape.baby_rotations));
+        for (std::size_t d = 0; d < scaled(shape.diagonals); ++d) {
+            stream_.ops.push_back(
+                {FheOpKind::pmult, ct, level, 0, 0, 1});
+            hadd(ct, level);
+        }
+        for (std::size_t g = 0; g < scaled(shape.giant_rotations); ++g)
+            rotation(ct, level, static_cast<int>((g + 1) * 8));
+        rescale(ct, level);
+        rescale(ct, level - 1);
+        level -= 2;  // double rescale per matrix
+    }
+    conjugate(ct, level);
+
+    // EvalMod: Chebyshev + double-angle HMult chain. Spread the
+    // multiplications over the consumed level span (two levels per
+    // step thanks to double rescaling).
+    std::size_t evalmod_levels =
+        level - (shape.end_level + 2 * shape.stc_matrices);
+    std::size_t mults = scaled(shape.evalmod_mults);
+    std::size_t mult_steps = evalmod_levels / 2;
+    for (std::size_t s = 0; s < mult_steps; ++s) {
+        std::size_t per_step = mults / mult_steps +
+                               (s < mults % mult_steps ? 1 : 0);
+        for (std::size_t i = 0;
+             i < scaled(shape.evalmod_cmults) / mult_steps + 1; ++i)
+            cmult(ct, level);
+        hadd(ct, level);
+        for (std::size_t i = 0; i < per_step; ++i)
+            hmult(ct, level);
+        level -= 2;
+    }
+    // Align exactly with the budgeted SlotToCoeff entry level.
+    level = shape.end_level + 2 * shape.stc_matrices;
+
+    // SlotToCoeff mirrors CoeffToSlot.
+    for (std::size_t m = 0; m < shape.stc_matrices; ++m) {
+        hoistedRotations(ct, level, scaled(shape.baby_rotations));
+        for (std::size_t d = 0; d < scaled(shape.diagonals); ++d) {
+            stream_.ops.push_back(
+                {FheOpKind::pmult, ct, level, 0, 0, 1});
+            hadd(ct, level);
+        }
+        for (std::size_t g = 0; g < scaled(shape.giant_rotations); ++g)
+            rotation(ct, level, static_cast<int>((g + 1) * 8));
+        rescale(ct, level);
+        rescale(ct, level - 1);
+        level -= 2;
+    }
+
+    stream_.ops.push_back(
+        {FheOpKind::bootstrap_end, ct, level, 0, 0, 1});
+    return level;
+}
+
+OpStream
+bootstrapTrace(const BootstrapShape &shape)
+{
+    TraceBuilder builder("Bootstrap");
+    std::size_t ct = builder.newCiphertext();
+    builder.emitBootstrap(ct, shape);
+    return builder.take();
+}
+
+OpStream
+helrTrace(std::size_t batch)
+{
+    // One training iteration of encrypted logistic regression [15]:
+    // gradient = X^T * sigmoid(X*w), sigmoid as a degree-3 polynomial,
+    // inner products via rotate-and-sum. Larger batches span more
+    // ciphertexts, adding data ops while sharing one bootstrap.
+    TraceBuilder builder(batch == 256 ? "HELR256" : "HELR1024");
+    std::size_t ct = builder.newCiphertext();
+
+    std::size_t data_cts = std::max<std::size_t>(1, batch / 256);
+    std::size_t level = 8;  // L_eff after the previous bootstrap
+
+    // X*w: one PMult + rotate-and-sum reduction per data ciphertext.
+    for (std::size_t d = 0; d < data_cts; ++d) {
+        std::size_t dct = builder.newCiphertext();
+        builder.pmult(dct, level);
+        builder.hoistedRotations(dct, level - 2, 8);
+        for (int i = 0; i < 8; ++i)
+            builder.hadd(dct, level - 2);
+    }
+    // sigmoid (degree 3 => two multiplicative steps, double rescale).
+    builder.hmult(ct, level - 2);
+    builder.hmult(ct, level - 4);
+    builder.cmult(ct, level - 4);
+    // X^T * s: second round of products and reductions.
+    for (std::size_t d = 0; d < data_cts; ++d) {
+        std::size_t dct = builder.newCiphertext();
+        builder.pmult(dct, level - 6);
+        builder.hoistedRotations(dct, level - 6, 8);
+        for (int i = 0; i < 8; ++i)
+            builder.hadd(dct, level - 6);
+    }
+    // weight update.
+    builder.cmult(ct, level - 6);
+    builder.hadd(ct, level - 6);
+
+    // The per-iteration bootstrap; HELR packs fewer slots than the
+    // fully-packed benchmark, so the pipeline is proportionally
+    // lighter (calibrated to the paper's bootstrap share).
+    BootstrapShape shape;
+    shape.scale = batch == 256 ? 0.72 : 0.88;
+    builder.emitBootstrap(ct, shape);
+    return builder.take();
+}
+
+OpStream
+resnetTrace()
+{
+    // ResNet-20 on CKKS with multiplexed parallel convolutions [25]:
+    // per layer, a 3x3 kernel needs 9 hoisted rotations per input
+    // replica group, channel-combining PMults and adds, a degree-27
+    // polynomial ReLU, and roughly two bootstraps (the AppReLU
+    // pipeline refreshes before and after activation).
+    TraceBuilder builder("ResNet-20");
+    std::size_t act = builder.newCiphertext();
+    const std::size_t layers = 20;
+
+    for (std::size_t layer = 0; layer < layers; ++layer) {
+        std::size_t level = 8;
+        // Convolution: hoisted kernel rotations per multiplexed
+        // replica group + channel-combining PMults.
+        builder.hoistedRotations(act, level, 9);
+        builder.hoistedRotations(act, level, 9);
+        for (int c = 0; c < 32; ++c) {
+            builder.pmult(act, level, false);
+            builder.hadd(act, level);
+        }
+        builder.rescale(act, level - 1);
+        // Rotation-based channel accumulation.
+        builder.hoistedRotations(act, level - 2, 4);
+        for (int i = 0; i < 4; ++i)
+            builder.hadd(act, level - 2);
+
+        // Polynomial ReLU: depth-3 evaluation (degree ~27).
+        builder.hmult(act, level - 2);
+        builder.hmult(act, level - 4);
+        builder.hmult(act, level - 6);
+        builder.cmult(act, level - 6);
+
+        // Two bootstraps per layer (pre/post activation refresh).
+        BootstrapShape shape;
+        builder.emitBootstrap(act, shape);
+        builder.emitBootstrap(act, shape);
+    }
+    // Final average pooling + fully connected layer.
+    builder.hoistedRotations(act, 8, 6);
+    for (int i = 0; i < 6; ++i)
+        builder.hadd(act, 8);
+    builder.pmult(act, 8);
+    return builder.take();
+}
+
+std::vector<OpStream>
+allBenchmarks()
+{
+    std::vector<OpStream> out;
+    out.push_back(bootstrapTrace());
+    out.push_back(helrTrace(256));
+    out.push_back(helrTrace(1024));
+    out.push_back(resnetTrace());
+    return out;
+}
+
+} // namespace fast::trace

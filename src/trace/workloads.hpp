@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Workload trace generators for the paper's benchmarks (Sec. 6.2):
+ * fully-packed Bootstrap, HELR-256/1024 logistic-regression training
+ * iterations, and ResNet-20 encrypted inference.
+ *
+ * Counts follow the SHARP/ARK-style fully-packed bootstrapping
+ * pipeline at Set-I/Set-II scale (N = 2^16, L = 35, L_eff = 8, double
+ * rescale after every multiplication) — see DESIGN.md for the
+ * calibration notes tying trace volume to the paper's reported
+ * runtimes.
+ */
+#ifndef FAST_TRACE_WORKLOADS_HPP
+#define FAST_TRACE_WORKLOADS_HPP
+
+#include "trace/op.hpp"
+
+namespace fast::trace {
+
+/** Shape parameters of the fully-packed bootstrap pipeline. */
+struct BootstrapShape {
+    std::size_t start_level = 35;  ///< level right after ModRaise
+    std::size_t end_level = 8;     ///< L_eff
+    std::size_t cts_matrices = 3;  ///< CoeffToSlot radix decomposition
+    std::size_t stc_matrices = 3;  ///< SlotToCoeff radix decomposition
+    std::size_t baby_rotations = 4;   ///< hoisted per matrix (h)
+    std::size_t giant_rotations = 8;  ///< per matrix, not hoisted
+    std::size_t diagonals = 32;       ///< PMults per matrix
+    std::size_t evalmod_mults = 40;   ///< HMults in EvalMod
+    std::size_t evalmod_cmults = 16;  ///< constant mults in EvalMod
+    /** Linear scaling of every count (sparse-slot bootstraps). */
+    double scale = 1.0;
+
+    /**
+     * BSGS shape as a function of on-chip memory (Fig. 13a): more
+     * scratchpad lets the giant-step loop keep more hoisted babies
+     * resident, shrinking the total rotation count; tighter memory
+     * forces a skinnier decomposition with more rotations.
+     */
+    static BootstrapShape forMemoryMb(double onchip_mb);
+};
+
+/**
+ * Incrementally builds an OpStream, tracking the ciphertext index
+ * counter and hoisting-group ids.
+ */
+class TraceBuilder
+{
+  public:
+    explicit TraceBuilder(std::string name);
+
+    OpStream take();
+
+    std::size_t newCiphertext() { return next_ct_++; }
+
+    void hmult(std::size_t ct, std::size_t level,
+               bool double_rescale = true);
+    void pmult(std::size_t ct, std::size_t level,
+               bool double_rescale = true);
+    void cmult(std::size_t ct, std::size_t level);
+    void hadd(std::size_t ct, std::size_t level);
+    void padd(std::size_t ct, std::size_t level);
+    void rotation(std::size_t ct, std::size_t level, int steps,
+                  std::size_t hoist_group = 0,
+                  std::size_t hoist_size = 1);
+    void conjugate(std::size_t ct, std::size_t level);
+    void rescale(std::size_t ct, std::size_t level);
+    void modRaise(std::size_t ct, std::size_t to_level);
+
+    /**
+     * Emit a group of @p count rotations sharing one decomposition.
+     * Returns the hoisting group id.
+     */
+    std::size_t hoistedRotations(std::size_t ct, std::size_t level,
+                                 std::size_t count);
+
+    /** Emit a full bootstrap pipeline; returns the refreshed level. */
+    std::size_t emitBootstrap(std::size_t ct, const BootstrapShape &shape);
+
+  private:
+    OpStream stream_;
+    std::size_t next_ct_ = 0;
+    std::size_t next_hoist_group_ = 1;
+};
+
+/** Fully-packed bootstrapping benchmark (paper Table 5 row 1). */
+OpStream bootstrapTrace(const BootstrapShape &shape = {});
+
+/**
+ * One HELR training iteration (paper reports per-iteration latency).
+ * @param batch 256 or 1024; larger batches add gradient ciphertexts.
+ */
+OpStream helrTrace(std::size_t batch);
+
+/** ResNet-20 inference on one encrypted 32x32x3 image. */
+OpStream resnetTrace();
+
+/** All four benchmark traces keyed by the paper's names. */
+std::vector<OpStream> allBenchmarks();
+
+} // namespace fast::trace
+
+#endif // FAST_TRACE_WORKLOADS_HPP

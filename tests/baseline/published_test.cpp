@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the published prior-work data (Tables 4-6).
+ */
+#include <gtest/gtest.h>
+
+#include "baseline/published.hpp"
+
+namespace fast::baseline {
+namespace {
+
+TEST(Published, ContainsAllPaperRows)
+{
+    for (const char *name :
+         {"F1", "BTS", "CLake", "ARK", "SHARP", "SHARP-LM", "SHARP-8C",
+          "SHARP-LM+8C", "SHARP-60", "FAST"}) {
+        EXPECT_NO_THROW(publishedAccel(name)) << name;
+    }
+    EXPECT_THROW(publishedAccel("nonexistent"), std::invalid_argument);
+}
+
+TEST(Published, Table5ValuesSpotCheck)
+{
+    EXPECT_DOUBLE_EQ(publishedAccel("SHARP").bootstrap_ms, 3.12);
+    EXPECT_DOUBLE_EQ(publishedAccel("BTS").resnet_ms, 1910);
+    EXPECT_DOUBLE_EQ(publishedAccel("ARK").helr1024_ms, 7.42);
+    EXPECT_DOUBLE_EQ(publishedFast().bootstrap_ms, 1.38);
+    // BTS did not report HELR256.
+    EXPECT_LT(publishedAccel("BTS").helr256_ms, 0);
+}
+
+TEST(Published, Table4HardwareSpotCheck)
+{
+    EXPECT_EQ(publishedAccel("CLake").bit_width, 28);
+    EXPECT_EQ(publishedAccel("ARK").lanes, 1024);
+    EXPECT_DOUBLE_EQ(publishedAccel("SHARP").area_mm2, 178.8);
+    EXPECT_DOUBLE_EQ(publishedFast().onchip_mb, 281);
+}
+
+TEST(Published, Table6TmultSpotCheck)
+{
+    EXPECT_DOUBLE_EQ(publishedAccel("F1").tmult_ns, 470);
+    EXPECT_DOUBLE_EQ(publishedAccel("SHARP-60").tmult_ns, 11.7);
+    EXPECT_DOUBLE_EQ(publishedFast().tmult_ns, 5.4);
+}
+
+TEST(Published, PaperHeadlineSpeedups)
+{
+    // Table 5 discussion: 23.17x over BTS, 3.4x over ARK, 1.85x over
+    // SHARP (geomean over reported workloads).
+    const auto &fast_row = publishedFast();
+    double vs_sharp = geomeanSpeedup(
+        publishedAccel("SHARP"), fast_row.bootstrap_ms,
+        fast_row.helr256_ms, fast_row.helr1024_ms, fast_row.resnet_ms);
+    EXPECT_NEAR(vs_sharp, 1.85, 0.25);
+    double vs_ark = geomeanSpeedup(
+        publishedAccel("ARK"), fast_row.bootstrap_ms,
+        fast_row.helr256_ms, fast_row.helr1024_ms, fast_row.resnet_ms);
+    EXPECT_GT(vs_ark, 2.0);
+    EXPECT_LT(vs_ark, 4.0);
+}
+
+TEST(Published, GeomeanIgnoresMissingEntries)
+{
+    PublishedAccel row;
+    row.bootstrap_ms = 10;
+    row.helr256_ms = -1;
+    EXPECT_DOUBLE_EQ(geomeanSpeedup(row, 5, 7, -1, -1), 2.0);
+    EXPECT_DOUBLE_EQ(geomeanSpeedup(row, -1, -1, -1, -1), 0.0);
+}
+
+} // namespace
+} // namespace fast::baseline

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the canonical-embedding encoder: round trips, linearity,
+ * the rotation/automorphism correspondence, and sparse packing.
+ */
+#include <gtest/gtest.h>
+
+#include "ckks/encoder.hpp"
+#include "ckks/params.hpp"
+#include "math/primes.hpp"
+
+namespace fast::ckks {
+namespace {
+
+double
+maxErr(const std::vector<Complex> &a, const std::vector<Complex> &b)
+{
+    double m = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+std::vector<Complex>
+rampMessage(std::size_t count, double step = 0.01)
+{
+    std::vector<Complex> z(count);
+    for (std::size_t j = 0; j < count; ++j)
+        z[j] = Complex(step * static_cast<double>(j),
+                       -0.5 + step * static_cast<double>(j % 7));
+    return z;
+}
+
+class EncoderTest : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t kN = 1 << 8;
+    CkksEncoder enc_{kN};
+    double scale_ = std::pow(2.0, 30);
+    std::vector<math::u64> moduli_ = math::generateNttPrimes(45, kN, 2);
+};
+
+TEST_F(EncoderTest, EncodeDecodeRoundTrip)
+{
+    auto z = rampMessage(enc_.slotCount());
+    auto poly = enc_.encode(z, scale_, moduli_);
+    auto back = enc_.decode(poly, scale_, enc_.slotCount());
+    EXPECT_LT(maxErr(z, back), 1e-6);
+}
+
+TEST_F(EncoderTest, SparsePackingReplicates)
+{
+    auto z = rampMessage(8);
+    auto poly = enc_.encode(z, scale_, moduli_);
+    // Decoding at full width shows the replicas...
+    auto full = enc_.decode(poly, scale_, enc_.slotCount());
+    for (std::size_t j = 0; j < full.size(); ++j)
+        EXPECT_LT(std::abs(full[j] - z[j % 8]), 1e-6);
+    // ...and decoding at the sparse width averages them back.
+    auto back = enc_.decode(poly, scale_, 8);
+    EXPECT_LT(maxErr(z, back), 1e-6);
+}
+
+TEST_F(EncoderTest, EncodingIsLinear)
+{
+    auto za = rampMessage(enc_.slotCount(), 0.013);
+    auto zb = rampMessage(enc_.slotCount(), 0.029);
+    auto pa = enc_.encode(za, scale_, moduli_);
+    auto pb = enc_.encode(zb, scale_, moduli_);
+    pa += pb;
+    std::vector<Complex> sum(za.size());
+    for (std::size_t j = 0; j < za.size(); ++j)
+        sum[j] = za[j] + zb[j];
+    auto back = enc_.decode(pa, scale_, enc_.slotCount());
+    EXPECT_LT(maxErr(sum, back), 1e-6);
+}
+
+TEST_F(EncoderTest, PolynomialMultIsSlotwiseMult)
+{
+    auto za = rampMessage(enc_.slotCount(), 0.01);
+    auto zb = rampMessage(enc_.slotCount(), 0.02);
+    auto pa = enc_.encode(za, scale_, moduli_);
+    auto pb = enc_.encode(zb, scale_, moduli_);
+    pa.toEval();
+    pb.toEval();
+    pa.hadamardInPlace(pb);
+    pa.toCoeff();
+    std::vector<Complex> prod(za.size());
+    for (std::size_t j = 0; j < za.size(); ++j)
+        prod[j] = za[j] * zb[j];
+    auto back = enc_.decode(pa, scale_ * scale_, enc_.slotCount());
+    EXPECT_LT(maxErr(prod, back), 1e-5);
+}
+
+TEST_F(EncoderTest, AutomorphismRotatesSlots)
+{
+    auto z = rampMessage(enc_.slotCount());
+    auto poly = enc_.encode(z, scale_, moduli_);
+    for (std::ptrdiff_t r : {1, 2, 5, -1, -3}) {
+        auto rotated = poly.automorphism(enc_.galoisForRotation(r));
+        auto back = enc_.decode(rotated, scale_, enc_.slotCount());
+        auto n = static_cast<std::ptrdiff_t>(z.size());
+        double err = 0;
+        for (std::ptrdiff_t j = 0; j < n; ++j) {
+            auto src = static_cast<std::size_t>(((j + r) % n + n) % n);
+            err = std::max(
+                err, std::abs(back[static_cast<std::size_t>(j)] -
+                              z[src]));
+        }
+        EXPECT_LT(err, 1e-6) << "rotation " << r;
+    }
+}
+
+TEST_F(EncoderTest, ConjugationAutomorphism)
+{
+    auto z = rampMessage(enc_.slotCount());
+    auto poly = enc_.encode(z, scale_, moduli_);
+    auto conj = poly.automorphism(enc_.galoisForConjugation());
+    auto back = enc_.decode(conj, scale_, enc_.slotCount());
+    double err = 0;
+    for (std::size_t j = 0; j < z.size(); ++j)
+        err = std::max(err, std::abs(back[j] - std::conj(z[j])));
+    EXPECT_LT(err, 1e-6);
+}
+
+TEST_F(EncoderTest, EmbedIsInverseOfEmbedInverse)
+{
+    auto z = rampMessage(enc_.slotCount());
+    auto coeffs = enc_.embedInverse(z);
+    // Coefficients of a conjugate-symmetric slot vector are real.
+    for (const auto &c : coeffs)
+        EXPECT_LT(std::abs(c.imag()), 1e-9);
+    auto back = enc_.embed(coeffs);
+    EXPECT_LT(maxErr(z, back), 1e-9);
+}
+
+TEST_F(EncoderTest, RejectsBadInputs)
+{
+    EXPECT_THROW(enc_.encode(rampMessage(3), scale_, moduli_),
+                 std::invalid_argument);
+    EXPECT_THROW(enc_.encode({}, scale_, moduli_),
+                 std::invalid_argument);
+    auto poly = enc_.encode(rampMessage(8), scale_, moduli_);
+    EXPECT_THROW(enc_.decode(poly, scale_, 3), std::invalid_argument);
+    poly.toEval();
+    EXPECT_THROW(enc_.decode(poly, scale_, 8), std::logic_error);
+}
+
+TEST_F(EncoderTest, GaloisElementsAreOddAndCanonical)
+{
+    EXPECT_EQ(enc_.galoisForRotation(0), 1u);
+    EXPECT_EQ(enc_.galoisForRotation(1), 5u);
+    EXPECT_EQ(enc_.galoisForConjugation(), 2 * kN - 1);
+    // Rotation by n/2 steps and by -n/2 steps coincide.
+    auto half = static_cast<std::ptrdiff_t>(enc_.slotCount() / 2);
+    EXPECT_EQ(enc_.galoisForRotation(half),
+              enc_.galoisForRotation(-half));
+}
+
+} // namespace
+} // namespace fast::ckks

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the extension APIs: rotation-key sets, DSU-style double
+ * rescale, and the recursive ten-step NTT functional model.
+ */
+#include <gtest/gtest.h>
+
+#include "ckks/rotation_keys.hpp"
+#include "hw/nttu.hpp"
+#include "math/primes.hpp"
+
+namespace fast::ckks {
+namespace {
+
+class ExtensionsTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        ctx_ = std::make_shared<CkksContext>(CkksParams::testSmall());
+        keygen_ = new KeyGenerator(ctx_, 31337);
+        eval_ = new CkksEvaluator(ctx_);
+    }
+    static void TearDownTestSuite()
+    {
+        delete eval_;
+        delete keygen_;
+        ctx_.reset();
+    }
+
+    Ciphertext
+    encrypt(const std::vector<Complex> &z, std::size_t level)
+    {
+        math::Prng prng(23);
+        return eval_->encrypt(
+            eval_->encode(z, ctx_->params().scale, level),
+            keygen_->publicKey(), prng);
+    }
+
+    static std::shared_ptr<CkksContext> ctx_;
+    static KeyGenerator *keygen_;
+    static CkksEvaluator *eval_;
+};
+
+std::shared_ptr<CkksContext> ExtensionsTest::ctx_;
+KeyGenerator *ExtensionsTest::keygen_ = nullptr;
+CkksEvaluator *ExtensionsTest::eval_ = nullptr;
+
+TEST_F(ExtensionsTest, RotationKeySetHasLogarithmicBasis)
+{
+    std::size_t slots = ctx_->params().slots;
+    RotationKeySet keys(*keygen_, KeySwitchMethod::hybrid, slots);
+    std::size_t expected = 0;
+    for (std::size_t p = 1; p < slots; p <<= 1)
+        ++expected;
+    EXPECT_EQ(keys.keyCount(), expected);
+    EXPECT_GT(keys.storedBytes(), 0u);
+    EXPECT_TRUE(keys.hasExact(1));
+    EXPECT_TRUE(keys.hasExact(64));
+    EXPECT_FALSE(keys.hasExact(3));
+    EXPECT_EQ(keys.switchesFor(0), 0u);
+    EXPECT_EQ(keys.switchesFor(1), 1u);
+    EXPECT_EQ(keys.switchesFor(3), 2u);   // 1 + 2
+    EXPECT_EQ(keys.switchesFor(7), 3u);   // 1 + 2 + 4
+}
+
+TEST_F(ExtensionsTest, RotationKeySetComposesArbitraryAmounts)
+{
+    std::size_t slots = ctx_->params().slots;
+    RotationKeySet keys(*keygen_, KeySwitchMethod::hybrid, slots);
+    std::vector<Complex> z(slots);
+    for (std::size_t j = 0; j < slots; ++j)
+        z[j] = Complex(0.01 * static_cast<double>(j), 0);
+    auto ct = encrypt(z, 3);
+    for (std::ptrdiff_t r : {0, 1, 3, 7, 11, -5}) {
+        auto out = keys.rotate(*eval_, ct, r);
+        auto d = eval_->decryptDecode(out, keygen_->secretKey(),
+                                      slots);
+        auto n = static_cast<std::ptrdiff_t>(slots);
+        auto src = static_cast<std::size_t>(((0 + r) % n + n) % n);
+        EXPECT_LT(std::abs(d[0] - z[src]), 5e-3) << "steps " << r;
+    }
+}
+
+TEST_F(ExtensionsTest, ExactKeyShortcutsComposition)
+{
+    std::size_t slots = ctx_->params().slots;
+    RotationKeySet keys(*keygen_, KeySwitchMethod::hybrid, slots);
+    EXPECT_EQ(keys.switchesFor(7), 3u);
+    keys.addExact(*keygen_, 7);
+    EXPECT_EQ(keys.switchesFor(7), 1u);
+    auto ct = encrypt(std::vector<Complex>(slots, Complex(1, 0)), 2);
+    EXPECT_NO_THROW(keys.rotate(*eval_, ct, 7));
+}
+
+TEST_F(ExtensionsTest, DoubleRescaleMatchesTwoSingles)
+{
+    // Grow the scale first (two constant mults), as the paper does
+    // after every multiplication, then rescale by two primes at once.
+    std::size_t slots = ctx_->params().slots;
+    std::vector<Complex> z(slots, Complex(0.8, -0.3));
+    auto fresh = encrypt(z, ctx_->params().maxLevel());
+    auto grown = eval_->multiplyConstant(
+        eval_->multiplyConstant(fresh, 1.5), 2.0);
+    auto a = grown;
+    auto b = grown;
+
+    eval_->rescaleDoubleInPlace(a);
+    eval_->rescaleInPlace(b);
+    eval_->rescaleInPlace(b);
+    EXPECT_EQ(a.level(), b.level());
+    EXPECT_NEAR(a.scale / b.scale, 1.0, 1e-9);
+
+    auto da = eval_->decryptDecode(a, keygen_->secretKey(), slots);
+    auto db = eval_->decryptDecode(b, keygen_->secretKey(), slots);
+    for (std::size_t j = 0; j < slots; ++j)
+        EXPECT_LT(std::abs(da[j] - db[j]), 1e-3);
+    // The (3x-scaled) message survives the fused division.
+    for (std::size_t j = 0; j < slots; ++j)
+        EXPECT_LT(std::abs(da[j] - 3.0 * z[j]), 1e-2);
+}
+
+TEST_F(ExtensionsTest, DoubleRescaleNeedsTwoLimbs)
+{
+    auto ct = encrypt(std::vector<Complex>(ctx_->params().slots,
+                                           Complex(1, 0)),
+                      1);
+    EXPECT_THROW(eval_->rescaleDoubleInPlace(ct), std::logic_error);
+}
+
+TEST(TenStepNtt, MatchesDirectTransform)
+{
+    for (std::size_t n : {64ul, 256ul, 1024ul, 4096ul}) {
+        math::u64 q = math::generateNttPrimes(36, n, 1)[0];
+        math::NttTables tables(n, q);
+        math::Prng prng(77);
+        std::vector<math::u64> data(n);
+        math::sampleUniform(prng, q, data);
+        auto ten = hw::tenStepForwardNtt(data, q);
+        tables.forward(data);
+        EXPECT_EQ(ten, data) << "N=" << n;
+    }
+}
+
+} // namespace
+} // namespace fast::ckks

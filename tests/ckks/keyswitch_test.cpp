@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Direct unit tests of the key-switching engine's internal stages
+ * (the scheme_test suite covers them end-to-end via decryption).
+ */
+#include <gtest/gtest.h>
+
+#include "ckks/keyswitch.hpp"
+#include "math/bignum.hpp"
+
+namespace fast::ckks {
+namespace {
+
+class KeySwitchTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        ctx_ = std::make_shared<CkksContext>(CkksParams::testSmall());
+        switcher_ = new KeySwitcher(ctx_);
+    }
+    static void TearDownTestSuite()
+    {
+        delete switcher_;
+        ctx_.reset();
+    }
+
+    RnsPoly
+    randomInput(std::size_t level)
+    {
+        RnsPoly p(ctx_->degree(), ctx_->qModuli(level),
+                  math::PolyForm::eval);
+        math::Prng prng(41);
+        p.fillUniform(prng);
+        return p;
+    }
+
+    static std::shared_ptr<CkksContext> ctx_;
+    static KeySwitcher *switcher_;
+};
+
+std::shared_ptr<CkksContext> KeySwitchTest::ctx_;
+KeySwitcher *KeySwitchTest::switcher_ = nullptr;
+
+TEST_F(KeySwitchTest, HybridDigitCountFollowsBeta)
+{
+    for (std::size_t level : {0ul, 1ul, 3ul, 4ul}) {
+        auto digits = switcher_->decompose(randomInput(level),
+                                           KeySwitchMethod::hybrid);
+        EXPECT_EQ(digits.size(),
+                  ctx_->params().betaAtLevel(level)) << level;
+        // Every digit lives on the extended basis in eval form.
+        auto ext = ctx_->extendedModuli(level);
+        for (const auto &d : digits) {
+            EXPECT_EQ(d.moduli(), ext);
+            EXPECT_TRUE(d.isEval());
+        }
+    }
+}
+
+TEST_F(KeySwitchTest, GadgetDigitCountFollowsModulusBits)
+{
+    for (std::size_t level : {1ul, 3ul, 4ul}) {
+        auto digits = switcher_->decompose(randomInput(level),
+                                           KeySwitchMethod::klss);
+        EXPECT_EQ(digits.size(),
+                  ctx_->params().gadgetDigitsAtLevel(level)) << level;
+    }
+}
+
+TEST_F(KeySwitchTest, HybridDigitsPassThroughOwnGroup)
+{
+    // ModUp leaves the group's own limbs untouched (they are already
+    // in eval form) — the key data-movement saving of the method.
+    auto input = randomInput(3);
+    auto digits = switcher_->decompose(input, KeySwitchMethod::hybrid);
+    std::size_t alpha = ctx_->params().alpha;
+    for (std::size_t j = 0; j < digits.size(); ++j) {
+        std::size_t first = j * alpha;
+        std::size_t count =
+            std::min(alpha, input.limbCount() - first);
+        for (std::size_t i = 0; i < count; ++i)
+            EXPECT_EQ(digits[j].limb(first + i),
+                      input.limb(first + i));
+    }
+}
+
+TEST_F(KeySwitchTest, GadgetDigitsRecomposeToInput)
+{
+    // sum_t digit_t * 2^{v t} == input, coefficient-wise, exactly.
+    auto input = randomInput(2);
+    auto digits = switcher_->decompose(input, KeySwitchMethod::klss);
+    int v = ctx_->params().digit_bits;
+
+    auto coeff_input = input;
+    coeff_input.toCoeff();
+    std::vector<RnsPoly> coeff_digits;
+    for (auto d : digits) {
+        d.toCoeff();
+        coeff_digits.push_back(std::move(d));
+    }
+
+    const auto &basis = ctx_->basis(coeff_input.moduli());
+    for (std::size_t c = 0; c < 16; ++c) {  // spot-check coefficients
+        math::BigUInt acc;
+        for (std::size_t t = 0; t < coeff_digits.size(); ++t) {
+            // Digits are small; read the value from the first limb.
+            math::u64 digit = coeff_digits[t].limb(0)[c];
+            acc = acc + (math::BigUInt(digit)
+                         << (static_cast<std::size_t>(v) * t));
+        }
+        EXPECT_EQ(acc,
+                  basis.compose(coeff_input.coefficientResidues(c)))
+            << "coefficient " << c;
+    }
+}
+
+TEST_F(KeySwitchTest, ModDownDividesByP)
+{
+    // Build x_ext = P * x over the extended basis; modDown must
+    // return exactly x (the BConv offset vanishes for multiples of P).
+    std::size_t level = 2;
+    auto x = randomInput(level);
+    auto ext = ctx_->extendedModuli(level);
+    RnsPoly x_ext(ctx_->degree(), ext, math::PolyForm::eval);
+    std::size_t q_limbs = level + 1;
+    for (std::size_t i = 0; i < q_limbs; ++i) {
+        x_ext.limb(i) = x.limb(i);
+        math::u64 q = ext[i];
+        math::u64 p_mod = ctx_->specialProductMod(q);
+        math::u64 pp = math::shoupPrecompute(p_mod, q);
+        for (auto &vv : x_ext.limb(i))
+            vv = math::mulModShoup(vv, p_mod, pp, q);
+    }
+    // The special limbs of P*x are zero mod each p_i.
+    auto out = switcher_->modDown(x_ext);
+    EXPECT_EQ(out.moduli(), x.moduli());
+    for (std::size_t i = 0; i < q_limbs; ++i)
+        EXPECT_EQ(out.limb(i), x.limb(i)) << "limb " << i;
+}
+
+TEST_F(KeySwitchTest, DecomposeRequiresEvalForm)
+{
+    auto input = randomInput(2);
+    input.toCoeff();
+    EXPECT_THROW(switcher_->decompose(input, KeySwitchMethod::hybrid),
+                 std::logic_error);
+}
+
+TEST_F(KeySwitchTest, KeyMultValidatesDigitCount)
+{
+    KeyGenerator keygen(ctx_, 5);
+    auto key = keygen.makeRelinKey(KeySwitchMethod::hybrid);
+    EXPECT_THROW(switcher_->keyMultModDown({}, key),
+                 std::invalid_argument);
+    // More digits than key parts must be rejected.
+    auto digits = switcher_->decompose(
+        randomInput(ctx_->params().maxLevel()),
+        KeySwitchMethod::klss);
+    EXPECT_GT(digits.size(), key.parts.size());
+    EXPECT_THROW(switcher_->keyMultModDown(digits, key),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace fast::ckks

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the generic BSGS linear transform, the noise inspector,
+ * and binary serialization (including EKG-compressed EvalKeys).
+ */
+#include <gtest/gtest.h>
+
+#include "ckks/linear_transform.hpp"
+#include "ckks/noise.hpp"
+#include "ckks/serialize.hpp"
+
+namespace fast::ckks {
+namespace {
+
+class ApiTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        ctx_ = std::make_shared<CkksContext>(CkksParams::testSmall());
+        keygen_ = new KeyGenerator(ctx_, 321);
+        eval_ = new CkksEvaluator(ctx_);
+    }
+    static void TearDownTestSuite()
+    {
+        delete eval_;
+        delete keygen_;
+        ctx_.reset();
+    }
+
+    Ciphertext
+    encrypt(const std::vector<Complex> &z, std::size_t level = 3)
+    {
+        math::Prng prng(6);
+        return eval_->encrypt(
+            eval_->encode(z, ctx_->params().scale, level),
+            keygen_->publicKey(), prng);
+    }
+
+    static std::shared_ptr<CkksContext> ctx_;
+    static KeyGenerator *keygen_;
+    static CkksEvaluator *eval_;
+};
+
+std::shared_ptr<CkksContext> ApiTest::ctx_;
+KeyGenerator *ApiTest::keygen_ = nullptr;
+CkksEvaluator *ApiTest::eval_ = nullptr;
+
+TEST_F(ApiTest, LinearTransformMatchesPlainReference)
+{
+    std::size_t n = 16;  // transform dim divides the slot count
+    std::vector<std::vector<Complex>> m(n, std::vector<Complex>(n));
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            m[i][j] = Complex(0.05 * static_cast<double>((i * 3 + j) %
+                                                         7),
+                              0.02 * static_cast<double>(i == j));
+    LinearTransform lt(m);
+
+    std::map<std::ptrdiff_t, EvalKey> keys;
+    for (auto s : lt.requiredRotations())
+        keys.emplace(s, keygen_->makeRotationKey(
+                            s, KeySwitchMethod::hybrid));
+
+    std::vector<Complex> v(n);
+    for (std::size_t j = 0; j < n; ++j)
+        v[j] = Complex(0.1 * static_cast<double>(j), -0.05);
+    auto ct = encrypt(v);
+    auto out = lt.apply(*eval_, ct, keys);
+    auto decoded = eval_->decryptDecode(out, keygen_->secretKey(), n);
+    auto expect = lt.applyPlain(v);
+    for (std::size_t j = 0; j < n; ++j)
+        EXPECT_LT(std::abs(decoded[j] - expect[j]), 1e-3) << j;
+}
+
+TEST_F(ApiTest, LinearTransformHoistingOnOffAgree)
+{
+    std::size_t n = 8;
+    std::vector<std::vector<Complex>> m(n, std::vector<Complex>(n));
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            m[i][j] = Complex(static_cast<double>((i + j) % 3) * 0.1,
+                              0);
+    LinearTransform lt(m);
+    std::map<std::ptrdiff_t, EvalKey> keys;
+    for (auto s : lt.requiredRotations())
+        keys.emplace(s, keygen_->makeRotationKey(
+                            s, KeySwitchMethod::hybrid));
+    std::vector<Complex> v(n, Complex(0.3, 0.1));
+    auto ct = encrypt(v);
+    auto hoisted = lt.apply(*eval_, ct, keys,
+                            KeySwitchMethod::hybrid, true);
+    auto plain = lt.apply(*eval_, ct, keys, KeySwitchMethod::hybrid,
+                          false);
+    auto a = eval_->decryptDecode(hoisted, keygen_->secretKey(), n);
+    auto b = eval_->decryptDecode(plain, keygen_->secretKey(), n);
+    for (std::size_t j = 0; j < n; ++j)
+        EXPECT_LT(std::abs(a[j] - b[j]), 1e-3);
+}
+
+TEST_F(ApiTest, LinearTransformValidation)
+{
+    EXPECT_THROW(LinearTransform({}), std::invalid_argument);
+    EXPECT_THROW(LinearTransform({{Complex(1, 0)},
+                                  {Complex(1, 0), Complex(0, 0)}}),
+                 std::invalid_argument);
+    LinearTransform lt(
+        {{Complex(0, 0), Complex(0, 0)},
+         {Complex(0, 0), Complex(0, 0)}});
+    std::map<std::ptrdiff_t, EvalKey> keys;
+    for (auto s : lt.requiredRotations())
+        keys.emplace(s, keygen_->makeRotationKey(
+                            s, KeySwitchMethod::hybrid));
+    auto ct = encrypt({Complex(1, 0), Complex(1, 0)});
+    EXPECT_THROW(lt.apply(*eval_, ct, keys), std::invalid_argument);
+}
+
+TEST_F(ApiTest, NoiseInspectorTracksPrecisionLoss)
+{
+    std::size_t slots = ctx_->params().slots;
+    std::vector<Complex> z(slots, Complex(0.5, -0.25));
+    auto ct = encrypt(z, ctx_->params().maxLevel());
+    NoiseInspector inspector(*eval_, keygen_->secretKey());
+
+    auto fresh = inspector.measure(ct, z);
+    EXPECT_GT(fresh.precision_bits, 12);
+    EXPECT_FALSE(inspector.exhausted(ct));
+    double fresh_budget = inspector.budgetBits(ct);
+
+    auto relin = keygen_->makeRelinKey(KeySwitchMethod::hybrid);
+    auto sq = eval_->square(ct, relin);
+    eval_->rescaleInPlace(sq);
+    std::vector<Complex> z2(slots, z[0] * z[0]);
+    auto after = inspector.measure(sq, z2);
+    EXPECT_LT(after.precision_bits, fresh.precision_bits + 1);
+    EXPECT_LT(inspector.budgetBits(sq), fresh_budget);
+    EXPECT_EQ(after.level, fresh.level - 1);
+}
+
+TEST_F(ApiTest, CiphertextSerializationRoundTrip)
+{
+    std::vector<Complex> z(ctx_->params().slots, Complex(0.7, 0.1));
+    auto ct = encrypt(z);
+    auto bytes = serialize(ct);
+    EXPECT_EQ(bytes.size(), serializedBytes(ct));
+    auto back = deserializeCiphertext(bytes);
+    EXPECT_EQ(back.level(), ct.level());
+    EXPECT_DOUBLE_EQ(back.scale, ct.scale);
+    EXPECT_TRUE(back.c0 == ct.c0);
+    EXPECT_TRUE(back.c1 == ct.c1);
+    // And it still decrypts.
+    auto decoded = eval_->decryptDecode(back, keygen_->secretKey(),
+                                        z.size());
+    EXPECT_LT(std::abs(decoded[0] - z[0]), 1e-3);
+}
+
+TEST_F(ApiTest, PlaintextSerializationRoundTrip)
+{
+    auto pt = eval_->encode({Complex(1.5, 0)}, ctx_->params().scale, 2);
+    auto back = deserializePlaintext(serialize(pt));
+    EXPECT_TRUE(back.poly == pt.poly);
+    EXPECT_DOUBLE_EQ(back.scale, pt.scale);
+}
+
+TEST_F(ApiTest, EvalKeySerializationRegeneratesAHalves)
+{
+    auto key = keygen_->makeRotationKey(2, KeySwitchMethod::hybrid);
+    auto bytes = serialize(key);
+    EXPECT_EQ(bytes.size(), serializedBytes(key));
+    auto back = deserializeEvalKey(bytes, *ctx_);
+    ASSERT_EQ(back.parts.size(), key.parts.size());
+    for (std::size_t j = 0; j < key.parts.size(); ++j) {
+        EXPECT_TRUE(back.parts[j].b == key.parts[j].b);
+        EXPECT_TRUE(back.parts[j].a == key.parts[j].a);  // from seed
+    }
+    // The deserialized key still works for rotations.
+    std::vector<Complex> z(ctx_->params().slots);
+    for (std::size_t j = 0; j < z.size(); ++j)
+        z[j] = Complex(0.01 * static_cast<double>(j), 0);
+    auto ct = encrypt(z);
+    auto rotated = eval_->rotate(ct, 2, back);
+    auto decoded = eval_->decryptDecode(rotated, keygen_->secretKey(),
+                                        z.size());
+    EXPECT_LT(std::abs(decoded[0] - z[2]), 1e-3);
+}
+
+TEST_F(ApiTest, EvalKeySerializationIsHalfSize)
+{
+    auto key = keygen_->makeRelinKey(KeySwitchMethod::hybrid);
+    double full = 0;
+    for (const auto &p : key.parts)
+        full += 2.0 * p.b.limbCount() * p.b.degree() * 8;
+    EXPECT_LT(static_cast<double>(serialize(key).size()),
+              0.55 * full);  // EKG halves the payload
+}
+
+TEST_F(ApiTest, DeserializationRejectsGarbage)
+{
+    Bytes junk = {1, 2, 3, 4, 5};
+    EXPECT_THROW(deserializeCiphertext(junk), std::invalid_argument);
+    EXPECT_THROW(deserializePlaintext(junk), std::invalid_argument);
+    EXPECT_THROW(deserializeEvalKey(junk, *ctx_),
+                 std::invalid_argument);
+    // Truncation detected.
+    std::vector<Complex> z(ctx_->params().slots, Complex(1, 0));
+    auto bytes = serialize(encrypt(z));
+    bytes.resize(bytes.size() / 2);
+    EXPECT_THROW(deserializeCiphertext(bytes), std::invalid_argument);
+}
+
+} // namespace
+} // namespace fast::ckks

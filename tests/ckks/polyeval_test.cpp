@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for homomorphic polynomial evaluation: Chebyshev fitting,
+ * encrypted evaluation of several functions (including the paper's
+ * ReLU/sigmoid approximations), and the monomial path.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ckks/polyeval.hpp"
+
+namespace fast::ckks {
+namespace {
+
+TEST(Chebyshev, FitsSmoothFunctionsTightly)
+{
+    auto series = ChebyshevSeries::fit(
+        [](double x) { return std::sin(x); }, -2, 2, 15);
+    EXPECT_LT(series.maxError([](double x) { return std::sin(x); }),
+              1e-10);
+    auto exp_series = approx::exponential(1.0);
+    EXPECT_LT(exp_series.maxError([](double x) { return std::exp(x); }),
+              1e-9);
+}
+
+TEST(Chebyshev, ClenshawMatchesDirectExpansion)
+{
+    // T_0 + 2 T_1 + 3 T_2 evaluated by Clenshaw vs by hand.
+    ChebyshevSeries s;
+    s.coeffs = {1, 2, 3};
+    for (double u : {-1.0, -0.3, 0.0, 0.7, 1.0}) {
+        double expect = 1 + 2 * u + 3 * (2 * u * u - 1);
+        EXPECT_NEAR(s(u), expect, 1e-12);
+    }
+}
+
+TEST(Chebyshev, DomainMappingWorks)
+{
+    auto s = ChebyshevSeries::fit([](double x) { return x * x; }, 2, 6,
+                                  8);
+    EXPECT_NEAR(s(3.5), 12.25, 1e-9);
+    EXPECT_THROW(ChebyshevSeries::fit([](double) { return 0.0; }, 1, 1,
+                                      4),
+                 std::invalid_argument);
+}
+
+TEST(Approx, PaperFunctionsAreAccurate)
+{
+    auto relu = approx::relu(4.0, 27);
+    // Check away from the kink, where the smooth surrogate converges.
+    for (double x : {-3.5, -2.0, -1.0, 1.0, 2.0, 3.5})
+        EXPECT_NEAR(relu(x), std::max(0.0, x), 0.08) << x;
+    auto sig = approx::sigmoid(6.0);
+    for (double x : {-5.0, -1.0, 0.0, 1.0, 5.0})
+        EXPECT_NEAR(sig(x), 1.0 / (1.0 + std::exp(-x)), 1e-3) << x;
+}
+
+class PolyEvalTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        ctx_ = std::make_shared<CkksContext>(CkksParams::testMedium());
+        keygen_ = new KeyGenerator(ctx_, 99);
+        eval_ = new CkksEvaluator(ctx_);
+        relin_ = new EvalKey(
+            keygen_->makeRelinKey(KeySwitchMethod::hybrid));
+    }
+    static void TearDownTestSuite()
+    {
+        delete relin_;
+        delete eval_;
+        delete keygen_;
+        ctx_.reset();
+    }
+
+    Ciphertext
+    encrypt(const std::vector<Complex> &z)
+    {
+        math::Prng prng(4);
+        return eval_->encrypt(
+            eval_->encode(z, ctx_->params().scale,
+                          ctx_->params().maxLevel()),
+            keygen_->publicKey(), prng);
+    }
+
+    static std::shared_ptr<CkksContext> ctx_;
+    static KeyGenerator *keygen_;
+    static CkksEvaluator *eval_;
+    static EvalKey *relin_;
+};
+
+std::shared_ptr<CkksContext> PolyEvalTest::ctx_;
+KeyGenerator *PolyEvalTest::keygen_ = nullptr;
+CkksEvaluator *PolyEvalTest::eval_ = nullptr;
+EvalKey *PolyEvalTest::relin_ = nullptr;
+
+TEST_F(PolyEvalTest, EncryptedSigmoid)
+{
+    std::size_t slots = ctx_->params().slots;
+    std::vector<Complex> z(slots);
+    for (std::size_t j = 0; j < slots; ++j)
+        z[j] = Complex(-4.0 + 8.0 * static_cast<double>(j) /
+                                  static_cast<double>(slots),
+                       0);
+    auto ct = encrypt(z);
+    PolynomialEvaluator poly(*eval_);
+    auto series = approx::sigmoid(6.0, 15);
+    auto out = poly.evaluate(ct, series, *relin_);
+    auto decoded =
+        eval_->decryptDecode(out, keygen_->secretKey(), slots);
+    for (std::size_t j = 0; j < slots; j += 37) {
+        double expect = 1.0 / (1.0 + std::exp(-z[j].real()));
+        EXPECT_NEAR(decoded[j].real(), expect, 2e-2) << j;
+    }
+}
+
+TEST_F(PolyEvalTest, EncryptedReluShape)
+{
+    std::size_t slots = ctx_->params().slots;
+    std::vector<Complex> z(slots);
+    for (std::size_t j = 0; j < slots; ++j)
+        z[j] = Complex(-2.0 + 4.0 * static_cast<double>(j) /
+                                  static_cast<double>(slots),
+                       0);
+    auto ct = encrypt(z);
+    PolynomialEvaluator poly(*eval_);
+    auto out = poly.evaluate(ct, approx::relu(3.0, 15), *relin_);
+    auto decoded =
+        eval_->decryptDecode(out, keygen_->secretKey(), slots);
+    for (std::size_t j = 0; j < slots; j += 61) {
+        double x = z[j].real();
+        if (std::abs(x) < 0.5)
+            continue;  // kink region of the smooth surrogate
+        EXPECT_NEAR(decoded[j].real(), std::max(0.0, x), 0.15) << x;
+    }
+}
+
+TEST_F(PolyEvalTest, MonomialMatchesChebyshevOnCubic)
+{
+    std::size_t slots = ctx_->params().slots;
+    std::vector<Complex> z(slots, Complex(0.4, 0));
+    auto ct = encrypt(z);
+    PolynomialEvaluator poly(*eval_);
+    // f(x) = 1 + 2x - x^3.
+    auto mono = poly.evaluateMonomial(ct, {1.0, 2.0, 0.0, -1.0},
+                                      *relin_);
+    auto decoded =
+        eval_->decryptDecode(mono, keygen_->secretKey(), slots);
+    double expect = 1 + 2 * 0.4 - 0.4 * 0.4 * 0.4;
+    EXPECT_NEAR(decoded[0].real(), expect, 1e-2);
+}
+
+TEST_F(PolyEvalTest, DepthAccounting)
+{
+    EXPECT_EQ(PolynomialEvaluator::depthFor(15), 6u);
+    EXPECT_EQ(PolynomialEvaluator::depthFor(31), 7u);
+    std::vector<Complex> z(ctx_->params().slots, Complex(0.2, 0));
+    auto ct = encrypt(z);
+    PolynomialEvaluator poly(*eval_);
+    auto out = poly.evaluate(ct, approx::sigmoid(4.0, 15), *relin_);
+    EXPECT_GE(ct.level() - out.level(),
+              4u);  // consumed several levels
+    EXPECT_LE(ct.level() - out.level(),
+              PolynomialEvaluator::depthFor(15));
+}
+
+TEST_F(PolyEvalTest, RejectsDegenerateInputs)
+{
+    std::vector<Complex> z(ctx_->params().slots, Complex(0.2, 0));
+    auto ct = encrypt(z);
+    PolynomialEvaluator poly(*eval_);
+    ChebyshevSeries constant;
+    constant.coeffs = {1.0};
+    EXPECT_THROW(poly.evaluate(ct, constant, *relin_),
+                 std::invalid_argument);
+    EXPECT_THROW(poly.evaluateMonomial(ct, {1.0}, *relin_),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace fast::ckks

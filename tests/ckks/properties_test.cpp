@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Parameterized property tests: the core homomorphic identities must
+ * hold on every functional parameter set, and the scheme must fail
+ * loudly (not silently) under tampering or key mismatch.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ckks/evaluator.hpp"
+
+namespace fast::ckks {
+namespace {
+
+struct ParamCase {
+    const char *name;
+    CkksParams (*make)();
+};
+
+class PropertyTest : public ::testing::TestWithParam<ParamCase>
+{
+  protected:
+    void SetUp() override
+    {
+        ctx_ = std::make_shared<CkksContext>(GetParam().make());
+        keygen_ = std::make_unique<KeyGenerator>(ctx_, 7777);
+        eval_ = std::make_unique<CkksEvaluator>(ctx_);
+    }
+
+    std::vector<Complex>
+    message(double seed)
+    {
+        std::vector<Complex> z(ctx_->params().slots);
+        for (std::size_t j = 0; j < z.size(); ++j)
+            z[j] = Complex(
+                0.5 * std::sin(seed + 0.3 * static_cast<double>(j)),
+                0.5 * std::cos(seed * 2 + static_cast<double>(j)));
+        return z;
+    }
+
+    Ciphertext
+    encrypt(const std::vector<Complex> &z, std::size_t level)
+    {
+        math::Prng prng(13);
+        return eval_->encrypt(
+            eval_->encode(z, ctx_->params().scale, level),
+            keygen_->publicKey(), prng);
+    }
+
+    std::shared_ptr<CkksContext> ctx_;
+    std::unique_ptr<KeyGenerator> keygen_;
+    std::unique_ptr<CkksEvaluator> eval_;
+};
+
+TEST_P(PropertyTest, AdditionIsCommutativeAndAssociative)
+{
+    auto za = message(1), zb = message(2), zc = message(3);
+    std::size_t lvl = 2;
+    auto a = encrypt(za, lvl), b = encrypt(zb, lvl), c = encrypt(zc, lvl);
+    auto lhs = eval_->add(eval_->add(a, b), c);
+    auto rhs = eval_->add(a, eval_->add(c, b));
+    auto dl = eval_->decryptDecode(lhs, keygen_->secretKey(),
+                                   za.size());
+    auto dr = eval_->decryptDecode(rhs, keygen_->secretKey(),
+                                   za.size());
+    for (std::size_t j = 0; j < za.size(); ++j)
+        EXPECT_LT(std::abs(dl[j] - dr[j]), 1e-4);
+}
+
+TEST_P(PropertyTest, MultiplicationDistributesOverAddition)
+{
+    auto relin = keygen_->makeRelinKey(KeySwitchMethod::hybrid);
+    auto za = message(1), zb = message(2), zc = message(3);
+    std::size_t lvl = 3;
+    auto a = encrypt(za, lvl), b = encrypt(zb, lvl), c = encrypt(zc, lvl);
+    // a*(b+c) vs a*b + a*c
+    auto lhs = eval_->multiply(a, eval_->add(b, c), relin);
+    eval_->rescaleInPlace(lhs);
+    auto ab = eval_->multiply(a, b, relin);
+    auto ac = eval_->multiply(a, c, relin);
+    auto rhs = eval_->add(ab, ac);
+    eval_->rescaleInPlace(rhs);
+    auto dl = eval_->decryptDecode(lhs, keygen_->secretKey(),
+                                   za.size());
+    auto dr = eval_->decryptDecode(rhs, keygen_->secretKey(),
+                                   za.size());
+    for (std::size_t j = 0; j < za.size(); ++j)
+        EXPECT_LT(std::abs(dl[j] - dr[j]), 5e-3);
+}
+
+TEST_P(PropertyTest, RotationComposition)
+{
+    auto z = message(4);
+    auto ct = encrypt(z, 2);
+    auto k1 = keygen_->makeRotationKey(1, KeySwitchMethod::hybrid);
+    auto k2 = keygen_->makeRotationKey(2, KeySwitchMethod::hybrid);
+    auto k3 = keygen_->makeRotationKey(3, KeySwitchMethod::hybrid);
+    // rot(rot(ct,1),2) == rot(ct,3)
+    auto lhs = eval_->rotate(eval_->rotate(ct, 1, k1), 2, k2);
+    auto rhs = eval_->rotate(ct, 3, k3);
+    auto dl = eval_->decryptDecode(lhs, keygen_->secretKey(), z.size());
+    auto dr = eval_->decryptDecode(rhs, keygen_->secretKey(), z.size());
+    for (std::size_t j = 0; j < z.size(); ++j)
+        EXPECT_LT(std::abs(dl[j] - dr[j]), 5e-3);
+}
+
+TEST_P(PropertyTest, ConjugateIsInvolution)
+{
+    auto z = message(5);
+    auto ct = encrypt(z, 2);
+    auto key = keygen_->makeConjugationKey(KeySwitchMethod::hybrid);
+    auto twice = eval_->conjugate(eval_->conjugate(ct, key), key);
+    auto d = eval_->decryptDecode(twice, keygen_->secretKey(),
+                                  z.size());
+    for (std::size_t j = 0; j < z.size(); ++j)
+        EXPECT_LT(std::abs(d[j] - z[j]), 5e-3);
+}
+
+TEST_P(PropertyTest, KlssAndHybridAgree)
+{
+    auto z = message(6);
+    auto ct = encrypt(z, 3);
+    auto kh = keygen_->makeRelinKey(KeySwitchMethod::hybrid);
+    auto kk = keygen_->makeRelinKey(KeySwitchMethod::klss);
+    auto a = eval_->square(ct, kh);
+    auto b = eval_->square(ct, kk);
+    eval_->rescaleInPlace(a);
+    eval_->rescaleInPlace(b);
+    auto da = eval_->decryptDecode(a, keygen_->secretKey(), z.size());
+    auto db = eval_->decryptDecode(b, keygen_->secretKey(), z.size());
+    for (std::size_t j = 0; j < z.size(); ++j)
+        EXPECT_LT(std::abs(da[j] - db[j]), 1e-3);
+}
+
+TEST_P(PropertyTest, TamperedCiphertextDecryptsWrong)
+{
+    auto z = message(7);
+    auto ct = encrypt(z, 1);
+    ct.c1.limb(0)[3] ^= 0x5a5a;  // flip bits in the mask polynomial
+    auto d = eval_->decryptDecode(ct, keygen_->secretKey(), z.size());
+    double max_err = 0;
+    for (std::size_t j = 0; j < z.size(); ++j)
+        max_err = std::max(max_err, std::abs(d[j] - z[j]));
+    EXPECT_GT(max_err, 1.0);  // corruption is loud, not subtle
+}
+
+TEST_P(PropertyTest, WrongSecretKeyDecryptsGarbage)
+{
+    auto z = message(8);
+    auto ct = encrypt(z, 1);
+    KeyGenerator other(ctx_, 999);
+    auto d = eval_->decryptDecode(ct, other.secretKey(), z.size());
+    double max_err = 0;
+    for (std::size_t j = 0; j < z.size(); ++j)
+        max_err = std::max(max_err, std::abs(d[j] - z[j]));
+    EXPECT_GT(max_err, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamSets, PropertyTest,
+    ::testing::Values(ParamCase{"TestS", &CkksParams::testSmall},
+                      ParamCase{"TestM", &CkksParams::testMedium},
+                      ParamCase{"TestMKlss",
+                                &CkksParams::testMediumKlss}),
+    [](const auto &info) { return info.param.name; });
+
+} // namespace
+} // namespace fast::ckks

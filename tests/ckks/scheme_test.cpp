@@ -1,0 +1,345 @@
+/**
+ * @file
+ * End-to-end functional tests of the CKKS scheme: encryption, every
+ * homomorphic primitive, both key-switching methods, and hoisting.
+ */
+#include <gtest/gtest.h>
+
+#include "ckks/evaluator.hpp"
+
+namespace fast::ckks {
+namespace {
+
+double
+maxErr(const std::vector<Complex> &a, const std::vector<Complex> &b)
+{
+    double m = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+std::vector<Complex>
+message(std::size_t count, double seed = 1.0)
+{
+    std::vector<Complex> z(count);
+    for (std::size_t j = 0; j < count; ++j)
+        z[j] = Complex(std::sin(seed + 0.37 * static_cast<double>(j)),
+                       0.5 * std::cos(2 * seed + static_cast<double>(j)));
+    return z;
+}
+
+/** Shared fixture: small parameter set, one key bundle. */
+class SchemeTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        ctx_ = std::make_shared<CkksContext>(CkksParams::testSmall());
+        keygen_ = new KeyGenerator(ctx_, 20250705);
+        evaluator_ = new CkksEvaluator(ctx_);
+    }
+
+    static void TearDownTestSuite()
+    {
+        delete keygen_;
+        delete evaluator_;
+        ctx_.reset();
+    }
+
+    Ciphertext
+    encryptMessage(const std::vector<Complex> &z, std::size_t level)
+    {
+        auto pt = evaluator_->encode(z, ctx_->params().scale, level);
+        math::Prng prng(99);
+        return evaluator_->encrypt(pt, keygen_->publicKey(), prng);
+    }
+
+    std::vector<Complex>
+    roundTrip(const Ciphertext &ct, std::size_t slots)
+    {
+        return evaluator_->decryptDecode(ct, keygen_->secretKey(),
+                                         slots);
+    }
+
+    static std::shared_ptr<CkksContext> ctx_;
+    static KeyGenerator *keygen_;
+    static CkksEvaluator *evaluator_;
+};
+
+std::shared_ptr<CkksContext> SchemeTest::ctx_;
+KeyGenerator *SchemeTest::keygen_ = nullptr;
+CkksEvaluator *SchemeTest::evaluator_ = nullptr;
+
+TEST_F(SchemeTest, EncryptDecryptRoundTrip)
+{
+    std::size_t slots = ctx_->params().slots;
+    auto z = message(slots);
+    auto ct = encryptMessage(z, ctx_->params().maxLevel());
+    EXPECT_LT(maxErr(z, roundTrip(ct, slots)), 1e-4);
+}
+
+TEST_F(SchemeTest, SymmetricEncryption)
+{
+    std::size_t slots = ctx_->params().slots;
+    auto z = message(slots, 3.0);
+    auto pt = evaluator_->encode(z, ctx_->params().scale, 2);
+    math::Prng prng(7);
+    auto ct = evaluator_->encryptSymmetric(pt, keygen_->secretKey(),
+                                           prng);
+    EXPECT_LT(maxErr(z, roundTrip(ct, slots)), 1e-4);
+}
+
+TEST_F(SchemeTest, HAddAndHSub)
+{
+    std::size_t slots = ctx_->params().slots;
+    auto za = message(slots, 1.0);
+    auto zb = message(slots, 2.0);
+    auto ca = encryptMessage(za, 3);
+    auto cb = encryptMessage(zb, 3);
+    auto sum = roundTrip(evaluator_->add(ca, cb), slots);
+    auto diff = roundTrip(evaluator_->sub(ca, cb), slots);
+    for (std::size_t j = 0; j < slots; ++j) {
+        EXPECT_LT(std::abs(sum[j] - (za[j] + zb[j])), 1e-4);
+        EXPECT_LT(std::abs(diff[j] - (za[j] - zb[j])), 1e-4);
+    }
+}
+
+TEST_F(SchemeTest, PAddPSubPMult)
+{
+    std::size_t slots = ctx_->params().slots;
+    auto za = message(slots, 1.5);
+    auto zb = message(slots, 2.5);
+    auto ct = encryptMessage(za, 3);
+    auto pt = evaluator_->encode(zb, ctx_->params().scale, 3);
+
+    auto sum = roundTrip(evaluator_->addPlain(ct, pt), slots);
+    auto diff = roundTrip(evaluator_->subPlain(ct, pt), slots);
+    auto prod_ct = evaluator_->multiplyPlain(ct, pt);
+    evaluator_->rescaleInPlace(prod_ct);
+    auto prod = roundTrip(prod_ct, slots);
+    for (std::size_t j = 0; j < slots; ++j) {
+        EXPECT_LT(std::abs(sum[j] - (za[j] + zb[j])), 1e-4);
+        EXPECT_LT(std::abs(diff[j] - (za[j] - zb[j])), 1e-4);
+        EXPECT_LT(std::abs(prod[j] - za[j] * zb[j]), 1e-3);
+    }
+}
+
+TEST_F(SchemeTest, CMultConstant)
+{
+    std::size_t slots = ctx_->params().slots;
+    auto z = message(slots);
+    auto ct = encryptMessage(z, 3);
+    auto scaled = evaluator_->multiplyConstant(ct, -1.75);
+    evaluator_->rescaleInPlace(scaled);
+    auto out = roundTrip(scaled, slots);
+    for (std::size_t j = 0; j < slots; ++j)
+        EXPECT_LT(std::abs(out[j] - (-1.75) * z[j]), 1e-3);
+}
+
+TEST_F(SchemeTest, NegateIsAdditiveInverse)
+{
+    std::size_t slots = ctx_->params().slots;
+    auto z = message(slots);
+    auto ct = encryptMessage(z, 2);
+    auto zero = evaluator_->add(ct, evaluator_->negate(ct));
+    auto out = roundTrip(zero, slots);
+    for (const auto &v : out)
+        EXPECT_LT(std::abs(v), 1e-4);
+}
+
+class HMultTest : public SchemeTest,
+                  public ::testing::WithParamInterface<KeySwitchMethod>
+{
+};
+
+TEST_P(HMultTest, MultiplyWithRelinearization)
+{
+    std::size_t slots = ctx_->params().slots;
+    auto relin = keygen_->makeRelinKey(GetParam());
+    auto za = message(slots, 1.0);
+    auto zb = message(slots, 2.0);
+    auto ca = encryptMessage(za, 3);
+    auto cb = encryptMessage(zb, 3);
+    auto prod = evaluator_->multiply(ca, cb, relin);
+    evaluator_->rescaleInPlace(prod);
+    EXPECT_EQ(prod.level(), 2u);
+    auto out = roundTrip(prod, slots);
+    for (std::size_t j = 0; j < slots; ++j)
+        EXPECT_LT(std::abs(out[j] - za[j] * zb[j]), 1e-3);
+}
+
+TEST_P(HMultTest, SquareMatchesSelfMultiply)
+{
+    std::size_t slots = ctx_->params().slots;
+    auto relin = keygen_->makeRelinKey(GetParam());
+    auto z = message(slots, 0.5);
+    auto ct = encryptMessage(z, 2);
+    auto sq = evaluator_->square(ct, relin);
+    evaluator_->rescaleInPlace(sq);
+    auto out = roundTrip(sq, slots);
+    for (std::size_t j = 0; j < slots; ++j)
+        EXPECT_LT(std::abs(out[j] - z[j] * z[j]), 1e-3);
+}
+
+TEST_P(HMultTest, MultiplicativeDepthChain)
+{
+    // Compute z^4 through two squarings across levels.
+    std::size_t slots = ctx_->params().slots;
+    auto relin = keygen_->makeRelinKey(GetParam());
+    auto z = message(slots, 0.8);
+    auto ct = encryptMessage(z, ctx_->params().maxLevel());
+    for (int i = 0; i < 2; ++i) {
+        ct = evaluator_->square(ct, relin);
+        evaluator_->rescaleInPlace(ct);
+    }
+    auto out = roundTrip(ct, slots);
+    for (std::size_t j = 0; j < slots; ++j) {
+        Complex expect = z[j] * z[j] * z[j] * z[j];
+        EXPECT_LT(std::abs(out[j] - expect), 5e-3);
+    }
+}
+
+TEST_P(HMultTest, RotationBySeveralSteps)
+{
+    std::size_t slots = ctx_->params().slots;
+    auto z = message(slots);
+    auto ct = encryptMessage(z, 2);
+    for (std::ptrdiff_t r : {1, 3, -2}) {
+        auto key = keygen_->makeRotationKey(r, GetParam());
+        auto out = roundTrip(evaluator_->rotate(ct, r, key), slots);
+        double err = 0;
+        auto n = static_cast<std::ptrdiff_t>(slots);
+        for (std::ptrdiff_t j = 0; j < n; ++j) {
+            auto src = static_cast<std::size_t>(((j + r) % n + n) % n);
+            err = std::max(err,
+                           std::abs(out[static_cast<std::size_t>(j)] -
+                                    z[src]));
+        }
+        EXPECT_LT(err, 1e-3) << "rotation " << r;
+    }
+}
+
+TEST_P(HMultTest, Conjugation)
+{
+    std::size_t slots = ctx_->params().slots;
+    auto z = message(slots);
+    auto ct = encryptMessage(z, 2);
+    auto key = keygen_->makeConjugationKey(GetParam());
+    auto out = roundTrip(evaluator_->conjugate(ct, key), slots);
+    for (std::size_t j = 0; j < slots; ++j)
+        EXPECT_LT(std::abs(out[j] - std::conj(z[j])), 1e-3);
+}
+
+TEST_P(HMultTest, HoistedRotationsMatchIndividualRotations)
+{
+    std::size_t slots = ctx_->params().slots;
+    auto z = message(slots);
+    auto ct = encryptMessage(z, 3);
+    HoistedRotator hoisted(*evaluator_, ct, GetParam());
+    for (std::ptrdiff_t r : {1, 2, 5}) {
+        auto key = keygen_->makeRotationKey(r, GetParam());
+        auto direct = roundTrip(evaluator_->rotate(ct, r, key), slots);
+        auto via_hoist = roundTrip(hoisted.rotate(r, key), slots);
+        EXPECT_LT(maxErr(direct, via_hoist), 1e-3) << "rotation " << r;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothMethods, HMultTest,
+    ::testing::Values(KeySwitchMethod::hybrid, KeySwitchMethod::klss),
+    [](const auto &info) { return toString(info.param); });
+
+TEST_F(SchemeTest, MixedMethodsInOneComputation)
+{
+    // The core FAST premise: hybrid and KLSS key-switching can be
+    // freely mixed within one application run (Sec. 4.1).
+    std::size_t slots = ctx_->params().slots;
+    auto relin_h = keygen_->makeRelinKey(KeySwitchMethod::hybrid);
+    auto relin_k = keygen_->makeRelinKey(KeySwitchMethod::klss);
+    auto rot_k = keygen_->makeRotationKey(1, KeySwitchMethod::klss);
+    auto z = message(slots, 0.6);
+    auto ct = encryptMessage(z, ctx_->params().maxLevel());
+
+    ct = evaluator_->square(ct, relin_h);   // hybrid at high level
+    evaluator_->rescaleInPlace(ct);
+    ct = evaluator_->rotate(ct, 1, rot_k);  // KLSS rotation
+    ct = evaluator_->square(ct, relin_k);   // KLSS at low level
+    evaluator_->rescaleInPlace(ct);
+
+    auto out = roundTrip(ct, slots);
+    for (std::size_t j = 0; j < slots; ++j) {
+        Complex zz = z[(j + 1) % slots] * z[(j + 1) % slots];
+        EXPECT_LT(std::abs(out[j] - zz * zz), 5e-3);
+    }
+}
+
+TEST_F(SchemeTest, DropToLevelPreservesMessage)
+{
+    std::size_t slots = ctx_->params().slots;
+    auto z = message(slots);
+    auto ct = encryptMessage(z, ctx_->params().maxLevel());
+    evaluator_->dropToLevel(ct, 1);
+    EXPECT_EQ(ct.level(), 1u);
+    EXPECT_LT(maxErr(z, roundTrip(ct, slots)), 1e-4);
+}
+
+TEST_F(SchemeTest, ScaleAndLevelValidation)
+{
+    auto z = message(ctx_->params().slots);
+    auto a = encryptMessage(z, 3);
+    auto b = encryptMessage(z, 2);
+    EXPECT_THROW(evaluator_->add(a, b), std::invalid_argument);
+    auto pt = evaluator_->encode(z, ctx_->params().scale, 2);
+    EXPECT_THROW(evaluator_->addPlain(a, pt), std::invalid_argument);
+    auto c = a;
+    c.scale *= 2;
+    EXPECT_THROW(evaluator_->add(a, c), std::invalid_argument);
+}
+
+TEST_F(SchemeTest, RescaleAtBottomThrows)
+{
+    auto z = message(ctx_->params().slots);
+    auto ct = encryptMessage(z, 0);
+    EXPECT_THROW(evaluator_->rescaleInPlace(ct), std::logic_error);
+}
+
+TEST_F(SchemeTest, WrongGaloisKeyRejected)
+{
+    auto z = message(ctx_->params().slots);
+    auto ct = encryptMessage(z, 2);
+    auto key = keygen_->makeRotationKey(1, KeySwitchMethod::hybrid);
+    EXPECT_THROW(evaluator_->rotate(ct, 2, key), std::invalid_argument);
+}
+
+TEST_F(SchemeTest, EvalKeySeedExpansionVerifies)
+{
+    auto key = keygen_->makeRelinKey(KeySwitchMethod::hybrid);
+    EXPECT_TRUE(KeyGenerator::verifySeedExpansion(*ctx_, key));
+    // Tampering with an `a` half must be detected.
+    key.parts[0].a.limb(0)[0] ^= 1;
+    EXPECT_FALSE(KeyGenerator::verifySeedExpansion(*ctx_, key));
+}
+
+TEST_F(SchemeTest, EvalKeyStoredBytesHalved)
+{
+    auto key = keygen_->makeRelinKey(KeySwitchMethod::hybrid);
+    std::size_t full = 0;
+    for (const auto &p : key.parts)
+        full += (p.a.limbCount() + p.b.limbCount()) * p.a.degree() * 8;
+    EXPECT_EQ(key.storedBytes() * 2, full);
+}
+
+TEST_F(SchemeTest, GadgetKeyHasMoreParts)
+{
+    auto hybrid = keygen_->makeRelinKey(KeySwitchMethod::hybrid);
+    auto gadget = keygen_->makeRelinKey(KeySwitchMethod::klss);
+    auto top = ctx_->params().maxLevel();
+    EXPECT_EQ(hybrid.parts.size(), ctx_->params().betaAtLevel(top));
+    EXPECT_EQ(gadget.parts.size(),
+              ctx_->params().gadgetDigitsAtLevel(top));
+    EXPECT_GT(gadget.parts.size(), hybrid.parts.size());
+}
+
+} // namespace
+} // namespace fast::ckks

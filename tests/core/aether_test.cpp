@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the Aether analysis/decision tool: MCT construction, the
+ * three-step filter, configuration serialization, and the qualitative
+ * behaviors the paper reports (hoisting at the linear transforms,
+ * KLSS in the EvalMod band, hybrid at low levels).
+ */
+#include <gtest/gtest.h>
+
+#include "core/aether.hpp"
+#include "trace/workloads.hpp"
+
+namespace fast::core {
+namespace {
+
+Aether
+makeAether(double capacity_mb = 200, bool allow_klss = true,
+           bool allow_hoisting = true)
+{
+    Aether::Settings st;
+    st.key_capacity_bytes = capacity_mb * 1024 * 1024;
+    st.allow_klss = allow_klss;
+    st.allow_hoisting = allow_hoisting;
+    return Aether(cost::KeySwitchCostModel(), st);
+}
+
+TEST(Aether, MctOneEntryPerKeySwitchSite)
+{
+    auto aether = makeAether();
+    auto stream = trace::bootstrapTrace();
+    auto mct = aether.analyze(stream);
+
+    // One entry per HMult/conjugate plus one per hoisting group plus
+    // one per non-hoisted rotation.
+    std::size_t expected = 0;
+    std::size_t last_group = 0;
+    for (const auto &op : stream.ops) {
+        if (!op.needsKeySwitch())
+            continue;
+        if (op.hoist_group != 0) {
+            if (op.hoist_group != last_group) {
+                ++expected;
+                last_group = op.hoist_group;
+            }
+        } else {
+            ++expected;
+        }
+    }
+    EXPECT_EQ(mct.size(), expected);
+}
+
+TEST(Aether, MctEntriesCarryBothMethods)
+{
+    auto aether = makeAether();
+    auto mct = aether.analyze(trace::bootstrapTrace());
+    for (const auto &e : mct) {
+        bool has_hybrid = false, has_klss = false;
+        for (const auto &c : e.candidates) {
+            has_hybrid |= c.method == KeySwitchMethod::hybrid;
+            has_klss |= c.method == KeySwitchMethod::klss;
+            EXPECT_GT(c.cost_ops, 0);
+            EXPECT_GT(c.key_bytes, 0);
+            EXPECT_GT(c.delay_s, 0);
+        }
+        EXPECT_TRUE(has_hybrid);
+        EXPECT_TRUE(has_klss);
+    }
+}
+
+TEST(Aether, HoistedCandidatesOnlyForGroups)
+{
+    auto aether = makeAether();
+    auto mct = aether.analyze(trace::bootstrapTrace());
+    for (const auto &e : mct) {
+        bool has_hoisted = false;
+        for (const auto &c : e.candidates)
+            has_hoisted |= c.hoist > 1;
+        EXPECT_EQ(has_hoisted, e.times > 1);
+    }
+}
+
+TEST(Aether, Step1FiltersOversizedKeys)
+{
+    // With a tiny key budget no KLSS (nor hoisting) survives.
+    auto tight = makeAether(5);
+    auto config = tight.run(trace::bootstrapTrace());
+    EXPECT_DOUBLE_EQ(config.klssShare(), 0.0);
+    for (const auto &d : config.decisions)
+        EXPECT_EQ(d.hoist, 1u);
+}
+
+TEST(Aether, SelectsKlssInTheMiddleBandOnly)
+{
+    auto aether = makeAether();
+    auto config = aether.run(trace::bootstrapTrace());
+    EXPECT_GT(config.klssShare(), 0.3);
+    EXPECT_LT(config.klssShare(), 1.0);
+    for (const auto &d : config.decisions) {
+        // Paper Sec. 5.6: KLSS is not viable at the very top of the
+        // chain (the evk would not fit on chip).
+        if (d.level >= 33) {
+            EXPECT_EQ(d.method, KeySwitchMethod::hybrid) << d.level;
+        }
+        // At the bottom of the chain hybrid costs strictly less.
+        if (d.level <= 6) {
+            EXPECT_EQ(d.method, KeySwitchMethod::hybrid) << d.level;
+        }
+    }
+}
+
+TEST(Aether, SelectsHoistingForBabyRotations)
+{
+    auto aether = makeAether();
+    auto stream = trace::bootstrapTrace();
+    auto mct = aether.analyze(stream);
+    auto config = aether.select(mct);
+    std::size_t hoisted_sites = 0;
+    for (const auto &d : config.decisions)
+        hoisted_sites += d.hoist > 1 ? 1 : 0;
+    EXPECT_GT(hoisted_sites, 0u);
+}
+
+TEST(Aether, DisablingFlagsRestrictsChoices)
+{
+    auto stream = trace::bootstrapTrace();
+    auto no_klss = makeAether(200, false, true).run(stream);
+    EXPECT_DOUBLE_EQ(no_klss.klssShare(), 0.0);
+    auto no_hoist = makeAether(200, true, false).run(stream);
+    for (const auto &d : no_hoist.decisions)
+        EXPECT_EQ(d.hoist, 1u);
+}
+
+TEST(AetherConfig, SerializationRoundTrip)
+{
+    auto config = makeAether().run(trace::bootstrapTrace());
+    std::string text = config.serialize();
+    auto back = AetherConfig::deserialize(text);
+    ASSERT_EQ(back.decisions.size(), config.decisions.size());
+    for (std::size_t i = 0; i < config.decisions.size(); ++i) {
+        EXPECT_EQ(back.decisions[i].op_index,
+                  config.decisions[i].op_index);
+        EXPECT_EQ(back.decisions[i].method, config.decisions[i].method);
+        EXPECT_EQ(back.decisions[i].hoist, config.decisions[i].hoist);
+    }
+    EXPECT_THROW(AetherConfig::deserialize("garbage"),
+                 std::invalid_argument);
+}
+
+TEST(AetherConfig, FileSizeIsAboutOneKilobyte)
+{
+    // The paper reports ~1 KB configuration files.
+    auto config = makeAether().run(trace::bootstrapTrace());
+    std::string text = config.serialize();
+    EXPECT_GT(text.size(), 200u);
+    EXPECT_LT(text.size(), 8192u);
+}
+
+TEST(AetherConfig, DecisionLookupFallsBackToHybrid)
+{
+    AetherConfig config;
+    auto d = config.decisionFor(42);
+    EXPECT_EQ(d.method, KeySwitchMethod::hybrid);
+    EXPECT_EQ(d.hoist, 1u);
+}
+
+} // namespace
+} // namespace fast::core

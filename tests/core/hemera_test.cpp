@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the Hemera runtime: Evk Pool layout, transfer planning,
+ * batch granularity, and history-driven prefetching.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/hemera.hpp"
+#include "trace/workloads.hpp"
+
+namespace fast::core {
+namespace {
+
+TEST(EvkPool, PopulatesAllLevelsMethodsAndKinds)
+{
+    EvkPool pool{cost::KeySwitchCostModel()};
+    pool.populate(35);
+    // 36 levels x 2 methods x {rotation, mult}.
+    EXPECT_EQ(pool.size(), 36u * 2 * 2);
+    EXPECT_GT(pool.totalBytes(), 0);
+}
+
+TEST(EvkPool, AddressesAreDisjoint)
+{
+    EvkPool pool{cost::KeySwitchCostModel()};
+    pool.populate(5);
+    const auto &a = pool.lookup(3, KeySwitchMethod::hybrid, false);
+    const auto &b = pool.lookup(3, KeySwitchMethod::hybrid, true);
+    const auto &c = pool.lookup(3, KeySwitchMethod::klss, false);
+    EXPECT_NE(a.hbm_address, b.hbm_address);
+    EXPECT_NE(a.hbm_address, c.hbm_address);
+    EXPECT_THROW(pool.lookup(30, KeySwitchMethod::hybrid, false),
+                 std::out_of_range);
+}
+
+TEST(EvkPool, KlssKeysAreLarger)
+{
+    EvkPool pool{cost::KeySwitchCostModel()};
+    pool.populate(35);
+    EXPECT_GT(pool.lookup(30, KeySwitchMethod::klss, false).bytes,
+              pool.lookup(30, KeySwitchMethod::hybrid, false).bytes);
+}
+
+class HemeraTest : public ::testing::Test
+{
+  protected:
+    trace::OpStream stream_ = trace::bootstrapTrace();
+    Aether aether_{cost::KeySwitchCostModel(), Aether::Settings{}};
+    AetherConfig config_ = aether_.run(stream_);
+};
+
+TEST_F(HemeraTest, PlansOneTransferPerSite)
+{
+    Hemera hemera{cost::KeySwitchCostModel()};
+    auto transfers = hemera.plan(stream_, config_);
+    EXPECT_EQ(transfers.size(), config_.decisions.size());
+    EXPECT_EQ(hemera.stats().transfers, transfers.size());
+}
+
+TEST_F(HemeraTest, BatchesAre256Elements)
+{
+    Hemera hemera{cost::KeySwitchCostModel()};
+    auto transfers = hemera.plan(stream_, config_);
+    double batch_bytes = Hemera::kBatchElements * sizeof(std::uint64_t);
+    for (const auto &t : transfers) {
+        EXPECT_GT(t.bytes, 0);
+        EXPECT_EQ(t.batches, static_cast<std::size_t>(
+                                 std::ceil(t.bytes / batch_bytes)));
+    }
+}
+
+TEST_F(HemeraTest, PrefetcherLearnsRecurringPatterns)
+{
+    Hemera hemera{cost::KeySwitchCostModel()};
+    hemera.plan(stream_, config_);
+    // Bootstrapping revisits the same levels with the same method;
+    // after warm-up the history recorder should predict most sites.
+    EXPECT_GT(hemera.stats().hitRate(), 0.5);
+    EXPECT_GT(hemera.stats().prefetch_hits, 0u);
+}
+
+TEST_F(HemeraTest, ConfigLookupLatencyIsTiny)
+{
+    // The paper: Hemera's config-file reads (< 900 ns each) are
+    // negligible next to evk transfers (~80 us).
+    Hemera hemera{cost::KeySwitchCostModel()};
+    auto transfers = hemera.plan(stream_, config_);
+    double lookup_s = hemera.stats().config_lookups_ns * 1e-9;
+    double transfer_s = hemera.stats().total_bytes / 1e12;
+    EXPECT_LT(lookup_s, transfer_s / 10);
+}
+
+TEST_F(HemeraTest, HoistedSitesMoveAllGroupKeys)
+{
+    Hemera hemera{cost::KeySwitchCostModel()};
+    auto transfers = hemera.plan(stream_, config_);
+    bool found_group = false;
+    for (const auto &t : transfers) {
+        if (t.hoist > 1) {
+            found_group = true;
+            // A hoisted site needs one evk per rotation in the group.
+            EXPECT_GT(t.bytes,
+                      cost::KeySwitchCostModel().evkBytes(t.method,
+                                                          t.level) *
+                          1.5);
+        }
+    }
+    EXPECT_TRUE(found_group);
+}
+
+} // namespace
+} // namespace fast::core

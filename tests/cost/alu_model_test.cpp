@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the ALU area/power scaling model (Fig. 4, Sec. 4.2).
+ */
+#include <gtest/gtest.h>
+
+#include "cost/alu_model.hpp"
+
+namespace fast::cost {
+namespace {
+
+TEST(AluModel, NormalizedAt36Bits)
+{
+    for (auto kind : {AluKind::multiplier, AluKind::modular_multiplier}) {
+        EXPECT_DOUBLE_EQ(AluCostModel::area(kind, 36), 1.0);
+        EXPECT_DOUBLE_EQ(AluCostModel::power(kind, 36), 1.0);
+    }
+}
+
+TEST(AluModel, PaperAnchorsAt60Bits)
+{
+    // Fig. 4: 60-bit needs 2.9x (2.8x) area and 2.8x (2.7x) power for
+    // the modular multiplier (multiplier-only) design.
+    EXPECT_NEAR(AluCostModel::area(AluKind::modular_multiplier, 60),
+                2.9, 1e-9);
+    EXPECT_NEAR(AluCostModel::area(AluKind::multiplier, 60), 2.8, 1e-9);
+    EXPECT_NEAR(AluCostModel::power(AluKind::modular_multiplier, 60),
+                2.8, 1e-9);
+    EXPECT_NEAR(AluCostModel::power(AluKind::multiplier, 60), 2.7,
+                1e-9);
+}
+
+TEST(AluModel, MonotoneInWidth)
+{
+    double prev = 0;
+    for (int bits : {24, 28, 32, 36, 45, 54, 60, 64}) {
+        double a = AluCostModel::area(AluKind::modular_multiplier, bits);
+        EXPECT_GT(a, prev);
+        prev = a;
+    }
+}
+
+TEST(AluModel, RejectsUnmodeledWidths)
+{
+    EXPECT_THROW(AluCostModel::area(AluKind::multiplier, 4),
+                 std::invalid_argument);
+    EXPECT_THROW(AluCostModel::area(AluKind::multiplier, 256),
+                 std::invalid_argument);
+}
+
+TEST(AluModel, TbmTradeoffsMatchPaper)
+{
+    // Sec. 4.2: 2x 36-bit parallelism at +28% area vs a native 60-bit
+    // multiplier, 19% control overhead, 3-vs-4 base multipliers.
+    EXPECT_DOUBLE_EQ(AluCostModel::tbmAreaVsNative60(), 1.28);
+    EXPECT_DOUBLE_EQ(AluCostModel::tbmControlOverhead(), 0.19);
+    EXPECT_DOUBLE_EQ(AluCostModel::booth4x36AreaVsNative60(), 1.275);
+    EXPECT_EQ(AluCostModel::tbmParallelism(36), 2);
+    EXPECT_EQ(AluCostModel::tbmParallelism(60), 1);
+    EXPECT_THROW(AluCostModel::tbmParallelism(64),
+                 std::invalid_argument);
+    EXPECT_EQ(AluCostModel::baseMultipliersPerWideProduct(true), 3);
+    EXPECT_EQ(AluCostModel::baseMultipliersPerWideProduct(false), 4);
+}
+
+TEST(AluModel, TbmBeatsFour36BitUnitsInArea)
+{
+    // Four independent 36-bit multipliers (the Booth approach) cost
+    // 4.0 normalized; the TBM costs 1.28 * area(60) = 3.71 while
+    // delivering the same dual-36 throughput plus native 60-bit.
+    double tbm = AluCostModel::tbmAreaVsNative60() *
+                 AluCostModel::area(AluKind::multiplier, 60);
+    EXPECT_LT(tbm, 4.0);
+    EXPECT_GT(tbm, 3.0);
+}
+
+} // namespace
+} // namespace fast::cost

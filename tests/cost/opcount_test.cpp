@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the key-switching op-count model — including the paper's
+ * headline observations from Fig. 2 and Fig. 3a as properties.
+ */
+#include <gtest/gtest.h>
+
+#include "cost/opcount.hpp"
+#include "cost/worksets.hpp"
+
+namespace fast::cost {
+namespace {
+
+TEST(OpCount, BreakdownArithmetic)
+{
+    OpBreakdown a{1, 2, 3, 4};
+    OpBreakdown b{10, 20, 30, 40};
+    auto s = a + b;
+    EXPECT_DOUBLE_EQ(s.total(), 110);
+    auto d = a * 2.0;
+    EXPECT_DOUBLE_EQ(d.total(), 20);
+    a += b;
+    EXPECT_DOUBLE_EQ(a.ntt, 11);
+}
+
+TEST(OpCount, NttOpsFormula)
+{
+    KeySwitchCostModel m;
+    // (N/2) log2 N at N = 2^16.
+    EXPECT_DOUBLE_EQ(m.nttOps(), 32768.0 * 16);
+}
+
+TEST(OpCount, CostsGrowWithLevel)
+{
+    KeySwitchCostModel m;
+    for (auto method :
+         {ckks::KeySwitchMethod::hybrid, ckks::KeySwitchMethod::klss}) {
+        double prev = 0;
+        for (std::size_t ell = 2; ell <= 35; ell += 3) {
+            double total = m.keySwitch(method, ell).total();
+            EXPECT_GT(total, prev) << toString(method) << " " << ell;
+            prev = total;
+        }
+    }
+}
+
+TEST(OpCount, Fig2KlssWinsAtHighLevels)
+{
+    // Paper Fig. 2a: KLSS more efficient for ell in [25, 35].
+    KeySwitchCostModel m;
+    for (std::size_t ell = 25; ell <= 35; ++ell)
+        EXPECT_GT(m.quantitativeLine(ell), 1.0) << ell;
+}
+
+TEST(OpCount, Fig2HybridWinsAtLowLevels)
+{
+    // Paper Fig. 2a: hybrid more efficient for ell in [5, 12); the
+    // crossover sits in the low teens.
+    KeySwitchCostModel m;
+    for (std::size_t ell = 5; ell <= 10; ++ell)
+        EXPECT_LT(m.quantitativeLine(ell), 1.0) << ell;
+}
+
+TEST(OpCount, Fig2MagnitudesMatchPaperBands)
+{
+    KeySwitchCostModel m;
+    // KLSS advantage at the top of the chain ~ 15% (we allow a band).
+    double top = m.quantitativeLine(30);
+    EXPECT_GT(top, 1.10);
+    EXPECT_LT(top, 1.45);
+    // Hybrid advantage at low levels ~ 23.5%.
+    double low = m.quantitativeLine(8);
+    EXPECT_GT(low, 0.60);
+    EXPECT_LT(low, 0.90);
+}
+
+TEST(OpCount, Fig3aHoistingErodesKlssAdvantage)
+{
+    // Paper Fig. 3a: as the hoisting number grows, KeyMult dominates
+    // and KLSS loses ground to hybrid.
+    KeySwitchCostModel m;
+    double prev = m.quantitativeLine(30, 1);
+    for (std::size_t h : {2, 4, 6}) {
+        double ql = m.quantitativeLine(30, h);
+        EXPECT_LT(ql, prev) << "h=" << h;
+        prev = ql;
+    }
+}
+
+TEST(OpCount, Fig3aKeyMultShareGrowsWithHoisting)
+{
+    KeySwitchCostModel m;
+    double prev_share = 0;
+    for (std::size_t h : {1, 2, 4, 6}) {
+        auto ops = m.keySwitch(ckks::KeySwitchMethod::klss, 30, h);
+        double share = ops.keymult / ops.total();
+        EXPECT_GT(share, prev_share);
+        prev_share = share;
+    }
+}
+
+TEST(OpCount, HoistingSharesDecomposition)
+{
+    // h rotations hoisted must cost less than h separate switches but
+    // more than one.
+    KeySwitchCostModel m;
+    for (auto method :
+         {ckks::KeySwitchMethod::hybrid, ckks::KeySwitchMethod::klss}) {
+        double one = m.keySwitch(method, 20, 1).total();
+        double hoisted4 = m.keySwitch(method, 20, 4).total();
+        EXPECT_GT(hoisted4, one);
+        EXPECT_LT(hoisted4, 4 * one);
+    }
+}
+
+TEST(OpCount, HMultAddsTensorAndRescale)
+{
+    KeySwitchCostModel m;
+    auto ks = m.keySwitch(ckks::KeySwitchMethod::hybrid, 20);
+    auto hm = m.hmult(ckks::KeySwitchMethod::hybrid, 20);
+    EXPECT_GT(hm.elementwise, ks.elementwise);
+    EXPECT_GT(hm.total(), ks.total());
+}
+
+TEST(OpCount, SizesMatchPaperFig3b)
+{
+    // Paper: ciphertext 19.7 MB, hybrid evk 79.3 MB, KLSS evk
+    // 295.3 MB at ell = 35 (we assert our model is within ~15%).
+    KeySwitchCostModel m;
+    double mb = 1024.0 * 1024.0;
+    EXPECT_NEAR(m.ciphertextBytes(35) / mb, 19.7, 3.0);
+    EXPECT_NEAR(m.evkBytes(ckks::KeySwitchMethod::hybrid, 35) / mb,
+                79.3, 12.0);
+    EXPECT_NEAR(m.evkBytes(ckks::KeySwitchMethod::klss, 35) / mb,
+                295.3, 45.0);
+}
+
+TEST(OpCount, MinKsKeysAreSmall)
+{
+    KeySwitchCostModel m;
+    for (auto method :
+         {ckks::KeySwitchMethod::hybrid, ckks::KeySwitchMethod::klss}) {
+        EXPECT_LT(m.evkBytesMinKs(method),
+                  m.evkBytes(method, 35) / 3.0);
+    }
+}
+
+TEST(OpCount, FromParamsMirrorsParameterSet)
+{
+    auto params = ckks::CkksParams::testSmall();
+    auto m = KeySwitchCostModel::fromParams(params);
+    EXPECT_EQ(m.config().degree, params.degree);
+    EXPECT_EQ(m.config().alpha, params.alpha);
+    EXPECT_EQ(m.config().specials, params.p_chain.size());
+}
+
+TEST(WorkingSet, ScalesWithCiphertextsAndHoisting)
+{
+    WorkingSetModel ws((KeySwitchCostModel()));
+    double base = ws.workingSetBytes(ckks::KeySwitchMethod::hybrid, 30,
+                                     1, 4);
+    double more_cts = ws.workingSetBytes(ckks::KeySwitchMethod::hybrid,
+                                         30, 1, 8);
+    double more_hoist = ws.workingSetBytes(ckks::KeySwitchMethod::hybrid,
+                                           30, 6, 4);
+    EXPECT_GT(more_cts, base);
+    EXPECT_GT(more_hoist, base);
+    EXPECT_TRUE(ws.exceedsCapacity(ckks::KeySwitchMethod::klss, 35, 6,
+                                   8, 245.0 * 1024 * 1024));
+}
+
+} // namespace
+} // namespace fast::cost

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the Benes network (AutoU datapath): any permutation must
+ * route, and in particular every automorphism permutation.
+ */
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "hw/benes.hpp"
+#include "math/modarith.hpp"
+#include "math/random.hpp"
+
+namespace fast::hw {
+namespace {
+
+std::vector<std::size_t>
+identity(std::size_t n)
+{
+    std::vector<std::size_t> v(n);
+    std::iota(v.begin(), v.end(), 0);
+    return v;
+}
+
+/** Route perm and check apply() realizes out[j] = in[perm[j]]. */
+void
+checkRoutes(BenesNetwork &net, const std::vector<std::size_t> &perm)
+{
+    net.route(perm);
+    auto out = net.apply(identity(net.size()));
+    ASSERT_EQ(out.size(), perm.size());
+    for (std::size_t j = 0; j < perm.size(); ++j)
+        ASSERT_EQ(out[j], perm[j]);
+}
+
+TEST(Benes, StageCountFormula)
+{
+    EXPECT_EQ(BenesNetwork(2).stageCount(), 1u);
+    EXPECT_EQ(BenesNetwork(8).stageCount(), 5u);
+    EXPECT_EQ(BenesNetwork(256).stageCount(), 15u);
+    EXPECT_EQ(BenesNetwork(8).switchesPerStage(), 4u);
+}
+
+TEST(Benes, RoutesIdentityAndReversal)
+{
+    for (std::size_t n : {2u, 4u, 16u, 64u}) {
+        BenesNetwork net(n);
+        checkRoutes(net, identity(n));
+        auto rev = identity(n);
+        std::reverse(rev.begin(), rev.end());
+        checkRoutes(net, rev);
+    }
+}
+
+TEST(Benes, RoutesAllPermutationsOfFour)
+{
+    BenesNetwork net(4);
+    std::vector<std::size_t> perm = identity(4);
+    do {
+        checkRoutes(net, perm);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(Benes, RoutesRandomPermutations)
+{
+    math::Prng prng(9);
+    for (std::size_t n : {8u, 32u, 128u, 1024u}) {
+        BenesNetwork net(n);
+        for (int trial = 0; trial < 10; ++trial) {
+            auto perm = identity(n);
+            // Fisher-Yates shuffle.
+            for (std::size_t i = n - 1; i > 0; --i)
+                std::swap(perm[i],
+                          perm[static_cast<std::size_t>(
+                              prng.uniform(i + 1))]);
+            checkRoutes(net, perm);
+        }
+    }
+}
+
+TEST(Benes, RoutesEveryAutomorphismPermutation)
+{
+    // AutoU's job: the phi_{5^r} slot permutation for every rotation
+    // r, plus conjugation (Sec. 5.5).
+    const std::size_t n = 256;
+    BenesNetwork net(n);
+    math::u64 g = 1;
+    for (std::size_t r = 0; r < n / 2; ++r) {
+        g = (g * 5) % (2 * n);
+        checkRoutes(net, automorphismPermutation(n, g));
+    }
+    checkRoutes(net, automorphismPermutation(n, 2 * n - 1));
+}
+
+TEST(Benes, RejectsInvalidInput)
+{
+    EXPECT_THROW(BenesNetwork(3), std::invalid_argument);
+    EXPECT_THROW(BenesNetwork(0), std::invalid_argument);
+    BenesNetwork net(8);
+    EXPECT_THROW(net.route({0, 1, 2}), std::invalid_argument);
+    EXPECT_THROW(net.route({0, 0, 1, 2, 3, 4, 5, 6}),
+                 std::invalid_argument);
+    EXPECT_THROW(net.route({0, 1, 2, 3, 4, 5, 6, 8}),
+                 std::invalid_argument);
+    net.route(identity(8));
+    EXPECT_THROW(net.apply({1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Benes, AutomorphismPermutationIsBijective)
+{
+    const std::size_t n = 128;
+    auto perm = automorphismPermutation(n, 5);
+    std::vector<bool> seen(n, false);
+    for (auto p : perm) {
+        EXPECT_LT(p, n);
+        EXPECT_FALSE(seen[p]);
+        seen[p] = true;
+    }
+}
+
+} // namespace
+} // namespace fast::hw

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the TBM-based Montgomery modular multiplier (the NTTU's
+ * arithmetic core, Sec. 5.2).
+ */
+#include <gtest/gtest.h>
+
+#include "hw/montgomery.hpp"
+#include "math/primes.hpp"
+#include "math/random.hpp"
+
+namespace fast::hw {
+namespace {
+
+TEST(Montgomery, FormConversionRoundTrip)
+{
+    u64 q = math::generateNttPrimes(45, 1 << 10, 1)[0];
+    MontgomeryMultiplier mont(q);
+    math::Prng prng(1);
+    for (int i = 0; i < 200; ++i) {
+        u64 a = prng.uniform(q);
+        EXPECT_EQ(mont.fromMont(mont.toMont(a)), a);
+    }
+}
+
+TEST(Montgomery, ProductMatchesReference)
+{
+    math::Prng prng(2);
+    for (int bits : {30, 36, 45, 58}) {
+        u64 q = math::generateNttPrimes(bits, 1 << 10, 1)[0];
+        MontgomeryMultiplier mont(q);
+        core::TunableBitMultiplier tbm;
+        for (int i = 0; i < 200; ++i) {
+            u64 a = prng.uniform(q);
+            u64 b = prng.uniform(q);
+            EXPECT_EQ(mont.mulMod(a, b, tbm), math::mulMod(a, b, q))
+                << "q=" << q;
+        }
+    }
+}
+
+TEST(Montgomery, MontFormProductsCompose)
+{
+    // (a*b*c) computed entirely in Montgomery form.
+    u64 q = math::generateNttPrimes(50, 1 << 10, 1)[0];
+    MontgomeryMultiplier mont(q);
+    core::TunableBitMultiplier tbm;
+    math::Prng prng(3);
+    u64 a = prng.uniform(q), b = prng.uniform(q), c = prng.uniform(q);
+    u64 am = mont.toMont(a), bm = mont.toMont(b), cm = mont.toMont(c);
+    u64 abm = mont.mulMont(am, bm, tbm);
+    u64 abcm = mont.mulMont(abm, cm, tbm);
+    EXPECT_EQ(mont.fromMont(abcm),
+              math::mulMod(math::mulMod(a, b, q), c, q));
+}
+
+TEST(Montgomery, UsesThreeBaseMultipliersPerProduct)
+{
+    // One Montgomery product = 3 TBM 60-bit ops = 9 base multipliers
+    // (the datapath the NTTU budgets for).
+    u64 q = math::generateNttPrimes(45, 1 << 10, 1)[0];
+    MontgomeryMultiplier mont(q);
+    core::TunableBitMultiplier tbm;
+    mont.mulMont(5, 7, tbm);
+    EXPECT_EQ(tbm.stats().products60, 3u);
+    EXPECT_EQ(tbm.stats().base_mults, 9u);
+}
+
+TEST(Montgomery, RejectsBadModuli)
+{
+    EXPECT_THROW(MontgomeryMultiplier(100), std::invalid_argument);
+    EXPECT_THROW(MontgomeryMultiplier(u64(1) << 60),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(MontgomeryMultiplier((u64(1) << 58) + 27));
+}
+
+} // namespace
+} // namespace fast::hw

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the hardware unit models: configurations, the four-step
+ * NTT functional reference, unit cycle model properties, the register
+ * file, the HBM channel, and the area/power roll-up.
+ */
+#include <gtest/gtest.h>
+
+#include "hw/area.hpp"
+#include "hw/nttu.hpp"
+#include "hw/units.hpp"
+#include "math/primes.hpp"
+#include "math/random.hpp"
+
+namespace fast::hw {
+namespace {
+
+TEST(Config, NamedConfigurationsMatchTable4)
+{
+    auto fast_cfg = FastConfig::fast();
+    EXPECT_EQ(fast_cfg.clusters * fast_cfg.lanes, 1024u);
+    EXPECT_EQ(fast_cfg.alu_bits, 60);
+    EXPECT_TRUE(fast_cfg.has_tbm);
+    EXPECT_DOUBLE_EQ(fast_cfg.onchip_mb, 281);
+
+    auto sharp = FastConfig::sharp();
+    EXPECT_EQ(sharp.alu_bits, 36);
+    EXPECT_FALSE(sharp.has_tbm);
+    EXPECT_FALSE(sharp.use_klss);
+    EXPECT_DOUBLE_EQ(sharp.onchip_mb, 198);
+    EXPECT_EQ(FastConfig::sharp8Cluster().clusters, 8u);
+    EXPECT_DOUBLE_EQ(FastConfig::sharpLargeMem().onchip_mb, 281);
+}
+
+TEST(Config, TbmDoublesNarrowThroughput)
+{
+    auto cfg = FastConfig::fast();
+    EXPECT_DOUBLE_EQ(cfg.modMultsPerCycle(36),
+                     2 * cfg.modMultsPerCycle(60));
+    auto no_tbm = FastConfig::fastWithoutTbm();
+    EXPECT_DOUBLE_EQ(no_tbm.modMultsPerCycle(36),
+                     no_tbm.modMultsPerCycle(60));
+    // Booth composition of 60-bit on a 36-bit chip: 4x penalty.
+    auto alu36 = FastConfig::alu36();
+    EXPECT_DOUBLE_EQ(alu36.modMultsPerCycle(60),
+                     alu36.modMultsPerCycle(36) / 4.0);
+}
+
+TEST(Config, ScalingHelpers)
+{
+    auto cfg = FastConfig::fast().withClusters(8);
+    EXPECT_EQ(cfg.clusters, 8u);
+    auto mem = FastConfig::fast().withMemoryMb(128);
+    EXPECT_DOUBLE_EQ(mem.onchip_mb, 128);
+    EXPECT_LT(mem.evk_reserve_mb, FastConfig::fast().evk_reserve_mb);
+}
+
+TEST(Nttu, FourStepMatchesDirectTransform)
+{
+    for (auto [n, n1] : {std::pair<std::size_t, std::size_t>{64, 8},
+                         {256, 16},
+                         {1024, 32},
+                         {256, 4}}) {
+        std::size_t n2 = n / n1;
+        math::u64 q = math::generateNttPrimes(36, n, 1)[0];
+        math::NttTables tables(n, q);
+        math::Prng prng(4);
+        std::vector<math::u64> data(n);
+        math::sampleUniform(prng, q, data);
+
+        auto four_step = fourStepForwardNtt(data, n1, n2, q);
+        tables.forward(data);
+        EXPECT_EQ(four_step, data) << "N=" << n << " n1=" << n1;
+    }
+}
+
+TEST(Nttu, CycleModelScalesWithLimbsAndWidth)
+{
+    NttUnit nttu{FastConfig::fast()};
+    double one36 = nttu.cycles(16384, 1, 36);
+    double ten36 = nttu.cycles(16384, 10, 36);
+    double one60 = nttu.cycles(16384, 1, 60);
+    EXPECT_GT(ten36, 4 * one36);  // pipeline depth amortizes
+    EXPECT_GT(one60, one36);
+    // Unpaired streams cannot use the dual-36 mode.
+    EXPECT_GT(nttu.cycles(16384, 4, 36, 1), nttu.cycles(16384, 4, 36));
+}
+
+TEST(Units, BConvCycleModel)
+{
+    BConvUnit bconv{FastConfig::fast()};
+    // MACs / (width * in_limbs * arrays * par) + fill.
+    double c36 = bconv.cycles(16384, 12, 36, 36);
+    double c60 = bconv.cycles(16384, 12, 36, 60);
+    EXPECT_GT(c60, c36);
+    EXPECT_DOUBLE_EQ(bconv.mults(100, 3, 5), 1500);
+}
+
+TEST(Units, KmuReuseRule)
+{
+    KeyMultUnit kmu{FastConfig::fast()};
+    // Sec. 5.4: input-limb sharing (KLSS / hoisting) engages all
+    // three columns; plain hybrid KeyMult gets one.
+    double no_reuse = kmu.keyMultCycles(16384, 3, 48, 36, false);
+    double reuse = kmu.keyMultCycles(16384, 3, 48, 36, true);
+    EXPECT_NEAR(no_reuse / reuse, 3.0, 0.1);
+}
+
+TEST(Units, AutoUnitWidthRule)
+{
+    AutoUnit autou{FastConfig::fast()};
+    EXPECT_DOUBLE_EQ(autou.cycles(16384, 4, 36) * 2,
+                     autou.cycles(16384, 4, 60));
+}
+
+TEST(Units, RegisterFileCapacity)
+{
+    RegisterFile rf{FastConfig::fast()};
+    EXPECT_TRUE(rf.tryAllocate(100.0 * 1024 * 1024));
+    EXPECT_FALSE(rf.tryAllocate(250.0 * 1024 * 1024));
+    rf.release(50.0 * 1024 * 1024);
+    EXPECT_DOUBLE_EQ(rf.usedBytes(), 50.0 * 1024 * 1024);
+    EXPECT_THROW(rf.release(100.0 * 1024 * 1024), std::logic_error);
+    rf.reset();
+    EXPECT_DOUBLE_EQ(rf.usedBytes(), 0);
+}
+
+TEST(Units, HbmChannelSerializes)
+{
+    HbmChannel hbm{FastConfig::fast()};
+    double end1 = hbm.transfer(1e6, 0);     // 1 MB at 1 TB/s = 1 us
+    EXPECT_NEAR(end1, 1000.0, 1e-6);
+    double end2 = hbm.transfer(1e6, 0);     // queued behind the first
+    EXPECT_NEAR(end2, 2000.0, 1e-6);
+    double end3 = hbm.transfer(1e6, 5000);  // idle gap honored
+    EXPECT_NEAR(end3, 6000.0, 1e-6);
+    EXPECT_NEAR(hbm.busyNs(), 3000.0, 1e-6);
+    EXPECT_DOUBLE_EQ(hbm.totalBytes(), 3e6);
+}
+
+TEST(Area, FastTotalsMatchTable3)
+{
+    ChipBudget budget{FastConfig::fast()};
+    // Paper Table 3: 283.75 mm^2 total. The paper's power column sums
+    // to 356.7 W although its printed total row says 337.5 W; we
+    // reproduce the component values, so we accept that band.
+    EXPECT_NEAR(budget.totalAreaMm2(), 283.75, 2.0);
+    EXPECT_NEAR(budget.totalPeakPowerW(), 356.7, 3.0);
+    EXPECT_EQ(budget.components().size(), 8u);
+}
+
+TEST(Area, ScalesWithClustersAndMemory)
+{
+    double base = ChipBudget{FastConfig::fast()}.totalAreaMm2();
+    double eight = ChipBudget{FastConfig::fast().withClusters(8)}
+                       .totalAreaMm2();
+    // Paper Fig. 13b: 8 clusters cost ~1.37x the area.
+    EXPECT_NEAR(eight / base, 1.37, 0.12);
+    double small_mem = ChipBudget{FastConfig::fast().withMemoryMb(128)}
+                           .totalAreaMm2();
+    EXPECT_LT(small_mem, base);
+}
+
+TEST(Area, NarrowAluShrinksComputeUnits)
+{
+    double fast_area = ChipBudget{FastConfig::fast()}.totalAreaMm2();
+    double alu36_area = ChipBudget{FastConfig::alu36()}.totalAreaMm2();
+    EXPECT_LT(alu36_area, fast_area);
+}
+
+} // namespace
+} // namespace fast::hw

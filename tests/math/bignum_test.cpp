@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the minimal unsigned bignum.
+ */
+#include <gtest/gtest.h>
+
+#include "math/bignum.hpp"
+#include "math/random.hpp"
+
+namespace fast::math {
+namespace {
+
+TEST(BigUInt, ConstructionAndNormalization)
+{
+    EXPECT_TRUE(BigUInt().isZero());
+    EXPECT_TRUE(BigUInt(u64(0)).isZero());
+    EXPECT_FALSE(BigUInt(u64(1)).isZero());
+    BigUInt padded(std::vector<u64>{5, 0, 0});
+    EXPECT_EQ(padded.wordCount(), 1u);
+    EXPECT_EQ(padded.word(0), 5u);
+    EXPECT_EQ(padded.word(7), 0u);
+}
+
+TEST(BigUInt, Bits)
+{
+    EXPECT_EQ(BigUInt().bits(), 0u);
+    EXPECT_EQ(BigUInt(u64(1)).bits(), 1u);
+    EXPECT_EQ(BigUInt(u64(255)).bits(), 8u);
+    EXPECT_EQ((BigUInt(u64(1)) << 100).bits(), 101u);
+}
+
+TEST(BigUInt, CompareAndOrdering)
+{
+    BigUInt a(u64(5)), b(u64(7));
+    BigUInt c = BigUInt(u64(1)) << 64;
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, c);
+    EXPECT_EQ(a.compare(a), 0);
+    EXPECT_TRUE(a <= a);
+    EXPECT_TRUE(c > b);
+    EXPECT_TRUE(a != b);
+}
+
+TEST(BigUInt, AddSubRoundTrip)
+{
+    Prng prng(11);
+    for (int i = 0; i < 200; ++i) {
+        BigUInt a(std::vector<u64>{prng.next(), prng.next(), prng.next()});
+        BigUInt b(std::vector<u64>{prng.next(), prng.next()});
+        BigUInt s = a + b;
+        EXPECT_EQ(s - b, a);
+        EXPECT_EQ(s - a, b);
+    }
+}
+
+TEST(BigUInt, AddCarriesAcrossWords)
+{
+    BigUInt max_word(~u64(0));
+    BigUInt one(u64(1));
+    BigUInt sum = max_word + one;
+    EXPECT_EQ(sum.wordCount(), 2u);
+    EXPECT_EQ(sum.word(0), 0u);
+    EXPECT_EQ(sum.word(1), 1u);
+}
+
+TEST(BigUInt, SubtractUnderflowThrows)
+{
+    EXPECT_THROW(BigUInt(u64(1)) - BigUInt(u64(2)), std::underflow_error);
+}
+
+TEST(BigUInt, MultiplicationMatches128Bit)
+{
+    Prng prng(12);
+    for (int i = 0; i < 200; ++i) {
+        u64 a = prng.next(), b = prng.next();
+        u128 wide = (u128)a * b;
+        BigUInt p = BigUInt(a) * BigUInt(b);
+        EXPECT_EQ(p.word(0), static_cast<u64>(wide));
+        EXPECT_EQ(p.word(1), static_cast<u64>(wide >> 64));
+    }
+}
+
+TEST(BigUInt, MultiplicationAssociatesWithShifts)
+{
+    BigUInt a(u64(0x123456789abcdefull));
+    EXPECT_EQ(a * (u64(1) << 20), a << 20);
+    EXPECT_EQ((a << 100) >> 100, a);
+    EXPECT_EQ((a >> 200).isZero(), true);
+}
+
+TEST(BigUInt, DivModByWord)
+{
+    Prng prng(13);
+    for (int i = 0; i < 100; ++i) {
+        BigUInt a(std::vector<u64>{prng.next(), prng.next(), prng.next()});
+        u64 d = prng.next() | 1;
+        auto [q, r] = a.divMod(d);
+        EXPECT_LT(r, d);
+        EXPECT_EQ(q * d + BigUInt(r), a);
+    }
+    EXPECT_THROW(BigUInt(u64(5)).divMod(0), std::invalid_argument);
+}
+
+TEST(BigUInt, ModMatchesDivMod)
+{
+    Prng prng(14);
+    for (int i = 0; i < 100; ++i) {
+        BigUInt a(std::vector<u64>{prng.next(), prng.next()});
+        u64 d = (prng.next() >> 20) | 1;
+        EXPECT_EQ(a.mod(d), a.divMod(d).second);
+    }
+}
+
+TEST(BigUInt, LowBits)
+{
+    BigUInt a = (BigUInt(u64(0xabcd)) << 64) + BigUInt(u64(0x1234));
+    EXPECT_EQ(a.lowBits(16), BigUInt(u64(0x1234)));
+    EXPECT_EQ(a.lowBits(64), BigUInt(u64(0x1234)));
+    EXPECT_EQ(a.lowBits(80), a);
+    // Digit decomposition identity: x == sum_j lowBits shifted.
+    BigUInt x(std::vector<u64>{0xdeadbeefcafef00dull, 0x12345ull});
+    std::size_t digit = 17;
+    BigUInt acc;
+    BigUInt rest = x;
+    std::size_t shift = 0;
+    while (!rest.isZero()) {
+        acc = acc + (rest.lowBits(digit) << shift);
+        rest = rest >> digit;
+        shift += digit;
+    }
+    EXPECT_EQ(acc, x);
+}
+
+TEST(BigUInt, ToStringAndDouble)
+{
+    EXPECT_EQ(BigUInt().toString(), "0");
+    EXPECT_EQ(BigUInt(u64(1234567890123456789ull)).toString(),
+              "1234567890123456789");
+    BigUInt big = BigUInt(u64(1)) << 64;
+    EXPECT_EQ(big.toString(), "18446744073709551616");
+    EXPECT_NEAR(big.toDouble(), 18446744073709551616.0, 1.0);
+}
+
+TEST(BigUInt, ProductOfModuli)
+{
+    std::vector<u64> moduli{3, 5, 7};
+    EXPECT_EQ(BigUInt::productOf(moduli), BigUInt(u64(105)));
+    EXPECT_EQ(BigUInt::productOf({}), BigUInt(u64(1)));
+}
+
+} // namespace
+} // namespace fast::math

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for scalar modular arithmetic.
+ */
+#include <gtest/gtest.h>
+
+#include "math/modarith.hpp"
+#include "math/random.hpp"
+
+namespace fast::math {
+namespace {
+
+TEST(ModArith, AddSubNegBasics)
+{
+    u64 q = 17;
+    EXPECT_EQ(addMod(9, 9, q), 1u);
+    EXPECT_EQ(addMod(0, 0, q), 0u);
+    EXPECT_EQ(addMod(16, 1, q), 0u);
+    EXPECT_EQ(subMod(3, 5, q), 15u);
+    EXPECT_EQ(subMod(5, 5, q), 0u);
+    EXPECT_EQ(negMod(0, q), 0u);
+    EXPECT_EQ(negMod(1, q), 16u);
+}
+
+TEST(ModArith, MulModMatchesWideProduct)
+{
+    Prng prng(1);
+    u64 q = (u64(1) << 61) - 1;  // large non-prime is fine for mulMod
+    for (int i = 0; i < 1000; ++i) {
+        u64 a = prng.uniform(q);
+        u64 b = prng.uniform(q);
+        u64 expect = static_cast<u64>((u128)a * b % q);
+        EXPECT_EQ(mulMod(a, b, q), expect);
+    }
+}
+
+TEST(ModArith, BarrettReduce128MatchesDivision)
+{
+    Prng prng(2);
+    for (u64 qbits : {29u, 36u, 45u, 60u}) {
+        u64 q = (u64(1) << qbits) - prng.uniform(1000) - 3;
+        Modulus m(q);
+        for (int i = 0; i < 500; ++i) {
+            u128 a = ((u128)prng.next() << 64) | prng.next();
+            EXPECT_EQ(m.reduce128(a), static_cast<u64>(a % q));
+        }
+    }
+}
+
+TEST(ModArith, BarrettMulModMatchesPlain)
+{
+    Prng prng(3);
+    u64 q = 0xffffffff00000001ull >> 4;  // arbitrary 60-bit odd value
+    q |= 1;
+    Modulus m(q);
+    for (int i = 0; i < 500; ++i) {
+        u64 a = prng.uniform(q);
+        u64 b = prng.uniform(q);
+        EXPECT_EQ(mulMod(a, b, m), mulMod(a, b, q));
+    }
+}
+
+TEST(ModArith, ModulusRejectsBadValues)
+{
+    EXPECT_THROW(Modulus(0), std::invalid_argument);
+    EXPECT_THROW(Modulus(1), std::invalid_argument);
+    EXPECT_THROW(Modulus(u64(1) << 62), std::invalid_argument);
+    EXPECT_NO_THROW(Modulus((u64(1) << 62) - 1));
+}
+
+TEST(ModArith, ModulusBits)
+{
+    EXPECT_EQ(Modulus(2).bits(), 2);
+    EXPECT_EQ(Modulus(3).bits(), 2);
+    EXPECT_EQ(Modulus(4).bits(), 3);
+    EXPECT_EQ(Modulus((u64(1) << 36) - 5).bits(), 36);
+}
+
+TEST(ModArith, ShoupMultiplicationMatchesPlain)
+{
+    Prng prng(4);
+    u64 q = (u64(1) << 59) + 21;  // < 2^62 as required by Shoup
+    for (int i = 0; i < 500; ++i) {
+        u64 a = prng.uniform(q);
+        u64 w = prng.uniform(q);
+        u64 wp = shoupPrecompute(w, q);
+        EXPECT_EQ(mulModShoup(a, w, wp, q), mulMod(a, w, q));
+    }
+}
+
+TEST(ModArith, PowMod)
+{
+    EXPECT_EQ(powMod(2, 10, 1000000007), 1024u);
+    EXPECT_EQ(powMod(5, 0, 13), 1u);
+    EXPECT_EQ(powMod(0, 5, 13), 0u);
+    // Fermat: a^(p-1) = 1 mod p.
+    u64 p = 0x1fffffffffe00001ull;  // 61-bit prime (2^61 - 2^21 + 1)
+    EXPECT_EQ(powMod(123456789, p - 1, p), 1u);
+}
+
+TEST(ModArith, InvMod)
+{
+    u64 q = 1000003;
+    for (u64 a : {1ull, 2ull, 999ull, 1000002ull}) {
+        u64 inv = invMod(a, q);
+        EXPECT_EQ(mulMod(a, inv, q), 1u);
+    }
+    EXPECT_THROW(invMod(0, 7), std::invalid_argument);
+    EXPECT_THROW(invMod(6, 12), std::invalid_argument);
+}
+
+TEST(ModArith, Gcd)
+{
+    EXPECT_EQ(gcd(12, 18), 6u);
+    EXPECT_EQ(gcd(17, 13), 1u);
+    EXPECT_EQ(gcd(0, 5), 5u);
+    EXPECT_EQ(gcd(5, 0), 5u);
+}
+
+TEST(ModArith, CenteredRepresentatives)
+{
+    u64 q = 100;
+    EXPECT_EQ(toCentered(0, q), 0);
+    EXPECT_EQ(toCentered(50, q), 50);
+    EXPECT_EQ(toCentered(51, q), -49);
+    EXPECT_EQ(toCentered(99, q), -1);
+    for (i64 v : {-49, -1, 0, 1, 50}) {
+        EXPECT_EQ(toCentered(fromCentered(v, q), q), v);
+    }
+    EXPECT_EQ(fromCentered(-101, q), 99u);
+}
+
+} // namespace
+} // namespace fast::math

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit and property tests for the negacyclic NTT.
+ */
+#include <gtest/gtest.h>
+
+#include "math/ntt.hpp"
+#include "math/poly.hpp"
+#include "math/primes.hpp"
+#include "math/random.hpp"
+
+namespace fast::math {
+namespace {
+
+class NttParamTest : public ::testing::TestWithParam<
+                         std::tuple<std::size_t, int>>
+{
+};
+
+TEST_P(NttParamTest, ForwardInverseRoundTrip)
+{
+    auto [n, bits] = GetParam();
+    u64 q = generateNttPrimes(bits, n, 1)[0];
+    NttTables tables(n, q);
+    Prng prng(42);
+    std::vector<u64> data(n), original;
+    sampleUniform(prng, q, data);
+    original = data;
+    tables.forward(data);
+    EXPECT_NE(data, original);  // astronomically unlikely otherwise
+    tables.inverse(data);
+    EXPECT_EQ(data, original);
+}
+
+TEST_P(NttParamTest, PointwiseMultMatchesSchoolbook)
+{
+    auto [n, bits] = GetParam();
+    if (n > 512)
+        GTEST_SKIP() << "schoolbook reference too slow";
+    u64 q = generateNttPrimes(bits, n, 1)[0];
+    NttTables tables(n, q);
+    Prng prng(7);
+    std::vector<u64> a(n), b(n);
+    sampleUniform(prng, q, a);
+    sampleUniform(prng, q, b);
+    auto expect = negacyclicMulSchoolbook(a, b, q);
+
+    std::vector<u64> fa = a, fb = b;
+    tables.forward(fa);
+    tables.forward(fb);
+    for (std::size_t i = 0; i < n; ++i)
+        fa[i] = mulMod(fa[i], fb[i], q);
+    tables.inverse(fa);
+    EXPECT_EQ(fa, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegreesAndWidths, NttParamTest,
+    ::testing::Values(std::make_tuple(std::size_t(16), 30),
+                      std::make_tuple(std::size_t(64), 36),
+                      std::make_tuple(std::size_t(256), 36),
+                      std::make_tuple(std::size_t(256), 60),
+                      std::make_tuple(std::size_t(1024), 45),
+                      std::make_tuple(std::size_t(4096), 36)));
+
+TEST(Ntt, LinearityProperty)
+{
+    const std::size_t n = 256;
+    u64 q = generateNttPrimes(36, n, 1)[0];
+    NttTables tables(n, q);
+    Prng prng(3);
+    std::vector<u64> a(n), b(n);
+    sampleUniform(prng, q, a);
+    sampleUniform(prng, q, b);
+    u64 c = prng.uniform(q);
+
+    // NTT(c*a + b) == c*NTT(a) + NTT(b)
+    std::vector<u64> lhs(n);
+    for (std::size_t i = 0; i < n; ++i)
+        lhs[i] = addMod(mulMod(c, a[i], q), b[i], q);
+    tables.forward(lhs);
+
+    std::vector<u64> fa = a, fb = b;
+    tables.forward(fa);
+    tables.forward(fb);
+    for (std::size_t i = 0; i < n; ++i)
+        fa[i] = addMod(mulMod(c, fa[i], q), fb[i], q);
+    EXPECT_EQ(lhs, fa);
+}
+
+TEST(Ntt, ConstantPolynomialTransformsToConstantVector)
+{
+    const std::size_t n = 128;
+    u64 q = generateNttPrimes(36, n, 1)[0];
+    NttTables tables(n, q);
+    std::vector<u64> data(n, 0);
+    data[0] = 5;  // the constant polynomial 5
+    tables.forward(data);
+    for (u64 v : data)
+        EXPECT_EQ(v, 5u);
+}
+
+TEST(Ntt, MonomialXTimesXIsNegativeOne)
+{
+    // In Z_q[X]/(X^N+1), X * X^(N-1) = X^N = -1.
+    const std::size_t n = 64;
+    u64 q = generateNttPrimes(36, n, 1)[0];
+    NttTables tables(n, q);
+    std::vector<u64> x(n, 0), xn1(n, 0);
+    x[1] = 1;
+    xn1[n - 1] = 1;
+    tables.forward(x);
+    tables.forward(xn1);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = mulMod(x[i], xn1[i], q);
+    tables.inverse(x);
+    EXPECT_EQ(x[0], q - 1);
+    for (std::size_t i = 1; i < n; ++i)
+        EXPECT_EQ(x[i], 0u);
+}
+
+TEST(Ntt, MultCountFormula)
+{
+    EXPECT_EQ(NttTables::multCount(2), 1u);
+    EXPECT_EQ(NttTables::multCount(1024), 512u * 10);
+    EXPECT_EQ(NttTables::multCount(1u << 16), (1u << 15) * 16);
+}
+
+TEST(Ntt, TableCacheReturnsSharedInstance)
+{
+    auto a = NttTableCache::get(256, generateNttPrimes(36, 256, 1)[0]);
+    auto b = NttTableCache::get(256, a->modulus());
+    EXPECT_EQ(a.get(), b.get());
+    auto c = NttTableCache::get(512, generateNttPrimes(36, 512, 1)[0]);
+    EXPECT_NE(a.get(), c.get());
+}
+
+TEST(Ntt, RejectsNonPowerOfTwo)
+{
+    EXPECT_THROW(NttTables(100, 12289), std::invalid_argument);
+}
+
+} // namespace
+} // namespace fast::math

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for RNS polynomials: arithmetic, representation changes,
+ * automorphisms, and limb manipulation.
+ */
+#include <gtest/gtest.h>
+
+#include "math/poly.hpp"
+#include "math/primes.hpp"
+
+namespace fast::math {
+namespace {
+
+const std::size_t kN = 256;
+
+std::vector<u64>
+testModuli(std::size_t count, int bits = 36)
+{
+    return generateNttPrimes(bits, kN, count);
+}
+
+RnsPoly
+randomPoly(Prng &prng, std::size_t limbs, PolyForm form = PolyForm::eval)
+{
+    RnsPoly p(kN, testModuli(limbs), form);
+    p.fillUniform(prng);
+    return p;
+}
+
+TEST(RnsPoly, ZeroConstruction)
+{
+    RnsPoly p(kN, testModuli(3), PolyForm::coeff);
+    EXPECT_EQ(p.degree(), kN);
+    EXPECT_EQ(p.limbCount(), 3u);
+    EXPECT_FALSE(p.isEval());
+    for (std::size_t i = 0; i < 3; ++i)
+        for (u64 v : p.limb(i))
+            EXPECT_EQ(v, 0u);
+}
+
+TEST(RnsPoly, AddSubInverse)
+{
+    Prng prng(21);
+    auto a = randomPoly(prng, 3);
+    auto b = randomPoly(prng, 3);
+    auto s = a + b;
+    EXPECT_EQ(s - b, a);
+    auto neg = b;
+    neg.negateInPlace();
+    EXPECT_EQ(a + b + neg, a);
+}
+
+TEST(RnsPoly, IncompatibleOperandsThrow)
+{
+    Prng prng(22);
+    auto a = randomPoly(prng, 3);
+    auto b = randomPoly(prng, 2);
+    EXPECT_THROW(a += b, std::invalid_argument);
+    auto c = randomPoly(prng, 3, PolyForm::coeff);
+    EXPECT_THROW(a += c, std::invalid_argument);
+    EXPECT_THROW(c.hadamardInPlace(c), std::logic_error);
+}
+
+TEST(RnsPoly, HadamardMatchesSchoolbookPerLimb)
+{
+    Prng prng(23);
+    auto a = randomPoly(prng, 2, PolyForm::coeff);
+    auto b = randomPoly(prng, 2, PolyForm::coeff);
+    std::vector<std::vector<u64>> expect;
+    for (std::size_t i = 0; i < 2; ++i)
+        expect.push_back(negacyclicMulSchoolbook(a.limb(i), b.limb(i),
+                                                 a.modulus(i)));
+    a.toEval();
+    b.toEval();
+    auto prod = a.hadamard(b);
+    prod.toCoeff();
+    for (std::size_t i = 0; i < 2; ++i)
+        EXPECT_EQ(prod.limb(i), expect[i]);
+}
+
+TEST(RnsPoly, EvalCoeffRoundTrip)
+{
+    Prng prng(24);
+    auto a = randomPoly(prng, 4, PolyForm::coeff);
+    auto original = a;
+    a.toEval();
+    a.toCoeff();
+    EXPECT_EQ(a, original);
+    // Idempotence of no-op conversions.
+    a.toCoeff();
+    EXPECT_EQ(a, original);
+}
+
+TEST(RnsPoly, ScalePerLimbAndUniform)
+{
+    Prng prng(25);
+    auto a = randomPoly(prng, 3);
+    auto b = a;
+    std::vector<u64> scalars = {7, 7, 7};
+    a.scalePerLimb(scalars);
+    b.scaleUniform(7);
+    EXPECT_EQ(a, b);
+    EXPECT_THROW(a.scalePerLimb({1, 2}), std::invalid_argument);
+}
+
+TEST(RnsPoly, LimbManipulation)
+{
+    Prng prng(26);
+    auto a = randomPoly(prng, 4);
+    auto saved_limb0 = a.limb(0);
+    a.dropLastLimbs(2);
+    EXPECT_EQ(a.limbCount(), 2u);
+    EXPECT_EQ(a.limb(0), saved_limb0);
+    a.keepLimbs(1);
+    EXPECT_EQ(a.limbCount(), 1u);
+    a.appendLimb(testModuli(4)[3]);
+    EXPECT_EQ(a.limbCount(), 2u);
+    for (u64 v : a.limb(1))
+        EXPECT_EQ(v, 0u);
+    EXPECT_THROW(a.dropLastLimbs(5), std::out_of_range);
+}
+
+TEST(RnsPoly, AutomorphismCommutesWithNtt)
+{
+    Prng prng(27);
+    auto a = randomPoly(prng, 2, PolyForm::coeff);
+    for (u64 g : {u64(5), u64(25), u64(2 * kN - 1), u64(3)}) {
+        auto coeff_then_eval = a.automorphism(g);
+        coeff_then_eval.toEval();
+        auto eval_copy = a;
+        eval_copy.toEval();
+        auto eval_auto = eval_copy.automorphism(g);
+        EXPECT_EQ(coeff_then_eval, eval_auto) << "galois " << g;
+    }
+}
+
+TEST(RnsPoly, AutomorphismGroupLaw)
+{
+    // phi_g1 . phi_g2 == phi_{g1*g2 mod 2N}
+    Prng prng(28);
+    auto a = randomPoly(prng, 2, PolyForm::coeff);
+    u64 two_n = 2 * kN;
+    u64 g1 = 5, g2 = 125;
+    auto lhs = a.automorphism(g2).automorphism(g1);
+    auto rhs = a.automorphism((g1 * g2) % two_n);
+    EXPECT_EQ(lhs, rhs);
+}
+
+TEST(RnsPoly, AutomorphismIdentity)
+{
+    Prng prng(29);
+    auto a = randomPoly(prng, 2, PolyForm::coeff);
+    EXPECT_EQ(a.automorphism(1), a);
+    // phi_g . phi_{g^-1} == identity
+    u64 two_n = 2 * kN;
+    u64 g = 5;
+    u64 g_inv = invMod(g, two_n);
+    EXPECT_EQ(a.automorphism(g).automorphism(g_inv), a);
+}
+
+TEST(RnsPoly, AutomorphismIsRingHomomorphism)
+{
+    // phi_g(a * b) == phi_g(a) * phi_g(b)
+    Prng prng(30);
+    auto a = randomPoly(prng, 2);
+    auto b = randomPoly(prng, 2);
+    u64 g = 5;
+    auto lhs = a.hadamard(b).automorphism(g);
+    auto rhs = a.automorphism(g).hadamard(b.automorphism(g));
+    EXPECT_EQ(lhs, rhs);
+}
+
+TEST(RnsPoly, AutomorphismRejectsBadElements)
+{
+    Prng prng(31);
+    auto a = randomPoly(prng, 1);
+    EXPECT_THROW(a.automorphism(2), std::invalid_argument);
+    EXPECT_THROW(a.automorphism(2 * kN + 1), std::invalid_argument);
+}
+
+TEST(RnsPoly, SetCoefficientAndResidues)
+{
+    RnsPoly p(kN, testModuli(3), PolyForm::coeff);
+    p.setCoefficient(5, -3);
+    auto res = p.coefficientResidues(5);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(res[i], p.modulus(i) - 3);
+    RnsPoly e(kN, testModuli(1), PolyForm::eval);
+    EXPECT_THROW(e.setCoefficient(0, 1), std::logic_error);
+}
+
+TEST(RnsPoly, TernaryAndGaussianFillAreConsistentAcrossLimbs)
+{
+    Prng prng(33);
+    RnsPoly p(kN, testModuli(3), PolyForm::coeff);
+    p.fillTernary(prng);
+    for (std::size_t j = 0; j < kN; ++j) {
+        i64 v0 = toCentered(p.limb(0)[j], p.modulus(0));
+        EXPECT_TRUE(v0 >= -1 && v0 <= 1);
+        for (std::size_t i = 1; i < 3; ++i)
+            EXPECT_EQ(toCentered(p.limb(i)[j], p.modulus(i)), v0);
+    }
+    RnsPoly g(kN, testModuli(2), PolyForm::coeff);
+    g.fillGaussian(prng);
+    for (std::size_t j = 0; j < kN; ++j) {
+        i64 v0 = toCentered(g.limb(0)[j], g.modulus(0));
+        EXPECT_LT(std::abs(v0), 40);  // ~12 sigma
+        EXPECT_EQ(toCentered(g.limb(1)[j], g.modulus(1)), v0);
+    }
+}
+
+} // namespace
+} // namespace fast::math

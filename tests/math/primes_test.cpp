@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for NTT-friendly prime generation.
+ */
+#include <gtest/gtest.h>
+
+#include "math/primes.hpp"
+
+namespace fast::math {
+namespace {
+
+TEST(Primes, IsPrimeSmall)
+{
+    EXPECT_FALSE(isPrime(0));
+    EXPECT_FALSE(isPrime(1));
+    EXPECT_TRUE(isPrime(2));
+    EXPECT_TRUE(isPrime(3));
+    EXPECT_FALSE(isPrime(4));
+    EXPECT_TRUE(isPrime(97));
+    EXPECT_FALSE(isPrime(91));  // 7 * 13
+}
+
+TEST(Primes, IsPrimeKnownLarge)
+{
+    EXPECT_TRUE(isPrime(0x1fffffffffe00001ull));   // 2^61 - 2^21 + 1
+    EXPECT_TRUE(isPrime(0xffffffff00000001ull));   // Goldilocks
+    EXPECT_FALSE(isPrime(0xffffffff00000001ull - 2));
+    // Carmichael number 561 must be rejected.
+    EXPECT_FALSE(isPrime(561));
+    // Strong pseudoprime to several bases: 3215031751.
+    EXPECT_FALSE(isPrime(3215031751ull));
+}
+
+TEST(Primes, GenerateNttPrimesProperties)
+{
+    const std::size_t n = 1 << 12;
+    for (int bits : {30, 36, 45, 60}) {
+        auto primes = generateNttPrimes(bits, n, 6);
+        ASSERT_EQ(primes.size(), 6u);
+        u64 prev = ~u64(0);
+        for (u64 p : primes) {
+            EXPECT_TRUE(isPrime(p));
+            EXPECT_EQ(p % (2 * n), 1u) << p;
+            EXPECT_LT(p, u64(1) << bits);
+            EXPECT_GE(p, u64(1) << (bits - 1));
+            EXPECT_LT(p, prev);  // strictly descending
+            prev = p;
+        }
+    }
+}
+
+TEST(Primes, GenerateWithSkipProducesDisjointChains)
+{
+    const std::size_t n = 1 << 12;
+    auto a = generateNttPrimes(36, n, 4, 0);
+    auto b = generateNttPrimes(36, n, 4, 4);
+    for (u64 pa : a)
+        for (u64 pb : b)
+            EXPECT_NE(pa, pb);
+    // skip=4 chain continues exactly after the first chain.
+    auto both = generateNttPrimes(36, n, 8, 0);
+    EXPECT_EQ(both[4], b[0]);
+}
+
+TEST(Primes, GenerateRejectsBadBitSize)
+{
+    EXPECT_THROW(generateNttPrimes(10, 1 << 12, 1), std::invalid_argument);
+    EXPECT_THROW(generateNttPrimes(62, 1 << 12, 1), std::invalid_argument);
+}
+
+TEST(Primes, PrimitiveRootHasFullOrder)
+{
+    for (u64 q : {u64(17), u64(97), u64(7681), u64(12289)}) {
+        u64 g = primitiveRoot(q);
+        // g^((q-1)/f) != 1 for every prime factor f: spot check with
+        // the full order and the half order.
+        EXPECT_EQ(powMod(g, q - 1, q), 1u);
+        EXPECT_NE(powMod(g, (q - 1) / 2, q), 1u);
+    }
+}
+
+TEST(Primes, Root2NIsPrimitive)
+{
+    const std::size_t n = 1 << 8;
+    auto primes = generateNttPrimes(36, n, 2);
+    for (u64 q : primes) {
+        u64 psi = minimalPrimitiveRoot2N(q, n);
+        // psi^N = -1 and psi^2N = 1 characterize a primitive
+        // negacyclic root.
+        EXPECT_EQ(powMod(psi, n, q), q - 1);
+        EXPECT_EQ(powMod(psi, 2 * n, q), 1u);
+    }
+}
+
+TEST(Primes, Root2NRejectsIncompatibleModulus)
+{
+    // 97 = 1 mod 32 but not 1 mod 64.
+    EXPECT_EQ(97 % 64, 33);
+    EXPECT_THROW(minimalPrimitiveRoot2N(97, 32), std::invalid_argument);
+}
+
+} // namespace
+} // namespace fast::math

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the PRNG and the lattice noise samplers.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "math/random.hpp"
+
+namespace fast::math {
+namespace {
+
+TEST(Prng, DeterministicForSeed)
+{
+    Prng a(123), b(123), c(124);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool any_diff = false;
+    Prng a2(123);
+    for (int i = 0; i < 100; ++i)
+        any_diff |= a2.next() != c.next();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Prng, UniformRespectsBound)
+{
+    Prng prng(55);
+    for (u64 bound : {2ull, 3ull, 1000ull, (1ull << 36) - 5}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(prng.uniform(bound), bound);
+    }
+}
+
+TEST(Prng, UniformIsRoughlyUniform)
+{
+    Prng prng(56);
+    const u64 buckets = 16;
+    std::vector<int> counts(buckets, 0);
+    const int draws = 16000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[prng.uniform(buckets)];
+    for (int c : counts) {
+        EXPECT_GT(c, draws / buckets / 2);
+        EXPECT_LT(c, draws / buckets * 2);
+    }
+}
+
+TEST(Prng, UniformRealInUnitInterval)
+{
+    Prng prng(57);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = prng.uniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Samplers, TernaryValues)
+{
+    Prng prng(58);
+    u64 q = 97;
+    std::vector<u64> out(3000);
+    sampleTernary(prng, q, out);
+    int zeros = 0;
+    for (u64 v : out) {
+        EXPECT_TRUE(v == 0 || v == 1 || v == q - 1);
+        zeros += v == 0;
+    }
+    // Each symbol should appear about a third of the time.
+    EXPECT_GT(zeros, 800);
+    EXPECT_LT(zeros, 1200);
+}
+
+TEST(Samplers, GaussianMomentsMatch)
+{
+    Prng prng(59);
+    const double sigma = 3.2;
+    std::vector<i64> out(20000);
+    sampleGaussianSigned(prng, sigma, out);
+    double mean = 0, var = 0;
+    for (i64 v : out)
+        mean += static_cast<double>(v);
+    mean /= static_cast<double>(out.size());
+    for (i64 v : out)
+        var += (v - mean) * (v - mean);
+    var /= static_cast<double>(out.size());
+    EXPECT_NEAR(mean, 0.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), sigma, 0.15);
+}
+
+TEST(Samplers, GaussianModularMatchesSigned)
+{
+    Prng prng_a(60), prng_b(60);
+    u64 q = 1u << 20;
+    std::vector<u64> modular(64);
+    std::vector<i64> plain(64);
+    sampleGaussian(prng_a, q, 3.2, modular);
+    sampleGaussianSigned(prng_b, 3.2, plain);
+    for (std::size_t i = 0; i < plain.size(); ++i)
+        EXPECT_EQ(modular[i], fromCentered(plain[i], q));
+}
+
+} // namespace
+} // namespace fast::math

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for RNS bases, CRT composition, and base conversion —
+ * including the exactness property the KLSS method relies on: products
+ * of bounded values evaluated in a sufficiently large auxiliary basis
+ * R_T are exact over the integers.
+ */
+#include <gtest/gtest.h>
+
+#include "math/primes.hpp"
+#include "math/random.hpp"
+#include "math/rns.hpp"
+
+namespace fast::math {
+namespace {
+
+RnsBasis
+makeBasis(int bits, std::size_t count, std::size_t skip = 0)
+{
+    return RnsBasis(generateNttPrimes(bits, 1 << 12, count, skip));
+}
+
+TEST(RnsBasis, ComposeDecomposeRoundTrip)
+{
+    auto basis = makeBasis(36, 5);
+    Prng prng(5);
+    for (int t = 0; t < 50; ++t) {
+        std::vector<u64> residues(basis.size());
+        for (std::size_t i = 0; i < basis.size(); ++i)
+            residues[i] = prng.uniform(basis.modulus(i));
+        BigUInt composed = basis.compose(residues);
+        EXPECT_LT(composed.compare(basis.product()), 0);
+        EXPECT_EQ(basis.decompose(composed), residues);
+    }
+}
+
+TEST(RnsBasis, ComposeSmallValueIsItself)
+{
+    auto basis = makeBasis(36, 4);
+    BigUInt v(u64(123456789));
+    EXPECT_EQ(basis.compose(basis.decompose(v)), v);
+}
+
+TEST(RnsBasis, QHatInverseIdentity)
+{
+    auto basis = makeBasis(36, 6);
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+        u64 qi = basis.modulus(i);
+        // (Q/q_i) * (Q/q_i)^-1 == 1 mod q_i
+        EXPECT_EQ(mulMod(basis.qHatMod(i, qi), basis.qHatInv(i), qi), 1u);
+    }
+}
+
+TEST(RnsBasis, SubBasisConsistency)
+{
+    auto basis = makeBasis(36, 6);
+    auto sub = basis.subBasis(2, 3);
+    ASSERT_EQ(sub.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(sub.modulus(i), basis.modulus(2 + i));
+    EXPECT_THROW(basis.subBasis(4, 3), std::out_of_range);
+}
+
+TEST(RnsBasis, RejectsEmptyAndDuplicates)
+{
+    EXPECT_THROW(RnsBasis({}), std::invalid_argument);
+    EXPECT_THROW(RnsBasis({17, 17}), std::invalid_argument);
+}
+
+TEST(BaseConverter, OffsetIsConsistentAcrossOutputLimbs)
+{
+    // HPS conversion returns x + e*Q with one integer e shared by all
+    // output limbs (0 <= e < #source limbs). The downstream CKKS
+    // algorithms rely on exactly this property.
+    auto from = makeBasis(36, 4);
+    auto to = makeBasis(36, 3, 4);
+    BaseConverter conv(from, to);
+    Prng prng(6);
+    for (int t = 0; t < 50; ++t) {
+        BigUInt v(prng.next() >> 8);
+        auto residues = from.decompose(v);
+        auto out = conv.convert(residues);
+        bool found_common_e = false;
+        for (std::size_t e = 0; e <= from.size() && !found_common_e;
+             ++e) {
+            BigUInt shifted = v + from.product() * static_cast<u64>(e);
+            bool all = true;
+            for (std::size_t j = 0; j < to.size(); ++j)
+                all &= out[j] == shifted.mod(to.modulus(j));
+            found_common_e = all;
+        }
+        EXPECT_TRUE(found_common_e) << "trial " << t;
+    }
+}
+
+TEST(BaseConverter, ApproximationErrorIsSmallMultipleOfQ)
+{
+    // For arbitrary inputs, HPS conversion returns x + e*Q with
+    // 0 <= e < #limbs of the source basis.
+    auto from = makeBasis(36, 5);
+    auto to = makeBasis(60, 3);
+    BaseConverter conv(from, to);
+    Prng prng(7);
+    for (int t = 0; t < 50; ++t) {
+        std::vector<u64> residues(from.size());
+        for (std::size_t i = 0; i < from.size(); ++i)
+            residues[i] = prng.uniform(from.modulus(i));
+        BigUInt exact = from.compose(residues);
+        auto out = conv.convert(residues);
+        for (std::size_t j = 0; j < to.size(); ++j) {
+            u64 pj = to.modulus(j);
+            u64 exact_res = exact.mod(pj);
+            u64 got = out[j];
+            // got == exact + e*Q mod pj for some 0 <= e < from.size().
+            bool matched = false;
+            u64 q_mod = from.product().mod(pj);
+            u64 cand = exact_res;
+            for (std::size_t e = 0; e < from.size() + 1; ++e) {
+                if (cand == got) {
+                    matched = true;
+                    break;
+                }
+                cand = addMod(cand, q_mod, pj);
+            }
+            EXPECT_TRUE(matched) << "limb " << j << " trial " << t;
+        }
+    }
+}
+
+TEST(BaseConverter, TwoStageKernelMatchesConvert)
+{
+    auto from = makeBasis(36, 4);
+    auto to = makeBasis(36, 4, 4);
+    BaseConverter conv(from, to);
+    Prng prng(8);
+    std::vector<u64> residues(from.size());
+    for (std::size_t i = 0; i < from.size(); ++i)
+        residues[i] = prng.uniform(from.modulus(i));
+
+    std::vector<u64> scaled, staged;
+    conv.scaleInputs(residues, scaled);
+    conv.accumulate(scaled, staged);
+    EXPECT_EQ(staged, conv.convert(residues));
+}
+
+TEST(BaseConverter, InputSizeValidation)
+{
+    auto from = makeBasis(36, 3);
+    auto to = makeBasis(36, 2, 3);
+    BaseConverter conv(from, to);
+    EXPECT_THROW(conv.convert(std::vector<u64>(2, 0)),
+                 std::invalid_argument);
+}
+
+/**
+ * The KLSS exactness lemma: if |a| < A and |k| < K with A*K*count < T,
+ * then sum of a_i * k_i computed in RNS basis T equals the integer
+ * result. This is the property that lets KLSS do KeyMult over a small
+ * 60-bit basis instead of the full ciphertext modulus (Sec. 2.1.3).
+ */
+TEST(RnsExactness, BoundedProductsAreExactInAuxiliaryBasis)
+{
+    const std::size_t terms = 8;
+    // a_i < 2^60, k_i < 2^60, sum < 8 * 2^120 = 2^123 < T = 2^{~177}.
+    auto t_basis = makeBasis(60, 3);
+    ASSERT_GT(t_basis.product().bits(), 123u);
+    Prng prng(9);
+    BigUInt expect;
+    std::vector<u64> acc(t_basis.size(), 0);
+    for (std::size_t i = 0; i < terms; ++i) {
+        u64 a = prng.next() & ((u64(1) << 60) - 1);
+        u64 k = prng.next() & ((u64(1) << 60) - 1);
+        expect = expect + BigUInt(a) * BigUInt(k);
+        for (std::size_t j = 0; j < t_basis.size(); ++j) {
+            u64 tj = t_basis.modulus(j);
+            acc[j] = addMod(acc[j], mulMod(a % tj, k % tj, tj), tj);
+        }
+    }
+    // CRT-compose the accumulator: must equal the integer sum exactly
+    // (no wrap-around), because the bound is below T.
+    EXPECT_EQ(t_basis.compose(acc), expect);
+}
+
+/** Negative control: when the bound exceeds T, wrap-around occurs. */
+TEST(RnsExactness, OverflowWrapsWhenBasisTooSmall)
+{
+    auto t_basis = makeBasis(36, 2);  // T ~ 2^72
+    BigUInt big = BigUInt(u64(1)) << 100;
+    auto residues = t_basis.decompose(big);
+    EXPECT_NE(t_basis.compose(residues), big);
+    EXPECT_EQ(t_basis.compose(residues), big.divMod(2).first.isZero()
+              ? big : t_basis.compose(residues));  // wraps mod T
+    EXPECT_LT(t_basis.compose(residues).compare(t_basis.product()), 0);
+}
+
+} // namespace
+} // namespace fast::math

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the lowering pass, the cycle simulator, the energy model,
+ * and the end-to-end FastSystem — including the paper's qualitative
+ * results as properties (speedups, utilization bands, ablations).
+ */
+#include <gtest/gtest.h>
+
+#include "sim/system.hpp"
+
+namespace fast::sim {
+namespace {
+
+core::AetherConfig
+allHybridConfig(const trace::OpStream &stream)
+{
+    core::Aether::Settings st;
+    st.allow_klss = false;
+    st.allow_hoisting = false;
+    return core::Aether(cost::KeySwitchCostModel(), st).run(stream);
+}
+
+TEST(Lowering, EveryKeySwitchGetsKernels)
+{
+    auto stream = trace::bootstrapTrace();
+    Lowering lowering(hw::FastConfig::fast(), cost::KeySwitchCostModel());
+    auto lowered = lowering.lower(stream, allHybridConfig(stream), true);
+    ASSERT_EQ(lowered.size(), stream.ops.size());
+    for (std::size_t i = 0; i < stream.ops.size(); ++i) {
+        const auto &op = stream.ops[i];
+        if (op.kind == trace::FheOpKind::bootstrap_begin ||
+            op.kind == trace::FheOpKind::bootstrap_end) {
+            EXPECT_TRUE(lowered[i].kernels.empty());
+            continue;
+        }
+        EXPECT_FALSE(lowered[i].kernels.empty()) << i;
+        if (op.needsKeySwitch()) {
+            bool has_keymult = false;
+            for (const auto &k : lowered[i].kernels)
+                has_keymult |= k.label.find("keymult") !=
+                               std::string::npos;
+            EXPECT_TRUE(has_keymult) << i;
+        }
+    }
+}
+
+TEST(Lowering, HoistedGroupsDecomposeOnce)
+{
+    auto stream = trace::bootstrapTrace();
+    core::Aether aether(cost::KeySwitchCostModel(),
+                        core::Aether::Settings{});
+    auto config = aether.run(stream);
+    Lowering lowering(hw::FastConfig::fast(), cost::KeySwitchCostModel());
+    auto lowered = lowering.lower(stream, config, true);
+
+    // Find a hoisted group in the decisions and count its decompose
+    // kernels: exactly one (at the head).
+    for (const auto &d : config.decisions) {
+        if (d.hoist <= 1)
+            continue;
+        std::size_t group = stream.ops[d.op_index].hoist_group;
+        std::size_t decomposes = 0;
+        for (std::size_t i = 0; i < stream.ops.size(); ++i) {
+            if (stream.ops[i].hoist_group != group)
+                continue;
+            for (const auto &k : lowered[i].kernels)
+                decomposes += k.label.find("modup") !=
+                                      std::string::npos ||
+                              k.label.find("decompose") !=
+                                      std::string::npos;
+        }
+        EXPECT_GE(decomposes, 1u);
+        EXPECT_LE(decomposes, 3u);  // intt + bconv + ntt of one head
+        return;
+    }
+    GTEST_SKIP() << "no hoisted group selected";
+}
+
+TEST(Lowering, EvkCacheSuppressesRepeatFetches)
+{
+    auto stream = trace::bootstrapTrace();
+    auto config = allHybridConfig(stream);
+    Lowering lowering(hw::FastConfig::fast(), cost::KeySwitchCostModel());
+    auto lowered = lowering.lower(stream, config, true);
+    // The relin key is reused across all EvalMod HMults: far fewer
+    // evk-fetch kernels than key switches.
+    std::size_t fetches = 0, switches = 0;
+    for (std::size_t i = 0; i < stream.ops.size(); ++i) {
+        switches += stream.ops[i].needsKeySwitch() ? 1 : 0;
+        for (const auto &k : lowered[i].kernels)
+            fetches += k.label == "evk-fetch" ? 1 : 0;
+    }
+    EXPECT_LT(fetches, switches / 2);
+}
+
+TEST(Simulator, EmptyAndTrivialTraces)
+{
+    Simulator simulator{hw::FastConfig::fast()};
+    EXPECT_DOUBLE_EQ(simulator.run({}).total_ns, 0);
+
+    LoweredOp op;
+    op.kernels.push_back({UnitKind::kmu, 100, 50, 0, false, "x"});
+    auto stats = simulator.run({op});
+    EXPECT_DOUBLE_EQ(stats.total_ns, 100);
+    EXPECT_DOUBLE_EQ(stats.busy_ns[size_t(UnitKind::kmu)], 100);
+    EXPECT_DOUBLE_EQ(stats.utilization(UnitKind::kmu), 1.0);
+    EXPECT_DOUBLE_EQ(stats.totalMults(), 50);
+}
+
+TEST(Simulator, IndependentCiphertextsOverlap)
+{
+    Simulator simulator{hw::FastConfig::fast()};
+    std::vector<LoweredOp> ops(2);
+    ops[0].ct_index = 0;
+    ops[0].kernels.push_back({UnitKind::nttu, 100, 0, 0, false, "a"});
+    ops[1].ct_index = 1;
+    ops[1].kernels.push_back({UnitKind::kmu, 100, 0, 0, false, "b"});
+    // Different units, different ciphertexts: full overlap.
+    EXPECT_DOUBLE_EQ(simulator.run(ops).total_ns, 100);
+    // Same unit: serialized.
+    ops[1].kernels[0].unit = UnitKind::nttu;
+    EXPECT_DOUBLE_EQ(simulator.run(ops).total_ns, 200);
+}
+
+TEST(Simulator, DependentOpsSerialize)
+{
+    Simulator simulator{hw::FastConfig::fast()};
+    std::vector<LoweredOp> ops(2);
+    for (auto &op : ops) {
+        op.ct_index = 7;
+        op.kernels.push_back({UnitKind::nttu, 100, 0, 0, false, "a"});
+    }
+    EXPECT_DOUBLE_EQ(simulator.run(ops).total_ns, 200);
+}
+
+TEST(Simulator, HbmGatesComputeAndRecordsStalls)
+{
+    Simulator simulator{hw::FastConfig::fast()};
+    LoweredOp op;
+    // 1 MB at 1 TB/s = 1000 ns, not prefetchable.
+    op.kernels.push_back({UnitKind::hbm, 0, 0, 1e6, false, "evk"});
+    op.kernels.push_back({UnitKind::kmu, 100, 0, 0, false, "km"});
+    auto stats = simulator.run({op});
+    EXPECT_NEAR(stats.total_ns, 1100, 1e-6);
+    EXPECT_NEAR(stats.hbm_stall_ns, 1000, 1e-6);
+}
+
+class SystemTest : public ::testing::Test
+{
+  protected:
+    static WorkloadResult
+    runOn(const hw::FastConfig &config, const trace::OpStream &stream)
+    {
+        return FastSystem(config).execute(stream);
+    }
+};
+
+TEST_F(SystemTest, FastBeatsSharpOnEveryBenchmark)
+{
+    FastSystem fast_sys{hw::FastConfig::fast()};
+    FastSystem sharp_sys{hw::FastConfig::sharp()};
+    for (const auto &bench : trace::allBenchmarks()) {
+        double f = fast_sys.execute(bench).stats.total_ns;
+        double s = sharp_sys.execute(bench).stats.total_ns;
+        EXPECT_GT(s / f, 1.3) << bench.name;  // paper: 1.85x average
+        EXPECT_LT(s / f, 3.5) << bench.name;
+    }
+}
+
+TEST_F(SystemTest, BootstrapLatencyInPaperBand)
+{
+    auto r = runOn(hw::FastConfig::fast(), trace::bootstrapTrace());
+    // Paper: 1.38 ms; we accept a generous band around it.
+    EXPECT_GT(r.stats.milliseconds(), 0.8);
+    EXPECT_LT(r.stats.milliseconds(), 2.2);
+}
+
+TEST_F(SystemTest, UtilizationMatchesFig11a)
+{
+    auto r = runOn(hw::FastConfig::fast(), trace::bootstrapTrace());
+    // Fig. 11a: NTTU ~66%, compute-bound accelerator with meaningful
+    // HBM share (~44%).
+    EXPECT_GT(r.stats.utilization(UnitKind::nttu), 0.45);
+    EXPECT_LT(r.stats.utilization(UnitKind::nttu), 0.95);
+    EXPECT_GT(r.stats.utilization(UnitKind::hbm), 0.2);
+    EXPECT_GT(r.stats.utilization(UnitKind::nttu),
+              r.stats.utilization(UnitKind::bconvu));
+}
+
+TEST_F(SystemTest, AetherBeatsSingleMethodExecution)
+{
+    // Fig. 10: Aether (hoisting + KLSS + Min-KS under Hemera) beats
+    // the hybrid-only OneKSW baseline with full-level keys.
+    auto stream = trace::bootstrapTrace();
+    auto with_aether =
+        FastSystem(hw::FastConfig::fast()).execute(stream);
+    auto one_ksw =
+        FastSystem(hw::FastConfig::oneKeySwitch()).execute(stream);
+    EXPECT_LT(with_aether.stats.total_ns,
+              one_ksw.stats.total_ns / 1.05);
+    EXPECT_GT(with_aether.aether.klssShare(), 0.1);
+}
+
+TEST_F(SystemTest, TbmAblationOrdering)
+{
+    // Fig. 12: FAST > FAST-without-TBM > 36-bit ALU accelerator.
+    auto stream = trace::bootstrapTrace();
+    double fast_t =
+        runOn(hw::FastConfig::fast(), stream).stats.total_ns;
+    double no_tbm =
+        runOn(hw::FastConfig::fastWithoutTbm(), stream).stats.total_ns;
+    double alu36 =
+        runOn(hw::FastConfig::alu36(), stream).stats.total_ns;
+    EXPECT_LT(fast_t, no_tbm);
+    EXPECT_LT(no_tbm, alu36);
+}
+
+TEST_F(SystemTest, ClusterScalingImprovesPerformance)
+{
+    // Fig. 13b: more clusters -> faster, with diminishing returns.
+    auto stream = trace::bootstrapTrace();
+    double c2 = runOn(hw::FastConfig::fast().withClusters(2), stream)
+                    .stats.total_ns;
+    double c4 = runOn(hw::FastConfig::fast(), stream).stats.total_ns;
+    double c8 = runOn(hw::FastConfig::fast().withClusters(8), stream)
+                    .stats.total_ns;
+    EXPECT_GT(c2, c4);
+    EXPECT_GT(c4, c8);
+    EXPECT_GT(c2 / c4, c4 / c8);  // diminishing returns
+}
+
+TEST_F(SystemTest, MemoryScalingSaturates)
+{
+    // Fig. 13a: shrinking on-chip memory forces a skinnier BSGS
+    // decomposition (more rotations) and smaller hoisting groups;
+    // growing memory beyond the working set yields little.
+    auto traceFor = [](double mb) {
+        return trace::bootstrapTrace(
+            trace::BootstrapShape::forMemoryMb(mb));
+    };
+    double small = runOn(hw::FastConfig::fast().withMemoryMb(96),
+                         traceFor(96)).stats.total_ns;
+    double base =
+        runOn(hw::FastConfig::fast(), traceFor(281)).stats.total_ns;
+    double large = runOn(hw::FastConfig::fast().withMemoryMb(512),
+                         traceFor(512)).stats.total_ns;
+    EXPECT_GT(small, base);
+    EXPECT_LT(std::abs(large - base) / base, 0.25);
+}
+
+TEST(Energy, ReportScalesWithActivity)
+{
+    EnergyModel model{hw::FastConfig::fast()};
+    SimStats idle;
+    idle.total_ns = 1e6;
+    auto idle_report = model.evaluate(idle);
+    SimStats busy = idle;
+    busy.busy_ns[size_t(UnitKind::nttu)] = 1e6;
+    busy.busy_ns[size_t(UnitKind::kmu)] = 5e5;
+    auto busy_report = model.evaluate(busy);
+    EXPECT_GT(busy_report.avg_power_w, idle_report.avg_power_w);
+    EXPECT_GT(idle_report.avg_power_w, 0);  // static floor
+    EXPECT_GT(busy_report.edp_js, 0);
+    EXPECT_DOUBLE_EQ(model.evaluate(SimStats{}).energy_j, 0);
+}
+
+TEST(Energy, WorkloadPowerInPaperBand)
+{
+    // Table 7: workload average power 118-160 W on FAST.
+    FastSystem sys{hw::FastConfig::fast()};
+    for (const auto &bench : trace::allBenchmarks()) {
+        auto r = sys.execute(bench);
+        EXPECT_GT(r.energy.avg_power_w, 80) << bench.name;
+        EXPECT_LT(r.energy.avg_power_w, 220) << bench.name;
+    }
+}
+
+} // namespace
+} // namespace fast::sim

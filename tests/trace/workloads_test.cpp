@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the trace IR and the benchmark workload generators.
+ */
+#include <gtest/gtest.h>
+
+#include "trace/workloads.hpp"
+
+namespace fast::trace {
+namespace {
+
+TEST(OpStream, CountsAndHistograms)
+{
+    OpStream s;
+    s.ops.push_back({FheOpKind::hmult, 0, 5, 0, 0, 1});
+    s.ops.push_back({FheOpKind::hrot, 0, 5, 1, 0, 1});
+    s.ops.push_back({FheOpKind::hadd, 0, 5, 0, 0, 1});
+    s.ops.push_back({FheOpKind::hrot, 0, 3, 2, 0, 1});
+    EXPECT_EQ(s.countKind(FheOpKind::hrot), 2u);
+    EXPECT_EQ(s.keySwitchCount(), 3u);
+    auto hist = s.keySwitchLevels();
+    EXPECT_EQ(hist[5], 2u);
+    EXPECT_EQ(hist[3], 1u);
+}
+
+TEST(OpStream, NeedsKeySwitchClassification)
+{
+    EXPECT_TRUE(FheOp{FheOpKind::hmult}.needsKeySwitch());
+    EXPECT_TRUE(FheOp{FheOpKind::hrot}.needsKeySwitch());
+    EXPECT_TRUE(FheOp{FheOpKind::conjugate}.needsKeySwitch());
+    EXPECT_FALSE(FheOp{FheOpKind::pmult}.needsKeySwitch());
+    EXPECT_FALSE(FheOp{FheOpKind::rescale}.needsKeySwitch());
+}
+
+TEST(OpStream, KindNames)
+{
+    EXPECT_STREQ(toString(FheOpKind::hmult), "HMult");
+    EXPECT_STREQ(toString(FheOpKind::modraise), "ModRaise");
+}
+
+TEST(Bootstrap, LevelAccountingMatchesPaper)
+{
+    // L = 35 down to L_eff = 8 (Sec. 6.2).
+    auto stream = bootstrapTrace();
+    EXPECT_EQ(stream.ops.front().kind, FheOpKind::bootstrap_begin);
+    EXPECT_EQ(stream.ops.back().kind, FheOpKind::bootstrap_end);
+    EXPECT_EQ(stream.ops.front().level, 35u);
+    EXPECT_EQ(stream.ops.back().level, 8u);
+    // Levels trend monotonically down; a double-rescaled HMult chain
+    // may bounce one level within a step, never more.
+    std::size_t prev = 35;
+    for (const auto &op : stream.ops) {
+        if (op.kind == FheOpKind::bootstrap_begin ||
+            op.kind == FheOpKind::modraise)
+            continue;
+        EXPECT_LE(op.level, prev + 1);
+        prev = std::min(prev, op.level);
+    }
+}
+
+TEST(Bootstrap, ContainsAllPipelineStages)
+{
+    auto stream = bootstrapTrace();
+    EXPECT_EQ(stream.countKind(FheOpKind::modraise), 1u);
+    EXPECT_EQ(stream.countKind(FheOpKind::conjugate), 1u);
+    EXPECT_GT(stream.countKind(FheOpKind::hrot), 30u);
+    EXPECT_GT(stream.countKind(FheOpKind::hmult), 20u);
+    EXPECT_GT(stream.countKind(FheOpKind::pmult), 100u);
+    EXPECT_EQ(stream.bootstrapOpCount(),
+              stream.ops.size() - 2);  // everything inside markers
+}
+
+TEST(Bootstrap, HoistingGroupsAreConsistent)
+{
+    auto stream = bootstrapTrace();
+    std::map<std::size_t, std::size_t> group_sizes;
+    for (const auto &op : stream.ops)
+        if (op.hoist_group != 0) {
+            EXPECT_EQ(op.kind, FheOpKind::hrot);
+            ++group_sizes[op.hoist_group];
+        }
+    // 3 CtS + 3 StC matrices, each with one hoisted baby group.
+    EXPECT_EQ(group_sizes.size(), 6u);
+    for (const auto &[group, size] : group_sizes) {
+        EXPECT_EQ(size, BootstrapShape{}.baby_rotations);
+        (void)group;
+    }
+}
+
+TEST(Bootstrap, ScaleShrinksTheTrace)
+{
+    BootstrapShape small;
+    small.scale = 0.5;
+    EXPECT_LT(bootstrapTrace(small).ops.size(),
+              bootstrapTrace().ops.size());
+}
+
+TEST(Helr, BatchScalesDataOps)
+{
+    auto h256 = helrTrace(256);
+    auto h1024 = helrTrace(1024);
+    EXPECT_EQ(h256.name, "HELR256");
+    EXPECT_EQ(h1024.name, "HELR1024");
+    EXPECT_GT(h1024.ops.size(), h256.ops.size());
+    EXPECT_GT(h1024.countKind(FheOpKind::pmult),
+              h256.countKind(FheOpKind::pmult));
+    // Both embed exactly one bootstrap per iteration.
+    EXPECT_EQ(h256.countKind(FheOpKind::bootstrap_begin), 1u);
+    EXPECT_EQ(h1024.countKind(FheOpKind::bootstrap_begin), 1u);
+}
+
+TEST(Helr, BootstrapDominates)
+{
+    // Paper: up to 94.5% of HELR256 execution is bootstrapping; at
+    // the op-count level the bootstrap region must dominate too.
+    auto stream = helrTrace(256);
+    EXPECT_GT(stream.bootstrapOpCount(), stream.ops.size() / 2);
+}
+
+TEST(Resnet, TwentyLayersWithTwoBootstrapsEach)
+{
+    auto stream = resnetTrace();
+    EXPECT_EQ(stream.name, "ResNet-20");
+    EXPECT_EQ(stream.countKind(FheOpKind::bootstrap_begin), 40u);
+    EXPECT_GT(stream.countKind(FheOpKind::hrot), 500u);
+}
+
+TEST(AllBenchmarks, FourWorkloads)
+{
+    auto benches = allBenchmarks();
+    ASSERT_EQ(benches.size(), 4u);
+    EXPECT_EQ(benches[0].name, "Bootstrap");
+    EXPECT_EQ(benches[3].name, "ResNet-20");
+    for (const auto &b : benches)
+        EXPECT_GT(b.keySwitchCount(), 10u);
+}
+
+TEST(TraceBuilder, HmultEmitsDoubleRescale)
+{
+    TraceBuilder builder("t");
+    auto ct = builder.newCiphertext();
+    builder.hmult(ct, 10);
+    auto stream = builder.take();
+    ASSERT_EQ(stream.ops.size(), 3u);
+    EXPECT_EQ(stream.ops[0].kind, FheOpKind::hmult);
+    EXPECT_EQ(stream.ops[1].kind, FheOpKind::rescale);
+    EXPECT_EQ(stream.ops[2].kind, FheOpKind::rescale);
+}
+
+} // namespace
+} // namespace fast::trace
