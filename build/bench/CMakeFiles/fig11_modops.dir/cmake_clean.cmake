@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_modops.dir/fig11_modops.cpp.o"
+  "CMakeFiles/fig11_modops.dir/fig11_modops.cpp.o.d"
+  "fig11_modops"
+  "fig11_modops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_modops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

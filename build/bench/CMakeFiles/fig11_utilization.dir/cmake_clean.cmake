@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_utilization.dir/fig11_utilization.cpp.o"
+  "CMakeFiles/fig11_utilization.dir/fig11_utilization.cpp.o.d"
+  "fig11_utilization"
+  "fig11_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_opcounts.dir/fig2_opcounts.cpp.o"
+  "CMakeFiles/fig2_opcounts.dir/fig2_opcounts.cpp.o.d"
+  "fig2_opcounts"
+  "fig2_opcounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_opcounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

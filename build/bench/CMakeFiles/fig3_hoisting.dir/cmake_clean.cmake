@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_hoisting.dir/fig3_hoisting.cpp.o"
+  "CMakeFiles/fig3_hoisting.dir/fig3_hoisting.cpp.o.d"
+  "fig3_hoisting"
+  "fig3_hoisting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_hoisting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_worksets.dir/fig3_worksets.cpp.o"
+  "CMakeFiles/fig3_worksets.dir/fig3_worksets.cpp.o.d"
+  "fig3_worksets"
+  "fig3_worksets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_worksets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

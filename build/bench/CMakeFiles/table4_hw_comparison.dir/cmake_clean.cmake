@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_hw_comparison.dir/table4_hw_comparison.cpp.o"
+  "CMakeFiles/table4_hw_comparison.dir/table4_hw_comparison.cpp.o.d"
+  "table4_hw_comparison"
+  "table4_hw_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_hw_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_exec_time.dir/table5_exec_time.cpp.o"
+  "CMakeFiles/table5_exec_time.dir/table5_exec_time.cpp.o.d"
+  "table5_exec_time"
+  "table5_exec_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_exec_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

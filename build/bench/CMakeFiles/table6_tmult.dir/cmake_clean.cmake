@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_tmult.dir/table6_tmult.cpp.o"
+  "CMakeFiles/table6_tmult.dir/table6_tmult.cpp.o.d"
+  "table6_tmult"
+  "table6_tmult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_tmult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_energy.dir/table7_energy.cpp.o"
+  "CMakeFiles/table7_energy.dir/table7_energy.cpp.o.d"
+  "table7_energy"
+  "table7_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

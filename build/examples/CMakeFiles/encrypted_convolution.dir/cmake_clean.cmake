@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_convolution.dir/encrypted_convolution.cpp.o"
+  "CMakeFiles/encrypted_convolution.dir/encrypted_convolution.cpp.o.d"
+  "encrypted_convolution"
+  "encrypted_convolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_convolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_baseline.dir/published.cpp.o"
+  "CMakeFiles/fast_baseline.dir/published.cpp.o.d"
+  "libfast_baseline.a"
+  "libfast_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckks/bootstrap.cpp" "src/ckks/CMakeFiles/fast_ckks.dir/bootstrap.cpp.o" "gcc" "src/ckks/CMakeFiles/fast_ckks.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/ckks/context.cpp" "src/ckks/CMakeFiles/fast_ckks.dir/context.cpp.o" "gcc" "src/ckks/CMakeFiles/fast_ckks.dir/context.cpp.o.d"
+  "/root/repo/src/ckks/encoder.cpp" "src/ckks/CMakeFiles/fast_ckks.dir/encoder.cpp.o" "gcc" "src/ckks/CMakeFiles/fast_ckks.dir/encoder.cpp.o.d"
+  "/root/repo/src/ckks/evaluator.cpp" "src/ckks/CMakeFiles/fast_ckks.dir/evaluator.cpp.o" "gcc" "src/ckks/CMakeFiles/fast_ckks.dir/evaluator.cpp.o.d"
+  "/root/repo/src/ckks/keys.cpp" "src/ckks/CMakeFiles/fast_ckks.dir/keys.cpp.o" "gcc" "src/ckks/CMakeFiles/fast_ckks.dir/keys.cpp.o.d"
+  "/root/repo/src/ckks/keyswitch.cpp" "src/ckks/CMakeFiles/fast_ckks.dir/keyswitch.cpp.o" "gcc" "src/ckks/CMakeFiles/fast_ckks.dir/keyswitch.cpp.o.d"
+  "/root/repo/src/ckks/linear_transform.cpp" "src/ckks/CMakeFiles/fast_ckks.dir/linear_transform.cpp.o" "gcc" "src/ckks/CMakeFiles/fast_ckks.dir/linear_transform.cpp.o.d"
+  "/root/repo/src/ckks/noise.cpp" "src/ckks/CMakeFiles/fast_ckks.dir/noise.cpp.o" "gcc" "src/ckks/CMakeFiles/fast_ckks.dir/noise.cpp.o.d"
+  "/root/repo/src/ckks/params.cpp" "src/ckks/CMakeFiles/fast_ckks.dir/params.cpp.o" "gcc" "src/ckks/CMakeFiles/fast_ckks.dir/params.cpp.o.d"
+  "/root/repo/src/ckks/polyeval.cpp" "src/ckks/CMakeFiles/fast_ckks.dir/polyeval.cpp.o" "gcc" "src/ckks/CMakeFiles/fast_ckks.dir/polyeval.cpp.o.d"
+  "/root/repo/src/ckks/rotation_keys.cpp" "src/ckks/CMakeFiles/fast_ckks.dir/rotation_keys.cpp.o" "gcc" "src/ckks/CMakeFiles/fast_ckks.dir/rotation_keys.cpp.o.d"
+  "/root/repo/src/ckks/serialize.cpp" "src/ckks/CMakeFiles/fast_ckks.dir/serialize.cpp.o" "gcc" "src/ckks/CMakeFiles/fast_ckks.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/fast_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_ckks.dir/bootstrap.cpp.o"
+  "CMakeFiles/fast_ckks.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/fast_ckks.dir/context.cpp.o"
+  "CMakeFiles/fast_ckks.dir/context.cpp.o.d"
+  "CMakeFiles/fast_ckks.dir/encoder.cpp.o"
+  "CMakeFiles/fast_ckks.dir/encoder.cpp.o.d"
+  "CMakeFiles/fast_ckks.dir/evaluator.cpp.o"
+  "CMakeFiles/fast_ckks.dir/evaluator.cpp.o.d"
+  "CMakeFiles/fast_ckks.dir/keys.cpp.o"
+  "CMakeFiles/fast_ckks.dir/keys.cpp.o.d"
+  "CMakeFiles/fast_ckks.dir/keyswitch.cpp.o"
+  "CMakeFiles/fast_ckks.dir/keyswitch.cpp.o.d"
+  "CMakeFiles/fast_ckks.dir/linear_transform.cpp.o"
+  "CMakeFiles/fast_ckks.dir/linear_transform.cpp.o.d"
+  "CMakeFiles/fast_ckks.dir/noise.cpp.o"
+  "CMakeFiles/fast_ckks.dir/noise.cpp.o.d"
+  "CMakeFiles/fast_ckks.dir/params.cpp.o"
+  "CMakeFiles/fast_ckks.dir/params.cpp.o.d"
+  "CMakeFiles/fast_ckks.dir/polyeval.cpp.o"
+  "CMakeFiles/fast_ckks.dir/polyeval.cpp.o.d"
+  "CMakeFiles/fast_ckks.dir/rotation_keys.cpp.o"
+  "CMakeFiles/fast_ckks.dir/rotation_keys.cpp.o.d"
+  "CMakeFiles/fast_ckks.dir/serialize.cpp.o"
+  "CMakeFiles/fast_ckks.dir/serialize.cpp.o.d"
+  "libfast_ckks.a"
+  "libfast_ckks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_ckks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aether.cpp" "src/core/CMakeFiles/fast_core.dir/aether.cpp.o" "gcc" "src/core/CMakeFiles/fast_core.dir/aether.cpp.o.d"
+  "/root/repo/src/core/hemera.cpp" "src/core/CMakeFiles/fast_core.dir/hemera.cpp.o" "gcc" "src/core/CMakeFiles/fast_core.dir/hemera.cpp.o.d"
+  "/root/repo/src/core/tbm.cpp" "src/core/CMakeFiles/fast_core.dir/tbm.cpp.o" "gcc" "src/core/CMakeFiles/fast_core.dir/tbm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/fast_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fast_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckks/CMakeFiles/fast_ckks.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/fast_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

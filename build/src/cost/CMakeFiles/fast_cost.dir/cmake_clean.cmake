@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_cost.dir/alu_model.cpp.o"
+  "CMakeFiles/fast_cost.dir/alu_model.cpp.o.d"
+  "CMakeFiles/fast_cost.dir/opcount.cpp.o"
+  "CMakeFiles/fast_cost.dir/opcount.cpp.o.d"
+  "libfast_cost.a"
+  "libfast_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/area.cpp" "src/hw/CMakeFiles/fast_hw.dir/area.cpp.o" "gcc" "src/hw/CMakeFiles/fast_hw.dir/area.cpp.o.d"
+  "/root/repo/src/hw/benes.cpp" "src/hw/CMakeFiles/fast_hw.dir/benes.cpp.o" "gcc" "src/hw/CMakeFiles/fast_hw.dir/benes.cpp.o.d"
+  "/root/repo/src/hw/config.cpp" "src/hw/CMakeFiles/fast_hw.dir/config.cpp.o" "gcc" "src/hw/CMakeFiles/fast_hw.dir/config.cpp.o.d"
+  "/root/repo/src/hw/montgomery.cpp" "src/hw/CMakeFiles/fast_hw.dir/montgomery.cpp.o" "gcc" "src/hw/CMakeFiles/fast_hw.dir/montgomery.cpp.o.d"
+  "/root/repo/src/hw/nttu.cpp" "src/hw/CMakeFiles/fast_hw.dir/nttu.cpp.o" "gcc" "src/hw/CMakeFiles/fast_hw.dir/nttu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/fast_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/fast_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fast_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckks/CMakeFiles/fast_ckks.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

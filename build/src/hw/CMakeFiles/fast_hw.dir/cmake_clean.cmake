@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_hw.dir/area.cpp.o"
+  "CMakeFiles/fast_hw.dir/area.cpp.o.d"
+  "CMakeFiles/fast_hw.dir/benes.cpp.o"
+  "CMakeFiles/fast_hw.dir/benes.cpp.o.d"
+  "CMakeFiles/fast_hw.dir/config.cpp.o"
+  "CMakeFiles/fast_hw.dir/config.cpp.o.d"
+  "CMakeFiles/fast_hw.dir/montgomery.cpp.o"
+  "CMakeFiles/fast_hw.dir/montgomery.cpp.o.d"
+  "CMakeFiles/fast_hw.dir/nttu.cpp.o"
+  "CMakeFiles/fast_hw.dir/nttu.cpp.o.d"
+  "libfast_hw.a"
+  "libfast_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

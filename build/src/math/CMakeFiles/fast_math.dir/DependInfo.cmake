@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/bignum.cpp" "src/math/CMakeFiles/fast_math.dir/bignum.cpp.o" "gcc" "src/math/CMakeFiles/fast_math.dir/bignum.cpp.o.d"
+  "/root/repo/src/math/modarith.cpp" "src/math/CMakeFiles/fast_math.dir/modarith.cpp.o" "gcc" "src/math/CMakeFiles/fast_math.dir/modarith.cpp.o.d"
+  "/root/repo/src/math/ntt.cpp" "src/math/CMakeFiles/fast_math.dir/ntt.cpp.o" "gcc" "src/math/CMakeFiles/fast_math.dir/ntt.cpp.o.d"
+  "/root/repo/src/math/poly.cpp" "src/math/CMakeFiles/fast_math.dir/poly.cpp.o" "gcc" "src/math/CMakeFiles/fast_math.dir/poly.cpp.o.d"
+  "/root/repo/src/math/primes.cpp" "src/math/CMakeFiles/fast_math.dir/primes.cpp.o" "gcc" "src/math/CMakeFiles/fast_math.dir/primes.cpp.o.d"
+  "/root/repo/src/math/random.cpp" "src/math/CMakeFiles/fast_math.dir/random.cpp.o" "gcc" "src/math/CMakeFiles/fast_math.dir/random.cpp.o.d"
+  "/root/repo/src/math/rns.cpp" "src/math/CMakeFiles/fast_math.dir/rns.cpp.o" "gcc" "src/math/CMakeFiles/fast_math.dir/rns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

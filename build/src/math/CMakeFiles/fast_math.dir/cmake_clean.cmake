@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_math.dir/bignum.cpp.o"
+  "CMakeFiles/fast_math.dir/bignum.cpp.o.d"
+  "CMakeFiles/fast_math.dir/modarith.cpp.o"
+  "CMakeFiles/fast_math.dir/modarith.cpp.o.d"
+  "CMakeFiles/fast_math.dir/ntt.cpp.o"
+  "CMakeFiles/fast_math.dir/ntt.cpp.o.d"
+  "CMakeFiles/fast_math.dir/poly.cpp.o"
+  "CMakeFiles/fast_math.dir/poly.cpp.o.d"
+  "CMakeFiles/fast_math.dir/primes.cpp.o"
+  "CMakeFiles/fast_math.dir/primes.cpp.o.d"
+  "CMakeFiles/fast_math.dir/random.cpp.o"
+  "CMakeFiles/fast_math.dir/random.cpp.o.d"
+  "CMakeFiles/fast_math.dir/rns.cpp.o"
+  "CMakeFiles/fast_math.dir/rns.cpp.o.d"
+  "libfast_math.a"
+  "libfast_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

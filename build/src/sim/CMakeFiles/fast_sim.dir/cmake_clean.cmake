@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_sim.dir/energy.cpp.o"
+  "CMakeFiles/fast_sim.dir/energy.cpp.o.d"
+  "CMakeFiles/fast_sim.dir/lowering.cpp.o"
+  "CMakeFiles/fast_sim.dir/lowering.cpp.o.d"
+  "CMakeFiles/fast_sim.dir/report.cpp.o"
+  "CMakeFiles/fast_sim.dir/report.cpp.o.d"
+  "CMakeFiles/fast_sim.dir/simulator.cpp.o"
+  "CMakeFiles/fast_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/fast_sim.dir/system.cpp.o"
+  "CMakeFiles/fast_sim.dir/system.cpp.o.d"
+  "libfast_sim.a"
+  "libfast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

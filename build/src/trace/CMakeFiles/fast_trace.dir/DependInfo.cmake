@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/op.cpp" "src/trace/CMakeFiles/fast_trace.dir/op.cpp.o" "gcc" "src/trace/CMakeFiles/fast_trace.dir/op.cpp.o.d"
+  "/root/repo/src/trace/workloads.cpp" "src/trace/CMakeFiles/fast_trace.dir/workloads.cpp.o" "gcc" "src/trace/CMakeFiles/fast_trace.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ckks/CMakeFiles/fast_ckks.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/fast_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

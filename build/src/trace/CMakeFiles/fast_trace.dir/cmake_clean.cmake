@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_trace.dir/op.cpp.o"
+  "CMakeFiles/fast_trace.dir/op.cpp.o.d"
+  "CMakeFiles/fast_trace.dir/workloads.cpp.o"
+  "CMakeFiles/fast_trace.dir/workloads.cpp.o.d"
+  "libfast_trace.a"
+  "libfast_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

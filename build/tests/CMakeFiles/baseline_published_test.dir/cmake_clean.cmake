@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_published_test.dir/baseline/published_test.cpp.o"
+  "CMakeFiles/baseline_published_test.dir/baseline/published_test.cpp.o.d"
+  "baseline_published_test"
+  "baseline_published_test.pdb"
+  "baseline_published_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_published_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

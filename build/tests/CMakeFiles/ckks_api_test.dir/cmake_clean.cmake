@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckks_api_test.dir/ckks/linear_noise_serialize_test.cpp.o"
+  "CMakeFiles/ckks_api_test.dir/ckks/linear_noise_serialize_test.cpp.o.d"
+  "ckks_api_test"
+  "ckks_api_test.pdb"
+  "ckks_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckks_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckks_bootstrap_test.dir/ckks/bootstrap_test.cpp.o"
+  "CMakeFiles/ckks_bootstrap_test.dir/ckks/bootstrap_test.cpp.o.d"
+  "ckks_bootstrap_test"
+  "ckks_bootstrap_test.pdb"
+  "ckks_bootstrap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckks_bootstrap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckks_encoder_test.dir/ckks/encoder_test.cpp.o"
+  "CMakeFiles/ckks_encoder_test.dir/ckks/encoder_test.cpp.o.d"
+  "ckks_encoder_test"
+  "ckks_encoder_test.pdb"
+  "ckks_encoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckks_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckks_extensions_test.dir/ckks/extensions_test.cpp.o"
+  "CMakeFiles/ckks_extensions_test.dir/ckks/extensions_test.cpp.o.d"
+  "ckks_extensions_test"
+  "ckks_extensions_test.pdb"
+  "ckks_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckks_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckks_keyswitch_test.dir/ckks/keyswitch_test.cpp.o"
+  "CMakeFiles/ckks_keyswitch_test.dir/ckks/keyswitch_test.cpp.o.d"
+  "ckks_keyswitch_test"
+  "ckks_keyswitch_test.pdb"
+  "ckks_keyswitch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckks_keyswitch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckks_polyeval_test.dir/ckks/polyeval_test.cpp.o"
+  "CMakeFiles/ckks_polyeval_test.dir/ckks/polyeval_test.cpp.o.d"
+  "ckks_polyeval_test"
+  "ckks_polyeval_test.pdb"
+  "ckks_polyeval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckks_polyeval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckks_properties_test.dir/ckks/properties_test.cpp.o"
+  "CMakeFiles/ckks_properties_test.dir/ckks/properties_test.cpp.o.d"
+  "ckks_properties_test"
+  "ckks_properties_test.pdb"
+  "ckks_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckks_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckks_scheme_test.dir/ckks/scheme_test.cpp.o"
+  "CMakeFiles/ckks_scheme_test.dir/ckks/scheme_test.cpp.o.d"
+  "ckks_scheme_test"
+  "ckks_scheme_test.pdb"
+  "ckks_scheme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckks_scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_aether_test.dir/core/aether_test.cpp.o"
+  "CMakeFiles/core_aether_test.dir/core/aether_test.cpp.o.d"
+  "core_aether_test"
+  "core_aether_test.pdb"
+  "core_aether_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_aether_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

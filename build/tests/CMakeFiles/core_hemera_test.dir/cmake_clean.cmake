@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hemera_test.dir/core/hemera_test.cpp.o"
+  "CMakeFiles/core_hemera_test.dir/core/hemera_test.cpp.o.d"
+  "core_hemera_test"
+  "core_hemera_test.pdb"
+  "core_hemera_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hemera_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

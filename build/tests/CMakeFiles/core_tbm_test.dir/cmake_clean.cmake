@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tbm_test.dir/core/tbm_test.cpp.o"
+  "CMakeFiles/core_tbm_test.dir/core/tbm_test.cpp.o.d"
+  "core_tbm_test"
+  "core_tbm_test.pdb"
+  "core_tbm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tbm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_alu_model_test.dir/cost/alu_model_test.cpp.o"
+  "CMakeFiles/cost_alu_model_test.dir/cost/alu_model_test.cpp.o.d"
+  "cost_alu_model_test"
+  "cost_alu_model_test.pdb"
+  "cost_alu_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_alu_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

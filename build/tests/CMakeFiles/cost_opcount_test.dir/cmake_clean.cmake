@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_opcount_test.dir/cost/opcount_test.cpp.o"
+  "CMakeFiles/cost_opcount_test.dir/cost/opcount_test.cpp.o.d"
+  "cost_opcount_test"
+  "cost_opcount_test.pdb"
+  "cost_opcount_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_opcount_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_benes_test.dir/hw/benes_test.cpp.o"
+  "CMakeFiles/hw_benes_test.dir/hw/benes_test.cpp.o.d"
+  "hw_benes_test"
+  "hw_benes_test.pdb"
+  "hw_benes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_benes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

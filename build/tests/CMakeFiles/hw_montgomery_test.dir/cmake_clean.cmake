@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_montgomery_test.dir/hw/montgomery_test.cpp.o"
+  "CMakeFiles/hw_montgomery_test.dir/hw/montgomery_test.cpp.o.d"
+  "hw_montgomery_test"
+  "hw_montgomery_test.pdb"
+  "hw_montgomery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_montgomery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_units_test.dir/hw/units_test.cpp.o"
+  "CMakeFiles/hw_units_test.dir/hw/units_test.cpp.o.d"
+  "hw_units_test"
+  "hw_units_test.pdb"
+  "hw_units_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

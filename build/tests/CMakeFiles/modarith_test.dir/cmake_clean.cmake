@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modarith_test.dir/math/modarith_test.cpp.o"
+  "CMakeFiles/modarith_test.dir/math/modarith_test.cpp.o.d"
+  "modarith_test"
+  "modarith_test.pdb"
+  "modarith_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modarith_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rns_test.dir/math/rns_test.cpp.o"
+  "CMakeFiles/rns_test.dir/math/rns_test.cpp.o.d"
+  "rns_test"
+  "rns_test.pdb"
+  "rns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

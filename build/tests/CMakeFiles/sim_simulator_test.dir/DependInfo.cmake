@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/sim_simulator_test.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/sim_simulator_test.dir/sim/simulator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/fast_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/fast_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fast_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/fast_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckks/CMakeFiles/fast_ckks.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/fast_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/modarith_test[1]_include.cmake")
+include("/root/repo/build/tests/bignum_test[1]_include.cmake")
+include("/root/repo/build/tests/primes_test[1]_include.cmake")
+include("/root/repo/build/tests/ntt_test[1]_include.cmake")
+include("/root/repo/build/tests/rns_test[1]_include.cmake")
+include("/root/repo/build/tests/poly_test[1]_include.cmake")
+include("/root/repo/build/tests/random_test[1]_include.cmake")
+include("/root/repo/build/tests/ckks_encoder_test[1]_include.cmake")
+include("/root/repo/build/tests/ckks_scheme_test[1]_include.cmake")
+include("/root/repo/build/tests/ckks_bootstrap_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_opcount_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_alu_model_test[1]_include.cmake")
+include("/root/repo/build/tests/core_tbm_test[1]_include.cmake")
+include("/root/repo/build/tests/core_aether_test[1]_include.cmake")
+include("/root/repo/build/tests/core_hemera_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_benes_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_units_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_published_test[1]_include.cmake")
+include("/root/repo/build/tests/ckks_polyeval_test[1]_include.cmake")
+include("/root/repo/build/tests/ckks_api_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_montgomery_test[1]_include.cmake")
+include("/root/repo/build/tests/ckks_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/ckks_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/ckks_keyswitch_test[1]_include.cmake")
