@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Serving-runtime throughput benchmark.
+ *
+ * Replays one fixed open-loop arrival trace — a mixed tenant
+ * population of fully-packed Bootstrap, HELR-256, and ResNet-20
+ * requests — against pools of 1, 2, and 4 FAST devices, and emits
+ * `BENCH_serve.json` with aggregate and per-tenant serving metrics
+ * for each pool size. All latencies are simulated nanoseconds, the
+ * arrival trace is seeded, and the JSON writer uses fixed formats, so
+ * two runs of this binary produce byte-identical output.
+ */
+#include "bench/common.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "serve/arrivals.hpp"
+#include "serve/report.hpp"
+#include "serve/scheduler.hpp"
+#include "trace/workloads.hpp"
+
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+constexpr std::size_t kRequests = 60;
+constexpr double kMeanInterarrivalNs = 2.0e6;  // 2 ms open loop
+
+std::vector<fast::serve::ArrivalSpec>
+mixedTenantLoad()
+{
+    using fast::serve::ArrivalSpec;
+    using fast::serve::Priority;
+    std::vector<ArrivalSpec> mix;
+    // Bootstrap refreshes are latency-critical control traffic; the
+    // training/inference tenants supply the bulk of the volume.
+    mix.push_back({"tenant-boot", Priority::high,
+                   fast::trace::bootstrapTrace(), 1.0});
+    mix.push_back({"tenant-helr", Priority::normal,
+                   fast::trace::helrTrace(256), 2.0});
+    mix.push_back({"tenant-resnet", Priority::normal,
+                   fast::trace::resnetTrace(), 2.0});
+    return mix;
+}
+
+void
+report()
+{
+    using namespace fast;
+    bench::header("Serving runtime: open-loop mixed load, 1/2/4 FAST "
+                  "devices (BENCH_serve.json)");
+    bench::note("mix: Bootstrap (high prio) : HELR-256 : ResNet-20 "
+                "at 1:2:2, Poisson arrivals, mean gap 2 ms");
+
+    auto arrivals = serve::openLoopArrivals(
+        mixedTenantLoad(), kRequests, kMeanInterarrivalNs, kSeed);
+
+    std::string json = "{\n  \"benchmark\": \"serve_throughput\",\n";
+    json += "  \"seed\": " + std::to_string(kSeed) +
+            ", \"requests\": " + std::to_string(kRequests) + ",\n";
+    json += "  \"mean_interarrival_ns\": 2000000.0,\n";
+    json += "  \"runs\": [\n";
+
+    double base_rps = 0;
+    const std::size_t pool_sizes[] = {1, 2, 4};
+    for (std::size_t i = 0; i < 3; ++i) {
+        std::size_t n = pool_sizes[i];
+        auto pool = serve::DevicePool::homogeneous(
+            hw::FastConfig::fast(), n);
+        serve::SchedulerOptions options;
+        options.policy = serve::QueuePolicy::priority;
+        options.max_queue_depth = 256;
+        options.max_batch = 4;
+        serve::Scheduler scheduler(pool, options);
+        auto stats = scheduler.run(arrivals);
+
+        if (n == 1)
+            base_rps = stats.throughput_rps;
+        bench::row("throughput x" + std::to_string(n) + " dev",
+                   0.0, stats.throughput_rps, "req/s");
+        bench::note("  scaling vs 1 device: x" +
+                    std::to_string(base_rps == 0
+                                       ? 0.0
+                                       : stats.throughput_rps /
+                                             base_rps));
+        std::printf("%s", serve::describeServeStats(stats).c_str());
+
+        json += "    {\"devices\": " + std::to_string(n) +
+                ", \"stats\":\n";
+        json += serve::serveStatsJson(stats, "    ");
+        json += i + 1 < 3 ? "},\n" : "}\n";
+    }
+    json += "  ]\n}\n";
+
+    std::FILE *f = std::fopen("BENCH_serve.json", "w");
+    if (f) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        bench::note("wrote BENCH_serve.json");
+    } else {
+        bench::note("could not write BENCH_serve.json");
+    }
+}
+
+/** Micro-benchmark: full scheduling pass over the mixed trace. */
+void
+BM_ServeMixed(benchmark::State &state)
+{
+    using namespace fast;
+    auto arrivals = serve::openLoopArrivals(
+        mixedTenantLoad(), kRequests, kMeanInterarrivalNs, kSeed);
+    auto pool = serve::DevicePool::homogeneous(
+        hw::FastConfig::fast(),
+        static_cast<std::size_t>(state.range(0)));
+    serve::Scheduler scheduler(pool);
+    for (auto _ : state) {
+        auto stats = scheduler.run(arrivals);
+        benchmark::DoNotOptimize(stats.makespan_ns);
+    }
+}
+BENCHMARK(BM_ServeMixed)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+FAST_BENCH_MAIN(report)

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Implementation of the open-loop arrival generator.
+ */
+#include "serve/arrivals.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/random.hpp"
+
+namespace fast::serve {
+
+std::vector<Request>
+openLoopArrivals(const std::vector<ArrivalSpec> &mix, std::size_t count,
+                 double mean_interarrival_ns, std::uint64_t seed)
+{
+    if (mix.empty())
+        throw std::invalid_argument("openLoopArrivals: empty mix");
+    double total_weight = 0;
+    for (const auto &spec : mix)
+        total_weight += spec.weight;
+    if (total_weight <= 0)
+        throw std::invalid_argument(
+            "openLoopArrivals: non-positive mix weight");
+
+    math::Prng prng(seed);
+    std::vector<Request> out;
+    out.reserve(count);
+    double clock_ns = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        // Inverse-transform exponential gap; 1-u keeps log() finite.
+        double u = prng.uniformReal();
+        clock_ns += -mean_interarrival_ns * std::log(1.0 - u);
+
+        // Weighted mix component pick.
+        double pick = prng.uniformReal() * total_weight;
+        std::size_t chosen = mix.size() - 1;
+        for (std::size_t m = 0; m < mix.size(); ++m) {
+            if (pick < mix[m].weight) {
+                chosen = m;
+                break;
+            }
+            pick -= mix[m].weight;
+        }
+
+        Request request;
+        request.id = i;
+        request.tenant = mix[chosen].tenant;
+        request.priority = mix[chosen].priority;
+        request.submit_ns = clock_ns;
+        request.stream = mix[chosen].stream;
+        out.push_back(std::move(request));
+    }
+    return out;
+}
+
+} // namespace fast::serve

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Open-loop arrival-trace generation for serving experiments.
+ *
+ * An open-loop trace fixes the arrival process up front (requests
+ * arrive whether or not the system keeps up), which is what exposes
+ * queueing behavior and admission control under overload. Arrivals
+ * are Poisson — exponential interarrival gaps — drawn from the repo's
+ * own xoshiro PRNG with explicit inverse-transform sampling, so the
+ * trace for a given seed is identical on every platform and every
+ * standard library.
+ */
+#ifndef FAST_SERVE_ARRIVALS_HPP
+#define FAST_SERVE_ARRIVALS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace fast::serve {
+
+/** One component of a workload mix. */
+struct ArrivalSpec {
+    std::string tenant;
+    Priority priority = Priority::normal;
+    trace::OpStream stream;
+    double weight = 1.0;  ///< relative share of the mix
+};
+
+/**
+ * Generate @p count requests over the @p mix with exponential
+ * interarrival gaps of mean @p mean_interarrival_ns. Request ids are
+ * assigned 0..count-1 in arrival order. Deterministic in @p seed.
+ */
+std::vector<Request> openLoopArrivals(const std::vector<ArrivalSpec> &mix,
+                                      std::size_t count,
+                                      double mean_interarrival_ns,
+                                      std::uint64_t seed);
+
+} // namespace fast::serve
+
+#endif // FAST_SERVE_ARRIVALS_HPP

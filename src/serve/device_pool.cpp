@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Implementation of the device pool.
+ */
+#include "serve/device_pool.hpp"
+
+#include <stdexcept>
+
+namespace fast::serve {
+
+DevicePool::DevicePool(const std::vector<hw::FastConfig> &configs)
+{
+    if (configs.empty())
+        throw std::invalid_argument("DevicePool needs >= 1 device");
+    devices_.reserve(configs.size());
+    for (const auto &config : configs)
+        devices_.emplace_back(config);
+}
+
+DevicePool
+DevicePool::homogeneous(const hw::FastConfig &config, std::size_t n)
+{
+    return DevicePool(std::vector<hw::FastConfig>(n, config));
+}
+
+} // namespace fast::serve

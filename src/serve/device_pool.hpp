@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Device pool: N independent simulated FAST accelerators behind one
+ * handle. Devices may be heterogeneous (per-device `hw::FastConfig`),
+ * which is how a deployment mixes, say, large-memory boards for
+ * bootstrap-heavy tenants with small boards for inference traffic.
+ */
+#ifndef FAST_SERVE_DEVICE_POOL_HPP
+#define FAST_SERVE_DEVICE_POOL_HPP
+
+#include <vector>
+
+#include "sim/system.hpp"
+
+namespace fast::serve {
+
+/** Owns the `sim::FastSystem` instances the scheduler dispatches to. */
+class DevicePool
+{
+  public:
+    explicit DevicePool(const std::vector<hw::FastConfig> &configs);
+
+    /** N identical devices — the common scaling configuration. */
+    static DevicePool homogeneous(const hw::FastConfig &config,
+                                  std::size_t n);
+
+    std::size_t size() const { return devices_.size(); }
+    const sim::FastSystem &device(std::size_t i) const
+    {
+        return devices_[i];
+    }
+    const hw::FastConfig &config(std::size_t i) const
+    {
+        return devices_[i].config();
+    }
+
+  private:
+    std::vector<sim::FastSystem> devices_;
+};
+
+} // namespace fast::serve
+
+#endif // FAST_SERVE_DEVICE_POOL_HPP

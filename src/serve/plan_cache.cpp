@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Implementation of the Aether/Hemera plan cache.
+ */
+#include "serve/plan_cache.hpp"
+
+#include <cstdio>
+
+namespace fast::serve {
+
+std::string
+PlanCache::key(const hw::FastConfig &config,
+               const trace::OpStream &stream)
+{
+    // The config name alone is not an identity (sensitivity sweeps
+    // reuse it), so fold in the fields that change planning outcomes.
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "%s|c%zu|l%zu|%.3fGHz|%.0fMB|%.0fMB|%d%d%d%d|%s",
+                  config.name.c_str(), config.clusters, config.lanes,
+                  config.freq_ghz, config.onchip_mb,
+                  config.evk_reserve_mb, config.use_aether ? 1 : 0,
+                  config.use_hoisting ? 1 : 0, config.use_klss ? 1 : 0,
+                  config.has_tbm ? 1 : 0, stream.name.c_str());
+    return buf;
+}
+
+PlanCache::Entry
+PlanCache::fetch(const sim::FastSystem &system,
+                 const trace::OpStream &stream)
+{
+    auto k = key(system.config(), stream);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(k);
+        if (it != entries_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+    // Plan outside the lock: concurrent fetchers of distinct keys must
+    // not serialize on one device's multi-millisecond analysis.
+    auto planned = std::make_shared<const sim::WorkloadResult>(
+        system.execute(stream));
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = entries_.emplace(k, std::move(planned));
+    if (inserted)
+        ++misses_;
+    else
+        ++hits_;  // lost a race; the first plan wins
+    return it->second;
+}
+
+std::size_t
+PlanCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::size_t
+PlanCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+double
+PlanCache::hitRate() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+}
+
+} // namespace fast::serve

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Keyed cache of Aether/Hemera planning results.
+ *
+ * Aether's analysis is the expensive, offline part of the FAST
+ * software stack (Sec. 4.1.1) and its output depends only on the
+ * workload trace and the device configuration — so a serving runtime
+ * should compute it once per (device config, workload) pair and reuse
+ * it for every later batch of the same shape. The cache stores the
+ * full `sim::WorkloadResult` (Aether decisions, Hemera transfer plan
+ * statistics, cycle-level stats, energy), which is exactly what the
+ * scheduler needs to advance its simulated clock and what the device
+ * workers need to aggregate utilization.
+ */
+#ifndef FAST_SERVE_PLAN_CACHE_HPP
+#define FAST_SERVE_PLAN_CACHE_HPP
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "sim/system.hpp"
+
+namespace fast::serve {
+
+/**
+ * Thread-safe, lazily-filled cache. `fetch` counts a hit when the
+ * (config, workload) key is already planned and a miss (plus one full
+ * `FastSystem::execute`) when it is not.
+ */
+class PlanCache
+{
+  public:
+    /** Plan for one key; immutable once cached. */
+    using Entry = std::shared_ptr<const sim::WorkloadResult>;
+
+    Entry fetch(const sim::FastSystem &system,
+                const trace::OpStream &stream);
+
+    std::size_t hits() const;
+    std::size_t misses() const;
+    double hitRate() const;
+
+    /** Cache key: device identity x workload identity. */
+    static std::string key(const hw::FastConfig &config,
+                           const trace::OpStream &stream);
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+};
+
+} // namespace fast::serve
+
+#endif // FAST_SERVE_PLAN_CACHE_HPP

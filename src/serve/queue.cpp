@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Implementation of the bounded admission queue.
+ */
+#include "serve/queue.hpp"
+
+#include <algorithm>
+
+namespace fast::serve {
+
+const char *
+toString(Priority priority)
+{
+    switch (priority) {
+      case Priority::low: return "low";
+      case Priority::normal: return "normal";
+      case Priority::high: return "high";
+    }
+    return "?";
+}
+
+const char *
+toString(RejectReason reason)
+{
+    switch (reason) {
+      case RejectReason::queue_full: return "queue_full";
+      case RejectReason::empty_stream: return "empty_stream";
+    }
+    return "?";
+}
+
+const char *
+toString(QueuePolicy policy)
+{
+    switch (policy) {
+      case QueuePolicy::fifo: return "fifo";
+      case QueuePolicy::priority: return "priority";
+    }
+    return "?";
+}
+
+RequestQueue::RequestQueue(QueuePolicy policy, std::size_t max_depth)
+    : policy_(policy), max_depth_(max_depth)
+{
+}
+
+AdmitResult
+RequestQueue::submit(Request request)
+{
+    if (request.stream.ops.empty())
+        return {false, RejectReason::empty_stream};
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.size() >= max_depth_)
+        return {false, RejectReason::queue_full};
+    queue_.push_back(std::move(request));
+    return {true, RejectReason::queue_full};
+}
+
+std::size_t
+RequestQueue::nextIndexLocked() const
+{
+    if (queue_.empty())
+        return static_cast<std::size_t>(-1);
+    if (policy_ == QueuePolicy::fifo)
+        return 0;
+    // Priority: highest class wins; the scan keeps the earliest
+    // arrival within a class (stable, so no intra-class starvation).
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < queue_.size(); ++i) {
+        if (static_cast<int>(queue_[i].priority) >
+            static_cast<int>(queue_[best].priority))
+            best = i;
+    }
+    return best;
+}
+
+std::optional<Request>
+RequestQueue::pop()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto index = nextIndexLocked();
+    if (index == static_cast<std::size_t>(-1))
+        return std::nullopt;
+    Request out = std::move(queue_[index]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+    return out;
+}
+
+std::vector<Request>
+RequestQueue::popBatch(std::size_t max_batch)
+{
+    std::vector<Request> batch;
+    if (max_batch == 0)
+        return batch;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto index = nextIndexLocked();
+    if (index == static_cast<std::size_t>(-1))
+        return batch;
+    batch.push_back(std::move(queue_[index]));
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+    const std::string &key = batch.front().workloadKey();
+    for (std::size_t i = 0; i < queue_.size() &&
+                            batch.size() < max_batch;) {
+        if (queue_[i].workloadKey() == key) {
+            batch.push_back(std::move(queue_[i]));
+            queue_.erase(queue_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+        } else {
+            ++i;
+        }
+    }
+    return batch;
+}
+
+std::size_t
+RequestQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+} // namespace fast::serve

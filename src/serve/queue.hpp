@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Thread-safe admission queue of the serving runtime.
+ *
+ * The queue is the single back-pressure point: depth is bounded, and
+ * a submission against a full queue is rejected immediately with a
+ * reason — the runtime degrades gracefully under overload instead of
+ * blocking producers or growing without bound. Two pop policies are
+ * supported: FIFO (arrival order) and priority (higher `Priority`
+ * first, FIFO within a class, so same-class requests never starve
+ * each other).
+ */
+#ifndef FAST_SERVE_QUEUE_HPP
+#define FAST_SERVE_QUEUE_HPP
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace fast::serve {
+
+/** Pop-order policy of a RequestQueue. */
+enum class QueuePolicy {
+    fifo,      ///< strict arrival order
+    priority,  ///< higher priority first, FIFO within a class
+};
+
+const char *toString(QueuePolicy policy);
+
+/** Outcome of one submit: admitted, or rejected with a reason. */
+struct AdmitResult {
+    bool admitted = false;
+    RejectReason reason = RejectReason::queue_full;
+};
+
+/**
+ * Bounded, policy-ordered, mutex-protected request queue.
+ */
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(QueuePolicy policy = QueuePolicy::fifo,
+                          std::size_t max_depth = 64);
+
+    /**
+     * Admission control: accept the request unless the queue is at
+     * capacity (or the trace is empty). Never blocks.
+     */
+    AdmitResult submit(Request request);
+
+    /** Pop the next request per policy; empty when drained. */
+    std::optional<Request> pop();
+
+    /**
+     * Batch formation: pop the next request per policy, then pull up
+     * to @p max_batch - 1 further queued requests with the same
+     * workload key (in arrival order, any priority class — they ride
+     * along for free since the plan is shared). Returns requests in
+     * service order.
+     */
+    std::vector<Request> popBatch(std::size_t max_batch);
+
+    std::size_t depth() const;
+    bool empty() const { return depth() == 0; }
+    std::size_t maxDepth() const { return max_depth_; }
+    QueuePolicy policy() const { return policy_; }
+
+  private:
+    /** Index of the next request per policy; npos when empty. */
+    std::size_t nextIndexLocked() const;
+
+    QueuePolicy policy_;
+    std::size_t max_depth_;
+    mutable std::mutex mutex_;
+    std::deque<Request> queue_;  ///< always in arrival order
+};
+
+} // namespace fast::serve
+
+#endif // FAST_SERVE_QUEUE_HPP

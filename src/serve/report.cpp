@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Implementation of the serving-report formatters.
+ */
+#include "serve/report.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace fast::serve {
+
+namespace {
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[384];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    out += buf;
+}
+
+void
+latencyJson(std::string &out, const std::string &indent,
+            const char *name, const LatencySummary &l, bool comma)
+{
+    appendf(out,
+            "%s\"%s\": {\"count\": %zu, \"mean_ns\": %.1f, "
+            "\"p50_ns\": %.1f, \"p95_ns\": %.1f, \"p99_ns\": %.1f, "
+            "\"max_ns\": %.1f}%s\n",
+            indent.c_str(), name, l.count, l.mean_ns, l.p50_ns,
+            l.p95_ns, l.p99_ns, l.max_ns, comma ? "," : "");
+}
+
+} // namespace
+
+std::string
+describeServeStats(const ServeStats &stats)
+{
+    std::string out;
+    appendf(out,
+            "serving: %zu submitted, %zu accepted, %zu completed, "
+            "%zu rejected\n",
+            stats.submitted, stats.accepted, stats.completed,
+            stats.rejected);
+    for (const auto &[reason, count] : stats.reject_reasons)
+        appendf(out, "  rejected[%s] = %zu\n", reason.c_str(), count);
+    appendf(out,
+            "  makespan %.3f ms, throughput %.2f req/s, "
+            "%.0f CKKS ops/s\n",
+            stats.makespan_ns / 1e6, stats.throughput_rps,
+            stats.ckks_ops_per_s);
+    appendf(out,
+            "  batches: %zu (mean size %.2f), plan cache %zu hit / "
+            "%zu miss (%.0f%%)\n",
+            stats.batches, stats.mean_batch_size,
+            stats.plan_cache_hits, stats.plan_cache_misses,
+            100.0 * stats.planCacheHitRate());
+    appendf(out,
+            "  queueing  p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n",
+            stats.queue.p50_ns / 1e6, stats.queue.p95_ns / 1e6,
+            stats.queue.p99_ns / 1e6);
+    appendf(out,
+            "  end-to-end p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n",
+            stats.e2e.p50_ns / 1e6, stats.e2e.p95_ns / 1e6,
+            stats.e2e.p99_ns / 1e6);
+    for (std::size_t d = 0; d < stats.devices.size(); ++d) {
+        const auto &dev = stats.devices[d];
+        appendf(out,
+                "  device %zu (%s): %zu batches, %zu requests, "
+                "util %.0f%%, %.1f GB HBM, %.1f J\n",
+                d, dev.config_name.c_str(), dev.batches, dev.requests,
+                100.0 * dev.utilization, dev.hbm_bytes / 1e9,
+                dev.energy_j);
+        if (!dev.top_kernels.empty()) {
+            appendf(out, "    hottest:");
+            for (const auto &[label, ns] : dev.top_kernels)
+                appendf(out, " %s %.3fms", label.c_str(), ns / 1e6);
+            out += '\n';
+        }
+    }
+    for (const auto &[tenant, t] : stats.tenants)
+        appendf(out,
+                "  tenant %-12s %zu/%zu served (%zu rejected), "
+                "e2e p99 %.3f ms\n",
+                tenant.c_str(), t.completed, t.submitted, t.rejected,
+                t.e2e.p99_ns / 1e6);
+    return out;
+}
+
+std::string
+serveStatsJson(const ServeStats &stats, const std::string &indent)
+{
+    std::string out;
+    auto in1 = indent + "  ";
+    auto in2 = indent + "    ";
+    appendf(out, "%s{\n", indent.c_str());
+    appendf(out,
+            "%s\"submitted\": %zu, \"accepted\": %zu, "
+            "\"completed\": %zu, \"rejected\": %zu,\n",
+            in1.c_str(), stats.submitted, stats.accepted,
+            stats.completed, stats.rejected);
+    appendf(out, "%s\"reject_reasons\": {", in1.c_str());
+    bool first = true;
+    for (const auto &[reason, count] : stats.reject_reasons) {
+        appendf(out, "%s\"%s\": %zu", first ? "" : ", ",
+                reason.c_str(), count);
+        first = false;
+    }
+    out += "},\n";
+    appendf(out,
+            "%s\"batches\": %zu, \"mean_batch_size\": %.3f,\n",
+            in1.c_str(), stats.batches, stats.mean_batch_size);
+    appendf(out,
+            "%s\"makespan_ns\": %.1f, \"throughput_rps\": %.3f, "
+            "\"ckks_ops_per_s\": %.1f,\n",
+            in1.c_str(), stats.makespan_ns, stats.throughput_rps,
+            stats.ckks_ops_per_s);
+    appendf(out,
+            "%s\"plan_cache\": {\"hits\": %zu, \"misses\": %zu, "
+            "\"hit_rate\": %.4f},\n",
+            in1.c_str(), stats.plan_cache_hits,
+            stats.plan_cache_misses, stats.planCacheHitRate());
+    latencyJson(out, in1, "queue_latency", stats.queue, true);
+    latencyJson(out, in1, "e2e_latency", stats.e2e, true);
+
+    appendf(out, "%s\"devices\": [\n", in1.c_str());
+    for (std::size_t d = 0; d < stats.devices.size(); ++d) {
+        const auto &dev = stats.devices[d];
+        appendf(out,
+                "%s{\"config\": \"%s\", \"batches\": %zu, "
+                "\"requests\": %zu, \"busy_ns\": %.1f, "
+                "\"utilization\": %.4f, \"mod_mults\": %.0f, "
+                "\"hbm_bytes\": %.0f, \"energy_j\": %.3f, "
+                "\"top_kernels\": [",
+                in2.c_str(), dev.config_name.c_str(), dev.batches,
+                dev.requests, dev.busy_ns, dev.utilization,
+                dev.mod_mults, dev.hbm_bytes, dev.energy_j);
+        for (std::size_t k = 0; k < dev.top_kernels.size(); ++k)
+            appendf(out, "%s{\"label\": \"%s\", \"ns\": %.1f}",
+                    k == 0 ? "" : ", ",
+                    dev.top_kernels[k].first.c_str(),
+                    dev.top_kernels[k].second);
+        appendf(out, "]}%s\n",
+                d + 1 < stats.devices.size() ? "," : "");
+    }
+    appendf(out, "%s],\n", in1.c_str());
+
+    appendf(out, "%s\"tenants\": {\n", in1.c_str());
+    std::size_t t_index = 0;
+    for (const auto &[tenant, t] : stats.tenants) {
+        appendf(out,
+                "%s\"%s\": {\"submitted\": %zu, \"completed\": %zu, "
+                "\"rejected\": %zu,\n",
+                in2.c_str(), tenant.c_str(), t.submitted, t.completed,
+                t.rejected);
+        latencyJson(out, in2 + "  ", "queue_latency", t.queue, true);
+        latencyJson(out, in2 + "  ", "e2e_latency", t.e2e, false);
+        appendf(out, "%s}%s\n", in2.c_str(),
+                ++t_index < stats.tenants.size() ? "," : "");
+    }
+    appendf(out, "%s}\n", in1.c_str());
+    appendf(out, "%s}", indent.c_str());
+    return out;
+}
+
+} // namespace fast::serve

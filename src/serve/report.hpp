@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Serving-report formatters: a human-readable summary (the serving
+ * counterpart of `sim::describeResult`) and a canonical JSON
+ * rendering used by `bench/serve_throughput` for `BENCH_serve.json`.
+ * The JSON writer formats every number with fixed printf specifiers,
+ * so equal stats always serialize to byte-identical text — the
+ * reproducibility contract the tests pin down.
+ */
+#ifndef FAST_SERVE_REPORT_HPP
+#define FAST_SERVE_REPORT_HPP
+
+#include <string>
+
+#include "serve/stats.hpp"
+
+namespace fast::serve {
+
+/** Render a scheduler run: traffic, latency, devices, tenants. */
+std::string describeServeStats(const ServeStats &stats);
+
+/**
+ * Canonical JSON of one run. @p indent is the left margin, letting
+ * callers embed runs inside a larger document.
+ */
+std::string serveStatsJson(const ServeStats &stats,
+                           const std::string &indent = "");
+
+} // namespace fast::serve
+
+#endif // FAST_SERVE_REPORT_HPP

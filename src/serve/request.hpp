@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Request model of the serving runtime.
+ *
+ * A Request wraps one application trace (`trace::OpStream`) with the
+ * bookkeeping a multi-tenant front end needs: who submitted it, how
+ * urgent it is, and when it arrived. Timestamps live on the same
+ * simulated-nanosecond axis as `SimStats::total_ns`, so every latency
+ * the runtime reports is deterministic and reproducible — no
+ * wall-clock reads anywhere in the serving path.
+ */
+#ifndef FAST_SERVE_REQUEST_HPP
+#define FAST_SERVE_REQUEST_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "trace/op.hpp"
+
+namespace fast::serve {
+
+/** Scheduling priority classes (higher value = served first). */
+enum class Priority : int {
+    low = 0,
+    normal = 1,
+    high = 2,
+};
+
+const char *toString(Priority priority);
+
+/** One unit of admitted work: a trace plus its service metadata. */
+struct Request {
+    std::uint64_t id = 0;          ///< unique, assigned by the caller
+    std::string tenant;            ///< submitting tenant
+    Priority priority = Priority::normal;
+    double submit_ns = 0;          ///< simulated arrival timestamp
+    trace::OpStream stream;        ///< the workload to execute
+
+    /**
+     * Requests with equal keys run the same trace, so one Aether
+     * analysis + Hemera plan serves the whole batch.
+     */
+    const std::string &workloadKey() const { return stream.name; }
+};
+
+/** Why admission control turned a request away. */
+enum class RejectReason {
+    queue_full,    ///< bounded queue at capacity
+    empty_stream,  ///< no operations to execute
+};
+
+const char *toString(RejectReason reason);
+
+/** Record of one rejected submission. */
+struct Rejection {
+    std::uint64_t request_id = 0;
+    std::string tenant;
+    RejectReason reason = RejectReason::queue_full;
+    double submit_ns = 0;
+};
+
+} // namespace fast::serve
+
+#endif // FAST_SERVE_REQUEST_HPP

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Implementation of the batch scheduler: deterministic planning loop
+ * plus per-device worker threads.
+ */
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <optional>
+#include <thread>
+
+namespace fast::serve {
+
+namespace {
+
+/** One unit of work handed to a device worker. */
+struct DispatchedBatch {
+    std::size_t batch_id = 0;
+    double service_ns = 0;
+    PlanCache::Entry plan;
+    std::vector<CompletionRecord> records;  ///< pre-stamped intervals
+};
+
+/** Unbounded MPSC channel; `close` drains then unblocks the worker. */
+class BatchChannel
+{
+  public:
+    void push(DispatchedBatch batch)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.push_back(std::move(batch));
+        }
+        cv_.notify_one();
+    }
+
+    void close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        cv_.notify_one();
+    }
+
+    /** Blocks until a batch arrives or the channel closes empty. */
+    std::optional<DispatchedBatch> pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+        if (queue_.empty())
+            return std::nullopt;
+        DispatchedBatch out = std::move(queue_.front());
+        queue_.pop_front();
+        return out;
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<DispatchedBatch> queue_;
+    bool closed_ = false;
+};
+
+/** What one device worker accumulates; merged after join. */
+struct DeviceAccumulator {
+    std::size_t batches = 0;
+    std::size_t requests = 0;
+    double busy_ns = 0;
+    double mod_mults = 0;
+    double hbm_bytes = 0;
+    double energy_j = 0;
+    std::map<std::string, double> label_ns;
+    std::vector<CompletionRecord> completions;
+};
+
+void
+deviceWorker(BatchChannel &channel, DeviceAccumulator &acc)
+{
+    while (auto batch = channel.pop()) {
+        const auto &plan = *batch->plan;
+        auto b = static_cast<double>(batch->records.size());
+        acc.batches += 1;
+        acc.requests += batch->records.size();
+        acc.busy_ns += batch->service_ns;
+        acc.mod_mults += b * plan.stats.totalMults();
+        acc.hbm_bytes += b * plan.stats.hbm_bytes;
+        acc.energy_j += b * plan.energy.energy_j;
+        for (const auto &[label, ns] : plan.stats.label_ns)
+            acc.label_ns[label] += b * ns;
+        for (auto &record : batch->records)
+            acc.completions.push_back(std::move(record));
+    }
+}
+
+} // namespace
+
+Scheduler::Scheduler(DevicePool &pool, SchedulerOptions options)
+    : pool_(pool), options_(options)
+{
+}
+
+ServeStats
+Scheduler::run(std::vector<Request> arrivals)
+{
+    // Arrival order is part of the runtime's determinism contract.
+    std::stable_sort(arrivals.begin(), arrivals.end(),
+                     [](const Request &a, const Request &b) {
+                         if (a.submit_ns != b.submit_ns)
+                             return a.submit_ns < b.submit_ns;
+                         return a.id < b.id;
+                     });
+
+    ServeStats stats;
+    stats.submitted = arrivals.size();
+
+    RequestQueue queue(options_.policy, options_.max_queue_depth);
+    PlanCache cache;
+
+    std::vector<BatchChannel> channels(pool_.size());
+    std::vector<DeviceAccumulator> accumulators(pool_.size());
+    std::vector<std::thread> workers;
+    workers.reserve(pool_.size());
+    for (std::size_t d = 0; d < pool_.size(); ++d)
+        workers.emplace_back(deviceWorker, std::ref(channels[d]),
+                             std::ref(accumulators[d]));
+
+    std::size_t cursor = 0;
+    auto admitUpTo = [&](double now) {
+        while (cursor < arrivals.size() &&
+               arrivals[cursor].submit_ns <= now) {
+            Request &request = arrivals[cursor];
+            stats.tenants[request.tenant].submitted += 1;
+            Rejection maybe{request.id, request.tenant,
+                            RejectReason::queue_full,
+                            request.submit_ns};
+            auto admit = queue.submit(std::move(request));
+            if (!admit.admitted) {
+                maybe.reason = admit.reason;
+                stats.rejected += 1;
+                stats.reject_reasons[toString(admit.reason)] += 1;
+                stats.tenants[maybe.tenant].rejected += 1;
+                stats.rejections.push_back(std::move(maybe));
+            } else {
+                stats.accepted += 1;
+            }
+            ++cursor;
+        }
+    };
+
+    std::vector<double> free_at(pool_.size(), 0.0);
+    std::size_t next_batch_id = 0;
+
+    while (true) {
+        // Earliest-free device takes the next batch (ties: lowest
+        // index) — the simulated-time analogue of work stealing.
+        std::size_t d = 0;
+        for (std::size_t i = 1; i < pool_.size(); ++i)
+            if (free_at[i] < free_at[d])
+                d = i;
+        double now = free_at[d];
+
+        if (queue.empty()) {
+            if (cursor >= arrivals.size())
+                break;  // drained: nothing queued, nothing arriving
+            now = std::max(now, arrivals[cursor].submit_ns);
+        }
+        admitUpTo(now);
+
+        auto batch = queue.popBatch(options_.max_batch);
+        if (batch.empty())
+            continue;  // admissions were all rejected; re-evaluate
+
+        auto plan = cache.fetch(pool_.device(d),
+                                batch.front().stream);
+        double exec_ns = plan->stats.total_ns;
+        double lookup_ns = plan->hemera.config_lookups_ns;
+        double service_ns =
+            lookup_ns +
+            exec_ns * static_cast<double>(batch.size());
+
+        DispatchedBatch dispatch;
+        dispatch.batch_id = next_batch_id++;
+        dispatch.service_ns = service_ns;
+        dispatch.plan = plan;
+        dispatch.records.reserve(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const Request &request = batch[i];
+            CompletionRecord record;
+            record.request_id = request.id;
+            record.tenant = request.tenant;
+            record.workload = request.workloadKey();
+            record.device = d;
+            record.batch_id = dispatch.batch_id;
+            record.ops = request.stream.ops.size();
+            record.submit_ns = request.submit_ns;
+            record.start_ns = now;
+            record.done_ns = now + lookup_ns +
+                             exec_ns * static_cast<double>(i + 1);
+            dispatch.records.push_back(std::move(record));
+        }
+        free_at[d] = now + service_ns;
+        stats.batches += 1;
+        channels[d].push(std::move(dispatch));
+    }
+
+    for (auto &channel : channels)
+        channel.close();
+    for (auto &worker : workers)
+        worker.join();
+
+    // Deterministic merge: device order, then request id.
+    for (auto &acc : accumulators)
+        for (auto &record : acc.completions)
+            stats.completions.push_back(std::move(record));
+    std::sort(stats.completions.begin(), stats.completions.end(),
+              [](const CompletionRecord &a, const CompletionRecord &b) {
+                  return a.request_id < b.request_id;
+              });
+
+    stats.completed = stats.completions.size();
+    stats.plan_cache_hits = cache.hits();
+    stats.plan_cache_misses = cache.misses();
+    stats.mean_batch_size =
+        stats.batches == 0
+            ? 0.0
+            : static_cast<double>(stats.completed) /
+                  static_cast<double>(stats.batches);
+
+    double makespan = 0;
+    std::size_t total_ops = 0;
+    std::vector<double> queue_samples, e2e_samples;
+    std::map<std::string, std::vector<double>> tenant_queue, tenant_e2e;
+    for (const auto &record : stats.completions) {
+        makespan = std::max(makespan, record.done_ns);
+        total_ops += record.ops;
+        queue_samples.push_back(record.queueNs());
+        e2e_samples.push_back(record.e2eNs());
+        tenant_queue[record.tenant].push_back(record.queueNs());
+        tenant_e2e[record.tenant].push_back(record.e2eNs());
+        stats.tenants[record.tenant].completed += 1;
+    }
+    stats.makespan_ns = makespan;
+    if (makespan > 0) {
+        double seconds = makespan / 1e9;
+        stats.throughput_rps =
+            static_cast<double>(stats.completed) / seconds;
+        stats.ckks_ops_per_s =
+            static_cast<double>(total_ops) / seconds;
+    }
+    stats.queue = LatencySummary::of(std::move(queue_samples));
+    stats.e2e = LatencySummary::of(std::move(e2e_samples));
+    for (auto &[tenant, t] : stats.tenants) {
+        t.queue = LatencySummary::of(std::move(tenant_queue[tenant]));
+        t.e2e = LatencySummary::of(std::move(tenant_e2e[tenant]));
+    }
+
+    stats.devices.resize(pool_.size());
+    for (std::size_t d = 0; d < pool_.size(); ++d) {
+        auto &acc = accumulators[d];
+        auto &dev = stats.devices[d];
+        dev.config_name = pool_.config(d).name;
+        dev.batches = acc.batches;
+        dev.requests = acc.requests;
+        dev.busy_ns = acc.busy_ns;
+        dev.mod_mults = acc.mod_mults;
+        dev.hbm_bytes = acc.hbm_bytes;
+        dev.energy_j = acc.energy_j;
+        dev.utilization =
+            makespan == 0 ? 0.0 : acc.busy_ns / makespan;
+        sim::SimStats merged;
+        merged.label_ns = std::move(acc.label_ns);
+        dev.top_kernels = merged.topLabels(options_.top_kernels);
+    }
+    return stats;
+}
+
+} // namespace fast::serve

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Serving metrics: per-request completion records, latency percentile
+ * summaries, per-tenant and per-device breakdowns, and the aggregate
+ * `ServeStats` a scheduler run returns.
+ *
+ * All times are simulated nanoseconds (the `SimStats::total_ns` axis),
+ * so a run is a pure function of its inputs: same arrival trace, same
+ * devices, same seed → byte-identical stats.
+ */
+#ifndef FAST_SERVE_STATS_HPP
+#define FAST_SERVE_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace fast::serve {
+
+/** Order-statistics summary of one latency sample set. */
+struct LatencySummary {
+    std::size_t count = 0;
+    double mean_ns = 0;
+    double p50_ns = 0;
+    double p95_ns = 0;
+    double p99_ns = 0;
+    double max_ns = 0;
+
+    /** Nearest-rank percentiles over @p samples_ns (consumed). */
+    static LatencySummary of(std::vector<double> samples_ns);
+};
+
+/** One served request, stamped on the simulated timeline. */
+struct CompletionRecord {
+    std::uint64_t request_id = 0;
+    std::string tenant;
+    std::string workload;
+    std::size_t device = 0;      ///< pool index that served it
+    std::size_t batch_id = 0;    ///< dispatch batch it rode in
+    std::size_t ops = 0;         ///< CKKS ops in the trace
+    double submit_ns = 0;
+    double start_ns = 0;         ///< batch service start
+    double done_ns = 0;          ///< this request's completion
+
+    double queueNs() const { return start_ns - submit_ns; }
+    double e2eNs() const { return done_ns - submit_ns; }
+};
+
+/** Per-tenant service quality. */
+struct TenantStats {
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t rejected = 0;
+    LatencySummary queue;
+    LatencySummary e2e;
+};
+
+/** Per-device accounting, aggregated by that device's worker thread. */
+struct DeviceStats {
+    std::string config_name;
+    std::size_t batches = 0;
+    std::size_t requests = 0;
+    double busy_ns = 0;          ///< total service time dispatched
+    double mod_mults = 0;        ///< modular multiplications executed
+    double hbm_bytes = 0;
+    double energy_j = 0;
+    double utilization = 0;      ///< busy_ns / makespan_ns
+    /** Hottest kernel labels (label, simulated ns), descending. */
+    std::vector<std::pair<std::string, double>> top_kernels;
+};
+
+/** Everything one scheduler run produces. */
+struct ServeStats {
+    std::size_t submitted = 0;
+    std::size_t accepted = 0;
+    std::size_t completed = 0;
+    std::size_t rejected = 0;
+    std::map<std::string, std::size_t> reject_reasons;
+
+    std::size_t batches = 0;
+    double mean_batch_size = 0;
+
+    double makespan_ns = 0;        ///< last completion on the timeline
+    double throughput_rps = 0;     ///< completed / simulated second
+    double ckks_ops_per_s = 0;     ///< trace ops / simulated second
+
+    std::size_t plan_cache_hits = 0;
+    std::size_t plan_cache_misses = 0;
+    double planCacheHitRate() const
+    {
+        auto total = plan_cache_hits + plan_cache_misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(plan_cache_hits) /
+                                static_cast<double>(total);
+    }
+
+    LatencySummary queue;          ///< aggregate queueing latency
+    LatencySummary e2e;            ///< aggregate end-to-end latency
+
+    std::map<std::string, TenantStats> tenants;
+    std::vector<DeviceStats> devices;
+
+    /** All completions, sorted by request id (deterministic). */
+    std::vector<CompletionRecord> completions;
+    /** All rejections, in admission order. */
+    std::vector<Rejection> rejections;
+};
+
+} // namespace fast::serve
+
+#endif // FAST_SERVE_STATS_HPP

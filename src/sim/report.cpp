@@ -82,6 +82,10 @@ describeResult(const WorkloadResult &result)
     appendf(out, "  HBM: %.1f MB moved, %.3f ms stalled\n",
             result.stats.hbm_bytes / 1048576.0,
             result.stats.hbm_stall_ns / 1e6);
+    appendf(out, "  hottest kernels:");
+    for (const auto &[label, ns] : result.stats.topLabels(3))
+        appendf(out, " %s %.3fms", label.c_str(), ns / 1e6);
+    out += '\n';
     appendf(out, "  Aether: %zu sites, %.0f%% KLSS; Hemera hit rate "
                  "%.0f%%\n",
             result.aether.decisions.size(),

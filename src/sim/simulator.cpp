@@ -33,6 +33,24 @@ SimStats::totalMults() const
     return total;
 }
 
+std::vector<std::pair<std::string, double>>
+SimStats::topLabels(std::size_t n) const
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(label_ns.size());
+    for (const auto &entry : label_ns)
+        out.push_back(entry);
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
+              });
+    if (out.size() > n)
+        out.resize(n);
+    return out;
+}
+
 SimStats
 Simulator::run(const std::vector<LoweredOp> &ops) const
 {

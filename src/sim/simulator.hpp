@@ -39,6 +39,14 @@ struct SimStats {
 
     double totalMults() const;
     double milliseconds() const { return total_ns / 1e6; }
+
+    /**
+     * The @p n hottest kernel labels by accumulated time, descending
+     * (ties broken by label so the order is deterministic) — a view
+     * over `label_ns` for reports that must not copy the whole map.
+     */
+    std::vector<std::pair<std::string, double>> topLabels(
+        std::size_t n) const;
 };
 
 /**

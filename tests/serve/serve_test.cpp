@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Tests for the `fast::serve` batch-serving runtime: queue policies,
+ * admission control, batch formation, plan-cache reuse, metric
+ * plumbing, and the determinism contract (two runs with the same seed
+ * produce byte-identical stats).
+ */
+#include <gtest/gtest.h>
+
+#include "serve/arrivals.hpp"
+#include "serve/report.hpp"
+#include "serve/scheduler.hpp"
+#include "trace/workloads.hpp"
+
+namespace fast::serve {
+namespace {
+
+/** Small synthetic workload so scheduler tests stay fast. */
+trace::OpStream
+miniTrace(const std::string &name, std::size_t hmults = 3)
+{
+    trace::TraceBuilder builder(name);
+    auto ct = builder.newCiphertext();
+    for (std::size_t i = 0; i < hmults; ++i)
+        builder.hmult(ct, 20 - i);
+    return builder.take();
+}
+
+Request
+makeRequest(std::uint64_t id, const std::string &tenant,
+            Priority priority, double submit_ns,
+            const trace::OpStream &stream)
+{
+    Request request;
+    request.id = id;
+    request.tenant = tenant;
+    request.priority = priority;
+    request.submit_ns = submit_ns;
+    request.stream = stream;
+    return request;
+}
+
+TEST(RequestQueue, FifoPopsInArrivalOrder)
+{
+    RequestQueue queue(QueuePolicy::fifo, 8);
+    auto stream = miniTrace("w");
+    for (std::uint64_t id = 0; id < 4; ++id)
+        ASSERT_TRUE(queue
+                        .submit(makeRequest(id, "t",
+                                            id % 2 ? Priority::high
+                                                   : Priority::low,
+                                            0, stream))
+                        .admitted);
+    for (std::uint64_t id = 0; id < 4; ++id) {
+        auto popped = queue.pop();
+        ASSERT_TRUE(popped.has_value());
+        EXPECT_EQ(popped->id, id);  // priority ignored under FIFO
+    }
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(RequestQueue, PriorityPopsHighFirstFifoWithinClass)
+{
+    RequestQueue queue(QueuePolicy::priority, 8);
+    auto stream = miniTrace("w");
+    queue.submit(makeRequest(0, "t", Priority::low, 0, stream));
+    queue.submit(makeRequest(1, "t", Priority::normal, 0, stream));
+    queue.submit(makeRequest(2, "t", Priority::high, 0, stream));
+    queue.submit(makeRequest(3, "t", Priority::high, 0, stream));
+    queue.submit(makeRequest(4, "t", Priority::normal, 0, stream));
+    std::vector<std::uint64_t> order;
+    while (auto popped = queue.pop())
+        order.push_back(popped->id);
+    EXPECT_EQ(order, (std::vector<std::uint64_t>{2, 3, 1, 4, 0}));
+}
+
+TEST(RequestQueue, RejectsWhenSaturatedWithoutBlocking)
+{
+    const std::size_t depth = 5;
+    RequestQueue queue(QueuePolicy::fifo, depth);
+    auto stream = miniTrace("w");
+    for (std::uint64_t id = 0; id < depth; ++id)
+        EXPECT_TRUE(
+            queue.submit(makeRequest(id, "t", Priority::normal, 0,
+                                     stream))
+                .admitted);
+    // The (K+1)-th submission returns immediately with a reason.
+    auto result = queue.submit(
+        makeRequest(depth, "t", Priority::normal, 0, stream));
+    EXPECT_FALSE(result.admitted);
+    EXPECT_EQ(result.reason, RejectReason::queue_full);
+    EXPECT_EQ(queue.depth(), depth);
+}
+
+TEST(RequestQueue, RejectsEmptyStreams)
+{
+    RequestQueue queue(QueuePolicy::fifo, 4);
+    Request request;
+    request.id = 9;
+    request.tenant = "t";
+    auto result = queue.submit(request);
+    EXPECT_FALSE(result.admitted);
+    EXPECT_EQ(result.reason, RejectReason::empty_stream);
+}
+
+TEST(RequestQueue, PopBatchGroupsSameWorkload)
+{
+    RequestQueue queue(QueuePolicy::fifo, 16);
+    auto a = miniTrace("A");
+    auto b = miniTrace("B");
+    queue.submit(makeRequest(0, "t", Priority::normal, 0, a));
+    queue.submit(makeRequest(1, "t", Priority::normal, 0, b));
+    queue.submit(makeRequest(2, "t", Priority::normal, 0, a));
+    queue.submit(makeRequest(3, "t", Priority::normal, 0, a));
+    auto batch = queue.popBatch(3);
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_EQ(batch[0].id, 0u);
+    EXPECT_EQ(batch[1].id, 2u);  // rode along past the B request
+    EXPECT_EQ(batch[2].id, 3u);
+    EXPECT_EQ(queue.depth(), 1u);
+    auto rest = queue.popBatch(3);
+    ASSERT_EQ(rest.size(), 1u);
+    EXPECT_EQ(rest[0].workloadKey(), "B");
+}
+
+TEST(Scheduler, FifoServesInSubmitOrder)
+{
+    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 1);
+    SchedulerOptions options;
+    options.policy = QueuePolicy::fifo;
+    options.max_batch = 1;
+    Scheduler scheduler(pool, options);
+
+    auto stream = miniTrace("w");
+    std::vector<Request> arrivals;
+    for (std::uint64_t id = 0; id < 4; ++id)
+        arrivals.push_back(makeRequest(id, "t",
+                                       id == 3 ? Priority::high
+                                               : Priority::low,
+                                       static_cast<double>(id), stream));
+    auto stats = scheduler.run(arrivals);
+    ASSERT_EQ(stats.completed, 4u);
+    for (std::uint64_t id = 0; id + 1 < 4; ++id)
+        EXPECT_LT(stats.completions[id].done_ns,
+                  stats.completions[id + 1].done_ns)
+            << "FIFO must ignore priority";
+}
+
+TEST(Scheduler, PriorityOvertakesFifo)
+{
+    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 1);
+    SchedulerOptions options;
+    options.policy = QueuePolicy::priority;
+    options.max_batch = 1;
+    Scheduler scheduler(pool, options);
+
+    // Distinct workloads so batching cannot merge them; all queued
+    // before the first dispatch, so the pop order is pure policy.
+    std::vector<Request> arrivals;
+    arrivals.push_back(makeRequest(0, "t", Priority::low, 0,
+                                   miniTrace("w-low")));
+    arrivals.push_back(makeRequest(1, "t", Priority::normal, 0,
+                                   miniTrace("w-mid")));
+    arrivals.push_back(makeRequest(2, "t", Priority::high, 0,
+                                   miniTrace("w-high")));
+    auto stats = scheduler.run(arrivals);
+    ASSERT_EQ(stats.completed, 3u);
+    EXPECT_LT(stats.completions[2].done_ns,
+              stats.completions[1].done_ns);
+    EXPECT_LT(stats.completions[1].done_ns,
+              stats.completions[0].done_ns);
+}
+
+TEST(Scheduler, AdmissionControlRejectsBeyondBound)
+{
+    const std::size_t depth = 3;
+    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 1);
+    SchedulerOptions options;
+    options.max_queue_depth = depth;
+    options.max_batch = 1;
+    Scheduler scheduler(pool, options);
+
+    // K+1 concurrent submissions (same timestamp): all are admitted
+    // before the first dispatch, so exactly one exceeds the bound.
+    auto stream = miniTrace("w");
+    std::vector<Request> arrivals;
+    for (std::uint64_t id = 0; id < depth + 1; ++id)
+        arrivals.push_back(
+            makeRequest(id, "t", Priority::normal, 0, stream));
+    auto stats = scheduler.run(arrivals);
+
+    EXPECT_EQ(stats.submitted, depth + 1);
+    EXPECT_EQ(stats.completed, depth);
+    EXPECT_EQ(stats.rejected, 1u);
+    ASSERT_EQ(stats.rejections.size(), 1u);
+    EXPECT_EQ(stats.rejections[0].request_id, depth);
+    EXPECT_EQ(stats.rejections[0].reason, RejectReason::queue_full);
+    EXPECT_EQ(stats.reject_reasons.at("queue_full"), 1u);
+    EXPECT_EQ(stats.tenants.at("t").rejected, 1u);
+}
+
+TEST(Scheduler, BatchFormationGroupsAndAmortizes)
+{
+    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 1);
+    SchedulerOptions options;
+    options.max_batch = 4;
+    Scheduler scheduler(pool, options);
+
+    auto a = miniTrace("A");
+    auto b = miniTrace("B", 5);
+    std::vector<Request> arrivals;
+    arrivals.push_back(makeRequest(0, "t", Priority::normal, 0, a));
+    arrivals.push_back(makeRequest(1, "t", Priority::normal, 0, b));
+    arrivals.push_back(makeRequest(2, "t", Priority::normal, 0, a));
+    arrivals.push_back(makeRequest(3, "t", Priority::normal, 0, a));
+    auto stats = scheduler.run(arrivals);
+
+    ASSERT_EQ(stats.completed, 4u);
+    EXPECT_EQ(stats.batches, 2u);  // {0,2,3} as one batch, {1} alone
+    EXPECT_DOUBLE_EQ(stats.mean_batch_size, 2.0);
+    // Batched same-workload requests share one service start.
+    EXPECT_DOUBLE_EQ(stats.completions[0].start_ns,
+                     stats.completions[2].start_ns);
+    EXPECT_DOUBLE_EQ(stats.completions[0].start_ns,
+                     stats.completions[3].start_ns);
+    EXPECT_EQ(stats.completions[0].batch_id,
+              stats.completions[3].batch_id);
+    EXPECT_NE(stats.completions[0].batch_id,
+              stats.completions[1].batch_id);
+    // One plan per unique (device, workload): 2 misses, later batches
+    // of A would hit. Here both batches planned once each.
+    EXPECT_EQ(stats.plan_cache_misses, 2u);
+}
+
+TEST(Scheduler, PlanCacheHitsAcrossBatches)
+{
+    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 1);
+    SchedulerOptions options;
+    options.max_batch = 2;
+    Scheduler scheduler(pool, options);
+
+    auto stream = miniTrace("w");
+    std::vector<Request> arrivals;
+    for (std::uint64_t id = 0; id < 6; ++id)
+        arrivals.push_back(
+            makeRequest(id, "t", Priority::normal, 0, stream));
+    auto stats = scheduler.run(arrivals);
+    EXPECT_EQ(stats.batches, 3u);
+    EXPECT_EQ(stats.plan_cache_misses, 1u);
+    EXPECT_EQ(stats.plan_cache_hits, 2u);
+    EXPECT_NEAR(stats.planCacheHitRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Scheduler, MultiDeviceIncreasesThroughput)
+{
+    auto mix = std::vector<ArrivalSpec>{
+        {"t1", Priority::normal, miniTrace("A", 4), 1.0},
+        {"t2", Priority::normal, miniTrace("B", 6), 1.0},
+    };
+    auto arrivals = openLoopArrivals(mix, 24, 100.0, 11);
+
+    auto run = [&](std::size_t devices) {
+        auto pool = DevicePool::homogeneous(hw::FastConfig::fast(),
+                                            devices);
+        Scheduler scheduler(pool);
+        return scheduler.run(arrivals);
+    };
+    auto one = run(1);
+    auto four = run(4);
+    ASSERT_EQ(one.completed, 24u);
+    ASSERT_EQ(four.completed, 24u);
+    EXPECT_GT(four.throughput_rps, one.throughput_rps);
+    EXPECT_LE(four.e2e.p99_ns, one.e2e.p99_ns);
+    EXPECT_EQ(four.devices.size(), 4u);
+    // Every device saw work under a saturating arrival rate.
+    for (const auto &dev : four.devices)
+        EXPECT_GT(dev.requests, 0u);
+}
+
+TEST(Scheduler, DeterministicAcrossRuns)
+{
+    auto mix = std::vector<ArrivalSpec>{
+        {"alice", Priority::high, miniTrace("A", 4), 1.0},
+        {"bob", Priority::normal, miniTrace("B", 6), 2.0},
+    };
+    auto run = [&] {
+        auto arrivals = openLoopArrivals(mix, 32, 200.0, 123);
+        auto pool =
+            DevicePool::homogeneous(hw::FastConfig::fast(), 3);
+        SchedulerOptions options;
+        options.policy = QueuePolicy::priority;
+        options.max_queue_depth = 8;
+        options.max_batch = 3;
+        Scheduler scheduler(pool, options);
+        return scheduler.run(arrivals);
+    };
+    auto first = run();
+    auto second = run();
+    // Byte-identical reports — the reproducibility contract.
+    EXPECT_EQ(serveStatsJson(first), serveStatsJson(second));
+    EXPECT_EQ(describeServeStats(first), describeServeStats(second));
+}
+
+TEST(Scheduler, HeterogeneousPoolRecordsPerDeviceConfigs)
+{
+    DevicePool pool({hw::FastConfig::fast(),
+                     hw::FastConfig::sharpLargeMem()});
+    Scheduler scheduler(pool);
+    std::vector<Request> arrivals;
+    auto stream = miniTrace("w");
+    for (std::uint64_t id = 0; id < 4; ++id)
+        arrivals.push_back(makeRequest(
+            id, "t", Priority::normal,
+            static_cast<double>(id) * 1e9, stream));
+    auto stats = scheduler.run(arrivals);
+    ASSERT_EQ(stats.devices.size(), 2u);
+    EXPECT_EQ(stats.devices[0].config_name,
+              hw::FastConfig::fast().name);
+    EXPECT_EQ(stats.devices[1].config_name,
+              hw::FastConfig::sharpLargeMem().name);
+    EXPECT_EQ(stats.completed, 4u);
+}
+
+TEST(Arrivals, DeterministicAndOrdered)
+{
+    auto mix = std::vector<ArrivalSpec>{
+        {"a", Priority::normal, miniTrace("A"), 1.0},
+        {"b", Priority::low, miniTrace("B"), 3.0},
+    };
+    auto first = openLoopArrivals(mix, 50, 1000.0, 99);
+    auto second = openLoopArrivals(mix, 50, 1000.0, 99);
+    ASSERT_EQ(first.size(), 50u);
+    double prev = -1;
+    std::size_t b_count = 0;
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].id, i);
+        EXPECT_EQ(first[i].tenant, second[i].tenant);
+        EXPECT_EQ(first[i].submit_ns, second[i].submit_ns);
+        EXPECT_GT(first[i].submit_ns, prev);
+        prev = first[i].submit_ns;
+        b_count += first[i].tenant == "b";
+    }
+    // 3:1 weighting should dominate the draw.
+    EXPECT_GT(b_count, 25u);
+}
+
+TEST(ServeReport, JsonCarriesTenantPercentilesAndRejections)
+{
+    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 1);
+    SchedulerOptions options;
+    options.max_queue_depth = 2;
+    options.max_batch = 1;
+    Scheduler scheduler(pool, options);
+    auto stream = miniTrace("w");
+    std::vector<Request> arrivals;
+    for (std::uint64_t id = 0; id < 3; ++id)
+        arrivals.push_back(
+            makeRequest(id, "solo", Priority::normal, 0, stream));
+    auto stats = scheduler.run(arrivals);
+    auto json = serveStatsJson(stats);
+    EXPECT_NE(json.find("\"rejected\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"queue_full\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"solo\""), std::string::npos);
+    EXPECT_NE(json.find("p99_ns"), std::string::npos);
+    EXPECT_NE(json.find("\"top_kernels\""), std::string::npos);
+}
+
+} // namespace
+} // namespace fast::serve

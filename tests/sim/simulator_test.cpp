@@ -107,6 +107,22 @@ TEST(Simulator, EmptyAndTrivialTraces)
     EXPECT_DOUBLE_EQ(stats.totalMults(), 50);
 }
 
+TEST(SimStats, TopLabelsRanksByTimeDeterministically)
+{
+    SimStats stats;
+    stats.label_ns["ntt"] = 300;
+    stats.label_ns["keymult"] = 500;
+    stats.label_ns["bconv"] = 300;
+    stats.label_ns["rescale"] = 10;
+    auto top = stats.topLabels(3);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[0].first, "keymult");
+    EXPECT_EQ(top[1].first, "bconv");  // tie broken by label
+    EXPECT_EQ(top[2].first, "ntt");
+    EXPECT_EQ(stats.topLabels(10).size(), 4u);
+    EXPECT_TRUE(SimStats{}.topLabels(3).empty());
+}
+
 TEST(Simulator, IndependentCiphertextsOverlap)
 {
     Simulator simulator{hw::FastConfig::fast()};
