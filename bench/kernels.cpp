@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Kernel microbenchmark suite for the parallel engine (BENCH_kernels.json).
+ *
+ * Measures ns/op for the hot functional kernels — forward/inverse NTT,
+ * RNS base conversion, and hybrid/KLSS key-switching — against two
+ * baselines:
+ *  - the strict-reduction seed scalar path (forwardReference /
+ *    inverseReference, per-coefficient BaseConverter::convert), and
+ *  - the optimized single-thread path (lazy-reduction butterflies,
+ *    batched BConv),
+ * then sweeps the KernelEngine across 1/2/4/8 threads. Every variant
+ * produces bit-identical outputs (asserted by tests/math/parallel_test),
+ * so the numbers compare like for like.
+ *
+ * `--smoke` shrinks sizes and iteration counts for CI; the full run
+ * covers N = 2^14..2^16. The JSON also records the host CPU count:
+ * thread-sweep speedups are only meaningful when the host actually has
+ * that many cores.
+ */
+#include "bench/common.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckks/context.hpp"
+#include "ckks/keys.hpp"
+#include "ckks/keyswitch.hpp"
+#include "math/ntt.hpp"
+#include "math/parallel.hpp"
+#include "math/poly.hpp"
+#include "math/primes.hpp"
+#include "math/random.hpp"
+#include "math/rns.hpp"
+
+namespace {
+
+using namespace fast;
+using math::u64;
+
+bool g_smoke = false;
+
+std::vector<std::size_t>
+threadCounts()
+{
+    return g_smoke ? std::vector<std::size_t>{1, 2}
+                   : std::vector<std::size_t>{1, 2, 4, 8};
+}
+
+std::vector<std::size_t>
+nttDegrees()
+{
+    if (g_smoke)
+        return {std::size_t(1) << 12};
+    return {std::size_t(1) << 14, std::size_t(1) << 15,
+            std::size_t(1) << 16};
+}
+
+/** Median-free simple timer: mean ns per call over @p iters calls. */
+template <typename Setup, typename Fn>
+double
+timeNs(std::size_t iters, const Setup &setup, const Fn &fn)
+{
+    using clock = std::chrono::steady_clock;
+    setup();
+    fn();  // warm-up, untimed
+    double total = 0;
+    for (std::size_t i = 0; i < iters; ++i) {
+        setup();
+        auto t0 = clock::now();
+        fn();
+        auto t1 = clock::now();
+        total += std::chrono::duration<double, std::nano>(t1 - t0)
+                     .count();
+    }
+    return total / static_cast<double>(iters);
+}
+
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+    return buf;
+}
+
+/** One JSON row: kernel/n plus per-variant ns figures. */
+struct Row {
+    std::string kernel;
+    std::size_t n = 0;
+    double reference_ns = 0;  ///< strict seed scalar path
+    double scalar_ns = 0;     ///< optimized single-thread path
+    std::vector<std::pair<std::size_t, double>> parallel_ns;
+
+    double bestParallel() const
+    {
+        double best = scalar_ns;
+        for (const auto &[t, ns] : parallel_ns)
+            best = ns < best ? ns : best;
+        return best;
+    }
+
+    std::string json() const
+    {
+        std::string s = "    {\"kernel\": \"" + kernel +
+                        "\", \"n\": " + std::to_string(n) + ",\n";
+        s += "     \"reference_ns\": " + num(reference_ns) +
+             ", \"scalar_ns\": " + num(scalar_ns) + ",\n";
+        s += "     \"parallel_ns\": {";
+        for (std::size_t i = 0; i < parallel_ns.size(); ++i) {
+            if (i)
+                s += ", ";
+            s += "\"" + std::to_string(parallel_ns[i].first) +
+                 "\": " + num(parallel_ns[i].second);
+        }
+        s += "},\n";
+        s += "     \"speedup_scalar_vs_reference\": " +
+             num(reference_ns / scalar_ns) +
+             ", \"speedup_best_vs_reference\": " +
+             num(reference_ns / bestParallel()) + "}";
+        return s;
+    }
+
+    void print() const
+    {
+        std::printf("  %-16s N=%-6zu ref %10.0f ns  scalar %10.0f ns "
+                    "(x%.2f)",
+                    kernel.c_str(), n, reference_ns, scalar_ns,
+                    reference_ns / scalar_ns);
+        for (const auto &[t, ns] : parallel_ns)
+            std::printf("  %zut %10.0f ns", t, ns);
+        std::printf("  best x%.2f\n", reference_ns / bestParallel());
+    }
+};
+
+Row
+benchNtt(std::size_t n, bool forward)
+{
+    u64 q = math::generateNttPrimes(45, n, 1)[0];
+    auto tables = math::NttTableCache::get(n, q);
+    math::Prng prng(0xBE7C4 + n);
+    std::vector<u64> base(n);
+    math::sampleUniform(prng, q, base);
+    if (!forward)
+        tables->forward(base.data());  // time inverse on valid input
+
+    std::size_t iters =
+        g_smoke ? 2 : std::max<std::size_t>(4, (1u << 21) / n);
+    std::vector<u64> scratch;
+    auto setup = [&] { scratch = base; };
+
+    Row row;
+    row.kernel = forward ? "ntt_forward" : "ntt_inverse";
+    row.n = n;
+    row.reference_ns = timeNs(iters, setup, [&] {
+        forward ? tables->forwardReference(scratch.data())
+                : tables->inverseReference(scratch.data());
+    });
+    row.scalar_ns = timeNs(iters, setup, [&] {
+        forward ? tables->forward(scratch.data())
+                : tables->inverse(scratch.data());
+    });
+    for (std::size_t threads : threadCounts()) {
+        math::KernelEngine engine(threads);
+        double ns = timeNs(iters, setup, [&] {
+            forward ? tables->forwardParallel(scratch.data(), engine)
+                    : tables->inverseParallel(scratch.data(), engine);
+        });
+        row.parallel_ns.emplace_back(threads, ns);
+    }
+    return row;
+}
+
+Row
+benchBConv(std::size_t n)
+{
+    std::size_t from_limbs = g_smoke ? 4 : 8;
+    std::size_t to_limbs = from_limbs + 1;
+    auto from_mods = math::generateNttPrimes(36, n, from_limbs);
+    auto to_mods = math::generateNttPrimes(38, n, to_limbs);
+    math::RnsBasis from(from_mods), to(to_mods);
+    math::BaseConverter conv(from, to);
+
+    math::Prng prng(17);
+    std::vector<std::vector<u64>> in(from_limbs);
+    std::vector<const u64 *> in_ptrs(from_limbs);
+    for (std::size_t i = 0; i < from_limbs; ++i) {
+        in[i].resize(n);
+        math::sampleUniform(prng, from_mods[i], in[i]);
+        in_ptrs[i] = in[i].data();
+    }
+    std::vector<std::vector<u64>> out(to_limbs, std::vector<u64>(n));
+    std::vector<u64 *> out_ptrs(to_limbs);
+    for (std::size_t j = 0; j < to_limbs; ++j)
+        out_ptrs[j] = out[j].data();
+
+    std::size_t iters =
+        g_smoke ? 2 : std::max<std::size_t>(2, (1u << 18) / n);
+    auto setup = [] {};
+
+    Row row;
+    row.kernel = "bconv";
+    row.n = n;
+    // Strict seed path: one convert() call per coefficient.
+    row.reference_ns = timeNs(iters, setup, [&] {
+        std::vector<u64> residues(from_limbs);
+        for (std::size_t c = 0; c < n; ++c) {
+            for (std::size_t i = 0; i < from_limbs; ++i)
+                residues[i] = in[i][c];
+            auto r = conv.convert(residues);
+            for (std::size_t j = 0; j < to_limbs; ++j)
+                out[j][c] = r[j];
+        }
+    });
+    {
+        math::KernelEngine engine(1);
+        row.scalar_ns = timeNs(iters, setup, [&] {
+            conv.convertPoly(in_ptrs, n, out_ptrs, engine);
+        });
+    }
+    for (std::size_t threads : threadCounts()) {
+        math::KernelEngine engine(threads);
+        double ns = timeNs(iters, setup, [&] {
+            conv.convertPoly(in_ptrs, n, out_ptrs, engine);
+        });
+        row.parallel_ns.emplace_back(threads, ns);
+    }
+    return row;
+}
+
+/** testMedium-shaped parameters at an arbitrary power-of-two degree. */
+ckks::CkksParams
+keySwitchParams(std::size_t degree, bool klss)
+{
+    if (g_smoke || degree == (std::size_t(1) << 12))
+        return klss ? ckks::CkksParams::testMediumKlss()
+                    : ckks::CkksParams::testMedium();
+    ckks::CkksParams p;
+    p.name = "Bench-" + std::to_string(degree);
+    p.degree = degree;
+    p.slots = degree / 2;
+    p.q_chain = math::generateNttPrimes(50, degree, 1);
+    auto work = math::generateNttPrimes(35, degree, 8);
+    p.q_chain.insert(p.q_chain.end(), work.begin(), work.end());
+    p.p_chain = math::generateNttPrimes(37, degree, 3);
+    p.alpha = 2;
+    p.digit_bits = klss ? 30 : 20;
+    p.t_basis = math::generateNttPrimes(60, degree, 3);
+    p.scale = std::pow(2.0, 35);
+    p.validate();
+    return p;
+}
+
+Row
+benchKeySwitch(std::size_t n, bool klss)
+{
+    auto method = klss ? ckks::KeySwitchMethod::klss
+                       : ckks::KeySwitchMethod::hybrid;
+    auto ctx = std::make_shared<const ckks::CkksContext>(
+        keySwitchParams(n, klss));
+    ckks::KeyGenerator keygen(ctx, 2024);
+    ckks::EvalKey relin = keygen.makeRelinKey(method);
+    ckks::KeySwitcher switcher(ctx);
+
+    math::Prng prng(23);
+    math::RnsPoly input(ctx->degree(),
+                        ctx->qModuli(ctx->params().maxLevel()),
+                        math::PolyForm::eval);
+    input.fillUniform(prng);
+
+    std::size_t iters = g_smoke ? 1 : 3;
+    auto setup = [] {};
+    auto &global = math::KernelEngine::global();
+    std::size_t saved = global.threadCount();
+
+    Row row;
+    row.kernel = klss ? "keyswitch_klss" : "keyswitch_hybrid";
+    row.n = ctx->degree();
+    global.setThreadCount(1);
+    // The key-switch pipeline has no strict-scalar twin (it always
+    // runs the optimized kernels), so reference == 1-thread run.
+    row.reference_ns = timeNs(iters, setup, [&] {
+        auto delta = switcher.apply(input, relin);
+        (void)delta;
+    });
+    row.scalar_ns = row.reference_ns;
+    for (std::size_t threads : threadCounts()) {
+        global.setThreadCount(threads);
+        double ns = timeNs(iters, setup, [&] {
+            auto delta = switcher.apply(input, relin);
+            (void)delta;
+        });
+        row.parallel_ns.emplace_back(threads, ns);
+    }
+    global.setThreadCount(saved);
+    return row;
+}
+
+void
+report()
+{
+    bench::header(std::string("Kernel microbenchmarks: NTT / BConv / "
+                              "key-switch (BENCH_kernels.json)") +
+                  (g_smoke ? " [smoke]" : ""));
+    unsigned cpus = std::thread::hardware_concurrency();
+    bench::note("host CPUs: " + std::to_string(cpus) +
+                " (thread-sweep speedups require that many cores)");
+    bench::note("reference = strict-reduction seed scalar path; "
+                "scalar = optimized 1-thread path");
+
+    std::vector<Row> rows;
+    for (std::size_t n : nttDegrees()) {
+        rows.push_back(benchNtt(n, true));
+        rows.push_back(benchNtt(n, false));
+        rows.push_back(benchBConv(n));
+    }
+    std::vector<std::size_t> ks_degrees =
+        g_smoke ? std::vector<std::size_t>{std::size_t(1) << 12}
+                : nttDegrees();
+    for (std::size_t n : ks_degrees) {
+        rows.push_back(benchKeySwitch(n, false));
+        rows.push_back(benchKeySwitch(n, true));
+    }
+    for (const Row &row : rows)
+        row.print();
+
+    std::string json = "{\n  \"benchmark\": \"kernels\",\n";
+    json += "  \"smoke\": " + std::string(g_smoke ? "true" : "false") +
+            ",\n";
+    json += "  \"host_cpus\": " + std::to_string(cpus) + ",\n";
+    json += "  \"thread_counts\": [";
+    auto threads = threadCounts();
+    for (std::size_t i = 0; i < threads.size(); ++i)
+        json += (i ? ", " : "") + std::to_string(threads[i]);
+    json += "],\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        json += rows[i].json();
+        json += i + 1 < rows.size() ? ",\n" : "\n";
+    }
+    json += "  ]\n}\n";
+
+    std::FILE *f = std::fopen("BENCH_kernels.json", "w");
+    if (f) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        bench::note("wrote BENCH_kernels.json");
+    } else {
+        bench::note("could not write BENCH_kernels.json");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            g_smoke = true;
+    report();
+    return 0;
+}

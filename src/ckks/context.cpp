@@ -12,6 +12,7 @@ CkksContext::CkksContext(CkksParams params)
     : params_(std::move(params)), encoder_(params_.degree)
 {
     params_.validate();
+    ntt_tables_ = math::NttTableSet(params_.degree, keyModuli());
 }
 
 std::vector<u64>

@@ -13,6 +13,7 @@
 
 #include "ckks/encoder.hpp"
 #include "ckks/params.hpp"
+#include "math/ntt.hpp"
 #include "math/rns.hpp"
 
 namespace fast::ckks {
@@ -52,9 +53,17 @@ class CkksContext
     /** Cached RnsBasis for an arbitrary modulus list. */
     const math::RnsBasis &basis(const std::vector<u64> &moduli) const;
 
+    /**
+     * Pre-built NTT tables for every key-basis modulus (q_0..q_L and
+     * the specials), indexed by limb position. Hot kernels index this
+     * directly instead of probing the global cache map per call.
+     */
+    const math::NttTableSet &nttTables() const { return ntt_tables_; }
+
   private:
     CkksParams params_;
     CkksEncoder encoder_;
+    math::NttTableSet ntt_tables_;
 
     mutable std::mutex cache_mutex_;
     mutable std::map<std::pair<std::vector<u64>, std::vector<u64>>,

@@ -8,24 +8,12 @@
 #include <stdexcept>
 
 #include "math/bignum.hpp"
+#include "math/bitops.hpp"
 #include "math/rns.hpp"
 
 namespace fast::ckks {
 
-namespace {
-
-std::size_t
-bitReverse(std::size_t x, int bits)
-{
-    std::size_t r = 0;
-    for (int i = 0; i < bits; ++i) {
-        r = (r << 1) | (x & 1);
-        x >>= 1;
-    }
-    return r;
-}
-
-} // namespace
+using math::bitReverse;
 
 CkksEncoder::CkksEncoder(std::size_t degree) : n_(degree)
 {

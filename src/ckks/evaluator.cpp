@@ -7,6 +7,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "math/parallel.hpp"
+
 namespace fast::ckks {
 
 namespace {
@@ -274,26 +276,33 @@ CkksEvaluator::rescaleInPlace(Ciphertext &ct) const
     std::size_t last = ct.limbCount() - 1;
     u64 q_last = ct.c0.modulus(last);
 
+    const auto &ntt = ctx_->nttTables();
+    auto &eng = math::KernelEngine::global();
     for (RnsPoly *poly : {&ct.c0, &ct.c1}) {
         // Last limb to coefficient form for centered lifting.
         std::vector<u64> tail = poly->limb(last);
-        math::NttTableCache::get(n, q_last)->inverse(tail);
-        for (std::size_t i = 0; i < last; ++i) {
-            u64 q = poly->modulus(i);
-            u64 inv = math::invMod(q_last % q, q);
-            u64 inv_shoup = math::shoupPrecompute(inv, q);
-            // Centered lift of the tail into q_i, then NTT.
+        ntt.forModulus(q_last).inverseParallel(tail.data(), eng);
+        // Every target limb's lift/NTT/fuse is independent; run the
+        // whole per-limb pipeline as one engine task per limb.
+        eng.parallelFor(last, [&](std::size_t i0, std::size_t i1) {
             std::vector<u64> lifted(n);
-            for (std::size_t c = 0; c < n; ++c)
-                lifted[c] = math::fromCentered(
-                    math::toCentered(tail[c], q_last), q);
-            math::NttTableCache::get(n, q)->forward(lifted);
-            auto &limb = poly->limb(i);
-            for (std::size_t c = 0; c < n; ++c) {
-                u64 diff = math::subMod(limb[c], lifted[c], q);
-                limb[c] = math::mulModShoup(diff, inv, inv_shoup, q);
+            for (std::size_t i = i0; i < i1; ++i) {
+                u64 q = poly->modulus(i);
+                u64 inv = math::invMod(q_last % q, q);
+                u64 inv_shoup = math::shoupPrecompute(inv, q);
+                // Centered lift of the tail into q_i, then NTT.
+                for (std::size_t c = 0; c < n; ++c)
+                    lifted[c] = math::fromCentered(
+                        math::toCentered(tail[c], q_last), q);
+                ntt.forModulus(q).forward(lifted.data());
+                auto &limb = poly->limb(i);
+                for (std::size_t c = 0; c < n; ++c) {
+                    u64 diff = math::subMod(limb[c], lifted[c], q);
+                    limb[c] =
+                        math::mulModShoup(diff, inv, inv_shoup, q);
+                }
             }
-        }
+        });
         poly->dropLastLimbs(1);
     }
     ct.scale /= static_cast<double>(q_last);
@@ -313,39 +322,45 @@ CkksEvaluator::rescaleDoubleInPlace(Ciphertext &ct) const
     math::u128 q1q2 = (math::u128)q1 * q2;
     math::u128 half = q1q2 >> 1;
 
+    const auto &ntt = ctx_->nttTables();
+    auto &eng = math::KernelEngine::global();
     for (RnsPoly *poly : {&ct.c0, &ct.c1}) {
         std::vector<u64> tail1 = poly->limb(last - 1);
         std::vector<u64> tail2 = poly->limb(last);
-        math::NttTableCache::get(n, q1)->inverse(tail1);
-        math::NttTableCache::get(n, q2)->inverse(tail2);
-        for (std::size_t i = 0; i + 2 < poly->limbCount(); ++i) {
-            u64 q = poly->modulus(i);
-            u64 inv = math::invMod(
-                math::mulMod(q1 % q, q2 % q, q), q);
-            u64 inv_shoup = math::shoupPrecompute(inv, q);
+        ntt.forModulus(q1).inverseParallel(tail1.data(), eng);
+        ntt.forModulus(q2).inverseParallel(tail2.data(), eng);
+        std::size_t targets = poly->limbCount() - 2;
+        eng.parallelFor(targets, [&](std::size_t i0, std::size_t i1) {
             std::vector<u64> lifted(n);
-            for (std::size_t c = 0; c < n; ++c) {
-                // Compose the pair, center against q1*q2, reduce.
-                u64 t = math::mulMod(
-                    math::subMod(tail2[c] % q2, tail1[c] % q2, q2),
-                    q1_inv_q2, q2);
-                math::u128 v = (math::u128)tail1[c] +
-                               (math::u128)q1 * t;
-                if (v > half) {
-                    math::u128 neg = q1q2 - v;
-                    lifted[c] = math::negMod(
-                        static_cast<u64>(neg % q), q);
-                } else {
-                    lifted[c] = static_cast<u64>(v % q);
+            for (std::size_t i = i0; i < i1; ++i) {
+                u64 q = poly->modulus(i);
+                u64 inv = math::invMod(
+                    math::mulMod(q1 % q, q2 % q, q), q);
+                u64 inv_shoup = math::shoupPrecompute(inv, q);
+                for (std::size_t c = 0; c < n; ++c) {
+                    // Compose the pair, center against q1*q2, reduce.
+                    u64 t = math::mulMod(
+                        math::subMod(tail2[c] % q2, tail1[c] % q2, q2),
+                        q1_inv_q2, q2);
+                    math::u128 v = (math::u128)tail1[c] +
+                                   (math::u128)q1 * t;
+                    if (v > half) {
+                        math::u128 neg = q1q2 - v;
+                        lifted[c] = math::negMod(
+                            static_cast<u64>(neg % q), q);
+                    } else {
+                        lifted[c] = static_cast<u64>(v % q);
+                    }
+                }
+                ntt.forModulus(q).forward(lifted.data());
+                auto &limb = poly->limb(i);
+                for (std::size_t c = 0; c < n; ++c) {
+                    u64 diff = math::subMod(limb[c], lifted[c], q);
+                    limb[c] =
+                        math::mulModShoup(diff, inv, inv_shoup, q);
                 }
             }
-            math::NttTableCache::get(n, q)->forward(lifted);
-            auto &limb = poly->limb(i);
-            for (std::size_t c = 0; c < n; ++c) {
-                u64 diff = math::subMod(limb[c], lifted[c], q);
-                limb[c] = math::mulModShoup(diff, inv, inv_shoup, q);
-            }
-        }
+        });
         poly->dropLastLimbs(2);
     }
     ct.scale /= static_cast<double>(q1);

@@ -1,15 +1,62 @@
 /**
  * @file
  * Implementation of hybrid and gadget key-switching.
+ *
+ * The hot loops (ModUp INTT/BConv/NTT, gadget digit split, ModDown)
+ * run on the KernelEngine in limb x block form, mirroring how the
+ * FAST clusters drive the NTTU/BConvU/KMU in parallel (Sec. 5). NTT
+ * tables come from the context's pre-built NttTableSet — one O(log k)
+ * lookup per limb before dispatch, never inside the inner loops — and
+ * base conversion uses the batched BaseConverter::convertPoly kernel
+ * (no per-coefficient allocation). Every partition is static, so the
+ * results are bit-identical to the serial path for any thread count.
  */
 #include "ckks/keyswitch.hpp"
 
 #include <stdexcept>
 
 #include "math/bignum.hpp"
+#include "math/parallel.hpp"
 #include "math/rns.hpp"
 
 namespace fast::ckks {
+
+namespace {
+
+/**
+ * Transform a batch of limbs (forward when @p fwd) with pre-fetched
+ * tables: whole-limb parallelism when the batch covers the pool,
+ * intra-transform block parallelism otherwise.
+ */
+void
+nttBatch(const std::vector<std::vector<u64> *> &limbs,
+         const std::vector<const math::NttTables *> &tables, bool fwd,
+         math::KernelEngine &eng)
+{
+    if (limbs.size() >= eng.threadCount()) {
+        eng.parallelFor(limbs.size(), [&](std::size_t b,
+                                          std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+                if (fwd)
+                    tables[i]->forward(limbs[i]->data());
+                else
+                    tables[i]->inverse(limbs[i]->data());
+            }
+        });
+    } else {
+        for (std::size_t i = 0; i < limbs.size(); ++i) {
+            if (fwd)
+                tables[i]->forwardParallel(limbs[i]->data(), eng);
+            else
+                tables[i]->inverseParallel(limbs[i]->data(), eng);
+        }
+    }
+}
+
+/** Minimum coefficients per block for fused element-wise loops. */
+constexpr std::size_t kMinFuseBlock = 2048;
+
+} // namespace
 
 KeySwitcher::KeySwitcher(std::shared_ptr<const CkksContext> ctx)
     : ctx_(std::move(ctx))
@@ -29,6 +76,8 @@ std::vector<RnsPoly>
 KeySwitcher::modUpHybrid(const RnsPoly &input) const
 {
     const auto &params = ctx_->params();
+    const auto &ntt = ctx_->nttTables();
+    auto &eng = math::KernelEngine::global();
     std::size_t n = input.degree();
     std::size_t limbs = input.limbCount();
     std::size_t ell = limbs - 1;
@@ -41,15 +90,19 @@ KeySwitcher::modUpHybrid(const RnsPoly &input) const
         std::size_t first = j * params.alpha;
         std::size_t count = std::min(params.alpha, limbs - first);
 
-        // Group limbs back to coefficient form (the INTT step).
+        // Group limbs back to coefficient form (the INTT step),
+        // parallel across the group.
         std::vector<u64> group_mods(count);
         std::vector<std::vector<u64>> group_coeff(count);
+        std::vector<std::vector<u64> *> group_ptrs(count);
+        std::vector<const math::NttTables *> group_tables(count);
         for (std::size_t i = 0; i < count; ++i) {
             group_mods[i] = input.modulus(first + i);
             group_coeff[i] = input.limb(first + i);
-            math::NttTableCache::get(n, group_mods[i])
-                ->inverse(group_coeff[i]);
+            group_ptrs[i] = &group_coeff[i];
+            group_tables[i] = &ntt.forModulus(group_mods[i]);
         }
+        nttBatch(group_ptrs, group_tables, false, eng);
 
         // Complement basis: every extended modulus not in the group.
         std::vector<u64> comp_mods;
@@ -68,22 +121,23 @@ KeySwitcher::modUpHybrid(const RnsPoly &input) const
         for (std::size_t i = 0; i < count; ++i)
             digit.limb(first + i) = input.limb(first + i);
 
-        // Converted limbs: BConv coefficient-wise, then NTT.
-        std::vector<std::vector<u64>> converted(
-            comp_mods.size(), std::vector<u64>(n));
-        std::vector<u64> residues(count), out;
-        for (std::size_t c = 0; c < n; ++c) {
-            for (std::size_t i = 0; i < count; ++i)
-                residues[i] = group_coeff[i][c];
-            out = conv.convert(residues);
-            for (std::size_t t = 0; t < comp_mods.size(); ++t)
-                converted[t][c] = out[t];
-        }
+        // Converted limbs: batched BConv straight into the digit's
+        // limb storage, then forward NTT.
+        std::vector<const u64 *> conv_in(count);
+        for (std::size_t i = 0; i < count; ++i)
+            conv_in[i] = group_coeff[i].data();
+        std::vector<u64 *> conv_out(comp_mods.size());
+        std::vector<std::vector<u64> *> out_ptrs(comp_mods.size());
+        std::vector<const math::NttTables *> out_tables(
+            comp_mods.size());
         for (std::size_t t = 0; t < comp_mods.size(); ++t) {
-            math::NttTableCache::get(n, comp_mods[t])
-                ->forward(converted[t]);
-            digit.limb(comp_index[t]) = std::move(converted[t]);
+            auto &limb = digit.limb(comp_index[t]);
+            conv_out[t] = limb.data();
+            out_ptrs[t] = &limb;
+            out_tables[t] = &ntt.forModulus(comp_mods[t]);
         }
+        conv.convertPoly(conv_in, n, conv_out, eng);
+        nttBatch(out_ptrs, out_tables, true, eng);
         digits.push_back(std::move(digit));
     }
     return digits;
@@ -93,6 +147,7 @@ std::vector<RnsPoly>
 KeySwitcher::decomposeGadget(const RnsPoly &input) const
 {
     const auto &params = ctx_->params();
+    auto &eng = math::KernelEngine::global();
     std::size_t n = input.degree();
     std::size_t ell = input.limbCount() - 1;
     std::size_t digit_count = params.gadgetDigitsAtLevel(ell);
@@ -108,23 +163,29 @@ KeySwitcher::decomposeGadget(const RnsPoly &input) const
         digit_count,
         RnsPoly(n, ext_moduli, math::PolyForm::coeff));
 
-    std::vector<u64> residues(coeff_poly.limbCount());
-    for (std::size_t c = 0; c < n; ++c) {
-        for (std::size_t i = 0; i < residues.size(); ++i)
-            residues[i] = coeff_poly.limb(i)[c];
-        math::BigUInt x = q_basis.compose(residues);
-        // x = sum_t digit_t * 2^{v t}, digits in [0, 2^v).
-        for (std::size_t t = 0; t < digit_count; ++t) {
-            math::BigUInt low = x.lowBits(static_cast<std::size_t>(v));
-            u64 d = low.word(0);
-            x = x >> static_cast<std::size_t>(v);
-            if (d == 0)
-                continue;
-            auto &digit = digits[t];
-            for (std::size_t mi = 0; mi < ext_moduli.size(); ++mi)
-                digit.limb(mi)[c] = d % ext_moduli[mi];
+    // Each coefficient's CRT compose + digit split is independent;
+    // blocks write disjoint columns of every digit poly.
+    std::size_t limbs = coeff_poly.limbCount();
+    eng.parallelFor(n, [&](std::size_t c0, std::size_t c1) {
+        std::vector<u64> residues(limbs);
+        for (std::size_t c = c0; c < c1; ++c) {
+            for (std::size_t i = 0; i < limbs; ++i)
+                residues[i] = coeff_poly.limb(i)[c];
+            math::BigUInt x = q_basis.compose(residues);
+            // x = sum_t digit_t * 2^{v t}, digits in [0, 2^v).
+            for (std::size_t t = 0; t < digit_count; ++t) {
+                math::BigUInt low =
+                    x.lowBits(static_cast<std::size_t>(v));
+                u64 d = low.word(0);
+                x = x >> static_cast<std::size_t>(v);
+                if (d == 0)
+                    continue;
+                auto &digit = digits[t];
+                for (std::size_t mi = 0; mi < ext_moduli.size(); ++mi)
+                    digit.limb(mi)[c] = d % ext_moduli[mi];
+            }
         }
-    }
+    });
     for (auto &digit : digits)
         digit.toEval();
     return digits;
@@ -177,48 +238,68 @@ RnsPoly
 KeySwitcher::modDown(const RnsPoly &extended) const
 {
     const auto &params = ctx_->params();
+    const auto &ntt = ctx_->nttTables();
+    auto &eng = math::KernelEngine::global();
     std::size_t specials = params.p_chain.size();
     std::size_t q_limbs = extended.limbCount() - specials;
     std::size_t n = extended.degree();
 
     // Special limbs to coefficient form.
     std::vector<std::vector<u64>> p_coeff(specials);
+    std::vector<std::vector<u64> *> p_ptrs(specials);
+    std::vector<const math::NttTables *> p_tables(specials);
     for (std::size_t i = 0; i < specials; ++i) {
         p_coeff[i] = extended.limb(q_limbs + i);
-        math::NttTableCache::get(n, params.p_chain[i])
-            ->inverse(p_coeff[i]);
+        p_ptrs[i] = &p_coeff[i];
+        p_tables[i] = &ntt.forModulus(params.p_chain[i]);
     }
+    nttBatch(p_ptrs, p_tables, false, eng);
 
-    // BConv specials -> q basis.
+    // Batched BConv specials -> q basis.
     std::vector<u64> q_mods(extended.moduli().begin(),
                             extended.moduli().begin() +
                                 static_cast<std::ptrdiff_t>(q_limbs));
     const auto &conv = ctx_->converter(params.p_chain, q_mods);
     std::vector<std::vector<u64>> converted(
         q_limbs, std::vector<u64>(n));
-    std::vector<u64> residues(specials), out;
-    for (std::size_t c = 0; c < n; ++c) {
-        for (std::size_t i = 0; i < specials; ++i)
-            residues[i] = p_coeff[i][c];
-        out = conv.convert(residues);
-        for (std::size_t i = 0; i < q_limbs; ++i)
-            converted[i][c] = out[i];
+    std::vector<const u64 *> conv_in(specials);
+    for (std::size_t i = 0; i < specials; ++i)
+        conv_in[i] = p_coeff[i].data();
+    std::vector<u64 *> conv_out(q_limbs);
+    std::vector<std::vector<u64> *> q_ptrs(q_limbs);
+    std::vector<const math::NttTables *> q_tables(q_limbs);
+    for (std::size_t i = 0; i < q_limbs; ++i) {
+        conv_out[i] = converted[i].data();
+        q_ptrs[i] = &converted[i];
+        q_tables[i] = &ntt.forModulus(q_mods[i]);
     }
+    conv.convertPoly(conv_in, n, conv_out, eng);
+    nttBatch(q_ptrs, q_tables, true, eng);
 
-    // result_i = (x_i - conv_i) * P^{-1} mod q_i.
+    // result_i = (x_i - conv_i) * P^{-1} mod q_i — fused subtract +
+    // scale with the per-limb constants hoisted out of the grid.
     RnsPoly result(n, q_mods, math::PolyForm::eval);
+    std::vector<u64> p_inv(q_limbs), p_inv_shoup(q_limbs);
     for (std::size_t i = 0; i < q_limbs; ++i) {
         u64 q = q_mods[i];
-        math::NttTableCache::get(n, q)->forward(converted[i]);
-        u64 p_inv = math::invMod(ctx_->specialProductMod(q), q);
-        u64 p_inv_shoup = math::shoupPrecompute(p_inv, q);
-        const auto &src = extended.limb(i);
-        auto &dst = result.limb(i);
-        for (std::size_t c = 0; c < n; ++c) {
-            u64 diff = math::subMod(src[c], converted[i][c], q);
-            dst[c] = math::mulModShoup(diff, p_inv, p_inv_shoup, q);
-        }
+        p_inv[i] = math::invMod(ctx_->specialProductMod(q), q);
+        p_inv_shoup[i] = math::shoupPrecompute(p_inv[i], q);
     }
+    std::size_t blocks = math::KernelEngine::blocksFor(
+        n, eng.threadCount(), kMinFuseBlock);
+    eng.parallelFor2D(q_limbs, blocks, [&](std::size_t i,
+                                           std::size_t b) {
+        u64 q = q_mods[i];
+        const auto &src = extended.limb(i);
+        const auto &cv = converted[i];
+        auto &dst = result.limb(i);
+        std::size_t c1 = n * (b + 1) / blocks;
+        for (std::size_t c = n * b / blocks; c < c1; ++c) {
+            u64 diff = math::subMod(src[c], cv[c], q);
+            dst[c] = math::mulModShoup(diff, p_inv[i], p_inv_shoup[i],
+                                       q);
+        }
+    });
     return result;
 }
 

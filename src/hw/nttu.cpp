@@ -7,6 +7,7 @@
 
 #include <stdexcept>
 
+#include "math/bitops.hpp"
 #include "math/primes.hpp"
 
 namespace fast::hw {
@@ -49,16 +50,7 @@ subDft(const std::vector<u64> &in, u64 root, u64 q)
     return out;
 }
 
-std::size_t
-bitReverse(std::size_t x, int bits)
-{
-    std::size_t r = 0;
-    for (int i = 0; i < bits; ++i) {
-        r = (r << 1) | (x & 1);
-        x >>= 1;
-    }
-    return r;
-}
+using math::bitReverse;
 
 /**
  * Recursive four-step cyclic DFT: y[t1 + n1*t2] =

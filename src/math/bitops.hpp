@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared bit-manipulation helpers.
+ *
+ * bitReverse / log2Exact used to be copy-pasted into every module that
+ * walks an NTT-ordered table (ntt.cpp, poly.cpp, encoder.cpp,
+ * nttu.cpp, benes.cpp). They live here once so the kernel engine, the
+ * functional layer, and the hardware models agree on the exact
+ * indexing conventions.
+ */
+#ifndef FAST_MATH_BITOPS_HPP
+#define FAST_MATH_BITOPS_HPP
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace fast::math {
+
+/** Reverse the low @p bits bits of @p x. */
+constexpr std::size_t
+bitReverse(std::size_t x, int bits)
+{
+    std::size_t r = 0;
+    for (int i = 0; i < bits; ++i) {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    return r;
+}
+
+/** floor(log2(n)) for n >= 1; 0 for n == 0. */
+constexpr int
+floorLog2(std::size_t n)
+{
+    int lg = 0;
+    while ((std::size_t(1) << (lg + 1)) <= n)
+        ++lg;
+    return lg;
+}
+
+/**
+ * log2 of an exact power of two; throws std::invalid_argument
+ * otherwise.
+ */
+inline int
+log2Exact(std::size_t n)
+{
+    int lg = 0;
+    while ((std::size_t(1) << lg) < n)
+        ++lg;
+    if ((std::size_t(1) << lg) != n)
+        throw std::invalid_argument("size must be a power of two");
+    return lg;
+}
+
+} // namespace fast::math
+
+#endif // FAST_MATH_BITOPS_HPP

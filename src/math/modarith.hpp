@@ -117,6 +117,21 @@ mulModShoup(u64 a, u64 w, u64 wp, u64 q)
     return r >= q ? r - q : r;
 }
 
+/**
+ * Lazy Shoup multiplication: result in [0, 2q), congruent to a*w
+ * mod q, for ANY a < 2^64 (a need not be reduced). Skipping the final
+ * conditional subtraction is what enables the 2q-delayed ("lazy")
+ * reduction in the batched NTT butterfly loops: values ride in
+ * [0, 4q) between stages and are canonicalized once at the end.
+ * Requires q < 2^62 so 4q fits in 64 bits.
+ */
+inline u64
+mulModShoupLazy(u64 a, u64 w, u64 wp, u64 q)
+{
+    u64 hi = static_cast<u64>(((u128)a * wp) >> 64);
+    return a * w - hi * q;
+}
+
 /** Modular exponentiation by squaring. */
 u64 powMod(u64 base, u64 exp, u64 q);
 

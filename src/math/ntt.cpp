@@ -1,45 +1,75 @@
 /**
  * @file
  * Implementation of the negacyclic NTT with Shoup twiddles.
+ *
+ * Hot-path butterflies use Harvey-style lazy reduction: values ride in
+ * [0, 4q) between forward stages ([0, 2q) between inverse stages) and
+ * are canonicalized once at the end, halving the data-dependent
+ * branches in the inner loops. The parallel variants split the stage
+ * loops across power-of-two coefficient blocks on a KernelEngine with
+ * a static partition, so every butterfly computes exactly the same
+ * values as the serial path — bit-identical for any thread count.
  */
 #include "math/ntt.hpp"
 
+#include <algorithm>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 
+#include "math/bitops.hpp"
+#include "math/parallel.hpp"
 #include "math/primes.hpp"
 
 namespace fast::math {
 
 namespace {
 
-int
-log2Exact(std::size_t n)
+/** Minimum coefficients per parallel NTT block. */
+constexpr std::size_t kMinNttBlock = 256;
+
+/**
+ * Cooley-Tukey butterflies j in [j1, j1+len) with partner j+t and one
+ * twiddle (w, wp). Lazy: inputs < 4q, outputs < 4q.
+ */
+inline void
+ctButterflies(u64 *data, std::size_t j1, std::size_t len, std::size_t t,
+              u64 w, u64 wp, u64 q, u64 two_q)
 {
-    int lg = 0;
-    while ((std::size_t(1) << lg) < n)
-        ++lg;
-    if ((std::size_t(1) << lg) != n)
-        throw std::invalid_argument("NTT degree must be a power of two");
-    return lg;
+    for (std::size_t j = j1; j < j1 + len; ++j) {
+        u64 u = data[j];
+        if (u >= two_q)
+            u -= two_q;
+        u64 v = mulModShoupLazy(data[j + t], w, wp, q);
+        data[j] = u + v;
+        data[j + t] = u - v + two_q;
+    }
 }
 
-std::size_t
-bitReverse(std::size_t x, int bits)
+/**
+ * Gentleman-Sande butterflies j in [j1, j1+len) with partner j+t.
+ * Lazy: inputs < 2q, outputs < 2q.
+ */
+inline void
+gsButterflies(u64 *data, std::size_t j1, std::size_t len, std::size_t t,
+              u64 w, u64 wp, u64 q, u64 two_q)
 {
-    std::size_t r = 0;
-    for (int i = 0; i < bits; ++i) {
-        r = (r << 1) | (x & 1);
-        x >>= 1;
+    for (std::size_t j = j1; j < j1 + len; ++j) {
+        u64 u = data[j];
+        u64 v = data[j + t];
+        u64 s = u + v;
+        data[j] = s >= two_q ? s - two_q : s;
+        data[j + t] = mulModShoupLazy(u - v + two_q, w, wp, q);
     }
-    return r;
 }
 
 } // namespace
 
 NttTables::NttTables(std::size_t n, u64 q) : n_(n), q_(q)
 {
+    if (q >= (u64(1) << 62))
+        throw std::invalid_argument("NTT modulus must be < 2^62");
     log_n_ = log2Exact(n);
     u64 psi = minimalPrimitiveRoot2N(q, n);
     u64 psi_inv = invMod(psi, q);
@@ -76,7 +106,164 @@ void
 NttTables::forward(u64 *data) const
 {
     // Cooley-Tukey decimation-in-time with merged psi twiddles
-    // (Longa-Naehrig). Input natural order, output bit-reversed.
+    // (Longa-Naehrig) and lazy reduction. Input natural order
+    // (canonical), output bit-reversed (canonical).
+    const u64 q = q_;
+    const u64 two_q = 2 * q;
+    std::size_t t = n_;
+    for (std::size_t m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        for (std::size_t i = 0; i < m; ++i)
+            ctButterflies(data, 2 * i * t, t, t, roots_[m + i],
+                          roots_shoup_[m + i], q, two_q);
+    }
+    for (std::size_t j = 0; j < n_; ++j) {
+        u64 x = data[j];
+        if (x >= two_q)
+            x -= two_q;
+        data[j] = x >= q ? x - q : x;
+    }
+}
+
+void
+NttTables::inverse(u64 *data) const
+{
+    // Gentleman-Sande decimation-in-frequency with merged inverse
+    // twiddles and lazy reduction. Input bit-reversed, output natural
+    // order; the N^-1 scaling pass canonicalizes.
+    const u64 q = q_;
+    const u64 two_q = 2 * q;
+    std::size_t t = 1;
+    for (std::size_t m = n_ >> 1; m >= 1; m >>= 1) {
+        for (std::size_t i = 0; i < m; ++i)
+            gsButterflies(data, 2 * i * t, t, t, inv_roots_[m + i],
+                          inv_roots_shoup_[m + i], q, two_q);
+        t <<= 1;
+    }
+    for (std::size_t j = 0; j < n_; ++j) {
+        u64 x = mulModShoupLazy(data[j], n_inv_, n_inv_shoup_, q);
+        data[j] = x >= q ? x - q : x;
+    }
+}
+
+std::size_t
+NttTables::blockCount(KernelEngine &engine) const
+{
+    return KernelEngine::blocksFor(n_, engine.threadCount(),
+                                   kMinNttBlock);
+}
+
+void
+NttTables::forwardParallel(u64 *data, KernelEngine &engine) const
+{
+    std::size_t blocks = blockCount(engine);
+    if (blocks <= 1) {
+        forward(data);
+        return;
+    }
+    const u64 q = q_;
+    const u64 two_q = 2 * q;
+    const std::size_t span = n_ / blocks;
+
+    // Upper stages (group count m < blocks): each group's butterfly
+    // range is split into blocks/m static sub-ranges; one barrier per
+    // stage keeps the cross-block partner accesses ordered.
+    std::size_t t = n_;
+    for (std::size_t m = 1; m < blocks; m <<= 1) {
+        t >>= 1;
+        engine.parallelFor(blocks, [&](std::size_t b0, std::size_t b1) {
+            std::size_t per_group = blocks / m;
+            std::size_t len = t / per_group;
+            for (std::size_t b = b0; b < b1; ++b) {
+                std::size_t i = b / per_group;
+                std::size_t sub = b % per_group;
+                ctButterflies(data, 2 * i * t + sub * len, len, t,
+                              roots_[m + i], roots_shoup_[m + i], q,
+                              two_q);
+            }
+        });
+    }
+
+    // From m = blocks on, every group's [j1, j1+2t) span nests inside
+    // one coefficient block: each block finishes its sub-transform and
+    // canonicalizes independently — no further barriers.
+    engine.parallelFor(blocks, [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t b = b0; b < b1; ++b) {
+            for (std::size_t m = blocks; m < n_; m <<= 1) {
+                std::size_t tt = n_ / (2 * m);
+                std::size_t g0 = b * (m / blocks);
+                std::size_t g1 = (b + 1) * (m / blocks);
+                for (std::size_t i = g0; i < g1; ++i)
+                    ctButterflies(data, 2 * i * tt, tt, tt,
+                                  roots_[m + i], roots_shoup_[m + i],
+                                  q, two_q);
+            }
+            for (std::size_t j = b * span; j < (b + 1) * span; ++j) {
+                u64 x = data[j];
+                if (x >= two_q)
+                    x -= two_q;
+                data[j] = x >= q ? x - q : x;
+            }
+        }
+    });
+}
+
+void
+NttTables::inverseParallel(u64 *data, KernelEngine &engine) const
+{
+    std::size_t blocks = blockCount(engine);
+    if (blocks <= 1) {
+        inverse(data);
+        return;
+    }
+    const u64 q = q_;
+    const u64 two_q = 2 * q;
+    const std::size_t span = n_ / blocks;
+
+    // Stages with m >= blocks groups are block-local (the mirror of
+    // the forward phase 2): one dispatch covers all of them.
+    engine.parallelFor(blocks, [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t b = b0; b < b1; ++b) {
+            for (std::size_t m = n_ >> 1; m >= blocks; m >>= 1) {
+                std::size_t tt = n_ / (2 * m);
+                std::size_t g0 = b * (m / blocks);
+                std::size_t g1 = (b + 1) * (m / blocks);
+                for (std::size_t i = g0; i < g1; ++i)
+                    gsButterflies(data, 2 * i * tt, tt, tt,
+                                  inv_roots_[m + i],
+                                  inv_roots_shoup_[m + i], q, two_q);
+            }
+        }
+    });
+
+    // Final log2(blocks) stages: split each group across blocks with a
+    // barrier per stage.
+    for (std::size_t m = blocks >> 1; m >= 1; m >>= 1) {
+        std::size_t t = n_ / (2 * m);
+        engine.parallelFor(blocks, [&](std::size_t b0, std::size_t b1) {
+            std::size_t per_group = blocks / m;
+            std::size_t len = t / per_group;
+            for (std::size_t b = b0; b < b1; ++b) {
+                std::size_t i = b / per_group;
+                std::size_t sub = b % per_group;
+                gsButterflies(data, 2 * i * t + sub * len, len, t,
+                              inv_roots_[m + i], inv_roots_shoup_[m + i],
+                              q, two_q);
+            }
+        });
+    }
+
+    engine.parallelFor(blocks, [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t j = b0 * span; j < b1 * span; ++j) {
+            u64 x = mulModShoupLazy(data[j], n_inv_, n_inv_shoup_, q);
+            data[j] = x >= q ? x - q : x;
+        }
+    });
+}
+
+void
+NttTables::forwardReference(u64 *data) const
+{
     const u64 q = q_;
     std::size_t t = n_;
     for (std::size_t m = 1; m < n_; m <<= 1) {
@@ -97,10 +284,8 @@ NttTables::forward(u64 *data) const
 }
 
 void
-NttTables::inverse(u64 *data) const
+NttTables::inverseReference(u64 *data) const
 {
-    // Gentleman-Sande decimation-in-frequency with merged inverse
-    // twiddles. Input bit-reversed, output natural order.
     const u64 q = q_;
     std::size_t t = 1;
     for (std::size_t m = n_ >> 1; m >= 1; m >>= 1) {
@@ -126,26 +311,62 @@ NttTables::inverse(u64 *data) const
 std::size_t
 NttTables::multCount(std::size_t n)
 {
-    std::size_t lg = 0;
-    while ((std::size_t(1) << lg) < n)
-        ++lg;
-    return (n / 2) * lg;
+    return (n / 2) * static_cast<std::size_t>(floorLog2(n));
 }
 
 std::shared_ptr<const NttTables>
 NttTableCache::get(std::size_t n, u64 q)
 {
-    static std::mutex mutex;
+    static std::shared_mutex mutex;
     static std::map<std::pair<std::size_t, u64>,
                     std::shared_ptr<const NttTables>> cache;
-    std::lock_guard<std::mutex> lock(mutex);
     auto key = std::make_pair(n, q);
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mutex);
     auto it = cache.find(key);
     if (it != cache.end())
         return it->second;
     auto tables = std::make_shared<const NttTables>(n, q);
     cache.emplace(key, tables);
     return tables;
+}
+
+NttTableSet::NttTableSet(std::size_t n, const std::vector<u64> &moduli)
+{
+    tables_.reserve(moduli.size());
+    by_modulus_.reserve(moduli.size());
+    for (std::size_t i = 0; i < moduli.size(); ++i) {
+        tables_.push_back(NttTableCache::get(n, moduli[i]));
+        by_modulus_.emplace_back(moduli[i], i);
+    }
+    std::sort(by_modulus_.begin(), by_modulus_.end());
+}
+
+const NttTables *
+NttTableSet::find(u64 q) const
+{
+    auto it = std::lower_bound(
+        by_modulus_.begin(), by_modulus_.end(), q,
+        [](const std::pair<u64, std::size_t> &e, u64 v) {
+            return e.first < v;
+        });
+    if (it == by_modulus_.end() || it->first != q)
+        return nullptr;
+    return tables_[it->second].get();
+}
+
+const NttTables &
+NttTableSet::forModulus(u64 q) const
+{
+    const NttTables *t = find(q);
+    if (!t)
+        throw std::out_of_range("modulus not in NttTableSet");
+    return *t;
 }
 
 } // namespace fast::math

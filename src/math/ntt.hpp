@@ -11,6 +11,20 @@
  * Shoup-precomputed root tables, i.e. (N/2)·log2(N) modular
  * multiplications per transform — the exact count the cost model and
  * the NTTU cycle model assume.
+ *
+ * Two implementations are provided per direction:
+ *  - forward()/inverse(): batched butterflies with lazy (2q-delayed)
+ *    reduction (Harvey style) — values ride in [0, 4q) between stages
+ *    and are canonicalized once at the end. Output is bit-identical to
+ *    the strict path.
+ *  - forwardReference()/inverseReference(): the strict per-butterfly
+ *    reduction path, kept as the scalar baseline for the equivalence
+ *    tests and bench/kernels speedup reporting.
+ * Plus forwardParallel()/inverseParallel(), which split the butterfly
+ * stages across coefficient blocks on a KernelEngine: upper stages
+ * (group count < block count) are barriered per stage, lower stages
+ * run block-local — the same limb x block decomposition the NTTU's
+ * lane clusters use.
  */
 #ifndef FAST_MATH_NTT_HPP
 #define FAST_MATH_NTT_HPP
@@ -22,6 +36,8 @@
 #include "math/modarith.hpp"
 
 namespace fast::math {
+
+class KernelEngine;
 
 /**
  * Precomputed tables for the negacyclic NTT over one prime modulus.
@@ -45,6 +61,18 @@ class NttTables
     /** In-place inverse NTT: bit-reversed in, coefficient order out. */
     void inverse(u64 *data) const;
 
+    /**
+     * Block-parallel transforms on @p engine. Bit-identical to the
+     * serial path for any thread count (static power-of-two block
+     * partition; every butterfly computes the same values).
+     */
+    void forwardParallel(u64 *data, KernelEngine &engine) const;
+    void inverseParallel(u64 *data, KernelEngine &engine) const;
+
+    /** Strict-reduction scalar baselines (the seed implementation). */
+    void forwardReference(u64 *data) const;
+    void inverseReference(u64 *data) const;
+
     /** Convenience overloads operating on whole vectors. */
     void forward(std::vector<u64> &data) const { forward(data.data()); }
     void inverse(std::vector<u64> &data) const { inverse(data.data()); }
@@ -53,6 +81,8 @@ class NttTables
     static std::size_t multCount(std::size_t n);
 
   private:
+    std::size_t blockCount(KernelEngine &engine) const;
+
     std::size_t n_;
     int log_n_;
     u64 q_;
@@ -67,13 +97,49 @@ class NttTables
 /**
  * Shared cache of NTT tables keyed by (degree, modulus). Parameter
  * setup constructs tables once; evaluators and the simulator's
- * functional checks all reuse them.
+ * functional checks all reuse them. Lookups take a shared (reader)
+ * lock so concurrent hot-path probes never serialize; only the first
+ * construction of a table takes the exclusive lock.
  */
 class NttTableCache
 {
   public:
     /** Get or build tables for (n, q). */
     static std::shared_ptr<const NttTables> get(std::size_t n, u64 q);
+};
+
+/**
+ * A context-owned, pre-built table array indexed by limb position —
+ * the hot paths index this O(1) instead of probing the global cache
+ * map per call. Immutable after construction, so it is shared freely
+ * across the engine's worker threads without locking.
+ */
+class NttTableSet
+{
+  public:
+    NttTableSet() = default;
+
+    /** Build (via the shared cache) tables for every modulus. */
+    NttTableSet(std::size_t n, const std::vector<u64> &moduli);
+
+    std::size_t size() const { return tables_.size(); }
+
+    /** Table for the limb at position @p i in the modulus list. */
+    const NttTables &operator[](std::size_t i) const
+    {
+        return *tables_[i];
+    }
+
+    /** Table for modulus @p q, or nullptr when absent. */
+    const NttTables *find(u64 q) const;
+
+    /** Table for modulus @p q; throws std::out_of_range if absent. */
+    const NttTables &forModulus(u64 q) const;
+
+  private:
+    std::vector<std::shared_ptr<const NttTables>> tables_;
+    /** (modulus, index) pairs sorted by modulus for O(log k) find. */
+    std::vector<std::pair<u64, std::size_t>> by_modulus_;
 };
 
 } // namespace fast::math

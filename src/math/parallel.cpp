@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Implementation of the deterministic kernel engine.
+ */
+#include "math/parallel.hpp"
+
+#include <cstdlib>
+
+namespace fast::math {
+
+namespace {
+
+thread_local bool tl_in_worker = false;
+
+} // namespace
+
+KernelEngine::KernelEngine(std::size_t threads)
+{
+    threads_ = threads ? threads : defaultThreadCount();
+    startWorkers(threads_ - 1);
+}
+
+KernelEngine::~KernelEngine()
+{
+    stopWorkers();
+}
+
+KernelEngine &
+KernelEngine::global()
+{
+    static KernelEngine engine;
+    return engine;
+}
+
+std::size_t
+KernelEngine::defaultThreadCount()
+{
+    if (const char *env = std::getenv("FAST_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc ? hc : 1;
+}
+
+bool
+KernelEngine::inWorker()
+{
+    return tl_in_worker;
+}
+
+void
+KernelEngine::setThreadCount(std::size_t threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    if (threads == threads_)
+        return;
+    stopWorkers();
+    threads_ = threads;
+    startWorkers(threads_ - 1);
+}
+
+void
+KernelEngine::startWorkers(std::size_t worker_count)
+{
+    shutdown_ = false;
+    generation_ = 0;
+    workers_.reserve(worker_count);
+    for (std::size_t w = 0; w < worker_count; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+void
+KernelEngine::stopWorkers()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    wake_cv_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+    workers_.clear();
+}
+
+void
+KernelEngine::workerLoop(std::size_t worker_index)
+{
+    tl_in_worker = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *job = nullptr;
+        std::size_t chunks = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_cv_.wait(lock, [&] {
+                return shutdown_ || generation_ != seen;
+            });
+            if (shutdown_)
+                return;
+            seen = generation_;
+            job = job_;
+            chunks = job_chunks_;
+        }
+        // Static ownership: worker w always runs chunk w + 1 (the
+        // caller runs chunk 0). No stealing, no timing dependence.
+        if (worker_index + 1 < chunks)
+            (*job)(worker_index + 1);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++acked_;
+        }
+        done_cv_.notify_one();
+    }
+}
+
+void
+KernelEngine::dispatch(const std::function<void(std::size_t)> &run_chunk,
+                       std::size_t chunks)
+{
+    if (chunks <= 1 || workers_.empty() || tl_in_worker ||
+        !region_mutex_.try_lock()) {
+        // Inline fallback: nested regions, a busy pool, or a 1-thread
+        // engine all run serially on the caller. Same chunk->range
+        // mapping, so bit-identical results.
+        for (std::size_t c = 0; c < chunks; ++c)
+            run_chunk(c);
+        return;
+    }
+    std::lock_guard<std::mutex> region(region_mutex_, std::adopt_lock);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &run_chunk;
+        job_chunks_ = chunks;
+        acked_ = 0;
+        ++generation_;
+    }
+    wake_cv_.notify_all();
+    run_chunk(0);
+    // Wait for every worker to acknowledge this generation (idle
+    // workers ack too) so the job pointer can be safely reused.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return acked_ == workers_.size(); });
+    job_ = nullptr;
+}
+
+void
+KernelEngine::parallelFor(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    std::size_t chunks = threads_ < count ? threads_ : count;
+    std::function<void(std::size_t)> run = [&](std::size_t c) {
+        std::size_t begin = count * c / chunks;
+        std::size_t end = count * (c + 1) / chunks;
+        body(begin, end);
+    };
+    dispatch(run, chunks);
+}
+
+void
+KernelEngine::parallelFor2D(
+    std::size_t outer, std::size_t inner,
+    const std::function<void(std::size_t, std::size_t)> &body)
+{
+    if (outer == 0 || inner == 0)
+        return;
+    parallelFor(outer * inner, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t g = begin; g < end; ++g)
+            body(g / inner, g % inner);
+    });
+}
+
+std::size_t
+KernelEngine::blocksFor(std::size_t n, std::size_t threads,
+                        std::size_t min_chunk)
+{
+    if (min_chunk == 0)
+        min_chunk = 1;
+    std::size_t blocks = 1;
+    while (blocks * 2 <= threads && n / (blocks * 2) >= min_chunk)
+        blocks <<= 1;
+    return blocks;
+}
+
+} // namespace fast::math

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * KernelEngine — the deterministic parallel kernel engine for the
+ * functional CKKS layer.
+ *
+ * The FAST architecture gets its throughput from scalable parallelism:
+ * 4 clusters x 256 lanes feeding the NTTU/BConvU/KMU (Sec. 5). The
+ * software counterpart is this engine: a fixed pool of worker threads
+ * with a *static, work-stealing-free* partitioning primitive,
+ * `parallelFor2D(limbs, blocks)`, that every hot kernel (NTT
+ * butterflies, coefficient-wise poly ops, BConv inner products,
+ * ModUp/KeyMult/ModDown) routes through.
+ *
+ * Determinism contract
+ * --------------------
+ * Chunk boundaries depend only on (count, chunk count), chunks write
+ * disjoint data, and no kernel performs cross-chunk reductions, so the
+ * results are bit-identical to the serial path for ANY thread count.
+ * That is what lets the engine stay enabled by default and be shared
+ * by the fast::serve device workers.
+ *
+ * Sizing: `FAST_THREADS` env var if set (> 0), else
+ * std::thread::hardware_concurrency(). Tests and benches may resize a
+ * pool with setThreadCount(); results do not change, only wall-clock.
+ *
+ * Nesting / contention: a parallel region issued from inside a worker
+ * (or while another thread holds the pool) runs inline on the calling
+ * thread — same results, no deadlock.
+ */
+#ifndef FAST_MATH_PARALLEL_HPP
+#define FAST_MATH_PARALLEL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fast::math {
+
+/**
+ * A deterministic thread pool with static block partitioning.
+ */
+class KernelEngine
+{
+  public:
+    /** Pool sized from FAST_THREADS / hardware concurrency. */
+    KernelEngine() : KernelEngine(defaultThreadCount()) {}
+
+    /** Pool with an explicit thread count (>= 1; 0 means default). */
+    explicit KernelEngine(std::size_t threads);
+
+    ~KernelEngine();
+
+    KernelEngine(const KernelEngine &) = delete;
+    KernelEngine &operator=(const KernelEngine &) = delete;
+
+    /** The process-wide engine every kernel uses by default. */
+    static KernelEngine &global();
+
+    /** FAST_THREADS if set and positive, else hardware concurrency. */
+    static std::size_t defaultThreadCount();
+
+    std::size_t threadCount() const { return threads_; }
+
+    /**
+     * Resize the pool. Must not be called concurrently with parallel
+     * regions on the same engine. Results are unaffected; only
+     * wall-clock changes.
+     */
+    void setThreadCount(std::size_t threads);
+
+    /**
+     * Run body(begin, end) over a static partition of [0, count) into
+     * min(threadCount, count) contiguous chunks. Blocks until every
+     * chunk has completed. Chunk boundaries are
+     * [c*count/chunks, (c+1)*count/chunks) — a pure function of count
+     * and the chunk count, never of timing.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t, std::size_t)>
+                         &body);
+
+    /**
+     * The limb x block grid primitive: runs body(i, j) for every pair
+     * in [0, outer) x [0, inner), partitioned as contiguous chunks of
+     * the flattened (i * inner + j) index space.
+     */
+    void parallelFor2D(
+        std::size_t outer, std::size_t inner,
+        const std::function<void(std::size_t, std::size_t)> &body);
+
+    /**
+     * Largest power-of-two block count B <= threads with
+     * n / B >= min_chunk (always >= 1). Used by kernels that split a
+     * single limb's coefficient range.
+     */
+    static std::size_t blocksFor(std::size_t n, std::size_t threads,
+                                 std::size_t min_chunk);
+
+    /** True while the calling thread is one of this pool's workers. */
+    static bool inWorker();
+
+  private:
+    void startWorkers(std::size_t worker_count);
+    void stopWorkers();
+    void workerLoop(std::size_t worker_index);
+    void dispatch(const std::function<void(std::size_t)> &run_chunk,
+                  std::size_t chunks);
+
+    std::size_t threads_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_cv_;
+    std::condition_variable done_cv_;
+    std::uint64_t generation_ = 0;
+    bool shutdown_ = false;
+    const std::function<void(std::size_t)> *job_ = nullptr;
+    std::size_t job_chunks_ = 0;
+    std::size_t acked_ = 0;
+
+    /** Serializes parallel regions; contenders fall back to inline. */
+    std::mutex region_mutex_;
+};
+
+} // namespace fast::math
+
+#endif // FAST_MATH_PARALLEL_HPP

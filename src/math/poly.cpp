@@ -6,28 +6,31 @@
 
 #include <stdexcept>
 
+#include "math/bitops.hpp"
+#include "math/parallel.hpp"
+
 namespace fast::math {
 
 namespace {
 
-std::size_t
-bitReverse(std::size_t x, int bits)
-{
-    std::size_t r = 0;
-    for (int i = 0; i < bits; ++i) {
-        r = (r << 1) | (x & 1);
-        x >>= 1;
-    }
-    return r;
-}
+/** Minimum coefficients per block for element-wise poly kernels. */
+constexpr std::size_t kMinPolyBlock = 2048;
 
-int
-log2Of(std::size_t n)
+/**
+ * Run body(limb, begin, end) over the limb x coefficient-block grid on
+ * the global engine. Static partition: bit-identical results for any
+ * thread count.
+ */
+template <typename Body>
+void
+forEachLimbBlock(std::size_t limbs, std::size_t n, const Body &body)
 {
-    int lg = 0;
-    while ((std::size_t(1) << lg) < n)
-        ++lg;
-    return lg;
+    KernelEngine &eng = KernelEngine::global();
+    std::size_t blocks =
+        KernelEngine::blocksFor(n, eng.threadCount(), kMinPolyBlock);
+    eng.parallelFor2D(limbs, blocks, [&](std::size_t i, std::size_t b) {
+        body(i, n * b / blocks, n * (b + 1) / blocks);
+    });
 }
 
 } // namespace
@@ -61,13 +64,14 @@ RnsPoly &
 RnsPoly::operator+=(const RnsPoly &other)
 {
     requireCompatible(other);
-    for (std::size_t i = 0; i < limbCount(); ++i) {
+    forEachLimbBlock(limbCount(), n_, [&](std::size_t i, std::size_t b,
+                                          std::size_t e) {
         u64 q = moduli_[i];
         auto &dst = limbs_[i];
         const auto &src = other.limbs_[i];
-        for (std::size_t j = 0; j < n_; ++j)
+        for (std::size_t j = b; j < e; ++j)
             dst[j] = addMod(dst[j], src[j], q);
-    }
+    });
     return *this;
 }
 
@@ -75,13 +79,14 @@ RnsPoly &
 RnsPoly::operator-=(const RnsPoly &other)
 {
     requireCompatible(other);
-    for (std::size_t i = 0; i < limbCount(); ++i) {
+    forEachLimbBlock(limbCount(), n_, [&](std::size_t i, std::size_t b,
+                                          std::size_t e) {
         u64 q = moduli_[i];
         auto &dst = limbs_[i];
         const auto &src = other.limbs_[i];
-        for (std::size_t j = 0; j < n_; ++j)
+        for (std::size_t j = b; j < e; ++j)
             dst[j] = subMod(dst[j], src[j], q);
-    }
+    });
     return *this;
 }
 
@@ -104,11 +109,13 @@ RnsPoly::operator-(const RnsPoly &other) const
 void
 RnsPoly::negateInPlace()
 {
-    for (std::size_t i = 0; i < limbCount(); ++i) {
+    forEachLimbBlock(limbCount(), n_, [&](std::size_t i, std::size_t b,
+                                          std::size_t e) {
         u64 q = moduli_[i];
-        for (auto &v : limbs_[i])
-            v = negMod(v, q);
-    }
+        auto &limb = limbs_[i];
+        for (std::size_t j = b; j < e; ++j)
+            limb[j] = negMod(limb[j], q);
+    });
 }
 
 RnsPoly &
@@ -117,13 +124,20 @@ RnsPoly::hadamardInPlace(const RnsPoly &other)
     requireCompatible(other);
     if (form_ != PolyForm::eval)
         throw std::logic_error("hadamard product requires eval form");
-    for (std::size_t i = 0; i < limbCount(); ++i) {
-        Modulus q(moduli_[i]);
+    // Barrett descriptors are built once per limb, outside the block
+    // loop, so every block of a limb shares the same constants.
+    std::vector<Modulus> mods;
+    mods.reserve(limbCount());
+    for (u64 q : moduli_)
+        mods.emplace_back(q);
+    forEachLimbBlock(limbCount(), n_, [&](std::size_t i, std::size_t b,
+                                          std::size_t e) {
+        const Modulus &q = mods[i];
         auto &dst = limbs_[i];
         const auto &src = other.limbs_[i];
-        for (std::size_t j = 0; j < n_; ++j)
+        for (std::size_t j = b; j < e; ++j)
             dst[j] = mulMod(dst[j], src[j], q);
-    }
+    });
     return *this;
 }
 
@@ -140,13 +154,18 @@ RnsPoly::scalePerLimb(const std::vector<u64> &scalars)
 {
     if (scalars.size() != limbCount())
         throw std::invalid_argument("scalePerLimb size mismatch");
+    std::vector<u64> s(limbCount()), sp(limbCount());
     for (std::size_t i = 0; i < limbCount(); ++i) {
-        u64 q = moduli_[i];
-        u64 s = scalars[i] % q;
-        u64 sp = shoupPrecompute(s, q);
-        for (auto &v : limbs_[i])
-            v = mulModShoup(v, s, sp, q);
+        s[i] = scalars[i] % moduli_[i];
+        sp[i] = shoupPrecompute(s[i], moduli_[i]);
     }
+    forEachLimbBlock(limbCount(), n_, [&](std::size_t i, std::size_t b,
+                                          std::size_t e) {
+        u64 q = moduli_[i];
+        auto &limb = limbs_[i];
+        for (std::size_t j = b; j < e; ++j)
+            limb[j] = mulModShoup(limb[j], s[i], sp[i], q);
+    });
 }
 
 void
@@ -163,8 +182,7 @@ RnsPoly::toEval()
 {
     if (form_ == PolyForm::eval)
         return;
-    for (std::size_t i = 0; i < limbCount(); ++i)
-        NttTableCache::get(n_, moduli_[i])->forward(limbs_[i]);
+    transformLimbs(true);
     form_ = PolyForm::eval;
 }
 
@@ -173,9 +191,40 @@ RnsPoly::toCoeff()
 {
     if (form_ == PolyForm::coeff)
         return;
-    for (std::size_t i = 0; i < limbCount(); ++i)
-        NttTableCache::get(n_, moduli_[i])->inverse(limbs_[i]);
+    transformLimbs(false);
     form_ = PolyForm::coeff;
+}
+
+void
+RnsPoly::transformLimbs(bool fwd)
+{
+    // Hoist the table lookups out of the transform loop: one cache
+    // probe per limb up front, never inside the dispatched work.
+    std::vector<std::shared_ptr<const NttTables>> tables(limbCount());
+    for (std::size_t i = 0; i < limbCount(); ++i)
+        tables[i] = NttTableCache::get(n_, moduli_[i]);
+
+    KernelEngine &eng = KernelEngine::global();
+    if (limbCount() >= eng.threadCount()) {
+        // Whole-limb parallelism: one serial transform per limb task.
+        eng.parallelFor(limbCount(), [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+                if (fwd)
+                    tables[i]->forward(limbs_[i]);
+                else
+                    tables[i]->inverse(limbs_[i]);
+            }
+        });
+    } else {
+        // Fewer limbs than threads: split the upper butterfly stages
+        // of each transform across coefficient blocks instead.
+        for (std::size_t i = 0; i < limbCount(); ++i) {
+            if (fwd)
+                tables[i]->forwardParallel(limbs_[i].data(), eng);
+            else
+                tables[i]->inverseParallel(limbs_[i].data(), eng);
+        }
+    }
 }
 
 void
@@ -212,31 +261,49 @@ RnsPoly::automorphism(u64 galois_elt) const
     RnsPoly out(n_, moduli_, form_);
     if (form_ == PolyForm::coeff) {
         // X^i -> X^{i*g mod 2N}, with X^N = -1 giving a sign flip.
+        // The j -> (dst, flip) map is limb-independent, so it is
+        // precomputed once and the limb x block grid just applies it
+        // (each j maps to a distinct dst, so blocks never collide).
+        std::vector<std::size_t> dst(n_);
+        std::vector<unsigned char> flip(n_);
         for (std::size_t j = 0; j < n_; ++j) {
             u64 idx = (static_cast<u64>(j) * galois_elt) % two_n;
-            bool flip = idx >= n_;
-            std::size_t dst = static_cast<std::size_t>(
-                flip ? idx - n_ : idx);
-            for (std::size_t i = 0; i < limbCount(); ++i) {
-                u64 v = limbs_[i][j];
-                out.limbs_[i][dst] =
-                    flip ? negMod(v, moduli_[i]) : v;
-            }
+            flip[j] = idx >= n_;
+            dst[j] = static_cast<std::size_t>(
+                flip[j] ? idx - n_ : idx);
         }
+        forEachLimbBlock(
+            limbCount(), n_,
+            [&](std::size_t i, std::size_t b, std::size_t e) {
+                u64 q = moduli_[i];
+                const auto &src = limbs_[i];
+                auto &dl = out.limbs_[i];
+                for (std::size_t j = b; j < e; ++j) {
+                    u64 v = src[j];
+                    dl[dst[j]] = flip[j] ? negMod(v, q) : v;
+                }
+            });
     } else {
         // Eval slot k holds a(psi^{2*br(k)+1}); the automorphism
         // permutes evaluation points: out[k] = in[k'] with
         // 2*br(k')+1 = (2*br(k)+1)*g mod 2N. This is the permutation
         // FAST's AutoU routes through its Benes network (Sec. 5.5).
-        int lg = log2Of(n_);
+        int lg = floorLog2(n_);
+        std::vector<std::size_t> src_idx(n_);
         for (std::size_t k = 0; k < n_; ++k) {
             u64 e = (2 * static_cast<u64>(bitReverse(k, lg)) + 1);
             u64 src_e = (e * galois_elt) % two_n;
-            std::size_t kp = bitReverse(
+            src_idx[k] = bitReverse(
                 static_cast<std::size_t>((src_e - 1) / 2), lg);
-            for (std::size_t i = 0; i < limbCount(); ++i)
-                out.limbs_[i][k] = limbs_[i][kp];
         }
+        forEachLimbBlock(
+            limbCount(), n_,
+            [&](std::size_t i, std::size_t b, std::size_t e) {
+                const auto &src = limbs_[i];
+                auto &dl = out.limbs_[i];
+                for (std::size_t k = b; k < e; ++k)
+                    dl[k] = src[src_idx[k]];
+            });
     }
     return out;
 }

@@ -123,6 +123,8 @@ class RnsPoly
 
   private:
     void requireCompatible(const RnsPoly &other) const;
+    /** Forward (fwd) or inverse NTT of every limb via KernelEngine. */
+    void transformLimbs(bool fwd);
 
     std::size_t n_;
     std::vector<u64> moduli_;

@@ -6,7 +6,16 @@
 
 #include <stdexcept>
 
+#include "math/parallel.hpp"
+
 namespace fast::math {
+
+namespace {
+
+/** Minimum coefficients per block for the batched BConv kernel. */
+constexpr std::size_t kMinBConvBlock = 512;
+
+} // namespace
 
 RnsBasis::RnsBasis(std::vector<u64> moduli) : moduli_(std::move(moduli))
 {
@@ -77,6 +86,10 @@ BaseConverter::BaseConverter(const RnsBasis &from, const RnsBasis &to)
         for (std::size_t j = 0; j < to_.size(); ++j)
             base_table_[i * to_.size() + j] =
                 from_.qHatMod(i, to_.modulus(j));
+    scale_shoup_.resize(from_.size());
+    for (std::size_t i = 0; i < from_.size(); ++i)
+        scale_shoup_[i] =
+            shoupPrecompute(from_.qHatInv(i), from_.modulus(i));
 }
 
 void
@@ -85,7 +98,8 @@ BaseConverter::scaleInputs(const std::vector<u64> &in,
 {
     scaled.resize(from_.size());
     for (std::size_t i = 0; i < from_.size(); ++i)
-        scaled[i] = mulMod(in[i], from_.qHatInv(i), from_.modulus(i));
+        scaled[i] = mulModShoup(in[i], from_.qHatInv(i),
+                                scale_shoup_[i], from_.modulus(i));
 }
 
 void
@@ -117,6 +131,43 @@ BaseConverter::convert(const std::vector<u64> &in) const
     std::vector<u64> out;
     accumulate(scaled, out);
     return out;
+}
+
+void
+BaseConverter::convertPoly(const std::vector<const u64 *> &in,
+                           std::size_t n,
+                           const std::vector<u64 *> &out,
+                           KernelEngine &engine) const
+{
+    if (in.size() != from_.size() || out.size() != to_.size())
+        throw std::invalid_argument("convertPoly limb count mismatch");
+    const std::size_t k = from_.size();
+    const std::size_t l = to_.size();
+    std::size_t blocks = KernelEngine::blocksFor(
+        n, engine.threadCount(), kMinBConvBlock);
+    engine.parallelFor(blocks, [&](std::size_t b0, std::size_t b1) {
+        std::size_t c0 = n * b0 / blocks;
+        std::size_t c1 = n * b1 / blocks;
+        std::vector<u64> scaled(k);
+        for (std::size_t c = c0; c < c1; ++c) {
+            for (std::size_t i = 0; i < k; ++i)
+                scaled[i] = mulModShoup(in[i][c], from_.qHatInv(i),
+                                        scale_shoup_[i],
+                                        from_.modulus(i));
+            for (std::size_t j = 0; j < l; ++j) {
+                const Modulus &pj = to_.modulusObj(j);
+                u128 acc = 0;
+                for (std::size_t i = 0; i < k; ++i) {
+                    acc += (u128)scaled[i] * baseTable(i, j);
+                    // Same lazy fold as accumulate() so the batched
+                    // kernel stays bit-identical to convert().
+                    if ((acc >> 120) != 0)
+                        acc = acc % pj.value();
+                }
+                out[j][c] = static_cast<u64>(acc % pj.value());
+            }
+        }
+    });
 }
 
 } // namespace fast::math

@@ -28,6 +28,8 @@
 
 namespace fast::math {
 
+class KernelEngine;
+
 /**
  * An ordered RNS basis {q_0, ..., q_{k-1}} with CRT precomputation.
  */
@@ -96,6 +98,20 @@ class BaseConverter
     std::vector<u64> convert(const std::vector<u64> &in) const;
 
     /**
+     * Batched whole-polynomial conversion: `in` holds from.size()
+     * limb pointers (each @p n coefficients in coefficient form),
+     * `out` holds to.size() destination limb pointers. The coefficient
+     * range is split across the engine's blocks; per-coefficient
+     * results are bit-identical to convert() for any thread count.
+     * This is the limb x block form of the BConvU kernel: no
+     * per-coefficient allocation, Shoup-scaled inputs, one u128
+     * accumulator per output limb.
+     */
+    void convertPoly(const std::vector<const u64 *> &in, std::size_t n,
+                     const std::vector<u64 *> &out,
+                     KernelEngine &engine) const;
+
+    /**
      * Stage 1 of the hardware kernel: element-wise scaling
      * y_i = [x_i * qHatInv_i] mod q_i.
      */
@@ -120,6 +136,7 @@ class BaseConverter
     RnsBasis from_;
     RnsBasis to_;
     std::vector<u64> base_table_;  ///< row-major (from x to)
+    std::vector<u64> scale_shoup_; ///< Shoup constants for qHatInv_i
 };
 
 } // namespace fast::math

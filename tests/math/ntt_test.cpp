@@ -4,6 +4,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "math/ntt.hpp"
 #include "math/poly.hpp"
 #include "math/primes.hpp"
@@ -133,6 +135,52 @@ TEST(Ntt, TableCacheReturnsSharedInstance)
     EXPECT_EQ(a.get(), b.get());
     auto c = NttTableCache::get(512, generateNttPrimes(36, 512, 1)[0]);
     EXPECT_NE(a.get(), c.get());
+}
+
+TEST(Ntt, TableCacheConcurrentAccessReturnsOneInstance)
+{
+    // Regression test for the reader/writer cache: many threads racing
+    // on the same (n, q) key must all observe the same table instance,
+    // and concurrent misses on distinct keys must not corrupt it.
+    const std::size_t n = 1024;
+    auto moduli = generateNttPrimes(36, n, 4);
+    const int threads_per_modulus = 4;
+    std::vector<std::shared_ptr<const NttTables>> seen(
+        moduli.size() * threads_per_modulus);
+    std::vector<std::thread> threads;
+    for (std::size_t m = 0; m < moduli.size(); ++m) {
+        for (int t = 0; t < threads_per_modulus; ++t) {
+            threads.emplace_back(
+                [&, m, t] {
+                    seen[m * threads_per_modulus + t] =
+                        NttTableCache::get(n, moduli[m]);
+                });
+        }
+    }
+    for (auto &th : threads)
+        th.join();
+    for (std::size_t m = 0; m < moduli.size(); ++m) {
+        auto expected = NttTableCache::get(n, moduli[m]);
+        for (int t = 0; t < threads_per_modulus; ++t)
+            EXPECT_EQ(seen[m * threads_per_modulus + t].get(),
+                      expected.get())
+                << "modulus " << m << " thread " << t;
+    }
+}
+
+TEST(Ntt, TableSetIndexesAndFindsByModulus)
+{
+    const std::size_t n = 512;
+    auto moduli = generateNttPrimes(36, n, 3);
+    NttTableSet set(n, moduli);
+    ASSERT_EQ(set.size(), moduli.size());
+    for (std::size_t i = 0; i < moduli.size(); ++i) {
+        EXPECT_EQ(set[i].modulus(), moduli[i]);
+        EXPECT_EQ(set.find(moduli[i]), &set[i]);
+        EXPECT_EQ(&set.forModulus(moduli[i]), &set[i]);
+    }
+    EXPECT_EQ(set.find(12289), nullptr);
+    EXPECT_THROW(set.forModulus(12289), std::out_of_range);
 }
 
 TEST(Ntt, RejectsNonPowerOfTwo)

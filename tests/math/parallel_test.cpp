@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Tests for the KernelEngine and the determinism contract of the
+ * parallel kernels: for every thread count, every routed kernel (NTT,
+ * element-wise poly ops, BConv, both key-switch methods) must produce
+ * limbs bit-identical to the single-thread scalar path.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "ckks/context.hpp"
+#include "ckks/keys.hpp"
+#include "ckks/keyswitch.hpp"
+#include "math/parallel.hpp"
+#include "math/poly.hpp"
+#include "math/primes.hpp"
+#include "math/rns.hpp"
+
+namespace fast::math {
+namespace {
+
+/** Thread counts the ISSUE's equivalence sweep requires. */
+const std::size_t kThreadCounts[] = {1, 2, 3, 8};
+
+/** Restore the global engine's thread count when a test exits. */
+class EngineThreadsGuard
+{
+  public:
+    EngineThreadsGuard() : saved_(KernelEngine::global().threadCount())
+    {
+    }
+    ~EngineThreadsGuard()
+    {
+        KernelEngine::global().setThreadCount(saved_);
+    }
+
+  private:
+    std::size_t saved_;
+};
+
+TEST(KernelEngine, ParallelForCoversRangeExactlyOnce)
+{
+    KernelEngine engine(4);
+    for (std::size_t count : {0ul, 1ul, 3ul, 4ul, 7ul, 1000ul}) {
+        std::vector<int> hits(count, 0);
+        engine.parallelFor(count,
+                           [&](std::size_t b, std::size_t e) {
+                               for (std::size_t i = b; i < e; ++i)
+                                   ++hits[i];
+                           });
+        for (std::size_t i = 0; i < count; ++i)
+            EXPECT_EQ(hits[i], 1) << "index " << i;
+    }
+}
+
+TEST(KernelEngine, ParallelFor2DCoversGridExactlyOnce)
+{
+    KernelEngine engine(3);
+    std::vector<std::atomic<int>> hits(6 * 7);
+    engine.parallelFor2D(6, 7, [&](std::size_t i, std::size_t j) {
+        hits[i * 7 + j].fetch_add(1);
+    });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(KernelEngine, NestedRegionsRunInline)
+{
+    KernelEngine engine(4);
+    std::atomic<int> total{0};
+    engine.parallelFor(4, [&](std::size_t b, std::size_t e) {
+        // A region issued from inside a worker must not deadlock.
+        engine.parallelFor(8, [&](std::size_t b2, std::size_t e2) {
+            total.fetch_add(static_cast<int>((e2 - b2) * (e - b)));
+        });
+    });
+    EXPECT_EQ(total.load(), 8 * 4);
+}
+
+TEST(KernelEngine, BlocksForRespectsMinChunkAndPowerOfTwo)
+{
+    EXPECT_EQ(KernelEngine::blocksFor(1 << 16, 8, 256), 8u);
+    EXPECT_EQ(KernelEngine::blocksFor(1 << 16, 3, 256), 2u);
+    EXPECT_EQ(KernelEngine::blocksFor(1024, 8, 256), 4u);
+    EXPECT_EQ(KernelEngine::blocksFor(256, 8, 256), 1u);
+    EXPECT_EQ(KernelEngine::blocksFor(0, 8, 256), 1u);
+}
+
+TEST(KernelEngine, FastThreadsEnvParsedByDefaultCount)
+{
+    // Only checks the resolution logic is callable and positive; the
+    // env var itself is owned by the harness.
+    EXPECT_GE(KernelEngine::defaultThreadCount(), 1u);
+}
+
+class NttEquivalence : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(NttEquivalence, ForwardInverseBitIdenticalAcrossThreadCounts)
+{
+    std::size_t n = GetParam();
+    u64 q = generateNttPrimes(45, n, 1)[0];
+    auto tables = NttTableCache::get(n, q);
+    Prng prng(0xC0FFEE ^ n);
+    std::vector<u64> base(n);
+    sampleUniform(prng, q, base);
+
+    // Scalar references: the strict seed path and the lazy path must
+    // agree (both canonicalize), and every thread count must match.
+    std::vector<u64> ref_fwd = base;
+    tables->forwardReference(ref_fwd.data());
+    std::vector<u64> lazy_fwd = base;
+    tables->forward(lazy_fwd.data());
+    ASSERT_EQ(ref_fwd, lazy_fwd);
+
+    std::vector<u64> ref_inv = ref_fwd;
+    tables->inverseReference(ref_inv.data());
+    std::vector<u64> lazy_inv = ref_fwd;
+    tables->inverse(lazy_inv.data());
+    ASSERT_EQ(ref_inv, lazy_inv);
+    ASSERT_EQ(lazy_inv, base);
+
+    for (std::size_t threads : kThreadCounts) {
+        KernelEngine engine(threads);
+        std::vector<u64> fwd = base;
+        tables->forwardParallel(fwd.data(), engine);
+        EXPECT_EQ(fwd, ref_fwd) << "threads=" << threads;
+        std::vector<u64> inv = ref_fwd;
+        tables->inverseParallel(inv.data(), engine);
+        EXPECT_EQ(inv, base) << "threads=" << threads;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, NttEquivalence,
+                         ::testing::Values(std::size_t(1) << 10,
+                                           std::size_t(1) << 12,
+                                           std::size_t(1) << 14));
+
+/** Run @p op under every thread count and compare all RnsPoly limbs. */
+template <typename Op>
+void
+expectPolyOpThreadInvariant(const Op &op)
+{
+    EngineThreadsGuard guard;
+    KernelEngine::global().setThreadCount(1);
+    RnsPoly expected = op();
+    for (std::size_t threads : kThreadCounts) {
+        KernelEngine::global().setThreadCount(threads);
+        RnsPoly got = op();
+        EXPECT_EQ(got, expected) << "threads=" << threads;
+    }
+}
+
+TEST(PolyEquivalence, ElementwiseOpsBitIdenticalAcrossThreadCounts)
+{
+    for (std::size_t n : {std::size_t(1) << 10, std::size_t(1) << 12,
+                          std::size_t(1) << 14}) {
+        auto moduli = generateNttPrimes(36, n, 5);
+        Prng prng(42 ^ n);
+        RnsPoly a(n, moduli, PolyForm::eval);
+        RnsPoly b(n, moduli, PolyForm::eval);
+        a.fillUniform(prng);
+        b.fillUniform(prng);
+        std::vector<u64> scalars = {3, 5, 7, 11, 13};
+
+        expectPolyOpThreadInvariant([&] { return a + b; });
+        expectPolyOpThreadInvariant([&] { return a - b; });
+        expectPolyOpThreadInvariant([&] { return a.hadamard(b); });
+        expectPolyOpThreadInvariant([&] {
+            RnsPoly r = a;
+            r.negateInPlace();
+            return r;
+        });
+        expectPolyOpThreadInvariant([&] {
+            RnsPoly r = a;
+            r.scalePerLimb(scalars);
+            return r;
+        });
+        expectPolyOpThreadInvariant(
+            [&] { return a.automorphism(5); });
+        expectPolyOpThreadInvariant([&] {
+            RnsPoly r = a;
+            r.toCoeff();
+            return r;
+        });
+        expectPolyOpThreadInvariant([&] {
+            RnsPoly r = a;
+            r.toCoeff();
+            RnsPoly s = r.automorphism(2 * n - 1);
+            s.toEval();
+            return s;
+        });
+    }
+}
+
+TEST(BConvEquivalence, ConvertPolyMatchesPerCoefficientConvert)
+{
+    std::size_t n = std::size_t(1) << 12;
+    auto from_mods = generateNttPrimes(36, n, 4);
+    auto to_mods = generateNttPrimes(38, n, 5);
+    RnsBasis from(from_mods), to(to_mods);
+    BaseConverter conv(from, to);
+
+    Prng prng(7);
+    std::vector<std::vector<u64>> in(from_mods.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        in[i].resize(n);
+        sampleUniform(prng, from_mods[i], in[i]);
+    }
+    std::vector<const u64 *> in_ptrs(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in_ptrs[i] = in[i].data();
+
+    // Per-coefficient scalar reference.
+    std::vector<std::vector<u64>> expected(
+        to_mods.size(), std::vector<u64>(n));
+    std::vector<u64> residues(from_mods.size());
+    for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t i = 0; i < residues.size(); ++i)
+            residues[i] = in[i][c];
+        auto out = conv.convert(residues);
+        for (std::size_t j = 0; j < out.size(); ++j)
+            expected[j][c] = out[j];
+    }
+
+    for (std::size_t threads : kThreadCounts) {
+        KernelEngine engine(threads);
+        std::vector<std::vector<u64>> got(
+            to_mods.size(), std::vector<u64>(n));
+        std::vector<u64 *> out_ptrs(got.size());
+        for (std::size_t j = 0; j < got.size(); ++j)
+            out_ptrs[j] = got[j].data();
+        conv.convertPoly(in_ptrs, n, out_ptrs, engine);
+        EXPECT_EQ(got, expected) << "threads=" << threads;
+    }
+}
+
+void
+expectKeySwitchThreadInvariant(const ckks::CkksParams &params,
+                               ckks::KeySwitchMethod method)
+{
+    using namespace fast::ckks;
+    EngineThreadsGuard guard;
+    auto ctx = std::make_shared<const CkksContext>(params);
+    KeyGenerator keygen(ctx, 2024);
+    EvalKey relin = keygen.makeRelinKey(method);
+    KeySwitcher switcher(ctx);
+
+    Prng prng(99);
+    RnsPoly input(ctx->degree(), ctx->qModuli(params.maxLevel()),
+                  PolyForm::eval);
+    input.fillUniform(prng);
+
+    KernelEngine::global().setThreadCount(1);
+    KeySwitchDelta expected = switcher.apply(input, relin);
+    for (std::size_t threads : kThreadCounts) {
+        KernelEngine::global().setThreadCount(threads);
+        KeySwitchDelta got = switcher.apply(input, relin);
+        EXPECT_EQ(got.d0, expected.d0) << "threads=" << threads;
+        EXPECT_EQ(got.d1, expected.d1) << "threads=" << threads;
+    }
+}
+
+TEST(KeySwitchEquivalence, HybridBitIdenticalAcrossThreadCounts)
+{
+    expectKeySwitchThreadInvariant(ckks::CkksParams::testMedium(),
+                                   ckks::KeySwitchMethod::hybrid);
+}
+
+TEST(KeySwitchEquivalence, KlssBitIdenticalAcrossThreadCounts)
+{
+    expectKeySwitchThreadInvariant(ckks::CkksParams::testMediumKlss(),
+                                   ckks::KeySwitchMethod::klss);
+}
+
+} // namespace
+} // namespace fast::math
