@@ -12,16 +12,14 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/report.hpp"
+
 namespace fast::bench {
 
 inline void
 header(const std::string &title)
 {
-    std::printf("\n================================================="
-                "=============\n%s\n"
-                "================================================="
-                "=============\n",
-                title.c_str());
+    std::fputs(obs::banner(title).c_str(), stdout);
 }
 
 inline void
@@ -35,14 +33,18 @@ inline void
 row(const std::string &name, double paper, double measured,
     const char *unit)
 {
+    std::string line;
     if (paper > 0)
-        std::printf("  %-24s paper %10.3f %-5s measured %10.3f %-5s"
-                    "  (x%.2f)\n",
-                    name.c_str(), paper, unit, measured, unit,
-                    measured / paper);
+        obs::appendf(line,
+                     "  %-24s paper %10.3f %-5s measured %10.3f %-5s"
+                     "  (x%.2f)\n",
+                     name.c_str(), paper, unit, measured, unit,
+                     measured / paper);
     else
-        std::printf("  %-24s paper %10s %-5s measured %10.3f %-5s\n",
-                    name.c_str(), "-", unit, measured, unit);
+        obs::appendf(line,
+                     "  %-24s paper %10s %-5s measured %10.3f %-5s\n",
+                     name.c_str(), "-", unit, measured, unit);
+    std::fputs(line.c_str(), stdout);
 }
 
 /**

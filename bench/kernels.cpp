@@ -24,6 +24,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -33,6 +34,7 @@
 #include "ckks/keys.hpp"
 #include "ckks/keyswitch.hpp"
 #include "math/ntt.hpp"
+#include "obs/registry.hpp"
 #include "math/parallel.hpp"
 #include "math/poly.hpp"
 #include "math/primes.hpp"
@@ -45,6 +47,32 @@ using namespace fast;
 using math::u64;
 
 bool g_smoke = false;
+bool g_force = false;
+
+/**
+ * CPU count recorded in an existing BENCH_kernels.json, or 0 when the
+ * file is absent/unparseable. Guards the baseline: a thread-sweep run
+ * from a 1-CPU CI box must not silently replace numbers measured on a
+ * real multi-core host.
+ */
+unsigned
+baselineHostCpus(const char *path)
+{
+    std::FILE *f = std::fopen(path, "r");
+    if (!f)
+        return 0;
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    auto pos = text.find("\"host_cpus\":");
+    if (pos == std::string::npos)
+        return 0;
+    return static_cast<unsigned>(
+        std::strtoul(text.c_str() + pos + 12, nullptr, 10));
+}
 
 std::vector<std::size_t>
 threadCounts()
@@ -345,13 +373,32 @@ report()
     }
     json += "  ]\n}\n";
 
-    std::FILE *f = std::fopen("BENCH_kernels.json", "w");
-    if (f) {
-        std::fputs(json.c_str(), f);
-        std::fclose(f);
-        bench::note("wrote BENCH_kernels.json");
+    unsigned baseline_cpus = baselineHostCpus("BENCH_kernels.json");
+    if (baseline_cpus > cpus && !g_force) {
+        bench::note("REFUSING to overwrite BENCH_kernels.json: "
+                    "existing baseline was measured on " +
+                    std::to_string(baseline_cpus) +
+                    " CPUs, this host has " + std::to_string(cpus) +
+                    " (pass --force to overwrite anyway)");
     } else {
-        bench::note("could not write BENCH_kernels.json");
+        std::FILE *f = std::fopen("BENCH_kernels.json", "w");
+        if (f) {
+            std::fputs(json.c_str(), f);
+            std::fclose(f);
+            bench::note("wrote BENCH_kernels.json");
+        } else {
+            bench::note("could not write BENCH_kernels.json");
+        }
+    }
+
+    // Live metrics collected while the kernels ran (counters are
+    // always on; histograms fill when FAST_TRACE is armed).
+    std::FILE *m = std::fopen("OBS_kernels_metrics.json", "w");
+    if (m) {
+        std::fputs(obs::Registry::global().json().c_str(), m);
+        std::fputs("\n", m);
+        std::fclose(m);
+        bench::note("wrote OBS_kernels_metrics.json");
     }
 }
 
@@ -360,9 +407,12 @@ report()
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i)
+    for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             g_smoke = true;
+        if (std::strcmp(argv[i], "--force") == 0)
+            g_force = true;
+    }
     report();
     return 0;
 }

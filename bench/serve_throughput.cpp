@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "serve/arrivals.hpp"
 #include "serve/report.hpp"
 #include "serve/scheduler.hpp"
@@ -100,6 +101,16 @@ report()
         bench::note("wrote BENCH_serve.json");
     } else {
         bench::note("could not write BENCH_serve.json");
+    }
+
+    // Live scheduler metrics (admissions, batches, queue depth; span
+    // latencies when FAST_TRACE is armed).
+    std::FILE *m = std::fopen("OBS_serve_metrics.json", "w");
+    if (m) {
+        std::fputs(obs::Registry::global().json().c_str(), m);
+        std::fputs("\n", m);
+        std::fclose(m);
+        bench::note("wrote OBS_serve_metrics.json");
     }
 }
 

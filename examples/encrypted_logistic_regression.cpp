@@ -61,9 +61,8 @@ main()
     auto z2 = eval.square(z, relin);
     eval.rescaleInPlace(z2);
     auto z3 = [&] {
-        auto zz = z;
-        eval.dropToLevel(zz, z2.level());
-        eval.setScale(zz, z2.scale);
+        auto zz = eval.withScale(eval.dropToLevel(z, z2.level()),
+                                 z2.scale);
         auto prod = eval.multiply(z2, zz, relin);
         eval.rescaleInPlace(prod);
         return prod;
@@ -73,20 +72,18 @@ main()
     eval.rescaleInPlace(term1);
     auto term3 = eval.multiplyConstant(z3, -0.004);
     eval.rescaleInPlace(term3);
-    eval.dropToLevel(term1, term3.level());
-    eval.setScale(term1, term3.scale);
+    eval.dropToLevelInPlace(term1, term3.level());
+    eval.setScaleInPlace(term1, term3.scale);
     auto sig = eval.add(term1, term3);
     sig = eval.addPlain(sig, eval.encodeConstant(0.5, sig.scale,
                                                  sig.level()));
 
     // gradient slotwise: (sigma(wx) - y) * x, then rotate-and-sum.
-    auto y_aligned = ct_y;
-    eval.dropToLevel(y_aligned, sig.level());
-    eval.setScale(y_aligned, sig.scale);
+    auto y_aligned = eval.withScale(
+        eval.dropToLevel(ct_y, sig.level()), sig.scale);
     auto err = eval.sub(sig, y_aligned);
-    auto x_aligned = ct_x;
-    eval.dropToLevel(x_aligned, err.level());
-    eval.setScale(x_aligned, err.scale);
+    auto x_aligned = eval.withScale(
+        eval.dropToLevel(ct_x, err.level()), err.scale);
     auto grad = eval.multiply(err, x_aligned, relin);
     eval.rescaleInPlace(grad);
 

@@ -184,7 +184,7 @@ Bootstrapper::modRaise(const Ciphertext &ct) const
     const auto &params = ctx_->params();
     Ciphertext low = ct;
     if (low.level() != 0)
-        eval_.dropToLevel(low, 0);
+        eval_.dropToLevelInPlace(low, 0);
     u64 q0 = params.q_chain[0];
     auto full = ctx_->qModuli(params.maxLevel());
     std::size_t n = ctx_->degree();
@@ -348,9 +348,9 @@ Bootstrapper::chebyshevAndDoubleAngle(const Ciphertext &y,
     // scales track Delta with negligible drift.
     auto aligned = [&](Ciphertext a, Ciphertext b) {
         std::size_t lvl = std::min(a.level(), b.level());
-        eval_.dropToLevel(a, lvl);
-        eval_.dropToLevel(b, lvl);
-        eval_.setScale(b, a.scale);
+        eval_.dropToLevelInPlace(a, lvl);
+        eval_.dropToLevelInPlace(b, lvl);
+        eval_.setScaleInPlace(b, a.scale);
         return std::pair{std::move(a), std::move(b)};
     };
     auto mulAligned = [&](const Ciphertext &a, const Ciphertext &b) {
@@ -399,9 +399,9 @@ Bootstrapper::chebyshevAndDoubleAngle(const Ciphertext &y,
             continue;
         auto term = eval_.multiplyConstant(get(j), cheb_coeffs_[j]);
         eval_.rescaleInPlace(term);
-        eval_.dropToLevel(term, min_level - 1);
+        eval_.dropToLevelInPlace(term, min_level - 1);
         if (acc_set) {
-            eval_.setScale(term, acc.scale);
+            eval_.setScaleInPlace(term, acc.scale);
             acc = eval_.add(acc, term);
         } else {
             acc = std::move(term);
@@ -436,9 +436,9 @@ Bootstrapper::slotToCoeff(const Ciphertext &re, const Ciphertext &im,
 {
     auto [a, b] = std::pair{re, im};
     std::size_t lvl = std::min(a.level(), b.level());
-    eval_.dropToLevel(a, lvl);
-    eval_.dropToLevel(b, lvl);
-    eval_.setScale(b, a.scale);
+    eval_.dropToLevelInPlace(a, lvl);
+    eval_.dropToLevelInPlace(b, lvl);
+    eval_.setScaleInPlace(b, a.scale);
     return linearTransform(a, mat_stc_d_, &b, mat_stc_f_, keys);
 }
 
@@ -453,7 +453,7 @@ Bootstrapper::bootstrap(const Ciphertext &ct,
     Ciphertext mod_im = evalMod(im, keys);
     Ciphertext out = slotToCoeff(mod_re, mod_im, keys);
     // The scale is Delta by construction of the folded constants.
-    eval_.setScale(out, ctx_->params().scale);
+    eval_.setScaleInPlace(out, ctx_->params().scale);
     return out;
 }
 

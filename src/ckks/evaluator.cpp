@@ -368,7 +368,7 @@ CkksEvaluator::rescaleDoubleInPlace(Ciphertext &ct) const
 }
 
 void
-CkksEvaluator::dropToLevel(Ciphertext &ct, std::size_t level) const
+CkksEvaluator::dropToLevelInPlace(Ciphertext &ct, std::size_t level) const
 {
     if (level + 1 > ct.limbCount())
         throw std::invalid_argument("cannot raise level by dropping");

@@ -81,10 +81,34 @@ class CkksEvaluator
                       const EvalKey &relin_key) const;
     ///@}
 
-    /** @name Maintenance. */
+    /**
+     * @name Maintenance.
+     *
+     * Mutate-vs-return naming convention: every maintenance operation
+     * comes in two spellings —
+     *
+     * | mutating (modifies the argument) | value-returning twin       |
+     * |----------------------------------|----------------------------|
+     * | `rescaleInPlace(ct)`             | `ct2 = rescale(ct)`        |
+     * | `rescaleDoubleInPlace(ct)`       | `ct2 = rescaleDouble(ct)`  |
+     * | `dropToLevelInPlace(ct, l)`      | `ct2 = dropToLevel(ct, l)` |
+     * | `setScaleInPlace(ct, s)`         | `ct2 = withScale(ct, s)`   |
+     *
+     * The `...InPlace` form takes `Ciphertext&` and returns void; the
+     * twin takes `const Ciphertext&` and returns the result (and is
+     * `[[nodiscard]]`, so accidentally calling it for effect is a
+     * compile warning). Arithmetic (`add`, `multiply`, `rotate`,
+     * `HoistedRotator::rotate`, ...) is value-returning only.
+     */
     ///@{
     /** Divide by the last prime and drop it (scale /= q_last). */
     void rescaleInPlace(Ciphertext &ct) const;
+    [[nodiscard]] Ciphertext rescale(const Ciphertext &ct) const
+    {
+        Ciphertext out = ct;
+        rescaleInPlace(out);
+        return out;
+    }
     /**
      * DSU-style double rescale (Sec. 5.7.1): divide by the product of
      * the last two primes in a single fused pass — the operation the
@@ -92,10 +116,33 @@ class CkksEvaluator
      * precision.
      */
     void rescaleDoubleInPlace(Ciphertext &ct) const;
+    [[nodiscard]] Ciphertext rescaleDouble(const Ciphertext &ct) const
+    {
+        Ciphertext out = ct;
+        rescaleDoubleInPlace(out);
+        return out;
+    }
     /** Drop limbs without dividing (modulus switch to @p level). */
-    void dropToLevel(Ciphertext &ct, std::size_t level) const;
+    void dropToLevelInPlace(Ciphertext &ct, std::size_t level) const;
+    [[nodiscard]] Ciphertext dropToLevel(const Ciphertext &ct,
+                                         std::size_t level) const
+    {
+        Ciphertext out = ct;
+        dropToLevelInPlace(out, level);
+        return out;
+    }
     /** Force the bookkeeping scale (used after EvalMod-style steps). */
-    void setScale(Ciphertext &ct, double scale) const { ct.scale = scale; }
+    void setScaleInPlace(Ciphertext &ct, double scale) const
+    {
+        ct.scale = scale;
+    }
+    [[nodiscard]] Ciphertext withScale(const Ciphertext &ct,
+                                       double scale) const
+    {
+        Ciphertext out = ct;
+        out.scale = scale;
+        return out;
+    }
     ///@}
 
     /** @name Rotations. */

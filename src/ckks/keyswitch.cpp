@@ -18,6 +18,7 @@
 #include "math/bignum.hpp"
 #include "math/parallel.hpp"
 #include "math/rns.hpp"
+#include "obs/trace.hpp"
 
 namespace fast::ckks {
 
@@ -83,6 +84,10 @@ KeySwitcher::modUpHybrid(const RnsPoly &input) const
     std::size_t ell = limbs - 1;
     std::size_t beta = params.betaAtLevel(ell);
     auto ext_moduli = ctx_->extendedModuli(ell);
+    FAST_OBS_COUNT("ks.modup", 1);
+    FAST_OBS_SPAN_VAR(span, "ks.modup");
+    FAST_OBS_SPAN_ARG(span, "limbs", static_cast<std::uint64_t>(limbs));
+    FAST_OBS_SPAN_ARG(span, "beta", static_cast<std::uint64_t>(beta));
 
     std::vector<RnsPoly> digits;
     digits.reserve(beta);
@@ -153,6 +158,12 @@ KeySwitcher::decomposeGadget(const RnsPoly &input) const
     std::size_t digit_count = params.gadgetDigitsAtLevel(ell);
     int v = params.digit_bits;
     auto ext_moduli = ctx_->extendedModuli(ell);
+    FAST_OBS_COUNT("ks.gadget_decompose", 1);
+    FAST_OBS_SPAN_VAR(span, "ks.gadget_decompose");
+    FAST_OBS_SPAN_ARG(span, "digits",
+                      static_cast<std::uint64_t>(digit_count));
+    FAST_OBS_SPAN_ARG(span, "digit_bits",
+                      static_cast<std::uint64_t>(v));
 
     // Back to coefficient form for the integer digit split.
     RnsPoly coeff_poly = input;
@@ -220,6 +231,12 @@ KeySwitcher::keyMultModDown(const std::vector<RnsPoly> &digits,
     std::size_t specials = ctx_->params().p_chain.size();
     std::size_t q_limbs = digits[0].limbCount() - specials;
     auto ext_moduli = digits[0].moduli();
+    FAST_OBS_COUNT("ks.keymult", 1);
+    FAST_OBS_SPAN_VAR(span, "ks.keymult");
+    FAST_OBS_SPAN_ARG(span, "digits",
+                      static_cast<std::uint64_t>(digits.size()));
+    FAST_OBS_SPAN_ARG(span, "q_limbs",
+                      static_cast<std::uint64_t>(q_limbs));
 
     RnsPoly acc0(digits[0].degree(), ext_moduli, math::PolyForm::eval);
     RnsPoly acc1 = acc0;
@@ -243,6 +260,12 @@ KeySwitcher::modDown(const RnsPoly &extended) const
     std::size_t specials = params.p_chain.size();
     std::size_t q_limbs = extended.limbCount() - specials;
     std::size_t n = extended.degree();
+    FAST_OBS_COUNT("ks.moddown", 1);
+    FAST_OBS_SPAN_VAR(span, "ks.moddown");
+    FAST_OBS_SPAN_ARG(span, "q_limbs",
+                      static_cast<std::uint64_t>(q_limbs));
+    FAST_OBS_SPAN_ARG(span, "specials",
+                      static_cast<std::uint64_t>(specials));
 
     // Special limbs to coefficient form.
     std::vector<std::vector<u64>> p_coeff(specials);

@@ -76,9 +76,9 @@ std::pair<Ciphertext, Ciphertext>
 PolynomialEvaluator::aligned(Ciphertext a, Ciphertext b) const
 {
     std::size_t lvl = std::min(a.level(), b.level());
-    eval_.dropToLevel(a, lvl);
-    eval_.dropToLevel(b, lvl);
-    eval_.setScale(b, a.scale);
+    eval_.dropToLevelInPlace(a, lvl);
+    eval_.dropToLevelInPlace(b, lvl);
+    eval_.setScaleInPlace(b, a.scale);
     return {std::move(a), std::move(b)};
 }
 
@@ -155,9 +155,9 @@ PolynomialEvaluator::evaluate(const Ciphertext &ct,
             continue;
         auto term = eval_.multiplyConstant(get(j), series.coeffs[j]);
         eval_.rescaleInPlace(term);
-        eval_.dropToLevel(term, min_level - 1);
+        eval_.dropToLevelInPlace(term, min_level - 1);
         if (acc_set) {
-            eval_.setScale(term, acc.scale);
+            eval_.setScaleInPlace(term, acc.scale);
             acc = eval_.add(acc, term);
         } else {
             acc = std::move(term);
@@ -209,9 +209,9 @@ PolynomialEvaluator::evaluateMonomial(const Ciphertext &ct,
             continue;
         auto term = eval_.multiplyConstant(pow(k), coeffs[k]);
         eval_.rescaleInPlace(term);
-        eval_.dropToLevel(term, min_level - 1);
+        eval_.dropToLevelInPlace(term, min_level - 1);
         if (acc_set) {
-            eval_.setScale(term, acc.scale);
+            eval_.setScaleInPlace(term, acc.scale);
             acc = eval_.add(acc, term);
         } else {
             acc = std::move(term);

@@ -11,6 +11,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace fast::core {
 
 std::string
@@ -117,6 +119,9 @@ Aether::makeCandidate(KeySwitchMethod method, std::size_t ell,
 std::vector<MctEntry>
 Aether::analyze(const trace::OpStream &stream) const
 {
+    FAST_OBS_SPAN_VAR(span, "aether.analyze");
+    FAST_OBS_SPAN_ARG(span, "ops",
+                      static_cast<std::uint64_t>(stream.ops.size()));
     std::vector<MctEntry> mct;
     std::size_t processed_group = 0;  // current hoist group id
 
@@ -165,6 +170,8 @@ Aether::analyze(const trace::OpStream &stream) const
         }
         mct.push_back(std::move(entry));
     }
+    FAST_OBS_COUNT("aether.mct_entries",
+                   static_cast<std::uint64_t>(mct.size()));
     return mct;
 }
 
@@ -181,6 +188,9 @@ Aether::keyUseSites(const std::vector<MctEntry> &mct)
 AetherConfig
 Aether::select(const std::vector<MctEntry> &mct) const
 {
+    FAST_OBS_SPAN_VAR(span, "aether.select");
+    FAST_OBS_SPAN_ARG(span, "entries",
+                      static_cast<std::uint64_t>(mct.size()));
     AetherConfig config;
     auto use_sites = keyUseSites(mct);
     // STEP-2 bandwidth budget: the HBM channel can hide transfers as

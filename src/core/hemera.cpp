@@ -7,6 +7,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace fast::core {
 
 EvkPool::EvkPool(cost::KeySwitchCostModel model) : model_(model)
@@ -72,6 +74,9 @@ Hemera::Hemera(cost::KeySwitchCostModel model, std::size_t history_depth)
 std::vector<EvkTransfer>
 Hemera::plan(const trace::OpStream &stream, const AetherConfig &config)
 {
+    FAST_OBS_SPAN_VAR(span, "hemera.plan");
+    FAST_OBS_SPAN_ARG(span, "ops",
+                      static_cast<std::uint64_t>(stream.ops.size()));
     // Populate the pool for every level the trace touches.
     std::size_t max_level = 0;
     for (const auto &op : stream.ops)
@@ -121,14 +126,20 @@ Hemera::plan(const trace::OpStream &stream, const AetherConfig &config)
         t.prefetched = predicted &&
                        predicted->first == d.method &&
                        predicted->second == d.hoist;
-        if (t.prefetched)
+        if (t.prefetched) {
             ++stats_.prefetch_hits;
-        else
+            FAST_OBS_COUNT("hemera.prefetch_hits", 1);
+        } else {
             ++stats_.prefetch_misses;
+            FAST_OBS_COUNT("hemera.prefetch_misses", 1);
+        }
         history_.record(op.level, d.method, d.hoist);
 
         stats_.total_bytes += t.bytes;
         ++stats_.transfers;
+        FAST_OBS_COUNT("hemera.transfers", 1);
+        FAST_OBS_COUNT("hemera.evk_bytes",
+                       static_cast<std::uint64_t>(t.bytes));
         transfers.push_back(t);
     }
     return transfers;

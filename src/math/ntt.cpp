@@ -21,6 +21,7 @@
 #include "math/bitops.hpp"
 #include "math/parallel.hpp"
 #include "math/primes.hpp"
+#include "obs/trace.hpp"
 
 namespace fast::math {
 
@@ -108,6 +109,9 @@ NttTables::forward(u64 *data) const
     // Cooley-Tukey decimation-in-time with merged psi twiddles
     // (Longa-Naehrig) and lazy reduction. Input natural order
     // (canonical), output bit-reversed (canonical).
+    FAST_OBS_COUNT("ntt.forward", 1);
+    FAST_OBS_SPAN_VAR(span, "ntt.forward");
+    FAST_OBS_SPAN_ARG(span, "n", static_cast<std::uint64_t>(n_));
     const u64 q = q_;
     const u64 two_q = 2 * q;
     std::size_t t = n_;
@@ -131,6 +135,9 @@ NttTables::inverse(u64 *data) const
     // Gentleman-Sande decimation-in-frequency with merged inverse
     // twiddles and lazy reduction. Input bit-reversed, output natural
     // order; the N^-1 scaling pass canonicalizes.
+    FAST_OBS_COUNT("ntt.inverse", 1);
+    FAST_OBS_SPAN_VAR(span, "ntt.inverse");
+    FAST_OBS_SPAN_ARG(span, "n", static_cast<std::uint64_t>(n_));
     const u64 q = q_;
     const u64 two_q = 2 * q;
     std::size_t t = 1;
@@ -161,6 +168,11 @@ NttTables::forwardParallel(u64 *data, KernelEngine &engine) const
         forward(data);
         return;
     }
+    FAST_OBS_COUNT("ntt.forward", 1);
+    FAST_OBS_SPAN_VAR(obs_span, "ntt.forward_parallel");
+    FAST_OBS_SPAN_ARG(obs_span, "n", static_cast<std::uint64_t>(n_));
+    FAST_OBS_SPAN_ARG(obs_span, "blocks",
+                      static_cast<std::uint64_t>(blocks));
     const u64 q = q_;
     const u64 two_q = 2 * q;
     const std::size_t span = n_ / blocks;
@@ -216,6 +228,11 @@ NttTables::inverseParallel(u64 *data, KernelEngine &engine) const
         inverse(data);
         return;
     }
+    FAST_OBS_COUNT("ntt.inverse", 1);
+    FAST_OBS_SPAN_VAR(obs_span, "ntt.inverse_parallel");
+    FAST_OBS_SPAN_ARG(obs_span, "n", static_cast<std::uint64_t>(n_));
+    FAST_OBS_SPAN_ARG(obs_span, "blocks",
+                      static_cast<std::uint64_t>(blocks));
     const u64 q = q_;
     const u64 two_q = 2 * q;
     const std::size_t span = n_ / blocks;

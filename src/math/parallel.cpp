@@ -6,6 +6,8 @@
 
 #include <cstdlib>
 
+#include "obs/trace.hpp"
+
 namespace fast::math {
 
 namespace {
@@ -107,8 +109,13 @@ KernelEngine::workerLoop(std::size_t worker_index)
         }
         // Static ownership: worker w always runs chunk w + 1 (the
         // caller runs chunk 0). No stealing, no timing dependence.
-        if (worker_index + 1 < chunks)
+        if (worker_index + 1 < chunks) {
+            FAST_OBS_SPAN_VAR(span, "engine.chunk");
+            FAST_OBS_SPAN_ARG(
+                span, "chunk",
+                static_cast<std::uint64_t>(worker_index + 1));
             (*job)(worker_index + 1);
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
             ++acked_;
@@ -121,11 +128,16 @@ void
 KernelEngine::dispatch(const std::function<void(std::size_t)> &run_chunk,
                        std::size_t chunks)
 {
+    FAST_OBS_COUNT("engine.regions", 1);
+    FAST_OBS_SPAN_VAR(region_span, "engine.region");
+    FAST_OBS_SPAN_ARG(region_span, "chunks",
+                      static_cast<std::uint64_t>(chunks));
     if (chunks <= 1 || workers_.empty() || tl_in_worker ||
         !region_mutex_.try_lock()) {
         // Inline fallback: nested regions, a busy pool, or a 1-thread
         // engine all run serially on the caller. Same chunk->range
         // mapping, so bit-identical results.
+        FAST_OBS_COUNT("engine.regions_inline", 1);
         for (std::size_t c = 0; c < chunks; ++c)
             run_chunk(c);
         return;
@@ -139,7 +151,11 @@ KernelEngine::dispatch(const std::function<void(std::size_t)> &run_chunk,
         ++generation_;
     }
     wake_cv_.notify_all();
-    run_chunk(0);
+    {
+        FAST_OBS_SPAN_VAR(span, "engine.chunk");
+        FAST_OBS_SPAN_ARG(span, "chunk", std::uint64_t{0});
+        run_chunk(0);
+    }
     // Wait for every worker to acknowledge this generation (idle
     // workers ack too) so the job pointer can be safely reused.
     std::unique_lock<std::mutex> lock(mutex_);

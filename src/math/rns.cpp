@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "math/parallel.hpp"
+#include "obs/trace.hpp"
 
 namespace fast::math {
 
@@ -143,6 +144,12 @@ BaseConverter::convertPoly(const std::vector<const u64 *> &in,
         throw std::invalid_argument("convertPoly limb count mismatch");
     const std::size_t k = from_.size();
     const std::size_t l = to_.size();
+    FAST_OBS_COUNT("bconv.convert_poly", 1);
+    FAST_OBS_SPAN_VAR(span, "bconv.convert_poly");
+    FAST_OBS_SPAN_ARG(span, "n", static_cast<std::uint64_t>(n));
+    FAST_OBS_SPAN_ARG(span, "from_limbs",
+                      static_cast<std::uint64_t>(k));
+    FAST_OBS_SPAN_ARG(span, "to_limbs", static_cast<std::uint64_t>(l));
     std::size_t blocks = KernelEngine::blocksFor(
         n, engine.threadCount(), kMinBConvBlock);
     engine.parallelFor(blocks, [&](std::size_t b0, std::size_t b1) {

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * fast::obs — compile-time configuration of the observability layer.
+ *
+ * The whole subsystem sits behind two switches:
+ *
+ *   - compile time: `-DFAST_OBS=OFF` (CMake) defines
+ *     `FAST_OBS_DISABLED`, which turns every counter, gauge,
+ *     histogram, and span into an empty inline stub — instrumented
+ *     code compiles to nothing;
+ *   - run time: the `FAST_TRACE` environment variable (or
+ *     `TraceSink::global().enable(path)`) arms span timing and
+ *     Chrome-trace event emission. With tracing compiled in but
+ *     disarmed, a span costs a single relaxed atomic load and branch.
+ *
+ * The pure helpers (percentiles, top-label selection, report
+ * rendering in `obs/stats.hpp` and `obs/report.hpp`) are *not* gated:
+ * the stats surfaces of the simulator and the serving runtime build
+ * on them in both modes.
+ */
+#ifndef FAST_OBS_OBS_HPP
+#define FAST_OBS_OBS_HPP
+
+#if defined(FAST_OBS_DISABLED)
+#define FAST_OBS_ENABLED 0
+#else
+#define FAST_OBS_ENABLED 1
+#endif
+
+namespace fast::obs {
+
+/** True when the instrumentation is compiled in. */
+inline constexpr bool kEnabled = FAST_OBS_ENABLED != 0;
+
+} // namespace fast::obs
+
+#endif // FAST_OBS_OBS_HPP

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Implementation of the metrics registry (compiled-in builds only).
+ */
+#include "obs/registry.hpp"
+
+#if FAST_OBS_ENABLED
+
+#include <cmath>
+
+namespace fast::obs {
+
+std::size_t
+Histogram::bucketIndex(double v)
+{
+    if (!(v > 1.0))
+        return 0;
+    double idx = std::floor(std::log2(v) * 4.0);
+    if (idx >= static_cast<double>(kBuckets - 1))
+        return kBuckets - 1;
+    return static_cast<std::size_t>(idx) + 1;
+}
+
+double
+Histogram::bucketMid(std::size_t index)
+{
+    if (index == 0)
+        return 1.0;
+    return std::exp2((static_cast<double>(index - 1) + 0.5) / 4.0);
+}
+
+void
+Histogram::observe(double v)
+{
+    buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double prev = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(prev, prev + v,
+                                       std::memory_order_relaxed))
+        ;
+    prev = max_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max_.compare_exchange_weak(prev, v,
+                                       std::memory_order_relaxed))
+        ;
+}
+
+PercentileSummary
+Histogram::summary() const
+{
+    PercentileSummary out;
+    out.count = count();
+    if (out.count == 0)
+        return out;
+    out.mean = sum_.load(std::memory_order_relaxed) /
+               static_cast<double>(out.count);
+    out.max = max_.load(std::memory_order_relaxed);
+
+    auto percentile = [&](double q) {
+        auto rank = static_cast<std::uint64_t>(
+            std::ceil(q * static_cast<double>(out.count)));
+        if (rank == 0)
+            rank = 1;
+        std::uint64_t seen = 0;
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            seen += buckets_[b].load(std::memory_order_relaxed);
+            if (seen >= rank)
+                return bucketMid(b);
+        }
+        return out.max;
+    };
+    out.p50 = percentile(0.50);
+    out.p95 = percentile(0.95);
+    out.p99 = percentile(0.99);
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+Registry &
+Registry::global()
+{
+    // Intentionally leaked: static SpanSites hold references into the
+    // registry and atexit handlers may snapshot it, so it must outlive
+    // every other static — never run its destructor.
+    static Registry *registry = new Registry();
+    return *registry;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+Report
+Registry::report() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Report report;
+    if (!counters_.empty()) {
+        report.section("counters");
+        for (const auto &[name, c] : counters_)
+            report.kv(name, c->value());
+    }
+    if (!gauges_.empty()) {
+        report.section("gauges");
+        for (const auto &[name, g] : gauges_) {
+            report.kv(name, g->value(), "%.3f");
+            report.kv(name + ".max", g->max(), "%.3f");
+        }
+    }
+    if (!histograms_.empty()) {
+        report.section("histograms");
+        for (const auto &[name, h] : histograms_) {
+            auto s = h->summary();
+            report.kv(name + ".count",
+                      static_cast<std::uint64_t>(s.count));
+            report.kv(name + ".mean", s.mean, "%.1f");
+            report.kv(name + ".p50", s.p50, "%.1f");
+            report.kv(name + ".p95", s.p95, "%.1f");
+            report.kv(name + ".p99", s.p99, "%.1f");
+            report.kv(name + ".max", s.max, "%.1f");
+        }
+    }
+    return report;
+}
+
+} // namespace fast::obs
+
+#endif // FAST_OBS_ENABLED

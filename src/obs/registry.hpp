@@ -1,0 +1,226 @@
+/**
+ * @file
+ * obs::Registry — the process-wide metrics registry.
+ *
+ * Three typed primitives, all wait-free on the hot path:
+ *
+ *   - `Counter`: a monotonically increasing u64 (events, bytes);
+ *   - `Gauge`: a last-value double with a high-water mark (queue
+ *     depth, pool occupancy);
+ *   - `Histogram`: a streaming log-bucketed latency distribution —
+ *     quarter-octave (2^(1/4)) buckets give p50/p95/p99 within ~9%
+ *     without storing samples.
+ *
+ * Handles are looked up once (cache them in a function-local static
+ * or a `SpanSite`) and updated with single relaxed atomics. With
+ * `FAST_OBS=OFF` every class here collapses to an empty inline stub
+ * and `Registry::global()` hands out shared no-op instances.
+ */
+#ifndef FAST_OBS_REGISTRY_HPP
+#define FAST_OBS_REGISTRY_HPP
+
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "obs/stats.hpp"
+
+#include <cstdint>
+#include <string>
+
+#if FAST_OBS_ENABLED
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace fast::obs {
+
+#if FAST_OBS_ENABLED
+
+class Counter
+{
+  public:
+    void add(std::uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge
+{
+  public:
+    void set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+        double prev = max_.load(std::memory_order_relaxed);
+        while (v > prev &&
+               !max_.compare_exchange_weak(prev, v,
+                                           std::memory_order_relaxed))
+            ;
+    }
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    double max() const { return max_.load(std::memory_order_relaxed); }
+    void reset()
+    {
+        value_.store(0, std::memory_order_relaxed);
+        max_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0};
+    std::atomic<double> max_{0};
+};
+
+class Histogram
+{
+  public:
+    /** Quarter-octave buckets spanning [1, 2^64). */
+    static constexpr std::size_t kBuckets = 257;
+
+    void observe(double v);
+
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /** Streaming summary: mean/max exact, percentiles bucketed. */
+    PercentileSummary summary() const;
+
+    void reset();
+
+    /** Bucket index of @p v (clamped); exposed for tests. */
+    static std::size_t bucketIndex(double v);
+    /** Geometric midpoint the bucket reports as its percentile. */
+    static double bucketMid(std::size_t index);
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0};
+    std::atomic<double> max_{0};
+};
+
+/**
+ * Named-metric registry. Lookup is mutex-guarded (do it once per
+ * site); handles stay valid for the process lifetime. Iteration is
+ * name-sorted, so reports are byte-stable for equal contents.
+ */
+class Registry
+{
+  public:
+    static Registry &global();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** Zero every metric (bench/test isolation; handles survive). */
+    void reset();
+
+    /** Snapshot into the shared Report document. */
+    Report report() const;
+
+    std::string text() const { return report().text(); }
+    std::string json() const { return report().json(); }
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+#else // !FAST_OBS_ENABLED — every primitive is an inline no-op.
+
+class Counter
+{
+  public:
+    void add(std::uint64_t = 1) {}
+    std::uint64_t value() const { return 0; }
+    void reset() {}
+};
+
+class Gauge
+{
+  public:
+    void set(double) {}
+    double value() const { return 0; }
+    double max() const { return 0; }
+    void reset() {}
+};
+
+class Histogram
+{
+  public:
+    void observe(double) {}
+    std::uint64_t count() const { return 0; }
+    PercentileSummary summary() const { return {}; }
+    void reset() {}
+};
+
+class Registry
+{
+  public:
+    static Registry &global()
+    {
+        static Registry registry;
+        return registry;
+    }
+    Counter &counter(const std::string &)
+    {
+        static Counter c;
+        return c;
+    }
+    Gauge &gauge(const std::string &)
+    {
+        static Gauge g;
+        return g;
+    }
+    Histogram &histogram(const std::string &)
+    {
+        static Histogram h;
+        return h;
+    }
+    void reset() {}
+    Report report() const { return {}; }
+    std::string text() const { return {}; }
+    std::string json() const { return Report{}.json(); }
+};
+
+#endif // FAST_OBS_ENABLED
+
+/** One-shot counter bump; the handle lookup is done once per site. */
+#if FAST_OBS_ENABLED
+#define FAST_OBS_COUNT(name, delta)                                    \
+    do {                                                               \
+        static ::fast::obs::Counter &fast_obs_counter_ =               \
+            ::fast::obs::Registry::global().counter(name);             \
+        fast_obs_counter_.add(delta);                                  \
+    } while (0)
+#define FAST_OBS_GAUGE_SET(name, v)                                    \
+    do {                                                               \
+        static ::fast::obs::Gauge &fast_obs_gauge_ =                   \
+            ::fast::obs::Registry::global().gauge(name);               \
+        fast_obs_gauge_.set(v);                                        \
+    } while (0)
+#else
+#define FAST_OBS_COUNT(name, delta) ((void)0)
+#define FAST_OBS_GAUGE_SET(name, v) ((void)0)
+#endif
+
+} // namespace fast::obs
+
+#endif // FAST_OBS_REGISTRY_HPP

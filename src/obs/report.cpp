@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Implementation of the shared report renderer.
+ */
+#include "obs/report.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace fast::obs {
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    if (n < 0)
+        return;
+    if (static_cast<std::size_t>(n) < sizeof(buf)) {
+        out.append(buf, static_cast<std::size_t>(n));
+        return;
+    }
+    // Rare long line: render again into a right-sized buffer.
+    std::vector<char> big(static_cast<std::size_t>(n) + 1);
+    va_start(args, fmt);
+    std::vsnprintf(big.data(), big.size(), fmt, args);
+    va_end(args);
+    out.append(big.data(), static_cast<std::size_t>(n));
+}
+
+std::string
+banner(const std::string &title)
+{
+    static const char kRule[] =
+        "==============================================================";
+    std::string out = "\n";
+    out += kRule;
+    out += '\n';
+    out += title;
+    out += '\n';
+    out += kRule;
+    out += '\n';
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                appendf(out, "\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter(std::string indent) : indent_(std::move(indent))
+{
+}
+
+void
+JsonWriter::prefix()
+{
+    if (pending_key_) {
+        pending_key_ = false;
+        return; // "key": already emitted, value follows inline
+    }
+    if (!needs_comma_.empty()) {
+        if (needs_comma_.back())
+            out_ += ',';
+        out_ += '\n';
+        for (std::size_t i = 0; i < needs_comma_.size(); ++i)
+            out_ += indent_.empty() ? "  " : indent_;
+        needs_comma_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    prefix();
+    out_ += '{';
+    needs_comma_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    bool had_rows = !needs_comma_.empty() && needs_comma_.back();
+    needs_comma_.pop_back();
+    if (had_rows) {
+        out_ += '\n';
+        for (std::size_t i = 0; i < needs_comma_.size(); ++i)
+            out_ += indent_.empty() ? "  " : indent_;
+    }
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    prefix();
+    out_ += '[';
+    needs_comma_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    bool had_rows = !needs_comma_.empty() && needs_comma_.back();
+    needs_comma_.pop_back();
+    if (had_rows) {
+        out_ += '\n';
+        for (std::size_t i = 0; i < needs_comma_.size(); ++i)
+            out_ += indent_.empty() ? "  " : indent_;
+    }
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    prefix();
+    out_ += '"';
+    out_ += jsonEscape(name);
+    out_ += "\": ";
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &text)
+{
+    prefix();
+    out_ += '"';
+    out_ += jsonEscape(text);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string(text));
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    prefix();
+    appendf(out_, "%llu", static_cast<unsigned long long>(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v, const char *fmt)
+{
+    prefix();
+    appendf(out_, fmt, v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    prefix();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::raw(const std::string &fragment)
+{
+    prefix();
+    out_ += fragment;
+    return *this;
+}
+
+Report &
+Report::section(const std::string &title)
+{
+    if (sections_.empty() || sections_.back().title != title)
+        sections_.push_back({title, {}});
+    return *this;
+}
+
+Report &
+Report::kv(const std::string &key, const std::string &text)
+{
+    if (sections_.empty())
+        sections_.push_back({"report", {}});
+    sections_.back().rows.push_back({key, text, true});
+    return *this;
+}
+
+Report &
+Report::kv(const std::string &key, std::uint64_t v)
+{
+    std::string text;
+    appendf(text, "%llu", static_cast<unsigned long long>(v));
+    if (sections_.empty())
+        sections_.push_back({"report", {}});
+    sections_.back().rows.push_back({key, std::move(text), false});
+    return *this;
+}
+
+Report &
+Report::kv(const std::string &key, double v, const char *fmt)
+{
+    std::string text;
+    appendf(text, fmt, v);
+    if (sections_.empty())
+        sections_.push_back({"report", {}});
+    sections_.back().rows.push_back({key, std::move(text), false});
+    return *this;
+}
+
+std::string
+Report::text() const
+{
+    std::string out;
+    for (const auto &section : sections_) {
+        appendf(out, "%s\n", section.title.c_str());
+        for (const auto &row : section.rows)
+            appendf(out, "  %-32s %s\n", row.key.c_str(),
+                    row.value.c_str());
+    }
+    return out;
+}
+
+std::string
+Report::json(const std::string &indent) const
+{
+    std::string out = indent + "{";
+    bool first_section = true;
+    for (const auto &section : sections_) {
+        appendf(out, "%s\n%s  \"%s\": {", first_section ? "" : ",",
+                indent.c_str(), jsonEscape(section.title).c_str());
+        first_section = false;
+        bool first_row = true;
+        for (const auto &row : section.rows) {
+            appendf(out, "%s\n%s    \"%s\": ", first_row ? "" : ",",
+                    indent.c_str(), jsonEscape(row.key).c_str());
+            if (row.quoted)
+                appendf(out, "\"%s\"", jsonEscape(row.value).c_str());
+            else
+                out += row.value;
+            first_row = false;
+        }
+        appendf(out, "\n%s  }", indent.c_str());
+    }
+    appendf(out, "\n%s}", indent.c_str());
+    return out;
+}
+
+} // namespace fast::obs

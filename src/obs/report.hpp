@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The one report renderer of the stack.
+ *
+ * Three pieces, all deterministic (fixed printf specifiers, sorted
+ * iteration), all always compiled:
+ *
+ *   - `appendf` — printf-append onto a std::string, the primitive the
+ *     sim, serve, and bench reports previously each reimplemented;
+ *   - `JsonWriter` — a small streaming JSON writer (objects, arrays,
+ *     fixed-format numbers) for the machine-readable halves;
+ *   - `Report` — an ordered section/key/value document with a text
+ *     rendering (human) and a JSON rendering (artifacts). The
+ *     metrics `Registry` snapshots into one; benches embed one in
+ *     their BENCH_*.json outputs.
+ */
+#ifndef FAST_OBS_REPORT_HPP
+#define FAST_OBS_REPORT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fast::obs {
+
+/** vsnprintf-append @p fmt onto @p out (any length). */
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void appendf(std::string &out, const char *fmt, ...);
+
+/** The `===` banner used by every bench's stdout report. */
+std::string banner(const std::string &title);
+
+/** JSON string escaping (quotes, backslashes, control chars). */
+std::string jsonEscape(const std::string &raw);
+
+/**
+ * Streaming JSON writer. The caller drives structure with
+ * begin/end calls; the writer tracks nesting, commas, and
+ * indentation. Numbers are formatted with explicit fixed
+ * specifiers, so equal values always serialize identically.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::string indent = "");
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Key of the next value (objects only). */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(double v, const char *fmt = "%.3f");
+    JsonWriter &value(bool v);
+    /** Pre-rendered JSON fragment, inserted verbatim. */
+    JsonWriter &raw(const std::string &fragment);
+
+    const std::string &str() const { return out_; }
+
+  private:
+    void prefix();
+
+    std::string out_;
+    std::string indent_;
+    std::vector<bool> needs_comma_;
+    bool pending_key_ = false;
+};
+
+/**
+ * An ordered report document: sections of key/value rows. The text
+ * rendering is the human-readable summary; the JSON rendering is the
+ * artifact CI uploads.
+ */
+class Report
+{
+  public:
+    /** Start (or reopen) a section; rows append to the latest. */
+    Report &section(const std::string &title);
+
+    Report &kv(const std::string &key, const std::string &text);
+    Report &kv(const std::string &key, std::uint64_t v);
+    Report &kv(const std::string &key, double v,
+               const char *fmt = "%.3f");
+
+    bool empty() const { return sections_.empty(); }
+
+    std::string text() const;
+    std::string json(const std::string &indent = "") const;
+
+  private:
+    struct Row {
+        std::string key;
+        std::string value;   ///< already formatted
+        bool quoted = false; ///< JSON: string vs raw number
+    };
+    struct Section {
+        std::string title;
+        std::vector<Row> rows;
+    };
+    std::vector<Section> sections_;
+};
+
+} // namespace fast::obs
+
+#endif // FAST_OBS_REPORT_HPP

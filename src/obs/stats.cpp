@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Implementation of the shared statistics primitives.
+ */
+#include "obs/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fast::obs {
+
+double
+percentileOfSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    if (rank == 0)
+        rank = 1;
+    return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+PercentileSummary
+summarize(std::vector<double> samples)
+{
+    PercentileSummary out;
+    out.count = samples.size();
+    if (samples.empty())
+        return out;
+    std::sort(samples.begin(), samples.end());
+    double sum = 0;
+    for (double s : samples)
+        sum += s;
+    out.mean = sum / static_cast<double>(samples.size());
+    out.p50 = percentileOfSorted(samples, 0.50);
+    out.p95 = percentileOfSorted(samples, 0.95);
+    out.p99 = percentileOfSorted(samples, 0.99);
+    out.max = samples.back();
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+topEntries(const std::map<std::string, double> &by_label, std::size_t n)
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(by_label.size());
+    for (const auto &entry : by_label)
+        out.push_back(entry);
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
+              });
+    if (out.size() > n)
+        out.resize(n);
+    return out;
+}
+
+} // namespace fast::obs

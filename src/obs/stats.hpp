@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared statistics primitives: exact nearest-rank percentile
+ * summaries and deterministic top-K label selection.
+ *
+ * These are the single implementations behind `sim::SimStats`
+ * (hot-kernel rankings) and `serve::LatencySummary` (latency
+ * percentiles) — both previously carried private copies. They are
+ * pure functions, always compiled, and deterministic: equal inputs
+ * produce equal outputs, ties break lexicographically.
+ */
+#ifndef FAST_OBS_STATS_HPP
+#define FAST_OBS_STATS_HPP
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fast::obs {
+
+/** Order statistics of one sample set (units are the caller's). */
+struct PercentileSummary {
+    std::size_t count = 0;
+    double mean = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    double max = 0;
+};
+
+/** Nearest-rank percentile of an ascending-sorted sample set. */
+double percentileOfSorted(const std::vector<double> &sorted, double q);
+
+/** Exact nearest-rank summary over @p samples (consumed: sorted). */
+PercentileSummary summarize(std::vector<double> samples);
+
+/**
+ * The @p n largest entries of a label->value map, descending by
+ * value with ties broken by label — the one top-K used by kernel
+ * rankings in the simulator, the serving scheduler, and reports.
+ */
+std::vector<std::pair<std::string, double>> topEntries(
+    const std::map<std::string, double> &by_label, std::size_t n);
+
+} // namespace fast::obs
+
+#endif // FAST_OBS_STATS_HPP

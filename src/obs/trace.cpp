@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Implementation of the trace sink (compiled-in builds only).
+ */
+#include "obs/trace.hpp"
+
+#if FAST_OBS_ENABLED
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/report.hpp"
+
+namespace fast::obs {
+
+namespace {
+
+/** Per-thread buffer handle; shared with the sink for draining. */
+thread_local std::shared_ptr<void> tl_buffer;
+
+std::atomic<std::uint32_t> g_next_tid{1};
+thread_local std::uint32_t tl_tid = 0;
+
+} // namespace
+
+TraceSink::TraceSink() : epoch_(std::chrono::steady_clock::now())
+{
+    if (const char *env = std::getenv("FAST_TRACE")) {
+        std::string value(env);
+        if (!value.empty() && value != "0") {
+            enable(value == "1" ? "fast_trace.json" : value);
+            // Flush whatever was traced when the process exits. The
+            // sink is intentionally leaked (see global()), so the
+            // handler always sees a live object.
+            std::atexit([] { TraceSink::global().flushToFile(); });
+        }
+    }
+}
+
+namespace {
+
+/**
+ * Force the sink's constructor (and with it the FAST_TRACE env read
+ * and the atexit flush registration) to run during static
+ * initialization. Span sites only read g_trace_armed, so without
+ * this nothing would ever construct the sink in a traced run.
+ */
+[[maybe_unused]] const bool g_sink_bootstrap =
+    (TraceSink::global(), true);
+
+} // namespace
+
+TraceSink &
+TraceSink::global()
+{
+    // Intentionally leaked. An atexit handler registered during a
+    // static's construction runs AFTER that static's destructor
+    // ([basic.start.term]), so a plain function-local static would be
+    // dead by the time the flush handler fires — the handler would
+    // lock a destroyed mutex and hang the process at exit. Leaking
+    // the sink keeps it valid for the whole shutdown sequence.
+    static TraceSink *sink = new TraceSink();
+    return *sink;
+}
+
+void
+TraceSink::enable(std::string path)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        path_ = std::move(path);
+    }
+    g_trace_armed.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceSink::disable()
+{
+    g_trace_armed.store(false, std::memory_order_relaxed);
+}
+
+double
+TraceSink::nowUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+std::uint32_t
+TraceSink::threadId()
+{
+    if (tl_tid == 0)
+        tl_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+    return tl_tid;
+}
+
+TraceSink::Buffer &
+TraceSink::localBuffer()
+{
+    auto buffer = std::static_pointer_cast<Buffer>(tl_buffer);
+    if (!buffer) {
+        buffer = std::make_shared<Buffer>();
+        tl_buffer = buffer;
+        std::lock_guard<std::mutex> lock(mutex_);
+        buffers_.push_back(buffer);
+    }
+    return *buffer;
+}
+
+void
+TraceSink::append(Event event)
+{
+    Buffer &buffer = localBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.events.push_back(std::move(event));
+}
+
+void
+TraceSink::emitComplete(const char *name, double ts_us, double dur_us,
+                        const std::string &args_json)
+{
+    Event event;
+    event.name = name;
+    event.ph = 'X';
+    event.ts_us = ts_us;
+    event.dur_us = dur_us;
+    event.tid = threadId();
+    event.args = args_json;
+    append(std::move(event));
+}
+
+void
+TraceSink::emitCounter(const char *name, double value)
+{
+    Event event;
+    event.name = name;
+    event.ph = 'C';
+    event.ts_us = nowUs();
+    event.tid = threadId();
+    event.value = value;
+    append(std::move(event));
+}
+
+std::string
+TraceSink::drainJson()
+{
+    std::vector<Event> events;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto &buffer : buffers_) {
+            std::lock_guard<std::mutex> buf_lock(buffer->mutex);
+            for (auto &event : buffer->events)
+                events.push_back(std::move(event));
+            buffer->events.clear();
+        }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) {
+                  if (a.ts_us != b.ts_us)
+                      return a.ts_us < b.ts_us;
+                  return a.tid < b.tid;
+              });
+
+    std::string out = "{\"traceEvents\": [\n";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const Event &e = events[i];
+        if (e.ph == 'X') {
+            appendf(out,
+                    "{\"name\": \"%s\", \"cat\": \"fast\", "
+                    "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                    "\"pid\": 1, \"tid\": %u",
+                    jsonEscape(e.name).c_str(), e.ts_us, e.dur_us,
+                    e.tid);
+            if (!e.args.empty())
+                appendf(out, ", \"args\": {%s}", e.args.c_str());
+        } else {
+            appendf(out,
+                    "{\"name\": \"%s\", \"cat\": \"fast\", "
+                    "\"ph\": \"C\", \"ts\": %.3f, \"pid\": 1, "
+                    "\"tid\": %u, \"args\": {\"value\": %.3f}",
+                    jsonEscape(e.name).c_str(), e.ts_us, e.tid,
+                    e.value);
+        }
+        out += i + 1 < events.size() ? "},\n" : "}\n" ;
+    }
+    out += "], \"displayTimeUnit\": \"ms\"}\n";
+    return out;
+}
+
+bool
+TraceSink::flushToFile()
+{
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        path = path_;
+    }
+    if (path.empty())
+        return false;
+    std::string json = drainJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    return true;
+}
+
+void
+ScopedSpan::arg(const char *key, std::uint64_t v)
+{
+    if (!site_)
+        return;
+    appendf(args_, "%s\"%s\": %llu", args_.empty() ? "" : ", ", key,
+            static_cast<unsigned long long>(v));
+}
+
+void
+ScopedSpan::arg(const char *key, double v)
+{
+    if (!site_)
+        return;
+    appendf(args_, "%s\"%s\": %.3f", args_.empty() ? "" : ", ", key, v);
+}
+
+void
+ScopedSpan::arg(const char *key, const char *v)
+{
+    if (!site_)
+        return;
+    appendf(args_, "%s\"%s\": \"%s\"", args_.empty() ? "" : ", ", key,
+            jsonEscape(v).c_str());
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!site_)
+        return;
+    TraceSink &sink = TraceSink::global();
+    double t1_us = sink.nowUs();
+    double dur_us = t1_us - t0_us_;
+    site_->calls().add();
+    site_->ns().observe(dur_us * 1000.0);
+    sink.emitComplete(site_->name(), t0_us_, dur_us, args_);
+}
+
+} // namespace fast::obs
+
+#endif // FAST_OBS_ENABLED

@@ -4,23 +4,13 @@
  */
 #include "serve/report.hpp"
 
-#include <cstdarg>
-#include <cstdio>
+#include "obs/report.hpp"
 
 namespace fast::serve {
 
-namespace {
+using obs::appendf;
 
-void
-appendf(std::string &out, const char *fmt, ...)
-{
-    char buf[384];
-    va_list args;
-    va_start(args, fmt);
-    std::vsnprintf(buf, sizeof(buf), fmt, args);
-    va_end(args);
-    out += buf;
-}
+namespace {
 
 void
 latencyJson(std::string &out, const std::string &indent,

@@ -11,6 +11,9 @@
 #include <optional>
 #include <thread>
 
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+
 namespace fast::serve {
 
 namespace {
@@ -80,6 +83,12 @@ void
 deviceWorker(BatchChannel &channel, DeviceAccumulator &acc)
 {
     while (auto batch = channel.pop()) {
+        FAST_OBS_SPAN_VAR(span, "serve.batch");
+        FAST_OBS_SPAN_ARG(span, "batch_id",
+                          static_cast<std::uint64_t>(batch->batch_id));
+        FAST_OBS_SPAN_ARG(
+            span, "requests",
+            static_cast<std::uint64_t>(batch->records.size()));
         const auto &plan = *batch->plan;
         auto b = static_cast<double>(batch->records.size());
         acc.batches += 1;
@@ -105,6 +114,11 @@ Scheduler::Scheduler(DevicePool &pool, SchedulerOptions options)
 ServeStats
 Scheduler::run(std::vector<Request> arrivals)
 {
+    FAST_OBS_SPAN_VAR(run_span, "serve.run");
+    FAST_OBS_SPAN_ARG(run_span, "requests",
+                      static_cast<std::uint64_t>(arrivals.size()));
+    FAST_OBS_SPAN_ARG(run_span, "devices",
+                      static_cast<std::uint64_t>(pool_.size()));
     // Arrival order is part of the runtime's determinism contract.
     std::stable_sort(arrivals.begin(), arrivals.end(),
                      [](const Request &a, const Request &b) {
@@ -145,9 +159,13 @@ Scheduler::run(std::vector<Request> arrivals)
                 stats.rejections.push_back(std::move(maybe));
             } else {
                 stats.accepted += 1;
+                FAST_OBS_COUNT("serve.admitted", 1);
             }
             ++cursor;
         }
+        FAST_OBS_GAUGE_SET("serve.queue_depth",
+                           static_cast<double>(queue.depth()));
+        FAST_OBS_TRACE_COUNTER("serve.queue_depth", queue.depth());
     };
 
     std::vector<double> free_at(pool_.size(), 0.0);
@@ -173,8 +191,13 @@ Scheduler::run(std::vector<Request> arrivals)
         if (batch.empty())
             continue;  // admissions were all rejected; re-evaluate
 
-        auto plan = cache.fetch(pool_.device(d),
-                                batch.front().stream);
+        PlanCache::Entry plan;
+        {
+            FAST_OBS_SPAN_VAR(plan_span, "serve.plan");
+            FAST_OBS_SPAN_ARG(plan_span, "device",
+                              static_cast<std::uint64_t>(d));
+            plan = cache.fetch(pool_.device(d), batch.front().stream);
+        }
         double exec_ns = plan->stats.total_ns;
         double lookup_ns = plan->hemera.config_lookups_ns;
         double service_ns =
@@ -203,6 +226,7 @@ Scheduler::run(std::vector<Request> arrivals)
         }
         free_at[d] = now + service_ns;
         stats.batches += 1;
+        FAST_OBS_COUNT("serve.batches", 1);
         channels[d].push(std::move(dispatch));
     }
 
@@ -270,9 +294,8 @@ Scheduler::run(std::vector<Request> arrivals)
         dev.energy_j = acc.energy_j;
         dev.utilization =
             makespan == 0 ? 0.0 : acc.busy_ns / makespan;
-        sim::SimStats merged;
-        merged.label_ns = std::move(acc.label_ns);
-        dev.top_kernels = merged.topLabels(options_.top_kernels);
+        dev.top_kernels =
+            obs::topEntries(acc.label_ns, options_.top_kernels);
     }
     return stats;
 }

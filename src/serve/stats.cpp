@@ -4,44 +4,24 @@
  */
 #include "serve/stats.hpp"
 
-#include <algorithm>
-#include <cmath>
+#include "obs/stats.hpp"
 
 namespace fast::serve {
-
-namespace {
-
-/** Nearest-rank percentile of an ascending-sorted sample set. */
-double
-percentile(const std::vector<double> &sorted, double q)
-{
-    if (sorted.empty())
-        return 0;
-    auto rank = static_cast<std::size_t>(
-        std::ceil(q * static_cast<double>(sorted.size())));
-    if (rank == 0)
-        rank = 1;
-    return sorted[std::min(rank, sorted.size()) - 1];
-}
-
-} // namespace
 
 LatencySummary
 LatencySummary::of(std::vector<double> samples_ns)
 {
+    // Thin veneer over the shared exact summary in fast::obs; the
+    // nearest-rank semantics (and thus the pinned serve fixtures) are
+    // unchanged.
+    auto s = obs::summarize(std::move(samples_ns));
     LatencySummary out;
-    out.count = samples_ns.size();
-    if (samples_ns.empty())
-        return out;
-    std::sort(samples_ns.begin(), samples_ns.end());
-    double sum = 0;
-    for (double s : samples_ns)
-        sum += s;
-    out.mean_ns = sum / static_cast<double>(samples_ns.size());
-    out.p50_ns = percentile(samples_ns, 0.50);
-    out.p95_ns = percentile(samples_ns, 0.95);
-    out.p99_ns = percentile(samples_ns, 0.99);
-    out.max_ns = samples_ns.back();
+    out.count = s.count;
+    out.mean_ns = s.mean;
+    out.p50_ns = s.p50;
+    out.p95_ns = s.p95;
+    out.p99_ns = s.p99;
+    out.max_ns = s.max;
     return out;
 }
 

@@ -4,25 +4,11 @@
  */
 #include "sim/report.hpp"
 
-#include <cstdarg>
-#include <cstdio>
+#include "obs/report.hpp"
 
 namespace fast::sim {
 
-namespace {
-
-void
-appendf(std::string &out, const char *fmt, ...)
-{
-    char buf[256];
-    va_list args;
-    va_start(args, fmt);
-    std::vsnprintf(buf, sizeof(buf), fmt, args);
-    va_end(args);
-    out += buf;
-}
-
-} // namespace
+using obs::appendf;
 
 std::string
 describeMct(const std::vector<core::MctEntry> &mct, std::size_t max_rows)

@@ -6,6 +6,8 @@
 
 #include <algorithm>
 
+#include "obs/stats.hpp"
+
 namespace fast::sim {
 
 const char *
@@ -36,19 +38,8 @@ SimStats::totalMults() const
 std::vector<std::pair<std::string, double>>
 SimStats::topLabels(std::size_t n) const
 {
-    std::vector<std::pair<std::string, double>> out;
-    out.reserve(label_ns.size());
-    for (const auto &entry : label_ns)
-        out.push_back(entry);
-    std::sort(out.begin(), out.end(),
-              [](const auto &a, const auto &b) {
-                  if (a.second != b.second)
-                      return a.second > b.second;
-                  return a.first < b.first;
-              });
-    if (out.size() > n)
-        out.resize(n);
-    return out;
+    // Thin veneer over the shared top-K selection in fast::obs.
+    return obs::topEntries(label_ns, n);
 }
 
 SimStats

@@ -76,7 +76,7 @@ TEST_F(BootstrapTest, ModRaisePreservesMessageModQ0)
     // decryption mod q0 recovers the message. Instead we check the
     // cheap invariant: dropping back to level 0 reproduces the
     // original ciphertext's message.
-    evaluator_->dropToLevel(raised, 0);
+    evaluator_->dropToLevelInPlace(raised, 0);
     auto back = evaluator_->decryptDecode(raised, keygen_->secretKey(),
                                           z.size());
     for (std::size_t j = 0; j < z.size(); ++j)

@@ -120,6 +120,47 @@ TEST_F(ExtensionsTest, DoubleRescaleMatchesTwoSingles)
         EXPECT_LT(std::abs(da[j] - 3.0 * z[j]), 1e-2);
 }
 
+TEST_F(ExtensionsTest, ValueTwinsMatchInPlaceForms)
+{
+    // Every maintenance op's value-returning twin must produce the
+    // exact ciphertext its ...InPlace form does, leaving the input
+    // untouched.
+    std::size_t slots = ctx_->params().slots;
+    std::vector<Complex> z(slots, Complex(0.5, 0.25));
+    auto fresh = encrypt(z, ctx_->params().maxLevel());
+    auto grown = eval_->multiplyConstant(
+        eval_->multiplyConstant(fresh, 1.5), 2.0);
+
+    auto same = [](const Ciphertext &a, const Ciphertext &b) {
+        return a.level() == b.level() && a.scale == b.scale &&
+               a.c0.limb(0) == b.c0.limb(0) &&
+               a.c1.limb(0) == b.c1.limb(0);
+    };
+
+    auto r1 = eval_->rescale(grown);
+    auto r2 = grown;
+    eval_->rescaleInPlace(r2);
+    EXPECT_TRUE(same(r1, r2));
+
+    auto d1 = eval_->rescaleDouble(grown);
+    auto d2 = grown;
+    eval_->rescaleDoubleInPlace(d2);
+    EXPECT_TRUE(same(d1, d2));
+
+    auto l1 = eval_->dropToLevel(grown, 1);
+    auto l2 = grown;
+    eval_->dropToLevelInPlace(l2, 1);
+    EXPECT_TRUE(same(l1, l2));
+
+    auto s1 = eval_->withScale(grown, 123.0);
+    auto s2 = grown;
+    eval_->setScaleInPlace(s2, 123.0);
+    EXPECT_TRUE(same(s1, s2));
+
+    // The source ciphertext is unchanged by the value twins.
+    EXPECT_EQ(grown.level(), ctx_->params().maxLevel());
+}
+
 TEST_F(ExtensionsTest, DoubleRescaleNeedsTwoLimbs)
 {
     auto ct = encrypt(std::vector<Complex>(ctx_->params().slots,

@@ -279,7 +279,7 @@ TEST_F(SchemeTest, DropToLevelPreservesMessage)
     std::size_t slots = ctx_->params().slots;
     auto z = message(slots);
     auto ct = encryptMessage(z, ctx_->params().maxLevel());
-    evaluator_->dropToLevel(ct, 1);
+    evaluator_->dropToLevelInPlace(ct, 1);
     EXPECT_EQ(ct.level(), 1u);
     EXPECT_LT(maxErr(z, roundTrip(ct, slots)), 1e-4);
 }

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Tests for the fast::obs layer: shared statistics primitives, the
+ * report renderer, the metrics registry, and — as a golden smoke test
+ * — that tracing a quickstart-shaped CKKS run emits a structurally
+ * valid Chrome-trace JSON document (parses, spans nest per thread,
+ * thread ids present).
+ *
+ * The whole file also compiles with -DFAST_OBS=OFF; in that
+ * configuration the registry/trace tests instead assert that every
+ * primitive is a no-op, pinning the "disabled instrumentation costs
+ * nothing" contract.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckks/evaluator.hpp"
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace fast;
+
+TEST(ObsStats, NearestRankPercentiles)
+{
+    std::vector<double> samples;
+    for (int i = 100; i >= 1; --i)
+        samples.push_back(static_cast<double>(i));
+    auto s = obs::summarize(samples);
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_DOUBLE_EQ(s.p50, 50.0);
+    EXPECT_DOUBLE_EQ(s.p95, 95.0);
+    EXPECT_DOUBLE_EQ(s.p99, 99.0);
+    EXPECT_DOUBLE_EQ(s.max, 100.0);
+    EXPECT_DOUBLE_EQ(s.mean, 50.5);
+}
+
+TEST(ObsStats, SummarizeEmptyAndSingle)
+{
+    auto empty = obs::summarize({});
+    EXPECT_EQ(empty.count, 0u);
+    EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+    auto one = obs::summarize({7.0});
+    EXPECT_EQ(one.count, 1u);
+    EXPECT_DOUBLE_EQ(one.p50, 7.0);
+    EXPECT_DOUBLE_EQ(one.p99, 7.0);
+    EXPECT_DOUBLE_EQ(one.max, 7.0);
+}
+
+TEST(ObsStats, TopEntriesDeterministicTieBreak)
+{
+    std::map<std::string, double> by_label{
+        {"b", 2.0}, {"a", 2.0}, {"c", 5.0}, {"d", 1.0}};
+    auto top = obs::topEntries(by_label, 3);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[0].first, "c");
+    EXPECT_EQ(top[1].first, "a");  // tie with b: label order
+    EXPECT_EQ(top[2].first, "b");
+}
+
+TEST(ObsReport, AppendfHandlesLongStrings)
+{
+    std::string out;
+    std::string big(2000, 'x');
+    obs::appendf(out, "[%s]", big.c_str());
+    EXPECT_EQ(out.size(), big.size() + 2);
+    EXPECT_EQ(out.front(), '[');
+    EXPECT_EQ(out.back(), ']');
+}
+
+TEST(ObsReport, JsonEscape)
+{
+    EXPECT_EQ(obs::jsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+}
+
+TEST(ObsReport, ReportTextAndJson)
+{
+    obs::Report report;
+    report.section("counters").kv("ntt.forward", std::uint64_t{12});
+    report.section("gauges").kv("queue_depth", 3.5, "%.1f");
+    std::string text = report.text();
+    EXPECT_NE(text.find("counters"), std::string::npos);
+    EXPECT_NE(text.find("ntt.forward"), std::string::npos);
+    std::string json = report.json();
+    EXPECT_NE(json.find("\"ntt.forward\": 12"), std::string::npos);
+    EXPECT_NE(json.find("\"queue_depth\": 3.5"), std::string::npos);
+    // Two renders of the same report are byte-identical.
+    EXPECT_EQ(json, report.json());
+}
+
+#if FAST_OBS_ENABLED
+
+TEST(ObsRegistry, CountersGaugesHistograms)
+{
+    auto &reg = obs::Registry::global();
+    auto &c = reg.counter("test.counter");
+    c.reset();
+    c.add(3);
+    c.add();
+    EXPECT_EQ(c.value(), 4u);
+    EXPECT_EQ(&reg.counter("test.counter"), &c);  // stable handle
+
+    auto &g = reg.gauge("test.gauge");
+    g.reset();
+    g.set(2.0);
+    g.set(7.0);
+    g.set(4.0);
+    EXPECT_DOUBLE_EQ(g.value(), 4.0);
+    EXPECT_DOUBLE_EQ(g.max(), 7.0);
+
+    auto &h = reg.histogram("test.histogram");
+    h.reset();
+    for (int i = 0; i < 1000; ++i)
+        h.observe(1000.0);
+    auto s = h.summary();
+    EXPECT_EQ(s.count, 1000u);
+    EXPECT_DOUBLE_EQ(s.mean, 1000.0);
+    EXPECT_DOUBLE_EQ(s.max, 1000.0);
+    // Quarter-octave buckets: percentiles within ~9% of the truth.
+    EXPECT_GT(s.p50, 1000.0 * 0.91);
+    EXPECT_LT(s.p50, 1000.0 * 1.09);
+    EXPECT_GT(s.p99, 1000.0 * 0.91);
+    EXPECT_LT(s.p99, 1000.0 * 1.09);
+}
+
+TEST(ObsRegistry, HistogramBucketsMonotone)
+{
+    EXPECT_EQ(obs::Histogram::bucketIndex(0.5), 0u);
+    EXPECT_EQ(obs::Histogram::bucketIndex(1.0), 0u);
+    std::size_t prev = 0;
+    for (double v = 2.0; v < 1e12; v *= 3.7) {
+        std::size_t idx = obs::Histogram::bucketIndex(v);
+        EXPECT_GE(idx, prev);
+        prev = idx;
+        // The reported midpoint is within one quarter-octave.
+        double mid = obs::Histogram::bucketMid(idx);
+        EXPECT_GT(mid / v, 0.8);
+        EXPECT_LT(mid / v, 1.2);
+    }
+}
+
+TEST(ObsRegistry, ReportSnapshotsMetrics)
+{
+    auto &reg = obs::Registry::global();
+    reg.counter("test.report_counter").reset();
+    reg.counter("test.report_counter").add(9);
+    std::string json = reg.json();
+    EXPECT_NE(json.find("\"test.report_counter\": 9"),
+              std::string::npos);
+}
+
+/** One parsed Chrome-trace event. */
+struct ParsedEvent {
+    std::string name;
+    double ts = 0;
+    double dur = 0;
+    unsigned tid = 0;
+};
+
+/** Minimal structural parse of the sink's one-event-per-line JSON. */
+std::vector<ParsedEvent>
+parseCompleteEvents(const std::string &json, bool *valid)
+{
+    *valid = json.find("{\"traceEvents\": [") == 0 &&
+             json.find("\"displayTimeUnit\"") != std::string::npos;
+    std::vector<ParsedEvent> events;
+    std::size_t pos = 0;
+    while ((pos = json.find("{\"name\": \"", pos)) != std::string::npos) {
+        std::size_t name_start = pos + 10;
+        std::size_t name_end = json.find('"', name_start);
+        ParsedEvent e;
+        e.name = json.substr(name_start, name_end - name_start);
+        std::size_t eol = json.find('\n', pos);
+        std::string line = json.substr(pos, eol - pos);
+        bool complete = line.find("\"ph\": \"X\"") != std::string::npos;
+        auto field = [&](const char *key) {
+            std::size_t k = line.find(key);
+            if (k == std::string::npos) {
+                *valid = false;
+                return 0.0;
+            }
+            return std::strtod(line.c_str() + k + std::strlen(key),
+                               nullptr);
+        };
+        if (complete) {
+            e.ts = field("\"ts\": ");
+            e.dur = field("\"dur\": ");
+            e.tid = static_cast<unsigned>(field("\"tid\": "));
+            events.push_back(std::move(e));
+        }
+        pos = eol;
+    }
+    return events;
+}
+
+TEST(ObsTrace, QuickstartRunEmitsValidChromeTrace)
+{
+    using namespace fast::ckks;
+    std::string path = ::testing::TempDir() + "fast_obs_trace.json";
+    obs::TraceSink::global().enable(path);
+
+    {
+        // The quickstart workload: encrypt, square (hybrid relin),
+        // rescale, rotate (KLSS key), decrypt.
+        auto ctx =
+            std::make_shared<CkksContext>(CkksParams::testSmall());
+        KeyGenerator keygen(ctx, 42);
+        CkksEvaluator eval(ctx);
+        std::size_t slots = ctx->params().slots;
+        std::vector<Complex> message(slots, Complex(0.1, 0.0));
+        auto pt = eval.encode(message, ctx->params().scale,
+                              ctx->params().maxLevel());
+        fast::math::Prng prng(7);
+        auto ct = eval.encrypt(pt, keygen.publicKey(), prng);
+        auto relin = keygen.makeRelinKey(KeySwitchMethod::hybrid);
+        auto rot = keygen.makeRotationKey(1, KeySwitchMethod::klss);
+        auto squared = eval.square(ct, relin);
+        eval.rescaleInPlace(squared);
+        auto rotated = eval.rotate(squared, 1, rot);
+        auto result =
+            eval.decryptDecode(rotated, keygen.secretKey(), slots);
+        ASSERT_EQ(result.size(), slots);
+    }
+
+    ASSERT_TRUE(obs::TraceSink::global().flushToFile());
+    obs::TraceSink::global().disable();
+
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::string json;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        json.append(buf, got);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    bool valid = false;
+    auto events = parseCompleteEvents(json, &valid);
+    EXPECT_TRUE(valid) << "trace document structure broken";
+    ASSERT_FALSE(events.empty());
+
+    // Thread ids present: small sequential ids, all >= 1.
+    for (const auto &e : events) {
+        EXPECT_GE(e.tid, 1u);
+        EXPECT_LT(e.tid, 1024u);
+    }
+
+    // The instrumented CKKS hot paths all appear.
+    auto has = [&](const char *name) {
+        for (const auto &e : events)
+            if (e.name == name)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has("ks.modup"));
+    EXPECT_TRUE(has("ks.gadget_decompose"));
+    EXPECT_TRUE(has("ks.keymult"));
+    EXPECT_TRUE(has("ks.moddown"));
+    EXPECT_TRUE(has("ntt.forward"));
+    EXPECT_TRUE(has("bconv.convert_poly"));
+
+    // Spans nest: within one thread, any two spans are either
+    // disjoint or one contains the other (Chrome-trace requires
+    // this; Perfetto renders overlap as a corrupt track).
+    std::map<unsigned, std::vector<ParsedEvent>> by_tid;
+    for (const auto &e : events)
+        by_tid[e.tid].push_back(e);
+    for (auto &[tid, list] : by_tid) {
+        // Ties in ts: the longer (enclosing) span first.
+        std::sort(list.begin(), list.end(),
+                  [](const ParsedEvent &a, const ParsedEvent &b) {
+                      if (a.ts != b.ts)
+                          return a.ts < b.ts;
+                      return a.dur > b.dur;
+                  });
+        std::vector<const ParsedEvent *> open;
+        for (const auto &e : list) {
+            while (!open.empty() &&
+                   e.ts >= open.back()->ts + open.back()->dur - 1e-3)
+                open.pop_back();
+            if (!open.empty()) {
+                EXPECT_LE(e.ts + e.dur,
+                          open.back()->ts + open.back()->dur + 1e-3)
+                    << e.name << " overlaps " << open.back()->name
+                    << " on tid " << tid;
+            }
+            open.push_back(&e);
+        }
+    }
+
+    // The trace carries kernel-level spans inside the key-switch
+    // spans — i.e. at least one ks.* span contains an ntt.* span.
+    bool found_nested_kernel = false;
+    for (const auto &outer : events) {
+        if (outer.name.rfind("ks.", 0) != 0)
+            continue;
+        for (const auto &inner : events) {
+            if (inner.name.rfind("ntt.", 0) != 0 ||
+                inner.tid != outer.tid)
+                continue;
+            if (inner.ts >= outer.ts &&
+                inner.ts + inner.dur <= outer.ts + outer.dur + 1e-3) {
+                found_nested_kernel = true;
+                break;
+            }
+        }
+        if (found_nested_kernel)
+            break;
+    }
+    EXPECT_TRUE(found_nested_kernel);
+}
+
+TEST(ObsTrace, DisarmedSpansRecordNothing)
+{
+    obs::TraceSink::global().disable();
+    auto &calls =
+        obs::Registry::global().counter("test.disarmed_span.calls");
+    calls.reset();
+    {
+        FAST_OBS_SPAN("test.disarmed_span");
+    }
+    // The span site only counts when tracing is armed.
+    EXPECT_EQ(calls.value(), 0u);
+    EXPECT_EQ(obs::TraceSink::global().drainJson(),
+              "{\"traceEvents\": [\n], \"displayTimeUnit\": \"ms\"}\n");
+}
+
+#else // !FAST_OBS_ENABLED
+
+TEST(ObsDisabled, RegistryCompilesToNoOps)
+{
+    auto &reg = obs::Registry::global();
+    auto &c = reg.counter("off.counter");
+    c.add(100);
+    EXPECT_EQ(c.value(), 0u);
+    auto &g = reg.gauge("off.gauge");
+    g.set(5.0);
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    EXPECT_DOUBLE_EQ(g.max(), 0.0);
+    auto &h = reg.histogram("off.histogram");
+    h.observe(123.0);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.summary().count, 0u);
+    EXPECT_EQ(reg.text(), "");
+    // Macros expand to nothing.
+    FAST_OBS_COUNT("off.macro", 7);
+    EXPECT_EQ(reg.counter("off.macro").value(), 0u);
+}
+
+TEST(ObsDisabled, TraceSinkIsInert)
+{
+    auto &sink = obs::TraceSink::global();
+    sink.enable("should_not_be_written.json");
+    EXPECT_FALSE(sink.enabled());
+    sink.emitComplete("x", 0, 1, "");
+    EXPECT_EQ(sink.drainJson(), "{\"traceEvents\": []}\n");
+    EXPECT_FALSE(sink.flushToFile());
+    obs::SpanSite site("off.site");
+    obs::ScopedSpan span(site);
+    span.arg("k", std::uint64_t{1});
+}
+
+#endif // FAST_OBS_ENABLED
+
+} // namespace
