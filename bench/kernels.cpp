@@ -359,6 +359,8 @@ report()
         row.print();
 
     std::string json = "{\n  \"benchmark\": \"kernels\",\n";
+    json += "  \"schema_version\": " +
+            std::to_string(fast::obs::kSchemaVersion) + ",\n";
     json += "  \"smoke\": " + std::string(g_smoke ? "true" : "false") +
             ",\n";
     json += "  \"host_cpus\": " + std::to_string(cpus) + ",\n";

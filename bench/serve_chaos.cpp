@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Chaos benchmark for the fault-tolerant serving runtime
+ * (BENCH_serve_chaos.json).
+ *
+ * Replays one fixed 4-device open-loop mixed trace (Bootstrap high
+ * priority, HELR-256 and ResNet-20 normal, a low-priority batch
+ * tenant) fault-free, then under the three canned fault plans —
+ * transient faults, permanent device loss, and an evk-timeout storm —
+ * and reports tail latency (aggregate and per priority class) plus
+ * goodput for each. All faults fire at scheduled simulated-time
+ * points, so every run of this binary produces byte-identical output;
+ * the binary itself re-runs the transient scenario and fails (exit 1)
+ * if the two JSON renderings differ.
+ *
+ * Acceptance gates (ISSUE PR 4, checked here, exit 1 on violation):
+ *   - zero crashes and 100% request accounting under every plan
+ *     (`requireBalanced` throws on a hole);
+ *   - under the transient plan, high-priority p99 e2e stays within
+ *     2x the fault-free baseline.
+ *
+ * `--smoke` shrinks the trace for the CI smoke leg.
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
+#include "serve/arrivals.hpp"
+#include "serve/report.hpp"
+#include "serve/scheduler.hpp"
+#include "trace/workloads.hpp"
+
+namespace {
+
+bool g_smoke = false;
+
+constexpr std::uint64_t kSeed = 42;
+constexpr std::size_t kDevices = 4;
+constexpr double kMeanInterarrivalNs = 1.0e6;  // 1 ms open loop
+
+std::size_t
+requestCount()
+{
+    return g_smoke ? 24 : 96;
+}
+
+std::vector<fast::serve::ArrivalSpec>
+mixedTenantLoad()
+{
+    using fast::serve::ArrivalSpec;
+    using fast::serve::Priority;
+    std::vector<ArrivalSpec> mix;
+    mix.push_back({"tenant-boot", Priority::high,
+                   fast::trace::bootstrapTrace(), 1.0});
+    mix.push_back({"tenant-helr", Priority::normal,
+                   fast::trace::helrTrace(256), 2.0});
+    mix.push_back({"tenant-resnet", Priority::normal,
+                   fast::trace::resnetTrace(), 2.0});
+    mix.push_back({"tenant-batch", Priority::low,
+                   fast::trace::resnetTrace(), 1.0});
+    return mix;
+}
+
+void
+header(const std::string &title)
+{
+    std::fputs(fast::obs::banner(title).c_str(), stdout);
+}
+
+void
+note(const std::string &text)
+{
+    std::printf("  %s\n", text.c_str());
+}
+
+fast::serve::ServeStats
+runPlan(const std::vector<fast::serve::Request> &arrivals,
+        const fast::serve::FaultPlan &plan)
+{
+    using namespace fast;
+    auto pool = serve::DevicePool::builder()
+                    .add(hw::FastConfig::fast(), kDevices)
+                    .build();
+    auto options = serve::SchedulerOptions::builder()
+                       .policy(serve::QueuePolicy::priority)
+                       .maxQueueDepth(128)
+                       .maxBatch(4)
+                       .maxRetries(3)
+                       .backoff(2e5, 3.2e6)
+                       .failureThreshold(3)
+                       .quarantineNs(2e6)
+                       .build();
+    serve::Scheduler scheduler(pool.value(), options.value());
+    auto stats = scheduler.run(arrivals, plan);
+    stats.requireBalanced();  // 100% accounting or die loudly
+    return stats;
+}
+
+void
+summarize(const fast::serve::ServeStats &stats)
+{
+    const auto *high = [&]() -> const fast::serve::LatencySummary * {
+        auto it = stats.priority_e2e.find("high");
+        return it == stats.priority_e2e.end() ? nullptr : &it->second;
+    }();
+    std::string line;
+    fast::obs::appendf(
+        line,
+        "  %-10s %3zu/%3zu ok, %2zu rej, %2zu timeout | "
+        "goodput %7.1f req/s | e2e p99 %8.3f ms | "
+        "high p99 %8.3f ms | %zu retries, %zu quar, %zu shed\n",
+        stats.faults.plan_name.c_str(), stats.completed,
+        stats.submitted, stats.rejected, stats.timed_out,
+        stats.goodput_rps, stats.e2e.p99_ns / 1e6,
+        high ? high->p99_ns / 1e6 : 0.0, stats.faults.retries,
+        stats.faults.quarantines, stats.faults.shed);
+    std::fputs(line.c_str(), stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace fast;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            g_smoke = true;
+
+    header(std::string("Serving under chaos: 4 devices, mixed "
+                       "priorities, canned fault plans "
+                       "(BENCH_serve_chaos.json)") +
+           (g_smoke ? " [smoke]" : ""));
+    note("mix: Bootstrap(high) : HELR(normal) : ResNet(normal) : "
+         "batch(low) at 1:2:2:1, Poisson arrivals, mean gap 1 ms");
+
+    auto arrivals = serve::openLoopArrivals(
+        mixedTenantLoad(), requestCount(), kMeanInterarrivalNs, kSeed);
+    double horizon_ns = arrivals.back().submit_ns + 1e6;
+
+    // Fault-free baseline first; its makespan scales the fault plans'
+    // horizon and its high-priority p99 anchors the acceptance gate.
+    auto baseline = runPlan(arrivals, serve::FaultPlan::none());
+    double span = std::max(baseline.makespan_ns, horizon_ns);
+
+    std::vector<serve::FaultPlan> plans = {
+        serve::FaultPlan::none(),
+        serve::FaultPlan::transientFaults(kDevices, span, kSeed),
+        serve::FaultPlan::deviceLoss(kDevices, span, kSeed),
+        serve::FaultPlan::evkStorm(kDevices, span, kSeed),
+    };
+
+    std::string json = "{\n  \"benchmark\": \"serve_chaos\",\n";
+    json += "  \"schema_version\": " +
+            std::to_string(obs::kSchemaVersion) + ",\n";
+    json += "  \"seed\": " + std::to_string(kSeed) +
+            ", \"devices\": " + std::to_string(kDevices) +
+            ", \"requests\": " + std::to_string(requestCount()) +
+            ",\n  \"smoke\": " +
+            std::string(g_smoke ? "true" : "false") + ",\n";
+    json += "  \"runs\": [\n";
+
+    int failures = 0;
+    double baseline_high_p99 = 0;
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+        const auto &plan = plans[i];
+        serve::ServeStats stats;
+        try {
+            stats = runPlan(arrivals, plan);
+        } catch (const std::exception &e) {
+            std::printf("  FAIL plan '%s': %s\n", plan.name.c_str(),
+                        e.what());
+            ++failures;
+            continue;
+        }
+        summarize(stats);
+
+        auto it = stats.priority_e2e.find("high");
+        double high_p99 =
+            it == stats.priority_e2e.end() ? 0.0 : it->second.p99_ns;
+        if (plan.name == "none")
+            baseline_high_p99 = high_p99;
+        // Acceptance: transient faults must not double the high-
+        // priority tail.
+        if (plan.name == "transient" && baseline_high_p99 > 0 &&
+            high_p99 > 2.0 * baseline_high_p99) {
+            std::printf("  FAIL: transient high-prio p99 %.3f ms "
+                        "exceeds 2x fault-free baseline %.3f ms\n",
+                        high_p99 / 1e6, baseline_high_p99 / 1e6);
+            ++failures;
+        }
+
+        json += "    {\"plan\": \"" + plan.name + "\", \"stats\":\n";
+        json += serve::serveStatsJson(stats, "    ");
+        json += i + 1 < plans.size() ? "},\n" : "}\n";
+    }
+    json += "  ]\n}\n";
+
+    // Determinism gate: replaying the transient scenario must
+    // reproduce the stats byte for byte.
+    auto once = runPlan(arrivals, plans[1]);
+    auto twice = runPlan(arrivals, plans[1]);
+    if (serve::serveStatsJson(once) != serve::serveStatsJson(twice)) {
+        std::printf("  FAIL: transient plan replay diverged\n");
+        ++failures;
+    } else {
+        note("determinism: transient replay byte-identical");
+    }
+
+    std::FILE *f = std::fopen("BENCH_serve_chaos.json", "w");
+    if (f) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        note("wrote BENCH_serve_chaos.json");
+    } else {
+        note("could not write BENCH_serve_chaos.json");
+    }
+
+    std::FILE *m = std::fopen("OBS_serve_chaos_metrics.json", "w");
+    if (m) {
+        std::fputs(obs::Registry::global().json().c_str(), m);
+        std::fputs("\n", m);
+        std::fclose(m);
+        note("wrote OBS_serve_chaos_metrics.json");
+    }
+
+    if (failures) {
+        std::printf("  %d acceptance gate(s) failed\n", failures);
+        return 1;
+    }
+    note("all acceptance gates passed");
+    return 0;
+}

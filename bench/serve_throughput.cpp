@@ -58,6 +58,8 @@ report()
         mixedTenantLoad(), kRequests, kMeanInterarrivalNs, kSeed);
 
     std::string json = "{\n  \"benchmark\": \"serve_throughput\",\n";
+    json += "  \"schema_version\": " +
+            std::to_string(obs::kSchemaVersion) + ",\n";
     json += "  \"seed\": " + std::to_string(kSeed) +
             ", \"requests\": " + std::to_string(kRequests) + ",\n";
     json += "  \"mean_interarrival_ns\": 2000000.0,\n";
@@ -75,6 +77,9 @@ report()
         options.max_batch = 4;
         serve::Scheduler scheduler(pool, options);
         auto stats = scheduler.run(arrivals);
+        // Every submitted request must be accounted for — the run
+        // throws on an accounting hole instead of publishing one.
+        stats.requireBalanced();
 
         if (n == 1)
             base_rps = stats.throughput_rps;

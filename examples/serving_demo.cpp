@@ -23,8 +23,18 @@ main()
     std::printf("== fast::serve demo ==\n\n");
 
     // 1. A heterogeneous device pool: per-device configs are allowed.
-    serve::DevicePool pool({hw::FastConfig::fast(),
-                            hw::FastConfig::sharpLargeMem()});
+    //    The builder validates each config and returns a named error
+    //    instead of accepting an inconsistent one.
+    auto built = serve::DevicePool::builder()
+                     .add(hw::FastConfig::fast())
+                     .add(hw::FastConfig::sharpLargeMem())
+                     .build();
+    if (!built.isOk()) {
+        std::printf("pool rejected: %s\n",
+                    built.status().toString().c_str());
+        return 1;
+    }
+    serve::DevicePool pool = std::move(built.value());
     std::printf("pool: %zu devices (%s, %s)\n\n", pool.size(),
                 pool.config(0).name.c_str(),
                 pool.config(1).name.c_str());
@@ -41,11 +51,14 @@ main()
         /*seed=*/7);
 
     // 3. Scheduler: priority queue, batches of up to 4 same-workload
-    //    requests share one Aether analysis + Hemera plan.
-    serve::SchedulerOptions options;
-    options.policy = serve::QueuePolicy::priority;
-    options.max_queue_depth = 16;
-    options.max_batch = 4;
+    //    requests share one Aether analysis + Hemera plan. Options
+    //    come through the validated builder too.
+    auto options = serve::SchedulerOptions::builder()
+                       .policy(serve::QueuePolicy::priority)
+                       .maxQueueDepth(16)
+                       .maxBatch(4)
+                       .build()
+                       .value();
     serve::Scheduler scheduler(pool, options);
 
     auto stats = scheduler.run(arrivals);
@@ -69,7 +82,20 @@ main()
                     : toString(tight_stats.rejections[0].reason),
                 tight_stats.completed);
 
-    // 5. The JSON the bench driver writes to BENCH_serve.json.
+    // 5. Fault tolerance: the same trace under the canned transient
+    //    fault plan — outages, slow windows, one plan corruption.
+    //    Retries, deadlines, and the circuit breaker ride through it;
+    //    accounting still balances exactly.
+    auto plan = serve::FaultPlan::transientFaults(
+        pool.size(), stats.makespan_ns, /*seed=*/7);
+    auto chaos = scheduler.run(arrivals, plan);
+    std::printf("\nunder fault plan '%s': %zu completed, "
+                "%zu timed out, %zu retries, %zu quarantines\n",
+                chaos.faults.plan_name.c_str(), chaos.completed,
+                chaos.timed_out, chaos.faults.retries,
+                chaos.faults.quarantines);
+
+    // 6. The JSON the bench driver writes to BENCH_serve.json.
     std::printf("\nJSON head:\n%.400s...\n",
                 serve::serveStatsJson(stats).c_str());
     return 0;

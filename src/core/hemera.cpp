@@ -126,6 +126,21 @@ Hemera::plan(const trace::OpStream &stream, const AetherConfig &config)
         t.prefetched = predicted &&
                        predicted->first == d.method &&
                        predicted->second == d.hoist;
+
+        // Injected transfer failures: a timed-out transfer is
+        // reissued and cannot overlap compute; a stall just adds
+        // latency. Either way the plan absorbs it — callers see the
+        // degradation in the stats, not an exception.
+        if (transfer_hook_) {
+            if (auto fault = transfer_hook_(t)) {
+                if (fault->timed_out) {
+                    ++stats_.transfer_timeouts;
+                    t.prefetched = false;
+                    FAST_OBS_COUNT("hemera.transfer_timeouts", 1);
+                }
+                stats_.stall_ns += fault->stall_ns;
+            }
+        }
         if (t.prefetched) {
             ++stats_.prefetch_hits;
             FAST_OBS_COUNT("hemera.prefetch_hits", 1);

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <tuple>
@@ -71,12 +72,24 @@ struct EvkTransfer {
     std::size_t level = 0;
 };
 
+/**
+ * Fault imposed on one planned transfer by an injected hook (serving
+ * chaos tests, degraded-HBM studies). A timed-out transfer cannot
+ * overlap compute; a stalled one adds latency to the plan.
+ */
+struct TransferFault {
+    bool timed_out = false;
+    double stall_ns = 0;
+};
+
 /** Statistics of one Hemera planning pass. */
 struct HemeraStats {
     std::size_t transfers = 0;
     std::size_t prefetch_hits = 0;
     std::size_t prefetch_misses = 0;
+    std::size_t transfer_timeouts = 0;  ///< injected by the hook
     double total_bytes = 0;
+    double stall_ns = 0;           ///< injected transfer stalls
     double config_lookups_ns = 0;  ///< cumulative config access time
 
     double hitRate() const
@@ -102,7 +115,22 @@ class Hemera
     /** Latency of one Aether-config lookup (paper: < 900 ns). */
     static constexpr double kConfigLookupNs = 900.0;
 
+    /**
+     * Injectable transfer-failure hook: consulted once per planned
+     * transfer; returning a `TransferFault` fails or stalls it.
+     * Hemera stays oblivious to *why* (the serving fault injector,
+     * a degraded-HBM model, a test) — it only accounts the outcome.
+     */
+    using TransferHook =
+        std::function<std::optional<TransferFault>(const EvkTransfer &)>;
+
     Hemera(cost::KeySwitchCostModel model, std::size_t history_depth = 8);
+
+    /** Install (or clear, with nullptr) the transfer-failure hook. */
+    void setTransferHook(TransferHook hook)
+    {
+        transfer_hook_ = std::move(hook);
+    }
 
     /** Plan all transfers for a trace under an Aether config. */
     std::vector<EvkTransfer> plan(const trace::OpStream &stream,
@@ -129,6 +157,7 @@ class Hemera
     EvkPool pool_;
     HistoryRecorder history_;
     HemeraStats stats_;
+    TransferHook transfer_hook_;
 };
 
 } // namespace fast::core

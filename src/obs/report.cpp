@@ -251,6 +251,11 @@ std::string
 Report::json(const std::string &indent) const
 {
     std::string out = indent + "{";
+    // Every Report-rendered artifact self-identifies its schema.
+    appendf(out, "\n%s  \"%s\": %llu%s", indent.c_str(),
+            kSchemaVersionKey,
+            static_cast<unsigned long long>(kSchemaVersion),
+            sections_.empty() ? "" : ",");
     bool first_section = true;
     for (const auto &section : sections_) {
         appendf(out, "%s\n%s  \"%s\": {", first_section ? "" : ",",

@@ -23,6 +23,16 @@
 
 namespace fast::obs {
 
+/**
+ * Version of every JSON artifact schema the stack emits (BENCH_*.json,
+ * OBS_*_metrics.json, serve/sim reports). Bumped when a field is
+ * renamed or removed — additions are backward compatible and do not
+ * bump it. `Report::json` stamps it automatically; hand-assembled
+ * artifacts write it via `kSchemaVersionKey` (DESIGN.md §12).
+ */
+inline constexpr std::uint64_t kSchemaVersion = 1;
+inline constexpr const char *kSchemaVersionKey = "schema_version";
+
 /** vsnprintf-append @p fmt onto @p out (any length). */
 #if defined(__GNUC__)
 __attribute__((format(printf, 2, 3)))

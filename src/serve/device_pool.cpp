@@ -1,12 +1,69 @@
 /**
  * @file
- * Implementation of the device pool.
+ * Implementation of the device pool and the health tracker.
  */
 #include "serve/device_pool.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 namespace fast::serve {
+
+DevicePool::Builder &
+DevicePool::Builder::add(const hw::FastConfig &config)
+{
+    configs_.push_back(config);
+    return *this;
+}
+
+DevicePool::Builder &
+DevicePool::Builder::add(const hw::FastConfig &config, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        configs_.push_back(config);
+    return *this;
+}
+
+Status
+DevicePool::Builder::validateConfig(const hw::FastConfig &config)
+{
+    auto fail = [&](const char *what) {
+        return Status::error(StatusCode::invalid_argument,
+                             "device config '" + config.name +
+                                 "': " + what);
+    };
+    if (config.clusters == 0)
+        return fail("clusters must be >= 1");
+    if (config.lanes == 0)
+        return fail("lanes must be >= 1");
+    if (config.freq_ghz <= 0)
+        return fail("freq_ghz must be positive");
+    if (config.alu_bits <= 0)
+        return fail("alu_bits must be positive");
+    if (config.hbm_bytes_per_s <= 0)
+        return fail("hbm_bytes_per_s must be positive");
+    if (config.onchip_mb <= 0)
+        return fail("onchip_mb must be positive");
+    if (config.evk_reserve_mb < 0)
+        return fail("evk_reserve_mb must be >= 0");
+    if (config.evk_reserve_mb > config.onchip_mb)
+        return fail("evk_reserve_mb exceeds onchip_mb");
+    return Status::ok();
+}
+
+Result<DevicePool>
+DevicePool::Builder::build() const
+{
+    if (configs_.empty())
+        return Status::error(StatusCode::invalid_argument,
+                             "device pool needs >= 1 device");
+    for (const auto &config : configs_) {
+        auto status = validateConfig(config);
+        if (!status.isOk())
+            return status;
+    }
+    return DevicePool(configs_);
+}
 
 DevicePool::DevicePool(const std::vector<hw::FastConfig> &configs)
 {
@@ -21,6 +78,90 @@ DevicePool
 DevicePool::homogeneous(const hw::FastConfig &config, std::size_t n)
 {
     return DevicePool(std::vector<hw::FastConfig>(n, config));
+}
+
+HealthTracker::HealthTracker(std::size_t devices)
+    : HealthTracker(devices, Options())
+{
+}
+
+HealthTracker::HealthTracker(std::size_t devices, Options options)
+    : options_(options), states_(devices)
+{
+}
+
+Status
+HealthTracker::available(std::size_t device, double now) const
+{
+    const DeviceState &s = states_[device];
+    if (s.lost)
+        return Status::error(StatusCode::device_lost);
+    if (now < s.quarantined_until)
+        return Status::error(StatusCode::device_quarantined);
+    return Status::ok();
+}
+
+double
+HealthTracker::availableAt(std::size_t device, double now) const
+{
+    const DeviceState &s = states_[device];
+    if (s.lost)
+        return std::numeric_limits<double>::infinity();
+    return std::max(now, s.quarantined_until);
+}
+
+void
+HealthTracker::recordFailure(std::size_t device, double now)
+{
+    DeviceState &s = states_[device];
+    if (s.lost)
+        return;
+    ++s.consecutive_failures;
+    if (s.consecutive_failures >= options_.failure_threshold) {
+        // Circuit breaker: back off the whole cool-down window and
+        // re-arm the streak so a failure right after release re-opens
+        // it at the threshold, not immediately.
+        s.quarantined_until = now + options_.quarantine_ns;
+        s.consecutive_failures = 0;
+        ++quarantines_;
+    }
+}
+
+void
+HealthTracker::recordSuccess(std::size_t device)
+{
+    states_[device].consecutive_failures = 0;
+}
+
+void
+HealthTracker::markLost(std::size_t device)
+{
+    states_[device].lost = true;
+}
+
+bool
+HealthTracker::lost(std::size_t device) const
+{
+    return states_[device].lost;
+}
+
+std::size_t
+HealthTracker::healthyCount(double now) const
+{
+    std::size_t healthy = 0;
+    for (std::size_t d = 0; d < states_.size(); ++d)
+        if (available(d, now).isOk())
+            ++healthy;
+    return healthy;
+}
+
+std::size_t
+HealthTracker::lostCount() const
+{
+    std::size_t n = 0;
+    for (const DeviceState &s : states_)
+        n += s.lost ? 1 : 0;
+    return n;
 }
 
 } // namespace fast::serve

@@ -1,15 +1,18 @@
 /**
  * @file
  * Device pool: N independent simulated FAST accelerators behind one
- * handle. Devices may be heterogeneous (per-device `hw::FastConfig`),
- * which is how a deployment mixes, say, large-memory boards for
- * bootstrap-heavy tenants with small boards for inference traffic.
+ * handle, plus the health model the scheduler consults before every
+ * dispatch. Devices may be heterogeneous (per-device
+ * `hw::FastConfig`), which is how a deployment mixes, say,
+ * large-memory boards for bootstrap-heavy tenants with small boards
+ * for inference traffic.
  */
 #ifndef FAST_SERVE_DEVICE_POOL_HPP
 #define FAST_SERVE_DEVICE_POOL_HPP
 
 #include <vector>
 
+#include "serve/status.hpp"
 #include "sim/system.hpp"
 
 namespace fast::serve {
@@ -18,6 +21,35 @@ namespace fast::serve {
 class DevicePool
 {
   public:
+    /**
+     * Validated builder — the preferred construction path. `build()`
+     * returns `invalid_argument` with a named field instead of
+     * accepting an inconsistent config silently.
+     */
+    class Builder
+    {
+      public:
+        /** Append one device with @p config. */
+        Builder &add(const hw::FastConfig &config);
+        /** Append @p n identical devices. */
+        Builder &add(const hw::FastConfig &config, std::size_t n);
+
+        Result<DevicePool> build() const;
+
+        /** Field-level validation of one device config. */
+        static Status validateConfig(const hw::FastConfig &config);
+
+      private:
+        std::vector<hw::FastConfig> configs_;
+    };
+
+    static Builder builder() { return {}; }
+
+    /**
+     * Direct construction; throws on an empty list. Kept one release
+     * for existing callers — new code should use `builder()`, which
+     * also validates each config (see DESIGN.md §12).
+     */
     explicit DevicePool(const std::vector<hw::FastConfig> &configs);
 
     /** N identical devices — the common scaling configuration. */
@@ -36,6 +68,67 @@ class DevicePool
 
   private:
     std::vector<sim::FastSystem> devices_;
+};
+
+/**
+ * Per-run device health: consecutive-failure tracking, a circuit
+ * breaker that quarantines a flapping device for a cool-down window,
+ * and permanent-loss marking. One instance lives inside each
+ * `Scheduler::run` (health is a property of a serving session, not of
+ * the pool object, which is shared across runs). All times are
+ * simulated nanoseconds, so health decisions are deterministic.
+ */
+class HealthTracker
+{
+  public:
+    struct Options {
+        /** Consecutive failures that open the circuit breaker. */
+        std::size_t failure_threshold = 3;
+        /** Quarantine length once the breaker opens. */
+        double quarantine_ns = 20e6;
+    };
+
+    explicit HealthTracker(std::size_t devices);
+    HealthTracker(std::size_t devices, Options options);
+
+    /**
+     * Can @p device accept a dispatch at @p now? `ok`, or
+     * `device_lost` / `device_quarantined`.
+     */
+    Status available(std::size_t device, double now) const;
+
+    /** Earliest time the device may serve again (inf when lost). */
+    double availableAt(std::size_t device, double now) const;
+
+    /** A service attempt failed; may open the circuit breaker. */
+    void recordFailure(std::size_t device, double now);
+
+    /** A service attempt succeeded; closes the failure streak. */
+    void recordSuccess(std::size_t device);
+
+    /** The device permanently failed. */
+    void markLost(std::size_t device);
+
+    bool lost(std::size_t device) const;
+    std::size_t healthyCount(double now) const;
+    bool degraded(double now) const
+    {
+        return healthyCount(now) < states_.size();
+    }
+    std::size_t lostCount() const;
+    /** Total circuit-breaker openings across the run. */
+    std::size_t quarantines() const { return quarantines_; }
+
+  private:
+    struct DeviceState {
+        std::size_t consecutive_failures = 0;
+        double quarantined_until = 0;
+        bool lost = false;
+    };
+
+    Options options_;
+    std::vector<DeviceState> states_;
+    std::size_t quarantines_ = 0;
 };
 
 } // namespace fast::serve

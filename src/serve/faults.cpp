@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Implementation of the deterministic fault-injection layer.
+ */
+#include "serve/faults.hpp"
+
+#include <algorithm>
+
+#include "math/random.hpp"
+
+namespace fast::serve {
+
+const char *
+toString(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::device_down: return "device_down";
+      case FaultKind::device_lost: return "device_lost";
+      case FaultKind::device_slow: return "device_slow";
+      case FaultKind::evk_timeout: return "evk_timeout";
+      case FaultKind::plan_corrupt: return "plan_corrupt";
+      case FaultKind::plan_evict: return "plan_evict";
+    }
+    return "?";
+}
+
+Status
+FaultPlan::validate() const
+{
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const FaultEvent &e = events[i];
+        if (e.at_ns < 0)
+            return Status::error(StatusCode::invalid_argument,
+                                 "fault event " + std::to_string(i) +
+                                     ": negative at_ns");
+        if (e.duration_ns < 0)
+            return Status::error(StatusCode::invalid_argument,
+                                 "fault event " + std::to_string(i) +
+                                     ": negative duration_ns");
+        bool windowed = e.kind == FaultKind::device_down ||
+                        e.kind == FaultKind::device_slow ||
+                        e.kind == FaultKind::evk_timeout;
+        if (windowed && e.duration_ns == 0)
+            return Status::error(StatusCode::invalid_argument,
+                                 "fault event " + std::to_string(i) +
+                                     ": windowed fault needs duration");
+        if (e.kind == FaultKind::device_slow && e.factor < 1.0)
+            return Status::error(StatusCode::invalid_argument,
+                                 "fault event " + std::to_string(i) +
+                                     ": slow factor must be >= 1");
+        bool plan_fault = e.kind == FaultKind::plan_corrupt ||
+                          e.kind == FaultKind::plan_evict;
+        if (!plan_fault && !e.workload.empty())
+            return Status::error(StatusCode::invalid_argument,
+                                 "fault event " + std::to_string(i) +
+                                     ": workload on a device fault");
+    }
+    return Status::ok();
+}
+
+FaultPlan
+FaultPlan::none()
+{
+    return {};
+}
+
+FaultPlan
+FaultPlan::transientFaults(std::size_t devices, double horizon_ns,
+                           std::uint64_t seed)
+{
+    FaultPlan plan;
+    plan.name = "transient";
+    plan.seed = seed;
+    math::Prng prng(seed);
+    // One short outage and one slow window per device, placed in the
+    // middle 70% of the horizon so ramp-up and drain stay clean.
+    for (std::size_t d = 0; d < devices; ++d) {
+        FaultEvent down;
+        down.kind = FaultKind::device_down;
+        down.device = d;
+        down.at_ns = horizon_ns * (0.15 + 0.6 * prng.uniformReal());
+        down.duration_ns = horizon_ns * (0.02 + 0.04 * prng.uniformReal());
+        plan.events.push_back(down);
+
+        FaultEvent slow;
+        slow.kind = FaultKind::device_slow;
+        slow.device = d;
+        slow.at_ns = horizon_ns * (0.15 + 0.6 * prng.uniformReal());
+        slow.duration_ns = horizon_ns * (0.05 + 0.1 * prng.uniformReal());
+        slow.factor = 1.5 + prng.uniformReal();
+        plan.events.push_back(slow);
+    }
+    // One brief evk-timeout window on a random device and one plan
+    // corruption: the retry path must absorb both.
+    FaultEvent evk;
+    evk.kind = FaultKind::evk_timeout;
+    evk.device = prng.uniform(devices);
+    evk.at_ns = horizon_ns * (0.2 + 0.5 * prng.uniformReal());
+    evk.duration_ns = horizon_ns * 0.05;
+    plan.events.push_back(evk);
+
+    FaultEvent corrupt;
+    corrupt.kind = FaultKind::plan_corrupt;
+    corrupt.at_ns = horizon_ns * (0.3 + 0.4 * prng.uniformReal());
+    plan.events.push_back(corrupt);
+    return plan;
+}
+
+FaultPlan
+FaultPlan::deviceLoss(std::size_t devices, double horizon_ns,
+                      std::uint64_t seed)
+{
+    FaultPlan plan;
+    plan.name = "device_loss";
+    plan.seed = seed;
+    math::Prng prng(seed);
+    FaultEvent lost;
+    lost.kind = FaultKind::device_lost;
+    lost.device = prng.uniform(devices);
+    lost.at_ns = horizon_ns / 3.0;
+    plan.events.push_back(lost);
+
+    if (devices > 1) {
+        // A transient wobble on a survivor while the pool is already
+        // short-handed — the worst moment.
+        FaultEvent down;
+        down.kind = FaultKind::device_down;
+        down.device = (lost.device + 1) % devices;
+        down.at_ns = horizon_ns * (0.4 + 0.2 * prng.uniformReal());
+        down.duration_ns = horizon_ns * 0.05;
+        plan.events.push_back(down);
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::evkStorm(std::size_t devices, double horizon_ns,
+                    std::uint64_t seed)
+{
+    FaultPlan plan;
+    plan.name = "evk_storm";
+    plan.seed = seed;
+    math::Prng prng(seed);
+    // Three repeating timeout windows per device, jittered so the
+    // storm never aligns perfectly across the pool.
+    for (std::size_t d = 0; d < devices; ++d) {
+        for (std::size_t w = 0; w < 3; ++w) {
+            FaultEvent evk;
+            evk.kind = FaultKind::evk_timeout;
+            evk.device = d;
+            evk.at_ns =
+                horizon_ns *
+                (0.1 + 0.25 * static_cast<double>(w) +
+                 0.05 * prng.uniformReal());
+            evk.duration_ns =
+                horizon_ns * (0.03 + 0.03 * prng.uniformReal());
+            plan.events.push_back(evk);
+        }
+    }
+    return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan))
+{
+    consumed_.assign(plan_.events.size(), false);
+}
+
+bool
+FaultInjector::matchesDevice(const FaultEvent &event,
+                             std::size_t device) const
+{
+    return event.device == FaultEvent::kAnyDevice ||
+           event.device == device;
+}
+
+double
+FaultInjector::outageEndsAfter(std::size_t device, double now) const
+{
+    double end = 0;
+    for (const FaultEvent &e : plan_.events) {
+        if (e.kind != FaultKind::device_down ||
+            !matchesDevice(e, device))
+            continue;
+        if (e.at_ns <= now && now < e.endNs())
+            end = std::max(end, e.endNs());
+    }
+    return end;
+}
+
+std::optional<double>
+FaultInjector::lossAt(std::size_t device) const
+{
+    std::optional<double> earliest;
+    for (const FaultEvent &e : plan_.events) {
+        if (e.kind != FaultKind::device_lost ||
+            !matchesDevice(e, device))
+            continue;
+        if (!earliest || e.at_ns < *earliest)
+            earliest = e.at_ns;
+    }
+    return earliest;
+}
+
+bool
+FaultInjector::lostBy(std::size_t device, double now) const
+{
+    auto at = lossAt(device);
+    return at && *at <= now;
+}
+
+bool
+FaultInjector::lossDuring(std::size_t device, double begin, double end,
+                          double *when) const
+{
+    auto at = lossAt(device);
+    if (at && begin < *at && *at < end) {
+        if (when)
+            *when = *at;
+        return true;
+    }
+    return false;
+}
+
+double
+FaultInjector::slowFactor(std::size_t device, double now) const
+{
+    double factor = 1.0;
+    for (const FaultEvent &e : plan_.events) {
+        if (e.kind != FaultKind::device_slow ||
+            !matchesDevice(e, device))
+            continue;
+        if (e.at_ns <= now && now < e.endNs())
+            factor *= e.factor;  // overlapping windows compound
+    }
+    return factor;
+}
+
+bool
+FaultInjector::evkTimeoutAt(std::size_t device, double now) const
+{
+    for (const FaultEvent &e : plan_.events) {
+        if (e.kind != FaultKind::evk_timeout ||
+            !matchesDevice(e, device))
+            continue;
+        if (e.at_ns <= now && now < e.endNs())
+            return true;
+    }
+    return false;
+}
+
+std::optional<FaultKind>
+FaultInjector::takePlanFault(const std::string &workload, double now)
+{
+    for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+        const FaultEvent &e = plan_.events[i];
+        if (e.kind != FaultKind::plan_corrupt &&
+            e.kind != FaultKind::plan_evict)
+            continue;
+        if (consumed_[i] || e.at_ns > now)
+            continue;
+        if (!e.workload.empty() && e.workload != workload)
+            continue;
+        consumed_[i] = true;
+        ++fired_plan_faults_;
+        return e.kind;
+    }
+    return std::nullopt;
+}
+
+} // namespace fast::serve

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Deterministic fault injection for the serving runtime.
+ *
+ * FAST's Hemera runtime exists because evk transfers are the fragile,
+ * latency-dominant resource (PAPER.md §Hemera); related accelerators
+ * concentrate stalls in key-switch dataflow (CiFlow) and degrade the
+ * memory hierarchy first under pressure (Theodosian). This layer
+ * injects exactly those failures into `Scheduler::run` — device
+ * outages and loss, slow devices, evk-transfer timeouts, and
+ * plan-cache corruption/eviction — at *scheduled simulated-time
+ * points*, never wall-clock ones. A `FaultPlan` is data (a seed plus
+ * an event list); the `FaultInjector` answers pure time-indexed
+ * queries from the planning loop, so the same seed and plan produce
+ * byte-identical `ServeStats` on every run and thread count.
+ */
+#ifndef FAST_SERVE_FAULTS_HPP
+#define FAST_SERVE_FAULTS_HPP
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/status.hpp"
+
+namespace fast::serve {
+
+/** What one scheduled fault event does. */
+enum class FaultKind {
+    device_down,   ///< transient outage over [at_ns, at_ns + duration_ns)
+    device_lost,   ///< permanent failure from at_ns on
+    device_slow,   ///< service time scaled by `factor` during the window
+    evk_timeout,   ///< evk transfers on the device time out in the window
+    plan_corrupt,  ///< one-shot: cached plan unusable, must be replanned
+    plan_evict,    ///< one-shot: cached plan dropped (forced miss)
+};
+
+const char *toString(FaultKind kind);
+
+/** One scheduled fault. Times are simulated nanoseconds. */
+struct FaultEvent {
+    /** Wildcard device index: the event applies to every device. */
+    static constexpr std::size_t kAnyDevice =
+        std::numeric_limits<std::size_t>::max();
+
+    FaultKind kind = FaultKind::device_down;
+    std::size_t device = kAnyDevice;
+    double at_ns = 0;        ///< activation time
+    double duration_ns = 0;  ///< window length (ignored where N/A)
+    double factor = 1.0;     ///< service multiplier (device_slow)
+    std::string workload;    ///< plan faults: workload key ("" = any)
+
+    double endNs() const { return at_ns + duration_ns; }
+};
+
+/**
+ * A named, seeded fault schedule. Plans are plain data: build one by
+ * hand for targeted tests, or use the canned generators (seed-driven
+ * via the repo's xoshiro PRNG, so a seed means the same schedule on
+ * every platform) that `bench/serve_chaos` replays.
+ */
+struct FaultPlan {
+    std::string name = "none";
+    std::uint64_t seed = 0;
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+
+    /** Reject malformed plans (negative times, zero factors, ...). */
+    Status validate() const;
+
+    /** The no-fault plan (what `run(arrivals)` uses). */
+    static FaultPlan none();
+
+    /**
+     * Canned plan 1 — transient faults: short outages and slow
+     * windows spread across devices plus one plan corruption. The
+     * system should ride through with retries and keep high-priority
+     * p99 within 2x the fault-free baseline.
+     */
+    static FaultPlan transientFaults(std::size_t devices,
+                                     double horizon_ns,
+                                     std::uint64_t seed);
+
+    /**
+     * Canned plan 2 — permanent loss: one device dies one third of
+     * the way in (plus a transient wobble elsewhere); survivors must
+     * absorb the replanned load and low-priority work may shed.
+     */
+    static FaultPlan deviceLoss(std::size_t devices, double horizon_ns,
+                                std::uint64_t seed);
+
+    /**
+     * Canned plan 3 — evk storm: repeating evk-transfer timeout
+     * windows on every device (the Hemera stall scenario), stressing
+     * retry/backoff and the circuit breaker.
+     */
+    static FaultPlan evkStorm(std::size_t devices, double horizon_ns,
+                              std::uint64_t seed);
+};
+
+/**
+ * Evaluates a FaultPlan against simulated time for the scheduler's
+ * planning loop. Window queries (`outageEndsAfter`, `slowFactor`,
+ * `evkTimeoutAt`, loss queries) are pure; plan-cache faults are
+ * one-shot and consumed via `takePlanFault`, which is deterministic
+ * because the planning loop is single-threaded and advances time
+ * monotonically per device.
+ */
+class FaultInjector
+{
+  public:
+    /** No faults (every query benign). */
+    FaultInjector() = default;
+    explicit FaultInjector(FaultPlan plan);
+
+    bool active() const { return !plan_.empty(); }
+    const FaultPlan &plan() const { return plan_; }
+
+    /**
+     * End of the transient outage covering @p now on @p device, or 0
+     * when the device is up at @p now.
+     */
+    double outageEndsAfter(std::size_t device, double now) const;
+
+    /** Earliest permanent-loss time for @p device, if any. */
+    std::optional<double> lossAt(std::size_t device) const;
+
+    /** Has @p device permanently failed at or before @p now? */
+    bool lostBy(std::size_t device, double now) const;
+
+    /**
+     * Does a permanent loss strike @p device strictly inside
+     * (@p begin, @p end)? Sets @p when to the loss time — the moment
+     * an in-flight batch dies with it.
+     */
+    bool lossDuring(std::size_t device, double begin, double end,
+                    double *when) const;
+
+    /** Combined service-time multiplier at @p now (>= 1). */
+    double slowFactor(std::size_t device, double now) const;
+
+    /** Is an evk-transfer timeout window covering @p now? */
+    bool evkTimeoutAt(std::size_t device, double now) const;
+
+    /**
+     * One-shot plan-cache fault for @p workload due at or before
+     * @p now; consumes the event so it fires exactly once.
+     */
+    std::optional<FaultKind> takePlanFault(const std::string &workload,
+                                           double now);
+
+    /** How many one-shot plan faults have fired so far. */
+    std::size_t firedPlanFaults() const { return fired_plan_faults_; }
+
+  private:
+    bool matchesDevice(const FaultEvent &event,
+                       std::size_t device) const;
+
+    FaultPlan plan_;
+    std::vector<bool> consumed_;  ///< per-event, plan faults only
+    std::size_t fired_plan_faults_ = 0;
+};
+
+} // namespace fast::serve
+
+#endif // FAST_SERVE_FAULTS_HPP

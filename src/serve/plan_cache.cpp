@@ -24,11 +24,12 @@ PlanCache::key(const hw::FastConfig &config,
     return buf;
 }
 
-PlanCache::Entry
+Result<PlanCache::Entry>
 PlanCache::fetch(const sim::FastSystem &system,
                  const trace::OpStream &stream)
 {
     auto k = key(system.config(), stream);
+    core::Hemera::TransferHook hook;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = entries_.find(k);
@@ -36,11 +37,15 @@ PlanCache::fetch(const sim::FastSystem &system,
             ++hits_;
             return it->second;
         }
+        hook = transfer_hook_;
     }
     // Plan outside the lock: concurrent fetchers of distinct keys must
     // not serialize on one device's multi-millisecond analysis.
     auto planned = std::make_shared<const sim::WorkloadResult>(
-        system.execute(stream));
+        system.execute(stream, hook));
+    if (planned->stats.total_ns <= 0)
+        return Status::error(StatusCode::plan_failed,
+                             "empty plan for " + stream.name);
     std::lock_guard<std::mutex> lock(mutex_);
     auto [it, inserted] = entries_.emplace(k, std::move(planned));
     if (inserted)
@@ -48,6 +53,24 @@ PlanCache::fetch(const sim::FastSystem &system,
     else
         ++hits_;  // lost a race; the first plan wins
     return it->second;
+}
+
+Status
+PlanCache::invalidate(const hw::FastConfig &config,
+                      const trace::OpStream &stream)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.erase(key(config, stream)) > 0)
+        return Status::ok();
+    return Status::error(StatusCode::unavailable,
+                         "no cached plan for key");
+}
+
+void
+PlanCache::setTransferHook(core::Hemera::TransferHook hook)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    transfer_hook_ = std::move(hook);
 }
 
 std::size_t

@@ -11,6 +11,11 @@
  * statistics, cycle-level stats, energy), which is exactly what the
  * scheduler needs to advance its simulated clock and what the device
  * workers need to aggregate utilization.
+ *
+ * Fault model: entries can be invalidated (the fault injector's
+ * plan-corruption and eviction events), and `fetch` returns a
+ * `Result` — a plan that comes back unusable is a `plan_failed`
+ * status, not a crash in the middle of the serving loop.
  */
 #ifndef FAST_SERVE_PLAN_CACHE_HPP
 #define FAST_SERVE_PLAN_CACHE_HPP
@@ -20,6 +25,7 @@
 #include <mutex>
 #include <string>
 
+#include "serve/status.hpp"
 #include "sim/system.hpp"
 
 namespace fast::serve {
@@ -35,8 +41,28 @@ class PlanCache
     /** Plan for one key; immutable once cached. */
     using Entry = std::shared_ptr<const sim::WorkloadResult>;
 
-    Entry fetch(const sim::FastSystem &system,
-                const trace::OpStream &stream);
+    /**
+     * Return the cached plan for (system config, stream), planning it
+     * on a miss. Errors with `plan_failed` when the planned result is
+     * unusable (empty timeline — nothing the scheduler could stamp).
+     */
+    Result<Entry> fetch(const sim::FastSystem &system,
+                        const trace::OpStream &stream);
+
+    /**
+     * Drop the entry for (config, stream); the next fetch replans (a
+     * forced miss). Ok when an entry was dropped, `unavailable` when
+     * nothing was cached under that key. This is how plan
+     * corruption/eviction faults manifest.
+     */
+    Status invalidate(const hw::FastConfig &config,
+                      const trace::OpStream &stream);
+
+    /**
+     * Hemera transfer-failure hook installed on every future planning
+     * pass (cache misses). Pass nullptr to clear.
+     */
+    void setTransferHook(core::Hemera::TransferHook hook);
 
     std::size_t hits() const;
     std::size_t misses() const;
@@ -49,6 +75,7 @@ class PlanCache
   private:
     mutable std::mutex mutex_;
     std::map<std::string, Entry> entries_;
+    core::Hemera::TransferHook transfer_hook_;
     std::size_t hits_ = 0;
     std::size_t misses_ = 0;
 };

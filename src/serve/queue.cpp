@@ -20,16 +20,6 @@ toString(Priority priority)
 }
 
 const char *
-toString(RejectReason reason)
-{
-    switch (reason) {
-      case RejectReason::queue_full: return "queue_full";
-      case RejectReason::empty_stream: return "empty_stream";
-    }
-    return "?";
-}
-
-const char *
 toString(QueuePolicy policy)
 {
     switch (policy) {
@@ -44,16 +34,46 @@ RequestQueue::RequestQueue(QueuePolicy policy, std::size_t max_depth)
 {
 }
 
-AdmitResult
+Status
 RequestQueue::submit(Request request)
 {
     if (request.stream.ops.empty())
-        return {false, RejectReason::empty_stream};
+        return Status::error(StatusCode::empty_stream);
+    if (request.hasDeadline() &&
+        request.deadline_ns <= request.submit_ns)
+        return Status::error(StatusCode::deadline_expired);
     std::lock_guard<std::mutex> lock(mutex_);
     if (queue_.size() >= max_depth_)
-        return {false, RejectReason::queue_full};
+        return Status::error(StatusCode::queue_full);
     queue_.push_back(std::move(request));
-    return {true, RejectReason::queue_full};
+    return Status::ok();
+}
+
+void
+RequestQueue::requeue(Request request)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Front insertion keeps a retried (older) request ahead of newer
+    // arrivals under FIFO; the priority scan is order-independent.
+    queue_.push_front(std::move(request));
+}
+
+std::vector<Request>
+RequestQueue::shedBelow(Priority keep_min)
+{
+    std::vector<Request> shed;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < queue_.size();) {
+        if (static_cast<int>(queue_[i].priority) <
+            static_cast<int>(keep_min)) {
+            shed.push_back(std::move(queue_[i]));
+            queue_.erase(queue_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+        } else {
+            ++i;
+        }
+    }
+    return shed;
 }
 
 std::size_t
@@ -98,7 +118,8 @@ RequestQueue::popBatch(std::size_t max_batch)
         return batch;
     batch.push_back(std::move(queue_[index]));
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
-    const std::string &key = batch.front().workloadKey();
+    // Copy, not reference: push_back below may reallocate `batch`.
+    const std::string key = batch.front().workloadKey();
     for (std::size_t i = 0; i < queue_.size() &&
                             batch.size() < max_batch;) {
         if (queue_[i].workloadKey() == key) {

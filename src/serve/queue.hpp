@@ -4,11 +4,13 @@
  *
  * The queue is the single back-pressure point: depth is bounded, and
  * a submission against a full queue is rejected immediately with a
- * reason — the runtime degrades gracefully under overload instead of
- * blocking producers or growing without bound. Two pop policies are
- * supported: FIFO (arrival order) and priority (higher `Priority`
+ * `Status` — the runtime degrades gracefully under overload instead
+ * of blocking producers or growing without bound. Two pop policies
+ * are supported: FIFO (arrival order) and priority (higher `Priority`
  * first, FIFO within a class, so same-class requests never starve
- * each other).
+ * each other). Under degraded capacity the scheduler can `shed` the
+ * lowest class wholesale, and failed batches re-enter through
+ * `requeue` (capacity-exempt, so a retry is never re-rejected).
  */
 #ifndef FAST_SERVE_QUEUE_HPP
 #define FAST_SERVE_QUEUE_HPP
@@ -19,6 +21,7 @@
 #include <vector>
 
 #include "serve/request.hpp"
+#include "serve/status.hpp"
 
 namespace fast::serve {
 
@@ -29,12 +32,6 @@ enum class QueuePolicy {
 };
 
 const char *toString(QueuePolicy policy);
-
-/** Outcome of one submit: admitted, or rejected with a reason. */
-struct AdmitResult {
-    bool admitted = false;
-    RejectReason reason = RejectReason::queue_full;
-};
 
 /**
  * Bounded, policy-ordered, mutex-protected request queue.
@@ -47,9 +44,27 @@ class RequestQueue
 
     /**
      * Admission control: accept the request unless the queue is at
-     * capacity (or the trace is empty). Never blocks.
+     * capacity, the trace is empty, or the request's deadline already
+     * passed at submission. Never blocks. Returns `ok`, `queue_full`,
+     * `empty_stream`, or `deadline_expired`.
      */
-    AdmitResult submit(Request request);
+    Status submit(Request request);
+
+    /**
+     * Put a previously-popped request back at the front of its
+     * arrival position (retries after a failed service attempt).
+     * Capacity-exempt: an admitted request is never re-rejected for
+     * depth reasons, so retry pressure cannot silently drop work.
+     */
+    void requeue(Request request);
+
+    /**
+     * Graceful degradation: remove every queued request with priority
+     * strictly below @p keep_min and return them (for rejection
+     * accounting). Used when capacity drops and queue depth crosses
+     * the shed threshold.
+     */
+    std::vector<Request> shedBelow(Priority keep_min);
 
     /** Pop the next request per policy; empty when drained. */
     std::optional<Request> pop();

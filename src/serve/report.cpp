@@ -32,16 +32,28 @@ describeServeStats(const ServeStats &stats)
     std::string out;
     appendf(out,
             "serving: %zu submitted, %zu accepted, %zu completed, "
-            "%zu rejected\n",
+            "%zu rejected, %zu timed out\n",
             stats.submitted, stats.accepted, stats.completed,
-            stats.rejected);
+            stats.rejected, stats.timed_out);
     for (const auto &[reason, count] : stats.reject_reasons)
         appendf(out, "  rejected[%s] = %zu\n", reason.c_str(), count);
+    for (const auto &[reason, count] : stats.failure_reasons)
+        appendf(out, "  failed[%s] = %zu\n", reason.c_str(), count);
     appendf(out,
             "  makespan %.3f ms, throughput %.2f req/s, "
-            "%.0f CKKS ops/s\n",
+            "goodput %.2f req/s, %.0f CKKS ops/s\n",
             stats.makespan_ns / 1e6, stats.throughput_rps,
-            stats.ckks_ops_per_s);
+            stats.goodput_rps, stats.ckks_ops_per_s);
+    if (stats.faults.plan_name != "none")
+        appendf(out,
+                "  faults[%s]: %zu retries (%.3f ms backoff), "
+                "%zu evk timeouts, %zu plan faults, %zu lost, "
+                "%zu quarantines, %zu shed\n",
+                stats.faults.plan_name.c_str(), stats.faults.retries,
+                stats.faults.backoff_ns / 1e6,
+                stats.faults.evk_timeouts, stats.faults.plan_faults,
+                stats.faults.devices_lost, stats.faults.quarantines,
+                stats.faults.shed);
     appendf(out,
             "  batches: %zu (mean size %.2f), plan cache %zu hit / "
             "%zu miss (%.0f%%)\n",
@@ -56,14 +68,19 @@ describeServeStats(const ServeStats &stats)
             "  end-to-end p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n",
             stats.e2e.p50_ns / 1e6, stats.e2e.p95_ns / 1e6,
             stats.e2e.p99_ns / 1e6);
+    for (const auto &[priority, l] : stats.priority_e2e)
+        appendf(out,
+                "  e2e[%-6s] p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n",
+                priority.c_str(), l.p50_ns / 1e6, l.p95_ns / 1e6,
+                l.p99_ns / 1e6);
     for (std::size_t d = 0; d < stats.devices.size(); ++d) {
         const auto &dev = stats.devices[d];
         appendf(out,
-                "  device %zu (%s): %zu batches, %zu requests, "
+                "  device %zu (%s)%s: %zu batches, %zu requests, "
                 "util %.0f%%, %.1f GB HBM, %.1f J\n",
-                d, dev.config_name.c_str(), dev.batches, dev.requests,
-                100.0 * dev.utilization, dev.hbm_bytes / 1e9,
-                dev.energy_j);
+                d, dev.config_name.c_str(), dev.lost ? " [lost]" : "",
+                dev.batches, dev.requests, 100.0 * dev.utilization,
+                dev.hbm_bytes / 1e9, dev.energy_j);
         if (!dev.top_kernels.empty()) {
             appendf(out, "    hottest:");
             for (const auto &[label, ns] : dev.top_kernels)
@@ -73,10 +90,10 @@ describeServeStats(const ServeStats &stats)
     }
     for (const auto &[tenant, t] : stats.tenants)
         appendf(out,
-                "  tenant %-12s %zu/%zu served (%zu rejected), "
-                "e2e p99 %.3f ms\n",
+                "  tenant %-12s %zu/%zu served (%zu rejected, "
+                "%zu timed out), e2e p99 %.3f ms\n",
                 tenant.c_str(), t.completed, t.submitted, t.rejected,
-                t.e2e.p99_ns / 1e6);
+                t.timed_out, t.e2e.p99_ns / 1e6);
     return out;
 }
 
@@ -87,27 +104,46 @@ serveStatsJson(const ServeStats &stats, const std::string &indent)
     auto in1 = indent + "  ";
     auto in2 = indent + "    ";
     appendf(out, "%s{\n", indent.c_str());
+    appendf(out, "%s\"%s\": %llu,\n", in1.c_str(),
+            obs::kSchemaVersionKey,
+            static_cast<unsigned long long>(obs::kSchemaVersion));
     appendf(out,
             "%s\"submitted\": %zu, \"accepted\": %zu, "
-            "\"completed\": %zu, \"rejected\": %zu,\n",
+            "\"completed\": %zu, \"rejected\": %zu, "
+            "\"timed_out\": %zu,\n",
             in1.c_str(), stats.submitted, stats.accepted,
-            stats.completed, stats.rejected);
-    appendf(out, "%s\"reject_reasons\": {", in1.c_str());
-    bool first = true;
-    for (const auto &[reason, count] : stats.reject_reasons) {
-        appendf(out, "%s\"%s\": %zu", first ? "" : ", ",
-                reason.c_str(), count);
-        first = false;
-    }
-    out += "},\n";
+            stats.completed, stats.rejected, stats.timed_out);
+    auto reasonMap = [&](const char *name,
+                         const std::map<std::string, std::size_t> &m) {
+        appendf(out, "%s\"%s\": {", in1.c_str(), name);
+        bool first = true;
+        for (const auto &[reason, count] : m) {
+            appendf(out, "%s\"%s\": %zu", first ? "" : ", ",
+                    reason.c_str(), count);
+            first = false;
+        }
+        out += "},\n";
+    };
+    reasonMap("reject_reasons", stats.reject_reasons);
+    reasonMap("failure_reasons", stats.failure_reasons);
     appendf(out,
             "%s\"batches\": %zu, \"mean_batch_size\": %.3f,\n",
             in1.c_str(), stats.batches, stats.mean_batch_size);
     appendf(out,
             "%s\"makespan_ns\": %.1f, \"throughput_rps\": %.3f, "
-            "\"ckks_ops_per_s\": %.1f,\n",
+            "\"goodput_rps\": %.3f, \"ckks_ops_per_s\": %.1f,\n",
             in1.c_str(), stats.makespan_ns, stats.throughput_rps,
-            stats.ckks_ops_per_s);
+            stats.goodput_rps, stats.ckks_ops_per_s);
+    appendf(out,
+            "%s\"faults\": {\"plan\": \"%s\", \"retries\": %zu, "
+            "\"backoff_ns\": %.1f, \"evk_timeouts\": %zu, "
+            "\"plan_faults\": %zu, \"devices_lost\": %zu, "
+            "\"quarantines\": %zu, \"shed\": %zu},\n",
+            in1.c_str(), stats.faults.plan_name.c_str(),
+            stats.faults.retries, stats.faults.backoff_ns,
+            stats.faults.evk_timeouts, stats.faults.plan_faults,
+            stats.faults.devices_lost, stats.faults.quarantines,
+            stats.faults.shed);
     appendf(out,
             "%s\"plan_cache\": {\"hits\": %zu, \"misses\": %zu, "
             "\"hit_rate\": %.4f},\n",
@@ -115,6 +151,19 @@ serveStatsJson(const ServeStats &stats, const std::string &indent)
             stats.plan_cache_misses, stats.planCacheHitRate());
     latencyJson(out, in1, "queue_latency", stats.queue, true);
     latencyJson(out, in1, "e2e_latency", stats.e2e, true);
+
+    appendf(out, "%s\"priority_e2e\": {\n", in1.c_str());
+    std::size_t p_index = 0;
+    for (const auto &[priority, l] : stats.priority_e2e) {
+        appendf(out,
+                "%s\"%s\": {\"count\": %zu, \"mean_ns\": %.1f, "
+                "\"p50_ns\": %.1f, \"p95_ns\": %.1f, "
+                "\"p99_ns\": %.1f, \"max_ns\": %.1f}%s\n",
+                in2.c_str(), priority.c_str(), l.count, l.mean_ns,
+                l.p50_ns, l.p95_ns, l.p99_ns, l.max_ns,
+                ++p_index < stats.priority_e2e.size() ? "," : "");
+    }
+    appendf(out, "%s},\n", in1.c_str());
 
     appendf(out, "%s\"devices\": [\n", in1.c_str());
     for (std::size_t d = 0; d < stats.devices.size(); ++d) {
@@ -124,10 +173,11 @@ serveStatsJson(const ServeStats &stats, const std::string &indent)
                 "\"requests\": %zu, \"busy_ns\": %.1f, "
                 "\"utilization\": %.4f, \"mod_mults\": %.0f, "
                 "\"hbm_bytes\": %.0f, \"energy_j\": %.3f, "
-                "\"top_kernels\": [",
+                "\"lost\": %s, \"top_kernels\": [",
                 in2.c_str(), dev.config_name.c_str(), dev.batches,
                 dev.requests, dev.busy_ns, dev.utilization,
-                dev.mod_mults, dev.hbm_bytes, dev.energy_j);
+                dev.mod_mults, dev.hbm_bytes, dev.energy_j,
+                dev.lost ? "true" : "false");
         for (std::size_t k = 0; k < dev.top_kernels.size(); ++k)
             appendf(out, "%s{\"label\": \"%s\", \"ns\": %.1f}",
                     k == 0 ? "" : ", ",
@@ -143,9 +193,9 @@ serveStatsJson(const ServeStats &stats, const std::string &indent)
     for (const auto &[tenant, t] : stats.tenants) {
         appendf(out,
                 "%s\"%s\": {\"submitted\": %zu, \"completed\": %zu, "
-                "\"rejected\": %zu,\n",
+                "\"rejected\": %zu, \"timed_out\": %zu,\n",
                 in2.c_str(), tenant.c_str(), t.submitted, t.completed,
-                t.rejected);
+                t.rejected, t.timed_out);
         latencyJson(out, in2 + "  ", "queue_latency", t.queue, true);
         latencyJson(out, in2 + "  ", "e2e_latency", t.e2e, false);
         appendf(out, "%s}%s\n", in2.c_str(),

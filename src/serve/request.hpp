@@ -4,10 +4,11 @@
  *
  * A Request wraps one application trace (`trace::OpStream`) with the
  * bookkeeping a multi-tenant front end needs: who submitted it, how
- * urgent it is, and when it arrived. Timestamps live on the same
- * simulated-nanosecond axis as `SimStats::total_ns`, so every latency
- * the runtime reports is deterministic and reproducible — no
- * wall-clock reads anywhere in the serving path.
+ * urgent it is, when it arrived, and by when it must finish.
+ * Timestamps live on the same simulated-nanosecond axis as
+ * `SimStats::total_ns`, so every latency the runtime reports is
+ * deterministic and reproducible — no wall-clock reads anywhere in
+ * the serving path.
  */
 #ifndef FAST_SERVE_REQUEST_HPP
 #define FAST_SERVE_REQUEST_HPP
@@ -15,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "serve/status.hpp"
 #include "trace/op.hpp"
 
 namespace fast::serve {
@@ -34,7 +36,16 @@ struct Request {
     std::string tenant;            ///< submitting tenant
     Priority priority = Priority::normal;
     double submit_ns = 0;          ///< simulated arrival timestamp
+    /**
+     * Absolute completion deadline on the simulated axis; 0 = none.
+     * A request whose deadline passes before it starts service is
+     * failed with `StatusCode::timeout` (or rejected at admission
+     * with `deadline_expired` when already past on arrival).
+     */
+    double deadline_ns = 0;
     trace::OpStream stream;        ///< the workload to execute
+
+    bool hasDeadline() const { return deadline_ns > 0; }
 
     /**
      * Requests with equal keys run the same trace, so one Aether
@@ -43,20 +54,24 @@ struct Request {
     const std::string &workloadKey() const { return stream.name; }
 };
 
-/** Why admission control turned a request away. */
-enum class RejectReason {
-    queue_full,    ///< bounded queue at capacity
-    empty_stream,  ///< no operations to execute
-};
+/**
+ * Deprecated PR-1 name for the admission-rejection vocabulary; the
+ * codes now live in `StatusCode` (see DESIGN.md §12). Kept one
+ * release so `RejectReason::queue_full` spellings keep compiling.
+ */
+using RejectReason = StatusCode;
 
-const char *toString(RejectReason reason);
-
-/** Record of one rejected submission. */
+/**
+ * Record of one request the runtime could not serve — rejected at
+ * admission, timed out, shed, or stranded by device loss. `reason`
+ * distinguishes the cases; `at_ns` is when the decision was made.
+ */
 struct Rejection {
     std::uint64_t request_id = 0;
     std::string tenant;
-    RejectReason reason = RejectReason::queue_full;
+    StatusCode reason = StatusCode::queue_full;
     double submit_ns = 0;
+    double at_ns = 0;            ///< decision time (== submit_ns at admission)
 };
 
 } // namespace fast::serve

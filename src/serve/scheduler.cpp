@@ -1,13 +1,17 @@
 /**
  * @file
  * Implementation of the batch scheduler: deterministic planning loop
- * plus per-device worker threads.
+ * (now fault-aware: retries, deadlines, quarantine, shedding) plus
+ * per-device worker threads.
  */
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <condition_variable>
 #include <deque>
+#include <limits>
+#include <map>
 #include <optional>
 #include <thread>
 
@@ -15,6 +19,47 @@
 #include "obs/trace.hpp"
 
 namespace fast::serve {
+
+double
+RetryPolicy::backoffNs(std::size_t attempt) const
+{
+    if (attempt == 0)
+        return 0;
+    double backoff = backoff_base_ns;
+    for (std::size_t i = 1; i < attempt && backoff < backoff_cap_ns;
+         ++i)
+        backoff *= 2;
+    return std::min(backoff, backoff_cap_ns);
+}
+
+Status
+SchedulerOptions::validate() const
+{
+    auto fail = [](const char *what) {
+        return Status::error(StatusCode::invalid_argument, what);
+    };
+    if (max_queue_depth == 0)
+        return fail("max_queue_depth must be >= 1");
+    if (max_batch == 0)
+        return fail("max_batch must be >= 1");
+    if (default_deadline_ns < 0)
+        return fail("default_deadline_ns must be >= 0");
+    if (retry.backoff_base_ns <= 0)
+        return fail("backoff_base_ns must be positive");
+    if (retry.backoff_cap_ns < retry.backoff_base_ns)
+        return fail("backoff_cap_ns must be >= backoff_base_ns");
+    if (health.failure_threshold == 0)
+        return fail("failure_threshold must be >= 1");
+    if (health.quarantine_ns < 0)
+        return fail("quarantine_ns must be >= 0");
+    if (evk_timeout_detect_ns <= 0)
+        return fail("evk_timeout_detect_ns must be positive");
+    if (plan_retry_penalty_ns <= 0)
+        return fail("plan_retry_penalty_ns must be positive");
+    if (shed_queue_fraction <= 0 || shed_queue_fraction > 1)
+        return fail("shed_queue_fraction must be in (0, 1]");
+    return Status::ok();
+}
 
 namespace {
 
@@ -104,6 +149,22 @@ deviceWorker(BatchChannel &channel, DeviceAccumulator &acc)
     }
 }
 
+/** A failed request waiting out its backoff. */
+struct PendingRetry {
+    double ready_ns = 0;
+    Request request;
+};
+
+/** Min-heap order on (ready time, id) — deterministic ties. */
+struct RetryLater {
+    bool operator()(const PendingRetry &a, const PendingRetry &b) const
+    {
+        if (a.ready_ns != b.ready_ns)
+            return a.ready_ns > b.ready_ns;
+        return a.request.id > b.request.id;
+    }
+};
+
 } // namespace
 
 Scheduler::Scheduler(DevicePool &pool, SchedulerOptions options)
@@ -114,11 +175,20 @@ Scheduler::Scheduler(DevicePool &pool, SchedulerOptions options)
 ServeStats
 Scheduler::run(std::vector<Request> arrivals)
 {
+    return run(std::move(arrivals), FaultPlan::none());
+}
+
+ServeStats
+Scheduler::run(std::vector<Request> arrivals,
+               const FaultPlan &fault_plan)
+{
     FAST_OBS_SPAN_VAR(run_span, "serve.run");
     FAST_OBS_SPAN_ARG(run_span, "requests",
                       static_cast<std::uint64_t>(arrivals.size()));
     FAST_OBS_SPAN_ARG(run_span, "devices",
                       static_cast<std::uint64_t>(pool_.size()));
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+
     // Arrival order is part of the runtime's determinism contract.
     std::stable_sort(arrivals.begin(), arrivals.end(),
                      [](const Request &a, const Request &b) {
@@ -129,7 +199,10 @@ Scheduler::run(std::vector<Request> arrivals)
 
     ServeStats stats;
     stats.submitted = arrivals.size();
+    stats.faults.plan_name = fault_plan.name;
 
+    FaultInjector injector(fault_plan);
+    HealthTracker health(pool_.size(), options_.health);
     RequestQueue queue(options_.policy, options_.max_queue_depth);
     PlanCache cache;
 
@@ -141,20 +214,68 @@ Scheduler::run(std::vector<Request> arrivals)
         workers.emplace_back(deviceWorker, std::ref(channels[d]),
                              std::ref(accumulators[d]));
 
+    std::vector<PendingRetry> retries;  // min-heap via RetryLater
+    std::map<std::uint64_t, std::size_t> attempts;
+    double last_submit_ns =
+        arrivals.empty() ? 0.0 : arrivals.back().submit_ns;
+
+    auto reject = [&](const Request &request, StatusCode code,
+                      double at_ns) {
+        stats.rejected += 1;
+        stats.reject_reasons[toString(code)] += 1;
+        stats.tenants[request.tenant].rejected += 1;
+        stats.rejections.push_back({request.id, request.tenant, code,
+                                    request.submit_ns, at_ns});
+    };
+    auto failRequest = [&](const Request &request, StatusCode code,
+                           double at_ns) {
+        stats.timed_out += 1;
+        stats.failure_reasons[toString(code)] += 1;
+        stats.tenants[request.tenant].timed_out += 1;
+        stats.failures.push_back({request.id, request.tenant, code,
+                                  request.submit_ns, at_ns});
+        FAST_OBS_COUNT("serve.timed_out", 1);
+    };
+    // Retry with capped exponential backoff, bounded by the retry
+    // budget and the request's deadline.
+    auto retryOrFail = [&](Request request, double fail_ns) {
+        std::size_t attempt = ++attempts[request.id];
+        if (attempt > options_.retry.max_retries) {
+            failRequest(request, StatusCode::retries_exhausted,
+                        fail_ns);
+            return;
+        }
+        double backoff = options_.retry.backoffNs(attempt);
+        double ready = fail_ns + backoff;
+        if (request.hasDeadline() && ready >= request.deadline_ns) {
+            failRequest(request, StatusCode::timeout, fail_ns);
+            return;
+        }
+        stats.faults.retries += 1;
+        stats.faults.backoff_ns += backoff;
+        FAST_OBS_COUNT("serve.retries", 1);
+        retries.push_back({ready, std::move(request)});
+        std::push_heap(retries.begin(), retries.end(), RetryLater{});
+    };
+
     std::size_t cursor = 0;
     auto admitUpTo = [&](double now) {
         while (cursor < arrivals.size() &&
                arrivals[cursor].submit_ns <= now) {
             Request &request = arrivals[cursor];
+            if (options_.default_deadline_ns > 0 &&
+                !request.hasDeadline())
+                request.deadline_ns =
+                    request.submit_ns + options_.default_deadline_ns;
             stats.tenants[request.tenant].submitted += 1;
             Rejection maybe{request.id, request.tenant,
-                            RejectReason::queue_full,
+                            StatusCode::queue_full, request.submit_ns,
                             request.submit_ns};
             auto admit = queue.submit(std::move(request));
-            if (!admit.admitted) {
-                maybe.reason = admit.reason;
+            if (!admit.isOk()) {
+                maybe.reason = admit.code();
                 stats.rejected += 1;
-                stats.reject_reasons[toString(admit.reason)] += 1;
+                stats.reject_reasons[toString(admit.code())] += 1;
                 stats.tenants[maybe.tenant].rejected += 1;
                 stats.rejections.push_back(std::move(maybe));
             } else {
@@ -167,42 +288,175 @@ Scheduler::run(std::vector<Request> arrivals)
                            static_cast<double>(queue.depth()));
         FAST_OBS_TRACE_COUNTER("serve.queue_depth", queue.depth());
     };
+    // Requeue every retry whose backoff elapsed; latest-ready first,
+    // so the earliest-ready request ends frontmost under FIFO.
+    auto pumpRetries = [&](double now) {
+        std::vector<PendingRetry> ready;
+        while (!retries.empty() && retries.front().ready_ns <= now) {
+            std::pop_heap(retries.begin(), retries.end(), RetryLater{});
+            ready.push_back(std::move(retries.back()));
+            retries.pop_back();
+        }
+        for (auto it = ready.rbegin(); it != ready.rend(); ++it)
+            queue.requeue(std::move(it->request));
+    };
+    // Graceful degradation: with capacity down and the queue near its
+    // bound, low-priority work is shed before it can crowd out the
+    // classes above it.
+    auto shedIfDegraded = [&](double now) {
+        if (!health.degraded(now))
+            return;
+        auto threshold = static_cast<std::size_t>(std::ceil(
+            options_.shed_queue_fraction *
+            static_cast<double>(options_.max_queue_depth)));
+        if (queue.depth() < std::max<std::size_t>(threshold, 1))
+            return;
+        for (Request &request : queue.shedBelow(Priority::normal)) {
+            reject(request, StatusCode::shed, now);
+            stats.faults.shed += 1;
+            FAST_OBS_COUNT("serve.shed", 1);
+        }
+    };
+    auto markLost = [&](std::size_t d) {
+        health.markLost(d);
+        stats.faults.devices_lost += 1;
+        FAST_OBS_COUNT("serve.devices_lost", 1);
+    };
 
     std::vector<double> free_at(pool_.size(), 0.0);
     std::size_t next_batch_id = 0;
+    double last_now = 0;
 
     while (true) {
-        // Earliest-free device takes the next batch (ties: lowest
-        // index) — the simulated-time analogue of work stealing.
-        std::size_t d = 0;
-        for (std::size_t i = 1; i < pool_.size(); ++i)
-            if (free_at[i] < free_at[d])
+        // Earliest-available healthy device takes the next batch
+        // (ties: lowest index) — quarantine release times and loss
+        // are part of availability now, not just dispatch backlog.
+        std::size_t d = pool_.size();
+        double best = kInf;
+        for (std::size_t i = 0; i < pool_.size(); ++i) {
+            double at = health.availableAt(i, free_at[i]);
+            if (at < best) {
+                best = at;
                 d = i;
-        double now = free_at[d];
+            }
+        }
+        if (d == pool_.size())
+            break;  // every device permanently lost: drain below
+        double now = best;
 
         if (queue.empty()) {
-            if (cursor >= arrivals.size())
-                break;  // drained: nothing queued, nothing arriving
-            now = std::max(now, arrivals[cursor].submit_ns);
+            double next_work = kInf;
+            if (!retries.empty())
+                next_work = retries.front().ready_ns;
+            if (cursor < arrivals.size())
+                next_work = std::min(next_work,
+                                     arrivals[cursor].submit_ns);
+            if (next_work == kInf)
+                break;  // drained: nothing queued, pending, or arriving
+            now = std::max(now, next_work);
         }
+        last_now = std::max(last_now, now);
+
+        // Permanent device loss scheduled at or before now.
+        if (injector.lostBy(d, now) && !health.lost(d)) {
+            markLost(d);
+            continue;
+        }
+        // Transient outage: the device is unavailable until the
+        // window closes; work replans onto the other devices.
+        if (double end = injector.outageEndsAfter(d, now); end > now) {
+            free_at[d] = end;
+            continue;
+        }
+
         admitUpTo(now);
+        pumpRetries(now);
+        shedIfDegraded(now);
 
         auto batch = queue.popBatch(options_.max_batch);
         if (batch.empty())
-            continue;  // admissions were all rejected; re-evaluate
+            continue;  // admissions all rejected/shed; re-evaluate
+
+        // Deadline enforcement at dispatch: a request whose deadline
+        // passed while it queued (or backed off) never starts.
+        for (std::size_t i = 0; i < batch.size();) {
+            if (batch[i].hasDeadline() &&
+                now >= batch[i].deadline_ns) {
+                failRequest(batch[i], StatusCode::timeout, now);
+                batch.erase(batch.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+            } else {
+                ++i;
+            }
+        }
+        if (batch.empty())
+            continue;
+
+        // Scheduled plan-cache faults: eviction forces a replan (a
+        // miss); corruption also costs a failed attempt.
+        const std::string &workload = batch.front().workloadKey();
+        if (auto fault = injector.takePlanFault(workload, now)) {
+            cache.invalidate(pool_.config(d), batch.front().stream);
+            stats.faults.plan_faults += 1;
+            FAST_OBS_COUNT("serve.plan_faults", 1);
+            if (*fault == FaultKind::plan_corrupt) {
+                double fail_ns = now + options_.plan_retry_penalty_ns;
+                free_at[d] = fail_ns;
+                for (Request &request : batch)
+                    retryOrFail(std::move(request), fail_ns);
+                continue;
+            }
+        }
 
         PlanCache::Entry plan;
         {
             FAST_OBS_SPAN_VAR(plan_span, "serve.plan");
             FAST_OBS_SPAN_ARG(plan_span, "device",
                               static_cast<std::uint64_t>(d));
-            plan = cache.fetch(pool_.device(d), batch.front().stream);
+            auto fetched =
+                cache.fetch(pool_.device(d), batch.front().stream);
+            if (!fetched.isOk()) {
+                // Unusable plan: charge the detection penalty and
+                // send the batch around the retry loop.
+                double fail_ns = now + options_.plan_retry_penalty_ns;
+                free_at[d] = fail_ns;
+                stats.faults.plan_faults += 1;
+                for (Request &request : batch)
+                    retryOrFail(std::move(request), fail_ns);
+                continue;
+            }
+            plan = std::move(fetched.value());
         }
-        double exec_ns = plan->stats.total_ns;
+
+        // Injected evk-transfer timeout (the Hemera stall scenario):
+        // the attempt dies once the stall is detected; the circuit
+        // breaker counts it against the device.
+        if (injector.evkTimeoutAt(d, now)) {
+            double fail_ns = now + options_.evk_timeout_detect_ns;
+            free_at[d] = fail_ns;
+            stats.faults.evk_timeouts += 1;
+            FAST_OBS_COUNT("serve.evk_timeouts", 1);
+            health.recordFailure(d, now);
+            for (Request &request : batch)
+                retryOrFail(std::move(request), fail_ns);
+            continue;
+        }
+
+        double slow = injector.slowFactor(d, now);
+        double exec_ns = plan->stats.total_ns * slow;
         double lookup_ns = plan->hemera.config_lookups_ns;
         double service_ns =
-            lookup_ns +
-            exec_ns * static_cast<double>(batch.size());
+            lookup_ns + exec_ns * static_cast<double>(batch.size());
+
+        // A permanent loss striking mid-service kills the in-flight
+        // batch at the loss instant; survivors absorb the retries.
+        double lost_at = 0;
+        if (injector.lossDuring(d, now, now + service_ns, &lost_at)) {
+            markLost(d);
+            for (Request &request : batch)
+                retryOrFail(std::move(request), lost_at);
+            continue;
+        }
 
         DispatchedBatch dispatch;
         dispatch.batch_id = next_batch_id++;
@@ -215,9 +469,12 @@ Scheduler::run(std::vector<Request> arrivals)
             record.request_id = request.id;
             record.tenant = request.tenant;
             record.workload = request.workloadKey();
+            record.priority = request.priority;
             record.device = d;
             record.batch_id = dispatch.batch_id;
             record.ops = request.stream.ops.size();
+            auto it = attempts.find(request.id);
+            record.attempts = it == attempts.end() ? 0 : it->second;
             record.submit_ns = request.submit_ns;
             record.start_ns = now;
             record.done_ns = now + lookup_ns +
@@ -225,9 +482,25 @@ Scheduler::run(std::vector<Request> arrivals)
             dispatch.records.push_back(std::move(record));
         }
         free_at[d] = now + service_ns;
+        health.recordSuccess(d);
         stats.batches += 1;
         FAST_OBS_COUNT("serve.batches", 1);
         channels[d].push(std::move(dispatch));
+    }
+
+    // Drain: with every device lost, admitted work is stranded
+    // (device_lost) and unadmitted arrivals can never be served.
+    while (auto request = queue.pop())
+        failRequest(*request, StatusCode::device_lost,
+                    std::max(last_now, request->submit_ns));
+    for (const PendingRetry &pending : retries)
+        failRequest(pending.request, StatusCode::device_lost,
+                    std::max(last_now, pending.ready_ns));
+    retries.clear();
+    for (; cursor < arrivals.size(); ++cursor) {
+        stats.tenants[arrivals[cursor].tenant].submitted += 1;
+        reject(arrivals[cursor], StatusCode::unavailable,
+               arrivals[cursor].submit_ns);
     }
 
     for (auto &channel : channels)
@@ -247,6 +520,7 @@ Scheduler::run(std::vector<Request> arrivals)
     stats.completed = stats.completions.size();
     stats.plan_cache_hits = cache.hits();
     stats.plan_cache_misses = cache.misses();
+    stats.faults.quarantines = health.quarantines();
     stats.mean_batch_size =
         stats.batches == 0
             ? 0.0
@@ -257,6 +531,7 @@ Scheduler::run(std::vector<Request> arrivals)
     std::size_t total_ops = 0;
     std::vector<double> queue_samples, e2e_samples;
     std::map<std::string, std::vector<double>> tenant_queue, tenant_e2e;
+    std::map<std::string, std::vector<double>> priority_e2e;
     for (const auto &record : stats.completions) {
         makespan = std::max(makespan, record.done_ns);
         total_ops += record.ops;
@@ -264,6 +539,8 @@ Scheduler::run(std::vector<Request> arrivals)
         e2e_samples.push_back(record.e2eNs());
         tenant_queue[record.tenant].push_back(record.queueNs());
         tenant_e2e[record.tenant].push_back(record.e2eNs());
+        priority_e2e[toString(record.priority)].push_back(
+            record.e2eNs());
         stats.tenants[record.tenant].completed += 1;
     }
     stats.makespan_ns = makespan;
@@ -274,12 +551,21 @@ Scheduler::run(std::vector<Request> arrivals)
         stats.ckks_ops_per_s =
             static_cast<double>(total_ops) / seconds;
     }
+    // Goodput: completions over the whole serving horizon (arrivals
+    // keep coming in an open loop even while capacity is degraded).
+    double horizon_ns = std::max(makespan, last_submit_ns);
+    if (horizon_ns > 0)
+        stats.goodput_rps = static_cast<double>(stats.completed) /
+                            (horizon_ns / 1e9);
     stats.queue = LatencySummary::of(std::move(queue_samples));
     stats.e2e = LatencySummary::of(std::move(e2e_samples));
     for (auto &[tenant, t] : stats.tenants) {
         t.queue = LatencySummary::of(std::move(tenant_queue[tenant]));
         t.e2e = LatencySummary::of(std::move(tenant_e2e[tenant]));
     }
+    for (auto &[priority, samples] : priority_e2e)
+        stats.priority_e2e[priority] =
+            LatencySummary::of(std::move(samples));
 
     stats.devices.resize(pool_.size());
     for (std::size_t d = 0; d < pool_.size(); ++d) {
@@ -294,9 +580,15 @@ Scheduler::run(std::vector<Request> arrivals)
         dev.energy_j = acc.energy_j;
         dev.utilization =
             makespan == 0 ? 0.0 : acc.busy_ns / makespan;
+        dev.lost = health.lost(d);
         dev.top_kernels =
             obs::topEntries(acc.label_ns, options_.top_kernels);
     }
+
+    // The accounting invariant is part of the API contract — a
+    // violated run is a scheduler bug, never something to report as
+    // data.
+    stats.requireBalanced();
     return stats;
 }
 

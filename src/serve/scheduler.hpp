@@ -8,9 +8,10 @@
  *
  *   - a deterministic *planning loop* (main thread) that advances a
  *     discrete-event clock in simulated nanoseconds: admit arrivals,
- *     pick the earliest-free device, form a batch of same-workload
- *     requests (one Aether analysis + Hemera plan per batch via the
- *     `PlanCache`), and stamp every request's service interval;
+ *     pick the earliest-free healthy device, form a batch of
+ *     same-workload requests (one Aether analysis + Hemera plan per
+ *     batch via the `PlanCache`), and stamp every request's service
+ *     interval;
  *
  *   - one `std::thread` *device worker* per pool entry, consuming its
  *     dispatch channel concurrently: it records completions and
@@ -19,28 +20,55 @@
  *
  * Scheduling decisions depend only on the simulated clock — never on
  * wall-clock time or thread interleaving — so two runs over the same
- * arrivals produce identical `ServeStats`, while the heavy aggregation
- * still fans out across threads.
+ * arrivals (and the same `FaultPlan`) produce identical `ServeStats`,
+ * while the heavy aggregation still fans out across threads.
+ *
+ * Fault tolerance (PR 4): the loop consults a `FaultInjector` before
+ * every dispatch. Failed service attempts retry with capped
+ * exponential backoff, per-request deadlines bound how long a request
+ * may keep trying, a per-run `HealthTracker` quarantines flapping
+ * devices (circuit breaker) and removes lost ones, and under
+ * degraded capacity the queue sheds `Priority::low` work first.
+ * Every submitted request ends in exactly one of completed /
+ * rejected / timed_out — `ServeStats::requireBalanced` enforces it.
  *
  * Batching model: a batch of B same-workload requests on one device
  * costs one Hemera config-lookup pass (`config_lookups_ns`, paid once
  * because the plan is shared) plus B back-to-back executions of the
- * planned trace (`SimStats::total_ns` each). Unbatched, each request
- * would pay the lookup pass itself — that difference is the amortized
- * win the ISSUE's "one Aether analysis per batch" asks for, on top of
- * the (much larger) saving of not re-running Aether's MCT analysis.
+ * planned trace (`SimStats::total_ns` each).
  */
 #ifndef FAST_SERVE_SCHEDULER_HPP
 #define FAST_SERVE_SCHEDULER_HPP
 
 #include "serve/device_pool.hpp"
+#include "serve/faults.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/queue.hpp"
 #include "serve/stats.hpp"
 
 namespace fast::serve {
 
-/** Knobs of one scheduler instance. */
+/** Retry behavior after a failed service attempt. */
+struct RetryPolicy {
+    /** Attempts beyond the first; 0 disables retries. */
+    std::size_t max_retries = 3;
+    /** First backoff; doubles per attempt. */
+    double backoff_base_ns = 2e6;
+    /** Backoff growth cap. */
+    double backoff_cap_ns = 32e6;
+
+    /** Capped exponential backoff before attempt @p attempt (>= 1). */
+    double backoffNs(std::size_t attempt) const;
+};
+
+class SchedulerOptionsBuilder;
+
+/**
+ * Knobs of one scheduler instance. Aggregate initialization keeps
+ * working one release (DESIGN.md §12 has the deprecation note);
+ * prefer `SchedulerOptions::builder()`, which validates and returns
+ * named errors instead of silently accepting inconsistent values.
+ */
 struct SchedulerOptions {
     QueuePolicy policy = QueuePolicy::fifo;
     /** Admission-control bound: submissions beyond this are rejected. */
@@ -49,11 +77,121 @@ struct SchedulerOptions {
     std::size_t max_batch = 8;
     /** Hot-kernel labels reported per device. */
     std::size_t top_kernels = 3;
+
+    /**
+     * Deadline stamped on requests that arrive without one
+     * (`submit_ns + default_deadline_ns`); 0 = requests without a
+     * deadline never time out.
+     */
+    double default_deadline_ns = 0;
+    RetryPolicy retry;
+    HealthTracker::Options health;
+    /** Stall before a timed-out evk transfer is declared dead. */
+    double evk_timeout_detect_ns = 2e6;
+    /** Device-time charge for detecting a corrupt/unusable plan. */
+    double plan_retry_penalty_ns = 1e6;
+    /**
+     * Degradation trigger: with any device lost or quarantined, queue
+     * depth >= this fraction of `max_queue_depth` sheds low-priority
+     * work.
+     */
+    double shed_queue_fraction = 0.75;
+
+    /** Named-error validation of the whole option set. */
+    Status validate() const;
+
+    static SchedulerOptionsBuilder builder();
 };
+
+/** Fluent validated construction for `SchedulerOptions`. */
+class SchedulerOptionsBuilder
+{
+  public:
+    SchedulerOptionsBuilder &policy(QueuePolicy policy)
+    {
+        options_.policy = policy;
+        return *this;
+    }
+    SchedulerOptionsBuilder &maxQueueDepth(std::size_t depth)
+    {
+        options_.max_queue_depth = depth;
+        return *this;
+    }
+    SchedulerOptionsBuilder &maxBatch(std::size_t batch)
+    {
+        options_.max_batch = batch;
+        return *this;
+    }
+    SchedulerOptionsBuilder &topKernels(std::size_t n)
+    {
+        options_.top_kernels = n;
+        return *this;
+    }
+    SchedulerOptionsBuilder &defaultDeadlineNs(double ns)
+    {
+        options_.default_deadline_ns = ns;
+        return *this;
+    }
+    SchedulerOptionsBuilder &maxRetries(std::size_t n)
+    {
+        options_.retry.max_retries = n;
+        return *this;
+    }
+    SchedulerOptionsBuilder &backoff(double base_ns, double cap_ns)
+    {
+        options_.retry.backoff_base_ns = base_ns;
+        options_.retry.backoff_cap_ns = cap_ns;
+        return *this;
+    }
+    SchedulerOptionsBuilder &failureThreshold(std::size_t n)
+    {
+        options_.health.failure_threshold = n;
+        return *this;
+    }
+    SchedulerOptionsBuilder &quarantineNs(double ns)
+    {
+        options_.health.quarantine_ns = ns;
+        return *this;
+    }
+    SchedulerOptionsBuilder &evkTimeoutDetectNs(double ns)
+    {
+        options_.evk_timeout_detect_ns = ns;
+        return *this;
+    }
+    SchedulerOptionsBuilder &planRetryPenaltyNs(double ns)
+    {
+        options_.plan_retry_penalty_ns = ns;
+        return *this;
+    }
+    SchedulerOptionsBuilder &shedQueueFraction(double fraction)
+    {
+        options_.shed_queue_fraction = fraction;
+        return *this;
+    }
+
+    /** Validate and hand back the options, or a named error. */
+    Result<SchedulerOptions> build() const
+    {
+        auto status = options_.validate();
+        if (!status.isOk())
+            return status;
+        return options_;
+    }
+
+  private:
+    SchedulerOptions options_;
+};
+
+inline SchedulerOptionsBuilder
+SchedulerOptions::builder()
+{
+    return {};
+}
 
 /**
  * Pulls requests, batches them per device, dispatches each batch to
- * that device's worker thread, and reports serving metrics.
+ * that device's worker thread, retries around injected faults, and
+ * reports serving metrics.
  */
 class Scheduler
 {
@@ -62,10 +200,18 @@ class Scheduler
 
     /**
      * Serve @p arrivals (an open-loop trace; `submit_ns` timestamps
-     * need not be sorted) until every request completes or is
-     * rejected. Reentrant: each call uses a fresh queue and cache.
+     * need not be sorted) until every request completes, times out,
+     * or is rejected. Reentrant: each call uses a fresh queue, cache,
+     * and health tracker.
      */
     ServeStats run(std::vector<Request> arrivals);
+
+    /**
+     * Serve @p arrivals under an injected @p fault_plan. Same seed +
+     * same plan ⇒ byte-identical `ServeStats` (pinned by test).
+     */
+    ServeStats run(std::vector<Request> arrivals,
+                   const FaultPlan &fault_plan);
 
     const SchedulerOptions &options() const { return options_; }
 

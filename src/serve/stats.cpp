@@ -1,9 +1,13 @@
 /**
  * @file
- * Implementation of the latency summaries.
+ * Implementation of the latency summaries and the accounting
+ * invariant.
  */
 #include "serve/stats.hpp"
 
+#include <stdexcept>
+
+#include "obs/report.hpp"
 #include "obs/stats.hpp"
 
 namespace fast::serve {
@@ -23,6 +27,19 @@ LatencySummary::of(std::vector<double> samples_ns)
     out.p99_ns = s.p99;
     out.max_ns = s.max;
     return out;
+}
+
+void
+ServeStats::requireBalanced() const
+{
+    if (balanced())
+        return;
+    std::string what;
+    obs::appendf(what,
+                 "serve accounting violated: submitted %zu != "
+                 "completed %zu + rejected %zu + timed_out %zu",
+                 submitted, completed, rejected, timed_out);
+    throw std::logic_error(what);
 }
 
 } // namespace fast::serve

@@ -1,12 +1,17 @@
 /**
  * @file
  * Serving metrics: per-request completion records, latency percentile
- * summaries, per-tenant and per-device breakdowns, and the aggregate
- * `ServeStats` a scheduler run returns.
+ * summaries, per-tenant, per-priority, and per-device breakdowns, and
+ * the aggregate `ServeStats` a scheduler run returns.
  *
  * All times are simulated nanoseconds (the `SimStats::total_ns` axis),
  * so a run is a pure function of its inputs: same arrival trace, same
- * devices, same seed → byte-identical stats.
+ * devices, same seed, same fault plan → byte-identical stats.
+ *
+ * Accounting invariant (asserted by `requireBalanced`, checked at the
+ * end of every `Scheduler::run`): every submitted request is exactly
+ * one of completed, rejected, or timed out —
+ * `submitted == completed + rejected + timed_out`.
  */
 #ifndef FAST_SERVE_STATS_HPP
 #define FAST_SERVE_STATS_HPP
@@ -38,9 +43,11 @@ struct CompletionRecord {
     std::uint64_t request_id = 0;
     std::string tenant;
     std::string workload;
+    Priority priority = Priority::normal;
     std::size_t device = 0;      ///< pool index that served it
     std::size_t batch_id = 0;    ///< dispatch batch it rode in
     std::size_t ops = 0;         ///< CKKS ops in the trace
+    std::size_t attempts = 0;    ///< failed service attempts before this
     double submit_ns = 0;
     double start_ns = 0;         ///< batch service start
     double done_ns = 0;          ///< this request's completion
@@ -54,6 +61,7 @@ struct TenantStats {
     std::size_t submitted = 0;
     std::size_t completed = 0;
     std::size_t rejected = 0;
+    std::size_t timed_out = 0;
     LatencySummary queue;
     LatencySummary e2e;
 };
@@ -68,8 +76,21 @@ struct DeviceStats {
     double hbm_bytes = 0;
     double energy_j = 0;
     double utilization = 0;      ///< busy_ns / makespan_ns
+    bool lost = false;           ///< permanently failed during the run
     /** Hottest kernel labels (label, simulated ns), descending. */
     std::vector<std::pair<std::string, double>> top_kernels;
+};
+
+/** Fault-tolerance counters of one run. */
+struct FaultStats {
+    std::string plan_name = "none";
+    std::size_t retries = 0;          ///< retry attempts scheduled
+    std::size_t evk_timeouts = 0;     ///< batch attempts killed by evk stalls
+    std::size_t plan_faults = 0;      ///< plan corruptions/evictions fired
+    std::size_t devices_lost = 0;
+    std::size_t quarantines = 0;      ///< circuit-breaker openings
+    std::size_t shed = 0;             ///< low-priority requests shed
+    double backoff_ns = 0;            ///< cumulative retry backoff
 };
 
 /** Everything one scheduler run produces. */
@@ -77,14 +98,17 @@ struct ServeStats {
     std::size_t submitted = 0;
     std::size_t accepted = 0;
     std::size_t completed = 0;
-    std::size_t rejected = 0;
+    std::size_t rejected = 0;     ///< admission-time (incl. shed)
+    std::size_t timed_out = 0;    ///< post-admission failures
     std::map<std::string, std::size_t> reject_reasons;
+    std::map<std::string, std::size_t> failure_reasons;
 
     std::size_t batches = 0;
     double mean_batch_size = 0;
 
     double makespan_ns = 0;        ///< last completion on the timeline
     double throughput_rps = 0;     ///< completed / simulated second
+    double goodput_rps = 0;        ///< completed / simulated second over submitted horizon
     double ckks_ops_per_s = 0;     ///< trace ops / simulated second
 
     std::size_t plan_cache_hits = 0;
@@ -97,16 +121,31 @@ struct ServeStats {
                                 static_cast<double>(total);
     }
 
+    FaultStats faults;
+
     LatencySummary queue;          ///< aggregate queueing latency
     LatencySummary e2e;            ///< aggregate end-to-end latency
 
     std::map<std::string, TenantStats> tenants;
+    /** End-to-end latency per priority class ("low"/"normal"/"high"). */
+    std::map<std::string, LatencySummary> priority_e2e;
     std::vector<DeviceStats> devices;
 
     /** All completions, sorted by request id (deterministic). */
     std::vector<CompletionRecord> completions;
-    /** All rejections, in admission order. */
+    /** Admission-time rejections, in admission order. */
     std::vector<Rejection> rejections;
+    /** Post-admission failures (timeout/retries/device loss). */
+    std::vector<Rejection> failures;
+
+    /** The accounting invariant: nothing vanishes, nothing doubles. */
+    bool balanced() const
+    {
+        return submitted == completed + rejected + timed_out;
+    }
+
+    /** Throw `std::logic_error` with the counts when unbalanced. */
+    void requireBalanced() const;
 };
 
 } // namespace fast::serve

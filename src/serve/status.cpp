@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Implementation of the serving status vocabulary.
+ */
+#include "serve/status.hpp"
+
+namespace fast::serve {
+
+const char *
+toString(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::ok: return "ok";
+      case StatusCode::queue_full: return "queue_full";
+      case StatusCode::empty_stream: return "empty_stream";
+      case StatusCode::deadline_expired: return "deadline_expired";
+      case StatusCode::shed: return "shed";
+      case StatusCode::unavailable: return "unavailable";
+      case StatusCode::timeout: return "timeout";
+      case StatusCode::retries_exhausted: return "retries_exhausted";
+      case StatusCode::device_lost: return "device_lost";
+      case StatusCode::device_quarantined: return "device_quarantined";
+      case StatusCode::plan_failed: return "plan_failed";
+      case StatusCode::invalid_argument: return "invalid_argument";
+    }
+    return "?";
+}
+
+} // namespace fast::serve

@@ -40,13 +40,23 @@ FastSystem::execute(const trace::OpStream &stream) const
 
 WorkloadResult
 FastSystem::execute(const trace::OpStream &stream,
-                    const core::AetherConfig &aether) const
+                    core::Hemera::TransferHook hook) const
+{
+    return execute(stream, makeAether().run(stream), std::move(hook));
+}
+
+WorkloadResult
+FastSystem::execute(const trace::OpStream &stream,
+                    const core::AetherConfig &aether,
+                    core::Hemera::TransferHook hook) const
 {
     WorkloadResult result;
     result.workload = stream.name;
     result.aether = aether;
 
     core::Hemera hemera(model_);
+    if (hook)
+        hemera.setTransferHook(std::move(hook));
     hemera.plan(stream, aether);
     result.hemera = hemera.stats();
 

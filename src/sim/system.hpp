@@ -40,10 +40,17 @@ class FastSystem
 
     /**
      * Run with an explicit Aether configuration (ablation studies:
-     * OneKSW, hoisting-only, oracle, ...).
+     * OneKSW, hoisting-only, oracle, ...). The optional @p hook is
+     * installed on the internal Hemera instance before planning —
+     * the injection point for transfer-failure studies.
      */
     WorkloadResult execute(const trace::OpStream &stream,
-                           const core::AetherConfig &aether) const;
+                           const core::AetherConfig &aether,
+                           core::Hemera::TransferHook hook = {}) const;
+
+    /** End-to-end run with a Hemera transfer-failure hook. */
+    WorkloadResult execute(const trace::OpStream &stream,
+                           core::Hemera::TransferHook hook) const;
 
     /** The Aether instance this system uses for its decisions. */
     core::Aether makeAether() const;

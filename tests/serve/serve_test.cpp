@@ -50,7 +50,7 @@ TEST(RequestQueue, FifoPopsInArrivalOrder)
                                             id % 2 ? Priority::high
                                                    : Priority::low,
                                             0, stream))
-                        .admitted);
+                        .isOk());
     for (std::uint64_t id = 0; id < 4; ++id) {
         auto popped = queue.pop();
         ASSERT_TRUE(popped.has_value());
@@ -83,12 +83,12 @@ TEST(RequestQueue, RejectsWhenSaturatedWithoutBlocking)
         EXPECT_TRUE(
             queue.submit(makeRequest(id, "t", Priority::normal, 0,
                                      stream))
-                .admitted);
+                .isOk());
     // The (K+1)-th submission returns immediately with a reason.
     auto result = queue.submit(
         makeRequest(depth, "t", Priority::normal, 0, stream));
-    EXPECT_FALSE(result.admitted);
-    EXPECT_EQ(result.reason, RejectReason::queue_full);
+    EXPECT_FALSE(result.isOk());
+    EXPECT_EQ(result.code(), StatusCode::queue_full);
     EXPECT_EQ(queue.depth(), depth);
 }
 
@@ -99,8 +99,60 @@ TEST(RequestQueue, RejectsEmptyStreams)
     request.id = 9;
     request.tenant = "t";
     auto result = queue.submit(request);
-    EXPECT_FALSE(result.admitted);
-    EXPECT_EQ(result.reason, RejectReason::empty_stream);
+    EXPECT_FALSE(result.isOk());
+    EXPECT_EQ(result.code(), StatusCode::empty_stream);
+}
+
+TEST(RequestQueue, FullQueueRejectsAllPrioritiesAlike)
+{
+    // Admission control is strictly capacity-based: a high-priority
+    // submission does not evict queued low-priority work.
+    RequestQueue queue(QueuePolicy::priority, 2);
+    auto stream = miniTrace("w");
+    ASSERT_TRUE(
+        queue.submit(makeRequest(0, "t", Priority::low, 0, stream))
+            .isOk());
+    ASSERT_TRUE(
+        queue.submit(makeRequest(1, "t", Priority::low, 0, stream))
+            .isOk());
+    for (auto priority :
+         {Priority::low, Priority::normal, Priority::high}) {
+        auto result = queue.submit(
+            makeRequest(2, "t", priority, 0, stream));
+        EXPECT_FALSE(result.isOk());
+        EXPECT_EQ(result.code(), StatusCode::queue_full);
+    }
+    EXPECT_EQ(queue.depth(), 2u);
+    // The queued low-priority work is still intact and ordered.
+    EXPECT_EQ(queue.pop()->id, 0u);
+    EXPECT_EQ(queue.pop()->id, 1u);
+}
+
+TEST(RequestQueue, ZeroCapacityQueueRejectsEverything)
+{
+    RequestQueue queue(QueuePolicy::fifo, 0);
+    auto stream = miniTrace("w");
+    auto result = queue.submit(
+        makeRequest(0, "t", Priority::high, 0, stream));
+    EXPECT_FALSE(result.isOk());
+    EXPECT_EQ(result.code(), StatusCode::queue_full);
+    EXPECT_TRUE(queue.empty());
+    EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(RequestQueue, RejectsDeadlineAlreadyExpired)
+{
+    RequestQueue queue(QueuePolicy::fifo, 4);
+    auto stream = miniTrace("w");
+    auto request = makeRequest(0, "t", Priority::normal, 100.0, stream);
+    request.deadline_ns = 100.0;  // due at (not after) submission
+    auto result = queue.submit(request);
+    EXPECT_FALSE(result.isOk());
+    EXPECT_EQ(result.code(), StatusCode::deadline_expired);
+    // A future deadline is admitted.
+    auto ok = makeRequest(1, "t", Priority::normal, 100.0, stream);
+    ok.deadline_ns = 101.0;
+    EXPECT_TRUE(queue.submit(ok).isOk());
 }
 
 TEST(RequestQueue, PopBatchGroupsSameWorkload)
@@ -194,9 +246,11 @@ TEST(Scheduler, AdmissionControlRejectsBeyondBound)
     EXPECT_EQ(stats.rejected, 1u);
     ASSERT_EQ(stats.rejections.size(), 1u);
     EXPECT_EQ(stats.rejections[0].request_id, depth);
-    EXPECT_EQ(stats.rejections[0].reason, RejectReason::queue_full);
+    EXPECT_EQ(stats.rejections[0].reason, StatusCode::queue_full);
     EXPECT_EQ(stats.reject_reasons.at("queue_full"), 1u);
     EXPECT_EQ(stats.tenants.at("t").rejected, 1u);
+    EXPECT_TRUE(stats.balanced());
+    EXPECT_NO_THROW(stats.requireBalanced());
 }
 
 TEST(Scheduler, BatchFormationGroupsAndAmortizes)
@@ -358,6 +412,7 @@ TEST(ServeReport, JsonCarriesTenantPercentilesAndRejections)
             makeRequest(id, "solo", Priority::normal, 0, stream));
     auto stats = scheduler.run(arrivals);
     auto json = serveStatsJson(stats);
+    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
     EXPECT_NE(json.find("\"rejected\": 1"), std::string::npos);
     EXPECT_NE(json.find("\"queue_full\": 1"), std::string::npos);
     EXPECT_NE(json.find("\"solo\""), std::string::npos);
