@@ -69,12 +69,16 @@ report()
     const std::size_t pool_sizes[] = {1, 2, 4};
     for (std::size_t i = 0; i < 3; ++i) {
         std::size_t n = pool_sizes[i];
-        auto pool = serve::DevicePool::homogeneous(
-            hw::FastConfig::fast(), n);
-        serve::SchedulerOptions options;
-        options.policy = serve::QueuePolicy::priority;
-        options.max_queue_depth = 256;
-        options.max_batch = 4;
+        auto pool = serve::DevicePool::builder()
+                        .add(hw::FastConfig::fast(), n)
+                        .build()
+                        .value();
+        auto options = serve::SchedulerOptions::builder()
+                           .policy(serve::QueuePolicy::priority)
+                           .maxQueueDepth(256)
+                           .maxBatch(4)
+                           .build()
+                           .value();
         serve::Scheduler scheduler(pool, options);
         auto stats = scheduler.run(arrivals);
         // Every submitted request must be accounted for — the run
@@ -126,9 +130,11 @@ BM_ServeMixed(benchmark::State &state)
     using namespace fast;
     auto arrivals = serve::openLoopArrivals(
         mixedTenantLoad(), kRequests, kMeanInterarrivalNs, kSeed);
-    auto pool = serve::DevicePool::homogeneous(
-        hw::FastConfig::fast(),
-        static_cast<std::size_t>(state.range(0)));
+    auto pool = serve::DevicePool::builder()
+                    .add(hw::FastConfig::fast(),
+                         static_cast<std::size_t>(state.range(0)))
+                    .build()
+                    .value();
     serve::Scheduler scheduler(pool);
     for (auto _ : state) {
         auto stats = scheduler.run(arrivals);

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Property-based fuzz driver for the differential testkit
+ * (BENCH_testkit_fuzz.json).
+ *
+ * Generates seed-driven random CKKS programs and runs each through the
+ * differential oracle: production evaluator vs strict scalar
+ * reference, limb-exact, plus metamorphic properties. Then sweeps the
+ * scheduler model checker over canned and single-event fault plans.
+ *
+ * Acceptance gates (ISSUE 5, exit 1 on violation):
+ *   - every random program passes the oracle (zero limb mismatches);
+ *   - the negative self-test — an injected one-residue corruption —
+ *     IS caught, at the corrupted instruction, twice in a row
+ *     (deterministic replay), and shrinks to a minimal reproducer;
+ *   - the scheduler model checker reports no violated property.
+ *
+ * Any real failure prints a single reproducer seed; replay it with
+ * `testkit_fuzz --replay <seed>`. Failing seeds are also appended to
+ * testkit_failures.txt (the nightly job uploads it as an artifact).
+ *
+ * Flags: --smoke (CI profile, 220 programs), --programs N,
+ * --start-seed S, --params small|medium-klss, --replay SEED,
+ * --skip-negative, --skip-model-check.
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
+#include "testkit/oracle.hpp"
+#include "testkit/scheduler_check.hpp"
+#include "testkit/shrink.hpp"
+
+namespace {
+
+using namespace fast;
+
+struct Totals {
+    std::size_t programs = 0;
+    std::size_t instructions = 0;
+    std::size_t exact_checks = 0;
+    std::size_t metamorphic_checks = 0;
+    std::size_t hybrid_switches = 0;
+    std::size_t klss_switches = 0;
+    std::size_t hoisted_groups = 0;
+
+    void absorb(const testkit::OracleReport &report)
+    {
+        ++programs;
+        instructions += report.instructions;
+        exact_checks += report.exact_checks;
+        metamorphic_checks += report.metamorphic_checks;
+        hybrid_switches += report.hybrid_switches;
+        klss_switches += report.klss_switches;
+        hoisted_groups += report.hoisted_groups;
+    }
+};
+
+void
+header(const std::string &title)
+{
+    std::fputs(obs::banner(title).c_str(), stdout);
+}
+
+void
+note(const std::string &text)
+{
+    std::printf("  %s\n", text.c_str());
+}
+
+ckks::CkksParams
+paramsByName(const std::string &name)
+{
+    if (name == "medium-klss")
+        return ckks::CkksParams::testMediumKlss();
+    return ckks::CkksParams::testSmall();
+}
+
+/** One fresh-fixture oracle run (byte-exact replay needs fresh keys). */
+testkit::OracleReport
+runSeed(const ckks::CkksParams &params, std::uint64_t seed,
+        const testkit::OracleOptions &options = {})
+{
+    testkit::Program program = testkit::generateProgram(params, seed);
+    testkit::DifferentialFixture fixture(params);
+    return testkit::runOracle(program, fixture, options);
+}
+
+void
+recordFailure(std::uint64_t seed, const std::string &params_name,
+              const testkit::OracleFailure &failure)
+{
+    std::FILE *f = std::fopen("testkit_failures.txt", "a");
+    if (!f)
+        return;
+    std::fprintf(f, "seed=%llu params=%s instr=%zu kind=%s %s\n",
+                 static_cast<unsigned long long>(seed),
+                 params_name.c_str(), failure.instr_id,
+                 failure.kind.c_str(), failure.detail.c_str());
+    std::fclose(f);
+}
+
+/** Shrink a failing seed and print the full reproducer report. */
+void
+reportOracleFailure(const ckks::CkksParams &params, std::uint64_t seed,
+                    const testkit::OracleFailure &failure,
+                    const testkit::OracleOptions &options)
+{
+    std::printf("  FAIL seed=%llu at instr %%%zu [%s]: %s\n",
+                static_cast<unsigned long long>(seed),
+                failure.instr_id, failure.kind.c_str(),
+                failure.detail.c_str());
+
+    testkit::Program program = testkit::generateProgram(params, seed);
+    auto fails = [&](const testkit::Program &candidate) {
+        testkit::DifferentialFixture fixture(params);
+        return !testkit::runOracle(candidate, fixture, options).ok();
+    };
+    auto shrunk = testkit::shrinkProgram(program, fails);
+    std::printf("  minimized %zu -> %zu instrs in %zu oracle runs:\n",
+                program.instrs.size(), shrunk.program.instrs.size(),
+                shrunk.predicate_runs);
+    std::fputs(testkit::toString(shrunk.program).c_str(), stdout);
+    std::printf("  reproducer: testkit_fuzz --replay %llu --params %s\n",
+                static_cast<unsigned long long>(seed),
+                params.name == "Test-M-KLSS" ? "medium-klss" : "small");
+    recordFailure(seed, params.name, failure);
+}
+
+/**
+ * Negative self-test: corrupt one residue of the last instruction's
+ * optimized result and demand the oracle (a) catches it there, (b)
+ * catches it identically on replay, and (c) shrinks it to a program
+ * that still ends at the corrupted instruction.
+ */
+int
+negativeSelfTest(const ckks::CkksParams &params)
+{
+    constexpr std::uint64_t kSeed = 7;
+    testkit::Program program = testkit::generateProgram(params, kSeed);
+    std::size_t target = program.instrs.back().id;
+    testkit::OracleOptions options;
+    options.corrupt_instr = target;
+
+    auto run = [&](const testkit::Program &p) {
+        testkit::DifferentialFixture fixture(params);
+        return testkit::runOracle(p, fixture, options);
+    };
+
+    auto first = run(program);
+    if (first.ok() || first.failure->instr_id != target ||
+        first.failure->kind != "limb_mismatch") {
+        std::printf("  FAIL negative self-test: corruption at instr "
+                    "%%%zu was not caught as a limb mismatch\n",
+                    target);
+        return 1;
+    }
+    auto second = run(program);
+    if (second.ok() ||
+        second.failure->instr_id != first.failure->instr_id ||
+        second.failure->kind != first.failure->kind) {
+        std::printf(
+            "  FAIL negative self-test: replay was not deterministic\n");
+        return 1;
+    }
+
+    auto fails = [&](const testkit::Program &candidate) {
+        return !run(candidate).ok();
+    };
+    auto shrunk = testkit::shrinkProgram(program, fails);
+    bool still_there = false;
+    for (const auto &instr : shrunk.program.instrs)
+        still_there = still_there || instr.id == target;
+    if (!still_there || !fails(shrunk.program)) {
+        std::printf("  FAIL negative self-test: shrinking lost the "
+                    "corrupted instruction\n");
+        return 1;
+    }
+    std::printf("  negative self-test: corruption at instr %%%zu "
+                "caught, replayed deterministically, shrunk "
+                "%zu -> %zu instrs (%zu runs)\n",
+                target, program.instrs.size(),
+                shrunk.program.instrs.size(), shrunk.predicate_runs);
+    std::printf("  reproducer: seed=%llu corrupt_instr=%zu\n",
+                static_cast<unsigned long long>(kSeed), target);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    bool skip_negative = false;
+    bool skip_model_check = false;
+    std::size_t programs = 0;
+    std::uint64_t start_seed = 1;
+    std::string params_name = "small";
+    long long replay_seed = -1;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strcmp(argv[i], "--skip-negative") == 0)
+            skip_negative = true;
+        else if (std::strcmp(argv[i], "--skip-model-check") == 0)
+            skip_model_check = true;
+        else if (std::strcmp(argv[i], "--programs") == 0 &&
+                 i + 1 < argc)
+            programs = static_cast<std::size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        else if (std::strcmp(argv[i], "--start-seed") == 0 &&
+                 i + 1 < argc)
+            start_seed = std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--params") == 0 && i + 1 < argc)
+            params_name = argv[++i];
+        else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc)
+            replay_seed = static_cast<long long>(
+                std::strtoull(argv[++i], nullptr, 10));
+    }
+    if (programs == 0)
+        programs = smoke ? 220 : 500;
+
+    auto params = paramsByName(params_name);
+    testkit::OracleOptions oracle_options;
+
+    if (replay_seed >= 0) {
+        // Reproducer mode: one seed, full listing, loud verdict.
+        auto seed = static_cast<std::uint64_t>(replay_seed);
+        header("testkit_fuzz --replay " + std::to_string(seed) +
+               " (" + params.name + ")");
+        testkit::Program program =
+            testkit::generateProgram(params, seed);
+        std::fputs(testkit::toString(program).c_str(), stdout);
+        auto report = runSeed(params, seed, oracle_options);
+        if (!report.ok()) {
+            reportOracleFailure(params, seed, *report.failure,
+                                oracle_options);
+            return 1;
+        }
+        note("seed passes: " + std::to_string(report.exact_checks) +
+             " exact checks, " +
+             std::to_string(report.metamorphic_checks) +
+             " metamorphic checks");
+        return 0;
+    }
+
+    header("Differential fuzzing: " + std::to_string(programs) +
+           " random programs over " + params.name +
+           ", seeds [" + std::to_string(start_seed) + ", " +
+           std::to_string(start_seed + programs) + ")" +
+           (smoke ? " [smoke]" : ""));
+    note("oracle: production evaluator vs strict scalar reference, "
+         "limb-exact + metamorphic properties");
+
+    int failures = 0;
+    Totals totals;
+    for (std::uint64_t seed = start_seed;
+         seed < start_seed + programs; ++seed) {
+        auto report = runSeed(params, seed, oracle_options);
+        totals.absorb(report);
+        if (!report.ok()) {
+            ++failures;
+            reportOracleFailure(params, seed, *report.failure,
+                                oracle_options);
+        }
+    }
+    std::printf("  %zu programs, %zu instructions, %zu exact + %zu "
+                "metamorphic checks\n",
+                totals.programs, totals.instructions,
+                totals.exact_checks, totals.metamorphic_checks);
+    std::printf("  key-switch coverage: %zu hybrid, %zu klss, %zu "
+                "hoisted groups\n",
+                totals.hybrid_switches, totals.klss_switches,
+                totals.hoisted_groups);
+    if (failures == 0)
+        note("all programs match the reference limb for limb");
+
+    if (!skip_negative)
+        failures += negativeSelfTest(params);
+
+    testkit::ModelCheckReport model;
+    if (!skip_model_check) {
+        note("model-checking the scheduler: canned plans + "
+             "single-event grid, each replayed twice");
+        model = testkit::checkScheduler();
+        std::printf("  %zu scenarios, %zu runs, %zu violations\n",
+                    model.scenarios, model.runs,
+                    model.failures.size());
+        for (const auto &f : model.failures)
+            std::printf("  FAIL scenario %s [%s]: %s\n",
+                        f.scenario.c_str(), f.property.c_str(),
+                        f.detail.c_str());
+        failures += static_cast<int>(model.failures.size());
+    }
+
+    std::string json = "{\n  \"benchmark\": \"testkit_fuzz\",\n";
+    json += "  \"schema_version\": " +
+            std::to_string(obs::kSchemaVersion) + ",\n";
+    json += "  \"params\": \"" + params.name + "\",\n";
+    json += "  \"start_seed\": " + std::to_string(start_seed) +
+            ", \"programs\": " + std::to_string(totals.programs) +
+            ", \"smoke\": " + (smoke ? "true" : "false") + ",\n";
+    json += "  \"instructions\": " +
+            std::to_string(totals.instructions) +
+            ", \"exact_checks\": " +
+            std::to_string(totals.exact_checks) +
+            ", \"metamorphic_checks\": " +
+            std::to_string(totals.metamorphic_checks) + ",\n";
+    json += "  \"hybrid_switches\": " +
+            std::to_string(totals.hybrid_switches) +
+            ", \"klss_switches\": " +
+            std::to_string(totals.klss_switches) +
+            ", \"hoisted_groups\": " +
+            std::to_string(totals.hoisted_groups) + ",\n";
+    json += "  \"model_check\": {\"scenarios\": " +
+            std::to_string(model.scenarios) +
+            ", \"runs\": " + std::to_string(model.runs) +
+            ", \"violations\": " +
+            std::to_string(model.failures.size()) + "},\n";
+    json += "  \"failures\": " + std::to_string(failures) + "\n}\n";
+
+    std::FILE *f = std::fopen("BENCH_testkit_fuzz.json", "w");
+    if (f) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        note("wrote BENCH_testkit_fuzz.json");
+    }
+    std::FILE *m = std::fopen("OBS_testkit_fuzz_metrics.json", "w");
+    if (m) {
+        std::fputs(obs::Registry::global().json().c_str(), m);
+        std::fputs("\n", m);
+        std::fclose(m);
+        note("wrote OBS_testkit_fuzz_metrics.json");
+    }
+
+    if (failures) {
+        std::printf("  %d gate(s) failed\n", failures);
+        return 1;
+    }
+    note("all gates passed");
+    return 0;
+}

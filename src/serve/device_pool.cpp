@@ -5,7 +5,6 @@
 #include "serve/device_pool.hpp"
 
 #include <limits>
-#include <stdexcept>
 
 namespace fast::serve {
 
@@ -67,17 +66,9 @@ DevicePool::Builder::build() const
 
 DevicePool::DevicePool(const std::vector<hw::FastConfig> &configs)
 {
-    if (configs.empty())
-        throw std::invalid_argument("DevicePool needs >= 1 device");
     devices_.reserve(configs.size());
     for (const auto &config : configs)
         devices_.emplace_back(config);
-}
-
-DevicePool
-DevicePool::homogeneous(const hw::FastConfig &config, std::size_t n)
-{
-    return DevicePool(std::vector<hw::FastConfig>(n, config));
 }
 
 HealthTracker::HealthTracker(std::size_t devices)

@@ -45,17 +45,6 @@ class DevicePool
 
     static Builder builder() { return {}; }
 
-    /**
-     * Direct construction; throws on an empty list. Kept one release
-     * for existing callers — new code should use `builder()`, which
-     * also validates each config (see DESIGN.md §12).
-     */
-    explicit DevicePool(const std::vector<hw::FastConfig> &configs);
-
-    /** N identical devices — the common scaling configuration. */
-    static DevicePool homogeneous(const hw::FastConfig &config,
-                                  std::size_t n);
-
     std::size_t size() const { return devices_.size(); }
     const sim::FastSystem &device(std::size_t i) const
     {
@@ -67,6 +56,9 @@ class DevicePool
     }
 
   private:
+    /** Only `Builder::build()` constructs pools (post-validation). */
+    explicit DevicePool(const std::vector<hw::FastConfig> &configs);
+
     std::vector<sim::FastSystem> devices_;
 };
 

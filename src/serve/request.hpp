@@ -55,13 +55,6 @@ struct Request {
 };
 
 /**
- * Deprecated PR-1 name for the admission-rejection vocabulary; the
- * codes now live in `StatusCode` (see DESIGN.md §12). Kept one
- * release so `RejectReason::queue_full` spellings keep compiling.
- */
-using RejectReason = StatusCode;
-
-/**
  * Record of one request the runtime could not serve — rejected at
  * admission, timed out, shed, or stranded by device loss. `reason`
  * distinguishes the cases; `at_ns` is when the decision was made.

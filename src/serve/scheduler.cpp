@@ -167,6 +167,11 @@ struct RetryLater {
 
 } // namespace
 
+Scheduler::Scheduler(DevicePool &pool)
+    : Scheduler(pool, SchedulerOptions::defaults())
+{
+}
+
 Scheduler::Scheduler(DevicePool &pool, SchedulerOptions options)
     : pool_(pool), options_(options)
 {

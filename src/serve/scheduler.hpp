@@ -64,10 +64,10 @@ struct RetryPolicy {
 class SchedulerOptionsBuilder;
 
 /**
- * Knobs of one scheduler instance. Aggregate initialization keeps
- * working one release (DESIGN.md §12 has the deprecation note);
- * prefer `SchedulerOptions::builder()`, which validates and returns
- * named errors instead of silently accepting inconsistent values.
+ * Knobs of one scheduler instance. Constructed through
+ * `SchedulerOptions::builder()`, which validates and returns named
+ * errors instead of silently accepting inconsistent values; existing
+ * option sets may still be copied and tweaked field-by-field.
  */
 struct SchedulerOptions {
     QueuePolicy policy = QueuePolicy::fifo;
@@ -101,6 +101,17 @@ struct SchedulerOptions {
     Status validate() const;
 
     static SchedulerOptionsBuilder builder();
+
+    /** The documented defaults (what an empty `builder()` yields). */
+    static SchedulerOptions defaults() { return SchedulerOptions(); }
+
+  private:
+    /**
+     * Only the builder (and `defaults()`) mint fresh option sets, so
+     * every instance a `Scheduler` sees went through `validate()`.
+     */
+    SchedulerOptions() = default;
+    friend class SchedulerOptionsBuilder;
 };
 
 /** Fluent validated construction for `SchedulerOptions`. */
@@ -196,7 +207,9 @@ SchedulerOptions::builder()
 class Scheduler
 {
   public:
-    explicit Scheduler(DevicePool &pool, SchedulerOptions options = {});
+    /** Scheduler with `SchedulerOptions::defaults()`. */
+    explicit Scheduler(DevicePool &pool);
+    Scheduler(DevicePool &pool, SchedulerOptions options);
 
     /**
      * Serve @p arrivals (an open-loop trace; `submit_ns` timestamps

@@ -18,14 +18,15 @@
 #include <cassert>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <utility>
 
 namespace fast::serve {
 
 /**
- * Why an operation did not (fully) succeed. The admission-time
- * rejection reasons of PR 1 (`RejectReason`) are now codes in this
- * enum, sharing the space with runtime fault outcomes.
+ * Why an operation did not (fully) succeed. Admission-time rejection
+ * reasons share this space with runtime fault outcomes, so one switch
+ * accounts for every way a request can end.
  */
 enum class StatusCode {
     ok = 0,
@@ -117,19 +118,71 @@ class [[nodiscard]] Result
 
     const Status &status() const { return status_; }
 
-    T &value()
+    T &value() &
     {
         assert(isOk());
         return *value_;
     }
-    const T &value() const
+    const T &value() const &
     {
         assert(isOk());
         return *value_;
     }
-    T valueOr(T fallback) const
+    /** Moves the value out of an rvalue Result (move-only friendly). */
+    T &&value() &&
+    {
+        assert(isOk());
+        return *std::move(value_);
+    }
+    T valueOr(T fallback) const &
     {
         return isOk() ? *value_ : std::move(fallback);
+    }
+    T valueOr(T fallback) &&
+    {
+        return isOk() ? *std::move(value_) : std::move(fallback);
+    }
+
+    /**
+     * Apply @p f to the value if ok, else forward the error:
+     * `Result<U>` where `U = f(value)`. Errors skip @p f entirely.
+     */
+    template <typename F>
+    auto map(F &&f) const & -> Result<std::invoke_result_t<F, const T &>>
+    {
+        using U = std::invoke_result_t<F, const T &>;
+        if (!isOk())
+            return Result<U>(status_);
+        return Result<U>(std::forward<F>(f)(*value_));
+    }
+    template <typename F>
+    auto map(F &&f) && -> Result<std::invoke_result_t<F, T &&>>
+    {
+        using U = std::invoke_result_t<F, T &&>;
+        if (!isOk())
+            return Result<U>(std::move(status_));
+        return Result<U>(std::forward<F>(f)(*std::move(value_)));
+    }
+
+    /**
+     * Chain a fallible step: @p f must itself return a `Result`.
+     * The first error in the chain short-circuits the rest.
+     */
+    template <typename F>
+    auto andThen(F &&f) const & -> std::invoke_result_t<F, const T &>
+    {
+        using R = std::invoke_result_t<F, const T &>;
+        if (!isOk())
+            return R(status_);
+        return std::forward<F>(f)(*value_);
+    }
+    template <typename F>
+    auto andThen(F &&f) && -> std::invoke_result_t<F, T &&>
+    {
+        using R = std::invoke_result_t<F, T &&>;
+        if (!isOk())
+            return R(std::move(status_));
+        return std::forward<F>(f)(*std::move(value_));
     }
 
     T *operator->()

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Implementation of the random program generator.
+ */
+#include "testkit/generator.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "math/random.hpp"
+
+namespace fast::testkit {
+
+namespace {
+
+/** A live SSA node the next instruction may consume. */
+struct Node {
+    std::size_t id = 0;
+    ValueShape shape;
+};
+
+/**
+ * Opcode weights. Rotations and multiplies dominate (each exercises a
+ * full key switch under a randomly drawn method), rescales follow so
+ * scale chains keep descending, the rest add structural variety.
+ */
+constexpr struct {
+    OpCode op;
+    int weight;
+} kWeights[] = {
+    {OpCode::add, 14},
+    {OpCode::sub, 8},
+    {OpCode::negate, 4},
+    {OpCode::multiply, 12},
+    {OpCode::square, 5},
+    {OpCode::multiply_plain, 8},
+    {OpCode::multiply_const, 5},
+    {OpCode::mono_mult, 4},
+    {OpCode::rotate, 14},
+    {OpCode::conjugate, 4},
+    {OpCode::hoisted_pair, 8},
+    {OpCode::rescale, 12},
+    {OpCode::rescale_double, 3},
+    {OpCode::drop_level, 4},
+};
+
+OpCode
+drawOpcode(math::Prng &prng)
+{
+    int total = 0;
+    for (const auto &w : kWeights)
+        total += w.weight;
+    auto pick = static_cast<int>(
+        prng.uniform(static_cast<math::u64>(total)));
+    for (const auto &w : kWeights) {
+        pick -= w.weight;
+        if (pick < 0)
+            return w.op;
+    }
+    return OpCode::add;
+}
+
+int
+drawSteps(math::Prng &prng, std::size_t slots)
+{
+    std::vector<int> choices = {1, 2, 3, -1, -2, -3};
+    if (slots >= 8) {
+        choices.push_back(static_cast<int>(slots / 4));
+        choices.push_back(-static_cast<int>(slots / 4));
+    }
+    return choices[prng.uniform(choices.size())];
+}
+
+ckks::KeySwitchMethod
+drawMethod(math::Prng &prng, const GeneratorOptions &options)
+{
+    return prng.uniformReal() < options.hybrid_fraction
+               ? ckks::KeySwitchMethod::hybrid
+               : ckks::KeySwitchMethod::klss;
+}
+
+/** Room left for log2(scale) growth at @p level. */
+bool
+scaleFits(double scale, std::size_t level,
+          const ckks::CkksParams &params,
+          const GeneratorOptions &options)
+{
+    return std::log2(scale) + options.scale_headroom_bits <=
+           params.modulusBitsAtLevel(level);
+}
+
+const Node &
+anyNode(math::Prng &prng, const std::vector<Node> &nodes)
+{
+    return nodes[prng.uniform(nodes.size())];
+}
+
+/**
+ * Try to instantiate @p op against the live nodes. Returns false when
+ * no operand combination satisfies the preconditions for this draw
+ * (the caller re-draws). On success fills @p instr (except `id`) and
+ * @p shape with the result shape computed exactly as `inferShapes`
+ * does — same formulas, same division order, bit-identical doubles.
+ */
+bool
+tryBuild(OpCode op, math::Prng &prng, const ckks::CkksParams &params,
+         const GeneratorOptions &options, const std::vector<Node> &nodes,
+         Instr *instr, ValueShape *shape)
+{
+    instr->op = op;
+    switch (op) {
+    case OpCode::input:
+        return false;  // inputs are only emitted in the prologue
+    case OpCode::add:
+    case OpCode::sub: {
+        const Node &a = anyNode(prng, nodes);
+        std::vector<std::size_t> partners;
+        for (const Node &n : nodes)
+            if (n.shape.level == a.shape.level &&
+                n.shape.scale == a.shape.scale)
+                partners.push_back(n.id);
+        instr->a = a.id;
+        instr->b = partners[prng.uniform(partners.size())];
+        *shape = a.shape;
+        return true;
+    }
+    case OpCode::multiply: {
+        const Node &a = anyNode(prng, nodes);
+        std::vector<const Node *> partners;
+        for (const Node &n : nodes)
+            if (n.shape.level == a.shape.level)
+                partners.push_back(&n);
+        const Node &b = *partners[prng.uniform(partners.size())];
+        double scale = a.shape.scale * b.shape.scale;
+        if (!scaleFits(scale, a.shape.level, params, options))
+            return false;
+        instr->a = a.id;
+        instr->b = b.id;
+        instr->method = drawMethod(prng, options);
+        *shape = {a.shape.level, scale};
+        return true;
+    }
+    case OpCode::square: {
+        const Node &a = anyNode(prng, nodes);
+        double scale = a.shape.scale * a.shape.scale;
+        if (!scaleFits(scale, a.shape.level, params, options))
+            return false;
+        instr->a = a.id;
+        instr->method = drawMethod(prng, options);
+        *shape = {a.shape.level, scale};
+        return true;
+    }
+    case OpCode::multiply_plain:
+    case OpCode::multiply_const: {
+        const Node &a = anyNode(prng, nodes);
+        double scale = a.shape.scale * params.scale;
+        if (!scaleFits(scale, a.shape.level, params, options))
+            return false;
+        instr->a = a.id;
+        if (op == OpCode::multiply_const) {
+            double v = prng.uniformReal() * 1.5 - 0.75;
+            if (std::abs(v) < 0.125)
+                v += v < 0 ? -0.25 : 0.25;
+            instr->value = v;
+        }
+        *shape = {a.shape.level, scale};
+        return true;
+    }
+    case OpCode::negate: {
+        const Node &a = anyNode(prng, nodes);
+        instr->a = a.id;
+        *shape = a.shape;
+        return true;
+    }
+    case OpCode::mono_mult: {
+        const Node &a = anyNode(prng, nodes);
+        instr->a = a.id;
+        instr->power = 1 + prng.uniform(2 * params.degree - 1);
+        *shape = a.shape;
+        return true;
+    }
+    case OpCode::rotate: {
+        const Node &a = anyNode(prng, nodes);
+        instr->a = a.id;
+        instr->steps = drawSteps(prng, params.slots);
+        instr->method = drawMethod(prng, options);
+        *shape = a.shape;
+        return true;
+    }
+    case OpCode::conjugate: {
+        const Node &a = anyNode(prng, nodes);
+        instr->a = a.id;
+        instr->method = drawMethod(prng, options);
+        *shape = a.shape;
+        return true;
+    }
+    case OpCode::hoisted_pair: {
+        const Node &a = anyNode(prng, nodes);
+        instr->a = a.id;
+        instr->steps = drawSteps(prng, params.slots);
+        do {
+            instr->steps2 = drawSteps(prng, params.slots);
+        } while (instr->steps2 == instr->steps);
+        instr->method = drawMethod(prng, options);
+        *shape = a.shape;
+        return true;
+    }
+    case OpCode::rescale: {
+        const Node &a = anyNode(prng, nodes);
+        if (a.shape.level < 1)
+            return false;
+        double scale =
+            a.shape.scale /
+            static_cast<double>(params.q_chain[a.shape.level]);
+        if (std::log2(scale) < options.min_scale_bits)
+            return false;
+        instr->a = a.id;
+        *shape = {a.shape.level - 1, scale};
+        return true;
+    }
+    case OpCode::rescale_double: {
+        const Node &a = anyNode(prng, nodes);
+        if (a.shape.level < 2)
+            return false;
+        double scale =
+            a.shape.scale /
+            static_cast<double>(params.q_chain[a.shape.level - 1]);
+        scale /= static_cast<double>(params.q_chain[a.shape.level]);
+        if (std::log2(scale) < options.min_scale_bits)
+            return false;
+        instr->a = a.id;
+        *shape = {a.shape.level - 2, scale};
+        return true;
+    }
+    case OpCode::drop_level: {
+        const Node &a = anyNode(prng, nodes);
+        if (a.shape.level < 1)
+            return false;
+        instr->a = a.id;
+        *shape = {a.shape.level - 1, a.shape.scale};
+        return true;
+    }
+    }
+    return false;
+}
+
+} // namespace
+
+Program
+generateProgram(const ckks::CkksParams &params, std::uint64_t seed,
+                const GeneratorOptions &options)
+{
+    math::Prng prng(seed ^ 0x7465737463747ULL);
+    Program program;
+    program.seed = seed;
+    program.param_set = params.name;
+
+    std::vector<Node> nodes;
+    std::size_t next_id = 0;
+
+    std::size_t inputs =
+        options.min_inputs +
+        prng.uniform(options.max_inputs - options.min_inputs + 1);
+    for (std::size_t i = 0; i < inputs; ++i) {
+        Instr instr;
+        instr.id = next_id++;
+        instr.op = OpCode::input;
+        program.instrs.push_back(instr);
+        nodes.push_back({instr.id, {params.maxLevel(), params.scale}});
+    }
+
+    std::size_t body =
+        options.min_body_ops +
+        prng.uniform(options.max_body_ops - options.min_body_ops + 1);
+    for (std::size_t i = 0; i < body; ++i) {
+        Instr instr;
+        ValueShape shape;
+        bool built = false;
+        for (std::size_t attempt = 0; attempt < 40 && !built;
+             ++attempt)
+            built = tryBuild(drawOpcode(prng), prng, params, options,
+                             nodes, &instr, &shape);
+        if (!built) {
+            // `add %a %a` is legal for any node — the typed fallback.
+            const Node &a = anyNode(prng, nodes);
+            instr = Instr{};
+            instr.op = OpCode::add;
+            instr.a = a.id;
+            instr.b = a.id;
+            shape = a.shape;
+        }
+        instr.id = next_id++;
+        program.instrs.push_back(instr);
+        nodes.push_back({instr.id, shape});
+    }
+    return program;
+}
+
+} // namespace fast::testkit

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Seed-driven random CKKS program generator.
+ *
+ * Grows a typed op DAG one instruction at a time: every candidate
+ * opcode is drawn from a weighted table, its operands are picked from
+ * nodes whose (level, scale) satisfy the opcode's preconditions, and
+ * infeasible draws are rejected (with `add %a %a` as the always-legal
+ * fallback, since a node trivially shares its own shape). Weights are
+ * tuned so a typical program exercises the hybrid and KLSS
+ * key-switching paths, hoisted rotation groups, and rescale chains —
+ * the interactions CiFlow-style dataflow bugs hide in. Generation is a
+ * pure function of (params, seed, options): the same seed reproduces
+ * the same program on every platform, which is what makes a single
+ * reproducer seed a complete failure report.
+ */
+#ifndef FAST_TESTKIT_GENERATOR_HPP
+#define FAST_TESTKIT_GENERATOR_HPP
+
+#include <cstdint>
+
+#include "testkit/program.hpp"
+
+namespace fast::testkit {
+
+/** Knobs of the generator; defaults match the fuzz smoke profile. */
+struct GeneratorOptions {
+    std::size_t min_inputs = 2;
+    std::size_t max_inputs = 3;
+    /** Non-input instructions appended after the inputs. */
+    std::size_t min_body_ops = 6;
+    std::size_t max_body_ops = 20;
+    /** Probability a key-switched op picks hybrid (else KLSS). */
+    double hybrid_fraction = 0.55;
+    /**
+     * Headroom bits kept between log2(scale) and the level's modulus
+     * budget; ops that would exceed it are rejected at draw time.
+     */
+    double scale_headroom_bits = 12.0;
+    /** Minimum log2(scale) a rescale may leave behind. */
+    double min_scale_bits = 16.0;
+};
+
+/**
+ * Generate one program. Deterministic in (@p params, @p seed,
+ * @p options); the result always passes `inferShapes`.
+ */
+Program generateProgram(const ckks::CkksParams &params,
+                        std::uint64_t seed,
+                        const GeneratorOptions &options = {});
+
+} // namespace fast::testkit
+
+#endif // FAST_TESTKIT_GENERATOR_HPP

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Implementation of the differential oracle.
+ */
+#include "testkit/oracle.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "math/random.hpp"
+
+namespace fast::testkit {
+
+namespace {
+
+using ckks::Ciphertext;
+using ckks::Complex;
+using ckks::EvalKey;
+using ckks::KeySwitchMethod;
+using ckks::Plaintext;
+
+/** Per-program message PRNG: mixes the program seed with a node id. */
+math::Prng
+messagePrng(std::uint64_t program_seed, std::size_t id)
+{
+    return math::Prng(program_seed * 0x9E3779B97F4A7C15ULL +
+                      0x6D7367ULL + id);
+}
+
+std::vector<Complex>
+drawMessage(math::Prng &prng, std::size_t slots)
+{
+    std::vector<Complex> values(slots);
+    for (auto &v : values)
+        v = Complex(prng.uniformReal() * 2.0 - 1.0,
+                    prng.uniformReal() * 2.0 - 1.0);
+    return values;
+}
+
+double
+maxAbsDiff(const std::vector<Complex> &a, const std::vector<Complex> &b)
+{
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+/** Flip one residue of c0 — the injected fault of the self-test. */
+void
+corrupt(Ciphertext &ct, std::size_t instr_id)
+{
+    auto &limb = ct.c0.limb(0);
+    std::size_t c = instr_id % limb.size();
+    limb[c] = (limb[c] + 1) % ct.c0.modulus(0);
+}
+
+} // namespace
+
+DifferentialFixture::DifferentialFixture(const ckks::CkksParams &params,
+                                         math::u64 key_seed)
+    : ctx_(std::make_shared<const ckks::CkksContext>(params)),
+      evaluator_(ctx_), reference_(ctx_), keygen_(ctx_, key_seed)
+{
+}
+
+const EvalKey &
+DifferentialFixture::galoisKey(math::u64 galois,
+                               ckks::KeySwitchMethod method)
+{
+    auto key = std::make_pair(galois, method);
+    auto it = bank_.find(key);
+    if (it != bank_.end())
+        return it->second;
+    EvalKey evk = galois == 0 ? keygen_.makeRelinKey(method)
+                              : keygen_.makeGaloisKey(galois, method);
+    return bank_.emplace(key, std::move(evk)).first->second;
+}
+
+const EvalKey &
+DifferentialFixture::relinKey(ckks::KeySwitchMethod method)
+{
+    return galoisKey(0, method);
+}
+
+const EvalKey &
+DifferentialFixture::rotationKey(std::ptrdiff_t steps,
+                                 ckks::KeySwitchMethod method)
+{
+    return galoisKey(ctx_->encoder().galoisForRotation(steps), method);
+}
+
+const EvalKey &
+DifferentialFixture::conjugationKey(ckks::KeySwitchMethod method)
+{
+    return galoisKey(ctx_->encoder().galoisForConjugation(), method);
+}
+
+OracleReport
+runOracle(const Program &program, DifferentialFixture &fixture,
+          const OracleOptions &options)
+{
+    OracleReport report;
+    const auto &params = fixture.params();
+
+    std::vector<ValueShape> shapes;
+    try {
+        shapes = inferShapes(program, params);
+    } catch (const std::invalid_argument &e) {
+        report.failure = OracleFailure{0, "ill_typed", e.what()};
+        return report;
+    }
+
+    auto &eval = fixture.evaluator();
+    auto &ref = fixture.reference();
+    const auto &sk = fixture.secretKey();
+    std::size_t slots = params.slots;
+
+    std::map<std::size_t, Ciphertext> opt_vals;
+    std::map<std::size_t, Ciphertext> ref_vals;
+
+    auto fail = [&](const Instr &instr, const std::string &kind,
+                    const std::string &detail) {
+        report.failure = OracleFailure{instr.id, kind, detail};
+    };
+    auto decoded = [&](const Ciphertext &ct) {
+        return eval.decryptDecode(ct, sk, slots);
+    };
+    auto countMethod = [&](KeySwitchMethod method) {
+        if (method == KeySwitchMethod::hybrid)
+            ++report.hybrid_switches;
+        else
+            ++report.klss_switches;
+    };
+
+    for (std::size_t i = 0;
+         i < program.instrs.size() && !report.failure; ++i) {
+        const Instr &instr = program.instrs[i];
+        ++report.instructions;
+        Ciphertext opt;
+        Ciphertext rfc;
+
+        try {
+            switch (instr.op) {
+            case OpCode::input: {
+                math::Prng prng = messagePrng(program.seed, instr.id);
+                Plaintext pt =
+                    eval.encode(drawMessage(prng, slots), params.scale,
+                                params.maxLevel());
+                // Shared starting point: both stacks consume the very
+                // same fresh encryption.
+                opt = eval.encryptSymmetric(pt, sk, prng);
+                rfc = opt;
+                break;
+            }
+            case OpCode::add:
+                opt = eval.add(opt_vals.at(instr.a),
+                               opt_vals.at(instr.b));
+                rfc = ref.add(ref_vals.at(instr.a),
+                              ref_vals.at(instr.b));
+                break;
+            case OpCode::sub:
+                opt = eval.sub(opt_vals.at(instr.a),
+                               opt_vals.at(instr.b));
+                rfc = ref.sub(ref_vals.at(instr.a),
+                              ref_vals.at(instr.b));
+                break;
+            case OpCode::negate:
+                opt = eval.negate(opt_vals.at(instr.a));
+                rfc = ref.negate(ref_vals.at(instr.a));
+                break;
+            case OpCode::multiply: {
+                const EvalKey &key = fixture.relinKey(instr.method);
+                opt = eval.multiply(opt_vals.at(instr.a),
+                                    opt_vals.at(instr.b), key);
+                rfc = ref.multiply(ref_vals.at(instr.a),
+                                   ref_vals.at(instr.b), key);
+                countMethod(instr.method);
+                break;
+            }
+            case OpCode::square: {
+                const EvalKey &key = fixture.relinKey(instr.method);
+                opt = eval.square(opt_vals.at(instr.a), key);
+                rfc = ref.square(ref_vals.at(instr.a), key);
+                countMethod(instr.method);
+                break;
+            }
+            case OpCode::multiply_plain: {
+                math::Prng prng = messagePrng(program.seed,
+                                              instr.id + 0x1000);
+                Plaintext pt = eval.encode(drawMessage(prng, slots),
+                                           params.scale,
+                                           shapes[i].level);
+                opt = eval.multiplyPlain(opt_vals.at(instr.a), pt);
+                rfc = ref.multiplyPlain(ref_vals.at(instr.a), pt);
+                break;
+            }
+            case OpCode::multiply_const:
+                opt = eval.multiplyConstant(opt_vals.at(instr.a),
+                                            instr.value);
+                rfc = ref.multiplyConstant(ref_vals.at(instr.a),
+                                           instr.value);
+                break;
+            case OpCode::mono_mult:
+                opt = eval.multiplyByMonomial(opt_vals.at(instr.a),
+                                              instr.power);
+                rfc = ref.multiplyByMonomial(ref_vals.at(instr.a),
+                                             instr.power);
+                break;
+            case OpCode::rotate: {
+                const EvalKey &key =
+                    fixture.rotationKey(instr.steps, instr.method);
+                opt = eval.rotate(opt_vals.at(instr.a), instr.steps,
+                                  key);
+                rfc = ref.rotate(ref_vals.at(instr.a), instr.steps,
+                                 key);
+                countMethod(instr.method);
+                break;
+            }
+            case OpCode::conjugate: {
+                const EvalKey &key =
+                    fixture.conjugationKey(instr.method);
+                opt = eval.conjugate(opt_vals.at(instr.a), key);
+                rfc = ref.conjugate(ref_vals.at(instr.a), key);
+                countMethod(instr.method);
+                break;
+            }
+            case OpCode::hoisted_pair: {
+                const EvalKey &key_a =
+                    fixture.rotationKey(instr.steps, instr.method);
+                const EvalKey &key_b =
+                    fixture.rotationKey(instr.steps2, instr.method);
+                ckks::HoistedRotator rotator(
+                    eval, opt_vals.at(instr.a), instr.method);
+                opt = eval.add(rotator.rotate(instr.steps, key_a),
+                               rotator.rotate(instr.steps2, key_b));
+                rfc = ref.hoistedPair(ref_vals.at(instr.a),
+                                      instr.steps, key_a,
+                                      instr.steps2, key_b,
+                                      instr.method);
+                countMethod(instr.method);
+                ++report.hoisted_groups;
+                break;
+            }
+            case OpCode::rescale:
+                opt = eval.rescale(opt_vals.at(instr.a));
+                rfc = ref.rescale(ref_vals.at(instr.a));
+                break;
+            case OpCode::rescale_double:
+                opt = eval.rescaleDouble(opt_vals.at(instr.a));
+                rfc = ref.rescaleDouble(ref_vals.at(instr.a));
+                break;
+            case OpCode::drop_level:
+                opt = eval.dropToLevel(opt_vals.at(instr.a),
+                                       shapes[i].level);
+                rfc = ref.dropToLevel(ref_vals.at(instr.a),
+                                      shapes[i].level);
+                break;
+            }
+        } catch (const std::exception &e) {
+            fail(instr, "exception", e.what());
+            break;
+        }
+
+        if (options.corrupt_instr &&
+            *options.corrupt_instr == instr.id)
+            corrupt(opt, instr.id);
+
+        // The exact differential check: residues and bookkeeping
+        // scale must agree bit for bit.
+        ++report.exact_checks;
+        if (!(opt.c0 == rfc.c0) || !(opt.c1 == rfc.c1)) {
+            fail(instr, "limb_mismatch",
+                 "optimized and reference limbs differ after " +
+                     toString(instr));
+            break;
+        }
+        if (opt.scale != rfc.scale ||
+            opt.scale != shapes[i].scale ||
+            opt.level() != shapes[i].level) {
+            std::ostringstream os;
+            os << "scale/level drifted from the inferred shape after "
+               << toString(instr) << " (scale " << opt.scale
+               << " vs " << shapes[i].scale << ", level "
+               << opt.level() << " vs " << shapes[i].level << ")";
+            fail(instr, "shape_mismatch", os.str());
+            break;
+        }
+
+        if (options.metamorphic && !report.failure) {
+            try {
+                switch (instr.op) {
+                case OpCode::add: {
+                    // Addition commutes exactly.
+                    Ciphertext swapped =
+                        eval.add(opt_vals.at(instr.b),
+                                 opt_vals.at(instr.a));
+                    ++report.metamorphic_checks;
+                    if (!(swapped.c0 == opt.c0) ||
+                        !(swapped.c1 == opt.c1))
+                        fail(instr, "metamorphic",
+                             "add is not commutative");
+                    break;
+                }
+                case OpCode::sub: {
+                    // a - b == a + (-b), exactly.
+                    Ciphertext alt = eval.add(
+                        opt_vals.at(instr.a),
+                        eval.negate(opt_vals.at(instr.b)));
+                    ++report.metamorphic_checks;
+                    if (!(alt.c0 == opt.c0) || !(alt.c1 == opt.c1))
+                        fail(instr, "metamorphic",
+                             "sub differs from add-of-negation");
+                    break;
+                }
+                case OpCode::rotate: {
+                    // Rotating back must restore the message (up to
+                    // key-switch noise).
+                    const EvalKey &back = fixture.rotationKey(
+                        -instr.steps, instr.method);
+                    Ciphertext undone =
+                        eval.rotate(opt, -instr.steps, back);
+                    ++report.metamorphic_checks;
+                    double err =
+                        maxAbsDiff(decoded(undone),
+                                   decoded(opt_vals.at(instr.a)));
+                    if (err > options.tolerance)
+                        fail(instr, "metamorphic",
+                             "rotate-inverse error " +
+                                 std::to_string(err));
+                    break;
+                }
+                case OpCode::conjugate: {
+                    // Conjugation is an involution.
+                    const EvalKey &key =
+                        fixture.conjugationKey(instr.method);
+                    Ciphertext twice = eval.conjugate(opt, key);
+                    ++report.metamorphic_checks;
+                    double err =
+                        maxAbsDiff(decoded(twice),
+                                   decoded(opt_vals.at(instr.a)));
+                    if (err > options.tolerance)
+                        fail(instr, "metamorphic",
+                             "double conjugation error " +
+                                 std::to_string(err));
+                    break;
+                }
+                case OpCode::hoisted_pair: {
+                    // Hoisting reorders BConv against the automorphism
+                    // so it is not bit-identical to direct rotation —
+                    // but the decoded messages must agree.
+                    const EvalKey &key_a = fixture.rotationKey(
+                        instr.steps, instr.method);
+                    const EvalKey &key_b = fixture.rotationKey(
+                        instr.steps2, instr.method);
+                    Ciphertext direct = eval.add(
+                        eval.rotate(opt_vals.at(instr.a), instr.steps,
+                                    key_a),
+                        eval.rotate(opt_vals.at(instr.a), instr.steps2,
+                                    key_b));
+                    ++report.metamorphic_checks;
+                    double err =
+                        maxAbsDiff(decoded(direct), decoded(opt));
+                    if (err > options.tolerance)
+                        fail(instr, "metamorphic",
+                             "hoisted vs direct rotation error " +
+                                 std::to_string(err));
+                    break;
+                }
+                case OpCode::rescale:
+                case OpCode::rescale_double:
+                case OpCode::drop_level: {
+                    // Level must drop monotonically by the op's width.
+                    std::size_t width =
+                        instr.op == OpCode::rescale_double ? 2 : 1;
+                    const Ciphertext &src = opt_vals.at(instr.a);
+                    ++report.metamorphic_checks;
+                    if (opt.level() + width != src.level())
+                        fail(instr, "metamorphic",
+                             "level did not drop monotonically");
+                    break;
+                }
+                default:
+                    break;
+                }
+            } catch (const std::exception &e) {
+                fail(instr, "exception", e.what());
+            }
+        }
+
+        opt_vals.emplace(instr.id, std::move(opt));
+        ref_vals.emplace(instr.id, std::move(rfc));
+    }
+    return report;
+}
+
+} // namespace fast::testkit

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The differential oracle: run a generated program twice — once on the
+ * production evaluator (parallel kernels, lazy NTT, batched BConv,
+ * Shoup multipliers) and once on the strict scalar reference — and
+ * demand limb-exact agreement after every instruction.
+ *
+ * Exactness is the whole point: the repo documents every optimized
+ * kernel as bit-identical to its naive counterpart (lazy NTT vs
+ * forwardReference, convertPoly vs convert, static KernelEngine
+ * partitions vs serial loops), so the oracle compares residues with
+ * `==`, not with a noise budget. Metamorphic checks (rotate then
+ * rotate back, add commutes, conjugation is an involution, hoisting
+ * matches direct rotation) run on top and use decode tolerance only
+ * where the algorithms are genuinely different numerically.
+ */
+#ifndef FAST_TESTKIT_ORACLE_HPP
+#define FAST_TESTKIT_ORACLE_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "testkit/program.hpp"
+#include "testkit/reference.hpp"
+
+namespace fast::testkit {
+
+/**
+ * Everything a differential run needs: one context, the production
+ * evaluator, the scalar reference, and a lazily-filled bank of
+ * evaluation keys. Key generation draws from the KeyGenerator's PRNG
+ * in request order, so use one fixture per program when byte-exact
+ * replay matters (the fuzz harness does).
+ */
+class DifferentialFixture
+{
+  public:
+    explicit DifferentialFixture(const ckks::CkksParams &params,
+                                 math::u64 key_seed = 424242);
+
+    const ckks::CkksParams &params() const { return ctx_->params(); }
+    const ckks::CkksContext &context() const { return *ctx_; }
+    ckks::CkksEvaluator &evaluator() { return evaluator_; }
+    ReferenceEvaluator &reference() { return reference_; }
+    const ckks::SecretKey &secretKey() const
+    {
+        return keygen_.secretKey();
+    }
+
+    /** @name Cached evaluation keys (generated on first request). */
+    ///@{
+    const ckks::EvalKey &relinKey(ckks::KeySwitchMethod method);
+    const ckks::EvalKey &rotationKey(std::ptrdiff_t steps,
+                                     ckks::KeySwitchMethod method);
+    const ckks::EvalKey &conjugationKey(ckks::KeySwitchMethod method);
+    ///@}
+
+  private:
+    const ckks::EvalKey &galoisKey(math::u64 galois,
+                                   ckks::KeySwitchMethod method);
+
+    std::shared_ptr<const ckks::CkksContext> ctx_;
+    ckks::CkksEvaluator evaluator_;
+    ReferenceEvaluator reference_;
+    ckks::KeyGenerator keygen_;
+    std::map<std::pair<math::u64, ckks::KeySwitchMethod>, ckks::EvalKey>
+        bank_;
+};
+
+/** Knobs of one oracle run. */
+struct OracleOptions {
+    /** Run the metamorphic property checks too (not just the diff). */
+    bool metamorphic = true;
+    /** Decode tolerance for the noise-inexact metamorphic checks. */
+    double tolerance = 5e-3;
+    /**
+     * Negative self-test hook: corrupt one residue of the optimized
+     * result of this instruction before comparing. A healthy oracle
+     * must report a failure at exactly this instruction.
+     */
+    std::optional<std::size_t> corrupt_instr;
+};
+
+/** What went wrong, pinned to one instruction. */
+struct OracleFailure {
+    std::size_t instr_id = 0;
+    std::string kind;    ///< "limb_mismatch", "shape_mismatch", ...
+    std::string detail;
+};
+
+/** Outcome and coverage counters of one differential run. */
+struct OracleReport {
+    std::optional<OracleFailure> failure;
+    std::size_t instructions = 0;
+    std::size_t exact_checks = 0;
+    std::size_t metamorphic_checks = 0;
+    std::size_t hybrid_switches = 0;
+    std::size_t klss_switches = 0;
+    std::size_t hoisted_groups = 0;
+
+    bool ok() const { return !failure.has_value(); }
+};
+
+/**
+ * Execute @p program on both stacks and compare. Stops at the first
+ * failing instruction; an ill-typed program is itself a failure (kind
+ * "ill_typed"), never an exception.
+ */
+OracleReport runOracle(const Program &program,
+                       DifferentialFixture &fixture,
+                       const OracleOptions &options = {});
+
+} // namespace fast::testkit
+
+#endif // FAST_TESTKIT_ORACLE_HPP

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Program IR: printing, shape inference, and trace lowering.
+ */
+#include "testkit/program.hpp"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/workloads.hpp"
+
+namespace fast::testkit {
+
+const char *
+toString(OpCode op)
+{
+    switch (op) {
+    case OpCode::input: return "input";
+    case OpCode::add: return "add";
+    case OpCode::sub: return "sub";
+    case OpCode::negate: return "negate";
+    case OpCode::multiply: return "multiply";
+    case OpCode::square: return "square";
+    case OpCode::multiply_plain: return "multiply_plain";
+    case OpCode::multiply_const: return "multiply_const";
+    case OpCode::mono_mult: return "mono_mult";
+    case OpCode::rotate: return "rotate";
+    case OpCode::conjugate: return "conjugate";
+    case OpCode::hoisted_pair: return "hoisted_pair";
+    case OpCode::rescale: return "rescale";
+    case OpCode::rescale_double: return "rescale_double";
+    case OpCode::drop_level: return "drop_level";
+    }
+    return "?";
+}
+
+std::size_t
+operandCount(OpCode op)
+{
+    switch (op) {
+    case OpCode::input:
+        return 0;
+    case OpCode::add:
+    case OpCode::sub:
+    case OpCode::multiply:
+        return 2;
+    default:
+        return 1;
+    }
+}
+
+bool
+usesKeySwitch(OpCode op)
+{
+    switch (op) {
+    case OpCode::multiply:
+    case OpCode::square:
+    case OpCode::rotate:
+    case OpCode::conjugate:
+    case OpCode::hoisted_pair:
+        return true;
+    default:
+        return false;
+    }
+}
+
+std::size_t
+Program::inputCount() const
+{
+    std::size_t n = 0;
+    for (const Instr &instr : instrs)
+        n += instr.op == OpCode::input ? 1 : 0;
+    return n;
+}
+
+std::vector<ValueShape>
+inferShapes(const Program &program, const ckks::CkksParams &params)
+{
+    std::map<std::size_t, ValueShape> by_id;
+    std::vector<ValueShape> shapes;
+    shapes.reserve(program.instrs.size());
+
+    auto fail = [](const Instr &instr, const std::string &what) {
+        throw std::invalid_argument("ill-typed program at " +
+                                    toString(instr) + ": " + what);
+    };
+    auto operand = [&](const Instr &instr,
+                       std::size_t id) -> const ValueShape & {
+        auto it = by_id.find(id);
+        if (it == by_id.end() || id >= instr.id)
+            fail(instr, "operand %" + std::to_string(id) +
+                            " does not dominate the use");
+        return it->second;
+    };
+
+    std::size_t last_id = 0;
+    bool first = true;
+    for (const Instr &instr : program.instrs) {
+        if (!first && instr.id <= last_id)
+            fail(instr, "ids must strictly increase");
+        first = false;
+        last_id = instr.id;
+
+        ValueShape out;
+        switch (instr.op) {
+        case OpCode::input:
+            out.level = params.maxLevel();
+            out.scale = params.scale;
+            break;
+        case OpCode::add:
+        case OpCode::sub: {
+            const ValueShape &sa = operand(instr, instr.a);
+            const ValueShape &sb = operand(instr, instr.b);
+            if (sa.level != sb.level || sa.scale != sb.scale)
+                fail(instr, "binary operands need equal level+scale");
+            out = sa;
+            break;
+        }
+        case OpCode::multiply: {
+            const ValueShape &sa = operand(instr, instr.a);
+            const ValueShape &sb = operand(instr, instr.b);
+            if (sa.level != sb.level)
+                fail(instr, "multiply operands need equal level");
+            out.level = sa.level;
+            out.scale = sa.scale * sb.scale;
+            break;
+        }
+        case OpCode::square: {
+            const ValueShape &sa = operand(instr, instr.a);
+            out.level = sa.level;
+            out.scale = sa.scale * sa.scale;
+            break;
+        }
+        case OpCode::multiply_plain:
+        case OpCode::multiply_const: {
+            const ValueShape &sa = operand(instr, instr.a);
+            out.level = sa.level;
+            out.scale = sa.scale * params.scale;
+            break;
+        }
+        case OpCode::rescale: {
+            const ValueShape &sa = operand(instr, instr.a);
+            if (sa.level < 1)
+                fail(instr, "rescale needs level >= 1");
+            out.level = sa.level - 1;
+            // Mirror CkksEvaluator::rescaleInPlace's division order.
+            out.scale = sa.scale /
+                        static_cast<double>(params.q_chain[sa.level]);
+            break;
+        }
+        case OpCode::rescale_double: {
+            const ValueShape &sa = operand(instr, instr.a);
+            if (sa.level < 2)
+                fail(instr, "rescale_double needs level >= 2");
+            out.level = sa.level - 2;
+            // Two successive divisions, second-to-last prime first —
+            // exactly the order rescaleDoubleInPlace divides in.
+            out.scale = sa.scale /
+                        static_cast<double>(params.q_chain[sa.level - 1]);
+            out.scale /=
+                static_cast<double>(params.q_chain[sa.level]);
+            break;
+        }
+        case OpCode::drop_level: {
+            const ValueShape &sa = operand(instr, instr.a);
+            if (sa.level < 1)
+                fail(instr, "drop_level needs level >= 1");
+            out.level = sa.level - 1;
+            out.scale = sa.scale;
+            break;
+        }
+        case OpCode::rotate:
+        case OpCode::hoisted_pair:
+            if (instr.steps == 0)
+                fail(instr, "rotation steps must be nonzero");
+            if (instr.op == OpCode::hoisted_pair &&
+                instr.steps2 == 0)
+                fail(instr, "second hoisted rotation must be nonzero");
+            out = operand(instr, instr.a);
+            break;
+        case OpCode::negate:
+        case OpCode::conjugate:
+        case OpCode::mono_mult:
+            out = operand(instr, instr.a);
+            break;
+        }
+        // Scale must stay inside the modulus budget (with headroom
+        // for the message) or decode checks become meaningless.
+        if (std::log2(out.scale) + 4 >
+            params.modulusBitsAtLevel(out.level))
+            fail(instr, "scale exceeds the modulus budget");
+        by_id[instr.id] = out;
+        shapes.push_back(out);
+    }
+    return shapes;
+}
+
+std::string
+toString(const Instr &instr)
+{
+    std::ostringstream os;
+    os << "%" << instr.id << " = " << toString(instr.op);
+    std::size_t operands = operandCount(instr.op);
+    if (operands >= 1)
+        os << " %" << instr.a;
+    if (operands >= 2)
+        os << " %" << instr.b;
+    switch (instr.op) {
+    case OpCode::rotate:
+        os << " steps=" << instr.steps;
+        break;
+    case OpCode::hoisted_pair:
+        os << " steps=" << instr.steps << "," << instr.steps2;
+        break;
+    case OpCode::multiply_const:
+        os << " value=" << instr.value;
+        break;
+    case OpCode::mono_mult:
+        os << " power=" << instr.power;
+        break;
+    default:
+        break;
+    }
+    if (usesKeySwitch(instr.op))
+        os << " [" << ckks::toString(instr.method) << "]";
+    return os.str();
+}
+
+std::string
+toString(const Program &program)
+{
+    std::ostringstream os;
+    os << "program seed=" << program.seed << " params="
+       << program.param_set << " (" << program.instrs.size()
+       << " instrs)\n";
+    for (const Instr &instr : program.instrs)
+        os << "  " << toString(instr) << "\n";
+    return os.str();
+}
+
+trace::OpStream
+lowerToOpStream(const Program &program, const ckks::CkksParams &params,
+                const std::string &name)
+{
+    auto shapes = inferShapes(program, params);
+    trace::TraceBuilder builder(name);
+    for (std::size_t i = 0; i < program.instrs.size(); ++i) {
+        const Instr &instr = program.instrs[i];
+        std::size_t ct = builder.newCiphertext();
+        std::size_t level = shapes[i].level;
+        switch (instr.op) {
+        case OpCode::input:
+            break;  // encryption is outside the serving trace
+        case OpCode::add:
+        case OpCode::sub:
+            builder.hadd(ct, level);
+            break;
+        case OpCode::negate:
+        case OpCode::multiply_const:
+        case OpCode::mono_mult:
+            builder.cmult(ct, level);
+            break;
+        case OpCode::multiply:
+        case OpCode::square:
+            builder.hmult(ct, level, /*double_rescale=*/false);
+            break;
+        case OpCode::multiply_plain:
+            builder.pmult(ct, level, /*double_rescale=*/false);
+            break;
+        case OpCode::rotate:
+            builder.rotation(ct, level, instr.steps);
+            break;
+        case OpCode::conjugate:
+            builder.conjugate(ct, level);
+            break;
+        case OpCode::hoisted_pair:
+            builder.hoistedRotations(ct, level, 2);
+            break;
+        case OpCode::rescale:
+        case OpCode::drop_level:
+            // drop_level costs like a rescale in the trace IR (one
+            // limb retired); the IR has no cheaper spelling.
+            builder.rescale(ct, level + 1);
+            break;
+        case OpCode::rescale_double:
+            builder.rescale(ct, level + 2);
+            builder.rescale(ct, level + 1);
+            break;
+        }
+    }
+    return builder.take();
+}
+
+} // namespace fast::testkit

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Random-program IR of the differential testkit.
+ *
+ * A Program is a straight-line SSA listing of CKKS operations: every
+ * instruction produces one ciphertext node, identified by a stable id
+ * that operands reference. Ids survive shrinking (removing an
+ * instruction removes its dependents, never renumbers the rest), so a
+ * failure report can always point at "instr 17 of seed 9" and mean the
+ * same instruction before and after minimization.
+ *
+ * The op set covers the paper's primitive operations (Sec. 2.1.2)
+ * minus bootstrapping: add/sub/negate, HMult/square (relinearized),
+ * PMult/CMult/monomial mult, rotation and conjugation under either
+ * key-switching method, a hoisted rotation pair (one decomposition,
+ * two rotations — Sec. 2.2.3), rescale, the DSU-style double rescale
+ * (Sec. 5.7.1), and plain level drops.
+ */
+#ifndef FAST_TESTKIT_PROGRAM_HPP
+#define FAST_TESTKIT_PROGRAM_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckks/params.hpp"
+#include "trace/op.hpp"
+
+namespace fast::testkit {
+
+/** One CKKS operation the generator can emit. */
+enum class OpCode {
+    input,           ///< fresh encryption of a seed-derived message
+    add,             ///< HAdd
+    sub,             ///< HSub
+    negate,          ///< negation
+    multiply,        ///< HMult + relinearization
+    square,          ///< HMult of a node with itself
+    multiply_plain,  ///< PMult with a seed-derived plaintext
+    multiply_const,  ///< CMult by `value`
+    mono_mult,       ///< multiply by the monomial X^power (exact)
+    rotate,          ///< HRot by `steps`
+    conjugate,       ///< complex conjugation
+    hoisted_pair,    ///< rotate(a, steps) + rotate(a, steps2), hoisted
+    rescale,         ///< divide by the last prime, drop one level
+    rescale_double,  ///< divide by the last two primes (Sec. 5.7.1)
+    drop_level,      ///< drop one limb without dividing
+};
+
+const char *toString(OpCode op);
+
+/** Ciphertext operands consumed by an opcode (0, 1, or 2). */
+std::size_t operandCount(OpCode op);
+
+/** Does the opcode run a key switch (and hence carry a method)? */
+bool usesKeySwitch(OpCode op);
+
+/** One instruction. Fields beyond `a`/`b` are opcode-specific. */
+struct Instr {
+    std::size_t id = 0;  ///< stable SSA node id
+    OpCode op = OpCode::input;
+    std::size_t a = 0;   ///< first operand node id
+    std::size_t b = 0;   ///< second operand node id (binary ops)
+    int steps = 0;       ///< rotation amount (rotate / hoisted_pair)
+    int steps2 = 0;      ///< second rotation of a hoisted pair
+    ckks::KeySwitchMethod method = ckks::KeySwitchMethod::hybrid;
+    double value = 0.0;      ///< constant for multiply_const
+    std::size_t power = 0;   ///< monomial exponent for mono_mult
+};
+
+/**
+ * A generated program: the seed that grew it plus the instruction
+ * listing in execution (topological) order. Ids strictly increase
+ * along the listing but need not be contiguous after shrinking.
+ */
+struct Program {
+    std::uint64_t seed = 0;
+    std::string param_set = "Test-S";
+    std::vector<Instr> instrs;
+
+    std::size_t inputCount() const;
+};
+
+/** Static type of one node: its level and exact bookkeeping scale. */
+struct ValueShape {
+    std::size_t level = 0;
+    double scale = 0.0;
+};
+
+/**
+ * Recompute every node's (level, scale) under @p params, mirroring the
+ * evaluator's scale arithmetic operation for operation (the doubles
+ * must match bit for bit, so the order of divisions matters). Throws
+ * `std::invalid_argument` when the program is ill-typed: an operand id
+ * that does not dominate its use, mismatched binary-op shapes, a
+ * rescale below level 1, or a scale overflowing the modulus budget.
+ */
+std::vector<ValueShape> inferShapes(const Program &program,
+                                    const ckks::CkksParams &params);
+
+/** One-line rendering of an instruction ("%7 = rotate %3 steps=-2 [klss]"). */
+std::string toString(const Instr &instr);
+
+/** Multi-line listing with the seed header — what failure reports print. */
+std::string toString(const Program &program);
+
+/**
+ * Lower the program to the serve/sim trace IR so generated programs
+ * can drive the scheduler model checker through Aether/Hemera planning
+ * exactly like the hand-written workload traces.
+ */
+trace::OpStream lowerToOpStream(const Program &program,
+                                const ckks::CkksParams &params,
+                                const std::string &name);
+
+} // namespace fast::testkit
+
+#endif // FAST_TESTKIT_PROGRAM_HPP

@@ -1,0 +1,658 @@
+/**
+ * @file
+ * Strict scalar reference evaluator.
+ *
+ * Nothing here touches the KernelEngine, the Shoup multipliers, the
+ * lazy NTT, or the batched BConv kernel. Every loop is the textbook
+ * serial form of the algorithm in `ckks/evaluator.cpp` and
+ * `ckks/keyswitch.cpp`, so the two stacks must agree limb for limb.
+ */
+#include "testkit/reference.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/bignum.hpp"
+#include "math/rns.hpp"
+
+namespace fast::testkit {
+
+namespace {
+
+using math::PolyForm;
+
+std::size_t
+bitReverse(std::size_t x, int bits)
+{
+    std::size_t r = 0;
+    for (int i = 0; i < bits; ++i) {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    return r;
+}
+
+int
+floorLog2(std::size_t n)
+{
+    int lg = 0;
+    while ((std::size_t{1} << (lg + 1)) <= n)
+        ++lg;
+    return lg;
+}
+
+void
+addInto(RnsPoly &dst, const RnsPoly &src)
+{
+    for (std::size_t i = 0; i < dst.limbCount(); ++i) {
+        u64 q = dst.modulus(i);
+        auto &d = dst.limb(i);
+        const auto &s = src.limb(i);
+        for (std::size_t c = 0; c < d.size(); ++c)
+            d[c] = math::addMod(d[c], s[c], q);
+    }
+}
+
+void
+subInto(RnsPoly &dst, const RnsPoly &src)
+{
+    for (std::size_t i = 0; i < dst.limbCount(); ++i) {
+        u64 q = dst.modulus(i);
+        auto &d = dst.limb(i);
+        const auto &s = src.limb(i);
+        for (std::size_t c = 0; c < d.size(); ++c)
+            d[c] = math::subMod(d[c], s[c], q);
+    }
+}
+
+void
+negateScalar(RnsPoly &poly)
+{
+    for (std::size_t i = 0; i < poly.limbCount(); ++i) {
+        u64 q = poly.modulus(i);
+        for (u64 &v : poly.limb(i))
+            v = math::negMod(v, q);
+    }
+}
+
+void
+hadamardScalar(RnsPoly &dst, const RnsPoly &src)
+{
+    for (std::size_t i = 0; i < dst.limbCount(); ++i) {
+        u64 q = dst.modulus(i);
+        auto &d = dst.limb(i);
+        const auto &s = src.limb(i);
+        for (std::size_t c = 0; c < d.size(); ++c)
+            d[c] = math::mulMod(d[c], s[c], q);
+    }
+}
+
+/**
+ * Scalar copy of RnsPoly::automorphism (same index maps, plain loop).
+ */
+RnsPoly
+automorphismScalar(const RnsPoly &poly, u64 galois_elt)
+{
+    std::size_t n = poly.degree();
+    u64 two_n = 2 * static_cast<u64>(n);
+    if (galois_elt % 2 == 0 || galois_elt >= two_n)
+        throw std::invalid_argument("Galois element must be odd, < 2N");
+
+    RnsPoly out(n, poly.moduli(), poly.form());
+    if (!poly.isEval()) {
+        for (std::size_t i = 0; i < poly.limbCount(); ++i) {
+            u64 q = poly.modulus(i);
+            const auto &src = poly.limb(i);
+            auto &dst = out.limb(i);
+            for (std::size_t j = 0; j < n; ++j) {
+                u64 idx = (static_cast<u64>(j) * galois_elt) % two_n;
+                bool flip = idx >= n;
+                u64 v = src[j];
+                dst[static_cast<std::size_t>(flip ? idx - n : idx)] =
+                    flip ? math::negMod(v, q) : v;
+            }
+        }
+    } else {
+        int lg = floorLog2(n);
+        for (std::size_t i = 0; i < poly.limbCount(); ++i) {
+            const auto &src = poly.limb(i);
+            auto &dst = out.limb(i);
+            for (std::size_t k = 0; k < n; ++k) {
+                u64 e = 2 * static_cast<u64>(bitReverse(k, lg)) + 1;
+                u64 src_e = (e * galois_elt) % two_n;
+                dst[k] = src[bitReverse(
+                    static_cast<std::size_t>((src_e - 1) / 2), lg)];
+            }
+        }
+    }
+    return out;
+}
+
+/** Copy @p poly into coeff form via the strict inverse NTT. */
+RnsPoly
+strictToCoeff(const ckks::CkksContext &ctx, const RnsPoly &poly)
+{
+    if (!poly.isEval())
+        return poly;
+    RnsPoly out(poly.degree(), poly.moduli(), PolyForm::coeff);
+    for (std::size_t i = 0; i < poly.limbCount(); ++i) {
+        out.limb(i) = poly.limb(i);
+        ctx.nttTables()
+            .forModulus(poly.modulus(i))
+            .inverseReference(out.limb(i).data());
+    }
+    return out;
+}
+
+/** Copy @p poly into eval form via the strict forward NTT. */
+RnsPoly
+strictToEval(const ckks::CkksContext &ctx, const RnsPoly &poly)
+{
+    if (poly.isEval())
+        return poly;
+    RnsPoly out(poly.degree(), poly.moduli(), PolyForm::eval);
+    for (std::size_t i = 0; i < poly.limbCount(); ++i) {
+        out.limb(i) = poly.limb(i);
+        ctx.nttTables()
+            .forModulus(poly.modulus(i))
+            .forwardReference(out.limb(i).data());
+    }
+    return out;
+}
+
+} // namespace
+
+ReferenceEvaluator::ReferenceEvaluator(
+    std::shared_ptr<const ckks::CkksContext> ctx)
+    : ctx_(std::move(ctx))
+{
+}
+
+Ciphertext
+ReferenceEvaluator::add(const Ciphertext &a, const Ciphertext &b) const
+{
+    if (a.limbCount() != b.limbCount())
+        throw std::invalid_argument("ciphertext levels do not match");
+    Ciphertext out = a;
+    addInto(out.c0, b.c0);
+    addInto(out.c1, b.c1);
+    return out;
+}
+
+Ciphertext
+ReferenceEvaluator::sub(const Ciphertext &a, const Ciphertext &b) const
+{
+    if (a.limbCount() != b.limbCount())
+        throw std::invalid_argument("ciphertext levels do not match");
+    Ciphertext out = a;
+    subInto(out.c0, b.c0);
+    subInto(out.c1, b.c1);
+    return out;
+}
+
+Ciphertext
+ReferenceEvaluator::negate(const Ciphertext &a) const
+{
+    Ciphertext out = a;
+    negateScalar(out.c0);
+    negateScalar(out.c1);
+    return out;
+}
+
+Ciphertext
+ReferenceEvaluator::multiplyPlain(const Ciphertext &a,
+                                  const Plaintext &p) const
+{
+    if (p.poly.limbCount() != a.limbCount())
+        throw std::invalid_argument("plaintext level mismatch");
+    Ciphertext out = a;
+    hadamardScalar(out.c0, p.poly);
+    hadamardScalar(out.c1, p.poly);
+    out.scale = a.scale * p.scale;
+    return out;
+}
+
+Ciphertext
+ReferenceEvaluator::multiplyConstant(const Ciphertext &a,
+                                     double value) const
+{
+    double scale = ctx_->params().scale;
+    auto v = static_cast<math::i64>(std::llround(value * scale));
+    Ciphertext out = a;
+    for (std::size_t i = 0; i < a.limbCount(); ++i) {
+        u64 q = a.c0.modulus(i);
+        u64 s = math::fromCentered(v, q);
+        for (u64 &x : out.c0.limb(i))
+            x = math::mulMod(x, s, q);
+        for (u64 &x : out.c1.limb(i))
+            x = math::mulMod(x, s, q);
+    }
+    out.scale = a.scale * scale;
+    return out;
+}
+
+Ciphertext
+ReferenceEvaluator::multiplyByMonomial(const Ciphertext &a,
+                                       std::size_t power) const
+{
+    std::size_t n = ctx_->degree();
+    RnsPoly mono(n, a.c0.moduli(), PolyForm::coeff);
+    std::size_t p = power % (2 * n);
+    mono.setCoefficient(p % n, p < n ? 1 : -1);
+    RnsPoly mono_eval = strictToEval(*ctx_, mono);
+    Ciphertext out = a;
+    hadamardScalar(out.c0, mono_eval);
+    hadamardScalar(out.c1, mono_eval);
+    return out;
+}
+
+Ciphertext
+ReferenceEvaluator::multiply(const Ciphertext &a, const Ciphertext &b,
+                             const EvalKey &relin_key) const
+{
+    if (a.limbCount() != b.limbCount())
+        throw std::invalid_argument("ciphertext levels do not match");
+    RnsPoly d0 = a.c0;
+    hadamardScalar(d0, b.c0);
+    RnsPoly d1 = a.c0;
+    hadamardScalar(d1, b.c1);
+    RnsPoly d1b = a.c1;
+    hadamardScalar(d1b, b.c0);
+    addInto(d1, d1b);
+    RnsPoly d2 = a.c1;
+    hadamardScalar(d2, b.c1);
+
+    ckks::KeySwitchDelta delta = apply(d2, relin_key);
+    Ciphertext out;
+    out.c0 = std::move(d0);
+    addInto(out.c0, delta.d0);
+    out.c1 = std::move(d1);
+    addInto(out.c1, delta.d1);
+    out.scale = a.scale * b.scale;
+    return out;
+}
+
+Ciphertext
+ReferenceEvaluator::square(const Ciphertext &a,
+                           const EvalKey &relin_key) const
+{
+    return multiply(a, a, relin_key);
+}
+
+Ciphertext
+ReferenceEvaluator::rescale(const Ciphertext &ct) const
+{
+    if (ct.limbCount() < 2)
+        throw std::logic_error("cannot rescale at the last level");
+    std::size_t n = ct.degree();
+    std::size_t last = ct.limbCount() - 1;
+    u64 q_last = ct.c0.modulus(last);
+    const auto &ntt = ctx_->nttTables();
+
+    Ciphertext out = ct;
+    for (RnsPoly *poly : {&out.c0, &out.c1}) {
+        std::vector<u64> tail = poly->limb(last);
+        ntt.forModulus(q_last).inverseReference(tail.data());
+        std::vector<u64> lifted(n);
+        for (std::size_t i = 0; i < last; ++i) {
+            u64 q = poly->modulus(i);
+            u64 inv = math::invMod(q_last % q, q);
+            for (std::size_t c = 0; c < n; ++c)
+                lifted[c] = math::fromCentered(
+                    math::toCentered(tail[c], q_last), q);
+            ntt.forModulus(q).forwardReference(lifted.data());
+            auto &limb = poly->limb(i);
+            for (std::size_t c = 0; c < n; ++c)
+                limb[c] = math::mulMod(
+                    math::subMod(limb[c], lifted[c], q), inv, q);
+        }
+        poly->dropLastLimbs(1);
+    }
+    out.scale = ct.scale;
+    out.scale /= static_cast<double>(q_last);
+    return out;
+}
+
+Ciphertext
+ReferenceEvaluator::rescaleDouble(const Ciphertext &ct) const
+{
+    if (ct.limbCount() < 3)
+        throw std::logic_error("double rescale needs two spare limbs");
+    std::size_t n = ct.degree();
+    std::size_t last = ct.limbCount() - 1;
+    u64 q1 = ct.c0.modulus(last - 1);
+    u64 q2 = ct.c0.modulus(last);
+    u64 q1_inv_q2 = math::invMod(q1 % q2, q2);
+    math::u128 q1q2 = (math::u128)q1 * q2;
+    math::u128 half = q1q2 >> 1;
+    const auto &ntt = ctx_->nttTables();
+
+    Ciphertext out = ct;
+    for (RnsPoly *poly : {&out.c0, &out.c1}) {
+        std::vector<u64> tail1 = poly->limb(last - 1);
+        std::vector<u64> tail2 = poly->limb(last);
+        ntt.forModulus(q1).inverseReference(tail1.data());
+        ntt.forModulus(q2).inverseReference(tail2.data());
+        std::vector<u64> lifted(n);
+        std::size_t targets = poly->limbCount() - 2;
+        for (std::size_t i = 0; i < targets; ++i) {
+            u64 q = poly->modulus(i);
+            u64 inv =
+                math::invMod(math::mulMod(q1 % q, q2 % q, q), q);
+            for (std::size_t c = 0; c < n; ++c) {
+                u64 t = math::mulMod(
+                    math::subMod(tail2[c] % q2, tail1[c] % q2, q2),
+                    q1_inv_q2, q2);
+                math::u128 v =
+                    (math::u128)tail1[c] + (math::u128)q1 * t;
+                if (v > half) {
+                    math::u128 neg = q1q2 - v;
+                    lifted[c] = math::negMod(
+                        static_cast<u64>(neg % q), q);
+                } else {
+                    lifted[c] = static_cast<u64>(v % q);
+                }
+            }
+            ntt.forModulus(q).forwardReference(lifted.data());
+            auto &limb = poly->limb(i);
+            for (std::size_t c = 0; c < n; ++c)
+                limb[c] = math::mulMod(
+                    math::subMod(limb[c], lifted[c], q), inv, q);
+        }
+        poly->dropLastLimbs(2);
+    }
+    out.scale = ct.scale;
+    out.scale /= static_cast<double>(q1);
+    out.scale /= static_cast<double>(q2);
+    return out;
+}
+
+Ciphertext
+ReferenceEvaluator::dropToLevel(const Ciphertext &ct,
+                                std::size_t level) const
+{
+    if (level + 1 > ct.limbCount())
+        throw std::invalid_argument("cannot raise level by dropping");
+    Ciphertext out = ct;
+    out.c0.keepLimbs(level + 1);
+    out.c1.keepLimbs(level + 1);
+    return out;
+}
+
+Ciphertext
+ReferenceEvaluator::rotate(const Ciphertext &ct, std::ptrdiff_t steps,
+                           const EvalKey &key) const
+{
+    return applyGalois(ct, ctx_->encoder().galoisForRotation(steps),
+                       key);
+}
+
+Ciphertext
+ReferenceEvaluator::conjugate(const Ciphertext &ct,
+                              const EvalKey &key) const
+{
+    return applyGalois(ct, ctx_->encoder().galoisForConjugation(), key);
+}
+
+Ciphertext
+ReferenceEvaluator::assembleGalois(
+    const Ciphertext &ct, u64 galois_elt,
+    const ckks::KeySwitchDelta &delta) const
+{
+    Ciphertext out;
+    out.c0 = automorphismScalar(ct.c0, galois_elt);
+    addInto(out.c0, delta.d0);
+    out.c1 = delta.d1;
+    out.scale = ct.scale;
+    return out;
+}
+
+Ciphertext
+ReferenceEvaluator::applyGalois(const Ciphertext &ct, u64 galois_elt,
+                                const EvalKey &key) const
+{
+    if (key.galois != galois_elt)
+        throw std::invalid_argument(
+            "wrong galois key for this rotation");
+    RnsPoly rot_c1 = automorphismScalar(ct.c1, galois_elt);
+    return assembleGalois(ct, galois_elt, apply(rot_c1, key));
+}
+
+Ciphertext
+ReferenceEvaluator::hoistedPair(const Ciphertext &ct,
+                                std::ptrdiff_t steps_a,
+                                const EvalKey &key_a,
+                                std::ptrdiff_t steps_b,
+                                const EvalKey &key_b,
+                                ckks::KeySwitchMethod method) const
+{
+    // Decompose once, like HoistedRotator does.
+    std::vector<RnsPoly> digits = decompose(ct.c1, method);
+    auto one = [&](std::ptrdiff_t steps, const EvalKey &key) {
+        if (key.method != method)
+            throw std::invalid_argument(
+                "key method mismatch in hoisting");
+        u64 g = ctx_->encoder().galoisForRotation(steps);
+        if (key.galois != g)
+            throw std::invalid_argument(
+                "wrong galois key for this rotation");
+        std::vector<RnsPoly> rotated;
+        rotated.reserve(digits.size());
+        for (const auto &d : digits)
+            rotated.push_back(automorphismScalar(d, g));
+        return assembleGalois(ct, g, keyMultModDown(rotated, key));
+    };
+    return add(one(steps_a, key_a), one(steps_b, key_b));
+}
+
+std::vector<RnsPoly>
+ReferenceEvaluator::decompose(const RnsPoly &input,
+                              ckks::KeySwitchMethod method) const
+{
+    if (!input.isEval())
+        throw std::logic_error("decompose expects eval form");
+    return method == ckks::KeySwitchMethod::hybrid
+               ? modUpHybrid(input)
+               : decomposeGadget(input);
+}
+
+std::vector<RnsPoly>
+ReferenceEvaluator::modUpHybrid(const RnsPoly &input) const
+{
+    const auto &params = ctx_->params();
+    const auto &ntt = ctx_->nttTables();
+    std::size_t n = input.degree();
+    std::size_t limbs = input.limbCount();
+    std::size_t ell = limbs - 1;
+    std::size_t beta = params.betaAtLevel(ell);
+    auto ext_moduli = ctx_->extendedModuli(ell);
+
+    std::vector<RnsPoly> digits;
+    digits.reserve(beta);
+    for (std::size_t j = 0; j < beta; ++j) {
+        std::size_t first = j * params.alpha;
+        std::size_t count = std::min(params.alpha, limbs - first);
+
+        std::vector<u64> group_mods(count);
+        std::vector<std::vector<u64>> group_coeff(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            group_mods[i] = input.modulus(first + i);
+            group_coeff[i] = input.limb(first + i);
+            ntt.forModulus(group_mods[i])
+                .inverseReference(group_coeff[i].data());
+        }
+
+        std::vector<u64> comp_mods;
+        std::vector<std::size_t> comp_index;
+        for (std::size_t mi = 0; mi < ext_moduli.size(); ++mi) {
+            if (mi >= first && mi < first + count)
+                continue;
+            comp_mods.push_back(ext_moduli[mi]);
+            comp_index.push_back(mi);
+        }
+
+        const auto &conv = ctx_->converter(group_mods, comp_mods);
+
+        RnsPoly digit(n, ext_moduli, PolyForm::eval);
+        for (std::size_t i = 0; i < count; ++i)
+            digit.limb(first + i) = input.limb(first + i);
+
+        // Per-coefficient base conversion — the naive O(N * k * k')
+        // loop the batched kernel is checked against.
+        std::vector<u64> residues(count);
+        for (std::size_t c = 0; c < n; ++c) {
+            for (std::size_t i = 0; i < count; ++i)
+                residues[i] = group_coeff[i][c];
+            std::vector<u64> converted = conv.convert(residues);
+            for (std::size_t t = 0; t < comp_mods.size(); ++t)
+                digit.limb(comp_index[t])[c] = converted[t];
+        }
+        for (std::size_t t = 0; t < comp_mods.size(); ++t)
+            ntt.forModulus(comp_mods[t])
+                .forwardReference(digit.limb(comp_index[t]).data());
+        digits.push_back(std::move(digit));
+    }
+    return digits;
+}
+
+std::vector<RnsPoly>
+ReferenceEvaluator::decomposeGadget(const RnsPoly &input) const
+{
+    const auto &params = ctx_->params();
+    const auto &ntt = ctx_->nttTables();
+    std::size_t n = input.degree();
+    std::size_t ell = input.limbCount() - 1;
+    std::size_t digit_count = params.gadgetDigitsAtLevel(ell);
+    auto v = static_cast<std::size_t>(params.digit_bits);
+    auto ext_moduli = ctx_->extendedModuli(ell);
+
+    RnsPoly coeff_poly = strictToCoeff(*ctx_, input);
+    const auto &q_basis = ctx_->basis(coeff_poly.moduli());
+
+    // Built with digit values in the limb data, transformed to eval
+    // in place at the end (the polys are constructed eval-form).
+    std::vector<RnsPoly> digits(
+        digit_count, RnsPoly(n, ext_moduli, PolyForm::eval));
+
+    std::size_t limbs = coeff_poly.limbCount();
+    std::vector<u64> residues(limbs);
+    for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t i = 0; i < limbs; ++i)
+            residues[i] = coeff_poly.limb(i)[c];
+        math::BigUInt x = q_basis.compose(residues);
+        for (std::size_t t = 0; t < digit_count; ++t) {
+            math::BigUInt low = x.lowBits(v);
+            u64 d = low.word(0);
+            x = x >> v;
+            if (d == 0)
+                continue;
+            auto &digit = digits[t];
+            for (std::size_t mi = 0; mi < ext_moduli.size(); ++mi)
+                digit.limb(mi)[c] = d % ext_moduli[mi];
+        }
+    }
+    for (auto &digit : digits)
+        for (std::size_t mi = 0; mi < ext_moduli.size(); ++mi)
+            ntt.forModulus(ext_moduli[mi])
+                .forwardReference(digit.limb(mi).data());
+    return digits;
+}
+
+RnsPoly
+ReferenceEvaluator::restrictKeyPoly(const RnsPoly &key_poly,
+                                    std::size_t q_limbs) const
+{
+    const auto &params = ctx_->params();
+    std::size_t total_q = params.q_chain.size();
+    std::size_t specials = params.p_chain.size();
+    auto ext_moduli = ctx_->extendedModuli(q_limbs - 1);
+
+    RnsPoly out(key_poly.degree(), ext_moduli, PolyForm::eval);
+    for (std::size_t i = 0; i < q_limbs; ++i)
+        out.limb(i) = key_poly.limb(i);
+    for (std::size_t i = 0; i < specials; ++i)
+        out.limb(q_limbs + i) = key_poly.limb(total_q + i);
+    return out;
+}
+
+ckks::KeySwitchDelta
+ReferenceEvaluator::keyMultModDown(const std::vector<RnsPoly> &digits,
+                                   const EvalKey &key) const
+{
+    if (digits.empty())
+        throw std::invalid_argument("no digits to key-switch");
+    if (digits.size() > key.parts.size())
+        throw std::invalid_argument("digit count exceeds key parts");
+
+    std::size_t specials = ctx_->params().p_chain.size();
+    std::size_t q_limbs = digits[0].limbCount() - specials;
+    auto ext_moduli = digits[0].moduli();
+
+    RnsPoly acc0(digits[0].degree(), ext_moduli, PolyForm::eval);
+    RnsPoly acc1 = acc0;
+    for (std::size_t j = 0; j < digits.size(); ++j) {
+        RnsPoly b = restrictKeyPoly(key.parts[j].b, q_limbs);
+        RnsPoly a = restrictKeyPoly(key.parts[j].a, q_limbs);
+        hadamardScalar(b, digits[j]);
+        hadamardScalar(a, digits[j]);
+        addInto(acc0, b);
+        addInto(acc1, a);
+    }
+    return {modDown(acc0), modDown(acc1)};
+}
+
+RnsPoly
+ReferenceEvaluator::modDown(const RnsPoly &extended) const
+{
+    const auto &params = ctx_->params();
+    const auto &ntt = ctx_->nttTables();
+    std::size_t specials = params.p_chain.size();
+    std::size_t q_limbs = extended.limbCount() - specials;
+    std::size_t n = extended.degree();
+
+    std::vector<std::vector<u64>> p_coeff(specials);
+    for (std::size_t i = 0; i < specials; ++i) {
+        p_coeff[i] = extended.limb(q_limbs + i);
+        ntt.forModulus(params.p_chain[i])
+            .inverseReference(p_coeff[i].data());
+    }
+
+    std::vector<u64> q_mods(extended.moduli().begin(),
+                            extended.moduli().begin() +
+                                static_cast<std::ptrdiff_t>(q_limbs));
+    const auto &conv = ctx_->converter(params.p_chain, q_mods);
+    std::vector<std::vector<u64>> converted(q_limbs,
+                                            std::vector<u64>(n));
+    std::vector<u64> residues(specials);
+    for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t i = 0; i < specials; ++i)
+            residues[i] = p_coeff[i][c];
+        std::vector<u64> out = conv.convert(residues);
+        for (std::size_t i = 0; i < q_limbs; ++i)
+            converted[i][c] = out[i];
+    }
+    for (std::size_t i = 0; i < q_limbs; ++i)
+        ntt.forModulus(q_mods[i])
+            .forwardReference(converted[i].data());
+
+    RnsPoly result(n, q_mods, PolyForm::eval);
+    for (std::size_t i = 0; i < q_limbs; ++i) {
+        u64 q = q_mods[i];
+        u64 p_inv = math::invMod(ctx_->specialProductMod(q), q);
+        const auto &src = extended.limb(i);
+        const auto &cv = converted[i];
+        auto &dst = result.limb(i);
+        for (std::size_t c = 0; c < n; ++c)
+            dst[c] = math::mulMod(math::subMod(src[c], cv[c], q),
+                                  p_inv, q);
+    }
+    return result;
+}
+
+ckks::KeySwitchDelta
+ReferenceEvaluator::apply(const RnsPoly &input, const EvalKey &key) const
+{
+    return keyMultModDown(decompose(input, key.method), key);
+}
+
+} // namespace fast::testkit

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Implementation of the scheduler model checker.
+ */
+#include "testkit/scheduler_check.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "hw/config.hpp"
+#include "serve/arrivals.hpp"
+#include "serve/report.hpp"
+#include "serve/scheduler.hpp"
+
+namespace fast::testkit {
+
+namespace {
+
+/** One point of the scenario space. */
+struct Scenario {
+    std::string name;
+    std::size_t devices = 1;
+    std::uint64_t seed = 1;
+    serve::FaultPlan plan;
+};
+
+std::string
+scenarioName(const std::string &plan, std::size_t devices,
+             std::uint64_t seed)
+{
+    std::ostringstream os;
+    os << plan << "/d" << devices << "/s" << seed;
+    return os.str();
+}
+
+std::vector<Scenario>
+enumerateScenarios(const ModelCheckOptions &options)
+{
+    std::vector<Scenario> scenarios;
+    for (std::size_t devices : options.device_counts) {
+        for (std::uint64_t seed : options.seeds) {
+            auto push = [&](serve::FaultPlan plan) {
+                scenarios.push_back(
+                    {scenarioName(plan.name, devices, seed), devices,
+                     seed, std::move(plan)});
+            };
+            push(serve::FaultPlan::none());
+            push(serve::FaultPlan::transientFaults(
+                devices, options.horizon_ns, seed));
+            push(serve::FaultPlan::deviceLoss(
+                devices, options.horizon_ns, seed));
+            push(serve::FaultPlan::evkStorm(devices,
+                                            options.horizon_ns, seed));
+            if (!options.single_event_grid)
+                continue;
+            // Every fault kind, aimed at one device and at all of
+            // them, firing at an early and a late activation point.
+            const serve::FaultKind kinds[] = {
+                serve::FaultKind::device_down,
+                serve::FaultKind::device_lost,
+                serve::FaultKind::device_slow,
+                serve::FaultKind::evk_timeout,
+                serve::FaultKind::plan_corrupt,
+                serve::FaultKind::plan_evict,
+            };
+            const std::size_t targets[] = {
+                0, serve::FaultEvent::kAnyDevice};
+            const double fractions[] = {0.25, 0.6};
+            for (serve::FaultKind kind : kinds) {
+                for (std::size_t target : targets) {
+                    for (double frac : fractions) {
+                        serve::FaultEvent event;
+                        event.kind = kind;
+                        event.device = target;
+                        event.at_ns = frac * options.horizon_ns;
+                        event.duration_ns = 0.3 * options.horizon_ns;
+                        event.factor = 4.0;
+                        serve::FaultPlan plan;
+                        std::ostringstream os;
+                        os << "single-" << serve::toString(kind)
+                           << (target ==
+                                       serve::FaultEvent::kAnyDevice
+                                   ? "-any"
+                                   : "-d0")
+                           << "-t" << frac;
+                        plan.name = os.str();
+                        plan.seed = seed;
+                        plan.events.push_back(event);
+                        push(std::move(plan));
+                    }
+                }
+            }
+        }
+    }
+    return scenarios;
+}
+
+/** Retry budget used by every scenario (and the livelock bound). */
+constexpr std::size_t kMaxRetries = 2;
+
+} // namespace
+
+ModelCheckReport
+checkScheduler(const ModelCheckOptions &options)
+{
+    ModelCheckReport report;
+
+    // Two generated workloads: the same program generator that feeds
+    // the differential oracle also shapes the serving traffic.
+    auto params = ckks::CkksParams::testSmall();
+    GeneratorOptions gen;
+    Program prog_a = generateProgram(params, options.workload_seed, gen);
+    Program prog_b =
+        generateProgram(params, options.workload_seed + 1, gen);
+    std::vector<serve::ArrivalSpec> mix;
+    mix.push_back({"fuzz-a", serve::Priority::high,
+                   lowerToOpStream(prog_a, params, "fuzz-a"), 1.0});
+    mix.push_back({"fuzz-b", serve::Priority::low,
+                   lowerToOpStream(prog_b, params, "fuzz-b"), 1.0});
+
+    auto fail = [&](const Scenario &scenario,
+                    const std::string &property,
+                    const std::string &detail) {
+        report.failures.push_back(
+            {scenario.name, property, detail});
+    };
+
+    for (const Scenario &scenario : enumerateScenarios(options)) {
+        ++report.scenarios;
+        auto arrivals = serve::openLoopArrivals(
+            mix, options.requests, options.mean_interarrival_ns,
+            scenario.seed);
+
+        // One run = fresh pool + fresh scheduler; no state may leak
+        // between the two replays or determinism means nothing.
+        auto runOnce = [&](serve::ServeStats *stats_out,
+                           std::string *json_out) -> bool {
+            ++report.runs;
+            try {
+                auto pool_result =
+                    serve::DevicePool::Builder()
+                        .add(hw::FastConfig::fast(), scenario.devices)
+                        .build();
+                if (!pool_result.isOk()) {
+                    fail(scenario, "setup",
+                         pool_result.status().toString());
+                    return false;
+                }
+                auto opts_result = serve::SchedulerOptions::builder()
+                                       .maxBatch(4)
+                                       .maxRetries(kMaxRetries)
+                                       .backoff(1e4, 8e4)
+                                       .failureThreshold(2)
+                                       .quarantineNs(2e5)
+                                       .build();
+                if (!opts_result.isOk()) {
+                    fail(scenario, "setup",
+                         opts_result.status().toString());
+                    return false;
+                }
+                serve::DevicePool &pool = pool_result.value();
+                serve::Scheduler scheduler(pool,
+                                           opts_result.value());
+                *stats_out = scheduler.run(arrivals, scenario.plan);
+                *json_out = serve::serveStatsJson(*stats_out);
+                return true;
+            } catch (const std::exception &e) {
+                fail(scenario, "no_exception", e.what());
+                return false;
+            }
+        };
+
+        serve::ServeStats first, second;
+        std::string json_first, json_second;
+        if (!runOnce(&first, &json_first) ||
+            !runOnce(&second, &json_second))
+            continue;
+
+        if (json_first != json_second)
+            fail(scenario, "deterministic_replay",
+                 "serveStatsJson differs between identical runs");
+
+        try {
+            first.requireBalanced();
+        } catch (const std::exception &e) {
+            fail(scenario, "balanced", e.what());
+        }
+
+        if (!std::isfinite(first.makespan_ns))
+            fail(scenario, "finite_makespan",
+                 "makespan is not finite");
+
+        // Livelock bound: the breaker can only open once per failed
+        // attempt, and attempts are capped by the retry budget.
+        std::size_t attempt_budget =
+            first.submitted * (1 + kMaxRetries);
+        if (first.faults.quarantines > attempt_budget) {
+            std::ostringstream os;
+            os << first.faults.quarantines
+               << " quarantines exceed the attempt budget "
+               << attempt_budget;
+            fail(scenario, "no_livelock", os.str());
+        }
+
+        if (scenario.plan.empty() && first.completed == 0)
+            fail(scenario, "progress",
+                 "fault-free scenario completed nothing");
+    }
+    return report;
+}
+
+} // namespace fast::testkit

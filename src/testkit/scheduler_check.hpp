@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bounded model checker for the serving scheduler.
+ *
+ * The scheduler's determinism story ("same arrivals + same fault plan
+ * ⇒ byte-identical ServeStats") and its accounting invariant
+ * (`requireBalanced`) are claims about *every* fault schedule, not
+ * just the canned ones. This checker enumerates a small but exhaustive
+ * scenario space — the canned chaos plans plus a grid of single-event
+ * plans over every fault kind, device target, and activation point —
+ * and replays each scenario twice against fresh pools, asserting:
+ *
+ *   1. byte-identical `serveStatsJson` across the replay (determinism),
+ *   2. `requireBalanced()` holds (no request vanishes or doubles),
+ *   3. the run terminates with finite makespan and a circuit-breaker
+ *      opening count bounded by the retry budget (no livelock),
+ *   4. the fault-free scenario actually completes work.
+ *
+ * Workloads are generated CKKS programs lowered to the trace IR, so
+ * the same seed that reproduces an oracle failure also reproduces the
+ * serving workload shape.
+ */
+#ifndef FAST_TESTKIT_SCHEDULER_CHECK_HPP
+#define FAST_TESTKIT_SCHEDULER_CHECK_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testkit/generator.hpp"
+
+namespace fast::testkit {
+
+/** Bounds of the scenario enumeration. */
+struct ModelCheckOptions {
+    /** Requests per scenario run. */
+    std::size_t requests = 12;
+    /** Pool sizes to sweep. */
+    std::vector<std::size_t> device_counts = {1, 2};
+    /** Arrival/fault seeds to sweep. */
+    std::vector<std::uint64_t> seeds = {1, 2};
+    /** Also sweep the single-event fault grid (kind x device x time). */
+    bool single_event_grid = true;
+    /** Seed of the generated workload programs. */
+    std::uint64_t workload_seed = 77;
+    /** Mean interarrival gap of the open-loop trace. */
+    double mean_interarrival_ns = 5e4;
+    /** Fault-plan horizon (activation times scale against this). */
+    double horizon_ns = 2e6;
+};
+
+/** One violated property, pinned to a named scenario. */
+struct ModelCheckFailure {
+    std::string scenario;
+    std::string property;
+    std::string detail;
+};
+
+/** Outcome of one sweep. */
+struct ModelCheckReport {
+    std::size_t scenarios = 0;
+    std::size_t runs = 0;
+    std::vector<ModelCheckFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/**
+ * Run the sweep. Never throws: scheduler exceptions become failures
+ * of the scenario that raised them.
+ */
+ModelCheckReport checkScheduler(const ModelCheckOptions &options = {});
+
+} // namespace fast::testkit
+
+#endif // FAST_TESTKIT_SCHEDULER_CHECK_HPP

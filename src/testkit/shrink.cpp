@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Implementation of the program shrinker.
+ */
+#include "testkit/shrink.hpp"
+
+#include <set>
+
+namespace fast::testkit {
+
+Program
+removeWithDependents(const Program &program, std::size_t id)
+{
+    std::set<std::size_t> doomed = {id};
+    Program out;
+    out.seed = program.seed;
+    out.param_set = program.param_set;
+    for (const Instr &instr : program.instrs) {
+        bool gone = doomed.count(instr.id) > 0;
+        std::size_t operands = operandCount(instr.op);
+        if (!gone && operands >= 1 && doomed.count(instr.a) > 0)
+            gone = true;
+        if (!gone && operands >= 2 && doomed.count(instr.b) > 0)
+            gone = true;
+        if (gone)
+            doomed.insert(instr.id);
+        else
+            out.instrs.push_back(instr);
+    }
+    return out;
+}
+
+ShrinkResult
+shrinkProgram(const Program &failing, const FailurePredicate &fails,
+              std::size_t max_runs)
+{
+    ShrinkResult result;
+    result.program = failing;
+
+    bool progressed = true;
+    while (progressed && result.predicate_runs < max_runs) {
+        progressed = false;
+        // Latest-first: later instructions have the smallest closures,
+        // so the listing melts from the tail toward the failing core.
+        const auto &instrs = result.program.instrs;
+        for (std::size_t k = instrs.size(); k-- > 0;) {
+            Program candidate =
+                removeWithDependents(result.program, instrs[k].id);
+            if (candidate.instrs.size() >=
+                result.program.instrs.size())
+                continue;
+            if (result.predicate_runs >= max_runs)
+                break;
+            ++result.predicate_runs;
+            if (fails(candidate)) {
+                result.program = std::move(candidate);
+                progressed = true;
+                break;  // restart the scan on the smaller program
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace fast::testkit

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Greedy delta-debugging shrinker for failing programs.
+ *
+ * Candidates are produced by removing one instruction together with
+ * its transitive dependents, so every candidate is well-typed by
+ * construction and node ids never change — the failing instruction
+ * keeps its id all the way down to the minimized reproducer.
+ */
+#ifndef FAST_TESTKIT_SHRINK_HPP
+#define FAST_TESTKIT_SHRINK_HPP
+
+#include <cstddef>
+#include <functional>
+
+#include "testkit/program.hpp"
+
+namespace fast::testkit {
+
+/** Does this candidate program still exhibit the failure? */
+using FailurePredicate = std::function<bool(const Program &)>;
+
+/** A minimized program plus how much work minimizing it took. */
+struct ShrinkResult {
+    Program program;
+    std::size_t predicate_runs = 0;
+};
+
+/**
+ * Remove instruction @p id and everything that (transitively) depends
+ * on it. Unknown ids are ignored.
+ */
+Program removeWithDependents(const Program &program, std::size_t id);
+
+/**
+ * Greedily minimize @p failing: repeatedly try dropping each
+ * instruction (latest first, with its dependent closure) and keep any
+ * candidate on which @p fails still returns true, until a fixpoint or
+ * @p max_runs predicate evaluations. @p failing itself must satisfy
+ * the predicate; the result always does.
+ */
+ShrinkResult shrinkProgram(const Program &failing,
+                           const FailurePredicate &fails,
+                           std::size_t max_runs = 400);
+
+} // namespace fast::testkit
+
+#endif // FAST_TESTKIT_SHRINK_HPP

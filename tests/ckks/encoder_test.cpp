@@ -5,6 +5,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "ckks/context.hpp"
 #include "ckks/encoder.hpp"
 #include "ckks/params.hpp"
 #include "math/primes.hpp"
@@ -144,6 +145,54 @@ TEST_F(EncoderTest, RejectsBadInputs)
     EXPECT_THROW(enc_.decode(poly, scale_, 3), std::invalid_argument);
     poly.toEval();
     EXPECT_THROW(enc_.decode(poly, scale_, 8), std::logic_error);
+}
+
+TEST_F(EncoderTest, AllZeroSlotsEncodeToTheZeroPolynomial)
+{
+    std::vector<Complex> zeros(enc_.slotCount(), Complex(0.0, 0.0));
+    auto poly = enc_.encode(zeros, scale_, moduli_);
+    math::RnsPoly zero(kN, moduli_, math::PolyForm::coeff);
+    EXPECT_TRUE(poly == zero);
+    auto back = enc_.decode(poly, scale_, enc_.slotCount());
+    for (const auto &slot : back)
+        EXPECT_LT(std::abs(slot), 1e-12);
+}
+
+TEST(EncoderEdge, MinimumRingSizeRoundTrips)
+{
+    // Degree 4 is the smallest ring with a nontrivial slot pair.
+    constexpr std::size_t kTinyN = 4;
+    CkksEncoder enc(kTinyN);
+    ASSERT_EQ(enc.slotCount(), 2u);
+    auto moduli = math::generateNttPrimes(45, kTinyN, 2);
+    double scale = std::pow(2.0, 30);
+
+    std::vector<Complex> z = {Complex(0.25, -0.5),
+                              Complex(-0.75, 0.125)};
+    auto poly = enc.encode(z, scale, moduli);
+    auto back = enc.decode(poly, scale, enc.slotCount());
+    EXPECT_LT(maxErr(z, back), 1e-6);
+
+    // Galois bookkeeping still holds at the minimum size.
+    EXPECT_EQ(enc.galoisForRotation(0), 1u);
+    EXPECT_EQ(enc.galoisForConjugation(), 2 * kTinyN - 1);
+}
+
+TEST(EncoderEdge, MaxLevelRoundTripOverTheFullChain)
+{
+    // Encode against the complete Test-S modulus chain (the widest
+    // basis a fresh ciphertext carries) and decode it back.
+    auto params = CkksParams::testSmall();
+    CkksContext ctx(params);
+    CkksEncoder enc(ctx.degree());
+    auto moduli = ctx.qModuli(params.maxLevel());
+    ASSERT_EQ(moduli.size(), params.maxLevel() + 1);
+
+    auto z = rampMessage(enc.slotCount());
+    auto poly = enc.encode(z, params.scale, moduli);
+    EXPECT_EQ(poly.limbCount(), moduli.size());
+    auto back = enc.decode(poly, params.scale, enc.slotCount());
+    EXPECT_LT(maxErr(z, back), 1e-5);
 }
 
 TEST_F(EncoderTest, GaloisElementsAreOddAndCanonical)

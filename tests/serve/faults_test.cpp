@@ -343,6 +343,16 @@ chaosOptions()
     return options.value();
 }
 
+/** N identical fast() devices through the validated builder. */
+DevicePool
+makePool(std::size_t devices)
+{
+    return DevicePool::builder()
+        .add(hw::FastConfig::fast(), devices)
+        .build()
+        .value();
+}
+
 std::vector<Request>
 mixedArrivals(std::size_t count, double period_ns)
 {
@@ -382,7 +392,7 @@ TEST(ChaosScheduler, DeterministicUnderFaultPlan)
 
 TEST(ChaosScheduler, TransientOutageDelaysButServesEverything)
 {
-    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 2);
+    auto pool = makePool(2);
     Scheduler scheduler(pool, chaosOptions());
 
     auto clean = scheduler.run(mixedArrivals(12, 5e4));
@@ -402,7 +412,7 @@ TEST(ChaosScheduler, TransientOutageDelaysButServesEverything)
 
 TEST(ChaosScheduler, SlowDeviceInflatesServiceTime)
 {
-    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 1);
+    auto pool = makePool(1);
     SchedulerOptions options = chaosOptions();
     options.policy = QueuePolicy::fifo;
     Scheduler scheduler(pool, options);
@@ -419,7 +429,7 @@ TEST(ChaosScheduler, SlowDeviceInflatesServiceTime)
 
 TEST(ChaosScheduler, DeviceLossFailsOverToSurvivors)
 {
-    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 2);
+    auto pool = makePool(2);
     Scheduler scheduler(pool, chaosOptions());
 
     FaultPlan plan;
@@ -438,7 +448,7 @@ TEST(ChaosScheduler, DeviceLossFailsOverToSurvivors)
 
 TEST(ChaosScheduler, AllDevicesLostStrandsAndRejects)
 {
-    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 1);
+    auto pool = makePool(1);
     Scheduler scheduler(pool, chaosOptions());
 
     FaultPlan plan;
@@ -458,7 +468,7 @@ TEST(ChaosScheduler, AllDevicesLostStrandsAndRejects)
 
 TEST(ChaosScheduler, EvkStormExhaustsRetriesOrRecovers)
 {
-    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 1);
+    auto pool = makePool(1);
     SchedulerOptions options = chaosOptions();
     options.retry.max_retries = 1;
     Scheduler scheduler(pool, options);
@@ -480,7 +490,7 @@ TEST(ChaosScheduler, EvkStormExhaustsRetriesOrRecovers)
 
 TEST(ChaosScheduler, DeadlineTimesOutSlowRequests)
 {
-    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 1);
+    auto pool = makePool(1);
     SchedulerOptions options = chaosOptions();
     options.policy = QueuePolicy::fifo;
     options.max_batch = 1;
@@ -507,7 +517,7 @@ TEST(ChaosScheduler, DeadlineTimesOutSlowRequests)
 
 TEST(ChaosScheduler, PlanCorruptionForcesReplanAndRetry)
 {
-    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 1);
+    auto pool = makePool(1);
     SchedulerOptions options = chaosOptions();
     options.policy = QueuePolicy::fifo;
     Scheduler scheduler(pool, options);
@@ -537,7 +547,7 @@ TEST(ChaosScheduler, PlanCorruptionForcesReplanAndRetry)
 
 TEST(ChaosScheduler, DegradationShedsLowPriorityFirst)
 {
-    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 2);
+    auto pool = makePool(2);
     auto options = SchedulerOptions::builder()
                        .policy(QueuePolicy::priority)
                        .maxQueueDepth(8)
@@ -576,7 +586,7 @@ TEST(ChaosScheduler, DegradationShedsLowPriorityFirst)
 
 TEST(ChaosScheduler, ReportCarriesFaultSections)
 {
-    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 2);
+    auto pool = makePool(2);
     Scheduler scheduler(pool, chaosOptions());
     auto plan = FaultPlan::transientFaults(2, 2e6, 11);
     auto stats = scheduler.run(mixedArrivals(12, 1e5), plan);

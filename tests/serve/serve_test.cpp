@@ -40,6 +40,16 @@ makeRequest(std::uint64_t id, const std::string &tenant,
     return request;
 }
 
+/** N identical fast() devices through the validated builder. */
+DevicePool
+makePool(std::size_t devices)
+{
+    return DevicePool::builder()
+        .add(hw::FastConfig::fast(), devices)
+        .build()
+        .value();
+}
+
 TEST(RequestQueue, FifoPopsInArrivalOrder)
 {
     RequestQueue queue(QueuePolicy::fifo, 8);
@@ -177,10 +187,12 @@ TEST(RequestQueue, PopBatchGroupsSameWorkload)
 
 TEST(Scheduler, FifoServesInSubmitOrder)
 {
-    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 1);
-    SchedulerOptions options;
-    options.policy = QueuePolicy::fifo;
-    options.max_batch = 1;
+    auto pool = makePool(1);
+    auto options = SchedulerOptions::builder()
+                       .policy(QueuePolicy::fifo)
+                       .maxBatch(1)
+                       .build()
+                       .value();
     Scheduler scheduler(pool, options);
 
     auto stream = miniTrace("w");
@@ -200,10 +212,12 @@ TEST(Scheduler, FifoServesInSubmitOrder)
 
 TEST(Scheduler, PriorityOvertakesFifo)
 {
-    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 1);
-    SchedulerOptions options;
-    options.policy = QueuePolicy::priority;
-    options.max_batch = 1;
+    auto pool = makePool(1);
+    auto options = SchedulerOptions::builder()
+                       .policy(QueuePolicy::priority)
+                       .maxBatch(1)
+                       .build()
+                       .value();
     Scheduler scheduler(pool, options);
 
     // Distinct workloads so batching cannot merge them; all queued
@@ -226,10 +240,12 @@ TEST(Scheduler, PriorityOvertakesFifo)
 TEST(Scheduler, AdmissionControlRejectsBeyondBound)
 {
     const std::size_t depth = 3;
-    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 1);
-    SchedulerOptions options;
-    options.max_queue_depth = depth;
-    options.max_batch = 1;
+    auto pool = makePool(1);
+    auto options = SchedulerOptions::builder()
+                       .maxQueueDepth(depth)
+                       .maxBatch(1)
+                       .build()
+                       .value();
     Scheduler scheduler(pool, options);
 
     // K+1 concurrent submissions (same timestamp): all are admitted
@@ -255,9 +271,9 @@ TEST(Scheduler, AdmissionControlRejectsBeyondBound)
 
 TEST(Scheduler, BatchFormationGroupsAndAmortizes)
 {
-    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 1);
-    SchedulerOptions options;
-    options.max_batch = 4;
+    auto pool = makePool(1);
+    auto options =
+        SchedulerOptions::builder().maxBatch(4).build().value();
     Scheduler scheduler(pool, options);
 
     auto a = miniTrace("A");
@@ -288,9 +304,9 @@ TEST(Scheduler, BatchFormationGroupsAndAmortizes)
 
 TEST(Scheduler, PlanCacheHitsAcrossBatches)
 {
-    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 1);
-    SchedulerOptions options;
-    options.max_batch = 2;
+    auto pool = makePool(1);
+    auto options =
+        SchedulerOptions::builder().maxBatch(2).build().value();
     Scheduler scheduler(pool, options);
 
     auto stream = miniTrace("w");
@@ -314,8 +330,7 @@ TEST(Scheduler, MultiDeviceIncreasesThroughput)
     auto arrivals = openLoopArrivals(mix, 24, 100.0, 11);
 
     auto run = [&](std::size_t devices) {
-        auto pool = DevicePool::homogeneous(hw::FastConfig::fast(),
-                                            devices);
+        auto pool = makePool(devices);
         Scheduler scheduler(pool);
         return scheduler.run(arrivals);
     };
@@ -339,12 +354,13 @@ TEST(Scheduler, DeterministicAcrossRuns)
     };
     auto run = [&] {
         auto arrivals = openLoopArrivals(mix, 32, 200.0, 123);
-        auto pool =
-            DevicePool::homogeneous(hw::FastConfig::fast(), 3);
-        SchedulerOptions options;
-        options.policy = QueuePolicy::priority;
-        options.max_queue_depth = 8;
-        options.max_batch = 3;
+        auto pool = makePool(3);
+        auto options = SchedulerOptions::builder()
+                           .policy(QueuePolicy::priority)
+                           .maxQueueDepth(8)
+                           .maxBatch(3)
+                           .build()
+                           .value();
         Scheduler scheduler(pool, options);
         return scheduler.run(arrivals);
     };
@@ -357,8 +373,11 @@ TEST(Scheduler, DeterministicAcrossRuns)
 
 TEST(Scheduler, HeterogeneousPoolRecordsPerDeviceConfigs)
 {
-    DevicePool pool({hw::FastConfig::fast(),
-                     hw::FastConfig::sharpLargeMem()});
+    auto pool = DevicePool::builder()
+                    .add(hw::FastConfig::fast())
+                    .add(hw::FastConfig::sharpLargeMem())
+                    .build()
+                    .value();
     Scheduler scheduler(pool);
     std::vector<Request> arrivals;
     auto stream = miniTrace("w");
@@ -400,10 +419,12 @@ TEST(Arrivals, DeterministicAndOrdered)
 
 TEST(ServeReport, JsonCarriesTenantPercentilesAndRejections)
 {
-    auto pool = DevicePool::homogeneous(hw::FastConfig::fast(), 1);
-    SchedulerOptions options;
-    options.max_queue_depth = 2;
-    options.max_batch = 1;
+    auto pool = makePool(1);
+    auto options = SchedulerOptions::builder()
+                       .maxQueueDepth(2)
+                       .maxBatch(1)
+                       .build()
+                       .value();
     Scheduler scheduler(pool, options);
     auto stream = miniTrace("w");
     std::vector<Request> arrivals;

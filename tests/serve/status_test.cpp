@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the serve error vocabulary: Status formatting and
+ * comparison, Result value access across value categories (including
+ * move-only payloads), and monadic chaining with map/andThen.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/status.hpp"
+
+namespace fast::serve {
+namespace {
+
+TEST(StatusTest, DefaultConstructedIsOk)
+{
+    Status status;
+    EXPECT_TRUE(status.isOk());
+    EXPECT_TRUE(static_cast<bool>(status));
+    EXPECT_EQ(status.code(), StatusCode::ok);
+    EXPECT_EQ(status.toString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndDetail)
+{
+    Status status = Status::error(StatusCode::queue_full,
+                                  "depth 64 reached");
+    EXPECT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), StatusCode::queue_full);
+    EXPECT_STREQ(status.reason(), "queue_full");
+    EXPECT_EQ(status.detail(), "depth 64 reached");
+    EXPECT_EQ(status.toString(), "queue_full: depth 64 reached");
+}
+
+TEST(StatusTest, ToStringOmitsEmptyDetail)
+{
+    Status status = Status::error(StatusCode::timeout);
+    EXPECT_EQ(status.toString(), "timeout");
+}
+
+TEST(StatusTest, EveryCodeHasAStableName)
+{
+    for (StatusCode code : {
+             StatusCode::ok, StatusCode::queue_full,
+             StatusCode::empty_stream, StatusCode::deadline_expired,
+             StatusCode::shed, StatusCode::unavailable,
+             StatusCode::timeout, StatusCode::retries_exhausted,
+             StatusCode::device_lost, StatusCode::device_quarantined,
+             StatusCode::plan_failed, StatusCode::invalid_argument}) {
+        const char *name = toString(code);
+        ASSERT_NE(name, nullptr);
+        EXPECT_GT(std::string(name).size(), 0u);
+    }
+}
+
+TEST(StatusTest, EqualityComparesCodesNotDetails)
+{
+    Status a = Status::error(StatusCode::shed, "first");
+    Status b = Status::error(StatusCode::shed, "second");
+    Status c = Status::error(StatusCode::timeout);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(Status::ok(), a);
+}
+
+TEST(ResultTest, OkResultExposesValueByReference)
+{
+    Result<std::vector<int>> result(std::vector<int>{1, 2, 3});
+    ASSERT_TRUE(result.isOk());
+    result.value().push_back(4);
+    EXPECT_EQ(result.value().size(), 4u);
+    EXPECT_EQ(result->back(), 4);
+
+    const auto &view = result;
+    EXPECT_EQ(view.value().front(), 1);
+    EXPECT_EQ(view->size(), 4u);
+}
+
+TEST(ResultTest, ErrorResultExposesStatus)
+{
+    Result<int> result(
+        Status::error(StatusCode::unavailable, "no device"));
+    EXPECT_FALSE(result.isOk());
+    EXPECT_FALSE(static_cast<bool>(result));
+    EXPECT_EQ(result.status().code(), StatusCode::unavailable);
+    EXPECT_EQ(result.status().detail(), "no device");
+}
+
+TEST(ResultTest, RvalueValueMovesOutMoveOnlyPayloads)
+{
+    Result<std::unique_ptr<int>> result(std::make_unique<int>(7));
+    std::unique_ptr<int> owned = std::move(result).value();
+    ASSERT_NE(owned, nullptr);
+    EXPECT_EQ(*owned, 7);
+}
+
+TEST(ResultTest, ValueAccessAvoidsCopiesOnMove)
+{
+    Result<std::string> result(std::string(64, 'x'));
+    const char *before = result.value().data();
+    std::string moved = std::move(result).value();
+    // The heap buffer travelled with the move instead of being copied.
+    EXPECT_EQ(moved.data(), before);
+    EXPECT_EQ(moved.size(), 64u);
+}
+
+TEST(ResultTest, ValueOrFallsBackOnlyOnError)
+{
+    Result<int> ok(41);
+    Result<int> err(Status::error(StatusCode::plan_failed));
+    EXPECT_EQ(ok.valueOr(0), 41);
+    EXPECT_EQ(err.valueOr(-1), -1);
+
+    Result<std::unique_ptr<int>> gone(
+        Status::error(StatusCode::device_lost));
+    std::unique_ptr<int> fallback =
+        std::move(gone).valueOr(std::make_unique<int>(9));
+    ASSERT_NE(fallback, nullptr);
+    EXPECT_EQ(*fallback, 9);
+}
+
+TEST(ResultTest, MapTransformsOkValues)
+{
+    Result<int> result(21);
+    Result<std::string> mapped =
+        result.map([](const int &v) { return std::to_string(v * 2); });
+    ASSERT_TRUE(mapped.isOk());
+    EXPECT_EQ(mapped.value(), "42");
+}
+
+TEST(ResultTest, MapForwardsErrorsWithoutInvokingTheFn)
+{
+    bool called = false;
+    Result<int> result(Status::error(StatusCode::queue_full, "full"));
+    Result<int> mapped = result.map([&](const int &v) {
+        called = true;
+        return v + 1;
+    });
+    EXPECT_FALSE(called);
+    ASSERT_FALSE(mapped.isOk());
+    EXPECT_EQ(mapped.status().code(), StatusCode::queue_full);
+    EXPECT_EQ(mapped.status().detail(), "full");
+}
+
+TEST(ResultTest, RvalueMapMovesThePayloadThrough)
+{
+    Result<std::unique_ptr<int>> result(std::make_unique<int>(5));
+    Result<int> mapped = std::move(result).map(
+        [](std::unique_ptr<int> &&p) { return *p * 10; });
+    ASSERT_TRUE(mapped.isOk());
+    EXPECT_EQ(mapped.value(), 50);
+}
+
+TEST(ResultTest, AndThenChainsFallibleSteps)
+{
+    auto halve = [](const int &v) -> Result<int> {
+        if (v % 2 != 0)
+            return Status::error(StatusCode::invalid_argument, "odd");
+        return v / 2;
+    };
+    Result<int> chained = Result<int>(8).andThen(halve).andThen(halve);
+    ASSERT_TRUE(chained.isOk());
+    EXPECT_EQ(chained.value(), 2);
+
+    Result<int> broken = Result<int>(6).andThen(halve).andThen(halve);
+    ASSERT_FALSE(broken.isOk());
+    EXPECT_EQ(broken.status().code(), StatusCode::invalid_argument);
+    EXPECT_EQ(broken.status().detail(), "odd");
+}
+
+TEST(ResultTest, AndThenShortCircuitsOnTheFirstError)
+{
+    int calls = 0;
+    auto step = [&](const int &) -> Result<int> {
+        ++calls;
+        return Status::error(StatusCode::timeout);
+    };
+    Result<int> chained =
+        Result<int>(1).andThen(step).andThen(step).andThen(step);
+    EXPECT_EQ(calls, 1);
+    ASSERT_FALSE(chained.isOk());
+    EXPECT_EQ(chained.status().code(), StatusCode::timeout);
+}
+
+TEST(ResultTest, MapAndAndThenCompose)
+{
+    auto parse = [](const std::string &text) -> Result<int> {
+        try {
+            return std::stoi(text);
+        } catch (const std::exception &) {
+            return Status::error(StatusCode::invalid_argument, text);
+        }
+    };
+    Result<std::string> input(std::string("12"));
+    Result<std::string> roundtrip =
+        input.andThen(parse)
+            .map([](const int &v) { return v + 30; })
+            .map([](const int &v) { return std::to_string(v); });
+    ASSERT_TRUE(roundtrip.isOk());
+    EXPECT_EQ(roundtrip.value(), "42");
+}
+
+} // namespace
+} // namespace fast::serve

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the random CKKS program generator: determinism, typing,
+ * coverage of the op set and key-switch methods, and trace lowering.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testkit/generator.hpp"
+
+namespace fast::testkit {
+namespace {
+
+class GeneratorTest : public ::testing::Test
+{
+  protected:
+    ckks::CkksParams params_ = ckks::CkksParams::testSmall();
+};
+
+TEST_F(GeneratorTest, SameSeedSameProgram)
+{
+    Program a = generateProgram(params_, 11);
+    Program b = generateProgram(params_, 11);
+    EXPECT_EQ(toString(a), toString(b));
+}
+
+TEST_F(GeneratorTest, DifferentSeedsDifferentPrograms)
+{
+    Program a = generateProgram(params_, 11);
+    Program b = generateProgram(params_, 12);
+    EXPECT_NE(toString(a), toString(b));
+}
+
+TEST_F(GeneratorTest, EveryProgramIsWellTyped)
+{
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        Program program = generateProgram(params_, seed);
+        EXPECT_GE(program.inputCount(), 2u);
+        // inferShapes throws on any typing violation.
+        auto shapes = inferShapes(program, params_);
+        EXPECT_EQ(shapes.size(), program.instrs.size());
+        for (const auto &shape : shapes) {
+            EXPECT_LE(shape.level, params_.maxLevel());
+            EXPECT_GT(shape.scale, 0.0);
+        }
+    }
+}
+
+TEST_F(GeneratorTest, SeedsCoverTheOpSetAndBothMethods)
+{
+    std::set<OpCode> ops;
+    bool hybrid = false;
+    bool klss = false;
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        for (const Instr &instr :
+             generateProgram(params_, seed).instrs) {
+            ops.insert(instr.op);
+            if (usesKeySwitch(instr.op)) {
+                hybrid |= instr.method ==
+                          ckks::KeySwitchMethod::hybrid;
+                klss |= instr.method == ckks::KeySwitchMethod::klss;
+            }
+        }
+    }
+    // 14 opcodes besides `input` plus the inputs themselves.
+    EXPECT_GE(ops.size(), 14u);
+    EXPECT_TRUE(ops.count(OpCode::hoisted_pair));
+    EXPECT_TRUE(ops.count(OpCode::rescale_double));
+    EXPECT_TRUE(hybrid);
+    EXPECT_TRUE(klss);
+}
+
+TEST_F(GeneratorTest, IdsStrictlyIncrease)
+{
+    Program program = generateProgram(params_, 3);
+    for (std::size_t i = 1; i < program.instrs.size(); ++i)
+        EXPECT_LT(program.instrs[i - 1].id, program.instrs[i].id);
+}
+
+TEST_F(GeneratorTest, LoweringProducesOpsForEveryBodyInstr)
+{
+    Program program = generateProgram(params_, 5);
+    trace::OpStream stream =
+        lowerToOpStream(program, params_, "gen-test");
+    EXPECT_EQ(stream.name, "gen-test");
+    // Every non-input instruction lowers to at least one trace op.
+    EXPECT_GE(stream.ops.size(),
+              program.instrs.size() - program.inputCount());
+}
+
+TEST_F(GeneratorTest, IllTypedProgramsAreRejected)
+{
+    Program program;
+    program.seed = 0;
+    Instr input;
+    input.id = 0;
+    input.op = OpCode::input;
+    Instr bad;
+    bad.id = 1;
+    bad.op = OpCode::add;
+    bad.a = 0;
+    bad.b = 7;  // dangling operand
+    program.instrs = {input, bad};
+    EXPECT_THROW(inferShapes(program, params_),
+                 std::invalid_argument);
+
+    program.instrs[1].b = 1;  // operand does not dominate its use
+    EXPECT_THROW(inferShapes(program, params_),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace fast::testkit

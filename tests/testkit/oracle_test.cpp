@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the differential oracle: clean seeds pass limb-exactly,
+ * injected corruption is caught at the right instruction, failure
+ * detection replays deterministically, and the reference key-switch
+ * pipeline agrees with the production one on raw polynomials.
+ */
+#include <gtest/gtest.h>
+
+#include "math/random.hpp"
+#include "testkit/generator.hpp"
+#include "testkit/oracle.hpp"
+#include "testkit/shrink.hpp"
+
+namespace fast::testkit {
+namespace {
+
+class OracleTest : public ::testing::Test
+{
+  protected:
+    ckks::CkksParams params_ = ckks::CkksParams::testSmall();
+};
+
+TEST_F(OracleTest, CleanSeedsPassLimbExactly)
+{
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        Program program = generateProgram(params_, seed);
+        DifferentialFixture fixture(params_);
+        OracleReport report = runOracle(program, fixture);
+        ASSERT_TRUE(report.ok())
+            << "seed " << seed << " failed at instr "
+            << report.failure->instr_id << " ["
+            << report.failure->kind << "]: "
+            << report.failure->detail;
+        EXPECT_EQ(report.instructions, program.instrs.size());
+        EXPECT_EQ(report.exact_checks, program.instrs.size());
+    }
+}
+
+TEST_F(OracleTest, CountersSeeBothKeySwitchMethods)
+{
+    std::size_t hybrid = 0;
+    std::size_t klss = 0;
+    std::size_t hoisted = 0;
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        Program program = generateProgram(params_, seed);
+        DifferentialFixture fixture(params_);
+        OracleReport report = runOracle(program, fixture);
+        hybrid += report.hybrid_switches;
+        klss += report.klss_switches;
+        hoisted += report.hoisted_groups;
+    }
+    EXPECT_GT(hybrid, 0u);
+    EXPECT_GT(klss, 0u);
+    EXPECT_GT(hoisted, 0u);
+}
+
+TEST_F(OracleTest, InjectedCorruptionIsCaughtAtThatInstruction)
+{
+    Program program = generateProgram(params_, 7);
+    for (std::size_t pick : {program.inputCount(),
+                             program.instrs.size() - 1}) {
+        OracleOptions options;
+        options.corrupt_instr = program.instrs[pick].id;
+        DifferentialFixture fixture(params_);
+        OracleReport report = runOracle(program, fixture, options);
+        ASSERT_FALSE(report.ok());
+        EXPECT_EQ(report.failure->instr_id, *options.corrupt_instr);
+        EXPECT_EQ(report.failure->kind, "limb_mismatch");
+    }
+}
+
+TEST_F(OracleTest, FailureDetectionReplaysDeterministically)
+{
+    Program program = generateProgram(params_, 9);
+    OracleOptions options;
+    options.corrupt_instr = program.instrs.back().id;
+    auto run = [&]() {
+        DifferentialFixture fixture(params_);
+        return runOracle(program, fixture, options);
+    };
+    OracleReport first = run();
+    OracleReport second = run();
+    ASSERT_FALSE(first.ok());
+    ASSERT_FALSE(second.ok());
+    EXPECT_EQ(first.failure->instr_id, second.failure->instr_id);
+    EXPECT_EQ(first.failure->kind, second.failure->kind);
+    EXPECT_EQ(first.failure->detail, second.failure->detail);
+}
+
+TEST_F(OracleTest, CorruptedProgramShrinksToItsCore)
+{
+    Program program = generateProgram(params_, 13);
+    std::size_t target = program.instrs.back().id;
+    OracleOptions options;
+    options.corrupt_instr = target;
+    auto fails = [&](const Program &candidate) {
+        DifferentialFixture fixture(params_);
+        return !runOracle(candidate, fixture, options).ok();
+    };
+    ASSERT_TRUE(fails(program));
+    ShrinkResult result = shrinkProgram(program, fails);
+    EXPECT_LT(result.program.instrs.size(), program.instrs.size());
+    EXPECT_TRUE(fails(result.program));
+    bool kept = false;
+    for (const Instr &instr : result.program.instrs)
+        kept = kept || instr.id == target;
+    EXPECT_TRUE(kept);
+}
+
+TEST_F(OracleTest, IllTypedProgramsFailSoftly)
+{
+    Program program;
+    program.seed = 0;
+    Instr bad;
+    bad.id = 0;
+    bad.op = OpCode::rescale;  // rescale of a nonexistent operand
+    bad.a = 5;
+    program.instrs = {bad};
+    DifferentialFixture fixture(params_);
+    OracleReport report = runOracle(program, fixture);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.failure->kind, "ill_typed");
+}
+
+TEST_F(OracleTest, ReferenceKeySwitchMatchesProductionOnRawPolys)
+{
+    DifferentialFixture fixture(params_);
+    const auto &ctx = fixture.context();
+    math::Prng prng(99);
+    math::RnsPoly input(ctx.degree(),
+                        ctx.qModuli(params_.maxLevel()),
+                        math::PolyForm::eval);
+    input.fillUniform(prng);
+
+    for (auto method : {ckks::KeySwitchMethod::hybrid,
+                        ckks::KeySwitchMethod::klss}) {
+        const ckks::EvalKey &key = fixture.relinKey(method);
+        auto prod_digits =
+            fixture.evaluator().switcher().decompose(input, method);
+        auto ref_digits = fixture.reference().decompose(input, method);
+        ASSERT_EQ(prod_digits.size(), ref_digits.size());
+        for (std::size_t j = 0; j < prod_digits.size(); ++j)
+            EXPECT_TRUE(prod_digits[j] == ref_digits[j])
+                << "digit " << j << " differs ("
+                << ckks::toString(method) << ")";
+
+        auto prod = fixture.evaluator().switcher().keyMultModDown(
+            prod_digits, key);
+        auto ref =
+            fixture.reference().keyMultModDown(ref_digits, key);
+        EXPECT_TRUE(prod.d0 == ref.d0);
+        EXPECT_TRUE(prod.d1 == ref.d1);
+    }
+}
+
+} // namespace
+} // namespace fast::testkit

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the delta-debugging shrinker: dependent-closure removal,
+ * minimization against synthetic predicates, and the run bound.
+ */
+#include <gtest/gtest.h>
+
+#include "testkit/generator.hpp"
+#include "testkit/shrink.hpp"
+
+namespace fast::testkit {
+namespace {
+
+bool
+contains(const Program &program, std::size_t id)
+{
+    for (const Instr &instr : program.instrs)
+        if (instr.id == id)
+            return true;
+    return false;
+}
+
+class ShrinkTest : public ::testing::Test
+{
+  protected:
+    ckks::CkksParams params_ = ckks::CkksParams::testSmall();
+};
+
+TEST_F(ShrinkTest, RemoveTakesDependentsAlong)
+{
+    Program program = generateProgram(params_, 21);
+    // Remove the first non-input instruction; nothing that reaches it
+    // through operands may survive.
+    std::size_t victim = program.inputCount();
+    std::size_t victim_id = program.instrs[victim].id;
+    Program out = removeWithDependents(program, victim_id);
+    EXPECT_FALSE(contains(out, victim_id));
+    for (const Instr &instr : out.instrs) {
+        std::size_t operands = operandCount(instr.op);
+        if (operands >= 1) {
+            EXPECT_TRUE(contains(out, instr.a));
+        }
+        if (operands >= 2) {
+            EXPECT_TRUE(contains(out, instr.b));
+        }
+    }
+    // The survivor is still well-typed.
+    EXPECT_NO_THROW(inferShapes(out, params_));
+}
+
+TEST_F(ShrinkTest, ShrinksToTheFailingCore)
+{
+    Program program = generateProgram(params_, 22);
+    // Synthetic failure: "any program containing instruction K".
+    std::size_t target = program.instrs[program.inputCount()].id;
+    auto fails = [&](const Program &candidate) {
+        return contains(candidate, target);
+    };
+    auto result = shrinkProgram(program, fails);
+    EXPECT_TRUE(contains(result.program, target));
+    // Minimal: the target plus its (input) operands only.
+    EXPECT_LE(result.program.instrs.size(), 3u);
+    EXPECT_TRUE(fails(result.program));
+    // Every candidate the shrinker tried stays well-typed.
+    EXPECT_NO_THROW(inferShapes(result.program, params_));
+}
+
+TEST_F(ShrinkTest, PreservesIdsThroughShrinking)
+{
+    Program program = generateProgram(params_, 23);
+    std::size_t target = program.instrs.back().id;
+    auto fails = [&](const Program &candidate) {
+        return contains(candidate, target);
+    };
+    auto result = shrinkProgram(program, fails);
+    // The failing instruction keeps its original id.
+    EXPECT_TRUE(contains(result.program, target));
+    for (std::size_t i = 1; i < result.program.instrs.size(); ++i)
+        EXPECT_LT(result.program.instrs[i - 1].id,
+                  result.program.instrs[i].id);
+}
+
+TEST_F(ShrinkTest, RespectsTheRunBudget)
+{
+    Program program = generateProgram(params_, 24);
+    std::size_t runs_allowed = 5;
+    auto fails = [](const Program &) { return true; };
+    auto result = shrinkProgram(program, fails, runs_allowed);
+    EXPECT_LE(result.predicate_runs, runs_allowed);
+    // Predicate always fails, so the fixpoint is the empty program
+    // (or whatever the budget allowed to melt).
+    EXPECT_LE(result.program.instrs.size(), program.instrs.size());
+}
+
+TEST_F(ShrinkTest, FixpointWhenNothingCanBeRemoved)
+{
+    Program program = generateProgram(params_, 25);
+    // Failure requires the complete program: removing anything cures.
+    std::size_t full = program.instrs.size();
+    auto fails = [&](const Program &candidate) {
+        return candidate.instrs.size() == full;
+    };
+    auto result = shrinkProgram(program, fails);
+    EXPECT_EQ(result.program.instrs.size(), full);
+}
+
+} // namespace
+} // namespace fast::testkit
