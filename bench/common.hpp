@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "obs/report.hpp"
@@ -45,6 +46,59 @@ row(const std::string &name, double paper, double measured,
                      "  %-24s paper %10s %-5s measured %10.3f %-5s\n",
                      name.c_str(), "-", unit, measured, unit);
     std::fputs(line.c_str(), stdout);
+}
+
+/**
+ * CPU count recorded in an existing baseline JSON at @p path (its
+ * top-level `"host_cpus":` field), or 0 when the file is absent or
+ * unparseable. Guards committed baselines: a run from a small CI box
+ * must not silently replace numbers measured on a larger host.
+ */
+inline unsigned
+baselineHostCpus(const char *path)
+{
+    std::FILE *f = std::fopen(path, "r");
+    if (!f)
+        return 0;
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    auto pos = text.find("\"host_cpus\":");
+    if (pos == std::string::npos)
+        return 0;
+    return static_cast<unsigned>(
+        std::strtoul(text.c_str() + pos + 12, nullptr, 10));
+}
+
+/**
+ * Write @p json to @p path unless an existing baseline there was
+ * measured on more CPUs than @p cpus (refused with a note; pass
+ * @p force to overwrite anyway).
+ */
+inline void
+writeBaseline(const char *path, const std::string &json, unsigned cpus,
+              bool force)
+{
+    unsigned baseline_cpus = baselineHostCpus(path);
+    if (baseline_cpus > cpus && !force) {
+        note("REFUSING to overwrite " + std::string(path) +
+             ": existing baseline was measured on " +
+             std::to_string(baseline_cpus) + " CPUs, this host has " +
+             std::to_string(cpus) +
+             " (pass --force to overwrite anyway)");
+        return;
+    }
+    std::FILE *f = std::fopen(path, "w");
+    if (f) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        note("wrote " + std::string(path));
+    } else {
+        note("could not write " + std::string(path));
+    }
 }
 
 /**

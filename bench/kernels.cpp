@@ -49,31 +49,6 @@ using math::u64;
 bool g_smoke = false;
 bool g_force = false;
 
-/**
- * CPU count recorded in an existing BENCH_kernels.json, or 0 when the
- * file is absent/unparseable. Guards the baseline: a thread-sweep run
- * from a 1-CPU CI box must not silently replace numbers measured on a
- * real multi-core host.
- */
-unsigned
-baselineHostCpus(const char *path)
-{
-    std::FILE *f = std::fopen(path, "r");
-    if (!f)
-        return 0;
-    std::string text;
-    char buf[4096];
-    std::size_t got;
-    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
-        text.append(buf, got);
-    std::fclose(f);
-    auto pos = text.find("\"host_cpus\":");
-    if (pos == std::string::npos)
-        return 0;
-    return static_cast<unsigned>(
-        std::strtoul(text.c_str() + pos + 12, nullptr, 10));
-}
-
 std::vector<std::size_t>
 threadCounts()
 {
@@ -375,23 +350,7 @@ report()
     }
     json += "  ]\n}\n";
 
-    unsigned baseline_cpus = baselineHostCpus("BENCH_kernels.json");
-    if (baseline_cpus > cpus && !g_force) {
-        bench::note("REFUSING to overwrite BENCH_kernels.json: "
-                    "existing baseline was measured on " +
-                    std::to_string(baseline_cpus) +
-                    " CPUs, this host has " + std::to_string(cpus) +
-                    " (pass --force to overwrite anyway)");
-    } else {
-        std::FILE *f = std::fopen("BENCH_kernels.json", "w");
-        if (f) {
-            std::fputs(json.c_str(), f);
-            std::fclose(f);
-            bench::note("wrote BENCH_kernels.json");
-        } else {
-            bench::note("could not write BENCH_kernels.json");
-        }
-    }
+    bench::writeBaseline("BENCH_kernels.json", json, cpus, g_force);
 
     // Live metrics collected while the kernels ran (counters are
     // always on; histograms fill when FAST_TRACE is armed).

@@ -28,7 +28,7 @@
 
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
-#include "serve/arrivals.hpp"
+#include "fleet/trafficgen.hpp"
 #include "serve/report.hpp"
 #include "serve/scheduler.hpp"
 #include "trace/workloads.hpp"
@@ -47,12 +47,12 @@ requestCount()
     return g_smoke ? 24 : 96;
 }
 
-std::vector<fast::serve::ArrivalSpec>
+std::vector<fast::fleet::WorkloadSpec>
 mixedTenantLoad()
 {
-    using fast::serve::ArrivalSpec;
+    using fast::fleet::WorkloadSpec;
     using fast::serve::Priority;
-    std::vector<ArrivalSpec> mix;
+    std::vector<WorkloadSpec> mix;
     mix.push_back({"tenant-boot", Priority::high,
                    fast::trace::bootstrapTrace(), 1.0});
     mix.push_back({"tenant-helr", Priority::normal,
@@ -137,7 +137,7 @@ main(int argc, char **argv)
     note("mix: Bootstrap(high) : HELR(normal) : ResNet(normal) : "
          "batch(low) at 1:2:2:1, Poisson arrivals, mean gap 1 ms");
 
-    auto arrivals = serve::openLoopArrivals(
+    auto arrivals = fleet::TrafficGen::openLoop(
         mixedTenantLoad(), requestCount(), kMeanInterarrivalNs, kSeed);
     double horizon_ns = arrivals.back().submit_ns + 1e6;
 

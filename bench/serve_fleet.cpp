@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Fleet serving benchmark: 1/2/4/8 scheduler shards behind the
+ * consistent-hash router, under four traffic scenarios —
+ *
+ *   - steady:     open-loop Poisson at ~8x one shard's capacity,
+ *   - diurnal:    the same load with a +-60% sinusoidal swing plus a
+ *                 closed-loop client population,
+ *   - burst:      4x on/off burst modulation,
+ *   - shard-loss: steady traffic while shard 0 loses every device
+ *                 mid-run (cross-shard failover via the ring).
+ *
+ * Tenants are Zipf-drawn from a population of two million simulated
+ * users, so the router's evk-locality scoring has a head of heavy
+ * tenants to pin. Emits `BENCH_fleet.json` (per-scenario, per-shard
+ * fleet stats) and `OBS_fleet_metrics.json`.
+ *
+ * Acceptance gates (ISSUE PR 6, checked here, exit 1 on violation):
+ *   - steady goodput at 4 shards >= 3x the 1-shard goodput;
+ *   - every run's two-level accounting balances exactly;
+ *   - replaying the steady and shard-loss scenarios reproduces
+ *     `FleetStats` JSON byte for byte;
+ *   - the shard-loss run actually fails over (failovers > 0).
+ */
+#include "bench/common.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+#include "obs/registry.hpp"
+#include "trace/workloads.hpp"
+
+namespace {
+
+bool g_smoke = false;
+
+constexpr std::uint64_t kSeed = 42;
+constexpr double kMeanGapNs = 1.25e6;          // ~800 req/s offered
+constexpr std::size_t kTenantPopulation = 2'000'000;
+constexpr double kLossAtFraction = 0.35;       // of the horizon
+
+double
+horizonNs()
+{
+    return g_smoke ? 0.6e9 : 1.2e9;
+}
+
+std::vector<std::size_t>
+shardCounts()
+{
+    return g_smoke ? std::vector<std::size_t>{1, 4}
+                   : std::vector<std::size_t>{1, 2, 4, 8};
+}
+
+std::vector<fast::fleet::WorkloadSpec>
+workloadMix()
+{
+    using fast::fleet::WorkloadSpec;
+    using fast::serve::Priority;
+    std::vector<WorkloadSpec> mix;
+    mix.push_back({"", Priority::high,
+                   fast::trace::bootstrapTrace(), 1.0});
+    mix.push_back({"", Priority::normal,
+                   fast::trace::helrTrace(256), 2.0});
+    mix.push_back({"", Priority::normal,
+                   fast::trace::resnetTrace(), 2.0});
+    mix.push_back({"", Priority::low,
+                   fast::trace::resnetTrace(), 1.0});
+    return mix;
+}
+
+fast::fleet::FleetOptions
+fleetOptions(std::size_t shards)
+{
+    using namespace fast;
+    fleet::FleetOptions options;
+    options.shards = shards;
+    options.shard.devices = 2;
+    options.shard.device = hw::FastConfig::fast();
+    options.shard.scheduler = serve::SchedulerOptions::builder()
+                                  .policy(serve::QueuePolicy::priority)
+                                  .maxQueueDepth(16)
+                                  .maxBatch(4)
+                                  .build()
+                                  .value();
+    options.epoch_ns = 10e6;
+    options.horizon_ns = horizonNs();
+    return options;
+}
+
+fast::fleet::TrafficOptions
+baseTraffic()
+{
+    fast::fleet::TrafficOptions traffic;
+    traffic.seed = kSeed;
+    traffic.mean_interarrival_ns = kMeanGapNs;
+    traffic.tenant_population = kTenantPopulation;
+    traffic.zipf_exponent = 1.2;
+    return traffic;
+}
+
+fast::fleet::TrafficOptions
+scenarioTraffic(const std::string &scenario)
+{
+    auto traffic = baseTraffic();
+    if (scenario == "diurnal") {
+        traffic.diurnal_amplitude = 0.6;
+        traffic.diurnal_period_ns = horizonNs() / 2;
+        traffic.closed_loop_clients = 48;
+        traffic.think_ns = 50e6;
+    } else if (scenario == "burst") {
+        traffic.burst_multiplier = 4.0;
+        traffic.burst_on_ns = 40e6;
+        traffic.burst_off_ns = 160e6;
+    }
+    return traffic;
+}
+
+/** Kill every device of the faulted shard partway into the run. */
+fast::serve::FaultPlan
+shardLossPlan()
+{
+    fast::serve::FaultPlan plan;
+    plan.name = "shard-loss";
+    plan.seed = kSeed;
+    fast::serve::FaultEvent event;
+    event.kind = fast::serve::FaultKind::device_lost;
+    event.device = fast::serve::FaultEvent::kAnyDevice;
+    event.at_ns = kLossAtFraction * horizonNs();
+    plan.events.push_back(event);
+    return plan;
+}
+
+fast::fleet::FleetStats
+runScenario(const std::string &scenario, std::size_t shards)
+{
+    using namespace fast;
+    fleet::Fleet fleet(fleetOptions(shards), workloadMix(),
+                       scenarioTraffic(scenario));
+    if (scenario == "shard-loss")
+        fleet.setShardFaultPlan(0, shardLossPlan());
+    auto stats = fleet.run();
+    stats.requireBalanced();
+    return stats;
+}
+
+void
+summarize(const std::string &scenario, std::size_t shards,
+          const fast::fleet::FleetStats &stats)
+{
+    fast::bench::row(scenario + " x" + std::to_string(shards), 0.0,
+                     stats.goodput_rps, "req/s");
+    std::printf("%s", fast::fleet::describeFleetStats(stats).c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace fast;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            g_smoke = true;
+
+    bench::header(
+        std::string("Fleet serving: 1/2/4/8 shards x {steady, "
+                    "diurnal, burst, shard-loss} (BENCH_fleet.json)") +
+        (g_smoke ? " [smoke]" : ""));
+    bench::note("mix: Bootstrap(high) : HELR(normal) : ResNet(normal) "
+                ": batch(low) at 1:2:2:1, Zipf tenants over 2M users");
+    bench::note("shard = 2 FAST devices, priority queue depth 16, "
+                "batch 4; epoch 10 ms");
+
+    const std::vector<std::string> scenarios = {"steady", "diurnal",
+                                                "burst", "shard-loss"};
+    auto shard_counts = shardCounts();
+
+    std::string json = "{\n  \"benchmark\": \"serve_fleet\",\n";
+    json += "  \"schema_version\": " +
+            std::to_string(obs::kSchemaVersion) + ",\n";
+    json += "  \"seed\": " + std::to_string(kSeed) +
+            ", \"tenant_population\": " +
+            std::to_string(kTenantPopulation) + ",\n  \"smoke\": " +
+            std::string(g_smoke ? "true" : "false") + ",\n";
+    json += "  \"scenarios\": [\n";
+
+    int failures = 0;
+    double steady_goodput_1 = 0, steady_goodput_4 = 0;
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+        const auto &scenario = scenarios[s];
+        json += "    {\"scenario\": \"" + scenario +
+                "\", \"runs\": [\n";
+        for (std::size_t c = 0; c < shard_counts.size(); ++c) {
+            std::size_t shards = shard_counts[c];
+            // One dead shard of one is a stranded fleet, not a
+            // failover experiment; skip the degenerate pairing.
+            if (scenario == "shard-loss" && shards == 1) {
+                json += "      null";
+                json += c + 1 < shard_counts.size() ? ",\n" : "\n";
+                continue;
+            }
+            fleet::FleetStats stats;
+            try {
+                stats = runScenario(scenario, shards);
+            } catch (const std::exception &e) {
+                std::printf("  FAIL %s x%zu: %s\n", scenario.c_str(),
+                            shards, e.what());
+                ++failures;
+                json += "      null";
+                json += c + 1 < shard_counts.size() ? ",\n" : "\n";
+                continue;
+            }
+            summarize(scenario, shards, stats);
+
+            if (scenario == "steady" && shards == 1)
+                steady_goodput_1 = stats.goodput_rps;
+            if (scenario == "steady" && shards == 4)
+                steady_goodput_4 = stats.goodput_rps;
+            if (scenario == "shard-loss" && stats.failovers == 0) {
+                std::printf("  FAIL: shard-loss x%zu saw no "
+                            "failovers\n",
+                            shards);
+                ++failures;
+            }
+
+            json += "      {\"shards\": " + std::to_string(shards) +
+                    ", \"stats\":\n";
+            json += fleet::fleetStatsJson(stats, "      ");
+            json += "}";
+            json += c + 1 < shard_counts.size() ? ",\n" : "\n";
+        }
+        json += "    ]}";
+        json += s + 1 < scenarios.size() ? ",\n" : "\n";
+    }
+    json += "  ]\n}\n";
+
+    // Gate: sharding pays — 4 shards carry >= 3x one shard's goodput.
+    if (steady_goodput_1 > 0) {
+        double scaling = steady_goodput_4 / steady_goodput_1;
+        bench::note("steady goodput scaling 4-vs-1 shards: x" +
+                    std::to_string(scaling));
+        if (scaling < 3.0) {
+            std::printf("  FAIL: steady 4-shard goodput %.1f req/s "
+                        "is under 3x the 1-shard %.1f req/s\n",
+                        steady_goodput_4, steady_goodput_1);
+            ++failures;
+        }
+    } else {
+        std::printf("  FAIL: steady 1-shard goodput is zero\n");
+        ++failures;
+    }
+
+    // Gate: same seed, same scenario — byte-identical FleetStats,
+    // including under the shard-loss fault plan.
+    {
+        auto once = runScenario("steady", 2);
+        auto twice = runScenario("steady", 2);
+        if (fleet::fleetStatsJson(once) != fleet::fleetStatsJson(twice)) {
+            std::printf("  FAIL: steady x2 replay diverged\n");
+            ++failures;
+        }
+        auto loss_once = runScenario("shard-loss", 2);
+        auto loss_twice = runScenario("shard-loss", 2);
+        if (fleet::fleetStatsJson(loss_once) !=
+            fleet::fleetStatsJson(loss_twice)) {
+            std::printf("  FAIL: shard-loss x2 replay diverged\n");
+            ++failures;
+        }
+        if (failures == 0)
+            bench::note("determinism: steady + shard-loss replays "
+                        "byte-identical");
+    }
+
+    std::FILE *f = std::fopen("BENCH_fleet.json", "w");
+    if (f) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        bench::note("wrote BENCH_fleet.json");
+    } else {
+        bench::note("could not write BENCH_fleet.json");
+    }
+
+    std::FILE *m = std::fopen("OBS_fleet_metrics.json", "w");
+    if (m) {
+        std::fputs(obs::Registry::global().json().c_str(), m);
+        std::fputs("\n", m);
+        std::fclose(m);
+        bench::note("wrote OBS_fleet_metrics.json");
+    }
+
+    if (failures) {
+        std::printf("  %d acceptance gate(s) failed\n", failures);
+        return 1;
+    }
+    bench::note("all acceptance gates passed");
+    return 0;
+}

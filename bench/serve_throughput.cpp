@@ -4,36 +4,44 @@
  *
  * Replays one fixed open-loop arrival trace — a mixed tenant
  * population of fully-packed Bootstrap, HELR-256, and ResNet-20
- * requests — against pools of 1, 2, and 4 FAST devices, and emits
- * `BENCH_serve.json` with aggregate and per-tenant serving metrics
- * for each pool size. All latencies are simulated nanoseconds, the
- * arrival trace is seeded, and the JSON writer uses fixed formats, so
- * two runs of this binary produce byte-identical output.
+ * requests drawn by `fleet::TrafficGen` — against pools of 1, 2, and
+ * 4 FAST devices, and emits `BENCH_serve.json` with aggregate and
+ * per-tenant serving metrics for each pool size. All latencies are
+ * simulated nanoseconds, the arrival trace is seeded, and the JSON
+ * writer uses fixed formats, so two runs of this binary produce
+ * byte-identical output. The committed baseline is protected by the
+ * same higher-CPU clobber guard as `BENCH_kernels.json` (the stats
+ * are simulated, but the recorded host still marks where the baseline
+ * came from); pass `--force` to overwrite regardless.
  */
 #include "bench/common.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "fleet/trafficgen.hpp"
 #include "obs/registry.hpp"
-#include "serve/arrivals.hpp"
 #include "serve/report.hpp"
 #include "serve/scheduler.hpp"
 #include "trace/workloads.hpp"
 
 namespace {
 
+bool g_force = false;
+
 constexpr std::uint64_t kSeed = 42;
 constexpr std::size_t kRequests = 60;
 constexpr double kMeanInterarrivalNs = 2.0e6;  // 2 ms open loop
 
-std::vector<fast::serve::ArrivalSpec>
+std::vector<fast::fleet::WorkloadSpec>
 mixedTenantLoad()
 {
-    using fast::serve::ArrivalSpec;
+    using fast::fleet::WorkloadSpec;
     using fast::serve::Priority;
-    std::vector<ArrivalSpec> mix;
+    std::vector<WorkloadSpec> mix;
     // Bootstrap refreshes are latency-critical control traffic; the
     // training/inference tenants supply the bulk of the volume.
     mix.push_back({"tenant-boot", Priority::high,
@@ -54,12 +62,14 @@ report()
     bench::note("mix: Bootstrap (high prio) : HELR-256 : ResNet-20 "
                 "at 1:2:2, Poisson arrivals, mean gap 2 ms");
 
-    auto arrivals = serve::openLoopArrivals(
+    auto arrivals = fleet::TrafficGen::openLoop(
         mixedTenantLoad(), kRequests, kMeanInterarrivalNs, kSeed);
 
+    unsigned cpus = std::thread::hardware_concurrency();
     std::string json = "{\n  \"benchmark\": \"serve_throughput\",\n";
     json += "  \"schema_version\": " +
             std::to_string(obs::kSchemaVersion) + ",\n";
+    json += "  \"host_cpus\": " + std::to_string(cpus) + ",\n";
     json += "  \"seed\": " + std::to_string(kSeed) +
             ", \"requests\": " + std::to_string(kRequests) + ",\n";
     json += "  \"mean_interarrival_ns\": 2000000.0,\n";
@@ -103,14 +113,7 @@ report()
     }
     json += "  ]\n}\n";
 
-    std::FILE *f = std::fopen("BENCH_serve.json", "w");
-    if (f) {
-        std::fputs(json.c_str(), f);
-        std::fclose(f);
-        bench::note("wrote BENCH_serve.json");
-    } else {
-        bench::note("could not write BENCH_serve.json");
-    }
+    bench::writeBaseline("BENCH_serve.json", json, cpus, g_force);
 
     // Live scheduler metrics (admissions, batches, queue depth; span
     // latencies when FAST_TRACE is armed).
@@ -128,7 +131,7 @@ void
 BM_ServeMixed(benchmark::State &state)
 {
     using namespace fast;
-    auto arrivals = serve::openLoopArrivals(
+    auto arrivals = fleet::TrafficGen::openLoop(
         mixedTenantLoad(), kRequests, kMeanInterarrivalNs, kSeed);
     auto pool = serve::DevicePool::builder()
                     .add(hw::FastConfig::fast(),
@@ -145,4 +148,24 @@ BENCHMARK(BM_ServeMixed)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-FAST_BENCH_MAIN(report)
+int
+main(int argc, char **argv)
+{
+    // Strip our own flags before google-benchmark sees the rest.
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--force") == 0)
+            g_force = true;
+        else
+            argv[kept++] = argv[i];
+    }
+    argc = kept;
+
+    report();
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    return 0;
+}

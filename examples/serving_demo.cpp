@@ -10,7 +10,7 @@
  */
 #include <cstdio>
 
-#include "serve/arrivals.hpp"
+#include "fleet/trafficgen.hpp"
 #include "serve/report.hpp"
 #include "serve/scheduler.hpp"
 #include "trace/workloads.hpp"
@@ -41,12 +41,12 @@ main()
 
     // 2. An open-loop arrival trace over a tenant mix. The seed makes
     //    the whole run — arrivals, scheduling, stats — reproducible.
-    std::vector<serve::ArrivalSpec> mix;
+    std::vector<fleet::WorkloadSpec> mix;
     mix.push_back({"alice", serve::Priority::high,
                    trace::bootstrapTrace(), 1.0});
     mix.push_back({"bob", serve::Priority::normal,
                    trace::helrTrace(256), 3.0});
-    auto arrivals = serve::openLoopArrivals(
+    auto arrivals = fleet::TrafficGen::openLoop(
         mix, /*count=*/24, /*mean_interarrival_ns=*/1.5e6,
         /*seed=*/7);
 

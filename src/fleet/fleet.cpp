@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Implementation of the fleet controller and autoscaler.
+ */
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+
+namespace fast::fleet {
+
+namespace {
+
+/** Runaway-simulation guard: no scenario needs this many epochs. */
+constexpr std::size_t kMaxEpochs = 1u << 22;
+
+} // namespace
+
+struct Fleet::LiveShard {
+    LiveShard(std::size_t id, const ShardConfig &config, double now_ns)
+        : shard(id, config, now_ns)
+    {
+    }
+    Shard shard;
+};
+
+Fleet::Fleet(FleetOptions options, std::vector<WorkloadSpec> mix,
+             TrafficOptions traffic)
+    : options_(options), gen_(std::move(mix), traffic),
+      router_(options.router),
+      initial_faults_(options.shards, options.shard.faults)
+{
+    if (options_.shards == 0)
+        throw std::invalid_argument("Fleet: need at least one shard");
+    if (options_.epoch_ns <= 0)
+        throw std::invalid_argument("Fleet: epoch_ns must be > 0");
+    if (options_.horizon_ns <= 0)
+        throw std::invalid_argument("Fleet: horizon_ns must be > 0");
+    if (options_.autoscaler.enabled &&
+        (options_.autoscaler.min_shards == 0 ||
+         options_.autoscaler.max_shards <
+             options_.autoscaler.min_shards))
+        throw std::invalid_argument(
+            "Fleet: autoscaler bounds must satisfy 1 <= min <= max");
+}
+
+// Out of line for the incomplete LiveShard; abandoned sessions join
+// their workers in SchedulerSession's own destructor.
+Fleet::~Fleet() = default;
+
+void
+Fleet::setShardFaultPlan(std::size_t shard_id, serve::FaultPlan plan)
+{
+    if (ran_)
+        throw std::logic_error(
+            "Fleet::setShardFaultPlan: fleet already ran");
+    if (shard_id >= initial_faults_.size())
+        throw std::invalid_argument(
+            "Fleet::setShardFaultPlan: not an initial shard");
+    initial_faults_[shard_id] = std::move(plan);
+}
+
+std::size_t
+Fleet::activeShards() const
+{
+    std::size_t n = 0;
+    for (const auto &live : live_)
+        if (!live->shard.draining() && !live->shard.allLost())
+            ++n;
+    return n;
+}
+
+void
+Fleet::addShard(double now_ns)
+{
+    std::size_t id = next_shard_id_++;
+    ShardConfig config = options_.shard;
+    if (id < initial_faults_.size())
+        config.faults = initial_faults_[id];
+    live_.push_back(std::make_unique<LiveShard>(id, config, now_ns));
+    router_.addShard(id);
+    stats_.peak_shards = std::max(stats_.peak_shards, activeShards());
+    FAST_OBS_GAUGE_SET("fleet.shards",
+                       static_cast<double>(activeShards()));
+}
+
+void
+Fleet::finishShard(LiveShard &live, double now_ns, bool dead,
+                   bool drained)
+{
+    ShardRecord record;
+    record.shard_id = live.shard.id();
+    record.started_ns = live.shard.startedNs();
+    record.dead = dead;
+    record.drained_ns = drained ? now_ns : -1;
+    record.stats = live.shard.finish();
+
+    // A dead shard strands its backlog during finish(); route those
+    // outcomes through the same feedback path as epoch harvests so
+    // closed-loop clients are released.
+    for (const auto &outcome : live.shard.takeOutcomes()) {
+        gen_.onOutcome(outcome);
+        if (outcome.completed()) {
+            fleet_e2e_ns_.push_back(outcome.e2eNs());
+            window_e2e_ns_.push_back(outcome.e2eNs());
+        }
+    }
+    stats_.shards.push_back(std::move(record));
+}
+
+void
+Fleet::autoscale(double now_ns)
+{
+    const AutoscalerOptions &as = options_.autoscaler;
+    if (!as.enabled)
+        return;
+    if (cooldown_left_ > 0) {
+        --cooldown_left_;
+        return;
+    }
+
+    double load_sum = 0;
+    std::size_t active = 0;
+    for (const auto &live : live_)
+        if (!live->shard.draining() && !live->shard.allLost()) {
+            load_sum += live->shard.loadFraction();
+            ++active;
+        }
+    if (active == 0)
+        return;
+    double mean_load = load_sum / static_cast<double>(active);
+    double window_p99 = 0;
+    if (!window_e2e_ns_.empty())
+        window_p99 =
+            serve::LatencySummary::of(window_e2e_ns_).p99_ns;
+
+    if (active < as.max_shards &&
+        ((as.p99_target_ns > 0 && window_p99 > as.p99_target_ns) ||
+         mean_load > as.scale_up_load)) {
+        std::string reason = (as.p99_target_ns > 0 &&
+                              window_p99 > as.p99_target_ns)
+                                 ? "p99_above_target"
+                                 : "load_above_watermark";
+        std::size_t id = next_shard_id_;
+        addShard(now_ns);
+        stats_.autoscale_events.push_back(
+            {now_ns, "add", id, reason});
+        FAST_OBS_COUNT("fleet.scale_up", 1);
+        cooldown_left_ = as.cooldown_epochs;
+        return;
+    }
+
+    if (active > as.min_shards && mean_load < as.scale_down_load) {
+        // Drain the youngest active shard: it holds the least evk /
+        // plan locality, so removing it remaps the fewest tenants.
+        LiveShard *victim = nullptr;
+        for (auto &live : live_)
+            if (!live->shard.draining() && !live->shard.allLost())
+                victim = live.get();
+        if (victim != nullptr) {
+            victim->shard.beginDrain(now_ns);
+            router_.removeShard(victim->shard.id());
+            stats_.autoscale_events.push_back(
+                {now_ns, "drain", victim->shard.id(),
+                 "load_below_watermark"});
+            FAST_OBS_COUNT("fleet.scale_down", 1);
+            FAST_OBS_GAUGE_SET("fleet.shards",
+                               static_cast<double>(activeShards()));
+            cooldown_left_ = as.cooldown_epochs;
+        }
+    }
+}
+
+FleetStats
+Fleet::run()
+{
+    if (ran_)
+        throw std::logic_error("Fleet::run called twice");
+    ran_ = true;
+
+    FAST_OBS_SPAN_VAR(run_span, "fleet.run");
+    FAST_OBS_SPAN_ARG(run_span, "shards",
+                      static_cast<double>(options_.shards));
+    FAST_OBS_SPAN_ARG(run_span, "horizon_ns", options_.horizon_ns);
+
+    for (std::size_t i = 0; i < options_.shards; ++i)
+        addShard(0);
+    stats_.horizon_ns = options_.horizon_ns;
+    // Grace period before the first autoscaling decision.
+    cooldown_left_ = options_.autoscaler.cooldown_epochs;
+
+    double now = 0;
+    while (true) {
+        bool generating = now < options_.horizon_ns;
+        double epoch_end = now + options_.epoch_ns;
+
+        // 1. This epoch's arrivals.
+        std::vector<serve::Request> arrivals;
+        if (generating)
+            arrivals = gen_.generate(
+                now, std::min(epoch_end, options_.horizon_ns));
+        stats_.generated += arrivals.size();
+        FAST_OBS_COUNT("fleet.generated",
+                       static_cast<std::int64_t>(arrivals.size()));
+
+        // 2. Route and submit (or reject at the front door).
+        std::map<std::size_t, Shard *> shard_map;
+        for (auto &live : live_)
+            shard_map.emplace(live->shard.id(), &live->shard);
+        for (auto &request : arrivals) {
+            auto decision = router_.route(request, shard_map);
+            if (decision.accepted) {
+                ++stats_.routed;
+                if (decision.failover) {
+                    ++stats_.failovers;
+                    FAST_OBS_COUNT("fleet.failovers", 1);
+                }
+                if (decision.locality_hit)
+                    ++stats_.locality_hits;
+                shard_map.at(decision.shard)
+                    ->submit(std::move(request));
+            } else {
+                ++stats_.router_rejected;
+                ++stats_.router_reject_reasons[serve::toString(
+                    decision.reason)];
+                FAST_OBS_COUNT("fleet.router_rejected", 1);
+                // Resolve immediately so a closed-loop client whose
+                // request bounced is released, not deadlocked.
+                gen_.onOutcome({request.id, request.tenant,
+                                decision.reason, request.submit_ns,
+                                request.submit_ns});
+            }
+        }
+
+        // 3. Lockstep advance, ascending shard id.
+        for (auto &live : live_)
+            live->shard.advanceTo(epoch_end);
+
+        // 4. Harvest outcomes in one global (time, id) order.
+        std::vector<serve::OutcomeEvent> outcomes;
+        for (auto &live : live_) {
+            auto batch = live->shard.takeOutcomes();
+            outcomes.insert(outcomes.end(),
+                            std::make_move_iterator(batch.begin()),
+                            std::make_move_iterator(batch.end()));
+        }
+        std::sort(outcomes.begin(), outcomes.end(),
+                  [](const serve::OutcomeEvent &a,
+                     const serve::OutcomeEvent &b) {
+                      if (a.at_ns != b.at_ns)
+                          return a.at_ns < b.at_ns;
+                      return a.request_id < b.request_id;
+                  });
+        for (const auto &outcome : outcomes) {
+            gen_.onOutcome(outcome);
+            if (outcome.completed()) {
+                fleet_e2e_ns_.push_back(outcome.e2eNs());
+                window_e2e_ns_.push_back(outcome.e2eNs());
+            }
+        }
+
+        // 5a. Dead shards leave the ring and finish immediately;
+        // their tenants fail over to ring successors next epoch.
+        for (auto it = live_.begin(); it != live_.end();) {
+            if ((*it)->shard.allLost()) {
+                router_.removeShard((*it)->shard.id());
+                FAST_OBS_COUNT("fleet.shards_lost", 1);
+                finishShard(**it, epoch_end, /*dead=*/true,
+                            /*drained=*/false);
+                it = live_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        // 5b. Drained shards finish once their backlog empties.
+        for (auto it = live_.begin(); it != live_.end();) {
+            if ((*it)->shard.drained()) {
+                finishShard(**it, epoch_end, /*dead=*/false,
+                            /*drained=*/true);
+                it = live_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        // 5c. Autoscaler decision (only while traffic still flows).
+        if (generating)
+            autoscale(epoch_end);
+        window_e2e_ns_.clear();
+
+        ++stats_.epochs;
+        now = epoch_end;
+        FAST_OBS_TRACE_COUNTER("fleet.live_shards",
+                               static_cast<double>(live_.size()));
+
+        if (!generating) {
+            bool idle = true;
+            for (const auto &live : live_)
+                idle = idle && live->shard.backlog() == 0;
+            if (idle)
+                break;
+        }
+        if (stats_.epochs > kMaxEpochs)
+            throw std::logic_error(
+                "Fleet::run: epoch cap exceeded (stuck backlog?)");
+    }
+
+    // Finish the survivors.
+    for (auto &live : live_)
+        finishShard(*live, now, /*dead=*/false, /*drained=*/false);
+    live_.clear();
+
+    std::sort(stats_.shards.begin(), stats_.shards.end(),
+              [](const ShardRecord &a, const ShardRecord &b) {
+                  return a.shard_id < b.shard_id;
+              });
+    for (const auto &shard : stats_.shards) {
+        stats_.completed += shard.stats.completed;
+        stats_.rejected += shard.stats.rejected;
+        stats_.timed_out += shard.stats.timed_out;
+        stats_.makespan_ns =
+            std::max(stats_.makespan_ns, shard.stats.makespan_ns);
+    }
+    if (stats_.makespan_ns > 0)
+        stats_.throughput_rps = static_cast<double>(stats_.completed) /
+                                (stats_.makespan_ns / 1e9);
+    stats_.goodput_rps = static_cast<double>(stats_.completed) /
+                         (stats_.horizon_ns / 1e9);
+    stats_.e2e = serve::LatencySummary::of(std::move(fleet_e2e_ns_));
+    stats_.requireBalanced();
+    return std::move(stats_);
+}
+
+} // namespace fast::fleet

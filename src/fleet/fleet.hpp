@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The fleet controller: N scheduler shards behind one router, driven
+ * in lockstep simulated time by a single deterministic clock.
+ *
+ * The controller runs a fixed-step epoch loop. Each epoch it
+ *
+ *   1. asks the traffic generator for the epoch's arrivals,
+ *   2. routes each arrival (consistent hash + locality scoring +
+ *      watermark backpressure) and submits accepted requests to their
+ *      shard's session,
+ *   3. advances every shard — in ascending shard-id order — to the
+ *      epoch boundary, so all shards observe the same clock,
+ *   4. harvests the shards' outcome feeds, merges them in (time, id)
+ *      order, and feeds them back to the generator (closed-loop
+ *      clients) and the autoscaler's metric window,
+ *   5. handles lifecycle: dead shards (all devices lost) leave the
+ *      ring and are finished immediately — their tenants fail over
+ *      to ring successors; drained shards finish once their backlog
+ *      empties; the autoscaler may add a shard or begin draining one.
+ *
+ * Every decision depends only on simulated time and the seeds, so
+ * replaying a scenario yields byte-identical `FleetStats` (the JSON
+ * is pinned by test, including under a shard-loss fault plan).
+ *
+ * The autoscaler is SLO-driven in simulated time: it watches the
+ * trailing window's p99 end-to-end latency and the fleet's mean load
+ * fraction, adds a shard when the SLO is violated or load crosses the
+ * scale-up watermark, and drains the highest-id shard when the fleet
+ * is comfortably idle. Decisions respect a cooldown so one burst
+ * cannot thrash the fleet, and scale-downs never lose work: a
+ * draining shard leaves the ring immediately but keeps serving its
+ * admitted backlog to completion (asserted by the testkit model
+ * checker).
+ */
+#ifndef FAST_FLEET_FLEET_HPP
+#define FAST_FLEET_FLEET_HPP
+
+#include <memory>
+
+#include "fleet/router.hpp"
+#include "fleet/stats.hpp"
+#include "fleet/trafficgen.hpp"
+
+namespace fast::fleet {
+
+/** SLO-driven autoscaler policy (disabled by default). */
+struct AutoscalerOptions {
+    bool enabled = false;
+    std::size_t min_shards = 1;
+    std::size_t max_shards = 8;
+    /** Scale up when the window's p99 e2e exceeds this; 0 = off. */
+    double p99_target_ns = 0;
+    /** Scale up when mean shard load fraction exceeds this. */
+    double scale_up_load = 0.7;
+    /** Scale down when mean shard load fraction falls below this. */
+    double scale_down_load = 0.15;
+    /** Epochs between autoscaling decisions. */
+    std::size_t cooldown_epochs = 4;
+};
+
+/** Knobs of one fleet run. */
+struct FleetOptions {
+    /** Initial shard count (>= 1). */
+    std::size_t shards = 2;
+    ShardConfig shard;
+    RouterOptions router;
+    AutoscalerOptions autoscaler;
+    /** Lockstep epoch length (simulated ns). */
+    double epoch_ns = 1e6;
+    /** Traffic-generation horizon; the fleet then drains and stops. */
+    double horizon_ns = 50e6;
+};
+
+/**
+ * One multi-shard serving simulation. Construct, optionally override
+ * per-shard fault plans, then `run()` exactly once.
+ */
+class Fleet
+{
+  public:
+    Fleet(FleetOptions options, std::vector<WorkloadSpec> mix,
+          TrafficOptions traffic);
+    ~Fleet();
+
+    Fleet(const Fleet &) = delete;
+    Fleet &operator=(const Fleet &) = delete;
+
+    /**
+     * Inject @p plan into shard @p shard_id (0-based; must be one of
+     * the initial shards, before `run`). This is how a scenario kills
+     * one shard's devices mid-run to exercise cross-shard failover.
+     */
+    void setShardFaultPlan(std::size_t shard_id, serve::FaultPlan plan);
+
+    /** Drive the simulation to completion. Call exactly once. */
+    FleetStats run();
+
+  private:
+    struct LiveShard;
+
+    /** Spawn shard `next_shard_id_` and join it to the ring. */
+    void addShard(double now_ns);
+    /** Finalize @p shard into its `ShardRecord`. */
+    void finishShard(LiveShard &shard, double now_ns, bool dead,
+                     bool drained);
+    /** One autoscaler evaluation at an epoch boundary. */
+    void autoscale(double now_ns);
+    /** Live (non-draining, non-dead) shard count. */
+    std::size_t activeShards() const;
+
+    FleetOptions options_;
+    TrafficGen gen_;
+    Router router_;
+    std::vector<std::unique_ptr<LiveShard>> live_;
+    std::vector<serve::FaultPlan> initial_faults_;
+    std::size_t next_shard_id_ = 0;
+    std::size_t cooldown_left_ = 0;
+
+    /** Trailing-window autoscaler inputs (reset every epoch). */
+    std::vector<double> window_e2e_ns_;
+
+    FleetStats stats_;
+    std::vector<double> fleet_e2e_ns_;
+    bool ran_ = false;
+};
+
+} // namespace fast::fleet
+
+#endif // FAST_FLEET_FLEET_HPP

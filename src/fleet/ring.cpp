@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Implementation of the consistent-hash ring.
+ */
+#include "fleet/ring.hpp"
+
+#include <stdexcept>
+
+namespace fast::fleet {
+
+namespace {
+
+/** splitmix64 finalizer: the repo's standard integer mixer. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+fnv1a(const void *data, std::size_t len, std::uint64_t seed)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed ^ 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= bytes[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+HashRing::HashRing(std::size_t vnodes) : vnodes_(vnodes)
+{
+    if (vnodes_ == 0)
+        throw std::invalid_argument("HashRing: vnodes must be >= 1");
+}
+
+std::uint64_t
+HashRing::hashKey(const std::string &key)
+{
+    return mix64(fnv1a(key.data(), key.size(), 0));
+}
+
+std::uint64_t
+HashRing::pointHash(std::size_t shard, std::size_t vnode) const
+{
+    std::uint64_t ids[2] = {static_cast<std::uint64_t>(shard),
+                            static_cast<std::uint64_t>(vnode)};
+    return mix64(fnv1a(ids, sizeof(ids), 0x5ca1ab1e));
+}
+
+void
+HashRing::add(std::size_t shard)
+{
+    if (!shards_.insert(shard).second)
+        return;
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+        std::uint64_t point = pointHash(shard, v);
+        // Collision tie-break: the lower shard id keeps the point, so
+        // ring contents never depend on insertion order.
+        auto it = points_.find(point);
+        if (it == points_.end())
+            points_.emplace(point, shard);
+        else if (shard < it->second)
+            it->second = shard;
+    }
+}
+
+void
+HashRing::remove(std::size_t shard)
+{
+    if (shards_.erase(shard) == 0)
+        return;
+    for (auto it = points_.begin(); it != points_.end();) {
+        if (it->second == shard)
+            it = points_.erase(it);
+        else
+            ++it;
+    }
+    // Re-seat any colliding points the removed shard had claimed.
+    for (std::size_t other : shards_)
+        for (std::size_t v = 0; v < vnodes_; ++v) {
+            std::uint64_t point = pointHash(other, v);
+            auto seat = points_.find(point);
+            if (seat == points_.end())
+                points_.emplace(point, other);
+            else if (other < seat->second)
+                seat->second = other;
+        }
+}
+
+bool
+HashRing::contains(std::size_t shard) const
+{
+    return shards_.count(shard) != 0;
+}
+
+std::vector<std::size_t>
+HashRing::shards() const
+{
+    return {shards_.begin(), shards_.end()};
+}
+
+std::size_t
+HashRing::lookup(const std::string &key) const
+{
+    if (points_.empty())
+        throw std::logic_error("HashRing::lookup on an empty ring");
+    auto it = points_.lower_bound(hashKey(key));
+    if (it == points_.end())
+        it = points_.begin();
+    return it->second;
+}
+
+std::vector<std::size_t>
+HashRing::successors(const std::string &key, std::size_t n) const
+{
+    std::vector<std::size_t> out;
+    if (points_.empty() || n == 0)
+        return out;
+    n = std::min(n, shards_.size());
+    auto it = points_.lower_bound(hashKey(key));
+    for (std::size_t hops = 0; out.size() < n && hops < points_.size();
+         ++hops) {
+        if (it == points_.end())
+            it = points_.begin();
+        std::size_t shard = it->second;
+        bool seen = false;
+        for (std::size_t s : out)
+            seen = seen || s == shard;
+        if (!seen)
+            out.push_back(shard);
+        ++it;
+    }
+    return out;
+}
+
+} // namespace fast::fleet

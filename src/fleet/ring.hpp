@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Consistent-hash ring for tenant → shard placement.
+ *
+ * The front-end router pins each tenant to a home shard so that the
+ * shard's Hemera pool accumulates that tenant's evaluation keys and
+ * its PlanCache stays warm for the tenant's workloads — evk locality
+ * is the fleet-level continuation of the evk-fetch bottleneck
+ * (ROADMAP item 2). Consistent hashing keeps that placement stable as
+ * the autoscaler adds and drains shards: with V virtual nodes per
+ * shard, adding one shard to an N-shard ring remaps only ~1/(N+1) of
+ * the tenant space, and removing a shard remaps only the keys that
+ * shard owned.
+ *
+ * Determinism contract: placement is a pure function of the ring
+ * membership and the key — the hash is the repo's own splitmix64
+ * finalizer over FNV-1a (no std::hash, which varies by platform), and
+ * point collisions break ties toward the lower shard id.
+ */
+#ifndef FAST_FLEET_RING_HPP
+#define FAST_FLEET_RING_HPP
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fast::fleet {
+
+/** Consistent-hash ring over shard ids with virtual nodes. */
+class HashRing
+{
+  public:
+    /** @p vnodes virtual nodes per shard (>= 1; more = smoother). */
+    explicit HashRing(std::size_t vnodes = 64);
+
+    /** Add @p shard to the ring; no-op when already present. */
+    void add(std::size_t shard);
+
+    /** Remove @p shard from the ring; no-op when absent. */
+    void remove(std::size_t shard);
+
+    bool contains(std::size_t shard) const;
+    std::size_t size() const { return shards_.size(); }
+    bool empty() const { return shards_.empty(); }
+    /** Current membership in ascending shard-id order. */
+    std::vector<std::size_t> shards() const;
+
+    /**
+     * Home shard of @p key: the owner of the first ring point at or
+     * after hash(key), wrapping. Precondition: ring not empty.
+     */
+    std::size_t lookup(const std::string &key) const;
+
+    /**
+     * Up to @p n distinct shards in ring order starting from @p key's
+     * home — the candidate set a router scores for locality and load.
+     */
+    std::vector<std::size_t> successors(const std::string &key,
+                                        std::size_t n) const;
+
+    /**
+     * Platform-stable 64-bit key hash (FNV-1a mixed through the
+     * splitmix64 finalizer).
+     */
+    static std::uint64_t hashKey(const std::string &key);
+
+  private:
+    std::uint64_t pointHash(std::size_t shard,
+                            std::size_t vnode) const;
+
+    std::size_t vnodes_;
+    std::map<std::uint64_t, std::size_t> points_;  ///< point → shard
+    std::set<std::size_t> shards_;
+};
+
+} // namespace fast::fleet
+
+#endif // FAST_FLEET_RING_HPP

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Implementation of the fleet router.
+ */
+#include "fleet/router.hpp"
+
+#include <stdexcept>
+
+namespace fast::fleet {
+
+Router::Router(RouterOptions options)
+    : options_(options), ring_(options.vnodes)
+{
+    if (options_.candidates == 0)
+        throw std::invalid_argument("Router: candidates must be >= 1");
+    if (options_.high_watermark <= 0 || options_.low_watermark <= 0 ||
+        options_.low_watermark > options_.high_watermark)
+        throw std::invalid_argument(
+            "Router: watermarks must satisfy 0 < low <= high");
+}
+
+void
+Router::addShard(std::size_t shard)
+{
+    ring_.add(shard);
+}
+
+void
+Router::removeShard(std::size_t shard)
+{
+    ring_.remove(shard);
+}
+
+RouteDecision
+Router::route(const serve::Request &request,
+              const std::map<std::size_t, Shard *> &shards) const
+{
+    RouteDecision decision;
+    if (ring_.empty()) {
+        decision.reason = serve::StatusCode::unavailable;
+        return decision;
+    }
+
+    auto candidates =
+        ring_.successors(request.tenant, options_.candidates);
+
+    // Score the admissible candidates: load minus locality credit.
+    // Lower is better; the home shard (candidate 0) wins exact ties
+    // through the strict `<`, keeping placement sticky.
+    bool any_routable = false;
+    bool best_set = false;
+    double best_score = 0;
+    std::size_t best = 0;
+    std::size_t best_pos = 0;
+    for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
+        auto it = shards.find(candidates[pos]);
+        if (it == shards.end())
+            throw std::logic_error(
+                "Router::route: ring shard missing from shard map");
+        const Shard &shard = *it->second;
+        if (shard.draining() || shard.allLost())
+            continue;
+        any_routable = true;
+        double load = shard.loadFraction();
+        if (load >= options_.high_watermark)
+            continue;
+        if (request.priority == serve::Priority::low &&
+            load >= options_.low_watermark)
+            continue;
+        double score = load;
+        if (shard.tenantResident(request.tenant))
+            score -= options_.tenant_bonus;
+        if (shard.workloadWarm(request.workloadKey()))
+            score -= options_.plan_bonus;
+        if (!best_set || score < best_score) {
+            best_set = true;
+            best_score = score;
+            best = candidates[pos];
+            best_pos = pos;
+        }
+    }
+
+    if (!best_set) {
+        // Saturated (or low-priority shed) everywhere it could go.
+        decision.reason = any_routable
+                              ? (request.priority ==
+                                         serve::Priority::low
+                                     ? serve::StatusCode::shed
+                                     : serve::StatusCode::queue_full)
+                              : serve::StatusCode::unavailable;
+        return decision;
+    }
+
+    decision.accepted = true;
+    decision.shard = best;
+    decision.failover = best_pos != 0;
+    decision.locality_hit =
+        shards.at(best)->workloadWarm(request.workloadKey());
+    return decision;
+}
+
+} // namespace fast::fleet

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fleet front-end router: tenant → shard placement with evk-locality
+ * scoring and watermark backpressure.
+ *
+ * Placement starts from the consistent-hash ring: a tenant's home
+ * shard plus the next few ring successors form the candidate set.
+ * Candidates are then scored by queue load minus locality bonuses —
+ * a shard already holding the tenant's evaluation keys (resident) or
+ * a warm plan for the request's workload is preferred, because
+ * routing there skips the evk re-fetch and re-planning cost the
+ * single-node runtime meters (ROADMAP item 2). The home shard wins
+ * ties, so placement is sticky and deterministic.
+ *
+ * Backpressure is watermark-based, propagated from the shards'
+ * admission bounds: a candidate above the high watermark is skipped;
+ * above the low watermark, `Priority::low` work is shed at the front
+ * door (the fleet-level analogue of the scheduler's degraded-mode
+ * shedding — cheap traffic is turned away before it ever crosses the
+ * network). When every candidate is saturated, dead, or draining, the
+ * request is rejected with the same `StatusCode` vocabulary the
+ * scheduler uses.
+ */
+#ifndef FAST_FLEET_ROUTER_HPP
+#define FAST_FLEET_ROUTER_HPP
+
+#include <map>
+
+#include "fleet/ring.hpp"
+#include "fleet/shard.hpp"
+
+namespace fast::fleet {
+
+/** Router knobs. */
+struct RouterOptions {
+    /** Virtual nodes per shard on the ring. */
+    std::size_t vnodes = 64;
+    /** Ring successors considered per request (>= 1). */
+    std::size_t candidates = 2;
+    /** Load fraction above which a shard takes no new requests. */
+    double high_watermark = 0.9;
+    /** Load fraction above which low-priority work is shed. */
+    double low_watermark = 0.6;
+    /** Score credit for a shard with the tenant's evk keys resident. */
+    double tenant_bonus = 0.15;
+    /** Score credit for a shard with the workload's plan warm. */
+    double plan_bonus = 0.10;
+};
+
+/** Where one request went, and why. */
+struct RouteDecision {
+    bool accepted = false;
+    std::size_t shard = 0;  ///< meaningful when accepted
+    serve::StatusCode reason = serve::StatusCode::ok;
+    /** Routed off the home shard (death, drain, or overflow). */
+    bool failover = false;
+    /** Landed on a shard already warm for the request's workload. */
+    bool locality_hit = false;
+};
+
+/** The fleet's front door. */
+class Router
+{
+  public:
+    explicit Router(RouterOptions options);
+
+    /** Join @p shard to the ring. */
+    void addShard(std::size_t shard);
+    /** Take @p shard out of the ring (drain/death): no new traffic. */
+    void removeShard(std::size_t shard);
+    const RouterOptions &options() const { return options_; }
+    const HashRing &ring() const { return ring_; }
+
+    /**
+     * Place @p request on one of @p shards (keyed by shard id; must
+     * cover the ring's membership). Never mutates shard state — the
+     * controller submits on an accepted decision.
+     */
+    RouteDecision
+    route(const serve::Request &request,
+          const std::map<std::size_t, Shard *> &shards) const;
+
+  private:
+    RouterOptions options_;
+    HashRing ring_;
+};
+
+} // namespace fast::fleet
+
+#endif // FAST_FLEET_ROUTER_HPP

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Implementation of the fleet shard.
+ */
+#include "fleet/shard.hpp"
+
+#include <stdexcept>
+
+namespace fast::fleet {
+
+namespace {
+
+serve::DevicePool
+makePool(const ShardConfig &config)
+{
+    auto result = serve::DevicePool::builder()
+                      .add(config.device, config.devices)
+                      .build();
+    if (!result.isOk())
+        throw std::invalid_argument("Shard: invalid device config: " +
+                                    result.status().toString());
+    return std::move(result).value();
+}
+
+} // namespace
+
+Shard::Shard(std::size_t id, const ShardConfig &config,
+             double started_ns)
+    : id_(id), started_ns_(started_ns), pool_(makePool(config)),
+      session_(pool_, config.scheduler, config.faults)
+{
+}
+
+void
+Shard::submit(serve::Request request)
+{
+    residents_.insert(request.tenant);
+    warm_.insert(request.workloadKey());
+    session_.offer(std::move(request));
+}
+
+double
+Shard::loadFraction() const
+{
+    auto depth = session_.options().max_queue_depth;
+    if (depth == 0)
+        return 0;
+    return static_cast<double>(backlog()) / static_cast<double>(depth);
+}
+
+void
+Shard::beginDrain(double now_ns)
+{
+    if (draining_)
+        return;
+    draining_ = true;
+    drain_begun_ns_ = now_ns;
+}
+
+} // namespace fast::fleet

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * One scheduler shard of the fleet: a `serve::SchedulerSession` over
+ * its own `DevicePool`, plus the bookkeeping the router scores —
+ * which tenants' evaluation keys are resident in the shard's Hemera
+ * pool and which workload plans its PlanCache has warmed.
+ *
+ * A shard advances only when the fleet controller says so
+ * (`advanceTo`), which is what keeps every shard on one simulated
+ * clock: the controller moves all shards to the same epoch boundary
+ * before looking at any cross-shard state, so no decision can observe
+ * one shard ahead of another.
+ *
+ * Lifecycle: live → (optionally) draining → finished. A draining
+ * shard takes no new requests but keeps advancing until its backlog
+ * empties — no admitted request is lost to a scale-down. A shard
+ * whose devices are all lost is dead: the controller finishes it
+ * immediately and its stranded backlog is accounted as rejections /
+ * failures by the session's own books.
+ */
+#ifndef FAST_FLEET_SHARD_HPP
+#define FAST_FLEET_SHARD_HPP
+
+#include <set>
+
+#include "serve/scheduler.hpp"
+
+namespace fast::fleet {
+
+/** Blueprint for one shard's hardware and scheduler. */
+struct ShardConfig {
+    /** Identical devices per shard. */
+    std::size_t devices = 1;
+    hw::FastConfig device = hw::FastConfig::fast();
+    serve::SchedulerOptions scheduler = serve::SchedulerOptions::defaults();
+    /** Fault plan injected into this shard's session. */
+    serve::FaultPlan faults;
+};
+
+/** One fleet shard: session + locality state + lifecycle. */
+class Shard
+{
+  public:
+    Shard(std::size_t id, const ShardConfig &config, double started_ns);
+
+    Shard(const Shard &) = delete;
+    Shard &operator=(const Shard &) = delete;
+
+    std::size_t id() const { return id_; }
+    double startedNs() const { return started_ns_; }
+
+    /** Route one admitted request into the shard's session. */
+    void submit(serve::Request request);
+
+    /** Advance the shard's session to simulated time @p t_ns. */
+    void advanceTo(double t_ns) { session_.advanceTo(t_ns); }
+
+    /** Drain the outcome feed accumulated since the last call. */
+    std::vector<serve::OutcomeEvent> takeOutcomes()
+    {
+        return session_.takeOutcomes();
+    }
+
+    /** Finalize the session (exactly once) and return its stats. */
+    serve::ServeStats finish() { return session_.finish(); }
+
+    // -- Load / health observers (the router's scoring inputs) ------
+
+    std::size_t queueDepth() const { return session_.queueDepth(); }
+    std::size_t backlog() const { return session_.backlog(); }
+    std::size_t healthyDevices(double now) const
+    {
+        return session_.healthyDevices(now);
+    }
+    bool allLost() const { return session_.allLost(); }
+    std::size_t submitted() const { return session_.offered(); }
+    /** Queue occupancy as a fraction of the admission bound. */
+    double loadFraction() const;
+
+    // -- Locality (evk residency + plan warmth) ---------------------
+
+    /** Has this shard served @p tenant before (evk keys resident)? */
+    bool tenantResident(const std::string &tenant) const
+    {
+        return residents_.count(tenant) != 0;
+    }
+    /** Has this shard planned @p workload before (PlanCache warm)? */
+    bool workloadWarm(const std::string &workload) const
+    {
+        return warm_.count(workload) != 0;
+    }
+
+    // -- Lifecycle --------------------------------------------------
+
+    bool draining() const { return draining_; }
+    void beginDrain(double now_ns);
+    /** Drain requested and the backlog has fully emptied. */
+    bool drained() const { return draining_ && backlog() == 0; }
+    double drainBegunNs() const { return drain_begun_ns_; }
+
+  private:
+    std::size_t id_;
+    double started_ns_;
+    serve::DevicePool pool_;
+    serve::SchedulerSession session_;
+    std::set<std::string> residents_;
+    std::set<std::string> warm_;
+    bool draining_ = false;
+    double drain_begun_ns_ = 0;
+};
+
+} // namespace fast::fleet
+
+#endif // FAST_FLEET_SHARD_HPP

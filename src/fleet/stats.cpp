@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Implementation of the fleet metrics and report formatters.
+ */
+#include "fleet/stats.hpp"
+
+#include <stdexcept>
+
+#include "obs/report.hpp"
+#include "serve/report.hpp"
+
+namespace fast::fleet {
+
+using obs::appendf;
+
+bool
+FleetStats::balanced() const
+{
+    std::size_t submitted = 0;
+    std::size_t done = 0, rej = 0, timed = 0;
+    for (const auto &shard : shards) {
+        if (!shard.stats.balanced())
+            return false;
+        submitted += shard.stats.submitted;
+        done += shard.stats.completed;
+        rej += shard.stats.rejected;
+        timed += shard.stats.timed_out;
+    }
+    return generated == router_rejected + submitted &&
+           routed == submitted && completed == done &&
+           rejected == rej && timed_out == timed;
+}
+
+void
+FleetStats::requireBalanced() const
+{
+    if (balanced())
+        return;
+    std::size_t submitted = 0;
+    for (const auto &shard : shards)
+        submitted += shard.stats.submitted;
+    std::string msg;
+    appendf(msg,
+            "FleetStats unbalanced: generated %zu != router_rejected "
+            "%zu + shard submitted %zu (routed %zu, completed %zu, "
+            "rejected %zu, timed_out %zu)",
+            generated, router_rejected, submitted, routed, completed,
+            rejected, timed_out);
+    throw std::logic_error(msg);
+}
+
+std::string
+describeFleetStats(const FleetStats &stats)
+{
+    std::string out;
+    appendf(out,
+            "fleet: %zu generated, %zu routed, %zu router-rejected; "
+            "%zu completed, %zu rejected, %zu timed out\n",
+            stats.generated, stats.routed, stats.router_rejected,
+            stats.completed, stats.rejected, stats.timed_out);
+    for (const auto &[reason, count] : stats.router_reject_reasons)
+        appendf(out, "  router-rejected[%s] = %zu\n", reason.c_str(),
+                count);
+    appendf(out,
+            "  %zu epochs over %.3f ms horizon (makespan %.3f ms), "
+            "peak %zu shards\n",
+            stats.epochs, stats.horizon_ns / 1e6,
+            stats.makespan_ns / 1e6, stats.peak_shards);
+    appendf(out,
+            "  throughput %.2f req/s, goodput %.2f req/s, "
+            "%zu failovers, %zu locality hits\n",
+            stats.throughput_rps, stats.goodput_rps, stats.failovers,
+            stats.locality_hits);
+    appendf(out,
+            "  e2e p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  "
+            "max %.3f ms\n",
+            stats.e2e.p50_ns / 1e6, stats.e2e.p95_ns / 1e6,
+            stats.e2e.p99_ns / 1e6, stats.e2e.max_ns / 1e6);
+    for (const auto &event : stats.autoscale_events)
+        appendf(out, "  autoscale @%.3f ms: %s shard %zu (%s)\n",
+                event.at_ns / 1e6, event.action.c_str(),
+                event.shard_id, event.reason.c_str());
+    for (const auto &shard : stats.shards) {
+        const char *state = shard.dead            ? " [dead]"
+                            : shard.drained_ns >= 0 ? " [drained]"
+                                                    : "";
+        appendf(out,
+                "  shard %zu%s: %zu submitted, %zu completed, "
+                "%zu rejected, %zu timed out, e2e p99 %.3f ms\n",
+                shard.shard_id, state, shard.stats.submitted,
+                shard.stats.completed, shard.stats.rejected,
+                shard.stats.timed_out, shard.stats.e2e.p99_ns / 1e6);
+    }
+    return out;
+}
+
+std::string
+fleetStatsJson(const FleetStats &stats, const std::string &indent)
+{
+    std::string out;
+    auto in1 = indent + "  ";
+    auto in2 = indent + "    ";
+    appendf(out, "%s{\n", indent.c_str());
+    appendf(out, "%s\"%s\": %llu,\n", in1.c_str(),
+            obs::kSchemaVersionKey,
+            static_cast<unsigned long long>(obs::kSchemaVersion));
+    appendf(out,
+            "%s\"generated\": %zu, \"routed\": %zu, "
+            "\"router_rejected\": %zu,\n",
+            in1.c_str(), stats.generated, stats.routed,
+            stats.router_rejected);
+    appendf(out, "%s\"router_reject_reasons\": {", in1.c_str());
+    bool first = true;
+    for (const auto &[reason, count] : stats.router_reject_reasons) {
+        appendf(out, "%s\"%s\": %zu", first ? "" : ", ",
+                reason.c_str(), count);
+        first = false;
+    }
+    out += "},\n";
+    appendf(out,
+            "%s\"completed\": %zu, \"rejected\": %zu, "
+            "\"timed_out\": %zu,\n",
+            in1.c_str(), stats.completed, stats.rejected,
+            stats.timed_out);
+    appendf(out,
+            "%s\"failovers\": %zu, \"locality_hits\": %zu, "
+            "\"epochs\": %zu, \"peak_shards\": %zu,\n",
+            in1.c_str(), stats.failovers, stats.locality_hits,
+            stats.epochs, stats.peak_shards);
+    appendf(out,
+            "%s\"horizon_ns\": %.1f, \"makespan_ns\": %.1f, "
+            "\"throughput_rps\": %.3f, \"goodput_rps\": %.3f,\n",
+            in1.c_str(), stats.horizon_ns, stats.makespan_ns,
+            stats.throughput_rps, stats.goodput_rps);
+    appendf(out,
+            "%s\"e2e_latency\": {\"count\": %zu, \"mean_ns\": %.1f, "
+            "\"p50_ns\": %.1f, \"p95_ns\": %.1f, \"p99_ns\": %.1f, "
+            "\"max_ns\": %.1f},\n",
+            in1.c_str(), stats.e2e.count, stats.e2e.mean_ns,
+            stats.e2e.p50_ns, stats.e2e.p95_ns, stats.e2e.p99_ns,
+            stats.e2e.max_ns);
+
+    appendf(out, "%s\"autoscale_events\": [\n", in1.c_str());
+    for (std::size_t e = 0; e < stats.autoscale_events.size(); ++e) {
+        const auto &event = stats.autoscale_events[e];
+        appendf(out,
+                "%s{\"at_ns\": %.1f, \"action\": \"%s\", "
+                "\"shard\": %zu, \"reason\": \"%s\"}%s\n",
+                in2.c_str(), event.at_ns, event.action.c_str(),
+                event.shard_id, event.reason.c_str(),
+                e + 1 < stats.autoscale_events.size() ? "," : "");
+    }
+    appendf(out, "%s],\n", in1.c_str());
+
+    appendf(out, "%s\"shards\": [\n", in1.c_str());
+    for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+        const auto &shard = stats.shards[s];
+        appendf(out,
+                "%s{\"shard\": %zu, \"started_ns\": %.1f, "
+                "\"drained_ns\": %.1f, \"dead\": %s, \"stats\":\n",
+                in2.c_str(), shard.shard_id, shard.started_ns,
+                shard.drained_ns, shard.dead ? "true" : "false");
+        out += serve::serveStatsJson(shard.stats, in2);
+        appendf(out, "}%s\n",
+                s + 1 < stats.shards.size() ? "," : "");
+    }
+    appendf(out, "%s]\n", in1.c_str());
+    appendf(out, "%s}", indent.c_str());
+    return out;
+}
+
+} // namespace fast::fleet

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fleet-level serving metrics: what a multi-shard run produces.
+ *
+ * `FleetStats` nests one `serve::ServeStats` per shard (everything the
+ * single-node runtime already reports) under fleet aggregates: router
+ * accounting, locality/failover counters, autoscaler events, and the
+ * end-to-end latency distribution over the whole fleet. The fleet
+ * extends the scheduler's accounting invariant one level up: every
+ * generated request is either rejected at the router or submitted to
+ * exactly one shard, and every shard's own books balance —
+ * `requireBalanced` checks both.
+ *
+ * Like `serveStatsJson`, the JSON writer uses fixed printf formats and
+ * deterministic iteration orders only, so replaying a scenario with
+ * the same seed yields a byte-identical report (pinned by test).
+ */
+#ifndef FAST_FLEET_STATS_HPP
+#define FAST_FLEET_STATS_HPP
+
+#include <string>
+#include <vector>
+
+#include "serve/stats.hpp"
+
+namespace fast::fleet {
+
+/** Lifecycle + final stats of one shard. */
+struct ShardRecord {
+    std::size_t shard_id = 0;
+    double started_ns = 0;     ///< when the shard joined the ring
+    /** When its drain completed; < 0 = served until the end. */
+    double drained_ns = -1;
+    /** Every device lost — the shard died and stranded its backlog. */
+    bool dead = false;
+    serve::ServeStats stats;
+};
+
+/** One autoscaler decision on the simulated timeline. */
+struct AutoscaleEvent {
+    double at_ns = 0;
+    std::string action;   ///< "add" | "drain"
+    std::size_t shard_id = 0;
+    std::string reason;   ///< the trigger, e.g. "p99_above_target"
+};
+
+/** Everything one fleet run produces. */
+struct FleetStats {
+    std::size_t generated = 0;        ///< requests minted by trafficgen
+    std::size_t routed = 0;           ///< accepted by the router
+    std::size_t router_rejected = 0;  ///< turned away at the front door
+    std::map<std::string, std::size_t> router_reject_reasons;
+
+    /** Fleet totals (sums over shards; rejected excludes the router). */
+    std::size_t completed = 0;
+    std::size_t rejected = 0;
+    std::size_t timed_out = 0;
+
+    /** Requests routed off their home shard (death/drain/overflow). */
+    std::size_t failovers = 0;
+    /** Requests routed to a shard already warm for their workload. */
+    std::size_t locality_hits = 0;
+
+    std::size_t epochs = 0;
+    double horizon_ns = 0;     ///< traffic-generation horizon
+    double makespan_ns = 0;    ///< last completion across the fleet
+    double throughput_rps = 0; ///< completed / simulated second of makespan
+    double goodput_rps = 0;    ///< completed / simulated second of horizon
+
+    std::size_t peak_shards = 0;
+    serve::LatencySummary e2e;  ///< over all fleet completions
+
+    std::vector<AutoscaleEvent> autoscale_events;
+    /** Final per-shard records, in shard-id order. */
+    std::vector<ShardRecord> shards;
+
+    /**
+     * The two-level accounting invariant: generated ==
+     * router_rejected + Σ shard submitted, every shard balanced, and
+     * the fleet totals are the shard sums.
+     */
+    bool balanced() const;
+    /** Throw `std::logic_error` with the counts when unbalanced. */
+    void requireBalanced() const;
+};
+
+/** Human-readable multi-line summary. */
+std::string describeFleetStats(const FleetStats &stats);
+
+/**
+ * Deterministic JSON (fixed formats, sorted iteration): same seed +
+ * same scenario ⇒ byte-identical output, including nested per-shard
+ * `serveStatsJson` blocks.
+ */
+std::string fleetStatsJson(const FleetStats &stats,
+                           const std::string &indent = "");
+
+} // namespace fast::fleet
+
+#endif // FAST_FLEET_STATS_HPP

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Implementation of the fleet traffic generator.
+ */
+#include "fleet/trafficgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fast::fleet {
+
+namespace {
+
+constexpr double kPi = 3.141592653589793238462643383279502884;
+
+/** splitmix64 finalizer (same mixer as the hash ring's). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Deterministic uniform in [0, 1) from an integer key. */
+double
+keyedUniform(std::uint64_t key)
+{
+    return static_cast<double>(mix64(key) >> 11) * 0x1.0p-53;
+}
+
+/** Inverse-transform exponential draw; 1-u keeps log() finite. */
+double
+expDraw(math::Prng &prng, double mean)
+{
+    return -mean * std::log(1.0 - prng.uniformReal());
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// ZipfSampler — Hörmann's rejection-inversion method, exact for any
+// population size without materializing the distribution (the fleet
+// simulates millions of tenants).
+// ---------------------------------------------------------------------------
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : n_(n), s_(s)
+{
+    if (n_ == 0)
+        throw std::invalid_argument("ZipfSampler: empty population");
+    if (!(s_ > 0))
+        throw std::invalid_argument("ZipfSampler: exponent must be > 0");
+    h_x1_ = hIntegral(1.5) - 1.0;
+    h_n_ = hIntegral(static_cast<double>(n_) + 0.5);
+    s0_ = 2.0 - hIntegralInverse(hIntegral(2.5) - h(2.0));
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    return std::pow(x, -s_);
+}
+
+double
+ZipfSampler::hIntegral(double x) const
+{
+    // ∫ t^-s dt with the s→1 limit handled explicitly.
+    if (s_ == 1.0)
+        return std::log(x);
+    return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double
+ZipfSampler::hIntegralInverse(double x) const
+{
+    if (s_ == 1.0)
+        return std::exp(x);
+    return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+std::size_t
+ZipfSampler::sample(math::Prng &prng) const
+{
+    for (;;) {
+        double u = h_n_ + prng.uniformReal() * (h_x1_ - h_n_);
+        double x = hIntegralInverse(u);
+        double k = std::floor(x + 0.5);
+        k = std::min(std::max(k, 1.0), static_cast<double>(n_));
+        if (k - x <= s0_ || u >= hIntegral(k + 0.5) - h(k))
+            return static_cast<std::size_t>(k);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TrafficGen
+// ---------------------------------------------------------------------------
+
+TrafficGen::TrafficGen(std::vector<WorkloadSpec> mix,
+                       TrafficOptions options)
+    : mix_(std::move(mix)), options_(options), prng_(options.seed),
+      cl_prng_(options.seed ^ 0xc105edULL),
+      zipf_(std::max<std::size_t>(options.tenant_population, 1),
+            options.zipf_exponent > 0 ? options.zipf_exponent : 1.0)
+{
+    if (mix_.empty())
+        throw std::invalid_argument("TrafficGen: empty mix");
+    for (const auto &spec : mix_) {
+        if (spec.weight <= 0)
+            throw std::invalid_argument(
+                "TrafficGen: non-positive mix weight");
+        total_weight_ += spec.weight;
+    }
+    if (options_.diurnal_amplitude < 0 ||
+        options_.diurnal_amplitude >= 1)
+        throw std::invalid_argument(
+            "TrafficGen: diurnal amplitude must be in [0, 1)");
+    if (options_.burst_multiplier <= 0)
+        throw std::invalid_argument(
+            "TrafficGen: burst multiplier must be > 0");
+    next_id_ = options_.first_id;
+
+    open_loop_ = options_.mean_interarrival_ns > 0;
+    if (open_loop_) {
+        // Start outside a burst; the off-gap draw seeds the process.
+        if (options_.burst_multiplier != 1 && options_.burst_on_ns > 0 &&
+            options_.burst_off_ns > 0)
+            burst_until_ns_ = expDraw(prng_, options_.burst_off_ns);
+        else
+            burst_until_ns_ = std::numeric_limits<double>::infinity();
+        next_open_ns_ = nextOpenArrival(0);
+    }
+
+    clients_.resize(options_.closed_loop_clients);
+    for (std::size_t c = 0; c < clients_.size(); ++c) {
+        Client &client = clients_[c];
+        pickTenantFor(client, cl_prng_);
+        // Stagger first submissions across one mean think time so the
+        // population does not arrive as a single synchronized spike.
+        client.next_submit_ns =
+            cl_prng_.uniformReal() * std::max(options_.think_ns, 1.0);
+    }
+}
+
+std::size_t
+TrafficGen::pickSpec(double u) const
+{
+    double pick = u * total_weight_;
+    for (std::size_t m = 0; m < mix_.size(); ++m) {
+        if (pick < mix_[m].weight)
+            return m;
+        pick -= mix_[m].weight;
+    }
+    return mix_.size() - 1;
+}
+
+void
+TrafficGen::pickTenant(std::string &tenant, std::size_t &spec)
+{
+    if (options_.tenant_population == 0) {
+        spec = pickSpec(prng_.uniformReal());
+        tenant = mix_[spec].tenant;
+        return;
+    }
+    std::size_t rank = zipf_.sample(prng_);
+    tenant = "u" + std::to_string(rank);
+    // Sticky tenant → workload affinity: a hashed per-tenant uniform
+    // (not a PRNG draw) so the same tenant always runs the same
+    // workload regardless of arrival order — that stability is what
+    // the router's plan-warmth scoring exploits.
+    spec = pickSpec(keyedUniform(options_.seed ^ (0xAFF1ULL + rank)));
+}
+
+void
+TrafficGen::pickTenantFor(Client &client, math::Prng &prng)
+{
+    if (options_.tenant_population == 0) {
+        client.spec = pickSpec(prng.uniformReal());
+        client.tenant = mix_[client.spec].tenant;
+        return;
+    }
+    std::size_t rank = zipf_.sample(prng);
+    client.tenant = "u" + std::to_string(rank);
+    client.spec = pickSpec(keyedUniform(options_.seed ^ (0xAFF1ULL + rank)));
+}
+
+void
+TrafficGen::advanceBurst(double t_ns)
+{
+    while (t_ns >= burst_until_ns_) {
+        burst_on_ = !burst_on_;
+        burst_until_ns_ += expDraw(prng_, burst_on_ ? options_.burst_on_ns
+                                                    : options_.burst_off_ns);
+    }
+}
+
+double
+TrafficGen::rateFactor(double t_ns)
+{
+    double factor = 1.0;
+    if (options_.diurnal_amplitude > 0 && options_.diurnal_period_ns > 0)
+        factor *= 1.0 + options_.diurnal_amplitude *
+                            std::sin(2.0 * kPi * t_ns /
+                                     options_.diurnal_period_ns);
+    advanceBurst(t_ns);
+    if (burst_on_)
+        factor *= options_.burst_multiplier;
+    return factor;
+}
+
+double
+TrafficGen::nextOpenArrival(double from_ns)
+{
+    // Exponential gap at the instantaneous rate: a piecewise-constant
+    // approximation of the nonhomogeneous Poisson process that stays a
+    // pure function of the PRNG stream (one draw per arrival).
+    double factor = rateFactor(from_ns);
+    return from_ns +
+           expDraw(prng_, options_.mean_interarrival_ns / factor);
+}
+
+serve::Request
+TrafficGen::makeRequest(const std::string &tenant, std::size_t spec,
+                        double submit_ns)
+{
+    serve::Request request;
+    request.id = next_id_++;
+    request.tenant = tenant;
+    request.priority = mix_[spec].priority;
+    request.submit_ns = submit_ns;
+    request.stream = mix_[spec].stream;
+    ++generated_;
+    return request;
+}
+
+std::vector<serve::Request>
+TrafficGen::generate(double begin_ns, double end_ns)
+{
+    std::vector<serve::Request> out;
+
+    // Open-loop stream: consume precomputed arrivals inside the window.
+    if (open_loop_) {
+        while (next_open_ns_ < end_ns) {
+            double submit = std::max(next_open_ns_, begin_ns);
+            std::string tenant;
+            std::size_t spec = 0;
+            pickTenant(tenant, spec);
+            out.push_back(makeRequest(tenant, spec, submit));
+            next_open_ns_ = nextOpenArrival(next_open_ns_);
+        }
+    }
+
+    // Closed-loop clients due in this window. A client whose request
+    // is still outstanding stays silent; one whose think timer expired
+    // before the window clamps forward to the window start.
+    for (std::size_t c = 0; c < clients_.size(); ++c) {
+        Client &client = clients_[c];
+        if (client.waiting || client.next_submit_ns >= end_ns)
+            continue;
+        double submit = std::max(client.next_submit_ns, begin_ns);
+        serve::Request request =
+            makeRequest(client.tenant, client.spec, submit);
+        waiting_.emplace(request.id, c);
+        client.waiting = true;
+        out.push_back(std::move(request));
+    }
+
+    // One submit-ordered stream with ids increasing along it (ties
+    // break toward the earlier-minted id, so the order is total).
+    std::stable_sort(out.begin(), out.end(),
+                     [](const serve::Request &a, const serve::Request &b) {
+                         if (a.submit_ns != b.submit_ns)
+                             return a.submit_ns < b.submit_ns;
+                         return a.id < b.id;
+                     });
+    return out;
+}
+
+void
+TrafficGen::onOutcome(const serve::OutcomeEvent &outcome)
+{
+    auto it = waiting_.find(outcome.request_id);
+    if (it == waiting_.end())
+        return;
+    Client &client = clients_[it->second];
+    waiting_.erase(it);
+    client.waiting = false;
+    client.next_submit_ns =
+        outcome.at_ns + expDraw(cl_prng_, std::max(options_.think_ns, 1.0));
+}
+
+std::vector<serve::Request>
+TrafficGen::openLoop(const std::vector<WorkloadSpec> &mix,
+                     std::size_t count, double mean_interarrival_ns,
+                     std::uint64_t seed)
+{
+    // Bit-compatible with the original serve::openLoopArrivals: same
+    // PRNG stream, same draw order, same weighted pick.
+    if (mix.empty())
+        throw std::invalid_argument("TrafficGen::openLoop: empty mix");
+    double total_weight = 0;
+    for (const auto &spec : mix)
+        total_weight += spec.weight;
+    if (total_weight <= 0)
+        throw std::invalid_argument(
+            "TrafficGen::openLoop: non-positive mix weight");
+
+    math::Prng prng(seed);
+    std::vector<serve::Request> out;
+    out.reserve(count);
+    double clock_ns = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        double u = prng.uniformReal();
+        clock_ns += -mean_interarrival_ns * std::log(1.0 - u);
+
+        double pick = prng.uniformReal() * total_weight;
+        std::size_t chosen = mix.size() - 1;
+        for (std::size_t m = 0; m < mix.size(); ++m) {
+            if (pick < mix[m].weight) {
+                chosen = m;
+                break;
+            }
+            pick -= mix[m].weight;
+        }
+
+        serve::Request request;
+        request.id = i;
+        request.tenant = mix[chosen].tenant;
+        request.priority = mix[chosen].priority;
+        request.submit_ns = clock_ns;
+        request.stream = mix[chosen].stream;
+        out.push_back(std::move(request));
+    }
+    return out;
+}
+
+} // namespace fast::fleet

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Fleet traffic generation: realistic, deterministic request streams
+ * for serving experiments (the successor of `serve/arrivals.hpp`).
+ *
+ * A production FHE service is not a fixed 60-request trace: arrivals
+ * breathe with the day, spike in bursts, and concentrate on a small
+ * head of heavy tenants drawn from a population of millions (HEAAN
+ * Demystified's end-to-end framing, PAPERS.md). This generator models
+ * exactly that while staying a pure function of its seed:
+ *
+ *   - **open-loop arrivals**: exponential interarrival gaps whose
+ *     instantaneous rate is modulated by a diurnal sinusoid and a
+ *     two-state (on/off) burst process;
+ *   - **closed-loop clients**: a fixed population of clients that
+ *     each submit, wait for their request's outcome, think, and
+ *     submit again — the feedback loop runs through
+ *     `onOutcome(serve::OutcomeEvent)`;
+ *   - **Zipf tenant popularity**: tenants are drawn from a population
+ *     of up to millions of simulated users by exact
+ *     rejection-inversion Zipf sampling; each tenant deterministically
+ *     sticks to one workload of the mix, which is what gives the
+ *     router's evk-locality scoring something to exploit.
+ *
+ * All draws come from the repo's xoshiro PRNG with explicit
+ * inverse-transform sampling: the stream for a given seed is
+ * identical on every platform, which is the precondition for the
+ * fleet's byte-identical-replay contract.
+ */
+#ifndef FAST_FLEET_TRAFFICGEN_HPP
+#define FAST_FLEET_TRAFFICGEN_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "math/random.hpp"
+#include "serve/scheduler.hpp"
+
+namespace fast::fleet {
+
+/**
+ * One component of a workload mix. `tenant` is the fixed tenant label
+ * used when the generator runs without a tenant population; with a
+ * population, tenants are drawn by Zipf popularity instead and
+ * `tenant` is ignored.
+ */
+struct WorkloadSpec {
+    std::string tenant;
+    serve::Priority priority = serve::Priority::normal;
+    trace::OpStream stream;
+    double weight = 1.0;  ///< relative share of the mix
+};
+
+/** Exact Zipf(n, s) sampling by rejection inversion (Hörmann). */
+class ZipfSampler
+{
+  public:
+    /** Ranks 1..n with P(k) ∝ k^-s; @p s > 0. */
+    ZipfSampler(std::size_t n, double s);
+
+    std::size_t sample(math::Prng &prng) const;
+
+  private:
+    double hIntegral(double x) const;
+    double hIntegralInverse(double x) const;
+    double h(double x) const;
+
+    std::size_t n_;
+    double s_;
+    double h_x1_;
+    double h_n_;
+    double s0_;
+};
+
+/** Knobs of one traffic stream. */
+struct TrafficOptions {
+    std::uint64_t seed = 1;
+    /** Base mean gap of the open-loop Poisson process; 0 = no open loop. */
+    double mean_interarrival_ns = 1e6;
+
+    /**
+     * Simulated-user population tenants are Zipf-drawn from ("u<k>");
+     * 0 = use each `WorkloadSpec::tenant` label with weighted picks
+     * (the legacy `serve::openLoopArrivals` behavior).
+     */
+    std::size_t tenant_population = 0;
+    /** Zipf popularity exponent (s > 0; larger = heavier head). */
+    double zipf_exponent = 1.05;
+
+    /** Diurnal rate modulation: rate *= 1 + A sin(2π t / period). */
+    double diurnal_amplitude = 0;  ///< in [0, 1)
+    double diurnal_period_ns = 0;  ///< 0 disables the sinusoid
+
+    /** Burst (on/off) modulation: rate *= multiplier while bursting. */
+    double burst_multiplier = 1;  ///< 1 disables bursts
+    double burst_on_ns = 0;       ///< mean burst length (exponential)
+    double burst_off_ns = 0;      ///< mean inter-burst gap (exponential)
+
+    /** Closed-loop client population; 0 = pure open loop. */
+    std::size_t closed_loop_clients = 0;
+    /** Mean think time between a client's outcome and its next submit. */
+    double think_ns = 0;
+
+    /** First request id handed out (ids increase from here). */
+    std::uint64_t first_id = 0;
+};
+
+/**
+ * Incremental, deterministic traffic source. The fleet controller
+ * asks for one epoch of arrivals at a time (`generate`), and feeds
+ * request outcomes back (`onOutcome`) so closed-loop clients release.
+ */
+class TrafficGen
+{
+  public:
+    TrafficGen(std::vector<WorkloadSpec> mix, TrafficOptions options);
+
+    /**
+     * All arrivals with `submit_ns` in [@p begin_ns, @p end_ns), in
+     * submit order with globally increasing ids. Windows must be
+     * consumed in increasing, non-overlapping order.
+     */
+    std::vector<serve::Request> generate(double begin_ns,
+                                         double end_ns);
+
+    /**
+     * Feed one request outcome back. A closed-loop client whose
+     * request resolved schedules its next submission at
+     * `outcome.at_ns + think`; open-loop requests are ignored.
+     * Outcomes must be fed in a deterministic order (the fleet sorts
+     * each epoch's outcomes by time then id).
+     */
+    void onOutcome(const serve::OutcomeEvent &outcome);
+
+    /** Requests handed out so far. */
+    std::size_t generated() const { return generated_; }
+    const TrafficOptions &options() const { return options_; }
+
+    /**
+     * The legacy one-shot open-loop trace (bit-compatible with the
+     * deprecated `serve::openLoopArrivals`): @p count requests over
+     * @p mix with exponential gaps of mean @p mean_interarrival_ns.
+     */
+    static std::vector<serve::Request>
+    openLoop(const std::vector<WorkloadSpec> &mix, std::size_t count,
+             double mean_interarrival_ns, std::uint64_t seed);
+
+  private:
+    struct Client;
+
+    /** Weighted mix pick from one uniform draw in [0, 1). */
+    std::size_t pickSpec(double u) const;
+    /** Tenant label + its sticky workload for one arrival. */
+    void pickTenant(std::string &tenant, std::size_t &spec);
+    /** Assign a closed-loop client its tenant + sticky workload. */
+    void pickTenantFor(Client &client, math::Prng &prng);
+    /** Instantaneous rate multiplier at @p t_ns (diurnal × burst). */
+    double rateFactor(double t_ns);
+    /** Advance the burst on/off process to cover @p t_ns. */
+    void advanceBurst(double t_ns);
+    /** Draw the next open-loop arrival time after @p from_ns. */
+    double nextOpenArrival(double from_ns);
+    serve::Request makeRequest(const std::string &tenant,
+                               std::size_t spec, double submit_ns);
+
+    std::vector<WorkloadSpec> mix_;
+    TrafficOptions options_;
+    double total_weight_ = 0;
+    math::Prng prng_;     ///< open-loop gaps + tenant draws
+    math::Prng cl_prng_;  ///< closed-loop stagger + think times
+    ZipfSampler zipf_;
+
+    // Open-loop state.
+    bool open_loop_ = false;
+    double next_open_ns_ = 0;
+    bool burst_on_ = false;
+    double burst_until_ns_ = 0;
+
+    // Closed-loop state.
+    struct Client {
+        std::string tenant;
+        std::size_t spec = 0;
+        double next_submit_ns = 0;
+        bool waiting = false;
+    };
+    std::vector<Client> clients_;
+    std::map<std::uint64_t, std::size_t> waiting_;  ///< request → client
+
+    std::uint64_t next_id_ = 0;
+    std::size_t generated_ = 0;
+};
+
+} // namespace fast::fleet
+
+#endif // FAST_FLEET_TRAFFICGEN_HPP

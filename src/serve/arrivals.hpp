@@ -1,42 +1,36 @@
 /**
  * @file
- * Open-loop arrival-trace generation for serving experiments.
+ * DEPRECATED shim — arrival generation moved to `fleet/trafficgen.hpp`.
  *
- * An open-loop trace fixes the arrival process up front (requests
- * arrive whether or not the system keeps up), which is what exposes
- * queueing behavior and admission control under overload. Arrivals
- * are Poisson — exponential interarrival gaps — drawn from the repo's
- * own xoshiro PRNG with explicit inverse-transform sampling, so the
- * trace for a given seed is identical on every platform and every
- * standard library.
+ * The open-loop generator grew into the fleet traffic generator
+ * (`fast::fleet::TrafficGen`), which adds diurnal/bursty rate
+ * modulation, Zipf tenant populations, and closed-loop clients. The
+ * legacy entry points forward to it unchanged — same PRNG stream,
+ * same traces, bit-for-bit — and will be removed one release after
+ * this one. Callers must link `fast_fleet`.
  */
 #ifndef FAST_SERVE_ARRIVALS_HPP
 #define FAST_SERVE_ARRIVALS_HPP
 
-#include <cstdint>
-#include <vector>
-
-#include "serve/request.hpp"
+#include "fleet/trafficgen.hpp"
 
 namespace fast::serve {
 
-/** One component of a workload mix. */
-struct ArrivalSpec {
-    std::string tenant;
-    Priority priority = Priority::normal;
-    trace::OpStream stream;
-    double weight = 1.0;  ///< relative share of the mix
-};
+/** @deprecated Use `fast::fleet::WorkloadSpec`. */
+using ArrivalSpec
+    [[deprecated("use fast::fleet::WorkloadSpec")]] =
+        fast::fleet::WorkloadSpec;
 
-/**
- * Generate @p count requests over the @p mix with exponential
- * interarrival gaps of mean @p mean_interarrival_ns. Request ids are
- * assigned 0..count-1 in arrival order. Deterministic in @p seed.
- */
-std::vector<Request> openLoopArrivals(const std::vector<ArrivalSpec> &mix,
-                                      std::size_t count,
-                                      double mean_interarrival_ns,
-                                      std::uint64_t seed);
+/** @deprecated Use `fast::fleet::TrafficGen::openLoop`. */
+[[deprecated("use fast::fleet::TrafficGen::openLoop")]] inline std::vector<Request>
+openLoopArrivals(const std::vector<fast::fleet::WorkloadSpec> &mix,
+                 std::size_t count, double mean_interarrival_ns,
+                 std::uint64_t seed)
+{
+    return fast::fleet::TrafficGen::openLoop(mix, count,
+                                             mean_interarrival_ns,
+                                             seed);
+}
 
 } // namespace fast::serve
 

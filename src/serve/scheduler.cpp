@@ -1,8 +1,14 @@
 /**
  * @file
  * Implementation of the batch scheduler: deterministic planning loop
- * (now fault-aware: retries, deadlines, quarantine, shedding) plus
+ * (fault-aware: retries, deadlines, quarantine, shedding) plus
  * per-device worker threads.
+ *
+ * The loop lives in `SchedulerSession` so it can be advanced in
+ * bounded simulated-time slices (the fleet tier advances many
+ * sessions in lockstep); `Scheduler::run` is the one-shot wrapper:
+ * offer every arrival, then finish. Both paths make identical
+ * decisions — a sliced session replays a one-shot run byte for byte.
  */
 #include "serve/scheduler.hpp"
 
@@ -13,6 +19,7 @@
 #include <limits>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 
 #include "obs/stats.hpp"
@@ -63,12 +70,18 @@ SchedulerOptions::validate() const
 
 namespace {
 
-/** One unit of work handed to a device worker. */
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/**
+ * One unit of work handed to a device worker. The completion records
+ * stay on the planning thread (they are fully stamped at dispatch
+ * time); the worker only needs the batch shape for aggregation.
+ */
 struct DispatchedBatch {
     std::size_t batch_id = 0;
+    std::size_t requests = 0;
     double service_ns = 0;
     PlanCache::Entry plan;
-    std::vector<CompletionRecord> records;  ///< pre-stamped intervals
 };
 
 /** Unbounded MPSC channel; `close` drains then unblocks the worker. */
@@ -121,7 +134,6 @@ struct DeviceAccumulator {
     double hbm_bytes = 0;
     double energy_j = 0;
     std::map<std::string, double> label_ns;
-    std::vector<CompletionRecord> completions;
 };
 
 void
@@ -133,19 +145,17 @@ deviceWorker(BatchChannel &channel, DeviceAccumulator &acc)
                           static_cast<std::uint64_t>(batch->batch_id));
         FAST_OBS_SPAN_ARG(
             span, "requests",
-            static_cast<std::uint64_t>(batch->records.size()));
+            static_cast<std::uint64_t>(batch->requests));
         const auto &plan = *batch->plan;
-        auto b = static_cast<double>(batch->records.size());
+        auto b = static_cast<double>(batch->requests);
         acc.batches += 1;
-        acc.requests += batch->records.size();
+        acc.requests += batch->requests;
         acc.busy_ns += batch->service_ns;
         acc.mod_mults += b * plan.stats.totalMults();
         acc.hbm_bytes += b * plan.stats.hbm_bytes;
         acc.energy_j += b * plan.energy.energy_j;
         for (const auto &[label, ns] : plan.stats.label_ns)
             acc.label_ns[label] += b * ns;
-        for (auto &record : batch->records)
-            acc.completions.push_back(std::move(record));
     }
 }
 
@@ -165,72 +175,151 @@ struct RetryLater {
     }
 };
 
+/** Min-heap order on (submit time, id) — admission order. */
+struct ArrivesLater {
+    bool operator()(const Request &a, const Request &b) const
+    {
+        if (a.submit_ns != b.submit_ns)
+            return a.submit_ns > b.submit_ns;
+        return a.id > b.id;
+    }
+};
+
 } // namespace
 
-Scheduler::Scheduler(DevicePool &pool)
-    : Scheduler(pool, SchedulerOptions::defaults())
-{
-}
+/** Everything one live session owns besides its ServeStats. */
+struct SchedulerSession::Impl {
+    Impl(DevicePool &pool, const SchedulerOptions &options,
+         FaultPlan fault_plan)
+        : injector(std::move(fault_plan)),
+          health(pool.size(), options.health),
+          queue(options.policy, options.max_queue_depth),
+          channels(pool.size()), accumulators(pool.size()),
+          free_at(pool.size(), 0.0)
+    {
+        workers.reserve(pool.size());
+        for (std::size_t d = 0; d < pool.size(); ++d)
+            workers.emplace_back(deviceWorker, std::ref(channels[d]),
+                                 std::ref(accumulators[d]));
+    }
 
-Scheduler::Scheduler(DevicePool &pool, SchedulerOptions options)
-    : pool_(pool), options_(options)
-{
-}
-
-ServeStats
-Scheduler::run(std::vector<Request> arrivals)
-{
-    return run(std::move(arrivals), FaultPlan::none());
-}
-
-ServeStats
-Scheduler::run(std::vector<Request> arrivals,
-               const FaultPlan &fault_plan)
-{
-    FAST_OBS_SPAN_VAR(run_span, "serve.run");
-    FAST_OBS_SPAN_ARG(run_span, "requests",
-                      static_cast<std::uint64_t>(arrivals.size()));
-    FAST_OBS_SPAN_ARG(run_span, "devices",
-                      static_cast<std::uint64_t>(pool_.size()));
-    constexpr double kInf = std::numeric_limits<double>::infinity();
-
-    // Arrival order is part of the runtime's determinism contract.
-    std::stable_sort(arrivals.begin(), arrivals.end(),
-                     [](const Request &a, const Request &b) {
-                         if (a.submit_ns != b.submit_ns)
-                             return a.submit_ns < b.submit_ns;
-                         return a.id < b.id;
-                     });
-
-    ServeStats stats;
-    stats.submitted = arrivals.size();
-    stats.faults.plan_name = fault_plan.name;
-
-    FaultInjector injector(fault_plan);
-    HealthTracker health(pool_.size(), options_.health);
-    RequestQueue queue(options_.policy, options_.max_queue_depth);
+    FaultInjector injector;
+    HealthTracker health;
+    RequestQueue queue;
     PlanCache cache;
 
-    std::vector<BatchChannel> channels(pool_.size());
-    std::vector<DeviceAccumulator> accumulators(pool_.size());
+    std::vector<BatchChannel> channels;
+    std::vector<DeviceAccumulator> accumulators;
     std::vector<std::thread> workers;
-    workers.reserve(pool_.size());
-    for (std::size_t d = 0; d < pool_.size(); ++d)
-        workers.emplace_back(deviceWorker, std::ref(channels[d]),
-                             std::ref(accumulators[d]));
 
-    std::vector<PendingRetry> retries;  // min-heap via RetryLater
+    std::vector<Request> pending;       ///< min-heap via ArrivesLater
+    std::vector<PendingRetry> retries;  ///< min-heap via RetryLater
     std::map<std::uint64_t, std::size_t> attempts;
-    double last_submit_ns =
-        arrivals.empty() ? 0.0 : arrivals.back().submit_ns;
+    std::vector<double> free_at;
+    std::vector<OutcomeEvent> outcomes;
+    std::size_t next_batch_id = 0;
+    double last_now = 0;
+    double last_submit_ns = 0;
+};
 
-    auto reject = [&](const Request &request, StatusCode code,
+SchedulerSession::SchedulerSession(DevicePool &pool,
+                                   SchedulerOptions options,
+                                   FaultPlan fault_plan)
+    : pool_(pool), options_(options),
+      impl_(std::make_unique<Impl>(pool, options,
+                                   std::move(fault_plan)))
+{
+    stats_.faults.plan_name = impl_->injector.plan().name;
+}
+
+SchedulerSession::~SchedulerSession()
+{
+    // A session abandoned without finish() must still join its
+    // workers or the process aborts in ~thread.
+    if (!finished_) {
+        for (auto &channel : impl_->channels)
+            channel.close();
+        for (auto &worker : impl_->workers)
+            worker.join();
+    }
+}
+
+void
+SchedulerSession::offer(Request request)
+{
+    if (finished_)
+        throw std::logic_error(
+            "SchedulerSession::offer after finish()");
+    stats_.submitted += 1;
+    impl_->last_submit_ns =
+        std::max(impl_->last_submit_ns, request.submit_ns);
+    impl_->pending.push_back(std::move(request));
+    std::push_heap(impl_->pending.begin(), impl_->pending.end(),
+                   ArrivesLater{});
+}
+
+void
+SchedulerSession::offer(std::vector<Request> requests)
+{
+    for (Request &request : requests)
+        offer(std::move(request));
+}
+
+std::size_t
+SchedulerSession::queueDepth() const
+{
+    return impl_->queue.depth();
+}
+
+std::size_t
+SchedulerSession::backlog() const
+{
+    return impl_->queue.depth() + impl_->retries.size() +
+           impl_->pending.size();
+}
+
+std::size_t
+SchedulerSession::healthyDevices(double now) const
+{
+    return impl_->health.healthyCount(now);
+}
+
+bool
+SchedulerSession::allLost() const
+{
+    return impl_->health.lostCount() == pool_.size();
+}
+
+std::vector<OutcomeEvent>
+SchedulerSession::takeOutcomes()
+{
+    std::vector<OutcomeEvent> out;
+    out.swap(impl_->outcomes);
+    return out;
+}
+
+void
+SchedulerSession::advanceTo(double t_ns)
+{
+    while (step(t_ns)) {
+    }
+}
+
+bool
+SchedulerSession::step(double limit_ns)
+{
+    Impl &im = *impl_;
+    ServeStats &stats = stats_;
+
+    auto reject = [&](std::uint64_t id, const std::string &tenant,
+                      StatusCode code, double submit_ns,
                       double at_ns) {
         stats.rejected += 1;
         stats.reject_reasons[toString(code)] += 1;
-        stats.tenants[request.tenant].rejected += 1;
-        stats.rejections.push_back({request.id, request.tenant, code,
-                                    request.submit_ns, at_ns});
+        stats.tenants[tenant].rejected += 1;
+        stats.rejections.push_back(
+            {id, tenant, code, submit_ns, at_ns});
+        im.outcomes.push_back({id, tenant, code, submit_ns, at_ns});
     };
     auto failRequest = [&](const Request &request, StatusCode code,
                            double at_ns) {
@@ -239,12 +328,14 @@ Scheduler::run(std::vector<Request> arrivals,
         stats.tenants[request.tenant].timed_out += 1;
         stats.failures.push_back({request.id, request.tenant, code,
                                   request.submit_ns, at_ns});
+        im.outcomes.push_back({request.id, request.tenant, code,
+                               request.submit_ns, at_ns});
         FAST_OBS_COUNT("serve.timed_out", 1);
     };
     // Retry with capped exponential backoff, bounded by the retry
     // budget and the request's deadline.
     auto retryOrFail = [&](Request request, double fail_ns) {
-        std::size_t attempt = ++attempts[request.id];
+        std::size_t attempt = ++im.attempts[request.id];
         if (attempt > options_.retry.max_retries) {
             failRequest(request, StatusCode::retries_exhausted,
                         fail_ns);
@@ -259,15 +350,17 @@ Scheduler::run(std::vector<Request> arrivals,
         stats.faults.retries += 1;
         stats.faults.backoff_ns += backoff;
         FAST_OBS_COUNT("serve.retries", 1);
-        retries.push_back({ready, std::move(request)});
-        std::push_heap(retries.begin(), retries.end(), RetryLater{});
+        im.retries.push_back({ready, std::move(request)});
+        std::push_heap(im.retries.begin(), im.retries.end(),
+                       RetryLater{});
     };
-
-    std::size_t cursor = 0;
     auto admitUpTo = [&](double now) {
-        while (cursor < arrivals.size() &&
-               arrivals[cursor].submit_ns <= now) {
-            Request &request = arrivals[cursor];
+        while (!im.pending.empty() &&
+               im.pending.front().submit_ns <= now) {
+            std::pop_heap(im.pending.begin(), im.pending.end(),
+                          ArrivesLater{});
+            Request request = std::move(im.pending.back());
+            im.pending.pop_back();
             if (options_.default_deadline_ns > 0 &&
                 !request.hasDeadline())
                 request.deadline_ns =
@@ -276,256 +369,296 @@ Scheduler::run(std::vector<Request> arrivals,
             Rejection maybe{request.id, request.tenant,
                             StatusCode::queue_full, request.submit_ns,
                             request.submit_ns};
-            auto admit = queue.submit(std::move(request));
+            auto admit = im.queue.submit(std::move(request));
             if (!admit.isOk()) {
                 maybe.reason = admit.code();
                 stats.rejected += 1;
                 stats.reject_reasons[toString(admit.code())] += 1;
                 stats.tenants[maybe.tenant].rejected += 1;
+                im.outcomes.push_back({maybe.request_id, maybe.tenant,
+                                       maybe.reason, maybe.submit_ns,
+                                       maybe.at_ns});
                 stats.rejections.push_back(std::move(maybe));
             } else {
                 stats.accepted += 1;
                 FAST_OBS_COUNT("serve.admitted", 1);
             }
-            ++cursor;
         }
         FAST_OBS_GAUGE_SET("serve.queue_depth",
-                           static_cast<double>(queue.depth()));
-        FAST_OBS_TRACE_COUNTER("serve.queue_depth", queue.depth());
+                           static_cast<double>(im.queue.depth()));
+        FAST_OBS_TRACE_COUNTER("serve.queue_depth", im.queue.depth());
     };
     // Requeue every retry whose backoff elapsed; latest-ready first,
     // so the earliest-ready request ends frontmost under FIFO.
     auto pumpRetries = [&](double now) {
         std::vector<PendingRetry> ready;
-        while (!retries.empty() && retries.front().ready_ns <= now) {
-            std::pop_heap(retries.begin(), retries.end(), RetryLater{});
-            ready.push_back(std::move(retries.back()));
-            retries.pop_back();
+        while (!im.retries.empty() &&
+               im.retries.front().ready_ns <= now) {
+            std::pop_heap(im.retries.begin(), im.retries.end(),
+                          RetryLater{});
+            ready.push_back(std::move(im.retries.back()));
+            im.retries.pop_back();
         }
         for (auto it = ready.rbegin(); it != ready.rend(); ++it)
-            queue.requeue(std::move(it->request));
+            im.queue.requeue(std::move(it->request));
     };
     // Graceful degradation: with capacity down and the queue near its
     // bound, low-priority work is shed before it can crowd out the
     // classes above it.
     auto shedIfDegraded = [&](double now) {
-        if (!health.degraded(now))
+        if (!im.health.degraded(now))
             return;
         auto threshold = static_cast<std::size_t>(std::ceil(
             options_.shed_queue_fraction *
             static_cast<double>(options_.max_queue_depth)));
-        if (queue.depth() < std::max<std::size_t>(threshold, 1))
+        if (im.queue.depth() < std::max<std::size_t>(threshold, 1))
             return;
-        for (Request &request : queue.shedBelow(Priority::normal)) {
-            reject(request, StatusCode::shed, now);
+        for (Request &request :
+             im.queue.shedBelow(Priority::normal)) {
+            reject(request.id, request.tenant, StatusCode::shed,
+                   request.submit_ns, now);
             stats.faults.shed += 1;
             FAST_OBS_COUNT("serve.shed", 1);
         }
     };
     auto markLost = [&](std::size_t d) {
-        health.markLost(d);
+        im.health.markLost(d);
         stats.faults.devices_lost += 1;
         FAST_OBS_COUNT("serve.devices_lost", 1);
     };
 
-    std::vector<double> free_at(pool_.size(), 0.0);
-    std::size_t next_batch_id = 0;
-    double last_now = 0;
-
-    while (true) {
-        // Earliest-available healthy device takes the next batch
-        // (ties: lowest index) — quarantine release times and loss
-        // are part of availability now, not just dispatch backlog.
-        std::size_t d = pool_.size();
-        double best = kInf;
-        for (std::size_t i = 0; i < pool_.size(); ++i) {
-            double at = health.availableAt(i, free_at[i]);
-            if (at < best) {
-                best = at;
-                d = i;
-            }
+    // Earliest-available healthy device takes the next batch (ties:
+    // lowest index) — quarantine release times and loss are part of
+    // availability, not just dispatch backlog.
+    std::size_t d = pool_.size();
+    double best = kInf;
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+        double at = im.health.availableAt(i, im.free_at[i]);
+        if (at < best) {
+            best = at;
+            d = i;
         }
-        if (d == pool_.size())
-            break;  // every device permanently lost: drain below
-        double now = best;
+    }
+    if (d == pool_.size())
+        return false;  // every device permanently lost
+    double now = best;
 
-        if (queue.empty()) {
-            double next_work = kInf;
-            if (!retries.empty())
-                next_work = retries.front().ready_ns;
-            if (cursor < arrivals.size())
-                next_work = std::min(next_work,
-                                     arrivals[cursor].submit_ns);
-            if (next_work == kInf)
-                break;  // drained: nothing queued, pending, or arriving
-            now = std::max(now, next_work);
+    if (im.queue.empty()) {
+        double next_work = kInf;
+        if (!im.retries.empty())
+            next_work = im.retries.front().ready_ns;
+        if (!im.pending.empty())
+            next_work =
+                std::min(next_work, im.pending.front().submit_ns);
+        if (next_work == kInf)
+            return false;  // drained: nothing queued, pending, arriving
+        now = std::max(now, next_work);
+    }
+    if (now > limit_ns)
+        return false;  // the next decision is due after this slice
+    im.last_now = std::max(im.last_now, now);
+
+    // Permanent device loss scheduled at or before now.
+    if (im.injector.lostBy(d, now) && !im.health.lost(d)) {
+        markLost(d);
+        return true;
+    }
+    // Transient outage: the device is unavailable until the window
+    // closes; work replans onto the other devices.
+    if (double end = im.injector.outageEndsAfter(d, now); end > now) {
+        im.free_at[d] = end;
+        return true;
+    }
+
+    admitUpTo(now);
+    pumpRetries(now);
+    shedIfDegraded(now);
+
+    auto batch = im.queue.popBatch(options_.max_batch);
+    if (batch.empty())
+        return true;  // admissions all rejected/shed; re-evaluate
+
+    // Deadline enforcement at dispatch: a request whose deadline
+    // passed while it queued (or backed off) never starts.
+    for (std::size_t i = 0; i < batch.size();) {
+        if (batch[i].hasDeadline() && now >= batch[i].deadline_ns) {
+            failRequest(batch[i], StatusCode::timeout, now);
+            batch.erase(batch.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+        } else {
+            ++i;
         }
-        last_now = std::max(last_now, now);
+    }
+    if (batch.empty())
+        return true;
 
-        // Permanent device loss scheduled at or before now.
-        if (injector.lostBy(d, now) && !health.lost(d)) {
-            markLost(d);
-            continue;
-        }
-        // Transient outage: the device is unavailable until the
-        // window closes; work replans onto the other devices.
-        if (double end = injector.outageEndsAfter(d, now); end > now) {
-            free_at[d] = end;
-            continue;
-        }
-
-        admitUpTo(now);
-        pumpRetries(now);
-        shedIfDegraded(now);
-
-        auto batch = queue.popBatch(options_.max_batch);
-        if (batch.empty())
-            continue;  // admissions all rejected/shed; re-evaluate
-
-        // Deadline enforcement at dispatch: a request whose deadline
-        // passed while it queued (or backed off) never starts.
-        for (std::size_t i = 0; i < batch.size();) {
-            if (batch[i].hasDeadline() &&
-                now >= batch[i].deadline_ns) {
-                failRequest(batch[i], StatusCode::timeout, now);
-                batch.erase(batch.begin() +
-                            static_cast<std::ptrdiff_t>(i));
-            } else {
-                ++i;
-            }
-        }
-        if (batch.empty())
-            continue;
-
-        // Scheduled plan-cache faults: eviction forces a replan (a
-        // miss); corruption also costs a failed attempt.
-        const std::string &workload = batch.front().workloadKey();
-        if (auto fault = injector.takePlanFault(workload, now)) {
-            cache.invalidate(pool_.config(d), batch.front().stream);
-            stats.faults.plan_faults += 1;
-            FAST_OBS_COUNT("serve.plan_faults", 1);
-            if (*fault == FaultKind::plan_corrupt) {
-                double fail_ns = now + options_.plan_retry_penalty_ns;
-                free_at[d] = fail_ns;
-                for (Request &request : batch)
-                    retryOrFail(std::move(request), fail_ns);
-                continue;
-            }
-        }
-
-        PlanCache::Entry plan;
-        {
-            FAST_OBS_SPAN_VAR(plan_span, "serve.plan");
-            FAST_OBS_SPAN_ARG(plan_span, "device",
-                              static_cast<std::uint64_t>(d));
-            auto fetched =
-                cache.fetch(pool_.device(d), batch.front().stream);
-            if (!fetched.isOk()) {
-                // Unusable plan: charge the detection penalty and
-                // send the batch around the retry loop.
-                double fail_ns = now + options_.plan_retry_penalty_ns;
-                free_at[d] = fail_ns;
-                stats.faults.plan_faults += 1;
-                for (Request &request : batch)
-                    retryOrFail(std::move(request), fail_ns);
-                continue;
-            }
-            plan = std::move(fetched.value());
-        }
-
-        // Injected evk-transfer timeout (the Hemera stall scenario):
-        // the attempt dies once the stall is detected; the circuit
-        // breaker counts it against the device.
-        if (injector.evkTimeoutAt(d, now)) {
-            double fail_ns = now + options_.evk_timeout_detect_ns;
-            free_at[d] = fail_ns;
-            stats.faults.evk_timeouts += 1;
-            FAST_OBS_COUNT("serve.evk_timeouts", 1);
-            health.recordFailure(d, now);
+    // Scheduled plan-cache faults: eviction forces a replan (a
+    // miss); corruption also costs a failed attempt.
+    const std::string &workload = batch.front().workloadKey();
+    if (auto fault = im.injector.takePlanFault(workload, now)) {
+        im.cache.invalidate(pool_.config(d), batch.front().stream);
+        stats.faults.plan_faults += 1;
+        FAST_OBS_COUNT("serve.plan_faults", 1);
+        if (*fault == FaultKind::plan_corrupt) {
+            double fail_ns = now + options_.plan_retry_penalty_ns;
+            im.free_at[d] = fail_ns;
             for (Request &request : batch)
                 retryOrFail(std::move(request), fail_ns);
-            continue;
+            return true;
         }
-
-        double slow = injector.slowFactor(d, now);
-        double exec_ns = plan->stats.total_ns * slow;
-        double lookup_ns = plan->hemera.config_lookups_ns;
-        double service_ns =
-            lookup_ns + exec_ns * static_cast<double>(batch.size());
-
-        // A permanent loss striking mid-service kills the in-flight
-        // batch at the loss instant; survivors absorb the retries.
-        double lost_at = 0;
-        if (injector.lossDuring(d, now, now + service_ns, &lost_at)) {
-            markLost(d);
-            for (Request &request : batch)
-                retryOrFail(std::move(request), lost_at);
-            continue;
-        }
-
-        DispatchedBatch dispatch;
-        dispatch.batch_id = next_batch_id++;
-        dispatch.service_ns = service_ns;
-        dispatch.plan = plan;
-        dispatch.records.reserve(batch.size());
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-            const Request &request = batch[i];
-            CompletionRecord record;
-            record.request_id = request.id;
-            record.tenant = request.tenant;
-            record.workload = request.workloadKey();
-            record.priority = request.priority;
-            record.device = d;
-            record.batch_id = dispatch.batch_id;
-            record.ops = request.stream.ops.size();
-            auto it = attempts.find(request.id);
-            record.attempts = it == attempts.end() ? 0 : it->second;
-            record.submit_ns = request.submit_ns;
-            record.start_ns = now;
-            record.done_ns = now + lookup_ns +
-                             exec_ns * static_cast<double>(i + 1);
-            dispatch.records.push_back(std::move(record));
-        }
-        free_at[d] = now + service_ns;
-        health.recordSuccess(d);
-        stats.batches += 1;
-        FAST_OBS_COUNT("serve.batches", 1);
-        channels[d].push(std::move(dispatch));
     }
+
+    PlanCache::Entry plan;
+    {
+        FAST_OBS_SPAN_VAR(plan_span, "serve.plan");
+        FAST_OBS_SPAN_ARG(plan_span, "device",
+                          static_cast<std::uint64_t>(d));
+        auto fetched =
+            im.cache.fetch(pool_.device(d), batch.front().stream);
+        if (!fetched.isOk()) {
+            // Unusable plan: charge the detection penalty and send
+            // the batch around the retry loop.
+            double fail_ns = now + options_.plan_retry_penalty_ns;
+            im.free_at[d] = fail_ns;
+            stats.faults.plan_faults += 1;
+            for (Request &request : batch)
+                retryOrFail(std::move(request), fail_ns);
+            return true;
+        }
+        plan = std::move(fetched.value());
+    }
+
+    // Injected evk-transfer timeout (the Hemera stall scenario): the
+    // attempt dies once the stall is detected; the circuit breaker
+    // counts it against the device.
+    if (im.injector.evkTimeoutAt(d, now)) {
+        double fail_ns = now + options_.evk_timeout_detect_ns;
+        im.free_at[d] = fail_ns;
+        stats.faults.evk_timeouts += 1;
+        FAST_OBS_COUNT("serve.evk_timeouts", 1);
+        im.health.recordFailure(d, now);
+        for (Request &request : batch)
+            retryOrFail(std::move(request), fail_ns);
+        return true;
+    }
+
+    double slow = im.injector.slowFactor(d, now);
+    double exec_ns = plan->stats.total_ns * slow;
+    double lookup_ns = plan->hemera.config_lookups_ns;
+    double service_ns =
+        lookup_ns + exec_ns * static_cast<double>(batch.size());
+
+    // A permanent loss striking mid-service kills the in-flight
+    // batch at the loss instant; survivors absorb the retries.
+    double lost_at = 0;
+    if (im.injector.lossDuring(d, now, now + service_ns, &lost_at)) {
+        markLost(d);
+        for (Request &request : batch)
+            retryOrFail(std::move(request), lost_at);
+        return true;
+    }
+
+    DispatchedBatch dispatch;
+    dispatch.batch_id = im.next_batch_id++;
+    dispatch.requests = batch.size();
+    dispatch.service_ns = service_ns;
+    dispatch.plan = plan;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Request &request = batch[i];
+        CompletionRecord record;
+        record.request_id = request.id;
+        record.tenant = request.tenant;
+        record.workload = request.workloadKey();
+        record.priority = request.priority;
+        record.device = d;
+        record.batch_id = dispatch.batch_id;
+        record.ops = request.stream.ops.size();
+        auto it = im.attempts.find(request.id);
+        record.attempts = it == im.attempts.end() ? 0 : it->second;
+        record.submit_ns = request.submit_ns;
+        record.start_ns = now;
+        record.done_ns = now + lookup_ns +
+                         exec_ns * static_cast<double>(i + 1);
+        im.outcomes.push_back({record.request_id, record.tenant,
+                               StatusCode::ok, record.submit_ns,
+                               record.done_ns});
+        stats.completions.push_back(std::move(record));
+    }
+    im.free_at[d] = now + service_ns;
+    im.health.recordSuccess(d);
+    stats.batches += 1;
+    FAST_OBS_COUNT("serve.batches", 1);
+    im.channels[d].push(std::move(dispatch));
+    return true;
+}
+
+ServeStats
+SchedulerSession::finish()
+{
+    if (finished_)
+        throw std::logic_error(
+            "SchedulerSession::finish called twice");
+    advanceTo(kInf);
+    finished_ = true;
+
+    Impl &im = *impl_;
+    ServeStats &stats = stats_;
+
+    auto failStranded = [&](const Request &request, double at_ns) {
+        stats.timed_out += 1;
+        stats.failure_reasons[toString(StatusCode::device_lost)] += 1;
+        stats.tenants[request.tenant].timed_out += 1;
+        stats.failures.push_back({request.id, request.tenant,
+                                  StatusCode::device_lost,
+                                  request.submit_ns, at_ns});
+        im.outcomes.push_back({request.id, request.tenant,
+                               StatusCode::device_lost,
+                               request.submit_ns, at_ns});
+        FAST_OBS_COUNT("serve.timed_out", 1);
+    };
 
     // Drain: with every device lost, admitted work is stranded
     // (device_lost) and unadmitted arrivals can never be served.
-    while (auto request = queue.pop())
-        failRequest(*request, StatusCode::device_lost,
-                    std::max(last_now, request->submit_ns));
-    for (const PendingRetry &pending : retries)
-        failRequest(pending.request, StatusCode::device_lost,
-                    std::max(last_now, pending.ready_ns));
-    retries.clear();
-    for (; cursor < arrivals.size(); ++cursor) {
-        stats.tenants[arrivals[cursor].tenant].submitted += 1;
-        reject(arrivals[cursor], StatusCode::unavailable,
-               arrivals[cursor].submit_ns);
+    while (auto request = im.queue.pop())
+        failStranded(*request,
+                     std::max(im.last_now, request->submit_ns));
+    for (const PendingRetry &pending : im.retries)
+        failStranded(pending.request,
+                     std::max(im.last_now, pending.ready_ns));
+    im.retries.clear();
+    while (!im.pending.empty()) {
+        std::pop_heap(im.pending.begin(), im.pending.end(),
+                      ArrivesLater{});
+        Request request = std::move(im.pending.back());
+        im.pending.pop_back();
+        stats.tenants[request.tenant].submitted += 1;
+        stats.rejected += 1;
+        stats.reject_reasons[toString(StatusCode::unavailable)] += 1;
+        stats.tenants[request.tenant].rejected += 1;
+        stats.rejections.push_back({request.id, request.tenant,
+                                    StatusCode::unavailable,
+                                    request.submit_ns,
+                                    request.submit_ns});
+        im.outcomes.push_back({request.id, request.tenant,
+                               StatusCode::unavailable,
+                               request.submit_ns, request.submit_ns});
     }
 
-    for (auto &channel : channels)
+    for (auto &channel : im.channels)
         channel.close();
-    for (auto &worker : workers)
+    for (auto &worker : im.workers)
         worker.join();
 
-    // Deterministic merge: device order, then request id.
-    for (auto &acc : accumulators)
-        for (auto &record : acc.completions)
-            stats.completions.push_back(std::move(record));
+    // Deterministic completion order: request id (unique per run).
     std::sort(stats.completions.begin(), stats.completions.end(),
               [](const CompletionRecord &a, const CompletionRecord &b) {
                   return a.request_id < b.request_id;
               });
 
     stats.completed = stats.completions.size();
-    stats.plan_cache_hits = cache.hits();
-    stats.plan_cache_misses = cache.misses();
-    stats.faults.quarantines = health.quarantines();
+    stats.plan_cache_hits = im.cache.hits();
+    stats.plan_cache_misses = im.cache.misses();
+    stats.faults.quarantines = im.health.quarantines();
     stats.mean_batch_size =
         stats.batches == 0
             ? 0.0
@@ -558,7 +691,7 @@ Scheduler::run(std::vector<Request> arrivals,
     }
     // Goodput: completions over the whole serving horizon (arrivals
     // keep coming in an open loop even while capacity is degraded).
-    double horizon_ns = std::max(makespan, last_submit_ns);
+    double horizon_ns = std::max(makespan, im.last_submit_ns);
     if (horizon_ns > 0)
         stats.goodput_rps = static_cast<double>(stats.completed) /
                             (horizon_ns / 1e9);
@@ -574,7 +707,7 @@ Scheduler::run(std::vector<Request> arrivals,
 
     stats.devices.resize(pool_.size());
     for (std::size_t d = 0; d < pool_.size(); ++d) {
-        auto &acc = accumulators[d];
+        auto &acc = im.accumulators[d];
         auto &dev = stats.devices[d];
         dev.config_name = pool_.config(d).name;
         dev.batches = acc.batches;
@@ -585,7 +718,7 @@ Scheduler::run(std::vector<Request> arrivals,
         dev.energy_j = acc.energy_j;
         dev.utilization =
             makespan == 0 ? 0.0 : acc.busy_ns / makespan;
-        dev.lost = health.lost(d);
+        dev.lost = im.health.lost(d);
         dev.top_kernels =
             obs::topEntries(acc.label_ns, options_.top_kernels);
     }
@@ -594,7 +727,37 @@ Scheduler::run(std::vector<Request> arrivals,
     // violated run is a scheduler bug, never something to report as
     // data.
     stats.requireBalanced();
-    return stats;
+    return std::move(stats_);
+}
+
+Scheduler::Scheduler(DevicePool &pool)
+    : Scheduler(pool, SchedulerOptions::defaults())
+{
+}
+
+Scheduler::Scheduler(DevicePool &pool, SchedulerOptions options)
+    : pool_(pool), options_(options)
+{
+}
+
+ServeStats
+Scheduler::run(std::vector<Request> arrivals)
+{
+    return run(std::move(arrivals), FaultPlan::none());
+}
+
+ServeStats
+Scheduler::run(std::vector<Request> arrivals,
+               const FaultPlan &fault_plan)
+{
+    FAST_OBS_SPAN_VAR(run_span, "serve.run");
+    FAST_OBS_SPAN_ARG(run_span, "requests",
+                      static_cast<std::uint64_t>(arrivals.size()));
+    FAST_OBS_SPAN_ARG(run_span, "devices",
+                      static_cast<std::uint64_t>(pool_.size()));
+    SchedulerSession session(pool_, options_, fault_plan);
+    session.offer(std::move(arrivals));
+    return session.finish();
 }
 
 } // namespace fast::serve

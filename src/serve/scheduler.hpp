@@ -40,6 +40,8 @@
 #ifndef FAST_SERVE_SCHEDULER_HPP
 #define FAST_SERVE_SCHEDULER_HPP
 
+#include <memory>
+
 #include "serve/device_pool.hpp"
 #include "serve/faults.hpp"
 #include "serve/plan_cache.hpp"
@@ -198,6 +200,103 @@ SchedulerOptions::builder()
 {
     return {};
 }
+
+/**
+ * How one request left the runtime, reported incrementally on the
+ * planning thread as soon as the outcome is decided (a completion is
+ * known — fully stamped — at dispatch time). This is the feedback
+ * channel a layer above the scheduler needs: closed-loop traffic
+ * generators release their client when its request resolves, and
+ * fleet autoscalers compute windowed tail latency from the
+ * completions of the current epoch.
+ */
+struct OutcomeEvent {
+    std::uint64_t request_id = 0;
+    std::string tenant;
+    /** `ok` = completed; otherwise the rejection/failure code. */
+    StatusCode outcome = StatusCode::ok;
+    double submit_ns = 0;
+    /** Completion / rejection / failure time on the simulated axis. */
+    double at_ns = 0;
+
+    bool completed() const { return outcome == StatusCode::ok; }
+    double e2eNs() const { return at_ns - submit_ns; }
+};
+
+/**
+ * One stateful serving session over a device pool: the incremental
+ * core of the scheduler, exposed so a layer above (the `fast::fleet`
+ * shard tier) can advance many sessions in lockstep simulated time.
+ *
+ * Protocol:
+ *   - `offer` hands the session future arrivals (any `submit_ns`; they
+ *     are admitted when the session clock reaches them, so admission
+ *     control sees the same queue depths as a one-shot run);
+ *   - `advanceTo(t)` runs the deterministic planning loop, making
+ *     every dispatch decision scheduled at or before simulated time
+ *     `t` (service intervals may extend past `t`);
+ *   - `finish()` drains remaining work (or strands it when every
+ *     device is lost), joins the device workers, and returns the
+ *     session's `ServeStats`.
+ *
+ * `Scheduler::run` is exactly `offer` + `finish`, so a sliced session
+ * and a one-shot run over the same arrivals produce byte-identical
+ * stats. Observers (`queueDepth`, `backlog`, `allLost`, ...) are what
+ * a router consults for backpressure and failover; `takeOutcomes`
+ * drains the incremental outcome feed.
+ */
+class SchedulerSession
+{
+  public:
+    SchedulerSession(DevicePool &pool, SchedulerOptions options,
+                     FaultPlan fault_plan);
+    ~SchedulerSession();
+
+    SchedulerSession(const SchedulerSession &) = delete;
+    SchedulerSession &operator=(const SchedulerSession &) = delete;
+
+    /** Hand the session one future arrival. */
+    void offer(Request request);
+    /** Hand the session a batch of future arrivals. */
+    void offer(std::vector<Request> requests);
+
+    /** Make every scheduling decision due at or before @p t_ns. */
+    void advanceTo(double t_ns);
+
+    /**
+     * Drain remaining work, join the workers, and finalize. Must be
+     * called exactly once; the session accepts no work afterwards.
+     */
+    ServeStats finish();
+
+    // -- Observers (what a fleet router/autoscaler consults) --------
+
+    /** Currently admitted queue depth. */
+    std::size_t queueDepth() const;
+    /** Queued + backing-off + not-yet-admitted requests. */
+    std::size_t backlog() const;
+    /** Devices able to take work at @p now. */
+    std::size_t healthyDevices(double now) const;
+    /** Every device permanently lost — the session can never progress. */
+    bool allLost() const;
+    /** Total requests offered so far. */
+    std::size_t offered() const { return stats_.submitted; }
+    const SchedulerOptions &options() const { return options_; }
+
+    /** Drain the outcome feed accumulated since the last call. */
+    std::vector<OutcomeEvent> takeOutcomes();
+
+  private:
+    struct Impl;
+    /** One planning-loop step due at or before @p limit_ns. */
+    bool step(double limit_ns);
+
+    DevicePool &pool_;
+    SchedulerOptions options_;
+    ServeStats stats_;
+    std::unique_ptr<Impl> impl_;
+    bool finished_ = false;
+};
 
 /**
  * Pulls requests, batches them per device, dispatches each batch to

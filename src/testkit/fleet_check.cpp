@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Implementation of the fleet model checker.
+ */
+#include "testkit/fleet_check.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "fleet/fleet.hpp"
+#include "hw/config.hpp"
+#include "testkit/generator.hpp"
+
+namespace fast::testkit {
+
+namespace {
+
+enum class FleetScenarioKind {
+    steady,       ///< plain routing, no faults, no autoscaler
+    shard_loss,   ///< shard 0 loses every device mid-run
+    drain,        ///< autoscaler forced to drain down to min_shards
+    scale_up,     ///< autoscaler forced to add up to max_shards
+};
+
+const char *
+toString(FleetScenarioKind kind)
+{
+    switch (kind) {
+    case FleetScenarioKind::steady: return "steady";
+    case FleetScenarioKind::shard_loss: return "shard-loss";
+    case FleetScenarioKind::drain: return "drain";
+    case FleetScenarioKind::scale_up: return "scale-up";
+    }
+    return "?";
+}
+
+struct FleetScenario {
+    std::string name;
+    FleetScenarioKind kind = FleetScenarioKind::steady;
+    std::size_t shards = 1;
+    std::uint64_t seed = 1;
+};
+
+std::vector<FleetScenario>
+enumerateScenarios(const FleetCheckOptions &options)
+{
+    std::vector<FleetScenario> scenarios;
+    const FleetScenarioKind kinds[] = {
+        FleetScenarioKind::steady,
+        FleetScenarioKind::shard_loss,
+        FleetScenarioKind::drain,
+        FleetScenarioKind::scale_up,
+    };
+    for (std::size_t shards : options.shard_counts) {
+        for (std::uint64_t seed : options.seeds) {
+            for (FleetScenarioKind kind : kinds) {
+                // Losing the only shard strands the whole fleet and
+                // draining below one shard is impossible; neither
+                // pairing says anything about failover or drains.
+                if (shards < 2 &&
+                    (kind == FleetScenarioKind::shard_loss ||
+                     kind == FleetScenarioKind::drain))
+                    continue;
+                FleetScenario scenario;
+                std::ostringstream os;
+                os << toString(kind) << "/n" << shards << "/s" << seed;
+                scenario.name = os.str();
+                scenario.kind = kind;
+                scenario.shards = shards;
+                scenario.seed = seed;
+                scenarios.push_back(std::move(scenario));
+            }
+        }
+    }
+    return scenarios;
+}
+
+fleet::FleetOptions
+fleetOptions(const FleetCheckOptions &check,
+             const FleetScenario &scenario)
+{
+    fleet::FleetOptions options;
+    options.shards = scenario.shards;
+    options.shard.devices = 1;
+    options.shard.device = hw::FastConfig::fast();
+    options.shard.scheduler = serve::SchedulerOptions::builder()
+                                  .policy(serve::QueuePolicy::priority)
+                                  .maxQueueDepth(8)
+                                  .maxBatch(2)
+                                  .build()
+                                  .value();
+    options.epoch_ns = check.epoch_ns;
+    options.horizon_ns = check.horizon_ns;
+    switch (scenario.kind) {
+    case FleetScenarioKind::steady:
+    case FleetScenarioKind::shard_loss:
+        break;
+    case FleetScenarioKind::drain:
+        // Watermark far above any achievable load: the autoscaler
+        // must drain one shard per cooldown until min_shards.
+        options.autoscaler.enabled = true;
+        options.autoscaler.min_shards = 1;
+        options.autoscaler.max_shards = scenario.shards;
+        options.autoscaler.scale_down_load = 1.1;
+        options.autoscaler.cooldown_epochs = 2;
+        break;
+    case FleetScenarioKind::scale_up:
+        // A 1 ns p99 target is violated by any completion: every
+        // cooldown with served work adds a shard until max_shards.
+        options.autoscaler.enabled = true;
+        options.autoscaler.min_shards = scenario.shards;
+        options.autoscaler.max_shards = scenario.shards + 2;
+        options.autoscaler.p99_target_ns = 1.0;
+        options.autoscaler.scale_down_load = 0.0;
+        options.autoscaler.cooldown_epochs = 2;
+        break;
+    }
+    return options;
+}
+
+fleet::TrafficOptions
+trafficOptions(const FleetCheckOptions &check,
+               const FleetScenario &scenario)
+{
+    fleet::TrafficOptions traffic;
+    traffic.seed = scenario.seed;
+    traffic.mean_interarrival_ns = check.mean_interarrival_ns;
+    return traffic;
+}
+
+serve::FaultPlan
+shardLossPlan(const FleetCheckOptions &check, std::uint64_t seed)
+{
+    serve::FaultPlan plan;
+    plan.name = "fleet-shard-loss";
+    plan.seed = seed;
+    serve::FaultEvent event;
+    event.kind = serve::FaultKind::device_lost;
+    event.device = serve::FaultEvent::kAnyDevice;
+    event.at_ns = 0.4 * check.horizon_ns;
+    plan.events.push_back(event);
+    return plan;
+}
+
+} // namespace
+
+ModelCheckReport
+checkFleet(const FleetCheckOptions &options)
+{
+    ModelCheckReport report;
+
+    // The same generated CKKS programs that feed the differential
+    // oracle and the scheduler checker shape the fleet traffic.
+    auto params = ckks::CkksParams::testSmall();
+    GeneratorOptions gen;
+    Program prog_a = generateProgram(params, options.workload_seed, gen);
+    Program prog_b =
+        generateProgram(params, options.workload_seed + 1, gen);
+    std::vector<fleet::WorkloadSpec> mix;
+    mix.push_back({"fuzz-a", serve::Priority::high,
+                   lowerToOpStream(prog_a, params, "fuzz-a"), 1.0});
+    mix.push_back({"fuzz-b", serve::Priority::low,
+                   lowerToOpStream(prog_b, params, "fuzz-b"), 2.0});
+
+    auto fail = [&](const FleetScenario &scenario,
+                    const std::string &property,
+                    const std::string &detail) {
+        report.failures.push_back({scenario.name, property, detail});
+    };
+
+    for (const FleetScenario &scenario : enumerateScenarios(options)) {
+        ++report.scenarios;
+
+        auto runOnce = [&](fleet::FleetStats *stats_out,
+                           std::string *json_out) -> bool {
+            ++report.runs;
+            try {
+                fleet::Fleet fleet(fleetOptions(options, scenario), mix,
+                                   trafficOptions(options, scenario));
+                if (scenario.kind == FleetScenarioKind::shard_loss)
+                    fleet.setShardFaultPlan(
+                        0, shardLossPlan(options, scenario.seed));
+                *stats_out = fleet.run();
+                *json_out = fleet::fleetStatsJson(*stats_out);
+                return true;
+            } catch (const std::exception &e) {
+                fail(scenario, "no_exception", e.what());
+                return false;
+            }
+        };
+
+        fleet::FleetStats first, second;
+        std::string json_first, json_second;
+        if (!runOnce(&first, &json_first) ||
+            !runOnce(&second, &json_second))
+            continue;
+
+        if (json_first != json_second)
+            fail(scenario, "deterministic_replay",
+                 "fleetStatsJson differs between identical runs");
+
+        try {
+            first.requireBalanced();
+        } catch (const std::exception &e) {
+            fail(scenario, "balanced", e.what());
+        }
+
+        // Terminal-state accounting: a generated request is either
+        // turned away at the router or reaches exactly one of
+        // completed / rejected / timed_out on its shard. A dead shard
+        // strands nothing — its backlog times out, it never vanishes.
+        std::size_t terminal = first.router_rejected + first.completed +
+                               first.rejected + first.timed_out;
+        if (terminal != first.generated) {
+            std::ostringstream os;
+            os << first.generated << " generated but " << terminal
+               << " reached a terminal state";
+            fail(scenario, "no_request_lost", os.str());
+        }
+
+        if (!std::isfinite(first.makespan_ns))
+            fail(scenario, "finite_makespan", "makespan is not finite");
+
+        switch (scenario.kind) {
+        case FleetScenarioKind::steady:
+            if (first.completed == 0)
+                fail(scenario, "progress",
+                     "fault-free scenario completed nothing");
+            break;
+        case FleetScenarioKind::shard_loss: {
+            bool saw_dead = false;
+            for (const auto &record : first.shards)
+                saw_dead = saw_dead || record.dead;
+            if (!saw_dead)
+                fail(scenario, "shard_died",
+                     "fault plan killed no shard");
+            if (first.failovers == 0)
+                fail(scenario, "failover",
+                     "no request failed over after shard loss");
+            break;
+        }
+        case FleetScenarioKind::drain: {
+            std::size_t drains = 0;
+            for (const auto &event : first.autoscale_events)
+                drains += event.action == "drain";
+            if (drains == 0) {
+                fail(scenario, "drain_occurred",
+                     "forced drain policy never drained a shard");
+                break;
+            }
+            // Scale-downs never lose work: a drained shard left the
+            // ring alive and served its admitted backlog out.
+            for (const auto &record : first.shards) {
+                if (record.drained_ns < 0)
+                    continue;
+                if (record.dead)
+                    fail(scenario, "drain_no_loss",
+                         "drained shard is marked dead");
+                if (!record.stats.balanced()) {
+                    std::ostringstream os;
+                    os << "drained shard " << record.shard_id
+                       << " stranded requests: " << record.stats.submitted
+                       << " submitted vs " << record.stats.completed
+                       << "+" << record.stats.rejected << "+"
+                       << record.stats.timed_out << " terminal";
+                    fail(scenario, "drain_no_loss", os.str());
+                }
+            }
+            break;
+        }
+        case FleetScenarioKind::scale_up: {
+            std::size_t adds = 0;
+            for (const auto &event : first.autoscale_events)
+                adds += event.action == "add";
+            if (adds == 0)
+                fail(scenario, "scale_up_occurred",
+                     "forced scale-up policy never added a shard");
+            if (first.peak_shards <= scenario.shards)
+                fail(scenario, "scale_up_occurred",
+                     "peak shard count never exceeded the initial "
+                     "fleet");
+            break;
+        }
+        }
+    }
+    return report;
+}
+
+} // namespace fast::testkit

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Bounded model checker for the fleet serving tier.
+ *
+ * The fleet's determinism contract ("same seed + same scenario ⇒
+ * byte-identical `FleetStats`") and its two-level accounting invariant
+ * are claims about every combination of shard count, traffic seed,
+ * fault plan, and autoscaler policy — not just the benchmark's canned
+ * runs. This checker enumerates a small scenario grid — steady
+ * routing, mid-run shard loss, a forced autoscaler drain, and a forced
+ * scale-up — and replays each scenario twice against a fresh fleet,
+ * asserting:
+ *
+ *   1. byte-identical `fleetStatsJson` across the replay (determinism,
+ *      including under shard loss),
+ *   2. `requireBalanced()` holds: every generated request is either
+ *      rejected at the router or submitted to exactly one shard, and
+ *      every shard's own books balance,
+ *   3. no request is lost: generated == router_rejected + completed +
+ *      rejected + timed_out (every request reaches a terminal state),
+ *   4. autoscaler drains lose nothing — the drain scenario actually
+ *      drains a shard, the drained shard is not dead, and its admitted
+ *      backlog was served to a terminal state,
+ *   5. the fault-free scenarios complete work (progress).
+ *
+ * Shares `ModelCheckReport` with the scheduler checker so test
+ * harnesses can treat both sweeps uniformly.
+ */
+#ifndef FAST_TESTKIT_FLEET_CHECK_HPP
+#define FAST_TESTKIT_FLEET_CHECK_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "testkit/scheduler_check.hpp"
+
+namespace fast::testkit {
+
+/** Bounds of the fleet scenario enumeration. */
+struct FleetCheckOptions {
+    /** Initial shard counts to sweep. */
+    std::vector<std::size_t> shard_counts = {1, 2, 3};
+    /** Traffic seeds to sweep. */
+    std::vector<std::uint64_t> seeds = {1, 2};
+    /** Seed of the generated workload programs. */
+    std::uint64_t workload_seed = 77;
+    /**
+     * Mean open-loop interarrival gap (simulated ns). The default
+     * saturates one shard, so the shard-loss scenarios actually
+     * exercise overflow failover at the router.
+     */
+    double mean_interarrival_ns = 3e4;
+    /** Fleet lockstep epoch (simulated ns). */
+    double epoch_ns = 2.5e5;
+    /** Traffic-generation horizon (simulated ns). */
+    double horizon_ns = 4e6;
+};
+
+/**
+ * Run the sweep. Never throws: fleet exceptions become failures of
+ * the scenario that raised them.
+ */
+ModelCheckReport checkFleet(const FleetCheckOptions &options = {});
+
+} // namespace fast::testkit
+
+#endif // FAST_TESTKIT_FLEET_CHECK_HPP

@@ -8,7 +8,7 @@
 #include <sstream>
 
 #include "hw/config.hpp"
-#include "serve/arrivals.hpp"
+#include "fleet/trafficgen.hpp"
 #include "serve/report.hpp"
 #include "serve/scheduler.hpp"
 
@@ -112,7 +112,7 @@ checkScheduler(const ModelCheckOptions &options)
     Program prog_a = generateProgram(params, options.workload_seed, gen);
     Program prog_b =
         generateProgram(params, options.workload_seed + 1, gen);
-    std::vector<serve::ArrivalSpec> mix;
+    std::vector<fleet::WorkloadSpec> mix;
     mix.push_back({"fuzz-a", serve::Priority::high,
                    lowerToOpStream(prog_a, params, "fuzz-a"), 1.0});
     mix.push_back({"fuzz-b", serve::Priority::low,
@@ -127,7 +127,7 @@ checkScheduler(const ModelCheckOptions &options)
 
     for (const Scenario &scenario : enumerateScenarios(options)) {
         ++report.scenarios;
-        auto arrivals = serve::openLoopArrivals(
+        auto arrivals = fleet::TrafficGen::openLoop(
             mix, options.requests, options.mean_interarrival_ns,
             scenario.seed);
 

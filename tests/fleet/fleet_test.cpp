@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Tests for the fleet tier: router placement/backpressure semantics,
+ * shard lifecycle, and the full controller — byte-identical replay
+ * (pinned including a shard-loss fault plan), two-level accounting,
+ * cross-shard failover, autoscaler drains that lose no admitted work,
+ * and goodput scaling with shard count.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "fleet/fleet.hpp"
+#include "trace/workloads.hpp"
+
+namespace fast::fleet {
+namespace {
+
+/** Small synthetic workload so fleet tests stay fast. */
+trace::OpStream
+miniTrace(const std::string &name, std::size_t hmults = 2)
+{
+    trace::TraceBuilder builder(name);
+    auto ct = builder.newCiphertext();
+    for (std::size_t i = 0; i < hmults; ++i)
+        builder.hmult(ct, 20 - i);
+    return builder.take();
+}
+
+std::vector<WorkloadSpec>
+miniMix()
+{
+    std::vector<WorkloadSpec> mix;
+    mix.push_back({"tenant-a", serve::Priority::high, miniTrace("wa"),
+                   1.0});
+    mix.push_back({"tenant-b", serve::Priority::normal, miniTrace("wb"),
+                   2.0});
+    mix.push_back({"tenant-c", serve::Priority::low, miniTrace("wc"),
+                   1.0});
+    return mix;
+}
+
+ShardConfig
+miniShardConfig(std::size_t queue_depth = 8)
+{
+    ShardConfig config;
+    config.devices = 1;
+    config.device = hw::FastConfig::fast();
+    config.scheduler = serve::SchedulerOptions::builder()
+                           .policy(serve::QueuePolicy::priority)
+                           .maxQueueDepth(queue_depth)
+                           .maxBatch(2)
+                           .build()
+                           .value();
+    return config;
+}
+
+serve::Request
+makeRequest(std::uint64_t id, const std::string &tenant,
+            serve::Priority priority, double submit_ns)
+{
+    serve::Request request;
+    request.id = id;
+    request.tenant = tenant;
+    request.priority = priority;
+    request.submit_ns = submit_ns;
+    request.stream = miniTrace("w-" + tenant);
+    return request;
+}
+
+FleetOptions
+miniFleetOptions(std::size_t shards, double horizon_ns = 4e6)
+{
+    FleetOptions options;
+    options.shards = shards;
+    options.shard = miniShardConfig();
+    options.epoch_ns = 2.5e5;
+    options.horizon_ns = horizon_ns;
+    return options;
+}
+
+TrafficOptions
+miniTraffic(std::uint64_t seed, double mean_gap_ns = 1e5)
+{
+    TrafficOptions traffic;
+    traffic.seed = seed;
+    traffic.mean_interarrival_ns = mean_gap_ns;
+    return traffic;
+}
+
+serve::FaultPlan
+killAllDevicesAt(double at_ns)
+{
+    serve::FaultPlan plan;
+    plan.name = "kill-shard";
+    plan.seed = 1;
+    serve::FaultEvent event;
+    event.kind = serve::FaultKind::device_lost;
+    event.device = serve::FaultEvent::kAnyDevice;
+    event.at_ns = at_ns;
+    plan.events.push_back(event);
+    return plan;
+}
+
+class RouterFixture : public ::testing::Test
+{
+  protected:
+    void addShard(std::size_t id)
+    {
+        auto shard =
+            std::make_unique<Shard>(id, miniShardConfig(), 0.0);
+        shards_map[id] = shard.get();
+        shards.push_back(std::move(shard));
+        router.addShard(id);
+    }
+
+    RouterOptions routerOptions()
+    {
+        RouterOptions options;
+        options.candidates = 2;
+        return options;
+    }
+
+    Router router{RouterOptions{}};
+    std::vector<std::unique_ptr<Shard>> shards;
+    std::map<std::size_t, Shard *> shards_map;
+};
+
+TEST_F(RouterFixture, EmptyRingIsUnavailable)
+{
+    auto decision = router.route(
+        makeRequest(0, "t", serve::Priority::normal, 0), shards_map);
+    EXPECT_FALSE(decision.accepted);
+    EXPECT_EQ(decision.reason, serve::StatusCode::unavailable);
+}
+
+TEST_F(RouterFixture, HomeShardWinsWhenIdle)
+{
+    addShard(0);
+    addShard(1);
+    auto request = makeRequest(0, "tenant-x", serve::Priority::normal, 0);
+    auto decision = router.route(request, shards_map);
+    ASSERT_TRUE(decision.accepted);
+    EXPECT_EQ(decision.shard, router.ring().lookup("tenant-x"));
+    EXPECT_FALSE(decision.failover);
+}
+
+TEST_F(RouterFixture, DrainingHomeFailsOverToSuccessor)
+{
+    addShard(0);
+    addShard(1);
+    auto request = makeRequest(0, "tenant-x", serve::Priority::high, 0);
+    std::size_t home = router.ring().lookup("tenant-x");
+    shards_map[home]->beginDrain(0.0);
+    auto decision = router.route(request, shards_map);
+    ASSERT_TRUE(decision.accepted);
+    EXPECT_NE(decision.shard, home);
+    EXPECT_TRUE(decision.failover);
+}
+
+TEST_F(RouterFixture, AllShardsDrainingIsUnavailable)
+{
+    addShard(0);
+    addShard(1);
+    for (auto &[id, shard] : shards_map)
+        shard->beginDrain(0.0);
+    auto decision = router.route(
+        makeRequest(0, "t", serve::Priority::high, 0), shards_map);
+    EXPECT_FALSE(decision.accepted);
+    EXPECT_EQ(decision.reason, serve::StatusCode::unavailable);
+}
+
+TEST_F(RouterFixture, LowWatermarkShedsLowPriorityFirst)
+{
+    addShard(0);
+    addShard(1);
+    // Push both shards above the low watermark (but below high):
+    // queue depth 8, low watermark 0.6 → 6 queued requests each.
+    std::uint64_t id = 0;
+    for (auto &[shard_id, shard] : shards_map)
+        for (int i = 0; i < 6; ++i)
+            shard->submit(
+                makeRequest(++id, "filler", serve::Priority::high, 0));
+    auto low = router.route(
+        makeRequest(++id, "tenant-y", serve::Priority::low, 0),
+        shards_map);
+    EXPECT_FALSE(low.accepted);
+    EXPECT_EQ(low.reason, serve::StatusCode::shed);
+    // Normal-priority traffic still gets through.
+    auto normal = router.route(
+        makeRequest(++id, "tenant-y", serve::Priority::normal, 0),
+        shards_map);
+    EXPECT_TRUE(normal.accepted);
+}
+
+TEST(Shard, DrainLifecycle)
+{
+    Shard shard(0, miniShardConfig(), 0.0);
+    shard.submit(makeRequest(1, "t", serve::Priority::normal, 0));
+    EXPECT_FALSE(shard.draining());
+    shard.beginDrain(1e5);
+    EXPECT_TRUE(shard.draining());
+    EXPECT_FALSE(shard.drained());  // backlog still in flight
+    shard.advanceTo(5e8);
+    EXPECT_TRUE(shard.drained());
+    auto stats = shard.finish();
+    EXPECT_EQ(stats.submitted, 1u);
+    stats.requireBalanced();
+}
+
+TEST(Fleet, ValidatesItsOptions)
+{
+    auto traffic = miniTraffic(1);
+    auto bad_shards = miniFleetOptions(0);
+    EXPECT_THROW(Fleet(bad_shards, miniMix(), traffic),
+                 std::invalid_argument);
+    auto bad_epoch = miniFleetOptions(1);
+    bad_epoch.epoch_ns = 0;
+    EXPECT_THROW(Fleet(bad_epoch, miniMix(), traffic),
+                 std::invalid_argument);
+}
+
+TEST(Fleet, RunsOnceAndBalances)
+{
+    Fleet fleet(miniFleetOptions(2), miniMix(), miniTraffic(5));
+    auto stats = fleet.run();
+    EXPECT_GT(stats.generated, 0u);
+    EXPECT_GT(stats.completed, 0u);
+    EXPECT_TRUE(stats.balanced());
+    stats.requireBalanced();
+    // Every generated request reached a terminal state.
+    EXPECT_EQ(stats.generated, stats.router_rejected + stats.completed +
+                                   stats.rejected + stats.timed_out);
+    EXPECT_EQ(stats.peak_shards, 2u);
+    EXPECT_EQ(stats.shards.size(), 2u);
+    // run() is single-shot.
+    EXPECT_THROW(fleet.run(), std::logic_error);
+}
+
+TEST(Fleet, ReplayIsByteIdentical)
+{
+    auto json = [](std::uint64_t seed) {
+        Fleet fleet(miniFleetOptions(2), miniMix(), miniTraffic(seed));
+        auto stats = fleet.run();
+        return fleetStatsJson(stats);
+    };
+    EXPECT_EQ(json(7), json(7));
+    EXPECT_NE(json(7), json(8));
+}
+
+TEST(Fleet, ShardLossReplayIsByteIdentical)
+{
+    // The determinism contract must survive the fault path too: a
+    // mid-run shard death, its stranded backlog, and the resulting
+    // failovers all happen on the simulated clock.
+    // Saturating load: failovers are overflow routing — the home
+    // shard above its high watermark, traffic spilling to the ring
+    // successor — and one shard's death doubles the survivor's load.
+    auto run = [](FleetStats *stats_out) {
+        Fleet fleet(miniFleetOptions(2), miniMix(), miniTraffic(7, 3e4));
+        fleet.setShardFaultPlan(0, killAllDevicesAt(1.5e6));
+        *stats_out = fleet.run();
+        return fleetStatsJson(*stats_out);
+    };
+    FleetStats first, second;
+    auto json_first = run(&first);
+    auto json_second = run(&second);
+    EXPECT_EQ(json_first, json_second);
+    first.requireBalanced();
+
+    // The plan actually killed shard 0 and traffic failed over.
+    ASSERT_EQ(first.shards.size(), 2u);
+    EXPECT_TRUE(first.shards[0].dead);
+    EXPECT_FALSE(first.shards[1].dead);
+    EXPECT_GT(first.failovers, 0u);
+    // Dead shard's books still balance (stranded work timed out or
+    // was rejected, never lost).
+    EXPECT_EQ(first.generated, first.router_rejected + first.completed +
+                                   first.rejected + first.timed_out);
+}
+
+TEST(Fleet, FaultPlanTargetsMustExist)
+{
+    Fleet fleet(miniFleetOptions(2), miniMix(), miniTraffic(1));
+    EXPECT_THROW(fleet.setShardFaultPlan(5, killAllDevicesAt(1e6)),
+                 std::invalid_argument);
+}
+
+TEST(Fleet, AutoscalerDrainLosesNothing)
+{
+    auto options = miniFleetOptions(3);
+    options.autoscaler.enabled = true;
+    options.autoscaler.min_shards = 1;
+    options.autoscaler.max_shards = 3;
+    // Watermark above any achievable load: every cooldown drains one
+    // shard until min_shards.
+    options.autoscaler.scale_down_load = 1.1;
+    options.autoscaler.cooldown_epochs = 2;
+    Fleet fleet(options, miniMix(), miniTraffic(5));
+    auto stats = fleet.run();
+
+    std::size_t drains = 0;
+    for (const auto &event : stats.autoscale_events) {
+        if (event.action != "drain")
+            continue;
+        ++drains;
+        EXPECT_FALSE(event.reason.empty());
+    }
+    EXPECT_EQ(drains, 2u);  // 3 shards → min_shards = 1
+
+    stats.requireBalanced();
+    EXPECT_EQ(stats.generated, stats.router_rejected + stats.completed +
+                                   stats.rejected + stats.timed_out);
+    std::size_t drained_records = 0;
+    for (const auto &record : stats.shards) {
+        if (record.drained_ns < 0)
+            continue;
+        ++drained_records;
+        EXPECT_FALSE(record.dead);
+        // The drained shard served its admitted backlog to the end.
+        EXPECT_TRUE(record.stats.balanced());
+    }
+    EXPECT_EQ(drained_records, drains);
+}
+
+TEST(Fleet, AutoscalerAddsShardsUnderForcedPressure)
+{
+    auto options = miniFleetOptions(1);
+    options.autoscaler.enabled = true;
+    options.autoscaler.min_shards = 1;
+    options.autoscaler.max_shards = 3;
+    // A 1 ns p99 target is violated by any completion, so every
+    // cooldown with served work adds a shard (queue load alone is
+    // measured at epoch boundaries and often drains to zero).
+    options.autoscaler.p99_target_ns = 1.0;
+    options.autoscaler.scale_down_load = 0.0;
+    options.autoscaler.cooldown_epochs = 2;
+    Fleet fleet(options, miniMix(), miniTraffic(5, 5e4));
+    auto stats = fleet.run();
+    std::size_t adds = 0;
+    for (const auto &event : stats.autoscale_events)
+        adds += event.action == "add";
+    EXPECT_GT(adds, 0u);
+    EXPECT_GT(stats.peak_shards, 1u);
+    stats.requireBalanced();
+}
+
+TEST(Fleet, MoreShardsMoreGoodput)
+{
+    // Saturating open-loop load: one shard leaves work on the table,
+    // two shards clear more of it within the same horizon.
+    auto goodput = [](std::size_t shards) {
+        Fleet fleet(miniFleetOptions(shards, 6e6), miniMix(),
+                    miniTraffic(11, 2e4));
+        return fleet.run().goodput_rps;
+    };
+    EXPECT_GT(goodput(2), 1.2 * goodput(1));
+}
+
+TEST(Fleet, StatsJsonCarriesTheFleetSchema)
+{
+    Fleet fleet(miniFleetOptions(2), miniMix(), miniTraffic(3));
+    auto stats = fleet.run();
+    auto json = fleetStatsJson(stats);
+    EXPECT_NE(json.find("\"generated\""), std::string::npos);
+    EXPECT_NE(json.find("\"router_rejected\""), std::string::npos);
+    EXPECT_NE(json.find("\"shards\""), std::string::npos);
+    EXPECT_NE(json.find("\"autoscale_events\""), std::string::npos);
+    EXPECT_FALSE(describeFleetStats(stats).empty());
+}
+
+} // namespace
+} // namespace fast::fleet

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the consistent-hash ring: placement determinism (including
+ * insertion-order independence and collision tie-breaking),
+ * distribution bounds across shards, and the minimal-remapping
+ * property on shard add/remove that makes autoscaling cheap.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fleet/ring.hpp"
+
+namespace fast::fleet {
+namespace {
+
+std::string
+tenant(std::size_t k)
+{
+    return "u" + std::to_string(k);
+}
+
+/** Home shard of the first @p keys tenants. */
+std::vector<std::size_t>
+placements(const HashRing &ring, std::size_t keys)
+{
+    std::vector<std::size_t> homes;
+    homes.reserve(keys);
+    for (std::size_t k = 0; k < keys; ++k)
+        homes.push_back(ring.lookup(tenant(k)));
+    return homes;
+}
+
+TEST(HashRing, RejectsZeroVnodes)
+{
+    EXPECT_THROW(HashRing(0), std::invalid_argument);
+}
+
+TEST(HashRing, EmptyRingHasNoHome)
+{
+    HashRing ring;
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_THROW(ring.lookup("t"), std::logic_error);
+    EXPECT_TRUE(ring.successors("t", 2).empty());
+}
+
+TEST(HashRing, MembershipIsIdempotentAndSorted)
+{
+    HashRing ring;
+    ring.add(3);
+    ring.add(1);
+    ring.add(3);  // no-op
+    EXPECT_EQ(ring.size(), 2u);
+    EXPECT_TRUE(ring.contains(1));
+    EXPECT_TRUE(ring.contains(3));
+    EXPECT_FALSE(ring.contains(2));
+    EXPECT_EQ(ring.shards(), (std::vector<std::size_t>{1, 3}));
+    ring.remove(2);  // no-op
+    ring.remove(3);
+    EXPECT_EQ(ring.shards(), (std::vector<std::size_t>{1}));
+}
+
+TEST(HashRing, KeyHashIsStable)
+{
+    // The hash must be a platform-stable function of the key alone —
+    // std::hash would vary by libc++ and break cross-host replay.
+    EXPECT_EQ(HashRing::hashKey("tenant-42"),
+              HashRing::hashKey("tenant-42"));
+    EXPECT_NE(HashRing::hashKey("tenant-42"),
+              HashRing::hashKey("tenant-43"));
+}
+
+TEST(HashRing, PlacementIgnoresInsertionOrder)
+{
+    // Same membership, three different construction histories — every
+    // key must land identically. This is what makes collision
+    // tie-breaking deterministic: ownership is a pure function of the
+    // membership set, never of who arrived first.
+    HashRing forward, backward, churned;
+    for (std::size_t s = 0; s < 6; ++s)
+        forward.add(s);
+    for (std::size_t s = 6; s-- > 0;)
+        backward.add(s);
+    for (std::size_t s = 0; s < 12; ++s)
+        churned.add(s);
+    for (std::size_t s = 6; s < 12; ++s)
+        churned.remove(s);
+    EXPECT_EQ(placements(forward, 2000), placements(backward, 2000));
+    EXPECT_EQ(placements(forward, 2000), placements(churned, 2000));
+}
+
+TEST(HashRing, DistributionIsBounded)
+{
+    constexpr std::size_t kShards = 8;
+    constexpr std::size_t kKeys = 20000;
+    HashRing ring(64);
+    for (std::size_t s = 0; s < kShards; ++s)
+        ring.add(s);
+    std::map<std::size_t, std::size_t> counts;
+    for (std::size_t k = 0; k < kKeys; ++k)
+        ++counts[ring.lookup(tenant(k))];
+    ASSERT_EQ(counts.size(), kShards);
+    // 64 vnodes/shard keeps every shard within a factor of two of
+    // fair share (loose bound; typical spread is much tighter).
+    const double fair = double(kKeys) / kShards;
+    for (const auto &[shard, count] : counts) {
+        EXPECT_GT(count, 0.5 * fair) << "shard " << shard << " starved";
+        EXPECT_LT(count, 2.0 * fair) << "shard " << shard << " hot";
+    }
+}
+
+TEST(HashRing, AddRemapsOnlyToTheNewShard)
+{
+    constexpr std::size_t kShards = 4;
+    constexpr std::size_t kKeys = 10000;
+    HashRing ring;
+    for (std::size_t s = 0; s < kShards; ++s)
+        ring.add(s);
+    auto before = placements(ring, kKeys);
+    ring.add(kShards);
+    auto after = placements(ring, kKeys);
+    std::size_t moved = 0;
+    for (std::size_t k = 0; k < kKeys; ++k) {
+        if (after[k] == before[k])
+            continue;
+        ++moved;
+        // A key may only move to the newcomer, never between
+        // incumbents — that is the consistent-hashing contract.
+        EXPECT_EQ(after[k], kShards) << "key " << k << " moved between "
+                                     << before[k] << " and " << after[k];
+    }
+    // Expected move fraction is 1/(N+1) = 20%; allow generous slack.
+    EXPECT_GT(moved, kKeys / 20);
+    EXPECT_LT(moved, kKeys * 2 / 5);
+}
+
+TEST(HashRing, RemoveRemapsOnlyTheRemovedShardsKeys)
+{
+    constexpr std::size_t kShards = 5;
+    constexpr std::size_t kKeys = 10000;
+    constexpr std::size_t kVictim = 2;
+    HashRing ring;
+    for (std::size_t s = 0; s < kShards; ++s)
+        ring.add(s);
+    auto before = placements(ring, kKeys);
+    ring.remove(kVictim);
+    auto after = placements(ring, kKeys);
+    for (std::size_t k = 0; k < kKeys; ++k) {
+        if (before[k] == kVictim)
+            EXPECT_NE(after[k], kVictim);
+        else
+            EXPECT_EQ(after[k], before[k])
+                << "key " << k << " moved although its shard survived";
+    }
+}
+
+TEST(HashRing, AddThenRemoveRoundTrips)
+{
+    constexpr std::size_t kKeys = 5000;
+    HashRing ring;
+    for (std::size_t s = 0; s < 4; ++s)
+        ring.add(s);
+    auto before = placements(ring, kKeys);
+    ring.add(9);
+    ring.remove(9);
+    EXPECT_EQ(placements(ring, kKeys), before);
+}
+
+TEST(HashRing, SuccessorsAreDistinctAndStartAtHome)
+{
+    HashRing ring;
+    for (std::size_t s = 0; s < 4; ++s)
+        ring.add(s);
+    for (std::size_t k = 0; k < 200; ++k) {
+        auto candidates = ring.successors(tenant(k), 3);
+        ASSERT_EQ(candidates.size(), 3u);
+        EXPECT_EQ(candidates[0], ring.lookup(tenant(k)));
+        EXPECT_NE(candidates[0], candidates[1]);
+        EXPECT_NE(candidates[0], candidates[2]);
+        EXPECT_NE(candidates[1], candidates[2]);
+    }
+    // Asking for more shards than exist returns the whole membership.
+    auto all = ring.successors("t", 10);
+    EXPECT_EQ(all.size(), 4u);
+}
+
+} // namespace
+} // namespace fast::fleet

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests for the fleet traffic generator: determinism, windowed
+ * generation, bit-compatibility of `openLoop` with the deprecated
+ * `serve::openLoopArrivals`, Zipf tenant popularity with sticky
+ * workload affinity, diurnal/burst modulation, and the closed-loop
+ * client feedback protocol.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "fleet/trafficgen.hpp"
+#include "math/random.hpp"
+#include "serve/arrivals.hpp"
+#include "trace/workloads.hpp"
+
+namespace fast::fleet {
+namespace {
+
+/** Small synthetic workload so generator tests stay fast. */
+trace::OpStream
+miniTrace(const std::string &name)
+{
+    trace::TraceBuilder builder(name);
+    auto ct = builder.newCiphertext();
+    builder.hmult(ct, 20);
+    return builder.take();
+}
+
+std::vector<WorkloadSpec>
+miniMix()
+{
+    std::vector<WorkloadSpec> mix;
+    mix.push_back({"tenant-a", serve::Priority::high, miniTrace("wa"),
+                   1.0});
+    mix.push_back({"tenant-b", serve::Priority::low, miniTrace("wb"),
+                   3.0});
+    return mix;
+}
+
+TEST(TrafficGen, ValidatesItsOptions)
+{
+    TrafficOptions options;
+    EXPECT_THROW(TrafficGen({}, options), std::invalid_argument);
+
+    auto mix = miniMix();
+    mix[0].weight = 0;
+    EXPECT_THROW(TrafficGen(mix, options), std::invalid_argument);
+
+    options.diurnal_amplitude = 1.0;
+    EXPECT_THROW(TrafficGen(miniMix(), options), std::invalid_argument);
+    options.diurnal_amplitude = 0;
+
+    options.burst_multiplier = 0;
+    EXPECT_THROW(TrafficGen(miniMix(), options), std::invalid_argument);
+}
+
+TEST(TrafficGen, OpenLoopMatchesDeprecatedArrivals)
+{
+    // The shim must keep old call sites bit-identical for one release.
+    auto mix = miniMix();
+    auto now = TrafficGen::openLoop(mix, 40, 1e5, 7);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    auto legacy = serve::openLoopArrivals(mix, 40, 1e5, 7);
+#pragma GCC diagnostic pop
+    ASSERT_EQ(now.size(), legacy.size());
+    for (std::size_t i = 0; i < now.size(); ++i) {
+        EXPECT_EQ(now[i].id, legacy[i].id);
+        EXPECT_EQ(now[i].tenant, legacy[i].tenant);
+        EXPECT_EQ(now[i].priority, legacy[i].priority);
+        EXPECT_DOUBLE_EQ(now[i].submit_ns, legacy[i].submit_ns);
+        EXPECT_EQ(now[i].stream.name, legacy[i].stream.name);
+    }
+}
+
+TEST(TrafficGen, SameSeedSameStream)
+{
+    TrafficOptions options;
+    options.seed = 11;
+    options.mean_interarrival_ns = 1e5;
+    TrafficGen a(miniMix(), options), b(miniMix(), options);
+    auto ra = a.generate(0, 5e6);
+    auto rb = b.generate(0, 5e6);
+    ASSERT_EQ(ra.size(), rb.size());
+    ASSERT_FALSE(ra.empty());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_EQ(ra[i].id, rb[i].id);
+        EXPECT_EQ(ra[i].tenant, rb[i].tenant);
+        EXPECT_DOUBLE_EQ(ra[i].submit_ns, rb[i].submit_ns);
+    }
+    EXPECT_EQ(a.generated(), ra.size());
+}
+
+TEST(TrafficGen, WindowingDoesNotChangeTheStream)
+{
+    // One big window and many small ones must produce the same
+    // arrivals — the fleet's epoch length is a simulation knob, not a
+    // traffic knob.
+    TrafficOptions options;
+    options.seed = 3;
+    options.mean_interarrival_ns = 1e5;
+    TrafficGen whole(miniMix(), options), sliced(miniMix(), options);
+    auto all = whole.generate(0, 4e6);
+    std::vector<serve::Request> pieces;
+    for (double t = 0; t < 4e6; t += 2.5e5) {
+        auto window = sliced.generate(t, t + 2.5e5);
+        for (auto &request : window) {
+            EXPECT_GE(request.submit_ns, t);
+            EXPECT_LT(request.submit_ns, t + 2.5e5);
+            pieces.push_back(std::move(request));
+        }
+    }
+    ASSERT_EQ(all.size(), pieces.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        EXPECT_EQ(all[i].id, pieces[i].id);
+        EXPECT_DOUBLE_EQ(all[i].submit_ns, pieces[i].submit_ns);
+    }
+}
+
+TEST(TrafficGen, ArrivalsAreOrderedWithIncreasingIds)
+{
+    TrafficOptions options;
+    options.seed = 5;
+    options.mean_interarrival_ns = 5e4;
+    options.first_id = 100;
+    TrafficGen gen(miniMix(), options);
+    auto requests = gen.generate(0, 2e6);
+    ASSERT_GT(requests.size(), 4u);
+    EXPECT_EQ(requests.front().id, 100u);
+    for (std::size_t i = 1; i < requests.size(); ++i) {
+        EXPECT_GE(requests[i].submit_ns, requests[i - 1].submit_ns);
+        EXPECT_EQ(requests[i].id, requests[i - 1].id + 1);
+    }
+}
+
+TEST(ZipfSampler, SamplesStayInRange)
+{
+    math::Prng prng(17);
+    for (double s : {0.8, 1.0, 1.4}) {
+        ZipfSampler zipf(1000, s);
+        for (int i = 0; i < 2000; ++i) {
+            auto rank = zipf.sample(prng);
+            ASSERT_GE(rank, 1u);
+            ASSERT_LE(rank, 1000u);
+        }
+    }
+}
+
+TEST(ZipfSampler, HeadIsHeavierThanTail)
+{
+    math::Prng prng(23);
+    ZipfSampler zipf(10000, 1.1);
+    std::map<std::size_t, std::size_t> counts;
+    for (int i = 0; i < 20000; ++i)
+        ++counts[zipf.sample(prng)];
+    // Rank 1 must dominate any deep-tail rank by a wide margin.
+    std::size_t head = counts[1];
+    std::size_t tail = 0;
+    for (const auto &[rank, count] : counts)
+        if (rank > 1000)
+            tail = std::max(tail, count);
+    EXPECT_GT(head, 10 * std::max<std::size_t>(tail, 1));
+}
+
+TEST(TrafficGen, ZipfPopulationDrawsStickyTenants)
+{
+    TrafficOptions options;
+    options.seed = 9;
+    options.mean_interarrival_ns = 2e4;
+    options.tenant_population = 100000;
+    options.zipf_exponent = 1.2;
+    TrafficGen gen(miniMix(), options);
+    auto requests = gen.generate(0, 6e6);
+    ASSERT_GT(requests.size(), 50u);
+    // Tenants come from the simulated population, and each tenant is
+    // pinned to one workload of the mix — that affinity is what the
+    // router's locality scoring exploits.
+    std::map<std::string, std::string> workload_of;
+    std::set<std::string> tenants;
+    for (const auto &request : requests) {
+        EXPECT_EQ(request.tenant.rfind("u", 0), 0u);
+        tenants.insert(request.tenant);
+        auto [it, fresh] = workload_of.emplace(request.tenant,
+                                               request.stream.name);
+        if (!fresh) {
+            EXPECT_EQ(it->second, request.stream.name)
+                << request.tenant << " switched workloads";
+        }
+    }
+    // Zipf head: fewer distinct tenants than requests.
+    EXPECT_LT(tenants.size(), requests.size());
+}
+
+TEST(TrafficGen, DiurnalTroughIsQuieterThanPeak)
+{
+    TrafficOptions options;
+    options.seed = 13;
+    options.mean_interarrival_ns = 2e4;
+    options.diurnal_amplitude = 0.9;
+    options.diurnal_period_ns = 8e6;
+    TrafficGen gen(miniMix(), options);
+    // First half-period rides the sinusoid's positive lobe, the
+    // second its negative lobe.
+    auto peak = gen.generate(0, 4e6);
+    auto trough = gen.generate(4e6, 8e6);
+    EXPECT_GT(peak.size(), 2 * std::max<std::size_t>(trough.size(), 1));
+}
+
+TEST(TrafficGen, BurstsRaiseTheArrivalCount)
+{
+    TrafficOptions base;
+    base.seed = 21;
+    base.mean_interarrival_ns = 5e4;
+    auto bursty = base;
+    bursty.burst_multiplier = 8.0;
+    bursty.burst_on_ns = 5e5;
+    bursty.burst_off_ns = 5e5;
+    TrafficGen quiet(miniMix(), base), loud(miniMix(), bursty);
+    auto q = quiet.generate(0, 8e6);
+    auto l = loud.generate(0, 8e6);
+    EXPECT_GT(l.size(), q.size());
+}
+
+TEST(TrafficGen, ClosedLoopClientsWaitForOutcomes)
+{
+    TrafficOptions options;
+    options.seed = 31;
+    options.mean_interarrival_ns = 0;  // no open loop
+    options.closed_loop_clients = 4;
+    options.think_ns = 1e5;
+    TrafficGen gen(miniMix(), options);
+
+    // Every client submits once, staggered over one think time...
+    auto first = gen.generate(0, 1e6);
+    ASSERT_EQ(first.size(), 4u);
+    // ...then blocks until its outcome arrives: no feedback, no work.
+    EXPECT_TRUE(gen.generate(1e6, 2e6).empty());
+
+    serve::OutcomeEvent outcome;
+    outcome.request_id = first[1].id;
+    outcome.tenant = first[1].tenant;
+    outcome.outcome = serve::StatusCode::ok;
+    outcome.submit_ns = first[1].submit_ns;
+    outcome.at_ns = 2e6;
+    gen.onOutcome(outcome);
+
+    auto next = gen.generate(2e6, 4e6);
+    ASSERT_EQ(next.size(), 1u);
+    EXPECT_GT(next[0].submit_ns, 2e6);
+    // The released client resubmits as the same tenant (sticky).
+    EXPECT_EQ(next[0].tenant, first[1].tenant);
+}
+
+TEST(TrafficGen, ClosedLoopReleasesOnRejectionToo)
+{
+    // A rejected request must release its client as well, or a lossy
+    // fleet starves its own closed-loop population.
+    TrafficOptions options;
+    options.seed = 37;
+    options.mean_interarrival_ns = 0;
+    options.closed_loop_clients = 1;
+    options.think_ns = 1e5;
+    TrafficGen gen(miniMix(), options);
+    auto first = gen.generate(0, 1e6);
+    ASSERT_EQ(first.size(), 1u);
+    serve::OutcomeEvent outcome;
+    outcome.request_id = first[0].id;
+    outcome.tenant = first[0].tenant;
+    outcome.outcome = serve::StatusCode::queue_full;
+    outcome.submit_ns = first[0].submit_ns;
+    outcome.at_ns = 1.5e6;
+    gen.onOutcome(outcome);
+    EXPECT_EQ(gen.generate(1.5e6, 3e6).size(), 1u);
+}
+
+} // namespace
+} // namespace fast::fleet

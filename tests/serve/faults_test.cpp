@@ -10,7 +10,6 @@
 
 #include <cmath>
 
-#include "serve/arrivals.hpp"
 #include "serve/report.hpp"
 #include "serve/scheduler.hpp"
 #include "trace/workloads.hpp"

@@ -7,7 +7,7 @@
  */
 #include <gtest/gtest.h>
 
-#include "serve/arrivals.hpp"
+#include "fleet/trafficgen.hpp"
 #include "serve/report.hpp"
 #include "serve/scheduler.hpp"
 #include "trace/workloads.hpp"
@@ -323,11 +323,11 @@ TEST(Scheduler, PlanCacheHitsAcrossBatches)
 
 TEST(Scheduler, MultiDeviceIncreasesThroughput)
 {
-    auto mix = std::vector<ArrivalSpec>{
+    auto mix = std::vector<fleet::WorkloadSpec>{
         {"t1", Priority::normal, miniTrace("A", 4), 1.0},
         {"t2", Priority::normal, miniTrace("B", 6), 1.0},
     };
-    auto arrivals = openLoopArrivals(mix, 24, 100.0, 11);
+    auto arrivals = fleet::TrafficGen::openLoop(mix, 24, 100.0, 11);
 
     auto run = [&](std::size_t devices) {
         auto pool = makePool(devices);
@@ -348,12 +348,12 @@ TEST(Scheduler, MultiDeviceIncreasesThroughput)
 
 TEST(Scheduler, DeterministicAcrossRuns)
 {
-    auto mix = std::vector<ArrivalSpec>{
+    auto mix = std::vector<fleet::WorkloadSpec>{
         {"alice", Priority::high, miniTrace("A", 4), 1.0},
         {"bob", Priority::normal, miniTrace("B", 6), 2.0},
     };
     auto run = [&] {
-        auto arrivals = openLoopArrivals(mix, 32, 200.0, 123);
+        auto arrivals = fleet::TrafficGen::openLoop(mix, 32, 200.0, 123);
         auto pool = makePool(3);
         auto options = SchedulerOptions::builder()
                            .policy(QueuePolicy::priority)
@@ -396,12 +396,12 @@ TEST(Scheduler, HeterogeneousPoolRecordsPerDeviceConfigs)
 
 TEST(Arrivals, DeterministicAndOrdered)
 {
-    auto mix = std::vector<ArrivalSpec>{
+    auto mix = std::vector<fleet::WorkloadSpec>{
         {"a", Priority::normal, miniTrace("A"), 1.0},
         {"b", Priority::low, miniTrace("B"), 3.0},
     };
-    auto first = openLoopArrivals(mix, 50, 1000.0, 99);
-    auto second = openLoopArrivals(mix, 50, 1000.0, 99);
+    auto first = fleet::TrafficGen::openLoop(mix, 50, 1000.0, 99);
+    auto second = fleet::TrafficGen::openLoop(mix, 50, 1000.0, 99);
     ASSERT_EQ(first.size(), 50u);
     double prev = -1;
     std::size_t b_count = 0;

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Drives the fleet model checker over its scenario grid and requires
+ * a clean report: deterministic replay (including shard loss),
+ * two-level accounting, no lost requests, and loss-free autoscaler
+ * drains across every enumerated shard count and seed.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "testkit/fleet_check.hpp"
+
+namespace fast::testkit {
+namespace {
+
+std::string
+describeFailures(const ModelCheckReport &report)
+{
+    std::ostringstream os;
+    for (const auto &failure : report.failures)
+        os << failure.scenario << ": " << failure.property << ": "
+           << failure.detail << "\n";
+    return os.str();
+}
+
+TEST(FleetCheck, SweepHoldsAllProperties)
+{
+    FleetCheckOptions options;
+    options.shard_counts = {1, 2, 3};
+    options.seeds = {1, 2};
+    auto report = checkFleet(options);
+
+    // steady + scale-up at every (count, seed), shard-loss + drain
+    // only where >= 2 shards: 2*2*3 + 2*2*2 = 20 scenarios.
+    EXPECT_EQ(report.scenarios, 20u);
+    EXPECT_EQ(report.runs, 2 * report.scenarios);
+    EXPECT_TRUE(report.ok()) << describeFailures(report);
+}
+
+TEST(FleetCheck, TightenedGridStillHolds)
+{
+    // A second sweep with different knobs: finer epochs relative to
+    // the arrival gap, and a different workload seed.
+    FleetCheckOptions options;
+    options.shard_counts = {2};
+    options.seeds = {3};
+    options.workload_seed = 123;
+    options.mean_interarrival_ns = 6e4;
+    options.epoch_ns = 1.25e5;
+    options.horizon_ns = 2e6;
+    auto report = checkFleet(options);
+    EXPECT_EQ(report.scenarios, 4u);
+    EXPECT_TRUE(report.ok()) << describeFailures(report);
+}
+
+} // namespace
+} // namespace fast::testkit

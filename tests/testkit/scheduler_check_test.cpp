@@ -6,7 +6,7 @@
  */
 #include <gtest/gtest.h>
 
-#include "serve/arrivals.hpp"
+#include "fleet/trafficgen.hpp"
 #include "serve/report.hpp"
 #include "serve/scheduler.hpp"
 #include "testkit/scheduler_check.hpp"
@@ -65,12 +65,12 @@ TEST(SchedulerCheckTest, DifferentSeedsProduceDifferentStats)
 {
     auto params = ckks::CkksParams::testSmall();
     Program program = generateProgram(params, 77);
-    std::vector<serve::ArrivalSpec> mix;
+    std::vector<fleet::WorkloadSpec> mix;
     mix.push_back({"t", serve::Priority::normal,
                    lowerToOpStream(program, params, "t"), 1.0});
 
     auto runWithSeed = [&](std::uint64_t seed) {
-        auto arrivals = serve::openLoopArrivals(mix, 8, 5e4, seed);
+        auto arrivals = fleet::TrafficGen::openLoop(mix, 8, 5e4, seed);
         auto pool = serve::DevicePool::builder()
                         .add(hw::FastConfig::fast(), 2)
                         .build();
