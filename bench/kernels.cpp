@@ -40,6 +40,7 @@
 #include "math/primes.hpp"
 #include "math/random.hpp"
 #include "math/rns.hpp"
+#include "math/simd.hpp"
 
 namespace {
 
@@ -65,24 +66,58 @@ nttDegrees()
             std::size_t(1) << 16};
 }
 
-/** Median-free simple timer: mean ns per call over @p iters calls. */
+/**
+ * Median-of-N timer: a few untimed warm-up calls settle caches, branch
+ * predictors and the engine's worker pool, then the median of @p iters
+ * timed calls is reported. The median discards the occasional
+ * scheduler hiccup that used to make mean-based rows jitter by 2x
+ * between runs; the JSON schema is unchanged (one ns figure per cell).
+ */
 template <typename Setup, typename Fn>
 double
 timeNs(std::size_t iters, const Setup &setup, const Fn &fn)
 {
     using clock = std::chrono::steady_clock;
-    setup();
-    fn();  // warm-up, untimed
-    double total = 0;
+    const std::size_t warmup = g_smoke ? 1 : 3;
+    for (std::size_t i = 0; i < warmup; ++i) {
+        setup();
+        fn();
+    }
+    std::vector<double> samples(iters);
     for (std::size_t i = 0; i < iters; ++i) {
         setup();
         auto t0 = clock::now();
         fn();
         auto t1 = clock::now();
-        total += std::chrono::duration<double, std::nano>(t1 - t0)
-                     .count();
+        samples[i] = std::chrono::duration<double, std::nano>(t1 - t0)
+                         .count();
     }
-    return total / static_cast<double>(iters);
+    std::sort(samples.begin(), samples.end());
+    std::size_t mid = samples.size() / 2;
+    return samples.size() % 2 ? samples[mid]
+                              : 0.5 * (samples[mid - 1] + samples[mid]);
+}
+
+/**
+ * Run @p fn once per supported SIMD path, forcing each in turn, and
+ * return (isa name, result) pairs. Restores the previously active path
+ * before returning.
+ */
+template <typename Fn>
+std::vector<std::pair<std::string, double>>
+sweepSimdPaths(const Fn &fn)
+{
+    std::vector<std::pair<std::string, double>> out;
+    math::SimdIsa saved = math::activeSimdIsa();
+    for (math::SimdIsa isa : {math::SimdIsa::scalar, math::SimdIsa::avx2,
+                              math::SimdIsa::avx512}) {
+        if (!math::simdIsaSupported(isa))
+            continue;
+        math::setSimdIsa(isa);
+        out.emplace_back(math::simdIsaName(isa), fn());
+    }
+    math::setSimdIsa(saved);
+    return out;
 }
 
 std::string
@@ -98,8 +133,10 @@ struct Row {
     std::string kernel;
     std::size_t n = 0;
     double reference_ns = 0;  ///< strict seed scalar path
-    double scalar_ns = 0;     ///< optimized single-thread path
+    double scalar_ns = 0;     ///< optimized 1-thread path (dispatched)
     std::vector<std::pair<std::size_t, double>> parallel_ns;
+    /** Optimized 1-thread ns per forced SIMD path (isa -> ns). */
+    std::vector<std::pair<std::string, double>> simd_ns;
 
     double bestParallel() const
     {
@@ -123,6 +160,16 @@ struct Row {
                  "\": " + num(parallel_ns[i].second);
         }
         s += "},\n";
+        if (!simd_ns.empty()) {
+            s += "     \"simd\": {";
+            for (std::size_t i = 0; i < simd_ns.size(); ++i) {
+                if (i)
+                    s += ", ";
+                s += "\"" + simd_ns[i].first +
+                     "\": " + num(simd_ns[i].second);
+            }
+            s += "},\n";
+        }
         s += "     \"speedup_scalar_vs_reference\": " +
              num(reference_ns / scalar_ns) +
              ", \"speedup_best_vs_reference\": " +
@@ -139,6 +186,13 @@ struct Row {
         for (const auto &[t, ns] : parallel_ns)
             std::printf("  %zut %10.0f ns", t, ns);
         std::printf("  best x%.2f\n", reference_ns / bestParallel());
+        if (!simd_ns.empty()) {
+            std::printf("  %-16s        ", "");
+            for (const auto &[isa, ns] : simd_ns)
+                std::printf("  %s %10.0f ns (x%.2f)", isa.c_str(), ns,
+                            simd_ns.front().second / ns);
+            std::printf("\n");
+        }
     }
 };
 
@@ -168,6 +222,12 @@ benchNtt(std::size_t n, bool forward)
     row.scalar_ns = timeNs(iters, setup, [&] {
         forward ? tables->forward(scratch.data())
                 : tables->inverse(scratch.data());
+    });
+    row.simd_ns = sweepSimdPaths([&] {
+        return timeNs(iters, setup, [&] {
+            forward ? tables->forward(scratch.data())
+                    : tables->inverse(scratch.data());
+        });
     });
     for (std::size_t threads : threadCounts()) {
         math::KernelEngine engine(threads);
@@ -225,6 +285,11 @@ benchBConv(std::size_t n)
         math::KernelEngine engine(1);
         row.scalar_ns = timeNs(iters, setup, [&] {
             conv.convertPoly(in_ptrs, n, out_ptrs, engine);
+        });
+        row.simd_ns = sweepSimdPaths([&] {
+            return timeNs(iters, setup, [&] {
+                conv.convertPoly(in_ptrs, n, out_ptrs, engine);
+            });
         });
     }
     for (std::size_t threads : threadCounts()) {
@@ -315,7 +380,20 @@ report()
     bench::note("host CPUs: " + std::to_string(cpus) +
                 " (thread-sweep speedups require that many cores)");
     bench::note("reference = strict-reduction seed scalar path; "
-                "scalar = optimized 1-thread path");
+                "scalar = optimized 1-thread path (dispatched)");
+    std::string supported;
+    for (math::SimdIsa isa :
+         {math::SimdIsa::scalar, math::SimdIsa::avx2,
+          math::SimdIsa::avx512}) {
+        if (!math::simdIsaSupported(isa))
+            continue;
+        if (!supported.empty())
+            supported += ", ";
+        supported += math::simdIsaName(isa);
+    }
+    bench::note(std::string("SIMD: active=") +
+                math::simdIsaName(math::activeSimdIsa()) +
+                ", supported=[" + supported + "]");
 
     std::vector<Row> rows;
     for (std::size_t n : nttDegrees()) {
@@ -339,6 +417,23 @@ report()
     json += "  \"smoke\": " + std::string(g_smoke ? "true" : "false") +
             ",\n";
     json += "  \"host_cpus\": " + std::to_string(cpus) + ",\n";
+    json += std::string("  \"simd_active\": \"") +
+            math::simdIsaName(math::activeSimdIsa()) + "\",\n";
+    json += "  \"simd_supported\": [";
+    {
+        bool first = true;
+        for (math::SimdIsa isa :
+             {math::SimdIsa::scalar, math::SimdIsa::avx2,
+              math::SimdIsa::avx512}) {
+            if (!math::simdIsaSupported(isa))
+                continue;
+            if (!first)
+                json += ", ";
+            json += std::string("\"") + math::simdIsaName(isa) + "\"";
+            first = false;
+        }
+    }
+    json += "],\n";
     json += "  \"thread_counts\": [";
     auto threads = threadCounts();
     for (std::size_t i = 0; i < threads.size(); ++i)

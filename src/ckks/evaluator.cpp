@@ -280,7 +280,7 @@ CkksEvaluator::rescaleInPlace(Ciphertext &ct) const
     auto &eng = math::KernelEngine::global();
     for (RnsPoly *poly : {&ct.c0, &ct.c1}) {
         // Last limb to coefficient form for centered lifting.
-        std::vector<u64> tail = poly->limb(last);
+        math::AlignedU64 tail = poly->limb(last);
         ntt.forModulus(q_last).inverseParallel(tail.data(), eng);
         // Every target limb's lift/NTT/fuse is independent; run the
         // whole per-limb pipeline as one engine task per limb.
@@ -325,8 +325,8 @@ CkksEvaluator::rescaleDoubleInPlace(Ciphertext &ct) const
     const auto &ntt = ctx_->nttTables();
     auto &eng = math::KernelEngine::global();
     for (RnsPoly *poly : {&ct.c0, &ct.c1}) {
-        std::vector<u64> tail1 = poly->limb(last - 1);
-        std::vector<u64> tail2 = poly->limb(last);
+        math::AlignedU64 tail1 = poly->limb(last - 1);
+        math::AlignedU64 tail2 = poly->limb(last);
         ntt.forModulus(q1).inverseParallel(tail1.data(), eng);
         ntt.forModulus(q2).inverseParallel(tail2.data(), eng);
         std::size_t targets = poly->limbCount() - 2;

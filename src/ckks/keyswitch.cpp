@@ -30,7 +30,7 @@ namespace {
  * intra-transform block parallelism otherwise.
  */
 void
-nttBatch(const std::vector<std::vector<u64> *> &limbs,
+nttBatch(const std::vector<math::AlignedU64 *> &limbs,
          const std::vector<const math::NttTables *> &tables, bool fwd,
          math::KernelEngine &eng)
 {
@@ -98,8 +98,8 @@ KeySwitcher::modUpHybrid(const RnsPoly &input) const
         // Group limbs back to coefficient form (the INTT step),
         // parallel across the group.
         std::vector<u64> group_mods(count);
-        std::vector<std::vector<u64>> group_coeff(count);
-        std::vector<std::vector<u64> *> group_ptrs(count);
+        std::vector<math::AlignedU64> group_coeff(count);
+        std::vector<math::AlignedU64 *> group_ptrs(count);
         std::vector<const math::NttTables *> group_tables(count);
         for (std::size_t i = 0; i < count; ++i) {
             group_mods[i] = input.modulus(first + i);
@@ -132,7 +132,7 @@ KeySwitcher::modUpHybrid(const RnsPoly &input) const
         for (std::size_t i = 0; i < count; ++i)
             conv_in[i] = group_coeff[i].data();
         std::vector<u64 *> conv_out(comp_mods.size());
-        std::vector<std::vector<u64> *> out_ptrs(comp_mods.size());
+        std::vector<math::AlignedU64 *> out_ptrs(comp_mods.size());
         std::vector<const math::NttTables *> out_tables(
             comp_mods.size());
         for (std::size_t t = 0; t < comp_mods.size(); ++t) {
@@ -268,8 +268,8 @@ KeySwitcher::modDown(const RnsPoly &extended) const
                       static_cast<std::uint64_t>(specials));
 
     // Special limbs to coefficient form.
-    std::vector<std::vector<u64>> p_coeff(specials);
-    std::vector<std::vector<u64> *> p_ptrs(specials);
+    std::vector<math::AlignedU64> p_coeff(specials);
+    std::vector<math::AlignedU64 *> p_ptrs(specials);
     std::vector<const math::NttTables *> p_tables(specials);
     for (std::size_t i = 0; i < specials; ++i) {
         p_coeff[i] = extended.limb(q_limbs + i);
@@ -283,13 +283,13 @@ KeySwitcher::modDown(const RnsPoly &extended) const
                             extended.moduli().begin() +
                                 static_cast<std::ptrdiff_t>(q_limbs));
     const auto &conv = ctx_->converter(params.p_chain, q_mods);
-    std::vector<std::vector<u64>> converted(
-        q_limbs, std::vector<u64>(n));
+    std::vector<math::AlignedU64> converted(q_limbs,
+                                            math::AlignedU64(n));
     std::vector<const u64 *> conv_in(specials);
     for (std::size_t i = 0; i < specials; ++i)
         conv_in[i] = p_coeff[i].data();
     std::vector<u64 *> conv_out(q_limbs);
-    std::vector<std::vector<u64> *> q_ptrs(q_limbs);
+    std::vector<math::AlignedU64 *> q_ptrs(q_limbs);
     std::vector<const math::NttTables *> q_tables(q_limbs);
     for (std::size_t i = 0; i < q_limbs; ++i) {
         conv_out[i] = converted[i].data();

@@ -1,7 +1,7 @@
 /**
  * @file
  * Fleet traffic generation: realistic, deterministic request streams
- * for serving experiments (the successor of `serve/arrivals.hpp`).
+ * for serving experiments.
  *
  * A production FHE service is not a fixed 60-request trace: arrivals
  * breathe with the day, spike in bursts, and concentrate on a small

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * 64-byte-aligned storage for kernel operands.
+ *
+ * The SIMD kernel backend (math/simd.hpp) streams limb data with
+ * 256/512-bit vector loads. Allocating every limb, twiddle table, and
+ * BConv scratch row on a 64-byte boundary keeps those loads from
+ * straddling cache lines and makes the limb-major layout contract
+ * explicit: one limb == one contiguous, cache-line-aligned row.
+ *
+ * AlignedU64 is a drop-in std::vector<u64> with the stronger
+ * alignment; element access, iteration, and (same-type) comparison all
+ * behave identically. Only cross-allocator conversions need care —
+ * compare against plain vectors element-wise.
+ */
+#ifndef FAST_MATH_ALIGN_HPP
+#define FAST_MATH_ALIGN_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace fast::math {
+
+/** Minimal allocator-aware alignment wrapper around operator new. */
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+    static_assert(Alignment >= alignof(T) &&
+                      (Alignment & (Alignment - 1)) == 0,
+                  "alignment must be a power of two >= alignof(T)");
+
+    using value_type = T;
+
+    AlignedAllocator() noexcept = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Alignment> &) noexcept
+    {
+    }
+
+    template <typename U>
+    struct rebind {
+        using other = AlignedAllocator<U, Alignment>;
+    };
+
+    T *allocate(std::size_t count)
+    {
+        return static_cast<T *>(::operator new(
+            count * sizeof(T), std::align_val_t(Alignment)));
+    }
+
+    void deallocate(T *p, std::size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t(Alignment));
+    }
+
+    friend bool operator==(const AlignedAllocator &,
+                           const AlignedAllocator &) noexcept
+    {
+        return true;
+    }
+    friend bool operator!=(const AlignedAllocator &,
+                           const AlignedAllocator &) noexcept
+    {
+        return false;
+    }
+};
+
+/**
+ * The limb storage type: a cache-line-aligned u64 vector. Every
+ * RnsPoly limb, NTT twiddle table, and BConv table/scratch row uses
+ * this so vector kernels may assume 64-byte base alignment.
+ */
+using AlignedU64 =
+    std::vector<std::uint64_t, AlignedAllocator<std::uint64_t, 64>>;
+
+} // namespace fast::math
+
+#endif // FAST_MATH_ALIGN_HPP

@@ -48,6 +48,13 @@ class Modulus
     /** Barrett-reduce a 128-bit value mod q. */
     u64 reduce128(u128 a) const;
 
+    /** @name Barrett ratio words (floor(2^128 / q)).
+     * Exposed so the SIMD kernels can mirror reduce128 lanewise. */
+    ///@{
+    u64 barrettLo() const { return cr0_; }
+    u64 barrettHi() const { return cr1_; }
+    ///@}
+
     bool operator==(const Modulus &other) const { return q_ == other.q_; }
     bool operator!=(const Modulus &other) const { return q_ != other.q_; }
 

@@ -13,6 +13,7 @@
 #include "math/ntt.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <mutex>
 #include <shared_mutex>
@@ -21,6 +22,7 @@
 #include "math/bitops.hpp"
 #include "math/parallel.hpp"
 #include "math/primes.hpp"
+#include "math/simd.hpp"
 #include "obs/trace.hpp"
 
 namespace fast::math {
@@ -30,40 +32,8 @@ namespace {
 /** Minimum coefficients per parallel NTT block. */
 constexpr std::size_t kMinNttBlock = 256;
 
-/**
- * Cooley-Tukey butterflies j in [j1, j1+len) with partner j+t and one
- * twiddle (w, wp). Lazy: inputs < 4q, outputs < 4q.
- */
-inline void
-ctButterflies(u64 *data, std::size_t j1, std::size_t len, std::size_t t,
-              u64 w, u64 wp, u64 q, u64 two_q)
-{
-    for (std::size_t j = j1; j < j1 + len; ++j) {
-        u64 u = data[j];
-        if (u >= two_q)
-            u -= two_q;
-        u64 v = mulModShoupLazy(data[j + t], w, wp, q);
-        data[j] = u + v;
-        data[j + t] = u - v + two_q;
-    }
-}
-
-/**
- * Gentleman-Sande butterflies j in [j1, j1+len) with partner j+t.
- * Lazy: inputs < 2q, outputs < 2q.
- */
-inline void
-gsButterflies(u64 *data, std::size_t j1, std::size_t len, std::size_t t,
-              u64 w, u64 wp, u64 q, u64 two_q)
-{
-    for (std::size_t j = j1; j < j1 + len; ++j) {
-        u64 u = data[j];
-        u64 v = data[j + t];
-        u64 s = u + v;
-        data[j] = s >= two_q ? s - two_q : s;
-        data[j + t] = mulModShoupLazy(u - v + two_q, w, wp, q);
-    }
-}
+/** Columns per ten-step scratch tile (tile = n1 x kTenStepTile). */
+constexpr std::size_t kTenStepTile = 512;
 
 } // namespace
 
@@ -108,25 +78,20 @@ NttTables::forward(u64 *data) const
 {
     // Cooley-Tukey decimation-in-time with merged psi twiddles
     // (Longa-Naehrig) and lazy reduction. Input natural order
-    // (canonical), output bit-reversed (canonical).
+    // (canonical), output bit-reversed (canonical). The whole stage
+    // loop runs inside the dispatched kernel so small-stride stages
+    // can use the interleaved vector butterflies.
+    if (n_ >= kTenStepMinN) {
+        forwardTenStep(data, nullptr);
+        return;
+    }
     FAST_OBS_COUNT("ntt.forward", 1);
     FAST_OBS_SPAN_VAR(span, "ntt.forward");
     FAST_OBS_SPAN_ARG(span, "n", static_cast<std::uint64_t>(n_));
-    const u64 q = q_;
-    const u64 two_q = 2 * q;
-    std::size_t t = n_;
-    for (std::size_t m = 1; m < n_; m <<= 1) {
-        t >>= 1;
-        for (std::size_t i = 0; i < m; ++i)
-            ctButterflies(data, 2 * i * t, t, t, roots_[m + i],
-                          roots_shoup_[m + i], q, two_q);
-    }
-    for (std::size_t j = 0; j < n_; ++j) {
-        u64 x = data[j];
-        if (x >= two_q)
-            x -= two_q;
-        data[j] = x >= q ? x - q : x;
-    }
+    const SimdOps &ops = simdOps();
+    ops.ntt_fwd_tail(data, n_, 1, 0, 1, roots_.data(),
+                     roots_shoup_.data(), q_);
+    ops.canon_from_4q(data, n_, q_);
 }
 
 void
@@ -135,22 +100,17 @@ NttTables::inverse(u64 *data) const
     // Gentleman-Sande decimation-in-frequency with merged inverse
     // twiddles and lazy reduction. Input bit-reversed, output natural
     // order; the N^-1 scaling pass canonicalizes.
+    if (n_ >= kTenStepMinN) {
+        inverseTenStep(data, nullptr);
+        return;
+    }
     FAST_OBS_COUNT("ntt.inverse", 1);
     FAST_OBS_SPAN_VAR(span, "ntt.inverse");
     FAST_OBS_SPAN_ARG(span, "n", static_cast<std::uint64_t>(n_));
-    const u64 q = q_;
-    const u64 two_q = 2 * q;
-    std::size_t t = 1;
-    for (std::size_t m = n_ >> 1; m >= 1; m >>= 1) {
-        for (std::size_t i = 0; i < m; ++i)
-            gsButterflies(data, 2 * i * t, t, t, inv_roots_[m + i],
-                          inv_roots_shoup_[m + i], q, two_q);
-        t <<= 1;
-    }
-    for (std::size_t j = 0; j < n_; ++j) {
-        u64 x = mulModShoupLazy(data[j], n_inv_, n_inv_shoup_, q);
-        data[j] = x >= q ? x - q : x;
-    }
+    const SimdOps &ops = simdOps();
+    ops.ntt_inv_head(data, n_, 1, 0, 1, inv_roots_.data(),
+                     inv_roots_shoup_.data(), q_);
+    ops.scale_shoup_canon(data, n_, n_inv_, n_inv_shoup_, q_);
 }
 
 std::size_t
@@ -168,11 +128,16 @@ NttTables::forwardParallel(u64 *data, KernelEngine &engine) const
         forward(data);
         return;
     }
+    if (n_ >= kTenStepMinN) {
+        forwardTenStep(data, &engine);
+        return;
+    }
     FAST_OBS_COUNT("ntt.forward", 1);
     FAST_OBS_SPAN_VAR(obs_span, "ntt.forward_parallel");
     FAST_OBS_SPAN_ARG(obs_span, "n", static_cast<std::uint64_t>(n_));
     FAST_OBS_SPAN_ARG(obs_span, "blocks",
                       static_cast<std::uint64_t>(blocks));
+    const SimdOps &ops = simdOps();
     const u64 q = q_;
     const u64 two_q = 2 * q;
     const std::size_t span = n_ / blocks;
@@ -189,9 +154,9 @@ NttTables::forwardParallel(u64 *data, KernelEngine &engine) const
             for (std::size_t b = b0; b < b1; ++b) {
                 std::size_t i = b / per_group;
                 std::size_t sub = b % per_group;
-                ctButterflies(data, 2 * i * t + sub * len, len, t,
-                              roots_[m + i], roots_shoup_[m + i], q,
-                              two_q);
+                ops.ct_butterflies(data, 2 * i * t + sub * len, len, t,
+                                   roots_[m + i], roots_shoup_[m + i],
+                                   q, two_q);
             }
         });
     }
@@ -201,21 +166,9 @@ NttTables::forwardParallel(u64 *data, KernelEngine &engine) const
     // canonicalizes independently — no further barriers.
     engine.parallelFor(blocks, [&](std::size_t b0, std::size_t b1) {
         for (std::size_t b = b0; b < b1; ++b) {
-            for (std::size_t m = blocks; m < n_; m <<= 1) {
-                std::size_t tt = n_ / (2 * m);
-                std::size_t g0 = b * (m / blocks);
-                std::size_t g1 = (b + 1) * (m / blocks);
-                for (std::size_t i = g0; i < g1; ++i)
-                    ctButterflies(data, 2 * i * tt, tt, tt,
-                                  roots_[m + i], roots_shoup_[m + i],
-                                  q, two_q);
-            }
-            for (std::size_t j = b * span; j < (b + 1) * span; ++j) {
-                u64 x = data[j];
-                if (x >= two_q)
-                    x -= two_q;
-                data[j] = x >= q ? x - q : x;
-            }
+            ops.ntt_fwd_tail(data, n_, blocks, b, blocks,
+                             roots_.data(), roots_shoup_.data(), q);
+            ops.canon_from_4q(data + b * span, span, q);
         }
     });
 }
@@ -228,11 +181,16 @@ NttTables::inverseParallel(u64 *data, KernelEngine &engine) const
         inverse(data);
         return;
     }
+    if (n_ >= kTenStepMinN) {
+        inverseTenStep(data, &engine);
+        return;
+    }
     FAST_OBS_COUNT("ntt.inverse", 1);
     FAST_OBS_SPAN_VAR(obs_span, "ntt.inverse_parallel");
     FAST_OBS_SPAN_ARG(obs_span, "n", static_cast<std::uint64_t>(n_));
     FAST_OBS_SPAN_ARG(obs_span, "blocks",
                       static_cast<std::uint64_t>(blocks));
+    const SimdOps &ops = simdOps();
     const u64 q = q_;
     const u64 two_q = 2 * q;
     const std::size_t span = n_ / blocks;
@@ -240,17 +198,10 @@ NttTables::inverseParallel(u64 *data, KernelEngine &engine) const
     // Stages with m >= blocks groups are block-local (the mirror of
     // the forward phase 2): one dispatch covers all of them.
     engine.parallelFor(blocks, [&](std::size_t b0, std::size_t b1) {
-        for (std::size_t b = b0; b < b1; ++b) {
-            for (std::size_t m = n_ >> 1; m >= blocks; m >>= 1) {
-                std::size_t tt = n_ / (2 * m);
-                std::size_t g0 = b * (m / blocks);
-                std::size_t g1 = (b + 1) * (m / blocks);
-                for (std::size_t i = g0; i < g1; ++i)
-                    gsButterflies(data, 2 * i * tt, tt, tt,
-                                  inv_roots_[m + i],
-                                  inv_roots_shoup_[m + i], q, two_q);
-            }
-        }
+        for (std::size_t b = b0; b < b1; ++b)
+            ops.ntt_inv_head(data, n_, blocks, b, blocks,
+                             inv_roots_.data(),
+                             inv_roots_shoup_.data(), q);
     });
 
     // Final log2(blocks) stages: split each group across blocks with a
@@ -263,19 +214,158 @@ NttTables::inverseParallel(u64 *data, KernelEngine &engine) const
             for (std::size_t b = b0; b < b1; ++b) {
                 std::size_t i = b / per_group;
                 std::size_t sub = b % per_group;
-                gsButterflies(data, 2 * i * t + sub * len, len, t,
-                              inv_roots_[m + i], inv_roots_shoup_[m + i],
-                              q, two_q);
+                ops.gs_butterflies(data, 2 * i * t + sub * len, len, t,
+                                   inv_roots_[m + i],
+                                   inv_roots_shoup_[m + i], q, two_q);
             }
         });
     }
 
     engine.parallelFor(blocks, [&](std::size_t b0, std::size_t b1) {
-        for (std::size_t j = b0 * span; j < b1 * span; ++j) {
-            u64 x = mulModShoupLazy(data[j], n_inv_, n_inv_shoup_, q);
-            data[j] = x >= q ? x - q : x;
-        }
+        ops.scale_shoup_canon(data + b0 * span, (b1 - b0) * span,
+                              n_inv_, n_inv_shoup_, q);
     });
+}
+
+void
+NttTables::forwardTenStep(u64 *data, KernelEngine *engine) const
+{
+    // View the coefficients as an n1 x n2 row-major matrix
+    // (element (r, c) = data[r*n2 + c], n2 = kTenStepChunk).
+    //
+    // Stages with m < n1 pair rows r and r + t1 (t1 = n1/(2m)) at
+    // every column — stride >= n2 in the flat layout. Walking them
+    // directly thrashes the cache at large n, so kTenStepTile columns
+    // are gathered into an n1 x tile scratch block where each
+    // butterfly group is one contiguous run of t1*tile lanes. Columns
+    // never interact in these stages, so per-element stage order (and
+    // hence every computed value) is exactly the serial transform's.
+    //
+    // Stages with m >= n1 nest inside one n2-aligned chunk and run as
+    // contiguous chunk-local sub-transforms (same decomposition as
+    // forwardParallel's block-local phase).
+    if (n_ < 2 * kTenStepChunk)
+        throw std::logic_error("ten-step NTT requires n >= 2 chunks");
+    FAST_OBS_COUNT("ntt.forward", 1);
+    FAST_OBS_SPAN_VAR(span, "ntt.forward_tenstep");
+    FAST_OBS_SPAN_ARG(span, "n", static_cast<std::uint64_t>(n_));
+    const SimdOps &ops = simdOps();
+    const u64 q = q_;
+    const u64 two_q = 2 * q;
+    const std::size_t n2 = kTenStepChunk;
+    const std::size_t n1 = n_ / n2;
+
+    auto columnPhase = [&](std::size_t cb0, std::size_t cb1) {
+        thread_local AlignedU64 scratch;
+        if (scratch.size() < n1 * kTenStepTile)
+            scratch.resize(n1 * kTenStepTile);
+        u64 *tile = scratch.data();
+        for (std::size_t cb = cb0; cb < cb1; ++cb) {
+            const std::size_t c0 = cb * kTenStepTile;
+            for (std::size_t r = 0; r < n1; ++r)
+                std::memcpy(tile + r * kTenStepTile,
+                            data + r * n2 + c0,
+                            kTenStepTile * sizeof(u64));
+            for (std::size_t m = 1; m < n1; m <<= 1) {
+                const std::size_t t1 = n1 / (2 * m);
+                const std::size_t run = t1 * kTenStepTile;
+                for (std::size_t i = 0; i < m; ++i)
+                    ops.ct_butterflies(tile, 2 * i * run, run, run,
+                                       roots_[m + i],
+                                       roots_shoup_[m + i], q, two_q);
+            }
+            for (std::size_t r = 0; r < n1; ++r)
+                std::memcpy(data + r * n2 + c0,
+                            tile + r * kTenStepTile,
+                            kTenStepTile * sizeof(u64));
+        }
+    };
+    const std::size_t tiles = n2 / kTenStepTile;
+    if (engine)
+        engine->parallelFor(tiles, columnPhase);
+    else
+        columnPhase(0, tiles);
+
+    auto chunkPhase = [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t b = b0; b < b1; ++b) {
+            ops.ntt_fwd_tail(data, n_, n1, b, n1, roots_.data(),
+                             roots_shoup_.data(), q);
+            ops.canon_from_4q(data + b * n2, n2, q);
+        }
+    };
+    if (engine)
+        engine->parallelFor(n1, chunkPhase);
+    else
+        chunkPhase(0, n1);
+}
+
+void
+NttTables::inverseTenStep(u64 *data, KernelEngine *engine) const
+{
+    // The mirror of forwardTenStep: chunk-local GS stages (m >= n1)
+    // first, then the column-tile stages (m < n1), then the N^-1
+    // scaling pass.
+    if (n_ < 2 * kTenStepChunk)
+        throw std::logic_error("ten-step NTT requires n >= 2 chunks");
+    FAST_OBS_COUNT("ntt.inverse", 1);
+    FAST_OBS_SPAN_VAR(span, "ntt.inverse_tenstep");
+    FAST_OBS_SPAN_ARG(span, "n", static_cast<std::uint64_t>(n_));
+    const SimdOps &ops = simdOps();
+    const u64 q = q_;
+    const u64 two_q = 2 * q;
+    const std::size_t n2 = kTenStepChunk;
+    const std::size_t n1 = n_ / n2;
+
+    auto chunkPhase = [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t b = b0; b < b1; ++b)
+            ops.ntt_inv_head(data, n_, n1, b, n1, inv_roots_.data(),
+                             inv_roots_shoup_.data(), q);
+    };
+    if (engine)
+        engine->parallelFor(n1, chunkPhase);
+    else
+        chunkPhase(0, n1);
+
+    auto columnPhase = [&](std::size_t cb0, std::size_t cb1) {
+        thread_local AlignedU64 scratch;
+        if (scratch.size() < n1 * kTenStepTile)
+            scratch.resize(n1 * kTenStepTile);
+        u64 *tile = scratch.data();
+        for (std::size_t cb = cb0; cb < cb1; ++cb) {
+            const std::size_t c0 = cb * kTenStepTile;
+            for (std::size_t r = 0; r < n1; ++r)
+                std::memcpy(tile + r * kTenStepTile,
+                            data + r * n2 + c0,
+                            kTenStepTile * sizeof(u64));
+            for (std::size_t m = n1 >> 1; m >= 1; m >>= 1) {
+                const std::size_t t1 = n1 / (2 * m);
+                const std::size_t run = t1 * kTenStepTile;
+                for (std::size_t i = 0; i < m; ++i)
+                    ops.gs_butterflies(tile, 2 * i * run, run, run,
+                                       inv_roots_[m + i],
+                                       inv_roots_shoup_[m + i], q,
+                                       two_q);
+            }
+            for (std::size_t r = 0; r < n1; ++r)
+                std::memcpy(data + r * n2 + c0,
+                            tile + r * kTenStepTile,
+                            kTenStepTile * sizeof(u64));
+        }
+    };
+    const std::size_t tiles = n2 / kTenStepTile;
+    if (engine)
+        engine->parallelFor(tiles, columnPhase);
+    else
+        columnPhase(0, tiles);
+
+    auto scalePhase = [&](std::size_t b0, std::size_t b1) {
+        ops.scale_shoup_canon(data + b0 * n2, (b1 - b0) * n2, n_inv_,
+                              n_inv_shoup_, q);
+    };
+    if (engine)
+        engine->parallelFor(n1, scalePhase);
+    else
+        scalePhase(0, n1);
 }
 
 void

@@ -25,6 +25,14 @@
  * (group count < block count) are barriered per stage, lower stages
  * run block-local — the same limb x block decomposition the NTTU's
  * lane clusters use.
+ *
+ * All butterfly inner loops execute through the runtime-dispatched
+ * SIMD kernel tables (math/simd.hpp); every path is bit-identical to
+ * the scalar reference for any ISA and thread count. Ring degrees at
+ * or above kTenStepMinN additionally use a cache-blocked ten-step
+ * decomposition (forwardTenStep/inverseTenStep): the strided upper
+ * stages are gathered into L1-sized column tiles so their butterflies
+ * stream contiguously instead of striding n/2 apart.
  */
 #ifndef FAST_MATH_NTT_HPP
 #define FAST_MATH_NTT_HPP
@@ -33,6 +41,7 @@
 #include <memory>
 #include <vector>
 
+#include "math/align.hpp"
 #include "math/modarith.hpp"
 
 namespace fast::math {
@@ -73,9 +82,30 @@ class NttTables
     void forwardReference(u64 *data) const;
     void inverseReference(u64 *data) const;
 
+    /**
+     * Cache-blocked ten-step transforms. The n1 x n2 matrix view
+     * (n2 = kTenStepChunk) turns the strided upper stages into
+     * column-tile butterflies on an L1-resident scratch tile and the
+     * remaining stages into contiguous chunk-local sub-transforms.
+     * Bit-identical to forward()/inverse(); requires
+     * n >= 2 * kTenStepChunk. Pass @p engine to parallelize over
+     * tiles/chunks, nullptr to run serially. forward()/inverse() and
+     * the parallel variants select this path automatically for
+     * n >= kTenStepMinN.
+     */
+    void forwardTenStep(u64 *data, KernelEngine *engine) const;
+    void inverseTenStep(u64 *data, KernelEngine *engine) const;
+
+    /** Coefficients per ten-step chunk (n2). */
+    static constexpr std::size_t kTenStepChunk = std::size_t(1) << 13;
+    /** Minimum ring degree at which transforms go ten-step. */
+    static constexpr std::size_t kTenStepMinN = std::size_t(1) << 16;
+
     /** Convenience overloads operating on whole vectors. */
     void forward(std::vector<u64> &data) const { forward(data.data()); }
     void inverse(std::vector<u64> &data) const { inverse(data.data()); }
+    void forward(AlignedU64 &data) const { forward(data.data()); }
+    void inverse(AlignedU64 &data) const { inverse(data.data()); }
 
     /** Modular multiplications consumed by one transform. */
     static std::size_t multCount(std::size_t n);
@@ -88,10 +118,12 @@ class NttTables
     u64 q_;
     u64 n_inv_;          ///< N^-1 mod q for the inverse transform
     u64 n_inv_shoup_;
-    std::vector<u64> roots_;          ///< psi powers, bit-rev order
-    std::vector<u64> roots_shoup_;
-    std::vector<u64> inv_roots_;      ///< psi^-1 powers, bit-rev order
-    std::vector<u64> inv_roots_shoup_;
+    // 64-byte-aligned so the vector kernels' twiddle loads never
+    // straddle cache lines (math/align.hpp layout contract).
+    AlignedU64 roots_;          ///< psi powers, bit-rev order
+    AlignedU64 roots_shoup_;
+    AlignedU64 inv_roots_;      ///< psi^-1 powers, bit-rev order
+    AlignedU64 inv_roots_shoup_;
 };
 
 /**

@@ -8,6 +8,7 @@
 
 #include "math/bitops.hpp"
 #include "math/parallel.hpp"
+#include "math/simd.hpp"
 
 namespace fast::math {
 
@@ -64,13 +65,11 @@ RnsPoly &
 RnsPoly::operator+=(const RnsPoly &other)
 {
     requireCompatible(other);
+    const SimdOps &ops = simdOps();
     forEachLimbBlock(limbCount(), n_, [&](std::size_t i, std::size_t b,
                                           std::size_t e) {
-        u64 q = moduli_[i];
-        auto &dst = limbs_[i];
-        const auto &src = other.limbs_[i];
-        for (std::size_t j = b; j < e; ++j)
-            dst[j] = addMod(dst[j], src[j], q);
+        ops.add_mod_vec(limbs_[i].data() + b,
+                        other.limbs_[i].data() + b, e - b, moduli_[i]);
     });
     return *this;
 }
@@ -79,13 +78,11 @@ RnsPoly &
 RnsPoly::operator-=(const RnsPoly &other)
 {
     requireCompatible(other);
+    const SimdOps &ops = simdOps();
     forEachLimbBlock(limbCount(), n_, [&](std::size_t i, std::size_t b,
                                           std::size_t e) {
-        u64 q = moduli_[i];
-        auto &dst = limbs_[i];
-        const auto &src = other.limbs_[i];
-        for (std::size_t j = b; j < e; ++j)
-            dst[j] = subMod(dst[j], src[j], q);
+        ops.sub_mod_vec(limbs_[i].data() + b,
+                        other.limbs_[i].data() + b, e - b, moduli_[i]);
     });
     return *this;
 }
@@ -109,12 +106,10 @@ RnsPoly::operator-(const RnsPoly &other) const
 void
 RnsPoly::negateInPlace()
 {
+    const SimdOps &ops = simdOps();
     forEachLimbBlock(limbCount(), n_, [&](std::size_t i, std::size_t b,
                                           std::size_t e) {
-        u64 q = moduli_[i];
-        auto &limb = limbs_[i];
-        for (std::size_t j = b; j < e; ++j)
-            limb[j] = negMod(limb[j], q);
+        ops.neg_mod_vec(limbs_[i].data() + b, e - b, moduli_[i]);
     });
 }
 
@@ -130,13 +125,11 @@ RnsPoly::hadamardInPlace(const RnsPoly &other)
     mods.reserve(limbCount());
     for (u64 q : moduli_)
         mods.emplace_back(q);
+    const SimdOps &ops = simdOps();
     forEachLimbBlock(limbCount(), n_, [&](std::size_t i, std::size_t b,
                                           std::size_t e) {
-        const Modulus &q = mods[i];
-        auto &dst = limbs_[i];
-        const auto &src = other.limbs_[i];
-        for (std::size_t j = b; j < e; ++j)
-            dst[j] = mulMod(dst[j], src[j], q);
+        ops.mul_mod_vec(limbs_[i].data() + b,
+                        other.limbs_[i].data() + b, e - b, mods[i]);
     });
     return *this;
 }
@@ -159,12 +152,11 @@ RnsPoly::scalePerLimb(const std::vector<u64> &scalars)
         s[i] = scalars[i] % moduli_[i];
         sp[i] = shoupPrecompute(s[i], moduli_[i]);
     }
+    const SimdOps &ops = simdOps();
     forEachLimbBlock(limbCount(), n_, [&](std::size_t i, std::size_t b,
                                           std::size_t e) {
-        u64 q = moduli_[i];
-        auto &limb = limbs_[i];
-        for (std::size_t j = b; j < e; ++j)
-            limb[j] = mulModShoup(limb[j], s[i], sp[i], q);
+        u64 *p = limbs_[i].data() + b;
+        ops.mul_shoup_strict(p, p, e - b, s[i], sp[i], moduli_[i]);
     });
 }
 
@@ -370,12 +362,12 @@ RnsPoly::operator==(const RnsPoly &other) const
            form_ == other.form_ && limbs_ == other.limbs_;
 }
 
-std::vector<u64>
-negacyclicMulSchoolbook(const std::vector<u64> &a, const std::vector<u64> &b,
-                        u64 q)
+void
+negacyclicMulSchoolbook(const u64 *a, const u64 *b, std::size_t n,
+                        u64 q, u64 *out)
 {
-    std::size_t n = a.size();
-    std::vector<u64> out(n, 0);
+    for (std::size_t k = 0; k < n; ++k)
+        out[k] = 0;
     for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j < n; ++j) {
             u64 p = mulMod(a[i], b[j], q);
@@ -386,7 +378,6 @@ negacyclicMulSchoolbook(const std::vector<u64> &a, const std::vector<u64> &b,
                 out[k - n] = subMod(out[k - n], p, q);
         }
     }
-    return out;
 }
 
 } // namespace fast::math

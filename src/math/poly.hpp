@@ -6,6 +6,11 @@
  * an N-coefficient vector, in either coefficient or evaluation (NTT)
  * representation — exactly the data layout the FAST register files
  * store and the paper's ciphertext structure describes (Sec. 2.1.1).
+ *
+ * Limbs are stored limb-major on 64-byte boundaries (AlignedU64,
+ * math/align.hpp) so the dispatched SIMD kernels (math/simd.hpp) get
+ * cache-line-aligned streams; all element-wise ops route through the
+ * active kernel table and are bit-identical on every ISA path.
  */
 #ifndef FAST_MATH_POLY_HPP
 #define FAST_MATH_POLY_HPP
@@ -45,8 +50,8 @@ class RnsPoly
     u64 modulus(std::size_t i) const { return moduli_[i]; }
     const std::vector<u64> &moduli() const { return moduli_; }
 
-    std::vector<u64> &limb(std::size_t i) { return limbs_[i]; }
-    const std::vector<u64> &limb(std::size_t i) const { return limbs_[i]; }
+    AlignedU64 &limb(std::size_t i) { return limbs_[i]; }
+    const AlignedU64 &limb(std::size_t i) const { return limbs_[i]; }
 
     /** The residues of coefficient/slot @p j across all limbs. */
     std::vector<u64> coefficientResidues(std::size_t j) const;
@@ -128,16 +133,35 @@ class RnsPoly
 
     std::size_t n_;
     std::vector<u64> moduli_;
-    std::vector<std::vector<u64>> limbs_;
+    std::vector<AlignedU64> limbs_;
     PolyForm form_;
 };
 
 /**
  * Reference negacyclic convolution (schoolbook, O(N^2)) over a single
- * modulus. Used by tests to validate the NTT-based product.
+ * modulus. Used by tests to validate the NTT-based product. The
+ * pointer core writes @p n outputs; the container overloads accept
+ * either vector flavor.
  */
-std::vector<u64> negacyclicMulSchoolbook(const std::vector<u64> &a,
-                                         const std::vector<u64> &b, u64 q);
+void negacyclicMulSchoolbook(const u64 *a, const u64 *b, std::size_t n,
+                             u64 q, u64 *out);
+
+inline std::vector<u64>
+negacyclicMulSchoolbook(const std::vector<u64> &a,
+                        const std::vector<u64> &b, u64 q)
+{
+    std::vector<u64> out(a.size());
+    negacyclicMulSchoolbook(a.data(), b.data(), a.size(), q, out.data());
+    return out;
+}
+
+inline AlignedU64
+negacyclicMulSchoolbook(const AlignedU64 &a, const AlignedU64 &b, u64 q)
+{
+    AlignedU64 out(a.size());
+    negacyclicMulSchoolbook(a.data(), b.data(), a.size(), q, out.data());
+    return out;
+}
 
 } // namespace fast::math
 

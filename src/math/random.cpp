@@ -69,18 +69,18 @@ Prng::uniformReal()
 }
 
 void
-sampleUniform(Prng &prng, u64 q, std::vector<u64> &out)
+sampleUniform(Prng &prng, u64 q, u64 *out, std::size_t n)
 {
-    for (auto &v : out)
-        v = prng.uniform(q);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = prng.uniform(q);
 }
 
 void
-sampleTernary(Prng &prng, u64 q, std::vector<u64> &out)
+sampleTernary(Prng &prng, u64 q, u64 *out, std::size_t n)
 {
-    for (auto &v : out) {
+    for (std::size_t i = 0; i < n; ++i) {
         u64 r = prng.uniform(3);
-        v = r == 2 ? q - 1 : r;  // {0, 1, q-1} == {0, 1, -1}
+        out[i] = r == 2 ? q - 1 : r;  // {0, 1, q-1} == {0, 1, -1}
     }
 }
 
@@ -110,11 +110,11 @@ sampleGaussianSigned(Prng &prng, double sigma, std::vector<i64> &out)
 }
 
 void
-sampleGaussian(Prng &prng, u64 q, double sigma, std::vector<u64> &out)
+sampleGaussian(Prng &prng, u64 q, double sigma, u64 *out, std::size_t n)
 {
-    std::vector<i64> signed_noise(out.size());
+    std::vector<i64> signed_noise(n);
     sampleGaussianSigned(prng, sigma, signed_noise);
-    for (std::size_t i = 0; i < out.size(); ++i)
+    for (std::size_t i = 0; i < n; ++i)
         out[i] = fromCentered(signed_noise[i], q);
 }
 

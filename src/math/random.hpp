@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "math/align.hpp"
 #include "math/modarith.hpp"
 
 namespace fast::math {
@@ -42,21 +43,65 @@ class Prng
     u64 s_[4];
 };
 
-/** Fill @p out with uniform values mod q. */
-void sampleUniform(Prng &prng, u64 q, std::vector<u64> &out);
+/**
+ * Fill @p n values at @p out with uniform draws mod q. The pointer
+ * cores are the single implementation; the container overloads below
+ * forward here so std::vector and AlignedU64 limbs sample identically.
+ */
+void sampleUniform(Prng &prng, u64 q, u64 *out, std::size_t n);
 
 /**
  * Sample a ternary polynomial with coefficients in {-1, 0, 1}
  * (represented mod q), the standard CKKS secret distribution.
  */
-void sampleTernary(Prng &prng, u64 q, std::vector<u64> &out);
+void sampleTernary(Prng &prng, u64 q, u64 *out, std::size_t n);
 
 /**
  * Sample centered discrete Gaussian noise with standard deviation
  * @p sigma (default 3.2, the usual RLWE parameter), represented mod q.
  * Uses rounded Box-Muller, adequate for functional validation.
  */
-void sampleGaussian(Prng &prng, u64 q, double sigma, std::vector<u64> &out);
+void sampleGaussian(Prng &prng, u64 q, double sigma, u64 *out,
+                    std::size_t n);
+
+/** @name Container conveniences (fill the whole container). */
+///@{
+inline void
+sampleUniform(Prng &prng, u64 q, std::vector<u64> &out)
+{
+    sampleUniform(prng, q, out.data(), out.size());
+}
+
+inline void
+sampleUniform(Prng &prng, u64 q, AlignedU64 &out)
+{
+    sampleUniform(prng, q, out.data(), out.size());
+}
+
+inline void
+sampleTernary(Prng &prng, u64 q, std::vector<u64> &out)
+{
+    sampleTernary(prng, q, out.data(), out.size());
+}
+
+inline void
+sampleTernary(Prng &prng, u64 q, AlignedU64 &out)
+{
+    sampleTernary(prng, q, out.data(), out.size());
+}
+
+inline void
+sampleGaussian(Prng &prng, u64 q, double sigma, std::vector<u64> &out)
+{
+    sampleGaussian(prng, q, sigma, out.data(), out.size());
+}
+
+inline void
+sampleGaussian(Prng &prng, u64 q, double sigma, AlignedU64 &out)
+{
+    sampleGaussian(prng, q, sigma, out.data(), out.size());
+}
+///@}
 
 /**
  * Sample the signed integer coefficients of a Gaussian directly

@@ -4,9 +4,11 @@
  */
 #include "math/rns.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "math/parallel.hpp"
+#include "math/simd.hpp"
 #include "obs/trace.hpp"
 
 namespace fast::math {
@@ -15,6 +17,13 @@ namespace {
 
 /** Minimum coefficients per block for the batched BConv kernel. */
 constexpr std::size_t kMinBConvBlock = 512;
+
+/**
+ * Coefficients per convertPoly tile. One tile of scaled inputs is
+ * k * 512 * 8 bytes (64 KiB at k = 16), sized so phase B's k passes
+ * over it stay cache-resident.
+ */
+constexpr std::size_t kBConvTile = 512;
 
 } // namespace
 
@@ -87,10 +96,31 @@ BaseConverter::BaseConverter(const RnsBasis &from, const RnsBasis &to)
         for (std::size_t j = 0; j < to_.size(); ++j)
             base_table_[i * to_.size() + j] =
                 from_.qHatMod(i, to_.modulus(j));
+    col_table_.resize(base_table_.size());
+    for (std::size_t j = 0; j < to_.size(); ++j)
+        for (std::size_t i = 0; i < from_.size(); ++i)
+            col_table_[j * from_.size() + i] = baseTable(i, j);
     scale_shoup_.resize(from_.size());
     for (std::size_t i = 0; i < from_.size(); ++i)
         scale_shoup_[i] =
             shoupPrecompute(from_.qHatInv(i), from_.modulus(i));
+
+    // Largest number of inner-product terms that cannot wrap a 128-bit
+    // accumulator holding a residue < p plus that many full-width
+    // products. With < 2^62 moduli this is >= 15, so folds are rare.
+    u64 max_from =
+        *std::max_element(from_.moduli().begin(), from_.moduli().end());
+    u64 max_to =
+        *std::max_element(to_.moduli().begin(), to_.moduli().end());
+    u128 max_term = (u128)(max_from - 1) * (max_to - 1);
+    u128 cap = (~u128(0) - (max_to - 1)) / max_term;
+    // When the whole k-term sum fits (the common case), pick a period
+    // past k so the guard never fires inside the loop.
+    fold_every_ = cap > from_.size()
+                      ? from_.size() + 1
+                      : std::max<std::size_t>(
+                            1, static_cast<std::size_t>(cap));
+    from_max_ = max_from;
 }
 
 void
@@ -150,29 +180,38 @@ BaseConverter::convertPoly(const std::vector<const u64 *> &in,
     FAST_OBS_SPAN_ARG(span, "from_limbs",
                       static_cast<std::uint64_t>(k));
     FAST_OBS_SPAN_ARG(span, "to_limbs", static_cast<std::uint64_t>(l));
+    const SimdOps &ops = simdOps();
     std::size_t blocks = KernelEngine::blocksFor(
         n, engine.threadCount(), kMinBConvBlock);
     engine.parallelFor(blocks, [&](std::size_t b0, std::size_t b1) {
         std::size_t c0 = n * b0 / blocks;
         std::size_t c1 = n * b1 / blocks;
-        std::vector<u64> scaled(k);
-        for (std::size_t c = c0; c < c1; ++c) {
+        // Two-phase tile pipeline (the BConvU dataflow, Sec. 5.3):
+        // phase A Shoup-scales a tile of every input limb into a
+        // cache-resident scratch block, phase B runs the inner product
+        // for each output limb over that block. The fold schedule is
+        // fixed (fold_every_) rather than data-dependent, and the
+        // final reduction is canonical, so results are bit-identical
+        // to convert() on every SIMD path.
+        thread_local AlignedU64 scratch;
+        if (scratch.size() < k * kBConvTile)
+            scratch.resize(k * kBConvTile);
+        std::vector<const u64 *> rows(k);
+        for (std::size_t i = 0; i < k; ++i)
+            rows[i] = scratch.data() + i * kBConvTile;
+        for (std::size_t c = c0; c < c1; c += kBConvTile) {
+            const std::size_t len = std::min(kBConvTile, c1 - c);
             for (std::size_t i = 0; i < k; ++i)
-                scaled[i] = mulModShoup(in[i][c], from_.qHatInv(i),
-                                        scale_shoup_[i],
-                                        from_.modulus(i));
-            for (std::size_t j = 0; j < l; ++j) {
-                const Modulus &pj = to_.modulusObj(j);
-                u128 acc = 0;
-                for (std::size_t i = 0; i < k; ++i) {
-                    acc += (u128)scaled[i] * baseTable(i, j);
-                    // Same lazy fold as accumulate() so the batched
-                    // kernel stays bit-identical to convert().
-                    if ((acc >> 120) != 0)
-                        acc = acc % pj.value();
-                }
-                out[j][c] = static_cast<u64>(acc % pj.value());
-            }
+                ops.mul_shoup_strict(in[i] + c,
+                                     scratch.data() + i * kBConvTile,
+                                     len, from_.qHatInv(i),
+                                     scale_shoup_[i],
+                                     from_.modulus(i));
+            for (std::size_t j = 0; j < l; ++j)
+                ops.bconv_acc(rows.data(), k,
+                              col_table_.data() + j * k, len,
+                              to_.modulusObj(j), fold_every_,
+                              from_max_, out[j] + c);
         }
     });
 }

@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "math/align.hpp"
 #include "math/bignum.hpp"
 #include "math/modarith.hpp"
 
@@ -102,10 +103,12 @@ class BaseConverter
      * limb pointers (each @p n coefficients in coefficient form),
      * `out` holds to.size() destination limb pointers. The coefficient
      * range is split across the engine's blocks; per-coefficient
-     * results are bit-identical to convert() for any thread count.
-     * This is the limb x block form of the BConvU kernel: no
-     * per-coefficient allocation, Shoup-scaled inputs, one u128
-     * accumulator per output limb.
+     * results are bit-identical to convert() for any thread count and
+     * SIMD path. This is the limb x block form of the BConvU kernel,
+     * run as a two-phase tile pipeline through the dispatched SIMD
+     * table: phase A Shoup-scales a cache-resident tile of every input
+     * limb, phase B runs the 128-bit lane inner product per output
+     * limb against the transposed base table.
      */
     void convertPoly(const std::vector<const u64 *> &in, std::size_t n,
                      const std::vector<u64 *> &out,
@@ -136,7 +139,26 @@ class BaseConverter
     RnsBasis from_;
     RnsBasis to_;
     std::vector<u64> base_table_;  ///< row-major (from x to)
+    /**
+     * The same table transposed ([j*k + i] = Q/q_i mod p_j) so the
+     * batched kernel's per-output-limb inner product reads its column
+     * contiguously (64-byte aligned rows via math/align.hpp).
+     */
+    AlignedU64 col_table_;
     std::vector<u64> scale_shoup_; ///< Shoup constants for qHatInv_i
+    /**
+     * Terms between congruence-preserving folds in the batched inner
+     * product: the largest count such that fold_every * max_term +
+     * (p - 1) cannot wrap a 128-bit accumulator. When the whole
+     * k-term sum fits (the common case) this is k + 1 so the guard
+     * never fires inside the loop.
+     */
+    std::size_t fold_every_;
+    /**
+     * Exclusive upper bound on scaled inputs (the largest from-
+     * modulus); lets narrow-operand kernels (AVX-512 IFMA) engage.
+     */
+    u64 from_max_ = 0;
 };
 
 } // namespace fast::math

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * SIMD dispatch and the scalar kernel table.
+ *
+ * The scalar table is the semantic reference: its kernels are the
+ * exact inner loops the pre-SIMD ntt.cpp / rns.cpp / poly.cpp ran.
+ * Dispatch resolves once (FAST_SIMD override, else widest CPU-
+ * supported compiled-in ISA) and publishes the table through an
+ * atomic pointer; setSimdIsa() swaps it for tests and benches.
+ */
+#include "math/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "math/simd_common.hpp"
+
+namespace fast::math {
+
+namespace {
+
+using namespace simd_detail;
+
+struct ScalarKernels {
+    static constexpr std::size_t kLanes = 1;
+    static void ct(u64 *data, std::size_t j1, std::size_t len,
+                   std::size_t t, u64 w, u64 wp, u64 q, u64 two_q)
+    {
+        scalarCtButterflies(data, j1, len, t, w, wp, q, two_q);
+    }
+    static void gs(u64 *data, std::size_t j1, std::size_t len,
+                   std::size_t t, u64 w, u64 wp, u64 q, u64 two_q)
+    {
+        scalarGsButterflies(data, j1, len, t, w, wp, q, two_q);
+    }
+    // t >= kLanes == 1 always holds, so these are never reached.
+    static bool ctSmall(u64 *, std::size_t, std::size_t, std::size_t,
+                        const u64 *, const u64 *, u64, u64)
+    {
+        return false;
+    }
+    static bool gsSmall(u64 *, std::size_t, std::size_t, std::size_t,
+                        const u64 *, const u64 *, u64, u64)
+    {
+        return false;
+    }
+};
+
+void
+scalarNttFwdTail(u64 *data, std::size_t n, std::size_t first_m,
+                 std::size_t block, std::size_t nblocks, const u64 *w,
+                 const u64 *wp, u64 q)
+{
+    nttFwdTail<ScalarKernels>(data, n, first_m, block, nblocks, w, wp,
+                              q);
+}
+
+void
+scalarNttInvHead(u64 *data, std::size_t n, std::size_t last_m,
+                 std::size_t block, std::size_t nblocks, const u64 *w,
+                 const u64 *wp, u64 q)
+{
+    nttInvHead<ScalarKernels>(data, n, last_m, block, nblocks, w, wp,
+                              q);
+}
+
+} // namespace
+
+namespace simd_detail {
+
+const SimdOps kScalarOps = {
+    SimdIsa::scalar,
+    "scalar",
+    &scalarCtButterflies,
+    &scalarGsButterflies,
+    &scalarNttFwdTail,
+    &scalarNttInvHead,
+    &scalarCanonFrom4q,
+    &scalarScaleShoupCanon,
+    &scalarMulShoupStrict,
+    &scalarAddModVec,
+    &scalarSubModVec,
+    &scalarNegModVec,
+    &scalarMulModVec,
+    &scalarBconvAcc,
+};
+
+} // namespace simd_detail
+
+namespace {
+
+const SimdOps *
+tableFor(SimdIsa isa)
+{
+    switch (isa) {
+    case SimdIsa::avx512:
+#ifdef FAST_SIMD_HAVE_AVX512
+#ifdef FAST_SIMD_HAVE_AVX512IFMA
+        // Same tier, faster kernels: 52-bit vpmadd52 Shoup/BConv with
+        // per-call fallback to the generic table on wide moduli.
+        if (__builtin_cpu_supports("avx512ifma"))
+            return &kAvx512IfmaOps;
+#endif
+        return &kAvx512Ops;
+#else
+        break;
+#endif
+    case SimdIsa::avx2:
+#ifdef FAST_SIMD_HAVE_AVX2
+        return &kAvx2Ops;
+#else
+        break;
+#endif
+    case SimdIsa::scalar:
+        break;
+    }
+    return &kScalarOps;
+}
+
+bool
+hostSupports(SimdIsa isa)
+{
+    switch (isa) {
+    case SimdIsa::scalar:
+        return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case SimdIsa::avx2:
+        return __builtin_cpu_supports("avx2") != 0;
+    case SimdIsa::avx512:
+        return __builtin_cpu_supports("avx512f") != 0 &&
+               __builtin_cpu_supports("avx512dq") != 0;
+#else
+    case SimdIsa::avx2:
+    case SimdIsa::avx512:
+        return false;
+#endif
+    }
+    return false;
+}
+
+/** Widest supported ISA at or below @p want. */
+SimdIsa
+clampToSupported(SimdIsa want)
+{
+    for (int i = static_cast<int>(want); i > 0; --i) {
+        SimdIsa isa = static_cast<SimdIsa>(i);
+        if (simdIsaSupported(isa))
+            return isa;
+    }
+    return SimdIsa::scalar;
+}
+
+SimdIsa
+initialIsa()
+{
+    SimdIsa want = bestSimdIsa();
+    if (const char *env = std::getenv("FAST_SIMD")) {
+        if (std::strcmp(env, "scalar") == 0)
+            want = SimdIsa::scalar;
+        else if (std::strcmp(env, "avx2") == 0)
+            want = SimdIsa::avx2;
+        else if (std::strcmp(env, "avx512") == 0)
+            want = SimdIsa::avx512;
+        // Unknown values keep the auto-detected choice.
+    }
+    return clampToSupported(want);
+}
+
+std::atomic<const SimdOps *> g_active{nullptr};
+
+} // namespace
+
+bool
+simdIsaCompiled(SimdIsa isa)
+{
+    switch (isa) {
+    case SimdIsa::scalar:
+        return true;
+    case SimdIsa::avx2:
+#ifdef FAST_SIMD_HAVE_AVX2
+        return true;
+#else
+        return false;
+#endif
+    case SimdIsa::avx512:
+#ifdef FAST_SIMD_HAVE_AVX512
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+bool
+simdIsaSupported(SimdIsa isa)
+{
+    return simdIsaCompiled(isa) && hostSupports(isa);
+}
+
+SimdIsa
+bestSimdIsa()
+{
+    if (simdIsaSupported(SimdIsa::avx512))
+        return SimdIsa::avx512;
+    if (simdIsaSupported(SimdIsa::avx2))
+        return SimdIsa::avx2;
+    return SimdIsa::scalar;
+}
+
+const SimdOps &
+simdOps()
+{
+    const SimdOps *t = g_active.load(std::memory_order_acquire);
+    if (!t) {
+        const SimdOps *fresh = tableFor(initialIsa());
+        const SimdOps *expected = nullptr;
+        if (g_active.compare_exchange_strong(expected, fresh,
+                                             std::memory_order_acq_rel))
+            t = fresh;
+        else
+            t = expected;
+    }
+    return *t;
+}
+
+SimdIsa
+activeSimdIsa()
+{
+    return simdOps().isa;
+}
+
+bool
+setSimdIsa(SimdIsa isa)
+{
+    if (!simdIsaSupported(isa))
+        return false;
+    g_active.store(tableFor(isa), std::memory_order_release);
+    return true;
+}
+
+const char *
+simdIsaName(SimdIsa isa)
+{
+    switch (isa) {
+    case SimdIsa::scalar:
+        return "scalar";
+    case SimdIsa::avx2:
+        return "avx2";
+    case SimdIsa::avx512:
+        return "avx512";
+    }
+    return "unknown";
+}
+
+} // namespace fast::math

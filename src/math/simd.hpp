@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernel backend (DESIGN.md §15).
+ *
+ * Every hot inner loop in the functional layer — NTT butterflies, the
+ * BConv inner product, and the element-wise polynomial ops — routes
+ * through a table of kernel function pointers (`SimdOps`). Three
+ * implementations of the table exist:
+ *
+ *  - scalar:  plain C++, compiled with the project's default flags;
+ *             byte-for-byte the pre-SIMD kernel code.
+ *  - avx2:    4-lane 64-bit kernels (64x64->128 mulhi emulated via
+ *             _mm256_mul_epu32 cross products), compiled with -mavx2
+ *             in its own translation unit.
+ *  - avx512:  8-lane kernels using AVX-512F/DQ (vpmullq, unsigned
+ *             mask compares, permutex2var butterfly interleaving),
+ *             compiled with -mavx512f -mavx512dq. On CPUs with
+ *             AVX-512 IFMA, the avx512 tier transparently swaps in a
+ *             variant table ("avx512-ifma") whose Shoup multiplies
+ *             and BConv accumulation use vpmadd52lo/hi 52-bit fused
+ *             multiply-adds; kernels fall back to the generic AVX-512
+ *             code per call when a modulus is too wide (q >= 2^50 for
+ *             butterflies, operands >= 2^52 for BConv), so outputs
+ *             stay bit-identical for every modulus size.
+ *
+ * Dispatch rules
+ * --------------
+ * The active table is chosen once, on first use:
+ *   1. `FAST_SIMD=scalar|avx2|avx512` forces a path (testing hook);
+ *      an unsupported request falls back to the best supported path
+ *      at or below it.
+ *   2. Otherwise CPUID picks the widest ISA both compiled in and
+ *      supported by the host (AVX-512 needs F+DQ).
+ * Tests and benches may switch paths with setSimdIsa(); switching
+ * while kernels are in flight on other threads is not supported.
+ *
+ * Exactness contract
+ * ------------------
+ * Every vector kernel computes bit-identical results to the scalar
+ * table: butterflies replicate the exact lazy-reduction arithmetic
+ * (wrapping 64-bit ops, same operand order), and full reductions
+ * (Barrett, Shoup-strict) produce canonical residues, which are
+ * unique. The PR-5 testkit differential oracle and
+ * tests/math/simd_test.cpp pin this for every supported path.
+ */
+#ifndef FAST_MATH_SIMD_HPP
+#define FAST_MATH_SIMD_HPP
+
+#include <cstddef>
+
+#include "math/modarith.hpp"
+
+namespace fast::math {
+
+/** Instruction-set tiers, widest last. */
+enum class SimdIsa { scalar = 0, avx2 = 1, avx512 = 2 };
+
+/** Kernel-table entry points; one table per ISA tier. */
+struct SimdOps {
+    SimdIsa isa;
+    const char *name;
+
+    /**
+     * Cooley-Tukey butterflies j in [j1, j1+len) with partner j+t and
+     * one Shoup twiddle (w, wp). Lazy: inputs < 4q, outputs < 4q.
+     */
+    void (*ct_butterflies)(u64 *data, std::size_t j1, std::size_t len,
+                           std::size_t t, u64 w, u64 wp, u64 q,
+                           u64 two_q);
+
+    /**
+     * Gentleman-Sande butterflies, same indexing. Lazy: inputs < 2q,
+     * outputs < 2q.
+     */
+    void (*gs_butterflies)(u64 *data, std::size_t j1, std::size_t len,
+                           std::size_t t, u64 w, u64 wp, u64 q,
+                           u64 two_q);
+
+    /**
+     * Forward stages m = first_m, 2*first_m, ..., n/2 restricted to
+     * coefficient block @p block of @p nblocks (groups
+     * i in [block*(m/nblocks), (block+1)*(m/nblocks)) per stage).
+     * first_m == nblocks == 1 runs the whole transform's stage loop.
+     * Twiddles are read as w[m+i] from the full bit-reversed table.
+     * Small-stride stages (t below the lane width) use interleaved
+     * shuffle kernels on the vector paths.
+     */
+    void (*ntt_fwd_tail)(u64 *data, std::size_t n, std::size_t first_m,
+                         std::size_t block, std::size_t nblocks,
+                         const u64 *w, const u64 *wp, u64 q);
+
+    /**
+     * Inverse stages m = n/2 down to last_m restricted to block
+     * @p block of @p nblocks; the mirror of ntt_fwd_tail.
+     */
+    void (*ntt_inv_head)(u64 *data, std::size_t n, std::size_t last_m,
+                         std::size_t block, std::size_t nblocks,
+                         const u64 *w, const u64 *wp, u64 q);
+
+    /** Canonicalize lazy values: [0, 4q) -> [0, q). */
+    void (*canon_from_4q)(u64 *data, std::size_t count, u64 q);
+
+    /**
+     * data[j] = canonical mulModShoup(data[j], w, wp, q) for values in
+     * [0, 2q) — the inverse NTT's N^-1 scaling pass.
+     */
+    void (*scale_shoup_canon)(u64 *data, std::size_t count, u64 w,
+                              u64 wp, u64 q);
+
+    /**
+     * out[j] = mulModShoup(in[j], w, wp, q), strict reduction. in ==
+     * out is allowed. Inputs must be canonical residues (< q) — the
+     * IFMA kernel needs operands below 2^52 and every caller scales
+     * canonical limb data.
+     */
+    void (*mul_shoup_strict)(const u64 *in, u64 *out,
+                             std::size_t count, u64 w, u64 wp, u64 q);
+
+    /** dst[j] = addMod(dst[j], src[j], q). */
+    void (*add_mod_vec)(u64 *dst, const u64 *src, std::size_t count,
+                        u64 q);
+    /** dst[j] = subMod(dst[j], src[j], q). */
+    void (*sub_mod_vec)(u64 *dst, const u64 *src, std::size_t count,
+                        u64 q);
+    /** dst[j] = negMod(dst[j], q). */
+    void (*neg_mod_vec)(u64 *dst, std::size_t count, u64 q);
+    /** dst[j] = mulMod(dst[j], src[j], m) via lanewise Barrett. */
+    void (*mul_mod_vec)(u64 *dst, const u64 *src, std::size_t count,
+                        const Modulus &m);
+
+    /**
+     * BConv inner product over one output limb:
+     * out[c] = (sum_i scaled[i][c] * col[i]) mod p for c in
+     * [0, count), accumulated in 128-bit lanes with a congruence-
+     * preserving fold every @p fold_every terms (overflow guard; the
+     * caller precomputes it from the operand widths). @p max_scaled is
+     * an exclusive upper bound on the scaled[i][c] values (the largest
+     * input modulus); kernels that need narrower operands — the IFMA
+     * 52-bit accumulator — use it to decide whether they may engage.
+     * The final reduction is canonical, so any fold schedule yields
+     * the same residues.
+     */
+    void (*bconv_acc)(const u64 *const *scaled, std::size_t k,
+                      const u64 *col, std::size_t count,
+                      const Modulus &p, std::size_t fold_every,
+                      u64 max_scaled, u64 *out);
+};
+
+/** True when the ISA's kernel table was compiled into this binary. */
+bool simdIsaCompiled(SimdIsa isa);
+
+/** True when @p isa is compiled in AND supported by the host CPU. */
+bool simdIsaSupported(SimdIsa isa);
+
+/** The widest supported ISA (what dispatch picks absent FAST_SIMD). */
+SimdIsa bestSimdIsa();
+
+/** The currently active ISA (resolves FAST_SIMD on first call). */
+SimdIsa activeSimdIsa();
+
+/**
+ * Force the active kernel table (test/bench hook). Returns false and
+ * leaves the table unchanged when @p isa is unsupported. Must not be
+ * called while kernels run on other threads.
+ */
+bool setSimdIsa(SimdIsa isa);
+
+/** Human-readable ISA name ("scalar", "avx2", "avx512"). */
+const char *simdIsaName(SimdIsa isa);
+
+/** The active kernel table. */
+const SimdOps &simdOps();
+
+} // namespace fast::math
+
+#endif // FAST_MATH_SIMD_HPP

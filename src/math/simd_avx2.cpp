@@ -1,0 +1,581 @@
+/**
+ * @file
+ * AVX2 kernel table: 4 x u64 lanes.
+ *
+ * AVX2 has no 64-bit multiply, so the 64x64->128 products every kernel
+ * needs are assembled from _mm256_mul_epu32 (32x32->64) cross terms,
+ * and unsigned 64-bit compares use the sign-bit-bias trick on the
+ * signed _mm256_cmpgt_epi64. All butterfly arithmetic is the same
+ * wrapping 64-bit expression sequence as the scalar kernels, so
+ * results are bit-identical; the full reductions (strict Shoup,
+ * Barrett) return canonical residues and therefore also match.
+ *
+ * Compiled with -mavx2 (see src/math/CMakeLists.txt); nothing in this
+ * TU runs unless dispatch selected the table, so the binary stays
+ * safe on non-AVX2 hosts.
+ */
+#include "math/simd_common.hpp"
+
+#ifdef FAST_SIMD_HAVE_AVX2
+
+#include <immintrin.h>
+
+namespace fast::math::simd_detail {
+
+namespace {
+
+constexpr std::size_t kLanes = 4;
+
+inline __m256i
+set1(u64 x)
+{
+    return _mm256_set1_epi64x(static_cast<long long>(x));
+}
+
+inline __m256i
+loadu(const u64 *p)
+{
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+}
+
+inline void
+storeu(u64 *p, __m256i v)
+{
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
+}
+
+/** Low 64 bits of a*b per lane. */
+inline __m256i
+mulLo64(__m256i a, __m256i b)
+{
+    __m256i a_hi = _mm256_srli_epi64(a, 32);
+    __m256i b_hi = _mm256_srli_epi64(b, 32);
+    __m256i ll = _mm256_mul_epu32(a, b);
+    __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(a, b_hi),
+                                     _mm256_mul_epu32(a_hi, b));
+    return _mm256_add_epi64(ll, _mm256_slli_epi64(cross, 32));
+}
+
+/** High 64 bits of a*b per lane. */
+inline __m256i
+mulHi64(__m256i a, __m256i b)
+{
+    const __m256i mask32 = _mm256_set1_epi64x(0xffffffffLL);
+    __m256i a_hi = _mm256_srli_epi64(a, 32);
+    __m256i b_hi = _mm256_srli_epi64(b, 32);
+    __m256i ll = _mm256_mul_epu32(a, b);
+    __m256i lh = _mm256_mul_epu32(a, b_hi);
+    __m256i hl = _mm256_mul_epu32(a_hi, b);
+    __m256i hh = _mm256_mul_epu32(a_hi, b_hi);
+    // mid = (ll >> 32) + lo32(lh) + lo32(hl); each term < 2^32, so the
+    // sum fits a 64-bit lane; its top bits are the carry into hi.
+    __m256i mid = _mm256_add_epi64(
+        _mm256_add_epi64(_mm256_srli_epi64(ll, 32),
+                         _mm256_and_si256(lh, mask32)),
+        _mm256_and_si256(hl, mask32));
+    return _mm256_add_epi64(
+        _mm256_add_epi64(hh, _mm256_srli_epi64(mid, 32)),
+        _mm256_add_epi64(_mm256_srli_epi64(lh, 32),
+                         _mm256_srli_epi64(hl, 32)));
+}
+
+/**
+ * Full 64x64->128 product per lane, low and high words at once. The
+ * four 32x32 partial products are shared between both halves, so a
+ * paired lo+hi costs 4 vpmuludq instead of the 7 a separate
+ * mulLo64 + mulHi64 would spend.
+ */
+inline void
+mulFull64(__m256i a, __m256i b, __m256i &lo, __m256i &hi)
+{
+    const __m256i mask32 = _mm256_set1_epi64x(0xffffffffLL);
+    __m256i a_hi = _mm256_srli_epi64(a, 32);
+    __m256i b_hi = _mm256_srli_epi64(b, 32);
+    __m256i ll = _mm256_mul_epu32(a, b);
+    __m256i lh = _mm256_mul_epu32(a, b_hi);
+    __m256i hl = _mm256_mul_epu32(a_hi, b);
+    __m256i hh = _mm256_mul_epu32(a_hi, b_hi);
+    __m256i mid = _mm256_add_epi64(
+        _mm256_add_epi64(_mm256_srli_epi64(ll, 32),
+                         _mm256_and_si256(lh, mask32)),
+        _mm256_and_si256(hl, mask32));
+    lo = _mm256_add_epi64(_mm256_and_si256(ll, mask32),
+                          _mm256_slli_epi64(mid, 32));
+    hi = _mm256_add_epi64(
+        _mm256_add_epi64(hh, _mm256_srli_epi64(mid, 32)),
+        _mm256_add_epi64(_mm256_srli_epi64(lh, 32),
+                         _mm256_srli_epi64(hl, 32)));
+}
+
+/** All-ones mask where a < b (unsigned). */
+inline __m256i
+ltU64(__m256i a, __m256i b)
+{
+    const __m256i sign = _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ULL));
+    return _mm256_cmpgt_epi64(_mm256_xor_si256(b, sign),
+                              _mm256_xor_si256(a, sign));
+}
+
+/** x >= c ? x - c : x, per lane. */
+inline __m256i
+csubU64(__m256i x, __m256i c)
+{
+    return _mm256_sub_epi64(x, _mm256_andnot_si256(ltU64(x, c), c));
+}
+
+/** Lazy Shoup product: a*w - mulhi(a, wp)*q, wrapping. Result < 2q. */
+inline __m256i
+mulShoupLazyV(__m256i a, __m256i w, __m256i wp, __m256i q)
+{
+    __m256i hi = mulHi64(a, wp);
+    return _mm256_sub_epi64(mulLo64(a, w), mulLo64(hi, q));
+}
+
+/**
+ * Lanewise Barrett reduction of 128-bit lane values (hi:lo) mod q —
+ * the word-level mirror of Modulus::reduce128. The true remainder
+ * before correction is < 3q, so two conditional subtracts land on the
+ * canonical residue the scalar while-loop reaches.
+ */
+inline __m256i
+barrettReduceV(__m256i lo, __m256i hi, __m256i qv, __m256i cr0v,
+               __m256i cr1v)
+{
+    __m256i h0 = mulHi64(lo, cr0v);
+    __m256i p1lo, p1hi, p2lo, p2hi;
+    mulFull64(lo, cr1v, p1lo, p1hi);
+    mulFull64(hi, cr0v, p2lo, p2hi);
+    __m256i p3lo = mulLo64(hi, cr1v);
+    // q_hat = lo64(p3) + hi-words of (h0 + p1 + p2), i.e.
+    // p1hi + p2hi plus the carries out of (h0 + p1lo + p2lo).
+    __m256i s1 = _mm256_add_epi64(h0, p1lo);
+    __m256i c1 = ltU64(s1, p1lo);
+    __m256i s2 = _mm256_add_epi64(s1, p2lo);
+    __m256i c2 = ltU64(s2, p2lo);
+    __m256i qhat = _mm256_add_epi64(_mm256_add_epi64(p3lo, p1hi), p2hi);
+    qhat = _mm256_sub_epi64(qhat, c1); // mask is -1: subtract adds 1
+    qhat = _mm256_sub_epi64(qhat, c2);
+    __m256i r = _mm256_sub_epi64(lo, mulLo64(qhat, qv));
+    r = csubU64(r, qv);
+    r = csubU64(r, qv);
+    return r;
+}
+
+// ------------------------------------------------------------------
+// Butterflies (t >= 4) with scalar remainders.
+// ------------------------------------------------------------------
+
+void
+ctAvx2(u64 *data, std::size_t j1, std::size_t len, std::size_t t,
+       u64 w, u64 wp, u64 q, u64 two_q)
+{
+    const __m256i wv = set1(w), wpv = set1(wp), qv = set1(q),
+                  tqv = set1(two_q);
+    std::size_t j = j1;
+    const std::size_t end = j1 + len;
+    for (; j + kLanes <= end; j += kLanes) {
+        __m256i u = csubU64(loadu(data + j), tqv);
+        __m256i v = mulShoupLazyV(loadu(data + j + t), wv, wpv, qv);
+        storeu(data + j, _mm256_add_epi64(u, v));
+        storeu(data + j + t,
+               _mm256_add_epi64(_mm256_sub_epi64(u, v), tqv));
+    }
+    if (j < end)
+        scalarCtButterflies(data, j, end - j, t, w, wp, q, two_q);
+}
+
+void
+gsAvx2(u64 *data, std::size_t j1, std::size_t len, std::size_t t,
+       u64 w, u64 wp, u64 q, u64 two_q)
+{
+    const __m256i wv = set1(w), wpv = set1(wp), qv = set1(q),
+                  tqv = set1(two_q);
+    std::size_t j = j1;
+    const std::size_t end = j1 + len;
+    for (; j + kLanes <= end; j += kLanes) {
+        __m256i u = loadu(data + j);
+        __m256i v = loadu(data + j + t);
+        __m256i s = csubU64(_mm256_add_epi64(u, v), tqv);
+        __m256i d = _mm256_add_epi64(_mm256_sub_epi64(u, v), tqv);
+        storeu(data + j, s);
+        storeu(data + j + t, mulShoupLazyV(d, wv, wpv, qv));
+    }
+    if (j < end)
+        scalarGsButterflies(data, j, end - j, t, w, wp, q, two_q);
+}
+
+// ------------------------------------------------------------------
+// Interleaved small-stride stages (t = 1, 2). Lanes are deinterleaved
+// into (u, v) vectors with matching per-lane twiddles, butterflied,
+// and re-interleaved; the lane order within a vector is scrambled but
+// consistent between data and twiddles, so values are unchanged.
+// ------------------------------------------------------------------
+
+struct SmallVecs {
+    __m256i u, v, w, wp;
+};
+
+inline SmallVecs
+loadSmallT1(const u64 *data, const u64 *tw, const u64 *twp)
+{
+    __m256i a = loadu(data);     // u0 v0 u1 v1
+    __m256i b = loadu(data + 4); // u2 v2 u3 v3
+    SmallVecs s;
+    s.u = _mm256_unpacklo_epi64(a, b); // u0 u2 u1 u3
+    s.v = _mm256_unpackhi_epi64(a, b); // v0 v2 v1 v3
+    s.w = _mm256_permute4x64_epi64(loadu(tw),
+                                   _MM_SHUFFLE(3, 1, 2, 0));
+    s.wp = _mm256_permute4x64_epi64(loadu(twp),
+                                    _MM_SHUFFLE(3, 1, 2, 0));
+    return s;
+}
+
+inline void
+storeSmallT1(u64 *data, __m256i u, __m256i v)
+{
+    storeu(data, _mm256_unpacklo_epi64(u, v));
+    storeu(data + 4, _mm256_unpackhi_epi64(u, v));
+}
+
+inline SmallVecs
+loadSmallT2(const u64 *data, const u64 *tw, const u64 *twp)
+{
+    __m256i a = loadu(data);     // u0 u1 v0 v1  (group g)
+    __m256i b = loadu(data + 4); // group g+1
+    SmallVecs s;
+    s.u = _mm256_permute2x128_si256(a, b, 0x20);
+    s.v = _mm256_permute2x128_si256(a, b, 0x31);
+    __m128i w2 = _mm_loadu_si128(reinterpret_cast<const __m128i *>(tw));
+    __m128i wp2 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(twp));
+    // 0x50 selects lanes (0,0,1,1): [w_g, w_g, w_g1, w_g1].
+    s.w = _mm256_permute4x64_epi64(_mm256_castsi128_si256(w2), 0x50);
+    s.wp = _mm256_permute4x64_epi64(_mm256_castsi128_si256(wp2), 0x50);
+    return s;
+}
+
+inline void
+storeSmallT2(u64 *data, __m256i u, __m256i v)
+{
+    storeu(data, _mm256_permute2x128_si256(u, v, 0x20));
+    storeu(data + 4, _mm256_permute2x128_si256(u, v, 0x31));
+}
+
+bool
+ctSmallAvx2(u64 *data, std::size_t start, std::size_t count,
+            std::size_t t, const u64 *w, const u64 *wp, u64 q,
+            u64 two_q)
+{
+    if ((t != 1 && t != 2) || count % (2 * kLanes) != 0)
+        return false;
+    const __m256i qv = set1(q), tqv = set1(two_q);
+    const std::size_t tw_step = kLanes / t;
+    for (std::size_t off = start; off < start + count;
+         off += 2 * kLanes, w += tw_step, wp += tw_step) {
+        SmallVecs s = t == 1 ? loadSmallT1(data + off, w, wp)
+                             : loadSmallT2(data + off, w, wp);
+        __m256i u = csubU64(s.u, tqv);
+        __m256i v = mulShoupLazyV(s.v, s.w, s.wp, qv);
+        __m256i ou = _mm256_add_epi64(u, v);
+        __m256i ov = _mm256_add_epi64(_mm256_sub_epi64(u, v), tqv);
+        if (t == 1)
+            storeSmallT1(data + off, ou, ov);
+        else
+            storeSmallT2(data + off, ou, ov);
+    }
+    return true;
+}
+
+bool
+gsSmallAvx2(u64 *data, std::size_t start, std::size_t count,
+            std::size_t t, const u64 *w, const u64 *wp, u64 q,
+            u64 two_q)
+{
+    if ((t != 1 && t != 2) || count % (2 * kLanes) != 0)
+        return false;
+    const __m256i qv = set1(q), tqv = set1(two_q);
+    const std::size_t tw_step = kLanes / t;
+    for (std::size_t off = start; off < start + count;
+         off += 2 * kLanes, w += tw_step, wp += tw_step) {
+        SmallVecs s = t == 1 ? loadSmallT1(data + off, w, wp)
+                             : loadSmallT2(data + off, w, wp);
+        __m256i sum = csubU64(_mm256_add_epi64(s.u, s.v), tqv);
+        __m256i d =
+            _mm256_add_epi64(_mm256_sub_epi64(s.u, s.v), tqv);
+        __m256i ov = mulShoupLazyV(d, s.w, s.wp, qv);
+        if (t == 1)
+            storeSmallT1(data + off, sum, ov);
+        else
+            storeSmallT2(data + off, sum, ov);
+    }
+    return true;
+}
+
+struct Avx2Kernels {
+    static constexpr std::size_t kLanes = 4;
+    static void ct(u64 *data, std::size_t j1, std::size_t len,
+                   std::size_t t, u64 w, u64 wp, u64 q, u64 two_q)
+    {
+        ctAvx2(data, j1, len, t, w, wp, q, two_q);
+    }
+    static void gs(u64 *data, std::size_t j1, std::size_t len,
+                   std::size_t t, u64 w, u64 wp, u64 q, u64 two_q)
+    {
+        gsAvx2(data, j1, len, t, w, wp, q, two_q);
+    }
+    static bool ctSmall(u64 *data, std::size_t start, std::size_t count,
+                        std::size_t t, const u64 *w, const u64 *wp,
+                        u64 q, u64 two_q)
+    {
+        return ctSmallAvx2(data, start, count, t, w, wp, q, two_q);
+    }
+    static bool gsSmall(u64 *data, std::size_t start, std::size_t count,
+                        std::size_t t, const u64 *w, const u64 *wp,
+                        u64 q, u64 two_q)
+    {
+        return gsSmallAvx2(data, start, count, t, w, wp, q, two_q);
+    }
+};
+
+void
+nttFwdTailAvx2(u64 *data, std::size_t n, std::size_t first_m,
+               std::size_t block, std::size_t nblocks, const u64 *w,
+               const u64 *wp, u64 q)
+{
+    nttFwdTail<Avx2Kernels>(data, n, first_m, block, nblocks, w, wp, q);
+}
+
+void
+nttInvHeadAvx2(u64 *data, std::size_t n, std::size_t last_m,
+               std::size_t block, std::size_t nblocks, const u64 *w,
+               const u64 *wp, u64 q)
+{
+    nttInvHead<Avx2Kernels>(data, n, last_m, block, nblocks, w, wp, q);
+}
+
+// ------------------------------------------------------------------
+// Element-wise kernels.
+// ------------------------------------------------------------------
+
+void
+canonFrom4qAvx2(u64 *data, std::size_t count, u64 q)
+{
+    const __m256i qv = set1(q), tqv = set1(2 * q);
+    std::size_t j = 0;
+    for (; j + kLanes <= count; j += kLanes) {
+        __m256i x = loadu(data + j);
+        x = csubU64(x, tqv);
+        x = csubU64(x, qv);
+        storeu(data + j, x);
+    }
+    if (j < count)
+        scalarCanonFrom4q(data + j, count - j, q);
+}
+
+void
+scaleShoupCanonAvx2(u64 *data, std::size_t count, u64 w, u64 wp, u64 q)
+{
+    const __m256i wv = set1(w), wpv = set1(wp), qv = set1(q);
+    std::size_t j = 0;
+    for (; j + kLanes <= count; j += kLanes) {
+        __m256i x = mulShoupLazyV(loadu(data + j), wv, wpv, qv);
+        storeu(data + j, csubU64(x, qv));
+    }
+    if (j < count)
+        scalarScaleShoupCanon(data + j, count - j, w, wp, q);
+}
+
+void
+mulShoupStrictAvx2(const u64 *in, u64 *out, std::size_t count, u64 w,
+                   u64 wp, u64 q)
+{
+    const __m256i wv = set1(w), wpv = set1(wp), qv = set1(q);
+    std::size_t j = 0;
+    for (; j + kLanes <= count; j += kLanes) {
+        __m256i x = mulShoupLazyV(loadu(in + j), wv, wpv, qv);
+        storeu(out + j, csubU64(x, qv));
+    }
+    if (j < count)
+        scalarMulShoupStrict(in + j, out + j, count - j, w, wp, q);
+}
+
+void
+addModVecAvx2(u64 *dst, const u64 *src, std::size_t count, u64 q)
+{
+    const __m256i qv = set1(q);
+    std::size_t j = 0;
+    for (; j + kLanes <= count; j += kLanes) {
+        __m256i s = _mm256_add_epi64(loadu(dst + j), loadu(src + j));
+        storeu(dst + j, csubU64(s, qv));
+    }
+    if (j < count)
+        scalarAddModVec(dst + j, src + j, count - j, q);
+}
+
+void
+subModVecAvx2(u64 *dst, const u64 *src, std::size_t count, u64 q)
+{
+    const __m256i qv = set1(q);
+    std::size_t j = 0;
+    for (; j + kLanes <= count; j += kLanes) {
+        __m256i a = loadu(dst + j);
+        __m256i b = loadu(src + j);
+        __m256i d = _mm256_sub_epi64(a, b);
+        d = _mm256_add_epi64(d, _mm256_and_si256(ltU64(a, b), qv));
+        storeu(dst + j, d);
+    }
+    if (j < count)
+        scalarSubModVec(dst + j, src + j, count - j, q);
+}
+
+void
+negModVecAvx2(u64 *dst, std::size_t count, u64 q)
+{
+    const __m256i qv = set1(q), zero = _mm256_setzero_si256();
+    std::size_t j = 0;
+    for (; j + kLanes <= count; j += kLanes) {
+        __m256i a = loadu(dst + j);
+        __m256i eq = _mm256_cmpeq_epi64(a, zero);
+        storeu(dst + j,
+               _mm256_andnot_si256(eq, _mm256_sub_epi64(qv, a)));
+    }
+    if (j < count)
+        scalarNegModVec(dst + j, count - j, q);
+}
+
+void
+mulModVecAvx2(u64 *dst, const u64 *src, std::size_t count,
+              const Modulus &m)
+{
+    const __m256i qv = set1(m.value());
+    const __m256i cr0v = set1(m.barrettLo());
+    const __m256i cr1v = set1(m.barrettHi());
+    std::size_t j = 0;
+    for (; j + kLanes <= count; j += kLanes) {
+        __m256i a = loadu(dst + j);
+        __m256i b = loadu(src + j);
+        __m256i lo, hi;
+        mulFull64(a, b, lo, hi);
+        storeu(dst + j, barrettReduceV(lo, hi, qv, cr0v, cr1v));
+    }
+    if (j < count)
+        scalarMulModVec(dst + j, src + j, count - j, m);
+}
+
+void
+bconvAccAvx2(const u64 *const *scaled, std::size_t k, const u64 *col,
+             std::size_t count, const Modulus &p,
+             std::size_t fold_every, u64 /*max_scaled*/, u64 *out)
+{
+    const u64 pv = p.value();
+    const __m256i qv = set1(pv);
+    const __m256i cr0v = set1(p.barrettLo());
+    const __m256i cr1v = set1(p.barrettHi());
+    // Rare overflow-guard fold: per-lane 128-bit residue. Only
+    // reached when the modulus mix makes fold_every < k.
+    auto fold = [&](__m256i &acc_lo, __m256i &acc_hi) {
+        alignas(32) u64 lo[kLanes], hi[kLanes];
+        storeu(lo, acc_lo);
+        storeu(hi, acc_hi);
+        for (std::size_t l = 0; l < kLanes; ++l) {
+            u128 a = ((u128)hi[l] << 64) | lo[l];
+            a %= pv;
+            lo[l] = static_cast<u64>(a);
+            hi[l] = static_cast<u64>(a >> 64);
+        }
+        acc_lo = loadu(lo);
+        acc_hi = loadu(hi);
+    };
+    std::size_t c = 0;
+    // Two independent accumulator pairs hide the add/carry dependency
+    // chain; the fused full multiply shares its 32x32 partials.
+    for (; c + 2 * kLanes <= count; c += 2 * kLanes) {
+        __m256i acc_lo0 = _mm256_setzero_si256();
+        __m256i acc_hi0 = _mm256_setzero_si256();
+        __m256i acc_lo1 = _mm256_setzero_si256();
+        __m256i acc_hi1 = _mm256_setzero_si256();
+        std::size_t since = 0;
+        for (std::size_t i = 0; i < k; ++i) {
+            __m256i cv = set1(col[i]);
+            __m256i x0 = loadu(scaled[i] + c);
+            __m256i x1 = loadu(scaled[i] + c + kLanes);
+            __m256i t_lo0, t_hi0, t_lo1, t_hi1;
+            mulFull64(x0, cv, t_lo0, t_hi0);
+            mulFull64(x1, cv, t_lo1, t_hi1);
+            acc_lo0 = _mm256_add_epi64(acc_lo0, t_lo0);
+            // carry mask is -1 where the low word wrapped
+            acc_hi0 = _mm256_sub_epi64(_mm256_add_epi64(acc_hi0, t_hi0),
+                                       ltU64(acc_lo0, t_lo0));
+            acc_lo1 = _mm256_add_epi64(acc_lo1, t_lo1);
+            acc_hi1 = _mm256_sub_epi64(_mm256_add_epi64(acc_hi1, t_hi1),
+                                       ltU64(acc_lo1, t_lo1));
+            if (++since == fold_every) {
+                fold(acc_lo0, acc_hi0);
+                fold(acc_lo1, acc_hi1);
+                since = 0;
+            }
+        }
+        storeu(out + c,
+               barrettReduceV(acc_lo0, acc_hi0, qv, cr0v, cr1v));
+        storeu(out + c + kLanes,
+               barrettReduceV(acc_lo1, acc_hi1, qv, cr0v, cr1v));
+    }
+    for (; c + kLanes <= count; c += kLanes) {
+        __m256i acc_lo = _mm256_setzero_si256();
+        __m256i acc_hi = _mm256_setzero_si256();
+        std::size_t since = 0;
+        for (std::size_t i = 0; i < k; ++i) {
+            __m256i x = loadu(scaled[i] + c);
+            __m256i cv = set1(col[i]);
+            __m256i t_lo, t_hi;
+            mulFull64(x, cv, t_lo, t_hi);
+            acc_lo = _mm256_add_epi64(acc_lo, t_lo);
+            acc_hi = _mm256_sub_epi64(_mm256_add_epi64(acc_hi, t_hi),
+                                      ltU64(acc_lo, t_lo));
+            if (++since == fold_every) {
+                fold(acc_lo, acc_hi);
+                since = 0;
+            }
+        }
+        storeu(out + c, barrettReduceV(acc_lo, acc_hi, qv, cr0v, cr1v));
+    }
+    if (c < count) {
+        // Scalar tail over the remaining coefficients.
+        for (std::size_t cc = c; cc < count; ++cc) {
+            u128 acc = 0;
+            std::size_t since = 0;
+            for (std::size_t i = 0; i < k; ++i) {
+                acc += (u128)scaled[i][cc] * col[i];
+                if (++since == fold_every) {
+                    acc %= pv;
+                    since = 0;
+                }
+            }
+            out[cc] = p.reduce128(acc);
+        }
+    }
+}
+
+} // namespace
+
+const SimdOps kAvx2Ops = {
+    SimdIsa::avx2,
+    "avx2",
+    &ctAvx2,
+    &gsAvx2,
+    &nttFwdTailAvx2,
+    &nttInvHeadAvx2,
+    &canonFrom4qAvx2,
+    &scaleShoupCanonAvx2,
+    &mulShoupStrictAvx2,
+    &addModVecAvx2,
+    &subModVecAvx2,
+    &negModVecAvx2,
+    &mulModVecAvx2,
+    &bconvAccAvx2,
+};
+
+} // namespace fast::math::simd_detail
+
+#endif // FAST_SIMD_HAVE_AVX2

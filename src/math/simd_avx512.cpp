@@ -1,0 +1,725 @@
+/**
+ * @file
+ * AVX-512 kernel table: 8 x u64 lanes (requires AVX-512 F + DQ).
+ *
+ * DQ supplies a native 64-bit low multiply (_mm512_mullo_epi64) and F
+ * supplies unsigned 64-bit mask compares, so only the 64x64->128 high
+ * word is emulated (same _mm512_mul_epu32 cross-term assembly as the
+ * AVX2 path). Small-stride butterfly stages (t = 1, 2, 4) use
+ * permutex2var lane interleaving with constant index vectors. The
+ * arithmetic mirrors the scalar kernels exactly — see simd.hpp for
+ * the bit-exactness contract.
+ *
+ * Compiled with -mavx512f -mavx512dq (see src/math/CMakeLists.txt);
+ * dispatch never selects this table unless CPUID reports support.
+ *
+ * IFMA variant: simd_avx512ifma.cpp defines FAST_SIMD_IFMA_VARIANT
+ * and re-includes this file, compiled with -mavx512ifma on top. In
+ * that mode the Shoup multiply uses vpmadd52lo/hi (52-bit fused
+ * multiply-add: one uop where the generic path spends ~10), the BConv
+ * accumulator switches to carry-free 52-bit column sums, and every
+ * kernel whose operands might not fit the 52-bit lanes forwards to
+ * the generic kAvx512Ops entry at call granularity (q >= 2^50 for
+ * butterflies: lazy values reach 4q and must stay below 2^52).
+ * Outputs remain bit-identical: lazy intermediates may differ by
+ * multiples of q between variants, but every kernel contract ends in
+ * a canonical reduction, and canonical residues are unique.
+ */
+#include "math/simd_common.hpp"
+
+#if defined(FAST_SIMD_HAVE_AVX512) &&                                  \
+    (!defined(FAST_SIMD_IFMA_VARIANT) ||                               \
+     defined(FAST_SIMD_HAVE_AVX512IFMA))
+
+#include <immintrin.h>
+
+namespace fast::math::simd_detail {
+
+namespace {
+
+constexpr std::size_t kLanes = 8;
+
+#ifdef FAST_SIMD_IFMA_VARIANT
+/**
+ * Largest modulus the IFMA butterflies accept: lazy values reach 4q
+ * and every vpmadd52 operand must fit 52 bits, so q < 2^50. Wider
+ * moduli forward to the generic AVX-512 kernels per call.
+ */
+constexpr u64 kIfmaMaxQ = u64(1) << 50;
+#define FAST_AVX512_WIDE_Q_FALLBACK(cond, call)                        \
+    do {                                                               \
+        if (cond) {                                                    \
+            kAvx512Ops.call;                                           \
+            return;                                                    \
+        }                                                              \
+    } while (0)
+#else
+#define FAST_AVX512_WIDE_Q_FALLBACK(cond, call)                        \
+    do {                                                               \
+    } while (0)
+#endif
+
+inline __m512i
+set1(u64 x)
+{
+    return _mm512_set1_epi64(static_cast<long long>(x));
+}
+
+inline __m512i
+loadu(const u64 *p)
+{
+    return _mm512_loadu_si512(p);
+}
+
+inline void
+storeu(u64 *p, __m512i v)
+{
+    _mm512_storeu_si512(p, v);
+}
+
+inline __m512i
+mulLo64(__m512i a, __m512i b)
+{
+    return _mm512_mullo_epi64(a, b);
+}
+
+/** High 64 bits of a*b per lane. */
+inline __m512i
+mulHi64(__m512i a, __m512i b)
+{
+    const __m512i mask32 = _mm512_set1_epi64(0xffffffffLL);
+    __m512i a_hi = _mm512_srli_epi64(a, 32);
+    __m512i b_hi = _mm512_srli_epi64(b, 32);
+    __m512i ll = _mm512_mul_epu32(a, b);
+    __m512i lh = _mm512_mul_epu32(a, b_hi);
+    __m512i hl = _mm512_mul_epu32(a_hi, b);
+    __m512i hh = _mm512_mul_epu32(a_hi, b_hi);
+    __m512i mid = _mm512_add_epi64(
+        _mm512_add_epi64(_mm512_srli_epi64(ll, 32),
+                         _mm512_and_si512(lh, mask32)),
+        _mm512_and_si512(hl, mask32));
+    return _mm512_add_epi64(
+        _mm512_add_epi64(hh, _mm512_srli_epi64(mid, 32)),
+        _mm512_add_epi64(_mm512_srli_epi64(lh, 32),
+                         _mm512_srli_epi64(hl, 32)));
+}
+
+/**
+ * Full 64x64->128 product per lane, low and high words at once. The
+ * four 32x32 partial products are shared between both halves, so this
+ * costs 4 vpmuludq total — cheaper than a separate vpmullq (3 uops on
+ * current cores) plus the 4-multiply high-word emulation.
+ */
+inline void
+mulFull64(__m512i a, __m512i b, __m512i &lo, __m512i &hi)
+{
+    const __m512i mask32 = _mm512_set1_epi64(0xffffffffLL);
+    __m512i a_hi = _mm512_srli_epi64(a, 32);
+    __m512i b_hi = _mm512_srli_epi64(b, 32);
+    __m512i ll = _mm512_mul_epu32(a, b);
+    __m512i lh = _mm512_mul_epu32(a, b_hi);
+    __m512i hl = _mm512_mul_epu32(a_hi, b);
+    __m512i hh = _mm512_mul_epu32(a_hi, b_hi);
+    __m512i mid = _mm512_add_epi64(
+        _mm512_add_epi64(_mm512_srli_epi64(ll, 32),
+                         _mm512_and_si512(lh, mask32)),
+        _mm512_and_si512(hl, mask32));
+    lo = _mm512_add_epi64(_mm512_and_si512(ll, mask32),
+                          _mm512_slli_epi64(mid, 32));
+    hi = _mm512_add_epi64(
+        _mm512_add_epi64(hh, _mm512_srli_epi64(mid, 32)),
+        _mm512_add_epi64(_mm512_srli_epi64(lh, 32),
+                         _mm512_srli_epi64(hl, 32)));
+}
+
+/** x >= c ? x - c : x, per lane. */
+inline __m512i
+csubU64(__m512i x, __m512i c)
+{
+    __mmask8 ge = _mm512_cmpge_epu64_mask(x, c);
+    return _mm512_mask_sub_epi64(x, ge, x, c);
+}
+
+#ifdef FAST_SIMD_IFMA_VARIANT
+/**
+ * Lazy Shoup product via 52-bit IFMA; result < 2q. Requires a < 2^52
+ * (callers guarantee a < 4q with q < kIfmaMaxQ) and w < q. wp is the
+ * 64-bit Shoup constant floor(w * 2^64 / q); shifting it right by 12
+ * yields floor(w * 2^52 / q) exactly, the radix-2^52 constant. With
+ * qhat = floor(a * wp52 / 2^52), the true t = a*w - qhat*q lies in
+ * [0, 2q) < 2^52, so computing it in the low 52 bits and masking is
+ * exact.
+ */
+inline __m512i
+mulShoupLazyV(__m512i a, __m512i w, __m512i wp, __m512i q)
+{
+    const __m512i zero = _mm512_setzero_si512();
+    const __m512i mask52 = _mm512_set1_epi64((1LL << 52) - 1);
+    __m512i qhat =
+        _mm512_madd52hi_epu64(zero, a, _mm512_srli_epi64(wp, 12));
+    __m512i t = _mm512_sub_epi64(_mm512_madd52lo_epu64(zero, a, w),
+                                 _mm512_madd52lo_epu64(zero, qhat, q));
+    return _mm512_and_si512(t, mask52);
+}
+#else
+/** Lazy Shoup product: a*w - mulhi(a, wp)*q, wrapping. Result < 2q. */
+inline __m512i
+mulShoupLazyV(__m512i a, __m512i w, __m512i wp, __m512i q)
+{
+    __m512i hi = mulHi64(a, wp);
+    return _mm512_sub_epi64(mulLo64(a, w), mulLo64(hi, q));
+}
+#endif
+
+/** Lanewise Barrett reduction of (hi:lo) mod q; canonical result. */
+inline __m512i
+barrettReduceV(__m512i lo, __m512i hi, __m512i qv, __m512i cr0v,
+               __m512i cr1v)
+{
+    const __m512i one = _mm512_set1_epi64(1);
+    __m512i h0 = mulHi64(lo, cr0v);
+    __m512i p1lo, p1hi, p2lo, p2hi;
+    mulFull64(lo, cr1v, p1lo, p1hi);
+    mulFull64(hi, cr0v, p2lo, p2hi);
+    __m512i p3lo = mulLo64(hi, cr1v);
+    __m512i s1 = _mm512_add_epi64(h0, p1lo);
+    __mmask8 c1 = _mm512_cmplt_epu64_mask(s1, p1lo);
+    __m512i s2 = _mm512_add_epi64(s1, p2lo);
+    __mmask8 c2 = _mm512_cmplt_epu64_mask(s2, p2lo);
+    __m512i qhat = _mm512_add_epi64(_mm512_add_epi64(p3lo, p1hi), p2hi);
+    qhat = _mm512_mask_add_epi64(qhat, c1, qhat, one);
+    qhat = _mm512_mask_add_epi64(qhat, c2, qhat, one);
+    __m512i r = _mm512_sub_epi64(lo, mulLo64(qhat, qv));
+    r = csubU64(r, qv);
+    r = csubU64(r, qv);
+    return r;
+}
+
+// ------------------------------------------------------------------
+// Butterflies (t >= 8) with scalar remainders.
+// ------------------------------------------------------------------
+
+void
+ctAvx512(u64 *data, std::size_t j1, std::size_t len, std::size_t t,
+         u64 w, u64 wp, u64 q, u64 two_q)
+{
+    FAST_AVX512_WIDE_Q_FALLBACK(
+        q >= kIfmaMaxQ, ct_butterflies(data, j1, len, t, w, wp, q,
+                                       two_q));
+    const __m512i wv = set1(w), wpv = set1(wp), qv = set1(q),
+                  tqv = set1(two_q);
+    std::size_t j = j1;
+    const std::size_t end = j1 + len;
+    for (; j + kLanes <= end; j += kLanes) {
+        __m512i u = csubU64(loadu(data + j), tqv);
+        __m512i v = mulShoupLazyV(loadu(data + j + t), wv, wpv, qv);
+        storeu(data + j, _mm512_add_epi64(u, v));
+        storeu(data + j + t,
+               _mm512_add_epi64(_mm512_sub_epi64(u, v), tqv));
+    }
+    if (j < end)
+        scalarCtButterflies(data, j, end - j, t, w, wp, q, two_q);
+}
+
+void
+gsAvx512(u64 *data, std::size_t j1, std::size_t len, std::size_t t,
+         u64 w, u64 wp, u64 q, u64 two_q)
+{
+    FAST_AVX512_WIDE_Q_FALLBACK(
+        q >= kIfmaMaxQ, gs_butterflies(data, j1, len, t, w, wp, q,
+                                       two_q));
+    const __m512i wv = set1(w), wpv = set1(wp), qv = set1(q),
+                  tqv = set1(two_q);
+    std::size_t j = j1;
+    const std::size_t end = j1 + len;
+    for (; j + kLanes <= end; j += kLanes) {
+        __m512i u = loadu(data + j);
+        __m512i v = loadu(data + j + t);
+        __m512i s = csubU64(_mm512_add_epi64(u, v), tqv);
+        __m512i d = _mm512_add_epi64(_mm512_sub_epi64(u, v), tqv);
+        storeu(data + j, s);
+        storeu(data + j + t, mulShoupLazyV(d, wv, wpv, qv));
+    }
+    if (j < end)
+        scalarGsButterflies(data, j, end - j, t, w, wp, q, two_q);
+}
+
+// ------------------------------------------------------------------
+// Interleaved small-stride stages (t = 1, 2, 4) via permutex2var.
+// ------------------------------------------------------------------
+
+struct SmallIdx {
+    __m512i u, v, back_a, back_b, wexp;
+};
+
+/** Index tables for deinterleave/reinterleave at each small t. */
+inline const SmallIdx &
+smallIdx(std::size_t t)
+{
+    // permutex2var: index lane values 0-7 select from the first
+    // operand, 8-15 from the second.
+    static const SmallIdx t1 = {
+        _mm512_set_epi64(14, 12, 10, 8, 6, 4, 2, 0),
+        _mm512_set_epi64(15, 13, 11, 9, 7, 5, 3, 1),
+        _mm512_set_epi64(11, 3, 10, 2, 9, 1, 8, 0),
+        _mm512_set_epi64(15, 7, 14, 6, 13, 5, 12, 4),
+        _mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0),
+    };
+    static const SmallIdx t2 = {
+        _mm512_set_epi64(13, 12, 9, 8, 5, 4, 1, 0),
+        _mm512_set_epi64(15, 14, 11, 10, 7, 6, 3, 2),
+        _mm512_set_epi64(11, 10, 3, 2, 9, 8, 1, 0),
+        _mm512_set_epi64(15, 14, 7, 6, 13, 12, 5, 4),
+        _mm512_set_epi64(3, 3, 2, 2, 1, 1, 0, 0),
+    };
+    static const SmallIdx t4 = {
+        _mm512_set_epi64(11, 10, 9, 8, 3, 2, 1, 0),
+        _mm512_set_epi64(15, 14, 13, 12, 7, 6, 5, 4),
+        _mm512_set_epi64(11, 10, 9, 8, 3, 2, 1, 0),
+        _mm512_set_epi64(15, 14, 13, 12, 7, 6, 5, 4),
+        _mm512_set_epi64(1, 1, 1, 1, 0, 0, 0, 0),
+    };
+    return t == 1 ? t1 : t == 2 ? t2 : t4;
+}
+
+/**
+ * Expand kLanes/t twiddles into per-lane order. Only the first
+ * kLanes/t lanes of the source load are referenced by wexp, so the
+ * load must not read past tw[kLanes/t - 1]; use the narrowest load
+ * that covers them.
+ */
+inline __m512i
+expandTwiddles(const u64 *tw, std::size_t t, __m512i wexp)
+{
+    __m512i src;
+    if (t == 1) {
+        src = loadu(tw); // 8 twiddles, all used
+    } else if (t == 2) {
+        src = _mm512_castsi256_si512(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(tw))); // 4 used
+    } else {
+        src = _mm512_castsi128_si512(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(tw))); // 2 used
+    }
+    return _mm512_permutexvar_epi64(wexp, src);
+}
+
+bool
+ctSmallAvx512(u64 *data, std::size_t start, std::size_t count,
+              std::size_t t, const u64 *w, const u64 *wp, u64 q,
+              u64 two_q)
+{
+    if ((t != 1 && t != 2 && t != 4) || count % (2 * kLanes) != 0)
+        return false;
+    const __m512i qv = set1(q), tqv = set1(two_q);
+    const SmallIdx &idx = smallIdx(t);
+    const std::size_t tw_step = kLanes / t;
+    for (std::size_t off = start; off < start + count;
+         off += 2 * kLanes, w += tw_step, wp += tw_step) {
+        __m512i a = loadu(data + off);
+        __m512i b = loadu(data + off + kLanes);
+        __m512i u = _mm512_permutex2var_epi64(a, idx.u, b);
+        __m512i v = _mm512_permutex2var_epi64(a, idx.v, b);
+        __m512i wv = expandTwiddles(w, t, idx.wexp);
+        __m512i wpv = expandTwiddles(wp, t, idx.wexp);
+        u = csubU64(u, tqv);
+        __m512i vv = mulShoupLazyV(v, wv, wpv, qv);
+        __m512i ou = _mm512_add_epi64(u, vv);
+        __m512i ov = _mm512_add_epi64(_mm512_sub_epi64(u, vv), tqv);
+        storeu(data + off,
+               _mm512_permutex2var_epi64(ou, idx.back_a, ov));
+        storeu(data + off + kLanes,
+               _mm512_permutex2var_epi64(ou, idx.back_b, ov));
+    }
+    return true;
+}
+
+bool
+gsSmallAvx512(u64 *data, std::size_t start, std::size_t count,
+              std::size_t t, const u64 *w, const u64 *wp, u64 q,
+              u64 two_q)
+{
+    if ((t != 1 && t != 2 && t != 4) || count % (2 * kLanes) != 0)
+        return false;
+    const __m512i qv = set1(q), tqv = set1(two_q);
+    const SmallIdx &idx = smallIdx(t);
+    const std::size_t tw_step = kLanes / t;
+    for (std::size_t off = start; off < start + count;
+         off += 2 * kLanes, w += tw_step, wp += tw_step) {
+        __m512i a = loadu(data + off);
+        __m512i b = loadu(data + off + kLanes);
+        __m512i u = _mm512_permutex2var_epi64(a, idx.u, b);
+        __m512i v = _mm512_permutex2var_epi64(a, idx.v, b);
+        __m512i wv = expandTwiddles(w, t, idx.wexp);
+        __m512i wpv = expandTwiddles(wp, t, idx.wexp);
+        __m512i s = csubU64(_mm512_add_epi64(u, v), tqv);
+        __m512i d = _mm512_add_epi64(_mm512_sub_epi64(u, v), tqv);
+        __m512i ov = mulShoupLazyV(d, wv, wpv, qv);
+        storeu(data + off,
+               _mm512_permutex2var_epi64(s, idx.back_a, ov));
+        storeu(data + off + kLanes,
+               _mm512_permutex2var_epi64(s, idx.back_b, ov));
+    }
+    return true;
+}
+
+struct Avx512Kernels {
+    static constexpr std::size_t kLanes = 8;
+    static void ct(u64 *data, std::size_t j1, std::size_t len,
+                   std::size_t t, u64 w, u64 wp, u64 q, u64 two_q)
+    {
+        ctAvx512(data, j1, len, t, w, wp, q, two_q);
+    }
+    static void gs(u64 *data, std::size_t j1, std::size_t len,
+                   std::size_t t, u64 w, u64 wp, u64 q, u64 two_q)
+    {
+        gsAvx512(data, j1, len, t, w, wp, q, two_q);
+    }
+    static bool ctSmall(u64 *data, std::size_t start, std::size_t count,
+                        std::size_t t, const u64 *w, const u64 *wp,
+                        u64 q, u64 two_q)
+    {
+        return ctSmallAvx512(data, start, count, t, w, wp, q, two_q);
+    }
+    static bool gsSmall(u64 *data, std::size_t start, std::size_t count,
+                        std::size_t t, const u64 *w, const u64 *wp,
+                        u64 q, u64 two_q)
+    {
+        return gsSmallAvx512(data, start, count, t, w, wp, q, two_q);
+    }
+};
+
+void
+nttFwdTailAvx512(u64 *data, std::size_t n, std::size_t first_m,
+                 std::size_t block, std::size_t nblocks, const u64 *w,
+                 const u64 *wp, u64 q)
+{
+    FAST_AVX512_WIDE_Q_FALLBACK(
+        q >= kIfmaMaxQ,
+        ntt_fwd_tail(data, n, first_m, block, nblocks, w, wp, q));
+    nttFwdTail<Avx512Kernels>(data, n, first_m, block, nblocks, w, wp,
+                              q);
+}
+
+void
+nttInvHeadAvx512(u64 *data, std::size_t n, std::size_t last_m,
+                 std::size_t block, std::size_t nblocks, const u64 *w,
+                 const u64 *wp, u64 q)
+{
+    FAST_AVX512_WIDE_Q_FALLBACK(
+        q >= kIfmaMaxQ,
+        ntt_inv_head(data, n, last_m, block, nblocks, w, wp, q));
+    nttInvHead<Avx512Kernels>(data, n, last_m, block, nblocks, w, wp,
+                              q);
+}
+
+// ------------------------------------------------------------------
+// Element-wise kernels.
+// ------------------------------------------------------------------
+
+void
+canonFrom4qAvx512(u64 *data, std::size_t count, u64 q)
+{
+    const __m512i qv = set1(q), tqv = set1(2 * q);
+    std::size_t j = 0;
+    for (; j + kLanes <= count; j += kLanes) {
+        __m512i x = loadu(data + j);
+        x = csubU64(x, tqv);
+        x = csubU64(x, qv);
+        storeu(data + j, x);
+    }
+    if (j < count)
+        scalarCanonFrom4q(data + j, count - j, q);
+}
+
+void
+scaleShoupCanonAvx512(u64 *data, std::size_t count, u64 w, u64 wp,
+                      u64 q)
+{
+    FAST_AVX512_WIDE_Q_FALLBACK(
+        q >= kIfmaMaxQ, scale_shoup_canon(data, count, w, wp, q));
+    const __m512i wv = set1(w), wpv = set1(wp), qv = set1(q);
+    std::size_t j = 0;
+    for (; j + kLanes <= count; j += kLanes) {
+        __m512i x = mulShoupLazyV(loadu(data + j), wv, wpv, qv);
+        storeu(data + j, csubU64(x, qv));
+    }
+    if (j < count)
+        scalarScaleShoupCanon(data + j, count - j, w, wp, q);
+}
+
+void
+mulShoupStrictAvx512(const u64 *in, u64 *out, std::size_t count, u64 w,
+                     u64 wp, u64 q)
+{
+    FAST_AVX512_WIDE_Q_FALLBACK(
+        q >= kIfmaMaxQ, mul_shoup_strict(in, out, count, w, wp, q));
+    const __m512i wv = set1(w), wpv = set1(wp), qv = set1(q);
+    std::size_t j = 0;
+    for (; j + kLanes <= count; j += kLanes) {
+        __m512i x = mulShoupLazyV(loadu(in + j), wv, wpv, qv);
+        storeu(out + j, csubU64(x, qv));
+    }
+    if (j < count)
+        scalarMulShoupStrict(in + j, out + j, count - j, w, wp, q);
+}
+
+void
+addModVecAvx512(u64 *dst, const u64 *src, std::size_t count, u64 q)
+{
+    const __m512i qv = set1(q);
+    std::size_t j = 0;
+    for (; j + kLanes <= count; j += kLanes) {
+        __m512i s = _mm512_add_epi64(loadu(dst + j), loadu(src + j));
+        storeu(dst + j, csubU64(s, qv));
+    }
+    if (j < count)
+        scalarAddModVec(dst + j, src + j, count - j, q);
+}
+
+void
+subModVecAvx512(u64 *dst, const u64 *src, std::size_t count, u64 q)
+{
+    const __m512i qv = set1(q);
+    std::size_t j = 0;
+    for (; j + kLanes <= count; j += kLanes) {
+        __m512i a = loadu(dst + j);
+        __m512i b = loadu(src + j);
+        __mmask8 lt = _mm512_cmplt_epu64_mask(a, b);
+        __m512i d = _mm512_sub_epi64(a, b);
+        storeu(dst + j, _mm512_mask_add_epi64(d, lt, d, qv));
+    }
+    if (j < count)
+        scalarSubModVec(dst + j, src + j, count - j, q);
+}
+
+void
+negModVecAvx512(u64 *dst, std::size_t count, u64 q)
+{
+    const __m512i qv = set1(q), zero = _mm512_setzero_si512();
+    std::size_t j = 0;
+    for (; j + kLanes <= count; j += kLanes) {
+        __m512i a = loadu(dst + j);
+        __mmask8 nz = _mm512_cmpneq_epu64_mask(a, zero);
+        storeu(dst + j, _mm512_maskz_sub_epi64(nz, qv, a));
+    }
+    if (j < count)
+        scalarNegModVec(dst + j, count - j, q);
+}
+
+void
+mulModVecAvx512(u64 *dst, const u64 *src, std::size_t count,
+                const Modulus &m)
+{
+    const __m512i qv = set1(m.value());
+    const __m512i cr0v = set1(m.barrettLo());
+    const __m512i cr1v = set1(m.barrettHi());
+    std::size_t j = 0;
+    for (; j + kLanes <= count; j += kLanes) {
+        __m512i a = loadu(dst + j);
+        __m512i b = loadu(src + j);
+        __m512i lo, hi;
+        mulFull64(a, b, lo, hi);
+        storeu(dst + j, barrettReduceV(lo, hi, qv, cr0v, cr1v));
+    }
+    if (j < count)
+        scalarMulModVec(dst + j, src + j, count - j, m);
+}
+
+void
+bconvAccAvx512(const u64 *const *scaled, std::size_t k, const u64 *col,
+               std::size_t count, const Modulus &p,
+               std::size_t fold_every, u64 max_scaled, u64 *out)
+{
+#ifdef FAST_SIMD_IFMA_VARIANT
+    // 52-bit IFMA inner product. Each term contributes its low and
+    // high 52 product bits to separate 64-bit accumulators with NO
+    // carry handling at all: lo52/hi52 terms are < 2^52, so up to
+    // 2^12 terms fit before a lane could wrap. Preconditions: both
+    // operands below 2^52, k small, and no mid-loop fold needed —
+    // with 52-bit operands the 128-bit total cannot overflow before
+    // k = 2^24 terms, so fold_every > k always holds when the operand
+    // check passes; the fold_every test is belt-and-braces.
+    if (max_scaled > (u64(1) << 52) || p.value() > (u64(1) << 52) ||
+        k >= 4096 || fold_every <= k) {
+        kAvx512Ops.bconv_acc(scaled, k, col, count, p, fold_every,
+                             max_scaled, out);
+        return;
+    }
+    const u64 pv = p.value();
+    const __m512i qv = set1(pv);
+    const __m512i cr0v = set1(p.barrettLo());
+    const __m512i cr1v = set1(p.barrettHi());
+    const __m512i one = _mm512_set1_epi64(1);
+    // Recombine (hi52:lo52) column sums into a 128-bit (hi64, lo64)
+    // value and Barrett-reduce: total = acc_hi * 2^52 + acc_lo.
+    auto reduceCols = [&](__m512i acc_lo, __m512i acc_hi) {
+        __m512i lo =
+            _mm512_add_epi64(acc_lo, _mm512_slli_epi64(acc_hi, 52));
+        __mmask8 carry = _mm512_cmplt_epu64_mask(lo, acc_lo);
+        __m512i hi = _mm512_srli_epi64(acc_hi, 12);
+        hi = _mm512_mask_add_epi64(hi, carry, hi, one);
+        return barrettReduceV(lo, hi, qv, cr0v, cr1v);
+    };
+    std::size_t c = 0;
+    for (; c + 2 * kLanes <= count; c += 2 * kLanes) {
+        __m512i acc_lo0 = _mm512_setzero_si512();
+        __m512i acc_hi0 = _mm512_setzero_si512();
+        __m512i acc_lo1 = _mm512_setzero_si512();
+        __m512i acc_hi1 = _mm512_setzero_si512();
+        for (std::size_t i = 0; i < k; ++i) {
+            __m512i cv = set1(col[i]);
+            __m512i x0 = loadu(scaled[i] + c);
+            __m512i x1 = loadu(scaled[i] + c + kLanes);
+            acc_lo0 = _mm512_madd52lo_epu64(acc_lo0, x0, cv);
+            acc_hi0 = _mm512_madd52hi_epu64(acc_hi0, x0, cv);
+            acc_lo1 = _mm512_madd52lo_epu64(acc_lo1, x1, cv);
+            acc_hi1 = _mm512_madd52hi_epu64(acc_hi1, x1, cv);
+        }
+        storeu(out + c, reduceCols(acc_lo0, acc_hi0));
+        storeu(out + c + kLanes, reduceCols(acc_lo1, acc_hi1));
+    }
+    for (; c + kLanes <= count; c += kLanes) {
+        __m512i acc_lo = _mm512_setzero_si512();
+        __m512i acc_hi = _mm512_setzero_si512();
+        for (std::size_t i = 0; i < k; ++i) {
+            __m512i cv = set1(col[i]);
+            __m512i x = loadu(scaled[i] + c);
+            acc_lo = _mm512_madd52lo_epu64(acc_lo, x, cv);
+            acc_hi = _mm512_madd52hi_epu64(acc_hi, x, cv);
+        }
+        storeu(out + c, reduceCols(acc_lo, acc_hi));
+    }
+    if (c < count) {
+        for (std::size_t cc = c; cc < count; ++cc) {
+            u128 acc = 0;
+            for (std::size_t i = 0; i < k; ++i)
+                acc += (u128)scaled[i][cc] * col[i];
+            out[cc] = p.reduce128(acc);
+        }
+    }
+#else
+    (void)max_scaled;
+    const u64 pv = p.value();
+    const __m512i qv = set1(pv);
+    const __m512i cr0v = set1(p.barrettLo());
+    const __m512i cr1v = set1(p.barrettHi());
+    const __m512i one = _mm512_set1_epi64(1);
+    // Per-lane fold of a 128-bit accumulator; only reached when the
+    // modulus mix is so wide that fold_every < k (rare in practice).
+    auto fold = [&](__m512i &acc_lo, __m512i &acc_hi) {
+        alignas(64) u64 lo[kLanes], hi[kLanes];
+        storeu(lo, acc_lo);
+        storeu(hi, acc_hi);
+        for (std::size_t l = 0; l < kLanes; ++l) {
+            u128 a = ((u128)hi[l] << 64) | lo[l];
+            a %= pv;
+            lo[l] = static_cast<u64>(a);
+            hi[l] = static_cast<u64>(a >> 64);
+        }
+        acc_lo = loadu(lo);
+        acc_hi = loadu(hi);
+    };
+    std::size_t c = 0;
+    // Two independent accumulator pairs per iteration hide the
+    // add/carry dependency chain; the fused full multiply shares its
+    // 32x32 partial products between the low and high halves.
+    for (; c + 2 * kLanes <= count; c += 2 * kLanes) {
+        __m512i acc_lo0 = _mm512_setzero_si512();
+        __m512i acc_hi0 = _mm512_setzero_si512();
+        __m512i acc_lo1 = _mm512_setzero_si512();
+        __m512i acc_hi1 = _mm512_setzero_si512();
+        std::size_t since = 0;
+        for (std::size_t i = 0; i < k; ++i) {
+            __m512i cv = set1(col[i]);
+            __m512i x0 = loadu(scaled[i] + c);
+            __m512i x1 = loadu(scaled[i] + c + kLanes);
+            __m512i t_lo0, t_hi0, t_lo1, t_hi1;
+            mulFull64(x0, cv, t_lo0, t_hi0);
+            mulFull64(x1, cv, t_lo1, t_hi1);
+            acc_lo0 = _mm512_add_epi64(acc_lo0, t_lo0);
+            __mmask8 carry0 = _mm512_cmplt_epu64_mask(acc_lo0, t_lo0);
+            acc_hi0 = _mm512_add_epi64(acc_hi0, t_hi0);
+            acc_hi0 =
+                _mm512_mask_add_epi64(acc_hi0, carry0, acc_hi0, one);
+            acc_lo1 = _mm512_add_epi64(acc_lo1, t_lo1);
+            __mmask8 carry1 = _mm512_cmplt_epu64_mask(acc_lo1, t_lo1);
+            acc_hi1 = _mm512_add_epi64(acc_hi1, t_hi1);
+            acc_hi1 =
+                _mm512_mask_add_epi64(acc_hi1, carry1, acc_hi1, one);
+            if (++since == fold_every) {
+                fold(acc_lo0, acc_hi0);
+                fold(acc_lo1, acc_hi1);
+                since = 0;
+            }
+        }
+        storeu(out + c,
+               barrettReduceV(acc_lo0, acc_hi0, qv, cr0v, cr1v));
+        storeu(out + c + kLanes,
+               barrettReduceV(acc_lo1, acc_hi1, qv, cr0v, cr1v));
+    }
+    for (; c + kLanes <= count; c += kLanes) {
+        __m512i acc_lo = _mm512_setzero_si512();
+        __m512i acc_hi = _mm512_setzero_si512();
+        std::size_t since = 0;
+        for (std::size_t i = 0; i < k; ++i) {
+            __m512i x = loadu(scaled[i] + c);
+            __m512i cv = set1(col[i]);
+            __m512i t_lo, t_hi;
+            mulFull64(x, cv, t_lo, t_hi);
+            acc_lo = _mm512_add_epi64(acc_lo, t_lo);
+            __mmask8 carry = _mm512_cmplt_epu64_mask(acc_lo, t_lo);
+            acc_hi = _mm512_add_epi64(acc_hi, t_hi);
+            acc_hi = _mm512_mask_add_epi64(acc_hi, carry, acc_hi, one);
+            if (++since == fold_every) {
+                fold(acc_lo, acc_hi);
+                since = 0;
+            }
+        }
+        storeu(out + c, barrettReduceV(acc_lo, acc_hi, qv, cr0v, cr1v));
+    }
+    if (c < count) {
+        for (std::size_t cc = c; cc < count; ++cc) {
+            u128 acc = 0;
+            std::size_t since = 0;
+            for (std::size_t i = 0; i < k; ++i) {
+                acc += (u128)scaled[i][cc] * col[i];
+                if (++since == fold_every) {
+                    acc %= pv;
+                    since = 0;
+                }
+            }
+            out[cc] = p.reduce128(acc);
+        }
+    }
+#endif // FAST_SIMD_IFMA_VARIANT
+}
+
+} // namespace
+
+#ifdef FAST_SIMD_IFMA_VARIANT
+const SimdOps kAvx512IfmaOps = {
+    SimdIsa::avx512,
+    "avx512-ifma",
+#else
+const SimdOps kAvx512Ops = {
+    SimdIsa::avx512,
+    "avx512",
+#endif
+    &ctAvx512,
+    &gsAvx512,
+    &nttFwdTailAvx512,
+    &nttInvHeadAvx512,
+    &canonFrom4qAvx512,
+    &scaleShoupCanonAvx512,
+    &mulShoupStrictAvx512,
+    &addModVecAvx512,
+    &subModVecAvx512,
+    &negModVecAvx512,
+    &mulModVecAvx512,
+    &bconvAccAvx512,
+};
+
+} // namespace fast::math::simd_detail
+
+#endif // FAST_SIMD_HAVE_AVX512

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * AVX-512 IFMA variant of the AVX-512 kernel table.
+ *
+ * Re-compiles simd_avx512.cpp with FAST_SIMD_IFMA_VARIANT defined and
+ * -mavx512ifma enabled (see src/math/CMakeLists.txt), producing
+ * kAvx512IfmaOps: the same kernels with vpmadd52lo/hi 52-bit fused
+ * multiply-adds in the Shoup product and BConv accumulator. Every
+ * symbol in the shared source lives in an anonymous namespace, so the
+ * two translation units coexist; only the exported table name
+ * differs. Dispatch prefers this table for the avx512 tier when
+ * CPUID reports the avx512ifma feature.
+ */
+#ifdef FAST_SIMD_HAVE_AVX512IFMA
+#define FAST_SIMD_IFMA_VARIANT 1
+#include "simd_avx512.cpp" // NOLINT(bugprone-suspicious-include)
+#endif

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Internal building blocks shared by the SIMD kernel tables.
+ *
+ * This header is included only by the simd*.cpp translation units. It
+ * provides:
+ *
+ *  - the scalar kernel bodies (the exact arithmetic the pre-SIMD
+ *    ntt.cpp / rns.cpp / poly.cpp inner loops performed), used both as
+ *    the scalar dispatch table and as the remainder/fallback path of
+ *    the vector kernels;
+ *  - the templated NTT stage loops nttFwdTail / nttInvHead,
+ *    parameterized over a kernel-traits struct so each ISA supplies
+ *    its butterfly bodies while sharing the (twiddle-indexing-heavy)
+ *    stage/group bookkeeping;
+ *  - extern declarations of the per-ISA dispatch tables.
+ *
+ * Exactness: the lazy butterflies are pure wrapping 64-bit integer
+ * expressions, so any lane width computes identical values. Full
+ * reductions (Barrett / strict Shoup) return canonical residues,
+ * which are unique — so vector and scalar tables agree bit-for-bit.
+ */
+#ifndef FAST_MATH_SIMD_COMMON_HPP
+#define FAST_MATH_SIMD_COMMON_HPP
+
+#include "math/simd.hpp"
+
+namespace fast::math::simd_detail {
+
+// ---------------------------------------------------------------------
+// Scalar kernel bodies (shared by the scalar table and vector tails).
+// ---------------------------------------------------------------------
+
+/** CT butterflies, lazy reduction: inputs < 4q, outputs < 4q. */
+inline void
+scalarCtButterflies(u64 *data, std::size_t j1, std::size_t len,
+                    std::size_t t, u64 w, u64 wp, u64 q, u64 two_q)
+{
+    for (std::size_t j = j1; j < j1 + len; ++j) {
+        u64 u = data[j];
+        if (u >= two_q)
+            u -= two_q;
+        u64 v = mulModShoupLazy(data[j + t], w, wp, q);
+        data[j] = u + v;
+        data[j + t] = u - v + two_q;
+    }
+}
+
+/** GS butterflies, lazy reduction: inputs < 2q, outputs < 2q. */
+inline void
+scalarGsButterflies(u64 *data, std::size_t j1, std::size_t len,
+                    std::size_t t, u64 w, u64 wp, u64 q, u64 two_q)
+{
+    for (std::size_t j = j1; j < j1 + len; ++j) {
+        u64 u = data[j];
+        u64 v = data[j + t];
+        u64 s = u + v;
+        data[j] = s >= two_q ? s - two_q : s;
+        data[j + t] = mulModShoupLazy(u - v + two_q, w, wp, q);
+    }
+}
+
+inline void
+scalarCanonFrom4q(u64 *data, std::size_t count, u64 q)
+{
+    const u64 two_q = 2 * q;
+    for (std::size_t j = 0; j < count; ++j) {
+        u64 x = data[j];
+        if (x >= two_q)
+            x -= two_q;
+        data[j] = x >= q ? x - q : x;
+    }
+}
+
+inline void
+scalarScaleShoupCanon(u64 *data, std::size_t count, u64 w, u64 wp,
+                      u64 q)
+{
+    for (std::size_t j = 0; j < count; ++j) {
+        u64 x = mulModShoupLazy(data[j], w, wp, q);
+        data[j] = x >= q ? x - q : x;
+    }
+}
+
+inline void
+scalarMulShoupStrict(const u64 *in, u64 *out, std::size_t count, u64 w,
+                     u64 wp, u64 q)
+{
+    for (std::size_t j = 0; j < count; ++j)
+        out[j] = mulModShoup(in[j], w, wp, q);
+}
+
+inline void
+scalarAddModVec(u64 *dst, const u64 *src, std::size_t count, u64 q)
+{
+    for (std::size_t j = 0; j < count; ++j)
+        dst[j] = addMod(dst[j], src[j], q);
+}
+
+inline void
+scalarSubModVec(u64 *dst, const u64 *src, std::size_t count, u64 q)
+{
+    for (std::size_t j = 0; j < count; ++j)
+        dst[j] = subMod(dst[j], src[j], q);
+}
+
+inline void
+scalarNegModVec(u64 *dst, std::size_t count, u64 q)
+{
+    for (std::size_t j = 0; j < count; ++j)
+        dst[j] = negMod(dst[j], q);
+}
+
+inline void
+scalarMulModVec(u64 *dst, const u64 *src, std::size_t count,
+                const Modulus &m)
+{
+    for (std::size_t j = 0; j < count; ++j)
+        dst[j] = mulMod(dst[j], src[j], m);
+}
+
+/**
+ * BConv inner product, one output limb. The accumulator folds (takes a
+ * residue mod p) every @p fold_every terms; the caller sizes
+ * fold_every so the 128-bit accumulator cannot overflow between folds.
+ * The final reduction is canonical, so the fold schedule never shows
+ * in the output.
+ */
+inline void
+scalarBconvAcc(const u64 *const *scaled, std::size_t k, const u64 *col,
+               std::size_t count, const Modulus &p,
+               std::size_t fold_every, u64 /*max_scaled*/, u64 *out)
+{
+    const u64 pv = p.value();
+    for (std::size_t c = 0; c < count; ++c) {
+        u128 acc = 0;
+        std::size_t since = 0;
+        for (std::size_t i = 0; i < k; ++i) {
+            acc += (u128)scaled[i][c] * col[i];
+            if (++since == fold_every) {
+                acc %= pv;
+                since = 0;
+            }
+        }
+        out[c] = p.reduce128(acc);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage loops shared across ISA tables.
+//
+// A kernel-traits struct K supplies:
+//   kLanes  — vector width in u64 lanes (1 for scalar);
+//   ct/gs   — butterfly kernels with the (data, j1, len, t, ...)
+//             contract above (vector body + scalar remainder);
+//   ctSmall/gsSmall — interleaved whole-stage kernels for t < kLanes
+//             over a contiguous [start, start+count) range whose
+//             twiddles are w[0], w[1], ... per group; return false
+//             when (t, count) is not supported so the caller falls
+//             back to the scalar butterflies.
+// ---------------------------------------------------------------------
+
+template <class K>
+inline void
+nttFwdTail(u64 *data, std::size_t n, std::size_t first_m,
+           std::size_t block, std::size_t nblocks, const u64 *w,
+           const u64 *wp, u64 q)
+{
+    const u64 two_q = 2 * q;
+    for (std::size_t m = first_m; m < n; m <<= 1) {
+        const std::size_t t = n / (2 * m);
+        const std::size_t g0 = block * (m / nblocks);
+        const std::size_t g1 = (block + 1) * (m / nblocks);
+        if (t >= K::kLanes) {
+            for (std::size_t i = g0; i < g1; ++i)
+                K::ct(data, 2 * i * t, t, t, w[m + i], wp[m + i], q,
+                      two_q);
+            continue;
+        }
+        // Small-stride stages: the block's groups are contiguous in
+        // memory, so one interleaved kernel covers the whole stage.
+        if (K::ctSmall(data, 2 * g0 * t, 2 * (g1 - g0) * t, t,
+                       w + m + g0, wp + m + g0, q, two_q))
+            continue;
+        for (std::size_t i = g0; i < g1; ++i)
+            scalarCtButterflies(data, 2 * i * t, t, t, w[m + i],
+                                wp[m + i], q, two_q);
+    }
+}
+
+template <class K>
+inline void
+nttInvHead(u64 *data, std::size_t n, std::size_t last_m,
+           std::size_t block, std::size_t nblocks, const u64 *w,
+           const u64 *wp, u64 q)
+{
+    const u64 two_q = 2 * q;
+    for (std::size_t m = n >> 1; m >= last_m; m >>= 1) {
+        const std::size_t t = n / (2 * m);
+        const std::size_t g0 = block * (m / nblocks);
+        const std::size_t g1 = (block + 1) * (m / nblocks);
+        if (t >= K::kLanes) {
+            for (std::size_t i = g0; i < g1; ++i)
+                K::gs(data, 2 * i * t, t, t, w[m + i], wp[m + i], q,
+                      two_q);
+            continue;
+        }
+        if (K::gsSmall(data, 2 * g0 * t, 2 * (g1 - g0) * t, t,
+                       w + m + g0, wp + m + g0, q, two_q))
+            continue;
+        for (std::size_t i = g0; i < g1; ++i)
+            scalarGsButterflies(data, 2 * i * t, t, t, w[m + i],
+                                wp[m + i], q, two_q);
+    }
+}
+
+// Per-ISA dispatch tables. The scalar one always exists; the vector
+// tables are compiled only when the toolchain supports the flags
+// (FAST_SIMD_HAVE_* comes from src/math/CMakeLists.txt).
+extern const SimdOps kScalarOps;
+#ifdef FAST_SIMD_HAVE_AVX2
+extern const SimdOps kAvx2Ops;
+#endif
+#ifdef FAST_SIMD_HAVE_AVX512
+extern const SimdOps kAvx512Ops;
+#endif
+#ifdef FAST_SIMD_HAVE_AVX512IFMA
+extern const SimdOps kAvx512IfmaOps;
+#endif
+
+} // namespace fast::math::simd_detail
+
+#endif // FAST_MATH_SIMD_COMMON_HPP

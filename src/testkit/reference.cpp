@@ -291,7 +291,7 @@ ReferenceEvaluator::rescale(const Ciphertext &ct) const
 
     Ciphertext out = ct;
     for (RnsPoly *poly : {&out.c0, &out.c1}) {
-        std::vector<u64> tail = poly->limb(last);
+        math::AlignedU64 tail = poly->limb(last);
         ntt.forModulus(q_last).inverseReference(tail.data());
         std::vector<u64> lifted(n);
         for (std::size_t i = 0; i < last; ++i) {
@@ -329,8 +329,8 @@ ReferenceEvaluator::rescaleDouble(const Ciphertext &ct) const
 
     Ciphertext out = ct;
     for (RnsPoly *poly : {&out.c0, &out.c1}) {
-        std::vector<u64> tail1 = poly->limb(last - 1);
-        std::vector<u64> tail2 = poly->limb(last);
+        math::AlignedU64 tail1 = poly->limb(last - 1);
+        math::AlignedU64 tail2 = poly->limb(last);
         ntt.forModulus(q1).inverseReference(tail1.data());
         ntt.forModulus(q2).inverseReference(tail2.data());
         std::vector<u64> lifted(n);
@@ -474,7 +474,7 @@ ReferenceEvaluator::modUpHybrid(const RnsPoly &input) const
         std::size_t count = std::min(params.alpha, limbs - first);
 
         std::vector<u64> group_mods(count);
-        std::vector<std::vector<u64>> group_coeff(count);
+        std::vector<math::AlignedU64> group_coeff(count);
         for (std::size_t i = 0; i < count; ++i) {
             group_mods[i] = input.modulus(first + i);
             group_coeff[i] = input.limb(first + i);
@@ -610,7 +610,7 @@ ReferenceEvaluator::modDown(const RnsPoly &extended) const
     std::size_t q_limbs = extended.limbCount() - specials;
     std::size_t n = extended.degree();
 
-    std::vector<std::vector<u64>> p_coeff(specials);
+    std::vector<math::AlignedU64> p_coeff(specials);
     for (std::size_t i = 0; i < specials; ++i) {
         p_coeff[i] = extended.limb(q_limbs + i);
         ntt.forModulus(params.p_chain[i])

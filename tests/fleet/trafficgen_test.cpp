@@ -1,10 +1,9 @@
 /**
  * @file
  * Tests for the fleet traffic generator: determinism, windowed
- * generation, bit-compatibility of `openLoop` with the deprecated
- * `serve::openLoopArrivals`, Zipf tenant popularity with sticky
- * workload affinity, diurnal/burst modulation, and the closed-loop
- * client feedback protocol.
+ * generation, Zipf tenant popularity with sticky workload affinity,
+ * diurnal/burst modulation, and the closed-loop client feedback
+ * protocol.
  */
 #include <gtest/gtest.h>
 
@@ -14,7 +13,6 @@
 
 #include "fleet/trafficgen.hpp"
 #include "math/random.hpp"
-#include "serve/arrivals.hpp"
 #include "trace/workloads.hpp"
 
 namespace fast::fleet {
@@ -56,25 +54,6 @@ TEST(TrafficGen, ValidatesItsOptions)
 
     options.burst_multiplier = 0;
     EXPECT_THROW(TrafficGen(miniMix(), options), std::invalid_argument);
-}
-
-TEST(TrafficGen, OpenLoopMatchesDeprecatedArrivals)
-{
-    // The shim must keep old call sites bit-identical for one release.
-    auto mix = miniMix();
-    auto now = TrafficGen::openLoop(mix, 40, 1e5, 7);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    auto legacy = serve::openLoopArrivals(mix, 40, 1e5, 7);
-#pragma GCC diagnostic pop
-    ASSERT_EQ(now.size(), legacy.size());
-    for (std::size_t i = 0; i < now.size(); ++i) {
-        EXPECT_EQ(now[i].id, legacy[i].id);
-        EXPECT_EQ(now[i].tenant, legacy[i].tenant);
-        EXPECT_EQ(now[i].priority, legacy[i].priority);
-        EXPECT_DOUBLE_EQ(now[i].submit_ns, legacy[i].submit_ns);
-        EXPECT_EQ(now[i].stream.name, legacy[i].stream.name);
-    }
 }
 
 TEST(TrafficGen, SameSeedSameStream)

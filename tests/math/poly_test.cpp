@@ -66,7 +66,7 @@ TEST(RnsPoly, HadamardMatchesSchoolbookPerLimb)
     Prng prng(23);
     auto a = randomPoly(prng, 2, PolyForm::coeff);
     auto b = randomPoly(prng, 2, PolyForm::coeff);
-    std::vector<std::vector<u64>> expect;
+    std::vector<AlignedU64> expect;
     for (std::size_t i = 0; i < 2; ++i)
         expect.push_back(negacyclicMulSchoolbook(a.limb(i), b.limb(i),
                                                  a.modulus(i)));

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the runtime-dispatched SIMD backend (DESIGN.md §15): the
+ * dispatch plumbing itself, and the exactness contract — every
+ * supported kernel table (scalar / avx2 / avx512, including the
+ * transparently-selected IFMA variant) must produce limbs
+ * bit-identical to the strict scalar reference, for every thread
+ * count, degree, and modulus width, including the wide-modulus
+ * fallback paths and the cache-blocked ten-step NTT.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "math/ntt.hpp"
+#include "math/parallel.hpp"
+#include "math/poly.hpp"
+#include "math/primes.hpp"
+#include "math/random.hpp"
+#include "math/rns.hpp"
+#include "math/simd.hpp"
+
+namespace fast::math {
+namespace {
+
+/** Thread counts the ISSUE's equivalence sweep requires. */
+const std::size_t kThreadCounts[] = {1, 2, 8};
+
+/** Restore the active kernel table when a test exits. */
+class SimdIsaGuard
+{
+  public:
+    SimdIsaGuard() : saved_(activeSimdIsa()) {}
+    ~SimdIsaGuard() { setSimdIsa(saved_); }
+
+  private:
+    SimdIsa saved_;
+};
+
+std::vector<SimdIsa>
+supportedIsas()
+{
+    std::vector<SimdIsa> isas = {SimdIsa::scalar};
+    if (simdIsaSupported(SimdIsa::avx2))
+        isas.push_back(SimdIsa::avx2);
+    if (simdIsaSupported(SimdIsa::avx512))
+        isas.push_back(SimdIsa::avx512);
+    return isas;
+}
+
+TEST(SimdDispatch, ScalarAlwaysAvailable)
+{
+    EXPECT_TRUE(simdIsaCompiled(SimdIsa::scalar));
+    EXPECT_TRUE(simdIsaSupported(SimdIsa::scalar));
+    EXPECT_STREQ(simdIsaName(SimdIsa::scalar), "scalar");
+    EXPECT_STREQ(simdIsaName(SimdIsa::avx2), "avx2");
+    EXPECT_STREQ(simdIsaName(SimdIsa::avx512), "avx512");
+}
+
+TEST(SimdDispatch, SetIsaRoundTripsAndRejectsUnsupported)
+{
+    SimdIsaGuard guard;
+    for (SimdIsa isa : supportedIsas()) {
+        ASSERT_TRUE(setSimdIsa(isa)) << simdIsaName(isa);
+        EXPECT_EQ(activeSimdIsa(), isa);
+        EXPECT_EQ(simdOps().isa, isa);
+    }
+    if (!simdIsaSupported(SimdIsa::avx512)) {
+        SimdIsa before = activeSimdIsa();
+        EXPECT_FALSE(setSimdIsa(SimdIsa::avx512));
+        EXPECT_EQ(activeSimdIsa(), before);
+    }
+}
+
+TEST(SimdDispatch, BestIsaIsSupported)
+{
+    EXPECT_TRUE(simdIsaSupported(bestSimdIsa()));
+}
+
+/**
+ * NTT forward/inverse across ISA x threads x degree, against the
+ * strict scalar reference. Degrees stay below the ten-step threshold
+ * here; TenStepNtt below covers the blocked path.
+ */
+class SimdNttSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SimdNttSweep, BitIdenticalAcrossIsasAndThreads)
+{
+    SimdIsaGuard guard;
+    const std::size_t n = GetParam();
+    for (int bits : {36, 58}) { // 58: exercises the IFMA wide-q fallback
+        u64 q = generateNttPrimes(bits, n, 1)[0];
+        auto tables = NttTableCache::get(n, q);
+        Prng prng(0xD15C0 ^ n ^ static_cast<unsigned>(bits));
+        std::vector<u64> base(n);
+        sampleUniform(prng, q, base);
+
+        ASSERT_TRUE(setSimdIsa(SimdIsa::scalar));
+        std::vector<u64> ref_fwd = base;
+        tables->forwardReference(ref_fwd.data());
+        std::vector<u64> ref_inv = ref_fwd;
+        tables->inverseReference(ref_inv.data());
+        ASSERT_EQ(ref_inv, base);
+
+        for (SimdIsa isa : supportedIsas()) {
+            ASSERT_TRUE(setSimdIsa(isa));
+            std::vector<u64> fwd = base;
+            tables->forward(fwd.data());
+            EXPECT_EQ(fwd, ref_fwd)
+                << simdIsaName(isa) << " n=" << n << " bits=" << bits;
+            std::vector<u64> inv = ref_fwd;
+            tables->inverse(inv.data());
+            EXPECT_EQ(inv, base)
+                << simdIsaName(isa) << " n=" << n << " bits=" << bits;
+            for (std::size_t threads : kThreadCounts) {
+                KernelEngine engine(threads);
+                std::vector<u64> pfwd = base;
+                tables->forwardParallel(pfwd.data(), engine);
+                EXPECT_EQ(pfwd, ref_fwd)
+                    << simdIsaName(isa) << " threads=" << threads;
+                std::vector<u64> pinv = ref_fwd;
+                tables->inverseParallel(pinv.data(), engine);
+                EXPECT_EQ(pinv, base)
+                    << simdIsaName(isa) << " threads=" << threads;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, SimdNttSweep,
+                         ::testing::Values(std::size_t(1) << 10,
+                                           std::size_t(1) << 12,
+                                           std::size_t(1) << 14));
+
+TEST(TenStepNtt, BlockedPathBitIdenticalAtLargeDegree)
+{
+    SimdIsaGuard guard;
+    // 2^16: forward() takes the cache-blocked ten-step path.
+    const std::size_t n = NttTables::kTenStepMinN;
+    u64 q = generateNttPrimes(40, n, 1)[0];
+    auto tables = NttTableCache::get(n, q);
+    Prng prng(0x7E57ED);
+    std::vector<u64> base(n);
+    sampleUniform(prng, q, base);
+
+    ASSERT_TRUE(setSimdIsa(SimdIsa::scalar));
+    std::vector<u64> ref_fwd = base;
+    tables->forwardReference(ref_fwd.data());
+
+    for (SimdIsa isa : supportedIsas()) {
+        ASSERT_TRUE(setSimdIsa(isa));
+        std::vector<u64> fwd = base;
+        tables->forward(fwd.data());
+        EXPECT_EQ(fwd, ref_fwd) << simdIsaName(isa);
+        std::vector<u64> inv = ref_fwd;
+        tables->inverse(inv.data());
+        EXPECT_EQ(inv, base) << simdIsaName(isa);
+        for (std::size_t threads : kThreadCounts) {
+            KernelEngine engine(threads);
+            std::vector<u64> pfwd = base;
+            tables->forwardParallel(pfwd.data(), engine);
+            EXPECT_EQ(pfwd, ref_fwd)
+                << simdIsaName(isa) << " threads=" << threads;
+            std::vector<u64> pinv = ref_fwd;
+            tables->inverseParallel(pinv.data(), engine);
+            EXPECT_EQ(pinv, base)
+                << simdIsaName(isa) << " threads=" << threads;
+        }
+    }
+}
+
+/**
+ * BConv against the per-coefficient convert() reference, for narrow
+ * moduli (hits the IFMA 52-bit accumulator on capable hosts) and
+ * wide moduli (forces the generic 128-bit lane path).
+ */
+void
+expectBConvExact(int from_bits, int to_bits)
+{
+    SimdIsaGuard guard;
+    const std::size_t n = std::size_t(1) << 12;
+    auto from_mods = generateNttPrimes(from_bits, n, 4);
+    auto to_mods = generateNttPrimes(to_bits, n, 5);
+    RnsBasis from(from_mods), to(to_mods);
+    BaseConverter conv(from, to);
+
+    Prng prng(31 ^ from_bits);
+    std::vector<AlignedU64> in(from_mods.size());
+    std::vector<const u64 *> in_ptrs(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        in[i].resize(n);
+        sampleUniform(prng, from_mods[i], in[i]);
+        in_ptrs[i] = in[i].data();
+    }
+
+    std::vector<std::vector<u64>> expected(to_mods.size(),
+                                           std::vector<u64>(n));
+    std::vector<u64> residues(from_mods.size());
+    for (std::size_t c = 0; c < n; ++c) {
+        for (std::size_t i = 0; i < residues.size(); ++i)
+            residues[i] = in[i][c];
+        auto out = conv.convert(residues);
+        for (std::size_t j = 0; j < out.size(); ++j)
+            expected[j][c] = out[j];
+    }
+
+    for (SimdIsa isa : supportedIsas()) {
+        ASSERT_TRUE(setSimdIsa(isa));
+        for (std::size_t threads : kThreadCounts) {
+            KernelEngine engine(threads);
+            std::vector<std::vector<u64>> got(to_mods.size(),
+                                              std::vector<u64>(n));
+            std::vector<u64 *> out_ptrs(got.size());
+            for (std::size_t j = 0; j < got.size(); ++j)
+                out_ptrs[j] = got[j].data();
+            conv.convertPoly(in_ptrs, n, out_ptrs, engine);
+            EXPECT_EQ(got, expected)
+                << simdIsaName(isa) << " threads=" << threads;
+        }
+    }
+}
+
+TEST(SimdBConv, NarrowModuliBitExact)
+{
+    expectBConvExact(36, 38);
+}
+
+TEST(SimdBConv, WideModuliBitExact)
+{
+    expectBConvExact(58, 60);
+}
+
+TEST(SimdElementwise, PolyOpsBitIdenticalAcrossIsas)
+{
+    SimdIsaGuard guard;
+    const std::size_t n = std::size_t(1) << 12;
+    auto moduli = generateNttPrimes(36, n, 3);
+    Prng prng(77);
+    RnsPoly a(n, moduli, PolyForm::eval);
+    RnsPoly b(n, moduli, PolyForm::eval);
+    a.fillUniform(prng);
+    b.fillUniform(prng);
+    std::vector<u64> scalars = {3, 5, 7};
+
+    ASSERT_TRUE(setSimdIsa(SimdIsa::scalar));
+    RnsPoly ref_add = a + b;
+    RnsPoly ref_sub = a - b;
+    RnsPoly ref_mul = a.hadamard(b);
+    RnsPoly ref_neg = a;
+    ref_neg.negateInPlace();
+    RnsPoly ref_scale = a;
+    ref_scale.scalePerLimb(scalars);
+
+    for (SimdIsa isa : supportedIsas()) {
+        ASSERT_TRUE(setSimdIsa(isa));
+        EXPECT_EQ(a + b, ref_add) << simdIsaName(isa);
+        EXPECT_EQ(a - b, ref_sub) << simdIsaName(isa);
+        EXPECT_EQ(a.hadamard(b), ref_mul) << simdIsaName(isa);
+        RnsPoly neg = a;
+        neg.negateInPlace();
+        EXPECT_EQ(neg, ref_neg) << simdIsaName(isa);
+        RnsPoly scale = a;
+        scale.scalePerLimb(scalars);
+        EXPECT_EQ(scale, ref_scale) << simdIsaName(isa);
+    }
+}
+
+} // namespace
+} // namespace fast::math
