@@ -192,6 +192,16 @@ main(int argc, char **argv)
                         high_p99 / 1e6, baseline_high_p99 / 1e6);
             ++failures;
         }
+        // Acceptance: the storm must actually hit the evk transfer
+        // path — kill batch attempts mid-fetch and flush the victim
+        // device's resident key state so the next dispatch there goes
+        // cold. A storm that never lands means the plan's windows
+        // drifted off the dispatch timeline.
+        if (plan.name == "evk_storm" && stats.faults.evk_timeouts == 0) {
+            std::printf("  FAIL: evk_storm fired no evk timeouts — "
+                        "the storm missed the evk transfer path\n");
+            ++failures;
+        }
 
         json += "    {\"plan\": \"" + plan.name + "\", \"stats\":\n";
         json += serve::serveStatsJson(stats, "    ");

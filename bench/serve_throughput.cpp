@@ -53,7 +53,8 @@ mixedTenantLoad()
     return mix;
 }
 
-void
+/** Returns the BENCH_serve.json payload for smoke-mode assertions. */
+std::string
 report()
 {
     using namespace fast;
@@ -124,6 +125,7 @@ report()
         std::fclose(m);
         bench::note("wrote OBS_serve_metrics.json");
     }
+    return json;
 }
 
 /** Micro-benchmark: full scheduling pass over the mixed trace. */
@@ -152,16 +154,36 @@ int
 main(int argc, char **argv)
 {
     // Strip our own flags before google-benchmark sees the rest.
+    bool smoke = false;
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--force") == 0)
             g_force = true;
+        else if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
         else
             argv[kept++] = argv[i];
     }
     argc = kept;
 
-    report();
+    std::string json = report();
+    if (smoke) {
+        // CI gate: the serving report must carry the evk bottleneck
+        // metrics this repo tracks (and regenerate the live metrics
+        // snapshot, which report() already wrote). No micro-benchmark
+        // pass — the smoke profile is the deterministic replay only.
+        const char *required[] = {"evk_fetch_share", "evk_bytes_saved"};
+        for (const char *field : required) {
+            if (json.find(field) == std::string::npos) {
+                std::printf("SMOKE FAIL: \"%s\" missing from "
+                            "BENCH_serve.json payload\n",
+                            field);
+                return 1;
+            }
+        }
+        std::printf("smoke: evk metrics present in serving report\n");
+        return 0;
+    }
     ::benchmark::Initialize(&argc, argv);
     if (::benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

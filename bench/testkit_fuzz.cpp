@@ -21,7 +21,9 @@
  *
  * Flags: --smoke (CI profile, 220 programs), --programs N,
  * --start-seed S, --params small|medium-klss, --replay SEED,
- * --skip-negative, --skip-model-check.
+ * --skip-negative, --skip-model-check, --seed-evk (model-check the
+ * scheduler with seed-expanded evk transfers enabled — the nightly
+ * leg pins that path; without the flag the full-transfer path runs).
  */
 #include <cstdio>
 #include <cstring>
@@ -46,6 +48,9 @@ struct Totals {
     std::size_t hybrid_switches = 0;
     std::size_t klss_switches = 0;
     std::size_t hoisted_groups = 0;
+    std::size_t standard_dataflows = 0;
+    std::size_t reordered_dataflows = 0;
+    std::size_t fused_dataflows = 0;
 
     void absorb(const testkit::OracleReport &report)
     {
@@ -56,6 +61,9 @@ struct Totals {
         hybrid_switches += report.hybrid_switches;
         klss_switches += report.klss_switches;
         hoisted_groups += report.hoisted_groups;
+        standard_dataflows += report.standard_dataflows;
+        reordered_dataflows += report.reordered_dataflows;
+        fused_dataflows += report.fused_dataflows;
     }
 };
 
@@ -197,6 +205,7 @@ main(int argc, char **argv)
     bool smoke = false;
     bool skip_negative = false;
     bool skip_model_check = false;
+    bool seed_evk = false;
     std::size_t programs = 0;
     std::uint64_t start_seed = 1;
     std::string params_name = "small";
@@ -209,6 +218,8 @@ main(int argc, char **argv)
             skip_negative = true;
         else if (std::strcmp(argv[i], "--skip-model-check") == 0)
             skip_model_check = true;
+        else if (std::strcmp(argv[i], "--seed-evk") == 0)
+            seed_evk = true;
         else if (std::strcmp(argv[i], "--programs") == 0 &&
                  i + 1 < argc)
             programs = static_cast<std::size_t>(
@@ -277,6 +288,18 @@ main(int argc, char **argv)
                 "hoisted groups\n",
                 totals.hybrid_switches, totals.klss_switches,
                 totals.hoisted_groups);
+    std::printf("  dataflow coverage: %zu standard, %zu reordered, "
+                "%zu fused\n",
+                totals.standard_dataflows, totals.reordered_dataflows,
+                totals.fused_dataflows);
+    if (totals.programs >= 20 &&
+        (totals.standard_dataflows == 0 ||
+         totals.reordered_dataflows == 0 ||
+         totals.fused_dataflows == 0)) {
+        ++failures;
+        std::printf("  FAIL coverage: a key-switch dataflow variant "
+                    "was never exercised\n");
+    }
     if (failures == 0)
         note("all programs match the reference limb for limb");
 
@@ -285,9 +308,12 @@ main(int argc, char **argv)
 
     testkit::ModelCheckReport model;
     if (!skip_model_check) {
-        note("model-checking the scheduler: canned plans + "
-             "single-event grid, each replayed twice");
-        model = testkit::checkScheduler();
+        note(std::string("model-checking the scheduler: canned plans "
+                         "+ single-event grid, each replayed twice") +
+             (seed_evk ? " [seed-expanded evk transfers]" : ""));
+        testkit::ModelCheckOptions model_options;
+        model_options.device.use_seed_evk = seed_evk;
+        model = testkit::checkScheduler(model_options);
         std::printf("  %zu scenarios, %zu runs, %zu violations\n",
                     model.scenarios, model.runs,
                     model.failures.size());
@@ -317,6 +343,14 @@ main(int argc, char **argv)
             std::to_string(totals.klss_switches) +
             ", \"hoisted_groups\": " +
             std::to_string(totals.hoisted_groups) + ",\n";
+    json += "  \"dataflows\": {\"standard\": " +
+            std::to_string(totals.standard_dataflows) +
+            ", \"reordered\": " +
+            std::to_string(totals.reordered_dataflows) +
+            ", \"fused\": " +
+            std::to_string(totals.fused_dataflows) + "},\n";
+    json += std::string("  \"seed_evk\": ") +
+            (seed_evk ? "true" : "false") + ",\n";
     json += "  \"model_check\": {\"scenarios\": " +
             std::to_string(model.scenarios) +
             ", \"runs\": " + std::to_string(model.runs) +

@@ -17,6 +17,36 @@ toString(KeySwitchMethod method)
     return method == KeySwitchMethod::hybrid ? "Hybrid" : "KLSS";
 }
 
+const char *
+toString(KeySwitchDataflow dataflow)
+{
+    switch (dataflow) {
+      case KeySwitchDataflow::standard: return "standard";
+      case KeySwitchDataflow::reordered: return "reordered";
+      case KeySwitchDataflow::fused: return "fused";
+    }
+    return "?";
+}
+
+int
+defaultMethodBits(KeySwitchMethod method)
+{
+    // Hybrid arithmetic runs in the TBM's dual-36 mode; KLSS digits
+    // are 60-bit (Sec. 3.2) — formerly hard-coded in sim/lowering.
+    return method == KeySwitchMethod::klss ? 60 : 36;
+}
+
+std::string
+toString(const KeySwitchVariant &variant)
+{
+    std::string out = toString(variant.method);
+    if (variant.dataflow != KeySwitchDataflow::standard)
+        out += std::string("/") + toString(variant.dataflow);
+    if (variant.bits != defaultMethodBits(variant.method))
+        out += "@" + std::to_string(variant.bits);
+    return out;
+}
+
 std::size_t
 CkksParams::gadgetDigitsAtLevel(std::size_t ell) const
 {

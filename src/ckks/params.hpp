@@ -31,6 +31,76 @@ enum class KeySwitchMethod {
 const char *toString(KeySwitchMethod method);
 
 /**
+ * How the ModUp–KeyMult–ModDown pipeline of one key switch is
+ * scheduled on the datapath (CiFlow, PAPERS.md). The dataflow never
+ * changes the key material or the numeric result — only the kernel
+ * schedule the simulator charges for:
+ *
+ *  - `standard`:  the textbook pipeline (every stage materialized);
+ *  - `reordered`: CiFlow-style NTT reordering — the ModDown output
+ *                 transforms merge with the consumer's input
+ *                 transforms, halving the ModDown (I)NTT volume;
+ *  - `fused`:     ModUp–KeyMult–ModDown fusion — digits stream
+ *                 through the KMU without re-materializing, folding
+ *                 the ModDown rescale into the accumulation pass.
+ */
+enum class KeySwitchDataflow {
+    standard,
+    reordered,
+    fused,
+};
+
+/** Human-readable dataflow name. */
+const char *toString(KeySwitchDataflow dataflow);
+
+/** Working kernel bit-width of a method (TBM dual-36 vs 60-bit). */
+int defaultMethodBits(KeySwitchMethod method);
+
+/**
+ * Full description of one key switch: algorithm x datapath schedule,
+ * plus the kernel bit-width the method's arithmetic runs at. This is
+ * the descriptor threaded through Aether/Hemera/Lowering instead of a
+ * bare `KeySwitchMethod` (the enum remains as the algorithm half).
+ */
+struct KeySwitchVariant {
+    KeySwitchMethod method = KeySwitchMethod::hybrid;
+    KeySwitchDataflow dataflow = KeySwitchDataflow::standard;
+    int bits = 36;  ///< kernel width (36 hybrid / 60 KLSS by default)
+
+    /** Variant with the method's default bit-width. */
+    static KeySwitchVariant of(
+        KeySwitchMethod m,
+        KeySwitchDataflow d = KeySwitchDataflow::standard)
+    {
+        return KeySwitchVariant{m, d, defaultMethodBits(m)};
+    }
+
+    friend bool operator==(const KeySwitchVariant &a,
+                           const KeySwitchVariant &b)
+    {
+        return a.method == b.method && a.dataflow == b.dataflow &&
+               a.bits == b.bits;
+    }
+    friend bool operator!=(const KeySwitchVariant &a,
+                           const KeySwitchVariant &b)
+    {
+        return !(a == b);
+    }
+    friend bool operator<(const KeySwitchVariant &a,
+                          const KeySwitchVariant &b)
+    {
+        if (a.method != b.method)
+            return a.method < b.method;
+        if (a.dataflow != b.dataflow)
+            return a.dataflow < b.dataflow;
+        return a.bits < b.bits;
+    }
+};
+
+/** "Hybrid", "KLSS/reordered", "Hybrid/fused@60", ... */
+std::string toString(const KeySwitchVariant &variant);
+
+/**
  * A complete CKKS parameter set.
  */
 struct CkksParams {

@@ -15,15 +15,41 @@
 
 namespace fast::core {
 
+namespace {
+
+char
+dataflowChar(ckks::KeySwitchDataflow dataflow)
+{
+    switch (dataflow) {
+      case ckks::KeySwitchDataflow::standard: return 'S';
+      case ckks::KeySwitchDataflow::reordered: return 'R';
+      case ckks::KeySwitchDataflow::fused: return 'F';
+    }
+    return 'S';
+}
+
+ckks::KeySwitchDataflow
+dataflowFromChar(char c)
+{
+    switch (c) {
+      case 'R': return ckks::KeySwitchDataflow::reordered;
+      case 'F': return ckks::KeySwitchDataflow::fused;
+      default: return ckks::KeySwitchDataflow::standard;
+    }
+}
+
+} // namespace
+
 std::string
 AetherConfig::serialize() const
 {
+    // v2 adds the per-site dataflow column: op ct level H|K S|R|F h.
     std::ostringstream out;
-    out << "aether-config v1\n";
+    out << "aether-config v2\n";
     for (const auto &d : decisions) {
         out << d.op_index << ' ' << d.ct_index << ' ' << d.level << ' '
             << (d.method == KeySwitchMethod::hybrid ? 'H' : 'K') << ' '
-            << d.hoist << '\n';
+            << dataflowChar(d.dataflow) << ' ' << d.hoist << '\n';
     }
     return out.str();
 }
@@ -34,15 +60,29 @@ AetherConfig::deserialize(const std::string &text)
     std::istringstream in(text);
     std::string header;
     std::getline(in, header);
-    if (header != "aether-config v1")
+    bool v1 = header == "aether-config v1";
+    if (!v1 && header != "aether-config v2")
         throw std::invalid_argument("bad Aether configuration header");
     AetherConfig config;
     AetherDecision d;
     char method = 0;
+    if (v1) {
+        // v1 files carry no dataflow column: every site is standard.
+        while (in >> d.op_index >> d.ct_index >> d.level >> method >>
+               d.hoist) {
+            d.method = method == 'H' ? KeySwitchMethod::hybrid
+                                     : KeySwitchMethod::klss;
+            d.dataflow = ckks::KeySwitchDataflow::standard;
+            config.decisions.push_back(d);
+        }
+        return config;
+    }
+    char dataflow = 0;
     while (in >> d.op_index >> d.ct_index >> d.level >> method >>
-           d.hoist) {
+           dataflow >> d.hoist) {
         d.method = method == 'H' ? KeySwitchMethod::hybrid
                                  : KeySwitchMethod::klss;
+        d.dataflow = dataflowFromChar(dataflow);
         config.decisions.push_back(d);
     }
     return config;
@@ -76,18 +116,20 @@ Aether::Aether(cost::KeySwitchCostModel model, Settings settings)
 }
 
 MctCandidate
-Aether::makeCandidate(KeySwitchMethod method, std::size_t ell,
-                      std::size_t hoist,
+Aether::makeCandidate(const ckks::KeySwitchVariant &variant,
+                      std::size_t ell, std::size_t hoist,
                       std::size_t site_rotations) const
 {
+    KeySwitchMethod method = variant.method;
     MctCandidate c;
     c.method = method;
+    c.dataflow = variant.dataflow;
     c.hoist = hoist;
     if (hoist > 1) {
         // One decomposition shared by all rotations at the site. The
         // decomposed digits stay resident while the rotations' evks
         // stream through one at a time (Fig. 3b's working set).
-        c.cost_ops = model_.keySwitch(method, ell, hoist).total();
+        c.cost_ops = model_.keySwitch(variant, ell, hoist).total();
         c.key_bytes = model_.digitsBytes(method, ell) +
                       model_.evkBytes(method, ell);
     } else {
@@ -95,12 +137,20 @@ Aether::makeCandidate(KeySwitchMethod method, std::size_t ell,
         // (hybrid only: KLSS digits need full-level keys) keeps both
         // the resident set and the HBM traffic small.
         c.cost_ops = static_cast<double>(site_rotations) *
-                     model_.keySwitch(method, ell, 1).total();
+                     model_.keySwitch(variant, ell, 1).total();
         c.key_bytes = method == KeySwitchMethod::hybrid
                           ? model_.evkBytesMinKs(method)
                           : model_.evkBytes(method, ell);
     }
-    if (settings_.delay_estimator) {
+    if (settings_.variant_delay_estimator) {
+        c.delay_s =
+            hoist > 1
+                ? settings_.variant_delay_estimator(variant, ell, hoist)
+                : static_cast<double>(site_rotations) *
+                      settings_.variant_delay_estimator(variant, ell, 1);
+    } else if (settings_.delay_estimator) {
+        // Deprecated method-only estimator: dataflow-blind, kept one
+        // release so existing callers keep compiling.
         c.delay_s = hoist > 1
                         ? settings_.delay_estimator(method, ell, hoist)
                         : static_cast<double>(site_rotations) *
@@ -153,20 +203,30 @@ Aether::analyze(const trace::OpStream &stream) const
                     : (op.kind == trace::FheOpKind::hmult ? -1 : -2));
         }
 
-        // Candidates: both methods, hoisted and sequential.
-        entry.candidates.push_back(makeCandidate(
-            KeySwitchMethod::hybrid, entry.level, 1, entry.times));
+        // Candidates: method x dataflow x hoisting. Standard dataflow
+        // is pushed first per method so STEP-3's smaller-key tie break
+        // keeps the textbook pipeline unless a CiFlow variant wins by
+        // more than the tolerance.
+        std::vector<ckks::KeySwitchDataflow> dataflows = {
+            ckks::KeySwitchDataflow::standard};
+        if (settings_.allow_dataflow) {
+            dataflows.push_back(ckks::KeySwitchDataflow::reordered);
+            dataflows.push_back(ckks::KeySwitchDataflow::fused);
+        }
+        std::vector<KeySwitchMethod> methods = {KeySwitchMethod::hybrid};
         if (settings_.allow_klss)
-            entry.candidates.push_back(makeCandidate(
-                KeySwitchMethod::klss, entry.level, 1, entry.times));
-        if (entry.times > 1 && settings_.allow_hoisting) {
-            entry.candidates.push_back(
-                makeCandidate(KeySwitchMethod::hybrid, entry.level,
-                              entry.times, entry.times));
-            if (settings_.allow_klss)
+            methods.push_back(KeySwitchMethod::klss);
+        for (KeySwitchMethod m : methods)
+            for (auto df : dataflows)
                 entry.candidates.push_back(
-                    makeCandidate(KeySwitchMethod::klss, entry.level,
-                                  entry.times, entry.times));
+                    makeCandidate(ckks::KeySwitchVariant::of(m, df),
+                                  entry.level, 1, entry.times));
+        if (entry.times > 1 && settings_.allow_hoisting) {
+            for (KeySwitchMethod m : methods)
+                for (auto df : dataflows)
+                    entry.candidates.push_back(makeCandidate(
+                        ckks::KeySwitchVariant::of(m, df), entry.level,
+                        entry.times, entry.times));
         }
         mct.push_back(std::move(entry));
     }
@@ -334,6 +394,7 @@ Aether::select(const std::vector<MctEntry> &mct) const
         d.ct_index = entry.ct_index;
         d.level = entry.level;
         d.method = best->method;
+        d.dataflow = best->dataflow;
         d.hoist = best->hoist;
         config.decisions.push_back(d);
         committed_delay_s += best->delay_s;

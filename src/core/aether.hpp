@@ -40,11 +40,19 @@ using ckks::KeySwitchMethod;
 /** One candidate configuration inside an MCT entry. */
 struct MctCandidate {
     KeySwitchMethod method = KeySwitchMethod::hybrid;
+    ckks::KeySwitchDataflow dataflow =
+        ckks::KeySwitchDataflow::standard;  ///< kernel schedule
     std::size_t hoist = 1;      ///< rotations sharing one decomposition
     double cost_ops = 0;        ///< modular multiplications
     double delay_s = 0;         ///< estimated compute time
     double key_bytes = 0;       ///< resident evk working set
     double transfer_s = 0;      ///< evk HBM transfer time
+
+    /** The (method, dataflow, bits) descriptor of this candidate. */
+    ckks::KeySwitchVariant variant() const
+    {
+        return ckks::KeySwitchVariant::of(method, dataflow);
+    }
 };
 
 /** One Methods Candidate Table entry (bottom of Fig. 5a). */
@@ -67,7 +75,15 @@ struct AetherDecision {
     std::size_t ct_index = 0;
     std::size_t level = 0;
     KeySwitchMethod method = KeySwitchMethod::hybrid;
+    ckks::KeySwitchDataflow dataflow =
+        ckks::KeySwitchDataflow::standard;
     std::size_t hoist = 1;
+
+    /** The (method, dataflow, bits) descriptor of this decision. */
+    ckks::KeySwitchVariant variant() const
+    {
+        return ckks::KeySwitchVariant::of(method, dataflow);
+    }
 };
 
 /** The configuration file Aether emits and Hemera consumes. */
@@ -109,13 +125,23 @@ class Aether
         /** Allow disabling methods (for ablation studies). */
         bool allow_klss = true;
         bool allow_hoisting = true;
+        /** Score CiFlow dataflow variants alongside the methods. */
+        bool allow_dataflow = true;
         /**
          * Optional microarchitecture-aware delay estimator for one
-         * key-switch site: (method, level, hoisted rotations) ->
+         * key-switch site: (variant, level, hoisted rotations) ->
          * seconds. When unset, delays fall back to cost_ops /
          * ops_per_s. FastSystem wires this to the same unit models
          * the simulator executes, so Aether's MCT Delay column
          * reflects the machine it schedules for.
+         */
+        std::function<double(const ckks::KeySwitchVariant &,
+                             std::size_t, std::size_t)>
+            variant_delay_estimator;
+        /**
+         * Deprecated method-only estimator, kept one release for
+         * PR 4/5-style migration; ignored when
+         * `variant_delay_estimator` is set.
          */
         std::function<double(KeySwitchMethod, std::size_t,
                              std::size_t)> delay_estimator;
@@ -143,8 +169,8 @@ class Aether
     AetherConfig run(const trace::OpStream &stream) const;
 
   private:
-    MctCandidate makeCandidate(KeySwitchMethod method, std::size_t ell,
-                               std::size_t hoist,
+    MctCandidate makeCandidate(const ckks::KeySwitchVariant &variant,
+                               std::size_t ell, std::size_t hoist,
                                std::size_t site_rotations) const;
 
     cost::KeySwitchCostModel model_;

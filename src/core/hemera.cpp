@@ -11,6 +11,16 @@
 
 namespace fast::core {
 
+const char *
+toString(EvkTransferMode mode)
+{
+    switch (mode) {
+      case EvkTransferMode::full: return "full";
+      case EvkTransferMode::seed_expanded: return "seed_expanded";
+    }
+    return "unknown";
+}
+
 EvkPool::EvkPool(cost::KeySwitchCostModel model) : model_(model)
 {
 }
@@ -34,6 +44,19 @@ EvkPool::populate(std::size_t max_level)
             }
         }
     }
+}
+
+Result<EvkPoolEntry>
+EvkPool::lookup(std::size_t level, const ckks::KeySwitchVariant &variant,
+                bool is_rotation) const
+{
+    auto it = entries_.find({level, variant.method, is_rotation});
+    if (it == entries_.end())
+        return Status::error(StatusCode::not_found,
+                             "evk pool: no key at level " +
+                                 std::to_string(level) + " for " +
+                                 ckks::toString(variant));
+    return it->second;
 }
 
 const EvkPoolEntry &
@@ -71,21 +94,29 @@ Hemera::Hemera(cost::KeySwitchCostModel model, std::size_t history_depth)
     history_.depth = history_depth;
 }
 
-std::vector<EvkTransfer>
-Hemera::plan(const trace::OpStream &stream, const AetherConfig &config)
+Result<TransferPlan>
+Hemera::plan(const trace::OpStream &stream, const AetherConfig &config,
+             const PlanOptions &options)
 {
     FAST_OBS_SPAN_VAR(span, "hemera.plan");
     FAST_OBS_SPAN_ARG(span, "ops",
                       static_cast<std::uint64_t>(stream.ops.size()));
+    if (stream.ops.empty())
+        return Status::error(StatusCode::empty_stream,
+                             "hemera: nothing to plan");
     // Populate the pool for every level the trace touches.
     std::size_t max_level = 0;
     for (const auto &op : stream.ops)
         max_level = std::max(max_level, op.level);
     pool_.populate(max_level);
 
-    std::vector<EvkTransfer> transfers;
+    TransferPlan plan_out;
+    plan_out.mode = options.mode;
     std::size_t processed_group = 0;
     stats_ = {};
+    bool seed_mode = options.mode == EvkTransferMode::seed_expanded;
+    double batch_bytes =
+        static_cast<double>(kBatchElements) * sizeof(std::uint64_t);
 
     for (std::size_t i = 0; i < stream.ops.size(); ++i) {
         const auto &op = stream.ops[i];
@@ -101,22 +132,39 @@ Hemera::plan(const trace::OpStream &stream, const AetherConfig &config)
         stats_.config_lookups_ns += kConfigLookupNs;
 
         bool is_rotation = op.kind == trace::FheOpKind::hrot;
-        const auto &entry = pool_.lookup(
-            std::min(op.level, max_level), d.method, is_rotation);
+        auto looked = pool_.lookup(std::min(op.level, max_level),
+                                   d.variant(), is_rotation);
+        if (!looked)
+            return looked.status();
+        const EvkPoolEntry &entry = looked.value();
 
         EvkTransfer t;
         t.op_index = i;
         t.method = d.method;
+        t.dataflow = d.dataflow;
         t.hoist = d.hoist;
         t.level = op.level;
+        t.mode = options.mode;
         // A hoisted site needs all of its rotations' keys; a
         // sequential site streams them one at a time but still moves
         // the same total volume.
-        std::size_t key_count =
-            op.hoist_group != 0 ? op.hoist_size : 1;
-        t.bytes = entry.bytes * static_cast<double>(key_count);
-        double batch_bytes =
-            static_cast<double>(kBatchElements) * sizeof(std::uint64_t);
+        double key_count = static_cast<double>(
+            op.hoist_group != 0 ? op.hoist_size : 1);
+        t.full_bytes = entry.bytes * key_count;
+        if (seed_mode) {
+            // Only the `b` halves cross HBM; the `a` halves are
+            // regenerated by the EKG from a per-key seed.
+            t.bytes = t.full_bytes / 2.0 +
+                      key_count * model_.evkSeedBytes();
+            t.seed_bytes = key_count * model_.evkSeedBytes();
+            t.expand_ns =
+                key_count *
+                model_.evkExpandOps(d.method,
+                                    std::min(op.level, max_level)) /
+                options.expand_ops_per_ns;
+        } else {
+            t.bytes = t.full_bytes;
+        }
         t.batches = static_cast<std::size_t>(
             std::ceil(t.bytes / batch_bytes));
 
@@ -130,12 +178,22 @@ Hemera::plan(const trace::OpStream &stream, const AetherConfig &config)
         // Injected transfer failures: a timed-out transfer is
         // reissued and cannot overlap compute; a stall just adds
         // latency. Either way the plan absorbs it — callers see the
-        // degradation in the stats, not an exception.
+        // degradation in the stats, not an exception. A timed-out
+        // seed-expanded transfer falls back to a full-key reissue
+        // (the regenerated half is not trusted after the fault).
         if (transfer_hook_) {
             if (auto fault = transfer_hook_(t)) {
                 if (fault->timed_out) {
                     ++stats_.transfer_timeouts;
                     t.prefetched = false;
+                    if (seed_mode) {
+                        t.mode = EvkTransferMode::full;
+                        t.bytes = t.full_bytes;
+                        t.seed_bytes = 0;
+                        t.expand_ns = 0;
+                        t.batches = static_cast<std::size_t>(
+                            std::ceil(t.bytes / batch_bytes));
+                    }
                     FAST_OBS_COUNT("hemera.transfer_timeouts", 1);
                 }
                 stats_.stall_ns += fault->stall_ns;
@@ -150,14 +208,35 @@ Hemera::plan(const trace::OpStream &stream, const AetherConfig &config)
         }
         history_.record(op.level, d.method, d.hoist);
 
+        if (t.mode == EvkTransferMode::seed_expanded) {
+            ++stats_.seed_expanded;
+            stats_.bytes_saved += t.full_bytes - t.bytes;
+            stats_.expand_ns += t.expand_ns;
+            plan_out.bytes_saved += t.full_bytes - t.bytes;
+            plan_out.seed_bytes += t.seed_bytes;
+            plan_out.expand_ns += t.expand_ns;
+            FAST_OBS_COUNT(
+                "hemera.evk_bytes_saved",
+                static_cast<std::uint64_t>(t.full_bytes - t.bytes));
+        }
         stats_.total_bytes += t.bytes;
+        plan_out.total_bytes += t.bytes;
         ++stats_.transfers;
         FAST_OBS_COUNT("hemera.transfers", 1);
         FAST_OBS_COUNT("hemera.evk_bytes",
                        static_cast<std::uint64_t>(t.bytes));
-        transfers.push_back(t);
+        plan_out.transfers.push_back(t);
     }
-    return transfers;
+    return plan_out;
+}
+
+std::vector<EvkTransfer>
+Hemera::plan(const trace::OpStream &stream, const AetherConfig &config)
+{
+    auto result = plan(stream, config, PlanOptions{});
+    if (!result)
+        return {};
+    return std::move(result).value().transfers;
 }
 
 } // namespace fast::core

@@ -9,6 +9,11 @@
  * (level -> method/hoist) patterns, and a batch-wise transfer engine
  * that moves keys in 256-element batches, prefetching them so HBM
  * traffic overlaps key-switch execution.
+ *
+ * Transfers come in two modes: `full` moves both halves of each evk
+ * over HBM; `seed_expanded` moves only the `b` halves plus a PRNG
+ * seed and lets the AEM EKG regenerate the `a` halves on chip
+ * (~2x fewer evk bytes, paid for with regeneration compute).
  */
 #ifndef FAST_CORE_HEMERA_HPP
 #define FAST_CORE_HEMERA_HPP
@@ -22,6 +27,7 @@
 #include <vector>
 
 #include "core/aether.hpp"
+#include "core/status.hpp"
 
 namespace fast::core {
 
@@ -46,7 +52,22 @@ class EvkPool
     /** Register all keys up to @p max_level; assigns HBM addresses. */
     void populate(std::size_t max_level);
 
-    /** Look up the key for a level/method/kind. */
+    /**
+     * Look up the key for a level/variant/kind. Keys are stored per
+     * method — dataflow variants of one method share the same evk —
+     * so every dataflow of a registered method resolves. Returns
+     * `StatusCode::not_found` for unpopulated levels instead of
+     * throwing.
+     */
+    Result<EvkPoolEntry> lookup(std::size_t level,
+                                const ckks::KeySwitchVariant &variant,
+                                bool is_rotation) const;
+
+    /**
+     * Deprecated throwing lookup, kept one release for migration:
+     * prefer the `KeySwitchVariant` overload, which reports missing
+     * keys through `Result` instead of `std::out_of_range`.
+     */
     const EvkPoolEntry &lookup(std::size_t level, KeySwitchMethod method,
                                bool is_rotation) const;
 
@@ -61,15 +82,29 @@ class EvkPool
     double total_bytes_ = 0;
 };
 
+/** How Hemera moves evaluation keys over HBM. */
+enum class EvkTransferMode {
+    full,           ///< both halves of every key cross HBM
+    seed_expanded,  ///< `b` halves + seed; EKG regenerates `a` halves
+};
+
+const char *toString(EvkTransferMode mode);
+
 /** One planned evk movement for the simulator to execute. */
 struct EvkTransfer {
     std::size_t op_index = 0;     ///< key-switch site in the trace
-    double bytes = 0;             ///< evk bytes to move
+    double bytes = 0;             ///< evk bytes actually moved over HBM
     std::size_t batches = 0;      ///< 256-element HBM batches
     bool prefetched = false;      ///< predicted by the history recorder
     KeySwitchMethod method = KeySwitchMethod::hybrid;
+    ckks::KeySwitchDataflow dataflow =
+        ckks::KeySwitchDataflow::standard;
     std::size_t hoist = 1;
     std::size_t level = 0;
+    EvkTransferMode mode = EvkTransferMode::full;
+    double full_bytes = 0;   ///< bytes a full-key transfer would move
+    double seed_bytes = 0;   ///< PRNG seed payload (seed_expanded only)
+    double expand_ns = 0;    ///< EKG regeneration time charged on chip
 };
 
 /**
@@ -88,7 +123,10 @@ struct HemeraStats {
     std::size_t prefetch_hits = 0;
     std::size_t prefetch_misses = 0;
     std::size_t transfer_timeouts = 0;  ///< injected by the hook
+    std::size_t seed_expanded = 0;      ///< transfers in seed mode
     double total_bytes = 0;
+    double bytes_saved = 0;        ///< full - moved (seed expansion)
+    double expand_ns = 0;          ///< cumulative EKG regeneration
     double stall_ns = 0;           ///< injected transfer stalls
     double config_lookups_ns = 0;  ///< cumulative config access time
 
@@ -100,6 +138,27 @@ struct HemeraStats {
                    : static_cast<double>(prefetch_hits) /
                          static_cast<double>(total);
     }
+};
+
+/** Options of one Hemera planning pass. */
+struct PlanOptions {
+    EvkTransferMode mode = EvkTransferMode::full;
+    /**
+     * EKG regeneration throughput: uniform-random evk words produced
+     * per nanosecond (the AEM's Keccak lanes). Sets the `expand_ns`
+     * charged to each seed-expanded transfer.
+     */
+    double expand_ops_per_ns = 2048.0;
+};
+
+/** The structured result of a Hemera planning pass. */
+struct TransferPlan {
+    std::vector<EvkTransfer> transfers;
+    EvkTransferMode mode = EvkTransferMode::full;
+    double total_bytes = 0;  ///< HBM bytes actually planned
+    double bytes_saved = 0;  ///< vs. a full-key plan
+    double seed_bytes = 0;   ///< total seed payload
+    double expand_ns = 0;    ///< total EKG regeneration time
 };
 
 /**
@@ -120,6 +179,9 @@ class Hemera
      * transfer; returning a `TransferFault` fails or stalls it.
      * Hemera stays oblivious to *why* (the serving fault injector,
      * a degraded-HBM model, a test) — it only accounts the outcome.
+     * A timed-out seed-expanded transfer falls back to a full-key
+     * retransmission: the regenerated half is assumed lost with the
+     * batch, so the conservative reissue moves everything.
      */
     using TransferHook =
         std::function<std::optional<TransferFault>(const EvkTransfer &)>;
@@ -132,7 +194,22 @@ class Hemera
         transfer_hook_ = std::move(hook);
     }
 
-    /** Plan all transfers for a trace under an Aether config. */
+    /**
+     * Plan all transfers for a trace under an Aether config. Fails
+     * with `StatusCode::empty_stream` when the trace has no
+     * operations (a plan of zero transfers over a non-empty trace is
+     * still a success).
+     */
+    Result<TransferPlan> plan(const trace::OpStream &stream,
+                              const AetherConfig &config,
+                              const PlanOptions &options);
+
+    /**
+     * Deprecated full-mode planner, kept one release for migration:
+     * prefer the `PlanOptions` overload, which reports structured
+     * totals and the seed-expanded mode through `Result<TransferPlan>`.
+     * Returns an empty vector when the new surface reports an error.
+     */
     std::vector<EvkTransfer> plan(const trace::OpStream &stream,
                                   const AetherConfig &config);
 

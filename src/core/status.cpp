@@ -1,10 +1,10 @@
 /**
  * @file
- * Implementation of the serving status vocabulary.
+ * Implementation of the shared status vocabulary.
  */
-#include "serve/status.hpp"
+#include "core/status.hpp"
 
-namespace fast::serve {
+namespace fast::core {
 
 const char *
 toString(StatusCode code)
@@ -21,9 +21,10 @@ toString(StatusCode code)
       case StatusCode::device_lost: return "device_lost";
       case StatusCode::device_quarantined: return "device_quarantined";
       case StatusCode::plan_failed: return "plan_failed";
+      case StatusCode::not_found: return "not_found";
       case StatusCode::invalid_argument: return "invalid_argument";
     }
     return "?";
 }
 
-} // namespace fast::serve
+} // namespace fast::core

@@ -162,6 +162,43 @@ KeySwitchCostModel::keySwitch(KeySwitchMethod method, std::size_t ell,
 }
 
 OpBreakdown
+KeySwitchCostModel::keySwitch(const ckks::KeySwitchVariant &variant,
+                              std::size_t ell,
+                              std::size_t hoisted) const
+{
+    OpBreakdown ops = keySwitch(variant.method, ell, hoisted);
+    switch (variant.dataflow) {
+      case ckks::KeySwitchDataflow::standard:
+        break;
+      case ckks::KeySwitchDataflow::reordered: {
+        // CiFlow NTT reordering: the ModDown output transforms merge
+        // with the consumer's input transforms. The ModDown (I)NTT is
+        // roughly a 2l-limb share of the site's NTT volume; halving
+        // it trims the NTT column without touching the others.
+        auto n = static_cast<double>(config_.degree);
+        double l = static_cast<double>(ell + 1);
+        double h = static_cast<double>(std::max<std::size_t>(1, hoisted));
+        double moddown_ntt = h * 2.0 * l * nttOps();
+        ops.ntt -= std::min(ops.ntt, moddown_ntt / 2.0);
+        (void)n;
+        break;
+      }
+      case ckks::KeySwitchDataflow::fused: {
+        // ModUp-KeyMult-ModDown fusion: digits stream through the KMU
+        // without re-materializing, folding the final ModDown scale
+        // pass (2l elementwise mults per pass) into the accumulation.
+        auto n = static_cast<double>(config_.degree);
+        double l = static_cast<double>(ell + 1);
+        double h = static_cast<double>(std::max<std::size_t>(1, hoisted));
+        double moddown_scale = h * 2.0 * l * n;
+        ops.elementwise -= std::min(ops.elementwise, moddown_scale);
+        break;
+      }
+    }
+    return ops;
+}
+
+OpBreakdown
 KeySwitchCostModel::hmult(KeySwitchMethod method, std::size_t ell) const
 {
     auto n = static_cast<double>(config_.degree);

@@ -86,6 +86,17 @@ class KeySwitchCostModel
     OpBreakdown keySwitch(KeySwitchMethod method, std::size_t ell,
                           std::size_t hoisted = 1) const;
 
+    /**
+     * Variant-aware key-switch cost: the method's breakdown with the
+     * dataflow's kernel savings applied (reordered halves the ModDown
+     * (I)NTT share, fusion folds the ModDown scale pass — matching
+     * the schedules `sim::Lowering` emits per dataflow). Key bytes
+     * are dataflow-invariant; only compute changes.
+     */
+    OpBreakdown keySwitch(const ckks::KeySwitchVariant &variant,
+                          std::size_t ell,
+                          std::size_t hoisted = 1) const;
+
     /** HMult = tensor + key switch + rescale. */
     OpBreakdown hmult(KeySwitchMethod method, std::size_t ell) const;
 
@@ -119,6 +130,28 @@ class KeySwitchCostModel
 
     /** Ciphertext bytes at level ell (two polys, q_bits-packed). */
     double ciphertextBytes(std::size_t ell) const;
+
+    /** @name Seed-expanded evk transfers (AEM EKG, Sec. 5.5).
+     * The `a` halves of every evaluation key are pseudorandom, so
+     * they can be regenerated on chip from a PRNG seed instead of
+     * crossing HBM: a seed-expanded transfer moves the `b` halves
+     * plus a seed, and the EKG pays the regeneration compute. */
+    ///@{
+    /** HBM bytes of a seed-expanded evk at level ell (b halves). */
+    double evkSeedExpandedBytes(KeySwitchMethod method,
+                                std::size_t ell) const
+    {
+        return evkBytes(method, ell) / 2.0;
+    }
+    /** Bytes of the transferred seed material itself (per key). */
+    double evkSeedBytes() const { return 64.0; }
+    /** Modular ops to regenerate the dropped `a` halves on chip. */
+    double evkExpandOps(KeySwitchMethod method, std::size_t ell) const
+    {
+        // One reduction per regenerated word (PRNG output -> mod q_i).
+        return evkBytes(method, ell) / 2.0 / 8.0;
+    }
+    ///@}
 
   private:
     OpBreakdown hybridKeySwitch(std::size_t ell,

@@ -262,11 +262,13 @@ Fleet::run()
             }
         }
 
-        // 5a. Dead shards leave the ring and finish immediately;
-        // their tenants fail over to ring successors next epoch.
+        // 5a. Dead shards finish immediately but stay in the ring as
+        // tombstones: their tenants keep hashing to the dead home and
+        // spill to the ring successor, so the router records those
+        // re-routes as failovers (planned drains, by contrast, leave
+        // the ring so their remaps are silent).
         for (auto it = live_.begin(); it != live_.end();) {
             if ((*it)->shard.allLost()) {
-                router_.removeShard((*it)->shard.id());
                 FAST_OBS_COUNT("fleet.shards_lost", 1);
                 finishShard(**it, epoch_end, /*dead=*/true,
                             /*drained=*/false);

@@ -4,6 +4,7 @@
  */
 #include "fleet/router.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace fast::fleet {
@@ -44,6 +45,13 @@ Router::route(const serve::Request &request,
     auto candidates =
         ring_.successors(request.tenant, options_.candidates);
 
+    // Cold-shard demand of this request's key profile, computed once
+    // per route; a zero normalizer (no key switches) disables the
+    // byte-level credit for this request.
+    double full_demand = options_.evk_bytes_weight > 0
+                             ? Shard::fullEvkDemandBytes(request.stream)
+                             : 0.0;
+
     // Score the admissible candidates: load minus locality credit.
     // Lower is better; the home shard (candidate 0) wins exact ties
     // through the strict `<`, keeping placement sticky.
@@ -55,8 +63,8 @@ Router::route(const serve::Request &request,
     for (std::size_t pos = 0; pos < candidates.size(); ++pos) {
         auto it = shards.find(candidates[pos]);
         if (it == shards.end())
-            throw std::logic_error(
-                "Router::route: ring shard missing from shard map");
+            continue;  // dead shard: tombstoned in the ring so its
+                       // tenants' re-routes still count as failovers
         const Shard &shard = *it->second;
         if (shard.draining() || shard.allLost())
             continue;
@@ -72,6 +80,13 @@ Router::route(const serve::Request &request,
             score -= options_.tenant_bonus;
         if (shard.workloadWarm(request.workloadKey()))
             score -= options_.plan_bonus;
+        if (full_demand > 0) {
+            double demand =
+                shard.predictedEvkDemandBytes(request.stream);
+            double resident_fraction =
+                1.0 - std::min(demand, full_demand) / full_demand;
+            score -= options_.evk_bytes_weight * resident_fraction;
+        }
         if (!best_set || score < best_score) {
             best_set = true;
             best_score = score;

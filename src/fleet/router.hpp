@@ -45,6 +45,15 @@ struct RouterOptions {
     double tenant_bonus = 0.15;
     /** Score credit for a shard with the workload's plan warm. */
     double plan_bonus = 0.10;
+    /**
+     * Weight of the byte-level evk-affinity credit. Each candidate is
+     * credited in proportion to the fraction of the request's evk
+     * bytes already resident there
+     * (`1 - predictedEvkDemandBytes / fullEvkDemandBytes`), so a
+     * shard holding most of a workload's keys beats an empty one even
+     * for a new tenant. 0 disables byte-level scoring.
+     */
+    double evk_bytes_weight = 0.15;
 };
 
 /** Where one request went, and why. */

@@ -36,7 +36,47 @@ Shard::submit(serve::Request request)
 {
     residents_.insert(request.tenant);
     warm_.insert(request.workloadKey());
+    for (const auto &op : request.stream.ops)
+        if (op.needsKeySwitch())
+            resident_keys_.emplace(op.level,
+                                   op.kind != trace::FheOpKind::hmult);
     session_.offer(std::move(request));
+}
+
+double
+Shard::predictedEvkDemandBytes(const trace::OpStream &stream) const
+{
+    // Each distinct (level, kind) needs one evk transfer; keys already
+    // resident on this shard cost nothing. Dedup within the request so
+    // repeated rotations at one level count a single fetch, matching
+    // Hemera's pool-hit behavior.
+    std::set<std::pair<std::size_t, bool>> needed;
+    for (const auto &op : stream.ops)
+        if (op.needsKeySwitch())
+            needed.emplace(op.level,
+                           op.kind != trace::FheOpKind::hmult);
+    double bytes = 0;
+    for (const auto &key : needed)
+        if (resident_keys_.count(key) == 0)
+            bytes += evk_model_.evkBytes(ckks::KeySwitchMethod::hybrid,
+                                         key.first);
+    return bytes;
+}
+
+double
+Shard::fullEvkDemandBytes(const trace::OpStream &stream)
+{
+    static const cost::KeySwitchCostModel model;
+    std::set<std::pair<std::size_t, bool>> needed;
+    for (const auto &op : stream.ops)
+        if (op.needsKeySwitch())
+            needed.emplace(op.level,
+                           op.kind != trace::FheOpKind::hmult);
+    double bytes = 0;
+    for (const auto &key : needed)
+        bytes += model.evkBytes(ckks::KeySwitchMethod::hybrid,
+                                key.first);
+    return bytes;
 }
 
 double

@@ -22,7 +22,9 @@
 #define FAST_FLEET_SHARD_HPP
 
 #include <set>
+#include <utility>
 
+#include "cost/opcount.hpp"
 #include "serve/scheduler.hpp"
 
 namespace fast::fleet {
@@ -89,6 +91,25 @@ class Shard
     {
         return warm_.count(workload) != 0;
     }
+    /** Distinct (level, is_rotation) evk entries resident here. */
+    std::size_t residentKeyCount() const
+    {
+        return resident_keys_.size();
+    }
+    /**
+     * HBM bytes of evaluation keys @p stream would fetch on this
+     * shard: the byte-weighted demand of every key-switch site whose
+     * (level, kind) entry is not yet in the shard's resident set.
+     * Zero on a shard that has executed the same key profile before —
+     * the router's evk-affinity score rewards exactly that.
+     */
+    double predictedEvkDemandBytes(const trace::OpStream &stream) const;
+    /**
+     * The cold-shard demand of @p stream (no keys resident) — the
+     * normalizer the router divides by to turn resident bytes into a
+     * [0, 1] affinity credit.
+     */
+    static double fullEvkDemandBytes(const trace::OpStream &stream);
 
     // -- Lifecycle --------------------------------------------------
 
@@ -105,6 +126,11 @@ class Shard
     serve::SchedulerSession session_;
     std::set<std::string> residents_;
     std::set<std::string> warm_;
+    /** (level, is_rotation) evk entries resident in the shard pool. */
+    std::set<std::pair<std::size_t, bool>> resident_keys_;
+    /** Byte model for scoring evk demand (default config — scoring
+     *  only needs relative magnitudes, not device-exact bytes). */
+    cost::KeySwitchCostModel evk_model_;
     bool draining_ = false;
     double drain_begun_ns_ = 0;
 };

@@ -43,6 +43,7 @@ FastConfig::oneKeySwitch()
     c.use_klss = false;
     c.use_hoisting = false;
     c.use_min_ks = false;
+    c.use_dataflow = false;  // the baseline runs the textbook pipeline
     return c;
 }
 

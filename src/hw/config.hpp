@@ -27,6 +27,19 @@ struct FastConfig {
     bool use_hoisting = true;
     bool use_klss = true;
     bool use_min_ks = true;  ///< ARK minimum key-switching keys
+    /**
+     * Seed-expanded evk transfers: the AEM EKG regenerates the `a`
+     * halves of every evaluation key from a PRNG seed, so HBM moves
+     * the `b` halves plus a seed (~2x fewer evk bytes) and the chip
+     * pays the regeneration compute ("evk-expand" kernel).
+     */
+    bool use_seed_evk = true;
+    /**
+     * Let Aether score CiFlow-style key-switch dataflow variants
+     * (reordered / fused ModUp-KeyMult-ModDown) per site alongside
+     * the hybrid/KLSS method choice.
+     */
+    bool use_dataflow = true;
     double hbm_bytes_per_s = 1e12;
     double onchip_mb = 281;
     double evk_reserve_mb = 200;  ///< key-storage reservation (Aether)

@@ -238,11 +238,18 @@ FaultInjector::slowFactor(std::size_t device, double now) const
 bool
 FaultInjector::evkTimeoutAt(std::size_t device, double now) const
 {
+    return evkTimeoutIn(device, now, now);
+}
+
+bool
+FaultInjector::evkTimeoutIn(std::size_t device, double begin_ns,
+                            double end_ns) const
+{
     for (const FaultEvent &e : plan_.events) {
         if (e.kind != FaultKind::evk_timeout ||
             !matchesDevice(e, device))
             continue;
-        if (e.at_ns <= now && now < e.endNs())
+        if (e.at_ns <= end_ns && begin_ns < e.endNs())
             return true;
     }
     return false;

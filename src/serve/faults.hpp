@@ -144,6 +144,15 @@ class FaultInjector
 
     /** Is an evk-transfer timeout window covering @p now? */
     bool evkTimeoutAt(std::size_t device, double now) const;
+    /**
+     * Does an evk-transfer timeout window intersect
+     * [@p begin_ns, @p end_ns)? The scheduler passes the interval the
+     * batch's cold execution actually moves keys over HBM, so a stall
+     * only kills attempts that are mid-fetch — a warm batch (keys
+     * resident) transfers nothing and sails through the storm.
+     */
+    bool evkTimeoutIn(std::size_t device, double begin_ns,
+                      double end_ns) const;
 
     /**
      * One-shot plan-cache fault for @p workload due at or before

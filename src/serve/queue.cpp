@@ -106,6 +106,16 @@ RequestQueue::pop()
     return out;
 }
 
+std::optional<std::string>
+RequestQueue::peekWorkload() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto index = nextIndexLocked();
+    if (index == static_cast<std::size_t>(-1))
+        return std::nullopt;
+    return queue_[index].workloadKey();
+}
+
 std::vector<Request>
 RequestQueue::popBatch(std::size_t max_batch)
 {

@@ -70,6 +70,13 @@ class RequestQueue
     std::optional<Request> pop();
 
     /**
+     * Workload key of the request the next `pop`/`popBatch` would
+     * take, without removing it — what the scheduler's evk-affinity
+     * device pick consults.
+     */
+    std::optional<std::string> peekWorkload() const;
+
+    /**
      * Batch formation: pop the next request per policy, then pull up
      * to @p max_batch - 1 further queued requests with the same
      * workload key (in arrival order, any priority class — they ride

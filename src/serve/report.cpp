@@ -61,6 +61,11 @@ describeServeStats(const ServeStats &stats)
             stats.plan_cache_hits, stats.plan_cache_misses,
             100.0 * stats.planCacheHitRate());
     appendf(out,
+            "  evk fetch: %.3f ms (%.1f%% of device busy time), "
+            "%.2f GB saved by seed expansion\n",
+            stats.evk_fetch_ns / 1e6, 100.0 * stats.evk_fetch_share,
+            stats.evk_bytes_saved / 1e9);
+    appendf(out,
             "  queueing  p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n",
             stats.queue.p50_ns / 1e6, stats.queue.p95_ns / 1e6,
             stats.queue.p99_ns / 1e6);
@@ -149,6 +154,11 @@ serveStatsJson(const ServeStats &stats, const std::string &indent)
             "\"hit_rate\": %.4f},\n",
             in1.c_str(), stats.plan_cache_hits,
             stats.plan_cache_misses, stats.planCacheHitRate());
+    appendf(out,
+            "%s\"evk\": {\"fetch_ns\": %.1f, \"evk_fetch_share\": "
+            "%.4f, \"evk_bytes_saved\": %.0f},\n",
+            in1.c_str(), stats.evk_fetch_ns, stats.evk_fetch_share,
+            stats.evk_bytes_saved);
     latencyJson(out, in1, "queue_latency", stats.queue, true);
     latencyJson(out, in1, "e2e_latency", stats.e2e, true);
 
@@ -173,11 +183,14 @@ serveStatsJson(const ServeStats &stats, const std::string &indent)
                 "\"requests\": %zu, \"busy_ns\": %.1f, "
                 "\"utilization\": %.4f, \"mod_mults\": %.0f, "
                 "\"hbm_bytes\": %.0f, \"energy_j\": %.3f, "
+                "\"evk_fetch_ns\": %.1f, \"evk_fetch_share\": %.4f, "
+                "\"evk_bytes_saved\": %.0f, "
                 "\"lost\": %s, \"top_kernels\": [",
                 in2.c_str(), dev.config_name.c_str(), dev.batches,
                 dev.requests, dev.busy_ns, dev.utilization,
                 dev.mod_mults, dev.hbm_bytes, dev.energy_j,
-                dev.lost ? "true" : "false");
+                dev.evk_fetch_ns, dev.evk_fetch_share,
+                dev.evk_bytes_saved, dev.lost ? "true" : "false");
         for (std::size_t k = 0; k < dev.top_kernels.size(); ++k)
             appendf(out, "%s{\"label\": \"%s\", \"ns\": %.1f}",
                     k == 0 ? "" : ", ",

@@ -98,6 +98,15 @@ struct SchedulerOptions {
      * work.
      */
     double shed_queue_fraction = 0.75;
+    /**
+     * Evk-affinity device pick: when the next queued workload's keys
+     * are already resident on a device that frees up within
+     * `affinity_window_ns` of the earliest one, dispatch there — the
+     * batch starts warm instead of refetching its evk set over HBM.
+     */
+    bool evk_affinity = true;
+    /** Availability slack tolerated for an affinity match. */
+    double affinity_window_ns = 5e5;
 
     /** Named-error validation of the whole option set. */
     Status validate() const;
@@ -179,6 +188,16 @@ class SchedulerOptionsBuilder
     SchedulerOptionsBuilder &shedQueueFraction(double fraction)
     {
         options_.shed_queue_fraction = fraction;
+        return *this;
+    }
+    SchedulerOptionsBuilder &evkAffinity(bool on)
+    {
+        options_.evk_affinity = on;
+        return *this;
+    }
+    SchedulerOptionsBuilder &affinityWindowNs(double ns)
+    {
+        options_.affinity_window_ns = ns;
         return *this;
     }
 

@@ -76,6 +76,12 @@ struct DeviceStats {
     double hbm_bytes = 0;
     double energy_j = 0;
     double utilization = 0;      ///< busy_ns / makespan_ns
+    /** Device time spent moving evaluation keys over HBM. */
+    double evk_fetch_ns = 0;
+    /** evk_fetch_ns / busy_ns — the key-switch transfer bottleneck. */
+    double evk_fetch_share = 0;
+    /** HBM evk bytes avoided by seed-expanded transfers. */
+    double evk_bytes_saved = 0;
     bool lost = false;           ///< permanently failed during the run
     /** Hottest kernel labels (label, simulated ns), descending. */
     std::vector<std::pair<std::string, double>> top_kernels;
@@ -110,6 +116,13 @@ struct ServeStats {
     double throughput_rps = 0;     ///< completed / simulated second
     double goodput_rps = 0;        ///< completed / simulated second over submitted horizon
     double ckks_ops_per_s = 0;     ///< trace ops / simulated second
+
+    /** Fleet-wide device time on evk HBM transfers ("evk-fetch"). */
+    double evk_fetch_ns = 0;
+    /** evk_fetch_ns over total device busy time. */
+    double evk_fetch_share = 0;
+    /** HBM evk bytes avoided by seed-expanded transfers. */
+    double evk_bytes_saved = 0;
 
     std::size_t plan_cache_hits = 0;
     std::size_t plan_cache_misses = 0;

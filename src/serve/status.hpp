@@ -1,205 +1,27 @@
 /**
  * @file
- * The one error vocabulary of the serving runtime.
+ * The serving runtime's error vocabulary — now the shared
+ * `fast::core` vocabulary re-exported under its historical names.
  *
- * Every fallible `fast::serve` API returns a `Status` (or a
- * `Result<T>` when there is a value to hand back) built from one
- * shared `StatusCode` enum: admission rejection, deadline expiry,
- * retry exhaustion, device loss, and plan failure are all points in
- * the same space, so a caller — and the stats/report layer — can
- * account for every submitted request with one switch. This replaces
- * the PR-1 ad-hoc returns (`AdmitResult`, bare `bool`s, throwing
- * constructors) across `queue.hpp`, `scheduler.hpp`,
- * `plan_cache.hpp`, and `device_pool.hpp`.
+ * `StatusCode`/`Status`/`Result<T>` moved to `core/status.hpp` so the
+ * core runtime (`Hemera::plan`, `EvkPool::lookup`) can return
+ * structured results without depending on the serving layer. Every
+ * `fast::serve` API keeps compiling unchanged against these aliases;
+ * new code can use either namespace (they are the same types).
  */
 #ifndef FAST_SERVE_STATUS_HPP
 #define FAST_SERVE_STATUS_HPP
 
-#include <cassert>
-#include <optional>
-#include <string>
-#include <type_traits>
-#include <utility>
+#include "core/status.hpp"
 
 namespace fast::serve {
 
-/**
- * Why an operation did not (fully) succeed. Admission-time rejection
- * reasons share this space with runtime fault outcomes, so one switch
- * accounts for every way a request can end.
- */
-enum class StatusCode {
-    ok = 0,
-    // Admission-time rejections.
-    queue_full,         ///< bounded queue at capacity
-    empty_stream,       ///< no operations to execute
-    deadline_expired,   ///< deadline already past at submission
-    shed,               ///< dropped by graceful degradation (low prio)
-    unavailable,        ///< no healthy device can ever serve this
-    // Runtime failures (post-admission).
-    timeout,            ///< per-request deadline passed in service
-    retries_exhausted,  ///< failed more than `max_retries` times
-    device_lost,        ///< serving device permanently failed
-    device_quarantined, ///< circuit breaker opened on the device
-    plan_failed,        ///< Aether/Hemera plan corrupt or unusable
-    // API misuse.
-    invalid_argument,   ///< builder/option validation failure
-};
+using core::Status;
+using core::StatusCode;
+using core::toString;
 
-const char *toString(StatusCode code);
-
-/**
- * Outcome of one fallible call: a code plus an optional
- * human-readable detail string (kept empty on hot paths).
- */
-class [[nodiscard]] Status
-{
-  public:
-    Status() = default;  ///< ok
-    explicit Status(StatusCode code, std::string detail = "")
-        : code_(code), detail_(std::move(detail))
-    {
-    }
-
-    static Status ok() { return Status(); }
-    static Status error(StatusCode code, std::string detail = "")
-    {
-        return Status(code, std::move(detail));
-    }
-
-    bool isOk() const { return code_ == StatusCode::ok; }
-    explicit operator bool() const { return isOk(); }
-
-    StatusCode code() const { return code_; }
-    /** Stable machine-readable name of the code. */
-    const char *reason() const { return serve::toString(code_); }
-    const std::string &detail() const { return detail_; }
-
-    /** "reason" or "reason: detail" — for logs and test failures. */
-    std::string toString() const
-    {
-        if (detail_.empty())
-            return reason();
-        return std::string(reason()) + ": " + detail_;
-    }
-
-    friend bool operator==(const Status &a, const Status &b)
-    {
-        return a.code_ == b.code_;
-    }
-    friend bool operator!=(const Status &a, const Status &b)
-    {
-        return !(a == b);
-    }
-
-  private:
-    StatusCode code_ = StatusCode::ok;
-    std::string detail_;
-};
-
-/**
- * A value or the Status explaining its absence. `ok()` results always
- * hold a value; error results never do (enforced by assert).
- */
 template <typename T>
-class [[nodiscard]] Result
-{
-  public:
-    /** Ok result wrapping @p value. */
-    Result(T value) : value_(std::move(value)) {}
-    /** Error result; @p status must not be ok. */
-    Result(Status status) : status_(std::move(status))
-    {
-        assert(!status_.isOk() && "ok Result needs a value");
-    }
-
-    bool isOk() const { return status_.isOk(); }
-    explicit operator bool() const { return isOk(); }
-
-    const Status &status() const { return status_; }
-
-    T &value() &
-    {
-        assert(isOk());
-        return *value_;
-    }
-    const T &value() const &
-    {
-        assert(isOk());
-        return *value_;
-    }
-    /** Moves the value out of an rvalue Result (move-only friendly). */
-    T &&value() &&
-    {
-        assert(isOk());
-        return *std::move(value_);
-    }
-    T valueOr(T fallback) const &
-    {
-        return isOk() ? *value_ : std::move(fallback);
-    }
-    T valueOr(T fallback) &&
-    {
-        return isOk() ? *std::move(value_) : std::move(fallback);
-    }
-
-    /**
-     * Apply @p f to the value if ok, else forward the error:
-     * `Result<U>` where `U = f(value)`. Errors skip @p f entirely.
-     */
-    template <typename F>
-    auto map(F &&f) const & -> Result<std::invoke_result_t<F, const T &>>
-    {
-        using U = std::invoke_result_t<F, const T &>;
-        if (!isOk())
-            return Result<U>(status_);
-        return Result<U>(std::forward<F>(f)(*value_));
-    }
-    template <typename F>
-    auto map(F &&f) && -> Result<std::invoke_result_t<F, T &&>>
-    {
-        using U = std::invoke_result_t<F, T &&>;
-        if (!isOk())
-            return Result<U>(std::move(status_));
-        return Result<U>(std::forward<F>(f)(*std::move(value_)));
-    }
-
-    /**
-     * Chain a fallible step: @p f must itself return a `Result`.
-     * The first error in the chain short-circuits the rest.
-     */
-    template <typename F>
-    auto andThen(F &&f) const & -> std::invoke_result_t<F, const T &>
-    {
-        using R = std::invoke_result_t<F, const T &>;
-        if (!isOk())
-            return R(status_);
-        return std::forward<F>(f)(*value_);
-    }
-    template <typename F>
-    auto andThen(F &&f) && -> std::invoke_result_t<F, T &&>
-    {
-        using R = std::invoke_result_t<F, T &&>;
-        if (!isOk())
-            return R(std::move(status_));
-        return std::forward<F>(f)(*std::move(value_));
-    }
-
-    T *operator->()
-    {
-        assert(isOk());
-        return &*value_;
-    }
-    const T *operator->() const
-    {
-        assert(isOk());
-        return &*value_;
-    }
-
-  private:
-    Status status_;
-    std::optional<T> value_;
-};
+using Result = core::Result<T>;
 
 } // namespace fast::serve
 

@@ -1,8 +1,17 @@
 /**
  * @file
  * Lowering of FHE operations to hardware kernels under a chosen
- * key-switching method and hoisting configuration — the bridge from
- * the Aether-annotated trace to the cycle simulator.
+ * key-switching variant (method x dataflow) and hoisting
+ * configuration — the bridge from the Aether-annotated trace to the
+ * cycle simulator.
+ *
+ * Dataflow variants (CiFlow-style):
+ *  - `standard`: the textbook ModUp -> KeyMult -> ModDown pipeline;
+ *  - `reordered`: ModDown's output transforms merge with the
+ *    consumer's input transforms, halving the ModDown (I)NTT volume;
+ *  - `fused`: decomposed digits stream through the KMU without
+ *    re-materializing, folding the final ModDown scale pass into the
+ *    accumulation (and always reusing input limbs across columns).
  */
 #ifndef FAST_SIM_LOWERING_HPP
 #define FAST_SIM_LOWERING_HPP
@@ -33,18 +42,33 @@ class Lowering
     const hw::FastConfig &config() const { return config_; }
 
     /**
-     * Lower a whole trace. @p decisions assigns a method/hoisting to
-     * every key-switch site (op_index of the site head).
+     * Lower a whole trace. @p decisions assigns a variant/hoisting to
+     * every key-switch site (op_index of the site head). With
+     * @p warm_evk the execution is lowered as a warm batch member
+     * (2..B of a serving batch): the batch executes element-
+     * interleaved, so every evaluation key was already fetched by the
+     * cold first execution and applied to all members while resident
+     * — warm members move no evk bytes over HBM (the paper's batching
+     * amortization), though all compute kernels are still emitted.
      */
     std::vector<LoweredOp> lower(const trace::OpStream &stream,
                                  const core::AetherConfig &decisions,
-                                 bool prefetch_enabled) const;
+                                 bool prefetch_enabled,
+                                 bool warm_evk = false) const;
 
     /**
      * Microarchitecture-level latency of one key-switch site: one
      * decomposition plus @p hoisted KeyMult/ModDown passes, each unit
      * pipelining independently (the simulator's intra-op model).
      * Used as Aether's delay estimator.
+     */
+    double keySwitchSeconds(const ckks::KeySwitchVariant &variant,
+                            std::size_t ell, std::size_t hoisted) const;
+
+    /**
+     * Deprecated method-only latency estimate, kept one release for
+     * migration: forwards to the variant overload with the standard
+     * dataflow.
      */
     double keySwitchSeconds(KeySwitchMethod method, std::size_t ell,
                             std::size_t hoisted) const;
@@ -58,17 +82,14 @@ class Lowering
                    : model_.config().degree / config_.clusters;
     }
 
-    int methodBits(KeySwitchMethod method) const
-    {
-        return method == KeySwitchMethod::klss ? 60 : 36;
-    }
-
     void emitDecompose(LoweredOp &out, KeySwitchMethod method,
                        std::size_t ell) const;
-    void emitKeyMultModDown(LoweredOp &out, KeySwitchMethod method,
+    void emitKeyMultModDown(LoweredOp &out,
+                            const ckks::KeySwitchVariant &variant,
                             std::size_t ell, bool rotation,
                             bool prefetchable, double evk_fetch_bytes,
                             bool input_reuse) const;
+    void emitEvkExpand(LoweredOp &out, double fetched_bytes) const;
     void emitElementwise(LoweredOp &out, std::size_t limbs,
                          double factor, const char *label) const;
     /** NTTU kernel plus its ten-step NoC transpose companion. */

@@ -107,10 +107,11 @@ Simulator::run(const std::vector<LoweredOp> &ops) const
 SimStats
 Simulator::run(const trace::OpStream &stream,
                const cost::KeySwitchCostModel &model,
-               const core::AetherConfig &decisions, bool prefetch) const
+               const core::AetherConfig &decisions, bool prefetch,
+               bool warm_evk) const
 {
     Lowering lowering(config_, model);
-    return run(lowering.lower(stream, decisions, prefetch));
+    return run(lowering.lower(stream, decisions, prefetch, warm_evk));
 }
 
 } // namespace fast::sim

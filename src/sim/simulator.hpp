@@ -62,11 +62,15 @@ class Simulator
 
     SimStats run(const std::vector<LoweredOp> &ops) const;
 
-    /** Convenience: lower + run under an Aether configuration. */
+    /**
+     * Convenience: lower + run under an Aether configuration. With
+     * @p warm_evk the evk cache is primed before lowering (see
+     * `Lowering::lower`), modeling steady-state re-execution.
+     */
     SimStats run(const trace::OpStream &stream,
                  const cost::KeySwitchCostModel &model,
                  const core::AetherConfig &decisions,
-                 bool prefetch = true) const;
+                 bool prefetch = true, bool warm_evk = false) const;
 
   private:
     hw::FastConfig config_;

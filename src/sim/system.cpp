@@ -21,14 +21,16 @@ FastSystem::makeAether() const
     settings.ops_per_s = config_.opsPerSecond(36);
     settings.allow_klss = config_.use_klss && config_.use_aether;
     settings.allow_hoisting = config_.use_hoisting;
+    settings.allow_dataflow = config_.use_dataflow &&
+                              config_.use_aether;
     // Aether schedules for this machine: estimate site delays with
     // the same unit models the simulator executes.
     auto lowering = std::make_shared<Lowering>(config_, model_);
-    settings.delay_estimator = [lowering](ckks::KeySwitchMethod m,
-                                          std::size_t ell,
-                                          std::size_t h) {
-        return lowering->keySwitchSeconds(m, ell, h);
-    };
+    settings.variant_delay_estimator =
+        [lowering](const ckks::KeySwitchVariant &v, std::size_t ell,
+                   std::size_t h) {
+            return lowering->keySwitchSeconds(v, ell, h);
+        };
     return core::Aether(model_, settings);
 }
 
@@ -57,12 +59,21 @@ FastSystem::execute(const trace::OpStream &stream,
     core::Hemera hemera(model_);
     if (hook)
         hemera.setTransferHook(std::move(hook));
-    hemera.plan(stream, aether);
+    core::PlanOptions plan_options;
+    plan_options.mode = config_.use_seed_evk
+                            ? core::EvkTransferMode::seed_expanded
+                            : core::EvkTransferMode::full;
+    auto plan = hemera.plan(stream, aether, plan_options);
+    if (plan)
+        result.plan = std::move(plan).value();
     result.hemera = hemera.stats();
 
     Simulator simulator(config_);
     result.stats = simulator.run(stream, model_, aether,
                                  /*prefetch=*/config_.use_aether);
+    result.warm_stats = simulator.run(stream, model_, aether,
+                                      /*prefetch=*/config_.use_aether,
+                                      /*warm_evk=*/true);
 
     EnergyModel energy(config_);
     result.energy = energy.evaluate(result.stats);

@@ -18,10 +18,18 @@ namespace fast::sim {
 /** Everything one workload execution produces. */
 struct WorkloadResult {
     std::string workload;
-    core::AetherConfig aether;     ///< per-site method decisions
+    core::AetherConfig aether;     ///< per-site variant decisions
     core::HemeraStats hemera;      ///< transfer/prefetch statistics
-    SimStats stats;                ///< cycle-level metrics
-    EnergyReport energy;           ///< power/energy/EDP
+    core::TransferPlan plan;       ///< the planned evk movements
+    SimStats stats;                ///< cycle-level metrics (cold start)
+    /**
+     * Metrics of a steady-state re-execution: the evk cache is primed
+     * with every key the workload touches, so only capacity misses
+     * still fetch. Serving batches charge the first execution on a
+     * device with `stats` and the rest with `warm_stats`.
+     */
+    SimStats warm_stats;
+    EnergyReport energy;           ///< power/energy/EDP (cold)
 };
 
 /**

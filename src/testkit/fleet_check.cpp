@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "fleet/fleet.hpp"
+#include "fleet/ring.hpp"
 #include "hw/config.hpp"
 #include "testkit/generator.hpp"
 
@@ -17,7 +18,7 @@ namespace {
 
 enum class FleetScenarioKind {
     steady,       ///< plain routing, no faults, no autoscaler
-    shard_loss,   ///< shard 0 loses every device mid-run
+    shard_loss,   ///< the high-priority home shard dies mid-run
     drain,        ///< autoscaler forced to drain down to min_shards
     scale_up,     ///< autoscaler forced to add up to max_shards
 };
@@ -175,11 +176,23 @@ checkFleet(const FleetCheckOptions &options)
                            std::string *json_out) -> bool {
             ++report.runs;
             try {
-                fleet::Fleet fleet(fleetOptions(options, scenario), mix,
+                fleet::FleetOptions fleet_options =
+                    fleetOptions(options, scenario);
+                fleet::Fleet fleet(fleet_options, mix,
                                    trafficOptions(options, scenario));
-                if (scenario.kind == FleetScenarioKind::shard_loss)
+                if (scenario.kind == FleetScenarioKind::shard_loss) {
+                    // Kill the home shard of the high-priority
+                    // tenant: the router's sticky locality scoring
+                    // keeps fuzz-a traffic there, so the loss is
+                    // observed at a dispatch regardless of how
+                    // evk affinity consolidates the rest of the load.
+                    fleet::HashRing ring(fleet_options.router.vnodes);
+                    for (std::size_t s = 0; s < scenario.shards; ++s)
+                        ring.add(s);
                     fleet.setShardFaultPlan(
-                        0, shardLossPlan(options, scenario.seed));
+                        ring.lookup("fuzz-a"),
+                        shardLossPlan(options, scenario.seed));
+                }
                 *stats_out = fleet.run();
                 *json_out = fleet::fleetStatsJson(*stats_out);
                 return true;

@@ -79,6 +79,18 @@ drawMethod(math::Prng &prng, const GeneratorOptions &options)
                : ckks::KeySwitchMethod::klss;
 }
 
+ckks::KeySwitchDataflow
+drawDataflow(math::Prng &prng, const GeneratorOptions &options)
+{
+    double u = prng.uniformReal();
+    if (u < options.standard_dataflow_fraction)
+        return ckks::KeySwitchDataflow::standard;
+    double rest = (1.0 - options.standard_dataflow_fraction) / 2.0;
+    return u < options.standard_dataflow_fraction + rest
+               ? ckks::KeySwitchDataflow::reordered
+               : ckks::KeySwitchDataflow::fused;
+}
+
 /** Room left for log2(scale) growth at @p level. */
 bool
 scaleFits(double scale, std::size_t level,
@@ -137,6 +149,7 @@ tryBuild(OpCode op, math::Prng &prng, const ckks::CkksParams &params,
         instr->a = a.id;
         instr->b = b.id;
         instr->method = drawMethod(prng, options);
+        instr->dataflow = drawDataflow(prng, options);
         *shape = {a.shape.level, scale};
         return true;
     }
@@ -147,6 +160,7 @@ tryBuild(OpCode op, math::Prng &prng, const ckks::CkksParams &params,
             return false;
         instr->a = a.id;
         instr->method = drawMethod(prng, options);
+        instr->dataflow = drawDataflow(prng, options);
         *shape = {a.shape.level, scale};
         return true;
     }
@@ -184,6 +198,7 @@ tryBuild(OpCode op, math::Prng &prng, const ckks::CkksParams &params,
         instr->a = a.id;
         instr->steps = drawSteps(prng, params.slots);
         instr->method = drawMethod(prng, options);
+        instr->dataflow = drawDataflow(prng, options);
         *shape = a.shape;
         return true;
     }
@@ -191,6 +206,7 @@ tryBuild(OpCode op, math::Prng &prng, const ckks::CkksParams &params,
         const Node &a = anyNode(prng, nodes);
         instr->a = a.id;
         instr->method = drawMethod(prng, options);
+        instr->dataflow = drawDataflow(prng, options);
         *shape = a.shape;
         return true;
     }
@@ -202,6 +218,7 @@ tryBuild(OpCode op, math::Prng &prng, const ckks::CkksParams &params,
             instr->steps2 = drawSteps(prng, params.slots);
         } while (instr->steps2 == instr->steps);
         instr->method = drawMethod(prng, options);
+        instr->dataflow = drawDataflow(prng, options);
         *shape = a.shape;
         return true;
     }
@@ -235,6 +252,11 @@ tryBuild(OpCode op, math::Prng &prng, const ckks::CkksParams &params,
     case OpCode::drop_level: {
         const Node &a = anyNode(prng, nodes);
         if (a.shape.level < 1)
+            return false;
+        // Unlike rescale, the scale survives the drop — it must
+        // still fit the smaller modulus budget one level down.
+        if (!scaleFits(a.shape.scale, a.shape.level - 1, params,
+                       options))
             return false;
         instr->a = a.id;
         *shape = {a.shape.level - 1, a.shape.scale};

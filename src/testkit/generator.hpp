@@ -33,6 +33,12 @@ struct GeneratorOptions {
     /** Probability a key-switched op picks hybrid (else KLSS). */
     double hybrid_fraction = 0.55;
     /**
+     * Probability a key-switched op keeps the standard dataflow; the
+     * remainder splits evenly between the reordered and fused
+     * variants, so a typical program exercises all three pipelines.
+     */
+    double standard_dataflow_fraction = 0.5;
+    /**
      * Headroom bits kept between log2(scale) and the level's modulus
      * budget; ops that would exceed it are rejected at draw time.
      */

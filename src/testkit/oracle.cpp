@@ -127,11 +127,22 @@ runOracle(const Program &program, DifferentialFixture &fixture,
     auto decoded = [&](const Ciphertext &ct) {
         return eval.decryptDecode(ct, sk, slots);
     };
-    auto countMethod = [&](KeySwitchMethod method) {
-        if (method == KeySwitchMethod::hybrid)
+    auto countMethod = [&](const Instr &instr) {
+        if (instr.method == KeySwitchMethod::hybrid)
             ++report.hybrid_switches;
         else
             ++report.klss_switches;
+        switch (instr.dataflow) {
+        case ckks::KeySwitchDataflow::standard:
+            ++report.standard_dataflows;
+            break;
+        case ckks::KeySwitchDataflow::reordered:
+            ++report.reordered_dataflows;
+            break;
+        case ckks::KeySwitchDataflow::fused:
+            ++report.fused_dataflows;
+            break;
+        }
     };
 
     for (std::size_t i = 0;
@@ -176,14 +187,14 @@ runOracle(const Program &program, DifferentialFixture &fixture,
                                     opt_vals.at(instr.b), key);
                 rfc = ref.multiply(ref_vals.at(instr.a),
                                    ref_vals.at(instr.b), key);
-                countMethod(instr.method);
+                countMethod(instr);
                 break;
             }
             case OpCode::square: {
                 const EvalKey &key = fixture.relinKey(instr.method);
                 opt = eval.square(opt_vals.at(instr.a), key);
                 rfc = ref.square(ref_vals.at(instr.a), key);
-                countMethod(instr.method);
+                countMethod(instr);
                 break;
             }
             case OpCode::multiply_plain: {
@@ -215,7 +226,7 @@ runOracle(const Program &program, DifferentialFixture &fixture,
                                   key);
                 rfc = ref.rotate(ref_vals.at(instr.a), instr.steps,
                                  key);
-                countMethod(instr.method);
+                countMethod(instr);
                 break;
             }
             case OpCode::conjugate: {
@@ -223,7 +234,7 @@ runOracle(const Program &program, DifferentialFixture &fixture,
                     fixture.conjugationKey(instr.method);
                 opt = eval.conjugate(opt_vals.at(instr.a), key);
                 rfc = ref.conjugate(ref_vals.at(instr.a), key);
-                countMethod(instr.method);
+                countMethod(instr);
                 break;
             }
             case OpCode::hoisted_pair: {
@@ -239,7 +250,7 @@ runOracle(const Program &program, DifferentialFixture &fixture,
                                       instr.steps, key_a,
                                       instr.steps2, key_b,
                                       instr.method);
-                countMethod(instr.method);
+                countMethod(instr);
                 ++report.hoisted_groups;
                 break;
             }

@@ -100,6 +100,14 @@ struct OracleReport {
     std::size_t hybrid_switches = 0;
     std::size_t klss_switches = 0;
     std::size_t hoisted_groups = 0;
+    /** @name Dataflow coverage (the sim-side lowering variants the
+     *  program's key switches are annotated with — the oracle checks
+     *  all three compute the same ciphertext). */
+    ///@{
+    std::size_t standard_dataflows = 0;
+    std::size_t reordered_dataflows = 0;
+    std::size_t fused_dataflows = 0;
+    ///@}
 
     bool ok() const { return !failure.has_value(); }
 };

@@ -223,8 +223,12 @@ toString(const Instr &instr)
     default:
         break;
     }
-    if (usesKeySwitch(instr.op))
-        os << " [" << ckks::toString(instr.method) << "]";
+    if (usesKeySwitch(instr.op)) {
+        os << " [" << ckks::toString(instr.method);
+        if (instr.dataflow != ckks::KeySwitchDataflow::standard)
+            os << "/" << ckks::toString(instr.dataflow);
+        os << "]";
+    }
     return os.str();
 }
 

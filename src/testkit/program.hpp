@@ -65,8 +65,21 @@ struct Instr {
     int steps = 0;       ///< rotation amount (rotate / hoisted_pair)
     int steps2 = 0;      ///< second rotation of a hoisted pair
     ckks::KeySwitchMethod method = ckks::KeySwitchMethod::hybrid;
+    /**
+     * Dataflow the key switch is lowered with. Functionally invisible
+     * (all three dataflows compute the same ciphertext — the oracle
+     * enforces it); it steers the sim-side lowering so fuzzed programs
+     * exercise every reordered/fused pipeline variant.
+     */
+    ckks::KeySwitchDataflow dataflow = ckks::KeySwitchDataflow::standard;
     double value = 0.0;      ///< constant for multiply_const
     std::size_t power = 0;   ///< monomial exponent for mono_mult
+
+    /** The full key-switch descriptor (`method` x `dataflow`). */
+    ckks::KeySwitchVariant variant() const
+    {
+        return ckks::KeySwitchVariant::of(method, dataflow);
+    }
 };
 
 /**

@@ -139,7 +139,7 @@ checkScheduler(const ModelCheckOptions &options)
             try {
                 auto pool_result =
                     serve::DevicePool::Builder()
-                        .add(hw::FastConfig::fast(), scenario.devices)
+                        .add(options.device, scenario.devices)
                         .build();
                 if (!pool_result.isOk()) {
                     fail(scenario, "setup",

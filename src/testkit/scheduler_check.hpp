@@ -27,12 +27,17 @@
 #include <string>
 #include <vector>
 
+#include "hw/config.hpp"
 #include "testkit/generator.hpp"
 
 namespace fast::testkit {
 
 /** Bounds of the scenario enumeration. */
 struct ModelCheckOptions {
+    /** Device config of every pool in the sweep (nightly CI also runs
+     *  the sweep with `use_seed_evk` forced on/off to pin both evk
+     *  transfer paths). */
+    hw::FastConfig device = hw::FastConfig::fast();
     /** Requests per scenario run. */
     std::size_t requests = 12;
     /** Pool sizes to sweep. */

@@ -146,6 +146,45 @@ TEST(AetherConfig, SerializationRoundTrip)
                  std::invalid_argument);
 }
 
+TEST(AetherConfig, V2CarriesTheDataflowColumn)
+{
+    auto config = makeAether().run(trace::bootstrapTrace());
+    std::string text = config.serialize();
+    EXPECT_EQ(text.rfind("aether-config v2", 0), 0u);
+    auto back = AetherConfig::deserialize(text);
+    ASSERT_EQ(back.decisions.size(), config.decisions.size());
+    bool non_standard = false;
+    for (std::size_t i = 0; i < config.decisions.size(); ++i) {
+        EXPECT_EQ(back.decisions[i].dataflow,
+                  config.decisions[i].dataflow);
+        non_standard = non_standard ||
+                       config.decisions[i].dataflow !=
+                           ckks::KeySwitchDataflow::standard;
+    }
+    // The MCT should pick a reordered/fused lowering somewhere in a
+    // bootstrap trace, so the column is exercised, not vestigial.
+    EXPECT_TRUE(non_standard);
+}
+
+TEST(AetherConfig, V1FilesStillDeserialize)
+{
+    // Pre-dataflow config files (one release back) parse with every
+    // site on the standard dataflow.
+    std::string v1 =
+        "aether-config v1\n"
+        "0 0 12 H 1\n"
+        "3 1 11 K 4\n";
+    auto config = AetherConfig::deserialize(v1);
+    ASSERT_EQ(config.decisions.size(), 2u);
+    EXPECT_EQ(config.decisions[0].method, KeySwitchMethod::hybrid);
+    EXPECT_EQ(config.decisions[0].dataflow,
+              ckks::KeySwitchDataflow::standard);
+    EXPECT_EQ(config.decisions[1].method, KeySwitchMethod::klss);
+    EXPECT_EQ(config.decisions[1].hoist, 4u);
+    EXPECT_EQ(config.decisions[1].dataflow,
+              ckks::KeySwitchDataflow::standard);
+}
+
 TEST(AetherConfig, FileSizeIsAboutOneKilobyte)
 {
     // The paper reports ~1 KB configuration files.

@@ -110,5 +110,85 @@ TEST_F(HemeraTest, HoistedSitesMoveAllGroupKeys)
     EXPECT_TRUE(found_group);
 }
 
+TEST(EvkPool, VariantLookupReportsMissingLevels)
+{
+    EvkPool pool{cost::KeySwitchCostModel()};
+    pool.populate(5);
+    auto variant = ckks::KeySwitchVariant::of(
+        KeySwitchMethod::hybrid, ckks::KeySwitchDataflow::reordered);
+    auto hit = pool.lookup(3, variant, false);
+    ASSERT_TRUE(hit.isOk());
+    EXPECT_EQ(hit.value().level, 3u);
+    EXPECT_EQ(hit.value().method, KeySwitchMethod::hybrid);
+    // Unpopulated level: a Status, not an exception.
+    auto miss = pool.lookup(30, variant, false);
+    ASSERT_FALSE(miss.isOk());
+    EXPECT_EQ(miss.status().code(), StatusCode::not_found);
+}
+
+TEST(EvkPool, DataflowVariantsShareOneKey)
+{
+    // Dataflow is a lowering choice, not a key format: every
+    // dataflow of a registered method resolves to the same entry.
+    EvkPool pool{cost::KeySwitchCostModel()};
+    pool.populate(5);
+    const ckks::KeySwitchDataflow flows[] = {
+        ckks::KeySwitchDataflow::standard,
+        ckks::KeySwitchDataflow::reordered,
+        ckks::KeySwitchDataflow::fused,
+    };
+    std::uint64_t address = 0;
+    for (auto flow : flows) {
+        auto hit = pool.lookup(
+            4, ckks::KeySwitchVariant::of(KeySwitchMethod::klss, flow),
+            true);
+        ASSERT_TRUE(hit.isOk());
+        if (flow == ckks::KeySwitchDataflow::standard)
+            address = hit.value().hbm_address;
+        EXPECT_EQ(hit.value().hbm_address, address);
+    }
+}
+
+TEST_F(HemeraTest, EmptyStreamFailsToPlan)
+{
+    Hemera hemera{cost::KeySwitchCostModel()};
+    auto plan = hemera.plan(trace::OpStream{}, config_, PlanOptions{});
+    ASSERT_FALSE(plan.isOk());
+    EXPECT_EQ(plan.status().code(), StatusCode::empty_stream);
+}
+
+TEST_F(HemeraTest, SeedExpansionHalvesTheHbmBytes)
+{
+    Hemera full_planner{cost::KeySwitchCostModel()};
+    PlanOptions full_options;
+    auto full = full_planner.plan(stream_, config_, full_options);
+    ASSERT_TRUE(full.isOk());
+
+    Hemera seed_planner{cost::KeySwitchCostModel()};
+    PlanOptions seed_options;
+    seed_options.mode = EvkTransferMode::seed_expanded;
+    auto seeded = seed_planner.plan(stream_, config_, seed_options);
+    ASSERT_TRUE(seeded.isOk());
+
+    // Round-trip accounting: planned + saved must reproduce the
+    // full-mode plan byte for byte, the seed payload is charged per
+    // key, and the EKG regeneration time is charged (never free).
+    ASSERT_EQ(seeded.value().transfers.size(),
+              full.value().transfers.size());
+    EXPECT_GT(seeded.value().bytes_saved, 0);
+    EXPECT_GT(seeded.value().seed_bytes, 0);
+    EXPECT_NEAR(seeded.value().total_bytes + seeded.value().bytes_saved,
+                full.value().total_bytes, 1.0);
+    EXPECT_GT(seeded.value().expand_ns, 0);
+    for (std::size_t i = 0; i < seeded.value().transfers.size(); ++i) {
+        const auto &t = seeded.value().transfers[i];
+        EXPECT_EQ(t.mode, EvkTransferMode::seed_expanded);
+        EXPECT_NEAR(t.full_bytes,
+                    full.value().transfers[i].bytes, 1.0);
+        EXPECT_LT(t.bytes, t.full_bytes);
+        EXPECT_GT(t.seed_bytes, 0);
+    }
+}
+
 } // namespace
 } // namespace fast::core

@@ -371,6 +371,67 @@ TEST(Scheduler, DeterministicAcrossRuns)
     EXPECT_EQ(describeServeStats(first), describeServeStats(second));
 }
 
+TEST(Scheduler, EvkAffinityReplayIsByteIdentical)
+{
+    // The affinity pick is a planning-thread decision over simulated
+    // time, so it must not perturb the reproducibility contract.
+    auto mix = std::vector<fleet::WorkloadSpec>{
+        {"alice", Priority::high, miniTrace("A", 4), 1.0},
+        {"bob", Priority::normal, miniTrace("B", 6), 2.0},
+        {"carol", Priority::normal, miniTrace("C", 5), 1.0},
+    };
+    auto run = [&] {
+        auto arrivals = fleet::TrafficGen::openLoop(mix, 36, 150.0, 7);
+        auto pool = makePool(2);
+        auto options = SchedulerOptions::builder()
+                           .policy(QueuePolicy::priority)
+                           .maxQueueDepth(12)
+                           .maxBatch(4)
+                           .evkAffinity(true)
+                           .affinityWindowNs(5e5)
+                           .build()
+                           .value();
+        Scheduler scheduler(pool, options);
+        return scheduler.run(arrivals);
+    };
+    auto first = run();
+    auto second = run();
+    EXPECT_EQ(serveStatsJson(first), serveStatsJson(second));
+    // The evk accounting the report promises is populated.
+    EXPECT_GT(first.evk_fetch_ns, 0);
+    EXPECT_GT(first.evk_fetch_share, 0);
+    EXPECT_LT(first.evk_fetch_share, 1);
+    for (const auto &dev : first.devices)
+        if (dev.requests > 0)
+            EXPECT_GT(dev.evk_fetch_ns, 0);
+}
+
+TEST(Scheduler, EvkAffinityDoesNotIncreaseEvkFetch)
+{
+    // Steering a batch to the device where its workload's keys are
+    // already resident can only avoid cold fetches, never add them.
+    auto mix = std::vector<fleet::WorkloadSpec>{
+        {"t1", Priority::normal, miniTrace("A", 4), 1.0},
+        {"t2", Priority::normal, miniTrace("B", 6), 1.0},
+    };
+    auto run = [&](bool affinity) {
+        auto arrivals = fleet::TrafficGen::openLoop(mix, 32, 120.0, 19);
+        auto pool = makePool(2);
+        auto options = SchedulerOptions::builder()
+                           .evkAffinity(affinity)
+                           .build()
+                           .value();
+        Scheduler scheduler(pool, options);
+        return scheduler.run(arrivals);
+    };
+    auto on = run(true);
+    auto off = run(false);
+    ASSERT_EQ(on.completed, 32u);
+    ASSERT_EQ(off.completed, 32u);
+    EXPECT_GT(off.evk_fetch_ns, 0);
+    EXPECT_LE(on.evk_fetch_ns, off.evk_fetch_ns);
+}
+
 TEST(Scheduler, HeterogeneousPoolRecordsPerDeviceConfigs)
 {
     auto pool = DevicePool::builder()

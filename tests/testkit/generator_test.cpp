@@ -110,5 +110,40 @@ TEST_F(GeneratorTest, IllTypedProgramsAreRejected)
                  std::invalid_argument);
 }
 
+TEST_F(GeneratorTest, SeedsCoverEveryDataflowVariant)
+{
+    std::set<ckks::KeySwitchDataflow> flows;
+    for (std::uint64_t seed = 1; seed <= 100; ++seed)
+        for (const Instr &instr :
+             generateProgram(params_, seed).instrs)
+            if (usesKeySwitch(instr.op))
+                flows.insert(instr.dataflow);
+    EXPECT_EQ(flows.size(), 3u);
+}
+
+TEST_F(GeneratorTest, DataflowFractionIsRespected)
+{
+    // All-standard programs when the fraction pins the draw.
+    GeneratorOptions all_standard;
+    all_standard.standard_dataflow_fraction = 1.0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed)
+        for (const Instr &instr :
+             generateProgram(params_, seed, all_standard).instrs)
+            EXPECT_EQ(instr.dataflow,
+                      ckks::KeySwitchDataflow::standard);
+}
+
+TEST_F(GeneratorTest, DroppedLevelsRespectTheModulusBudget)
+{
+    // Regression: drop_level keeps the scale while shrinking the
+    // modulus chain, so the generator must refuse drops whose scale
+    // no longer fits one level down (seed 203 used to emit one).
+    for (std::uint64_t seed = 200; seed <= 260; ++seed) {
+        Program program = generateProgram(params_, seed);
+        EXPECT_NO_THROW(inferShapes(program, params_))
+            << "seed " << seed;
+    }
+}
+
 } // namespace
 } // namespace fast::testkit
