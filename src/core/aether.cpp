@@ -148,13 +148,6 @@ Aether::makeCandidate(const ckks::KeySwitchVariant &variant,
                 ? settings_.variant_delay_estimator(variant, ell, hoist)
                 : static_cast<double>(site_rotations) *
                       settings_.variant_delay_estimator(variant, ell, 1);
-    } else if (settings_.delay_estimator) {
-        // Deprecated method-only estimator: dataflow-blind, kept one
-        // release so existing callers keep compiling.
-        c.delay_s = hoist > 1
-                        ? settings_.delay_estimator(method, ell, hoist)
-                        : static_cast<double>(site_rotations) *
-                              settings_.delay_estimator(method, ell, 1);
     } else {
         c.delay_s = c.cost_ops / settings_.ops_per_s;
     }
@@ -248,11 +241,21 @@ Aether::keyUseSites(const std::vector<MctEntry> &mct)
 AetherConfig
 Aether::select(const std::vector<MctEntry> &mct) const
 {
+    return select(mct, ObservedCosts{});
+}
+
+AetherConfig
+Aether::select(const std::vector<MctEntry> &mct,
+               const ObservedCosts &observed) const
+{
     FAST_OBS_SPAN_VAR(span, "aether.select");
     FAST_OBS_SPAN_ARG(span, "entries",
                       static_cast<std::uint64_t>(mct.size()));
     AetherConfig config;
     auto use_sites = keyUseSites(mct);
+    double tie_tol = observed.tie_tolerance < 0
+                         ? settings_.tie_tolerance
+                         : observed.tie_tolerance;
     // STEP-2 bandwidth budget: the HBM channel can hide transfers as
     // long as cumulative evk traffic stays under a multiple of the
     // cumulative key-switch execution time (element-wise operations
@@ -305,10 +308,16 @@ Aether::select(const std::vector<MctEntry> &mct) const
     for (const auto &entry : mct) {
         std::vector<MctCandidate> alive;
 
-        // STEP-1: reserved key-storage capacity.
-        for (const auto &c : entry.candidates)
+        // STEP-1: reserved key-storage capacity (plus any observed
+        // method veto — a serving session that keeps missing on KLSS
+        // keys asks for hybrid-only re-selection).
+        for (const auto &c : entry.candidates) {
+            if (!observed.allow_klss &&
+                c.method == KeySwitchMethod::klss)
+                continue;
             if (c.key_bytes <= settings_.key_capacity_bytes)
                 alive.push_back(c);
+        }
         if (alive.empty())
             alive = {entry.candidates.front()};  // degenerate fallback
 
@@ -335,15 +344,29 @@ Aether::select(const std::vector<MctEntry> &mct) const
             double window_set =
                 static_cast<double>(distinctKeysInWindow(entry_index)) *
                 per_key;
-            if (window_set > settings_.key_capacity_bytes)
-                return c.transfer_s;
+            // Observed re-scoring: both branches guard on the exact
+            // default so the offline path stays byte-identical (the
+            // (p - 1) * s + 1 identity is not exact in floating
+            // point).
+            if (window_set > settings_.key_capacity_bytes) {
+                double t = c.transfer_s;
+                if (observed.transfer_weight != 1.0)
+                    t *= observed.transfer_weight;
+                return t;
+            }
             double total_uses = 0;
             for (int id : entry.key_ids)
                 total_uses += static_cast<double>(
                     localUses(id, entry_index));
             double per_site =
                 total_uses / static_cast<double>(entry.key_ids.size());
-            return c.transfer_s / std::max(1.0, per_site);
+            if (observed.reuse_scale != 1.0)
+                per_site = 1.0 + (per_site - 1.0) *
+                                     observed.reuse_scale;
+            double t = c.transfer_s / std::max(1.0, per_site);
+            if (observed.transfer_weight != 1.0)
+                t *= observed.transfer_weight;
+            return t;
         };
 
         // STEP-2: keep candidates whose evk transfer can hide behind
@@ -374,9 +397,9 @@ Aether::select(const std::vector<MctEntry> &mct) const
         const MctCandidate *best = &alive.front();
         for (const auto &c : alive) {
             double b = effective(*best), t = effective(c);
-            if (t < b * (1.0 - settings_.tie_tolerance)) {
+            if (t < b * (1.0 - tie_tol)) {
                 best = &c;
-            } else if (t <= b * (1.0 + settings_.tie_tolerance) &&
+            } else if (t <= b * (1.0 + tie_tol) &&
                        c.key_bytes < best->key_bytes) {
                 best = &c;
             }

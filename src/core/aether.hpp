@@ -102,6 +102,31 @@ struct AetherConfig {
 };
 
 /**
+ * Observed-signal re-scoring knobs for one `select()` pass (PR 9).
+ *
+ * Every default reproduces the offline selection bit for bit — the
+ * scaling terms are applied only when a field actually deviates from
+ * its default, so an `ObservedCosts{}` pass is byte-identical to the
+ * plain `select(mct)`. The online planner (`core::PlannerSession`)
+ * biases these with signals measured from a live serving session:
+ * a low observed evk hit rate shrinks `reuse_scale` (modeled key
+ * reuse did not materialize), a cold-dominated window raises
+ * `transfer_weight` (transfers are on the critical path), and a
+ * latency-sensitive window zeroes `tie_tolerance` (no charity toward
+ * smaller keys).
+ */
+struct ObservedCosts {
+    /** Scales the amortized evk transfer cost (1.0 = modeled). */
+    double transfer_weight = 1.0;
+    /** Scales modeled key reuse toward none (0.0 = every fetch cold). */
+    double reuse_scale = 1.0;
+    /** STEP-3 tie tolerance override; negative keeps Settings'. */
+    double tie_tolerance = -1.0;
+    /** Drop KLSS candidates before STEP-1 when false. */
+    bool allow_klss = true;
+};
+
+/**
  * The offline analyzer.
  */
 class Aether
@@ -138,13 +163,6 @@ class Aether
         std::function<double(const ckks::KeySwitchVariant &,
                              std::size_t, std::size_t)>
             variant_delay_estimator;
-        /**
-         * Deprecated method-only estimator, kept one release for
-         * PR 4/5-style migration; ignored when
-         * `variant_delay_estimator` is set.
-         */
-        std::function<double(KeySwitchMethod, std::size_t,
-                             std::size_t)> delay_estimator;
     };
 
     Aether(cost::KeySwitchCostModel model, Settings settings);
@@ -154,8 +172,16 @@ class Aether
     /** Analysis workflow: build the MCT from an operation flow. */
     std::vector<MctEntry> analyze(const trace::OpStream &stream) const;
 
-    /** Three-step selection over an MCT. */
+    /** Three-step selection over an MCT (modeled costs). */
     AetherConfig select(const std::vector<MctEntry> &mct) const;
+
+    /**
+     * Three-step selection with the modeled costs re-scored against
+     * observed signals. `ObservedCosts{}` is byte-identical to the
+     * plain overload.
+     */
+    AetherConfig select(const std::vector<MctEntry> &mct,
+                        const ObservedCosts &observed) const;
 
     /**
      * For each MCT index and key id, the number of uses of that key

@@ -63,14 +63,6 @@ class EvkPool
                                 const ckks::KeySwitchVariant &variant,
                                 bool is_rotation) const;
 
-    /**
-     * Deprecated throwing lookup, kept one release for migration:
-     * prefer the `KeySwitchVariant` overload, which reports missing
-     * keys through `Result` instead of `std::out_of_range`.
-     */
-    const EvkPoolEntry &lookup(std::size_t level, KeySwitchMethod method,
-                               bool is_rotation) const;
-
     std::size_t size() const { return entries_.size(); }
     double totalBytes() const { return total_bytes_; }
 
@@ -204,20 +196,15 @@ class Hemera
                               const AetherConfig &config,
                               const PlanOptions &options);
 
-    /**
-     * Deprecated full-mode planner, kept one release for migration:
-     * prefer the `PlanOptions` overload, which reports structured
-     * totals and the seed-expanded mode through `Result<TransferPlan>`.
-     * Returns an empty vector when the new surface reports an error.
-     */
-    std::vector<EvkTransfer> plan(const trace::OpStream &stream,
-                                  const AetherConfig &config);
-
     const HemeraStats &stats() const { return stats_; }
     const EvkPool &pool() const { return pool_; }
 
-  private:
-    /** History Recorder: predicts the next (method, hoist) per level. */
+    /**
+     * History Recorder: predicts the next (method, hoist) per level
+     * from a bounded per-level history. Public since PR 9 so the
+     * online planner (and tests) can inspect the prediction state a
+     * serving session accumulates.
+     */
     struct HistoryRecorder {
         std::size_t depth;
         std::map<std::size_t,
@@ -230,6 +217,20 @@ class Hemera
         predict(std::size_t level) const;
     };
 
+    /**
+     * Exported hit-rate snapshot of the recorder + the last planning
+     * pass — the evk-locality signal `core::PlannerSession` ingests.
+     */
+    struct HistorySnapshot {
+        std::size_t levels = 0;   ///< levels with recorded history
+        std::size_t records = 0;  ///< entries across all levels
+        double hit_rate = 0;      ///< prefetch hit rate of the last plan
+    };
+    HistorySnapshot historySnapshot() const;
+
+    const HistoryRecorder &history() const { return history_; }
+
+  private:
     cost::KeySwitchCostModel model_;
     EvkPool pool_;
     HistoryRecorder history_;

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Implementation of the online planning session.
+ */
+#include "core/planner_session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace fast::core {
+
+namespace {
+
+/** Signal movement that forces the delay-lean candidates to
+ *  regenerate (smaller drifts re-measure the existing set). */
+constexpr double kRegenerateThreshold = 0.1;
+
+} // namespace
+
+const char *
+toString(PlannerMode mode)
+{
+    switch (mode) {
+      case PlannerMode::off: return "off";
+      case PlannerMode::offline: return "offline";
+      case PlannerMode::online: return "online";
+    }
+    return "unknown";
+}
+
+Status
+PlannerOptions::validate() const
+{
+    if (window_ns <= 0)
+        return Status::error(StatusCode::invalid_argument,
+                             "planner: window_ns must be positive");
+    if (ema_alpha <= 0 || ema_alpha > 1)
+        return Status::error(StatusCode::invalid_argument,
+                             "planner: ema_alpha must be in (0, 1]");
+    if (hysteresis < 0)
+        return Status::error(StatusCode::invalid_argument,
+                             "planner: hysteresis must be >= 0");
+    if (replan_charge_ns < 0)
+        return Status::error(StatusCode::invalid_argument,
+                             "planner: replan_charge_ns must be >= 0");
+    return Status::ok();
+}
+
+PlannerSession::PlannerSession(Aether aether, PlannerOptions options)
+    : aether_(std::move(aether)), options_(options)
+{
+}
+
+PlannerSession::WorkloadState &
+PlannerSession::stateFor(const trace::OpStream &stream)
+{
+    auto it = workloads_.find(stream.name);
+    if (it != workloads_.end())
+        return it->second;
+
+    // First sight of this workload: build its MCT once and start on
+    // the offline selection — exactly what a static deployment would
+    // serve.
+    WorkloadState &state = workloads_[stream.name];
+    state.mct = aether_.analyze(stream);
+    state.current = internConfig(state, aether_.select(state.mct));
+    return state;
+}
+
+const AetherConfig *
+PlannerSession::internConfig(WorkloadState &state, AetherConfig config)
+{
+    std::string key = config.serialize();
+    auto it = state.candidate_keys.find(key);
+    if (it != state.candidate_keys.end())
+        return it->second;
+    state.candidates.push_back(std::move(config));
+    const AetherConfig *interned = &state.candidates.back();
+    state.candidate_keys.emplace(std::move(key), interned);
+    return interned;
+}
+
+void
+PlannerSession::generateCandidates(WorkloadState &state)
+{
+    // The churn pessimist assumes no modeled key reuse materializes —
+    // a serving mix that interleaves workloads evicts keys before
+    // their next use. Signal-independent, so generated once.
+    ObservedCosts churn;
+    churn.reuse_scale = 0.0;
+    internConfig(state, aether_.select(state.mct, churn));
+
+    // The delay-lean pair re-scores transfers against what the
+    // session actually observed: cold fraction weights the transfer
+    // term (warm batch members move no evk bytes), the Hemera hit
+    // rate stands in for realized reuse, and ties stop favoring
+    // smaller keys. Regenerated only when the signals move.
+    if (state.gen_cold_fraction >= 0 &&
+        std::abs(state.ema_cold_fraction - state.gen_cold_fraction) <=
+            kRegenerateThreshold &&
+        std::abs(state.ema_evk_hit_rate - state.gen_evk_hit_rate) <=
+            kRegenerateThreshold)
+        return;
+    ObservedCosts lean;
+    lean.transfer_weight = state.ema_cold_fraction;
+    lean.reuse_scale = state.ema_evk_hit_rate;
+    lean.tie_tolerance = 0.0;
+    internConfig(state, aether_.select(state.mct, lean));
+    lean.allow_klss = false;
+    internConfig(state, aether_.select(state.mct, lean));
+    state.gen_cold_fraction = state.ema_cold_fraction;
+    state.gen_evk_hit_rate = state.ema_evk_hit_rate;
+}
+
+std::size_t
+PlannerSession::measureCandidates(WorkloadState &state,
+                                  const MeasureFn &measure)
+{
+    std::size_t priced = 0;
+    if (!measure)
+        return priced;
+    for (const AetherConfig &candidate : state.candidates) {
+        if (state.measured.count(&candidate))
+            continue;
+        ++measurements_;
+        FAST_OBS_COUNT("planner.measurements", 1);
+        if (auto cost = measure(candidate)) {
+            state.measured.emplace(&candidate, *cost);
+            ++priced;
+        }
+    }
+    return priced;
+}
+
+const AetherConfig *
+PlannerSession::retune(WorkloadState &state, const MeasureFn &measure)
+{
+    generateCandidates(state);
+    measureCandidates(state, measure);
+
+    auto incumbent = state.measured.find(state.current);
+    if (incumbent == state.measured.end())
+        return nullptr;  // no basis for comparison this round
+
+    // Price every measured candidate under the observed cold/warm
+    // mix. The incumbent competes too, so a static config that is
+    // genuinely best simply keeps winning.
+    double f = state.ema_cold_fraction;
+    auto score = [f](const CandidateCost &c) {
+        return f * c.cold_ns + (1.0 - f) * c.warm_ns;
+    };
+    // Iterate in candidate (generation) order, never in measured-map
+    // order: the map is keyed by pointer, and address order is not a
+    // replay-stable tie break. Strict `<` keeps the earliest
+    // generated candidate on ties.
+    const AetherConfig *best = state.current;
+    double best_score = score(incumbent->second);
+    for (const AetherConfig &candidate : state.candidates) {
+        auto it = state.measured.find(&candidate);
+        if (it == state.measured.end())
+            continue;
+        double s = score(it->second);
+        if (s < best_score) {
+            best = &candidate;
+            best_score = s;
+        }
+    }
+    if (best == state.current)
+        return nullptr;
+    // Hysteresis: a challenger must beat the incumbent by a clear
+    // margin or the session flaps between near-equals.
+    if (best_score >= score(incumbent->second) *
+                          (1.0 - options_.hysteresis))
+        return nullptr;
+
+    const AetherConfig *superseded = state.current;
+    state.current = best;
+    ++state.epoch;
+    ++state.replans;
+    ++replans_;
+    FAST_OBS_COUNT("planner.replans", 1);
+    FAST_OBS_GAUGE_SET("planner.epoch",
+                       static_cast<std::int64_t>(state.epoch));
+    return superseded;
+}
+
+PlannerSession::PlanRef
+PlannerSession::planFor(const trace::OpStream &stream, double now_ns,
+                        const MeasureFn &measure)
+{
+    (void)now_ns;  // windows close in observeBatch; kept for symmetry
+    FAST_OBS_SPAN_VAR(span, "planner.plan_for");
+    WorkloadState &state = stateFor(stream);
+
+    PlanRef ref;
+    if (options_.mode == PlannerMode::online && state.retune_pending &&
+        state.replans < options_.max_replans) {
+        state.retune_pending = false;
+        if (const AetherConfig *superseded = retune(state, measure)) {
+            ref.superseded = superseded;
+            ref.charge_ns = options_.replan_charge_ns;
+            charged_ns_ += options_.replan_charge_ns;
+        }
+    }
+    ref.config = state.current;
+    ref.epoch = state.epoch;
+    return ref;
+}
+
+void
+PlannerSession::observeBatch(const std::string &workload, double now_ns,
+                             std::size_t requests,
+                             std::size_t cold_requests,
+                             std::size_t queue_depth,
+                             double evk_hit_rate)
+{
+    if (!observing())
+        return;
+    auto it = workloads_.find(workload);
+    if (it == workloads_.end())
+        return;  // never planned: nothing to retune
+    WorkloadState &state = it->second;
+
+    if (state.window_start_ns < 0)
+        state.window_start_ns = now_ns;
+    state.window_requests += requests;
+    state.window_cold += cold_requests;
+    state.window_queue_peak =
+        std::max(state.window_queue_peak, queue_depth);
+    state.window_hit_rate_sum += evk_hit_rate;
+    ++state.window_batches;
+
+    if (now_ns - state.window_start_ns < options_.window_ns ||
+        state.window_requests < options_.min_window_requests)
+        return;
+
+    // Close the window: fold its signals into the EMAs and arm a
+    // retune for the workload's next dispatch.
+    double cold_fraction =
+        static_cast<double>(state.window_cold) /
+        static_cast<double>(state.window_requests);
+    double hit_rate =
+        state.window_hit_rate_sum /
+        static_cast<double>(std::max<std::size_t>(1,
+                                                  state.window_batches));
+    if (!state.ema_valid) {
+        state.ema_cold_fraction = cold_fraction;
+        state.ema_evk_hit_rate = hit_rate;
+        state.ema_valid = true;
+    } else {
+        state.ema_cold_fraction =
+            options_.ema_alpha * cold_fraction +
+            (1.0 - options_.ema_alpha) * state.ema_cold_fraction;
+        state.ema_evk_hit_rate =
+            options_.ema_alpha * hit_rate +
+            (1.0 - options_.ema_alpha) * state.ema_evk_hit_rate;
+    }
+    last_cold_fraction_ = state.ema_cold_fraction;
+    last_evk_hit_rate_ = state.ema_evk_hit_rate;
+    ++windows_;
+    FAST_OBS_COUNT("planner.windows", 1);
+    state.retune_pending = true;
+
+    state.window_start_ns = now_ns;
+    state.window_requests = 0;
+    state.window_cold = 0;
+    state.window_queue_peak = 0;
+    state.window_hit_rate_sum = 0;
+    state.window_batches = 0;
+}
+
+std::size_t
+PlannerSession::epochOf(const std::string &workload) const
+{
+    auto it = workloads_.find(workload);
+    return it == workloads_.end() ? 0 : it->second.epoch;
+}
+
+const AetherConfig *
+PlannerSession::currentConfigOf(const std::string &workload) const
+{
+    auto it = workloads_.find(workload);
+    return it == workloads_.end() ? nullptr : it->second.current;
+}
+
+PlannerStats
+PlannerSession::stats() const
+{
+    PlannerStats s;
+    s.mode = options_.mode;
+    s.workloads = workloads_.size();
+    s.windows = windows_;
+    s.measurements = measurements_;
+    s.replans = replans_;
+    s.replan_charge_ns = charged_ns_;
+    s.last_cold_fraction = last_cold_fraction_;
+    s.last_evk_hit_rate = last_evk_hit_rate_;
+    return s;
+}
+
+} // namespace fast::core

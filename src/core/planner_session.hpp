@@ -1,0 +1,222 @@
+/**
+ * @file
+ * PlannerSession: online Aether (PR 9).
+ *
+ * The offline Aether is a one-shot compiler: analyze a trace, pick a
+ * key-switch variant per site, emit a config file, done. A serving
+ * deployment drifts away from that snapshot — the request mix shifts,
+ * batching changes the cold/warm split, Hemera's prefetcher hit rate
+ * diverges from the modeled key reuse. `PlannerSession` wraps the
+ * one-shot `Aether::analyze`/`select` in a feedback loop:
+ *
+ *   observe   per-dispatch signals (cold fraction, queue pressure,
+ *             Hemera evk hit rate) accumulate into fixed windows of
+ *             simulated time;
+ *   re-score  when a window closes, the MCT is re-selected under
+ *             `ObservedCosts` biased by the window's EMAs, producing
+ *             a small set of candidate configs (offline pick, churn
+ *             pessimist, delay-lean, delay-lean hybrid-only);
+ *   measure   each candidate is priced through a caller-provided
+ *             `MeasureFn` (the serving layer plans it through its
+ *             `PlanCache`, a pure planning action — no live traffic
+ *             runs under an unproven config);
+ *   swap      the cheapest measured config under the observed
+ *             cold/warm mix wins; beating the incumbent by more than
+ *             the hysteresis bumps the workload's plan epoch, and the
+ *             superseded config is handed back for cache
+ *             invalidation.
+ *
+ * Determinism: the session runs on the planning thread in simulated
+ * time. Every input (window boundaries, EMAs, measurement results) is
+ * a deterministic function of the request stream and seed, so a
+ * same-seed replay reproduces every window, every measurement, and
+ * every swap — serving stats stay byte-identical.
+ *
+ * Offline mode is just a session that never observes: `planFor`
+ * computes the static config once per workload and returns it
+ * forever. `PlannerMode::off` preserves the legacy scheduler path
+ * (no session at all, per-device default configs).
+ */
+#ifndef FAST_CORE_PLANNER_SESSION_HPP
+#define FAST_CORE_PLANNER_SESSION_HPP
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/aether.hpp"
+#include "core/status.hpp"
+#include "trace/op.hpp"
+
+namespace fast::core {
+
+/** How the serving layer plans key-switch variants. */
+enum class PlannerMode {
+    off,      ///< legacy path: per-device offline configs, no session
+    offline,  ///< session path, static: plan once, never observe
+    online,   ///< session path, adaptive: observe, re-score, swap
+};
+
+const char *toString(PlannerMode mode);
+
+/** Tuning of one `PlannerSession`. */
+struct PlannerOptions {
+    PlannerMode mode = PlannerMode::off;
+    /** Simulated time per observation window. */
+    double window_ns = 2e7;
+    /** Minimum observed requests before a window may close. */
+    std::size_t min_window_requests = 6;
+    /** Planning-time cost charged to the dispatch that swaps. */
+    double replan_charge_ns = 25e3;
+    /** Relative win a challenger needs to unseat the incumbent. */
+    double hysteresis = 0.02;
+    /** Per-workload cap on swaps (stability backstop). */
+    std::size_t max_replans = 8;
+    /** EMA smoothing for the observed signals. */
+    double ema_alpha = 0.5;
+
+    Status validate() const;
+};
+
+/** Aggregate counters exported into the serving stats. */
+struct PlannerStats {
+    PlannerMode mode = PlannerMode::off;
+    std::size_t workloads = 0;     ///< workloads with planning state
+    std::size_t windows = 0;       ///< observation windows closed
+    std::size_t measurements = 0;  ///< candidate configs priced
+    std::size_t replans = 0;       ///< plan swaps across workloads
+    double replan_charge_ns = 0;   ///< total planning time charged
+    double last_cold_fraction = 0; ///< EMA at the last closed window
+    double last_evk_hit_rate = 0;  ///< EMA at the last closed window
+};
+
+/** Measured price of serving one batch under a candidate config. */
+struct CandidateCost {
+    double cold_ns = 0;      ///< first batch member (evk fetch paid)
+    double warm_ns = 0;      ///< subsequent members (keys resident)
+    double evk_hit_rate = 0; ///< Hemera prefetch hit rate of the plan
+};
+
+/**
+ * One per-shard online-planning session. Single-threaded by design:
+ * every method runs on the scheduler's planning thread in simulated
+ * time.
+ */
+class PlannerSession
+{
+  public:
+    /**
+     * Prices one candidate config for a workload. Returning
+     * `nullopt` marks the candidate unmeasurable this round (e.g. a
+     * planning failure) — it simply does not compete.
+     */
+    using MeasureFn = std::function<std::optional<CandidateCost>(
+        const AetherConfig &)>;
+
+    /**
+     * The session's planning verdict for one dispatch. `config`
+     * stays owned by the session and pointer-stable for its
+     * lifetime; `superseded` (when set) is the config a swap just
+     * retired — the caller invalidates its cached plans.
+     */
+    struct PlanRef {
+        const AetherConfig *config = nullptr;
+        std::size_t epoch = 0;
+        double charge_ns = 0;  ///< planning time to fold into dispatch
+        const AetherConfig *superseded = nullptr;
+    };
+
+    PlannerSession(Aether aether, PlannerOptions options);
+
+    /**
+     * Plan (or re-plan) the config to serve @p stream under at
+     * simulated time @p now_ns. In offline mode this selects once
+     * per workload and returns the same ref forever. In online mode
+     * a pending retune (a closed observation window) triggers
+     * candidate generation + measurement here, on the planning
+     * thread, before the dispatch proceeds.
+     */
+    PlanRef planFor(const trace::OpStream &stream, double now_ns,
+                    const MeasureFn &measure);
+
+    /**
+     * Ingest one dispatched batch's observed signals. No-op unless
+     * the session is online.
+     */
+    void observeBatch(const std::string &workload, double now_ns,
+                      std::size_t requests, std::size_t cold_requests,
+                      std::size_t queue_depth, double evk_hit_rate);
+
+    /** Plan epoch of a workload (0 = still on the initial config). */
+    std::size_t epochOf(const std::string &workload) const;
+
+    /** Currently selected config; null before the first planFor. */
+    const AetherConfig *currentConfigOf(
+        const std::string &workload) const;
+
+    /** True when the session ingests observations (online mode). */
+    bool observing() const
+    {
+        return options_.mode == PlannerMode::online;
+    }
+
+    const PlannerOptions &options() const { return options_; }
+    PlannerStats stats() const;
+
+  private:
+    struct WorkloadState {
+        std::vector<MctEntry> mct;
+        /** Deque: candidate configs must stay pointer-stable. */
+        std::deque<AetherConfig> candidates;
+        /** serialize() -> interned config (dedup). */
+        std::map<std::string, const AetherConfig *> candidate_keys;
+        std::map<const AetherConfig *, CandidateCost> measured;
+        const AetherConfig *current = nullptr;
+        std::size_t epoch = 0;
+        std::size_t replans = 0;
+        bool retune_pending = false;
+
+        // Open observation window.
+        double window_start_ns = -1;
+        std::size_t window_requests = 0;
+        std::size_t window_cold = 0;
+        std::size_t window_queue_peak = 0;
+        double window_hit_rate_sum = 0;
+        std::size_t window_batches = 0;
+
+        // Smoothed signals, and their values when the signal-driven
+        // candidates were last generated.
+        bool ema_valid = false;
+        double ema_cold_fraction = 0;
+        double ema_evk_hit_rate = 0;
+        double gen_cold_fraction = -1;
+        double gen_evk_hit_rate = -1;
+    };
+
+    WorkloadState &stateFor(const trace::OpStream &stream);
+    const AetherConfig *internConfig(WorkloadState &state,
+                                     AetherConfig config);
+    void generateCandidates(WorkloadState &state);
+    std::size_t measureCandidates(WorkloadState &state,
+                                  const MeasureFn &measure);
+    /** Retune one workload; returns the superseded config on swap. */
+    const AetherConfig *retune(WorkloadState &state,
+                               const MeasureFn &measure);
+
+    Aether aether_;
+    PlannerOptions options_;
+    std::map<std::string, WorkloadState> workloads_;
+    std::size_t windows_ = 0;
+    std::size_t measurements_ = 0;
+    std::size_t replans_ = 0;
+    double charged_ns_ = 0;
+    double last_cold_fraction_ = 0;
+    double last_evk_hit_rate_ = 0;
+};
+
+} // namespace fast::core
+
+#endif // FAST_CORE_PLANNER_SESSION_HPP

@@ -4,7 +4,7 @@
  */
 #include "core/status.hpp"
 
-namespace fast::core {
+namespace fast {
 
 const char *
 toString(StatusCode code)
@@ -27,4 +27,4 @@ toString(StatusCode code)
     return "?";
 }
 
-} // namespace fast::core
+} // namespace fast

@@ -8,10 +8,11 @@
  * deadline expiry, retry exhaustion, device loss, plan failure, and
  * key-pool misses are all points in the same space, so a caller — and
  * the stats/report layer — can account for every outcome with one
- * switch. The vocabulary started life in `fast::serve` (PR 4); it
- * moved here so `core::Hemera` and `core::EvkPool` can return
- * structured results without the core layer depending on serving
- * (`serve/status.hpp` re-exports these names as aliases).
+ * switch. The vocabulary started life in `fast::serve` (PR 4), moved
+ * here in PR 8 so `core::Hemera` and `core::EvkPool` could return
+ * structured results, and now lives in the enclosing `fast` namespace
+ * (PR 9): every layer — core, sim, serve, fleet — names the one
+ * `Status`/`Result` API without per-layer aliases.
  */
 #ifndef FAST_CORE_STATUS_HPP
 #define FAST_CORE_STATUS_HPP
@@ -22,7 +23,7 @@
 #include <type_traits>
 #include <utility>
 
-namespace fast::core {
+namespace fast {
 
 /**
  * Why an operation did not (fully) succeed. Admission-time rejection
@@ -75,7 +76,7 @@ class [[nodiscard]] Status
 
     StatusCode code() const { return code_; }
     /** Stable machine-readable name of the code. */
-    const char *reason() const { return core::toString(code_); }
+    const char *reason() const { return fast::toString(code_); }
     const std::string &detail() const { return detail_; }
 
     /** "reason" or "reason: detail" — for logs and test failures. */
@@ -204,6 +205,6 @@ class [[nodiscard]] Result
     std::optional<T> value_;
 };
 
-} // namespace fast::core
+} // namespace fast
 
 #endif // FAST_CORE_STATUS_HPP

@@ -224,7 +224,7 @@ Fleet::run()
                     ->submit(std::move(request));
             } else {
                 ++stats_.router_rejected;
-                ++stats_.router_reject_reasons[serve::toString(
+                ++stats_.router_reject_reasons[toString(
                     decision.reason)];
                 FAST_OBS_COUNT("fleet.router_rejected", 1);
                 // Resolve immediately so a closed-loop client whose

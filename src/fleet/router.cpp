@@ -38,7 +38,7 @@ Router::route(const serve::Request &request,
 {
     RouteDecision decision;
     if (ring_.empty()) {
-        decision.reason = serve::StatusCode::unavailable;
+        decision.reason = StatusCode::unavailable;
         return decision;
     }
 
@@ -80,6 +80,9 @@ Router::route(const serve::Request &request,
             score -= options_.tenant_bonus;
         if (shard.workloadWarm(request.workloadKey()))
             score -= options_.plan_bonus;
+        if (options_.adapted_bonus > 0 &&
+            shard.planAdapted(request.workloadKey()))
+            score -= options_.adapted_bonus;
         if (full_demand > 0) {
             double demand =
                 shard.predictedEvkDemandBytes(request.stream);
@@ -100,9 +103,9 @@ Router::route(const serve::Request &request,
         decision.reason = any_routable
                               ? (request.priority ==
                                          serve::Priority::low
-                                     ? serve::StatusCode::shed
-                                     : serve::StatusCode::queue_full)
-                              : serve::StatusCode::unavailable;
+                                     ? StatusCode::shed
+                                     : StatusCode::queue_full)
+                              : StatusCode::unavailable;
         return decision;
     }
 

@@ -54,13 +54,20 @@ struct RouterOptions {
      * for a new tenant. 0 disables byte-level scoring.
      */
     double evk_bytes_weight = 0.15;
+    /**
+     * Score credit for a shard whose online planner has already
+     * adapted its plan for the request's workload (plan epoch > 0):
+     * the re-tuned config — and its warmed cache entry — lives there.
+     * 0 (and any fleet running `PlannerMode::off`) disables it.
+     */
+    double adapted_bonus = 0.05;
 };
 
 /** Where one request went, and why. */
 struct RouteDecision {
     bool accepted = false;
     std::size_t shard = 0;  ///< meaningful when accepted
-    serve::StatusCode reason = serve::StatusCode::ok;
+    StatusCode reason = StatusCode::ok;
     /** Routed off the home shard (death, drain, or overflow). */
     bool failover = false;
     /** Landed on a shard already warm for the request's workload. */

@@ -97,6 +97,24 @@ class Shard
         return resident_keys_.size();
     }
     /**
+     * Plan epoch of @p workload on this shard's session (0 until the
+     * online planner swaps its config).
+     */
+    std::size_t planEpoch(const std::string &workload) const
+    {
+        return session_.planEpoch(workload);
+    }
+    /**
+     * Has the shard's online planner already adapted its plan for
+     * @p workload? Such a shard serves the workload under a config
+     * tuned to the traffic it actually saw — the router credits it
+     * over a shard that would start from the offline selection.
+     */
+    bool planAdapted(const std::string &workload) const
+    {
+        return session_.planEpoch(workload) > 0;
+    }
+    /**
      * HBM bytes of evaluation keys @p stream would fetch on this
      * shard: the byte-weighted demand of every key-switch site whose
      * (level, kind) entry is not yet in the shard's resident set.

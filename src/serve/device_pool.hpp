@@ -12,7 +12,7 @@
 
 #include <vector>
 
-#include "serve/status.hpp"
+#include "core/status.hpp"
 #include "sim/system.hpp"
 
 namespace fast::serve {

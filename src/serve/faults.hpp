@@ -23,7 +23,7 @@
 #include <string>
 #include <vector>
 
-#include "serve/status.hpp"
+#include "core/status.hpp"
 
 namespace fast::serve {
 

@@ -4,9 +4,30 @@
  */
 #include "serve/plan_cache.hpp"
 
+#include <cstdint>
 #include <cstdio>
 
 namespace fast::serve {
+
+namespace {
+
+/** FNV-1a 64-bit over the serialized Aether config. */
+std::string
+configDigest(const core::AetherConfig &aether)
+{
+    std::string text = aether.serialize();
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+} // namespace
 
 std::string
 PlanCache::key(const hw::FastConfig &config,
@@ -22,6 +43,57 @@ PlanCache::key(const hw::FastConfig &config,
                   config.use_hoisting ? 1 : 0, config.use_klss ? 1 : 0,
                   config.has_tbm ? 1 : 0, stream.name.c_str());
     return buf;
+}
+
+std::string
+PlanCache::key(const hw::FastConfig &config,
+               const trace::OpStream &stream,
+               const core::AetherConfig &aether)
+{
+    return key(config, stream) + "|a" + configDigest(aether);
+}
+
+Result<PlanCache::Entry>
+PlanCache::fetch(const sim::FastSystem &system,
+                 const trace::OpStream &stream,
+                 const core::AetherConfig &aether)
+{
+    auto k = key(system.config(), stream, aether);
+    core::Hemera::TransferHook hook;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(k);
+        if (it != entries_.end()) {
+            ++hits_;
+            return it->second;
+        }
+        hook = transfer_hook_;
+    }
+    // As below: plan outside the lock, first plan wins a race.
+    auto planned = std::make_shared<const sim::WorkloadResult>(
+        system.execute(stream, aether, hook));
+    if (planned->stats.total_ns <= 0)
+        return Status::error(StatusCode::plan_failed,
+                             "empty plan for " + stream.name);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = entries_.emplace(k, std::move(planned));
+    if (inserted)
+        ++misses_;
+    else
+        ++hits_;
+    return it->second;
+}
+
+Status
+PlanCache::invalidate(const hw::FastConfig &config,
+                      const trace::OpStream &stream,
+                      const core::AetherConfig &aether)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.erase(key(config, stream, aether)) > 0)
+        return Status::ok();
+    return Status::error(StatusCode::unavailable,
+                         "no cached plan for key");
 }
 
 Result<PlanCache::Entry>

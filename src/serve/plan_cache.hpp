@@ -25,7 +25,7 @@
 #include <mutex>
 #include <string>
 
-#include "serve/status.hpp"
+#include "core/status.hpp"
 #include "sim/system.hpp"
 
 namespace fast::serve {
@@ -50,6 +50,16 @@ class PlanCache
                         const trace::OpStream &stream);
 
     /**
+     * Fetch under an explicit Aether configuration instead of the
+     * device's own selection (the online planner's re-planned
+     * variants, PR 9). Keyed separately per config — swapping a
+     * workload between configs never evicts the other's plan.
+     */
+    Result<Entry> fetch(const sim::FastSystem &system,
+                        const trace::OpStream &stream,
+                        const core::AetherConfig &aether);
+
+    /**
      * Drop the entry for (config, stream); the next fetch replans (a
      * forced miss). Ok when an entry was dropped, `unavailable` when
      * nothing was cached under that key. This is how plan
@@ -57,6 +67,11 @@ class PlanCache
      */
     Status invalidate(const hw::FastConfig &config,
                       const trace::OpStream &stream);
+
+    /** Drop the entry planned under an explicit Aether config. */
+    Status invalidate(const hw::FastConfig &config,
+                      const trace::OpStream &stream,
+                      const core::AetherConfig &aether);
 
     /**
      * Hemera transfer-failure hook installed on every future planning
@@ -71,6 +86,11 @@ class PlanCache
     /** Cache key: device identity x workload identity. */
     static std::string key(const hw::FastConfig &config,
                            const trace::OpStream &stream);
+
+    /** Key with an Aether-config override folded in (FNV-1a-64). */
+    static std::string key(const hw::FastConfig &config,
+                           const trace::OpStream &stream,
+                           const core::AetherConfig &aether);
 
   private:
     mutable std::mutex mutex_;

@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "serve/request.hpp"
-#include "serve/status.hpp"
+#include "core/status.hpp"
 
 namespace fast::serve {
 

@@ -65,6 +65,17 @@ describeServeStats(const ServeStats &stats)
             "%.2f GB saved by seed expansion\n",
             stats.evk_fetch_ns / 1e6, 100.0 * stats.evk_fetch_share,
             stats.evk_bytes_saved / 1e9);
+    if (stats.planner.mode != core::PlannerMode::off)
+        appendf(out,
+                "  planner[%s]: %zu workloads, %zu windows, "
+                "%zu measurements, %zu replans (%.3f ms charged), "
+                "cold %.2f, evk hit %.2f\n",
+                core::toString(stats.planner.mode),
+                stats.planner.workloads, stats.planner.windows,
+                stats.planner.measurements, stats.planner.replans,
+                stats.planner.replan_charge_ns / 1e6,
+                stats.planner.last_cold_fraction,
+                stats.planner.last_evk_hit_rate);
     appendf(out,
             "  queueing  p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n",
             stats.queue.p50_ns / 1e6, stats.queue.p95_ns / 1e6,
@@ -159,6 +170,18 @@ serveStatsJson(const ServeStats &stats, const std::string &indent)
             "%.4f, \"evk_bytes_saved\": %.0f},\n",
             in1.c_str(), stats.evk_fetch_ns, stats.evk_fetch_share,
             stats.evk_bytes_saved);
+    appendf(out,
+            "%s\"planner\": {\"mode\": \"%s\", \"workloads\": %zu, "
+            "\"windows\": %zu, \"measurements\": %zu, "
+            "\"replans\": %zu, \"replan_charge_ns\": %.1f, "
+            "\"last_cold_fraction\": %.4f, "
+            "\"last_evk_hit_rate\": %.4f},\n",
+            in1.c_str(), core::toString(stats.planner.mode),
+            stats.planner.workloads, stats.planner.windows,
+            stats.planner.measurements, stats.planner.replans,
+            stats.planner.replan_charge_ns,
+            stats.planner.last_cold_fraction,
+            stats.planner.last_evk_hit_rate);
     latencyJson(out, in1, "queue_latency", stats.queue, true);
     latencyJson(out, in1, "e2e_latency", stats.e2e, true);
 

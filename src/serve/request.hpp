@@ -16,7 +16,7 @@
 #include <cstdint>
 #include <string>
 
-#include "serve/status.hpp"
+#include "core/status.hpp"
 #include "trace/op.hpp"
 
 namespace fast::serve {

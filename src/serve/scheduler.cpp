@@ -67,6 +67,8 @@ SchedulerOptions::validate() const
         return fail("shed_queue_fraction must be in (0, 1]");
     if (affinity_window_ns < 0)
         return fail("affinity_window_ns must be >= 0");
+    if (auto status = planner.validate(); !status.isOk())
+        return status;
     return Status::ok();
 }
 
@@ -221,6 +223,14 @@ struct SchedulerSession::Impl {
           channels(pool.size()), accumulators(pool.size()),
           free_at(pool.size(), 0.0), resident_workload(pool.size())
     {
+        // The planner session lives on the planning thread; Aether
+        // settings come from device 0 (re-planned configs still fetch
+        // per device config, so heterogeneous pools stay correct —
+        // they just plan against the lead device's cost model).
+        if (options.planner.mode != core::PlannerMode::off &&
+            pool.size() > 0)
+            planner = std::make_unique<core::PlannerSession>(
+                pool.device(0).makeAether(), options.planner);
         workers.reserve(pool.size());
         for (std::size_t d = 0; d < pool.size(); ++d)
             workers.emplace_back(deviceWorker, std::ref(channels[d]),
@@ -231,6 +241,7 @@ struct SchedulerSession::Impl {
     HealthTracker health;
     RequestQueue queue;
     PlanCache cache;
+    std::unique_ptr<core::PlannerSession> planner;
 
     std::vector<BatchChannel> channels;
     std::vector<DeviceAccumulator> accumulators;
@@ -318,6 +329,12 @@ bool
 SchedulerSession::allLost() const
 {
     return impl_->health.lostCount() == pool_.size();
+}
+
+std::size_t
+SchedulerSession::planEpoch(const std::string &workload) const
+{
+    return impl_->planner ? impl_->planner->epochOf(workload) : 0;
 }
 
 std::vector<OutcomeEvent>
@@ -553,6 +570,14 @@ SchedulerSession::step(double limit_ns)
     const std::string &workload = batch.front().workloadKey();
     if (auto fault = im.injector.takePlanFault(workload, now)) {
         im.cache.invalidate(pool_.config(d), batch.front().stream);
+        // Under a planner session the live entry is keyed by the
+        // session's current config — corrupt/evict that one too.
+        if (im.planner) {
+            if (const core::AetherConfig *current =
+                    im.planner->currentConfigOf(workload))
+                im.cache.invalidate(pool_.config(d),
+                                    batch.front().stream, *current);
+        }
         stats.faults.plan_faults += 1;
         FAST_OBS_COUNT("serve.plan_faults", 1);
         if (*fault == FaultKind::plan_corrupt) {
@@ -565,12 +590,56 @@ SchedulerSession::step(double limit_ns)
     }
 
     PlanCache::Entry plan;
+    double planner_charge_ns = 0;
     {
         FAST_OBS_SPAN_VAR(plan_span, "serve.plan");
         FAST_OBS_SPAN_ARG(plan_span, "device",
                           static_cast<std::uint64_t>(d));
-        auto fetched =
-            im.cache.fetch(pool_.device(d), batch.front().stream);
+        Result<PlanCache::Entry> fetched =
+            Status::error(StatusCode::plan_failed, "not planned");
+        if (im.planner) {
+            // Candidate measurement is a pure planning action: price
+            // a config by planning it through the cache (a cold
+            // fetch the first time, a hit on re-measurement) — no
+            // live traffic runs under an unproven config.
+            auto measure = [&](const core::AetherConfig &candidate)
+                -> std::optional<core::CandidateCost> {
+                auto priced = im.cache.fetch(
+                    pool_.device(d), batch.front().stream, candidate);
+                if (!priced.isOk())
+                    return std::nullopt;
+                core::CandidateCost cost;
+                cost.cold_ns = priced.value()->stats.total_ns;
+                cost.warm_ns =
+                    priced.value()->warm_stats.total_ns > 0
+                        ? priced.value()->warm_stats.total_ns
+                        : priced.value()->stats.total_ns;
+                cost.evk_hit_rate = priced.value()->hemera.hitRate();
+                return cost;
+            };
+            auto ref = im.planner->planFor(batch.front().stream, now,
+                                           measure);
+            if (ref.superseded) {
+                // The swap retires the old config's plans everywhere
+                // and clears the workload's key residency: the next
+                // batch per device refetches under the new variants.
+                for (std::size_t i = 0; i < pool_.size(); ++i)
+                    im.cache.invalidate(pool_.config(i),
+                                        batch.front().stream,
+                                        *ref.superseded);
+                for (auto &resident : im.resident_workload)
+                    if (resident == workload)
+                        resident.clear();
+                FAST_OBS_COUNT("serve.replans", 1);
+            }
+            planner_charge_ns = ref.charge_ns;
+            fetched = im.cache.fetch(pool_.device(d),
+                                     batch.front().stream,
+                                     *ref.config);
+        } else {
+            fetched =
+                im.cache.fetch(pool_.device(d), batch.front().stream);
+        }
         if (!fetched.isOk()) {
             // Unusable plan: charge the detection penalty and send
             // the batch around the retry loop.
@@ -596,7 +665,10 @@ SchedulerSession::step(double limit_ns)
                                ? plan->warm_stats.total_ns
                                : plan->stats.total_ns;
     double exec_warm_ns = warm_total_ns * slow;
-    double lookup_ns = plan->hemera.config_lookups_ns;
+    // Planning time (a re-plan's measurement/swap charge) delays the
+    // batch exactly like Hemera's config lookups do.
+    double lookup_ns =
+        plan->hemera.config_lookups_ns + planner_charge_ns;
     double service_ns =
         lookup_ns + exec_cold_ns * static_cast<double>(cold) +
         exec_warm_ns * static_cast<double>(batch.size() - cold);
@@ -670,6 +742,13 @@ SchedulerSession::step(double limit_ns)
     im.health.recordSuccess(d);
     stats.batches += 1;
     FAST_OBS_COUNT("serve.batches", 1);
+    // Feed the observation loop: the dispatched batch's cold/warm
+    // split, queue pressure, and the plan's Hemera hit rate — all
+    // planning-thread state in simulated time, so replay is exact.
+    if (im.planner)
+        im.planner->observeBatch(workload, now, batch.size(), cold,
+                                 im.queue.depth(),
+                                 plan->hemera.hitRate());
     im.channels[d].push(std::move(dispatch));
     return true;
 }
@@ -740,6 +819,8 @@ SchedulerSession::finish()
     stats.completed = stats.completions.size();
     stats.plan_cache_hits = im.cache.hits();
     stats.plan_cache_misses = im.cache.misses();
+    if (im.planner)
+        stats.planner = im.planner->stats();
     stats.faults.quarantines = im.health.quarantines();
     stats.mean_batch_size =
         stats.batches == 0

@@ -42,6 +42,7 @@
 
 #include <memory>
 
+#include "core/planner_session.hpp"
 #include "serve/device_pool.hpp"
 #include "serve/faults.hpp"
 #include "serve/plan_cache.hpp"
@@ -107,6 +108,13 @@ struct SchedulerOptions {
     bool evk_affinity = true;
     /** Availability slack tolerated for an affinity match. */
     double affinity_window_ns = 5e5;
+    /**
+     * Online planning (PR 9). `PlannerMode::off` keeps the legacy
+     * per-device configs; `offline` routes planning through a
+     * `core::PlannerSession` that selects once per workload and never
+     * observes; `online` adds the observe/re-score/swap loop.
+     */
+    core::PlannerOptions planner;
 
     /** Named-error validation of the whole option set. */
     Status validate() const;
@@ -198,6 +206,21 @@ class SchedulerOptionsBuilder
     SchedulerOptionsBuilder &affinityWindowNs(double ns)
     {
         options_.affinity_window_ns = ns;
+        return *this;
+    }
+    SchedulerOptionsBuilder &plannerMode(core::PlannerMode mode)
+    {
+        options_.planner.mode = mode;
+        return *this;
+    }
+    SchedulerOptionsBuilder &plannerOptions(core::PlannerOptions planner)
+    {
+        options_.planner = planner;
+        return *this;
+    }
+    SchedulerOptionsBuilder &plannerWindowNs(double ns)
+    {
+        options_.planner.window_ns = ns;
         return *this;
     }
 
@@ -300,6 +323,11 @@ class SchedulerSession
     bool allLost() const;
     /** Total requests offered so far. */
     std::size_t offered() const { return stats_.submitted; }
+    /**
+     * Plan epoch of a workload: 0 on the initial (offline) config,
+     * bumped by every online swap. Always 0 with the planner off.
+     */
+    std::size_t planEpoch(const std::string &workload) const;
     const SchedulerOptions &options() const { return options_; }
 
     /** Drain the outcome feed accumulated since the last call. */

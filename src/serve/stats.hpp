@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/planner_session.hpp"
 #include "serve/request.hpp"
 
 namespace fast::serve {
@@ -135,6 +136,9 @@ struct ServeStats {
     }
 
     FaultStats faults;
+
+    /** Online-planning counters (all zero with the planner off). */
+    core::PlannerStats planner;
 
     LatencySummary queue;          ///< aggregate queueing latency
     LatencySummary e2e;            ///< aggregate end-to-end latency

@@ -363,14 +363,6 @@ Lowering::keySwitchSeconds(const ckks::KeySwitchVariant &variant,
     return crit / (config_.freq_ghz * 1e9);
 }
 
-double
-Lowering::keySwitchSeconds(KeySwitchMethod method, std::size_t ell,
-                           std::size_t hoisted) const
-{
-    return keySwitchSeconds(ckks::KeySwitchVariant::of(method), ell,
-                            hoisted);
-}
-
 std::vector<LoweredOp>
 Lowering::lower(const trace::OpStream &stream,
                 const core::AetherConfig &decisions,

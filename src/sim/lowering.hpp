@@ -65,14 +65,6 @@ class Lowering
     double keySwitchSeconds(const ckks::KeySwitchVariant &variant,
                             std::size_t ell, std::size_t hoisted) const;
 
-    /**
-     * Deprecated method-only latency estimate, kept one release for
-     * migration: forwards to the variant overload with the standard
-     * dataflow.
-     */
-    double keySwitchSeconds(KeySwitchMethod method, std::size_t ell,
-                            std::size_t hoisted) const;
-
   private:
     /** Coefficients handled per cluster. */
     std::size_t perCluster() const

@@ -26,21 +26,31 @@ TEST(EvkPool, AddressesAreDisjoint)
 {
     EvkPool pool{cost::KeySwitchCostModel()};
     pool.populate(5);
-    const auto &a = pool.lookup(3, KeySwitchMethod::hybrid, false);
-    const auto &b = pool.lookup(3, KeySwitchMethod::hybrid, true);
-    const auto &c = pool.lookup(3, KeySwitchMethod::klss, false);
-    EXPECT_NE(a.hbm_address, b.hbm_address);
-    EXPECT_NE(a.hbm_address, c.hbm_address);
-    EXPECT_THROW(pool.lookup(30, KeySwitchMethod::hybrid, false),
-                 std::out_of_range);
+    auto variantOf = [](KeySwitchMethod m) {
+        return ckks::KeySwitchVariant::of(m);
+    };
+    auto a = pool.lookup(3, variantOf(KeySwitchMethod::hybrid), false);
+    auto b = pool.lookup(3, variantOf(KeySwitchMethod::hybrid), true);
+    auto c = pool.lookup(3, variantOf(KeySwitchMethod::klss), false);
+    ASSERT_TRUE(a.isOk() && b.isOk() && c.isOk());
+    EXPECT_NE(a.value().hbm_address, b.value().hbm_address);
+    EXPECT_NE(a.value().hbm_address, c.value().hbm_address);
+    auto miss = pool.lookup(30, variantOf(KeySwitchMethod::hybrid),
+                            false);
+    ASSERT_FALSE(miss.isOk());
+    EXPECT_EQ(miss.status().code(), StatusCode::not_found);
 }
 
 TEST(EvkPool, KlssKeysAreLarger)
 {
     EvkPool pool{cost::KeySwitchCostModel()};
     pool.populate(35);
-    EXPECT_GT(pool.lookup(30, KeySwitchMethod::klss, false).bytes,
-              pool.lookup(30, KeySwitchMethod::hybrid, false).bytes);
+    auto klss = pool.lookup(
+        30, ckks::KeySwitchVariant::of(KeySwitchMethod::klss), false);
+    auto hybrid = pool.lookup(
+        30, ckks::KeySwitchVariant::of(KeySwitchMethod::hybrid), false);
+    ASSERT_TRUE(klss.isOk() && hybrid.isOk());
+    EXPECT_GT(klss.value().bytes, hybrid.value().bytes);
 }
 
 class HemeraTest : public ::testing::Test
@@ -54,17 +64,19 @@ class HemeraTest : public ::testing::Test
 TEST_F(HemeraTest, PlansOneTransferPerSite)
 {
     Hemera hemera{cost::KeySwitchCostModel()};
-    auto transfers = hemera.plan(stream_, config_);
-    EXPECT_EQ(transfers.size(), config_.decisions.size());
-    EXPECT_EQ(hemera.stats().transfers, transfers.size());
+    auto plan = hemera.plan(stream_, config_, PlanOptions{});
+    ASSERT_TRUE(plan.isOk());
+    EXPECT_EQ(plan.value().transfers.size(), config_.decisions.size());
+    EXPECT_EQ(hemera.stats().transfers, plan.value().transfers.size());
 }
 
 TEST_F(HemeraTest, BatchesAre256Elements)
 {
     Hemera hemera{cost::KeySwitchCostModel()};
-    auto transfers = hemera.plan(stream_, config_);
+    auto plan = hemera.plan(stream_, config_, PlanOptions{});
+    ASSERT_TRUE(plan.isOk());
     double batch_bytes = Hemera::kBatchElements * sizeof(std::uint64_t);
-    for (const auto &t : transfers) {
+    for (const auto &t : plan.value().transfers) {
         EXPECT_GT(t.bytes, 0);
         EXPECT_EQ(t.batches, static_cast<std::size_t>(
                                  std::ceil(t.bytes / batch_bytes)));
@@ -74,7 +86,7 @@ TEST_F(HemeraTest, BatchesAre256Elements)
 TEST_F(HemeraTest, PrefetcherLearnsRecurringPatterns)
 {
     Hemera hemera{cost::KeySwitchCostModel()};
-    hemera.plan(stream_, config_);
+    ASSERT_TRUE(hemera.plan(stream_, config_, PlanOptions{}).isOk());
     // Bootstrapping revisits the same levels with the same method;
     // after warm-up the history recorder should predict most sites.
     EXPECT_GT(hemera.stats().hitRate(), 0.5);
@@ -86,7 +98,7 @@ TEST_F(HemeraTest, ConfigLookupLatencyIsTiny)
     // The paper: Hemera's config-file reads (< 900 ns each) are
     // negligible next to evk transfers (~80 us).
     Hemera hemera{cost::KeySwitchCostModel()};
-    auto transfers = hemera.plan(stream_, config_);
+    ASSERT_TRUE(hemera.plan(stream_, config_, PlanOptions{}).isOk());
     double lookup_s = hemera.stats().config_lookups_ns * 1e-9;
     double transfer_s = hemera.stats().total_bytes / 1e12;
     EXPECT_LT(lookup_s, transfer_s / 10);
@@ -95,9 +107,10 @@ TEST_F(HemeraTest, ConfigLookupLatencyIsTiny)
 TEST_F(HemeraTest, HoistedSitesMoveAllGroupKeys)
 {
     Hemera hemera{cost::KeySwitchCostModel()};
-    auto transfers = hemera.plan(stream_, config_);
+    auto plan = hemera.plan(stream_, config_, PlanOptions{});
+    ASSERT_TRUE(plan.isOk());
     bool found_group = false;
-    for (const auto &t : transfers) {
+    for (const auto &t : plan.value().transfers) {
         if (t.hoist > 1) {
             found_group = true;
             // A hoisted site needs one evk per rotation in the group.
@@ -108,6 +121,65 @@ TEST_F(HemeraTest, HoistedSitesMoveAllGroupKeys)
         }
     }
     EXPECT_TRUE(found_group);
+}
+
+TEST(HistoryRecorder, EvictsBeyondDepth)
+{
+    Hemera::HistoryRecorder recorder;
+    recorder.depth = 3;
+    for (std::size_t i = 0; i < 10; ++i)
+        recorder.record(7, KeySwitchMethod::hybrid, i);
+    ASSERT_EQ(recorder.per_level.size(), 1u);
+    EXPECT_EQ(recorder.per_level.at(7).size(), 3u);
+    // Prediction returns the most recent record, not an evicted one.
+    auto predicted = recorder.predict(7);
+    ASSERT_TRUE(predicted.has_value());
+    EXPECT_EQ(predicted->second, 9u);
+}
+
+TEST(HistoryRecorder, PredictBeforeRecordIsEmpty)
+{
+    Hemera::HistoryRecorder recorder;
+    recorder.depth = 4;
+    EXPECT_FALSE(recorder.predict(0).has_value());
+    EXPECT_FALSE(recorder.predict(12).has_value());
+    // Recording one level gives no clairvoyance about the others.
+    recorder.record(3, KeySwitchMethod::klss, 1);
+    EXPECT_TRUE(recorder.predict(3).has_value());
+    EXPECT_FALSE(recorder.predict(4).has_value());
+}
+
+TEST(HistoryRecorder, MixedMethodChurnTracksTheLatest)
+{
+    Hemera::HistoryRecorder recorder;
+    recorder.depth = 8;
+    recorder.record(5, KeySwitchMethod::hybrid, 1);
+    recorder.record(5, KeySwitchMethod::klss, 1);
+    recorder.record(5, KeySwitchMethod::hybrid, 4);
+    auto predicted = recorder.predict(5);
+    ASSERT_TRUE(predicted.has_value());
+    EXPECT_EQ(predicted->first, KeySwitchMethod::hybrid);
+    EXPECT_EQ(predicted->second, 4u);
+    // Hoist churn at the same method is still a change of prediction.
+    recorder.record(5, KeySwitchMethod::hybrid, 2);
+    EXPECT_EQ(recorder.predict(5)->second, 2u);
+}
+
+TEST_F(HemeraTest, SnapshotExportsRecorderState)
+{
+    Hemera hemera{cost::KeySwitchCostModel()};
+    auto before = hemera.historySnapshot();
+    EXPECT_EQ(before.levels, 0u);
+    EXPECT_EQ(before.records, 0u);
+    EXPECT_EQ(before.hit_rate, 0.0);
+
+    ASSERT_TRUE(hemera.plan(stream_, config_, PlanOptions{}).isOk());
+    auto after = hemera.historySnapshot();
+    EXPECT_GT(after.levels, 0u);
+    EXPECT_GE(after.records, after.levels);
+    EXPECT_NEAR(after.hit_rate, hemera.stats().hitRate(), 1e-12);
+    // The raw recorder is visible too (the planner reads it).
+    EXPECT_EQ(hemera.history().per_level.size(), after.levels);
 }
 
 TEST(EvkPool, VariantLookupReportsMissingLevels)

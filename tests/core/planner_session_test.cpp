@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the online planning session: the ObservedCosts select
+ * overload's byte-identity contract, offline-mode parity with
+ * one-shot Aether, and the observe -> re-score -> measure -> swap
+ * loop (hysteresis, replan caps, determinism).
+ */
+#include <gtest/gtest.h>
+
+#include "core/planner_session.hpp"
+#include "trace/workloads.hpp"
+
+namespace fast::core {
+namespace {
+
+Aether
+makeAether()
+{
+    return Aether{cost::KeySwitchCostModel(), Aether::Settings{}};
+}
+
+TEST(ObservedCosts, DefaultsAreByteIdenticalToPlainSelect)
+{
+    Aether aether = makeAether();
+    for (const auto &stream :
+         {trace::bootstrapTrace(), trace::helrTrace(256),
+          trace::resnetTrace()}) {
+        auto mct = aether.analyze(stream);
+        EXPECT_EQ(aether.select(mct).serialize(),
+                  aether.select(mct, ObservedCosts{}).serialize())
+            << stream.name;
+    }
+}
+
+TEST(ObservedCosts, KlssVetoDropsEveryKlssSite)
+{
+    Aether aether = makeAether();
+    auto stream = trace::bootstrapTrace();
+    auto mct = aether.analyze(stream);
+    ObservedCosts veto;
+    veto.allow_klss = false;
+    auto config = aether.select(mct, veto);
+    EXPECT_EQ(config.decisions.size(),
+              aether.select(mct).decisions.size());
+    EXPECT_EQ(config.klssShare(), 0.0);
+}
+
+TEST(ObservedCosts, ChurnAssumptionStillCoversEverySite)
+{
+    // reuse_scale 0 models a mix where no key survives to its next
+    // use: every site still gets a decision, and transfers now weigh
+    // at full freight (so the selection may legitimately differ).
+    Aether aether = makeAether();
+    auto stream = trace::helrTrace(256);
+    auto mct = aether.analyze(stream);
+    ObservedCosts churn;
+    churn.reuse_scale = 0.0;
+    auto config = aether.select(mct, churn);
+    EXPECT_EQ(config.decisions.size(), mct.size());
+}
+
+TEST(PlannerOptions, ValidateRejectsBadKnobs)
+{
+    PlannerOptions options;
+    EXPECT_TRUE(options.validate().isOk());
+    options.window_ns = 0;
+    EXPECT_EQ(options.validate().code(), StatusCode::invalid_argument);
+    options = PlannerOptions{};
+    options.ema_alpha = 1.5;
+    EXPECT_EQ(options.validate().code(), StatusCode::invalid_argument);
+    options = PlannerOptions{};
+    options.hysteresis = -0.1;
+    EXPECT_EQ(options.validate().code(), StatusCode::invalid_argument);
+}
+
+TEST(PlannerSession, OfflineModeMatchesOneShotAether)
+{
+    auto stream = trace::bootstrapTrace();
+    PlannerOptions options;
+    options.mode = PlannerMode::offline;
+    PlannerSession session(makeAether(), options);
+
+    auto ref = session.planFor(stream, 0.0, nullptr);
+    ASSERT_NE(ref.config, nullptr);
+    EXPECT_EQ(ref.epoch, 0u);
+    EXPECT_EQ(ref.charge_ns, 0.0);
+    EXPECT_EQ(ref.superseded, nullptr);
+    EXPECT_EQ(ref.config->serialize(),
+              makeAether().run(stream).serialize());
+
+    // The ref is stable: same pointer, same epoch, forever.
+    auto again = session.planFor(stream, 1e9, nullptr);
+    EXPECT_EQ(again.config, ref.config);
+    EXPECT_EQ(again.epoch, 0u);
+    EXPECT_FALSE(session.observing());
+
+    // Observations are ignored offline: no windows, no retunes.
+    for (int i = 0; i < 64; ++i)
+        session.observeBatch(stream.name, i * 1e8, 4, 1, 2, 0.5);
+    EXPECT_EQ(session.stats().windows, 0u);
+    EXPECT_EQ(session.epochOf(stream.name), 0u);
+}
+
+/** Synthetic pricing: the offline pick is expensive, everything else
+ *  cheap — the first challenger measured must win the retune. */
+PlannerSession::MeasureFn
+favorChallengers(const std::string &offline_key, double margin)
+{
+    return [offline_key, margin](const AetherConfig &config)
+               -> std::optional<CandidateCost> {
+        CandidateCost cost;
+        bool incumbent = config.serialize() == offline_key;
+        cost.cold_ns = incumbent ? 1000.0 : 1000.0 * (1.0 - margin);
+        cost.warm_ns = cost.cold_ns;
+        cost.evk_hit_rate = 0.8;
+        return cost;
+    };
+}
+
+/** Feed enough observations to close one window at @p t0. */
+void
+closeWindow(PlannerSession &session, const std::string &workload,
+            double t0, double window_ns)
+{
+    session.observeBatch(workload, t0, 4, 1, 2, 0.5);
+    session.observeBatch(workload, t0 + window_ns + 1.0, 4, 1, 2, 0.5);
+}
+
+TEST(PlannerSession, OnlineSwapsWhenAChallengerMeasuresBetter)
+{
+    auto stream = trace::bootstrapTrace();
+    PlannerOptions options;
+    options.mode = PlannerMode::online;
+    options.hysteresis = 0.02;
+    PlannerSession session(makeAether(), options);
+
+    std::string offline_key =
+        session.planFor(stream, 0.0, nullptr).config->serialize();
+    auto measure = favorChallengers(offline_key, 0.2);
+
+    closeWindow(session, stream.name, 0.0, options.window_ns);
+    EXPECT_EQ(session.stats().windows, 1u);
+
+    auto ref = session.planFor(stream, 3e7, measure);
+    ASSERT_NE(ref.config, nullptr);
+    EXPECT_EQ(ref.epoch, 1u);
+    EXPECT_NE(ref.superseded, nullptr);
+    EXPECT_EQ(ref.superseded->serialize(), offline_key);
+    EXPECT_NE(ref.config->serialize(), offline_key);
+    EXPECT_EQ(ref.charge_ns, options.replan_charge_ns);
+    EXPECT_EQ(session.epochOf(stream.name), 1u);
+    EXPECT_GE(session.stats().measurements, 2u);
+    EXPECT_EQ(session.stats().replans, 1u);
+    EXPECT_EQ(session.currentConfigOf(stream.name), ref.config);
+}
+
+TEST(PlannerSession, HysteresisKeepsNearEqualIncumbent)
+{
+    auto stream = trace::bootstrapTrace();
+    PlannerOptions options;
+    options.mode = PlannerMode::online;
+    options.hysteresis = 0.05;
+    PlannerSession session(makeAether(), options);
+
+    std::string offline_key =
+        session.planFor(stream, 0.0, nullptr).config->serialize();
+    // Challengers are 1% better — inside the 5% hysteresis band.
+    auto measure = favorChallengers(offline_key, 0.01);
+
+    closeWindow(session, stream.name, 0.0, options.window_ns);
+    auto ref = session.planFor(stream, 3e7, measure);
+    EXPECT_EQ(ref.epoch, 0u);
+    EXPECT_EQ(ref.superseded, nullptr);
+    EXPECT_EQ(ref.charge_ns, 0.0);
+    EXPECT_EQ(session.stats().replans, 0u);
+}
+
+TEST(PlannerSession, MaxReplansCapsTheSwapBudget)
+{
+    auto stream = trace::bootstrapTrace();
+    PlannerOptions options;
+    options.mode = PlannerMode::online;
+    options.hysteresis = 0.0;
+    options.max_replans = 1;
+    PlannerSession session(makeAether(), options);
+
+    std::string offline_key =
+        session.planFor(stream, 0.0, nullptr).config->serialize();
+    auto measure = favorChallengers(offline_key, 0.2);
+
+    closeWindow(session, stream.name, 0.0, options.window_ns);
+    EXPECT_EQ(session.planFor(stream, 3e7, measure).epoch, 1u);
+
+    // A second closed window arms another retune, but the budget is
+    // spent: the session serves the adapted config unchanged.
+    closeWindow(session, stream.name, 4e7, options.window_ns);
+    auto ref = session.planFor(stream, 8e7, measure);
+    EXPECT_EQ(ref.epoch, 1u);
+    EXPECT_EQ(ref.superseded, nullptr);
+    EXPECT_EQ(session.stats().replans, 1u);
+}
+
+TEST(PlannerSession, IdenticalInputsReplayIdentically)
+{
+    auto stream = trace::helrTrace(256);
+    auto drive = [&stream]() {
+        PlannerOptions options;
+        options.mode = PlannerMode::online;
+        options.hysteresis = 0.0;
+        PlannerSession session(makeAether(), options);
+        std::string offline_key =
+            session.planFor(stream, 0.0, nullptr).config->serialize();
+        auto measure = favorChallengers(offline_key, 0.3);
+        std::string log;
+        for (int round = 0; round < 4; ++round) {
+            double t0 = round * 5e7;
+            closeWindow(session, stream.name, t0,
+                        PlannerOptions{}.window_ns);
+            auto ref = session.planFor(stream, t0 + 4e7, measure);
+            log += ref.config->serialize();
+            log += "epoch=" + std::to_string(ref.epoch) + "\n";
+        }
+        auto stats = session.stats();
+        log += std::to_string(stats.windows) + "/" +
+               std::to_string(stats.measurements) + "/" +
+               std::to_string(stats.replans);
+        return log;
+    };
+    EXPECT_EQ(drive(), drive());
+}
+
+} // namespace
+} // namespace fast::core

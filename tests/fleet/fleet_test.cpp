@@ -133,7 +133,7 @@ TEST_F(RouterFixture, EmptyRingIsUnavailable)
     auto decision = router.route(
         makeRequest(0, "t", serve::Priority::normal, 0), shards_map);
     EXPECT_FALSE(decision.accepted);
-    EXPECT_EQ(decision.reason, serve::StatusCode::unavailable);
+    EXPECT_EQ(decision.reason, StatusCode::unavailable);
 }
 
 TEST_F(RouterFixture, HomeShardWinsWhenIdle)
@@ -169,7 +169,7 @@ TEST_F(RouterFixture, AllShardsDrainingIsUnavailable)
     auto decision = router.route(
         makeRequest(0, "t", serve::Priority::high, 0), shards_map);
     EXPECT_FALSE(decision.accepted);
-    EXPECT_EQ(decision.reason, serve::StatusCode::unavailable);
+    EXPECT_EQ(decision.reason, StatusCode::unavailable);
 }
 
 TEST_F(RouterFixture, LowWatermarkShedsLowPriorityFirst)
@@ -187,7 +187,7 @@ TEST_F(RouterFixture, LowWatermarkShedsLowPriorityFirst)
         makeRequest(++id, "tenant-y", serve::Priority::low, 0),
         shards_map);
     EXPECT_FALSE(low.accepted);
-    EXPECT_EQ(low.reason, serve::StatusCode::shed);
+    EXPECT_EQ(low.reason, StatusCode::shed);
     // Normal-priority traffic still gets through.
     auto normal = router.route(
         makeRequest(++id, "tenant-y", serve::Priority::normal, 0),

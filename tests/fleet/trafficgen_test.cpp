@@ -222,7 +222,7 @@ TEST(TrafficGen, ClosedLoopClientsWaitForOutcomes)
     serve::OutcomeEvent outcome;
     outcome.request_id = first[1].id;
     outcome.tenant = first[1].tenant;
-    outcome.outcome = serve::StatusCode::ok;
+    outcome.outcome = StatusCode::ok;
     outcome.submit_ns = first[1].submit_ns;
     outcome.at_ns = 2e6;
     gen.onOutcome(outcome);
@@ -249,7 +249,7 @@ TEST(TrafficGen, ClosedLoopReleasesOnRejectionToo)
     serve::OutcomeEvent outcome;
     outcome.request_id = first[0].id;
     outcome.tenant = first[0].tenant;
-    outcome.outcome = serve::StatusCode::queue_full;
+    outcome.outcome = StatusCode::queue_full;
     outcome.submit_ns = first[0].submit_ns;
     outcome.at_ns = 1.5e6;
     gen.onOutcome(outcome);

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Serving-layer tests for online planning (PR 9): the session path
+ * replaces the legacy entry points without changing behavior
+ * (off == offline on a homogeneous pool), online runs replay
+ * byte-identically, plan epochs surface through the session, the
+ * config-keyed PlanCache entries invalidate independently, and a
+ * scheduled plan_corrupt fault racing concurrent invalidation keeps
+ * the accounting balanced.
+ */
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "fleet/trafficgen.hpp"
+#include "serve/report.hpp"
+#include "serve/scheduler.hpp"
+#include "trace/workloads.hpp"
+
+namespace fast::serve {
+namespace {
+
+DevicePool
+makePool(std::size_t devices)
+{
+    return DevicePool::builder()
+        .add(hw::FastConfig::fast(), devices)
+        .build()
+        .value();
+}
+
+std::vector<Request>
+mixedArrivals(std::size_t count, double mean_gap_ns, unsigned seed)
+{
+    std::vector<fleet::WorkloadSpec> mix = {
+        {"tenant-boot", Priority::high, trace::bootstrapTrace(), 1.0},
+        {"tenant-helr", Priority::normal, trace::helrTrace(256), 2.0},
+    };
+    return fleet::TrafficGen::openLoop(mix, count, mean_gap_ns, seed);
+}
+
+SchedulerOptions
+withPlanner(core::PlannerMode mode, double window_ns = 2e6)
+{
+    core::PlannerOptions planner;
+    planner.mode = mode;
+    planner.window_ns = window_ns;
+    planner.min_window_requests = 4;
+    planner.hysteresis = 0.0;
+    return SchedulerOptions::builder()
+        .maxQueueDepth(256)
+        .maxBatch(4)
+        .plannerOptions(planner)
+        .build()
+        .value();
+}
+
+TEST(PlannerServe, OffAndOfflineScheduleIdentically)
+{
+    // Offline mode is the session path with observation disabled: on
+    // a homogeneous pool it must reproduce the legacy (off) schedule
+    // decision for decision — same completions, same timeline.
+    auto arrivals = mixedArrivals(24, 1e6, 7);
+    auto pool_off = makePool(2);
+    auto pool_offline = makePool(2);
+    auto off = Scheduler(pool_off,
+                         withPlanner(core::PlannerMode::off))
+                   .run(arrivals);
+    auto offline = Scheduler(pool_offline,
+                             withPlanner(core::PlannerMode::offline))
+                       .run(arrivals);
+
+    EXPECT_EQ(off.completed, offline.completed);
+    EXPECT_EQ(off.batches, offline.batches);
+    EXPECT_EQ(off.makespan_ns, offline.makespan_ns);
+    EXPECT_EQ(off.goodput_rps, offline.goodput_rps);
+    EXPECT_EQ(off.e2e.p99_ns, offline.e2e.p99_ns);
+    ASSERT_EQ(off.completions.size(), offline.completions.size());
+    for (std::size_t i = 0; i < off.completions.size(); ++i) {
+        EXPECT_EQ(off.completions[i].done_ns,
+                  offline.completions[i].done_ns);
+        EXPECT_EQ(off.completions[i].device,
+                  offline.completions[i].device);
+    }
+    EXPECT_EQ(offline.planner.mode, core::PlannerMode::offline);
+    EXPECT_EQ(offline.planner.replans, 0u);
+    EXPECT_EQ(off.planner.mode, core::PlannerMode::off);
+}
+
+TEST(PlannerServe, OnlineRunsReplayByteIdentically)
+{
+    auto arrivals = mixedArrivals(48, 5e5, 11);
+    auto once = [&arrivals]() {
+        auto pool = makePool(2);
+        auto stats =
+            Scheduler(pool, withPlanner(core::PlannerMode::online))
+                .run(arrivals);
+        return serveStatsJson(stats);
+    };
+    EXPECT_EQ(once(), once());
+}
+
+TEST(PlannerServe, OnlineObservesAndExposesPlanEpochs)
+{
+    // A single-workload flood: windows close, candidates get priced,
+    // and any swap is visible through planEpoch and the stats.
+    std::vector<fleet::WorkloadSpec> mix = {
+        {"tenant-boot", Priority::normal, trace::bootstrapTrace(),
+         1.0},
+    };
+    auto arrivals = fleet::TrafficGen::openLoop(mix, 48, 5e5, 3);
+    auto pool = makePool(2);
+    SchedulerSession session(pool,
+                             withPlanner(core::PlannerMode::online),
+                             FaultPlan::none());
+    EXPECT_EQ(session.planEpoch("Bootstrap"), 0u);
+    session.offer(arrivals);
+    auto stats = session.finish();
+
+    EXPECT_EQ(stats.planner.mode, core::PlannerMode::online);
+    EXPECT_GT(stats.planner.windows, 0u);
+    EXPECT_GT(stats.planner.measurements, 0u);
+    EXPECT_EQ(stats.planner.workloads, 1u);
+    EXPECT_TRUE(stats.balanced());
+    EXPECT_EQ(stats.completed, arrivals.size());
+}
+
+TEST(PlanCache, ConfigKeyedEntriesInvalidateIndependently)
+{
+    auto stream = trace::bootstrapTrace();
+    sim::FastSystem system{hw::FastConfig::fast()};
+    auto aether = system.makeAether();
+    auto base_config = aether.run(stream);
+    core::ObservedCosts churn;
+    churn.reuse_scale = 0.0;
+    auto churn_config = aether.select(aether.analyze(stream), churn);
+
+    PlanCache cache;
+    ASSERT_TRUE(cache.fetch(system, stream).isOk());
+    ASSERT_TRUE(cache.fetch(system, stream, base_config).isOk());
+    ASSERT_TRUE(cache.fetch(system, stream, churn_config).isOk());
+    EXPECT_EQ(cache.misses(), 3u);
+
+    // Dropping one config's entry leaves the others warm.
+    EXPECT_TRUE(cache
+                    .invalidate(system.config(), stream, base_config)
+                    .isOk());
+    EXPECT_EQ(cache
+                  .invalidate(system.config(), stream, base_config)
+                  .code(),
+              StatusCode::unavailable);
+    std::size_t hits_before = cache.hits();
+    ASSERT_TRUE(cache.fetch(system, stream).isOk());
+    ASSERT_TRUE(cache.fetch(system, stream, churn_config).isOk());
+    EXPECT_EQ(cache.hits(), hits_before + 2);
+    ASSERT_TRUE(cache.fetch(system, stream, base_config).isOk());
+    EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(PlannerServe, PlanCorruptFaultRacesInvalidationSafely)
+{
+    // A scheduled plan_corrupt fault fires mid-run while an outside
+    // thread hammers invalidate on every key form the scheduler
+    // could be using. The run must stay crash-free and balanced —
+    // the cache's locking plus the planner's planning-thread
+    // discipline make the race benign.
+    auto stream = trace::bootstrapTrace();
+    sim::FastSystem probe{hw::FastConfig::fast()};
+    auto aether = probe.makeAether();
+    auto base_config = aether.run(stream);
+
+    std::vector<fleet::WorkloadSpec> mix = {
+        {"tenant-boot", Priority::normal, stream, 1.0},
+    };
+    auto arrivals = fleet::TrafficGen::openLoop(mix, 32, 1e6, 5);
+
+    FaultPlan plan;
+    plan.name = "corrupt-mid-run";
+    FaultEvent corrupt;
+    corrupt.kind = FaultKind::plan_corrupt;
+    corrupt.workload = "Bootstrap";
+    corrupt.at_ns = 4e6;
+    plan.events.push_back(corrupt);
+
+    auto pool = makePool(2);
+    SchedulerSession session(pool,
+                             withPlanner(core::PlannerMode::online),
+                             plan);
+    session.offer(arrivals);
+
+    // The racing invalidator: a standalone cache sharing the same
+    // key space exercises fetch/invalidate interleavings while the
+    // session runs its own planning loop.
+    PlanCache shared;
+    std::atomic<bool> stop{false};
+    std::thread invalidator([&]() {
+        while (!stop.load()) {
+            shared.fetch(probe, stream);
+            shared.fetch(probe, stream, base_config);
+            shared.invalidate(probe.config(), stream);
+            shared.invalidate(probe.config(), stream, base_config);
+        }
+    });
+    auto stats = session.finish();
+    stop.store(true);
+    invalidator.join();
+
+    EXPECT_TRUE(stats.balanced());
+    EXPECT_GE(stats.faults.plan_faults, 1u);
+    EXPECT_GT(shared.misses(), 0u);
+    EXPECT_EQ(stats.completed + stats.timed_out + stats.rejected,
+              stats.submitted);
+}
+
+} // namespace
+} // namespace fast::serve

@@ -11,7 +11,7 @@
 #include <utility>
 #include <vector>
 
-#include "serve/status.hpp"
+#include "core/status.hpp"
 
 namespace fast::serve {
 namespace {
