@@ -58,18 +58,10 @@ shardCounts()
 std::vector<fast::fleet::WorkloadSpec>
 workloadMix()
 {
-    using fast::fleet::WorkloadSpec;
-    using fast::serve::Priority;
-    std::vector<WorkloadSpec> mix;
-    mix.push_back({"", Priority::high,
-                   fast::trace::bootstrapTrace(), 1.0});
-    mix.push_back({"", Priority::normal,
-                   fast::trace::helrTrace(256), 2.0});
-    mix.push_back({"", Priority::normal,
-                   fast::trace::resnetTrace(), 2.0});
-    mix.push_back({"", Priority::low,
-                   fast::trace::resnetTrace(), 1.0});
-    return mix;
+    // The canonical six-workload mix; tenants are Zipf-drawn from the
+    // simulated population, so the labels are ignored and only the
+    // priorities and weights matter here.
+    return fast::fleet::TrafficGen::servingMix();
 }
 
 fast::fleet::FleetOptions
@@ -170,8 +162,9 @@ main(int argc, char **argv)
         std::string("Fleet serving: 1/2/4/8 shards x {steady, "
                     "diurnal, burst, shard-loss} (BENCH_fleet.json)") +
         (g_smoke ? " [smoke]" : ""));
-    bench::note("mix: Bootstrap(high) : HELR(normal) : ResNet(normal) "
-                ": batch(low) at 1:2:2:1, Zipf tenants over 2M users");
+    bench::note("mix: Bootstrap(high) : HELR : ResNet : PIR : "
+                "Transformer : SchemeSwitch(low) at 1:2:2:2:1:1, "
+                "Zipf tenants over 2M users");
     bench::note("shard = 2 FAST devices, priority queue depth 16, "
                 "batch 4; epoch 10 ms");
 

@@ -48,18 +48,10 @@ constexpr double kMeanInterarrivalNs = 2.0e6;  // 2 ms open loop
 std::vector<fast::fleet::WorkloadSpec>
 mixedTenantLoad()
 {
-    using fast::fleet::WorkloadSpec;
-    using fast::serve::Priority;
-    std::vector<WorkloadSpec> mix;
-    // Bootstrap refreshes are latency-critical control traffic; the
-    // training/inference tenants supply the bulk of the volume.
-    mix.push_back({"tenant-boot", Priority::high,
-                   fast::trace::bootstrapTrace(), 1.0});
-    mix.push_back({"tenant-helr", Priority::normal,
-                   fast::trace::helrTrace(256), 2.0});
-    mix.push_back({"tenant-resnet", Priority::normal,
-                   fast::trace::resnetTrace(), 2.0});
-    return mix;
+    // The canonical six-workload tenant population: Bootstrap control
+    // traffic, HELR/ResNet/PIR volume, the rotation-heavy transformer
+    // block, and the low-priority CKKS<->binary scheme-switch tenant.
+    return fast::fleet::TrafficGen::servingMix();
 }
 
 /**
@@ -257,8 +249,9 @@ report()
     using namespace fast;
     bench::header("Serving runtime: open-loop mixed load, 1/2/4 FAST "
                   "devices (BENCH_serve.json)");
-    bench::note("mix: Bootstrap (high prio) : HELR-256 : ResNet-20 "
-                "at 1:2:2, Poisson arrivals, mean gap 2 ms");
+    bench::note("mix: Bootstrap (high) : HELR-256 : ResNet-20 : PIR : "
+                "Transformer : SchemeSwitch (low) at 1:2:2:2:1:1, "
+                "Poisson arrivals, mean gap 2 ms");
 
     auto arrivals = fleet::TrafficGen::openLoop(
         mixedTenantLoad(), kRequests, kMeanInterarrivalNs, kSeed);
@@ -375,9 +368,16 @@ main(int argc, char **argv)
     if (smoke) {
         // CI gate: the serving report must carry the evk bottleneck
         // metrics this repo tracks (and regenerate the live metrics
-        // snapshot, which report() already wrote). No micro-benchmark
-        // pass — the smoke profile is the deterministic replay only.
-        const char *required[] = {"evk_fetch_share", "evk_bytes_saved"};
+        // snapshot, which report() already wrote), plus a per-tenant
+        // row for every workload family in the mix — the diverse-mix
+        // rows are how a dropped workload would be caught. No
+        // micro-benchmark pass — the smoke profile is the
+        // deterministic replay only.
+        const char *required[] = {
+            "evk_fetch_share", "evk_bytes_saved",  "tenant-boot",
+            "tenant-helr",     "tenant-resnet",    "tenant-pir",
+            "tenant-transformer", "tenant-switch",
+        };
         for (const char *field : required) {
             if (json.find(field) == std::string::npos) {
                 std::printf("SMOKE FAIL: \"%s\" missing from "
@@ -386,7 +386,34 @@ main(int argc, char **argv)
                 return 1;
             }
         }
-        std::printf("smoke: evk metrics present in serving report\n");
+        std::printf("smoke: evk metrics + all six workload rows "
+                    "present in serving report\n");
+        // Same-seed replay gate: the mixed-tenant run is a pure
+        // function of its seed, byte for byte.
+        auto replay = [] {
+            auto arrivals = fast::fleet::TrafficGen::openLoop(
+                mixedTenantLoad(), kRequests, kMeanInterarrivalNs,
+                kSeed);
+            auto pool = fast::serve::DevicePool::builder()
+                            .add(fast::hw::FastConfig::fast(), 2)
+                            .build()
+                            .value();
+            fast::serve::Scheduler scheduler(
+                pool, fast::serve::SchedulerOptions::builder()
+                          .policy(fast::serve::QueuePolicy::priority)
+                          .maxQueueDepth(256)
+                          .maxBatch(4)
+                          .build()
+                          .value());
+            return fast::serve::serveStatsJson(scheduler.run(arrivals));
+        };
+        if (replay() != replay()) {
+            std::printf("SMOKE FAIL: same-seed mixed-tenant replay "
+                        "is not byte-identical\n");
+            return 1;
+        }
+        std::printf("smoke: same-seed mixed-tenant replay is "
+                    "byte-identical\n");
         return 0;
     }
     ::benchmark::Initialize(&argc, argv);

@@ -19,11 +19,22 @@
  * `testkit_fuzz --replay <seed>`. Failing seeds are also appended to
  * testkit_failures.txt (the nightly job uploads it as an artifact).
  *
- * Flags: --smoke (CI profile, 220 programs), --programs N,
- * --start-seed S, --params small|medium-klss, --replay SEED,
- * --skip-negative, --skip-model-check, --seed-evk (model-check the
- * scheduler with seed-expanded evk transfers enabled — the nightly
- * leg pins that path; without the flag the full-transfer path runs).
+ * After the random-program sweep the driver fuzzes the three serving
+ * workload families (PIR, transformer, scheme-switch) through the
+ * same oracle — `generateWorkloadProgram` shapes each program like
+ * its family, so the strict reference, metamorphic checks, and
+ * nightly sanitizers exercise the exact op mixes the serving tier
+ * benchmarks.
+ *
+ * Flags: --smoke (CI profile, 220 programs + 12 per family),
+ * --programs N, --start-seed S, --params small|medium-klss,
+ * --replay SEED, --family pir|transformer|scheme-switch (restrict the
+ * sweep to ONE workload family — the nightly per-workload legs;
+ * --programs then sizes that family's sweep and the random-program
+ * sweep is skipped), --skip-negative, --skip-model-check, --seed-evk
+ * (model-check the scheduler with seed-expanded evk transfers enabled
+ * — the nightly leg pins that path; without the flag the
+ * full-transfer path runs).
  */
 #include <cstdio>
 #include <cstring>
@@ -109,6 +120,86 @@ recordFailure(std::uint64_t seed, const std::string &params_name,
                  params_name.c_str(), failure.instr_id,
                  failure.kind.c_str(), failure.detail.c_str());
     std::fclose(f);
+}
+
+/** One workload-family-shaped oracle run. */
+testkit::OracleReport
+runFamilySeed(const ckks::CkksParams &params,
+              testkit::WorkloadFamily family, std::uint64_t seed,
+              const testkit::OracleOptions &options = {})
+{
+    testkit::Program program =
+        testkit::generateWorkloadProgram(family, params, seed);
+    testkit::DifferentialFixture fixture(params);
+    return testkit::runOracle(program, fixture, options);
+}
+
+bool
+parseFamily(std::string name, testkit::WorkloadFamily *out)
+{
+    for (char &c : name)
+        c = c == '-' ? '_' : c;
+    for (testkit::WorkloadFamily family : testkit::kWorkloadFamilies) {
+        if (name == testkit::toString(family)) {
+            *out = family;
+            return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * Fuzz one workload family through the oracle: @p count seed-swept
+ * programs shaped like the family's serving trace. Returns the number
+ * of failing programs and folds coverage into @p totals.
+ */
+int
+familySweep(const ckks::CkksParams &params,
+            testkit::WorkloadFamily family, std::size_t count,
+            std::uint64_t start_seed,
+            const testkit::OracleOptions &options, Totals &totals)
+{
+    int failures = 0;
+    for (std::uint64_t seed = start_seed; seed < start_seed + count;
+         ++seed) {
+        auto report = runFamilySeed(params, family, seed, options);
+        totals.absorb(report);
+        if (report.ok())
+            continue;
+        ++failures;
+        std::printf("  FAIL family=%s seed=%llu at instr %%%zu [%s]: "
+                    "%s\n",
+                    testkit::toString(family),
+                    static_cast<unsigned long long>(seed),
+                    report.failure->instr_id,
+                    report.failure->kind.c_str(),
+                    report.failure->detail.c_str());
+        std::printf("  reproducer: testkit_fuzz --replay %llu "
+                    "--family %s --params %s\n",
+                    static_cast<unsigned long long>(seed),
+                    testkit::toString(family),
+                    params.name == "Test-M-KLSS" ? "medium-klss"
+                                                 : "small");
+        recordFailure(seed,
+                      params.name + std::string(" family=") +
+                          testkit::toString(family),
+                      *report.failure);
+    }
+    std::printf("  family %s: %zu programs, %zu hoisted groups, "
+                "%zu hybrid + %zu klss switches\n",
+                testkit::toString(family), count,
+                totals.hoisted_groups, totals.hybrid_switches,
+                totals.klss_switches);
+    // Every family leans on hoisting (PIR folds, BSGS babies,
+    // extraction batches): a sweep that never hoists means the
+    // generator lost its family shape.
+    if (count >= 8 && totals.hoisted_groups == 0) {
+        ++failures;
+        std::printf("  FAIL coverage: family %s never exercised a "
+                    "hoisted group\n",
+                    testkit::toString(family));
+    }
+    return failures;
 }
 
 /** Shrink a failing seed and print the full reproducer report. */
@@ -206,6 +297,8 @@ main(int argc, char **argv)
     bool skip_negative = false;
     bool skip_model_check = false;
     bool seed_evk = false;
+    bool family_only = false;
+    testkit::WorkloadFamily only_family = testkit::WorkloadFamily::pir;
     std::size_t programs = 0;
     std::uint64_t start_seed = 1;
     std::string params_name = "small";
@@ -220,7 +313,15 @@ main(int argc, char **argv)
             skip_model_check = true;
         else if (std::strcmp(argv[i], "--seed-evk") == 0)
             seed_evk = true;
-        else if (std::strcmp(argv[i], "--programs") == 0 &&
+        else if (std::strcmp(argv[i], "--family") == 0 && i + 1 < argc) {
+            if (!parseFamily(argv[++i], &only_family)) {
+                std::printf("unknown --family %s (expected pir, "
+                            "transformer, or scheme-switch)\n",
+                            argv[i]);
+                return 2;
+            }
+            family_only = true;
+        } else if (std::strcmp(argv[i], "--programs") == 0 &&
                  i + 1 < argc)
             programs = static_cast<std::size_t>(
                 std::strtoull(argv[++i], nullptr, 10));
@@ -234,7 +335,10 @@ main(int argc, char **argv)
                 std::strtoull(argv[++i], nullptr, 10));
     }
     if (programs == 0)
-        programs = smoke ? 220 : 500;
+        programs = family_only ? 120 : smoke ? 220 : 500;
+    // Programs per family in the combined profile (a dedicated
+    // --family leg sizes itself with --programs instead).
+    const std::size_t family_programs = smoke ? 12 : 40;
 
     auto params = paramsByName(params_name);
     testkit::OracleOptions oracle_options;
@@ -243,14 +347,34 @@ main(int argc, char **argv)
         // Reproducer mode: one seed, full listing, loud verdict.
         auto seed = static_cast<std::uint64_t>(replay_seed);
         header("testkit_fuzz --replay " + std::to_string(seed) +
+               (family_only ? std::string(" --family ") +
+                                  testkit::toString(only_family)
+                            : "") +
                " (" + params.name + ")");
         testkit::Program program =
-            testkit::generateProgram(params, seed);
+            family_only ? testkit::generateWorkloadProgram(
+                              only_family, params, seed)
+                        : testkit::generateProgram(params, seed);
         std::fputs(testkit::toString(program).c_str(), stdout);
-        auto report = runSeed(params, seed, oracle_options);
+        auto report =
+            family_only
+                ? runFamilySeed(params, only_family, seed,
+                                oracle_options)
+                : runSeed(params, seed, oracle_options);
         if (!report.ok()) {
-            reportOracleFailure(params, seed, *report.failure,
-                                oracle_options);
+            if (family_only) {
+                std::printf("  FAIL at instr %%%zu [%s]: %s\n",
+                            report.failure->instr_id,
+                            report.failure->kind.c_str(),
+                            report.failure->detail.c_str());
+                recordFailure(seed,
+                              params.name + std::string(" family=") +
+                                  testkit::toString(only_family),
+                              *report.failure);
+            } else {
+                reportOracleFailure(params, seed, *report.failure,
+                                    oracle_options);
+            }
             return 1;
         }
         note("seed passes: " + std::to_string(report.exact_checks) +
@@ -260,48 +384,79 @@ main(int argc, char **argv)
         return 0;
     }
 
-    header("Differential fuzzing: " + std::to_string(programs) +
-           " random programs over " + params.name +
-           ", seeds [" + std::to_string(start_seed) + ", " +
-           std::to_string(start_seed + programs) + ")" +
-           (smoke ? " [smoke]" : ""));
-    note("oracle: production evaluator vs strict scalar reference, "
-         "limb-exact + metamorphic properties");
-
     int failures = 0;
     Totals totals;
-    for (std::uint64_t seed = start_seed;
-         seed < start_seed + programs; ++seed) {
-        auto report = runSeed(params, seed, oracle_options);
-        totals.absorb(report);
-        if (!report.ok()) {
+    if (!family_only) {
+        header("Differential fuzzing: " + std::to_string(programs) +
+               " random programs over " + params.name +
+               ", seeds [" + std::to_string(start_seed) + ", " +
+               std::to_string(start_seed + programs) + ")" +
+               (smoke ? " [smoke]" : ""));
+        note("oracle: production evaluator vs strict scalar reference, "
+             "limb-exact + metamorphic properties");
+
+        for (std::uint64_t seed = start_seed;
+             seed < start_seed + programs; ++seed) {
+            auto report = runSeed(params, seed, oracle_options);
+            totals.absorb(report);
+            if (!report.ok()) {
+                ++failures;
+                reportOracleFailure(params, seed, *report.failure,
+                                    oracle_options);
+            }
+        }
+        std::printf("  %zu programs, %zu instructions, %zu exact + %zu "
+                    "metamorphic checks\n",
+                    totals.programs, totals.instructions,
+                    totals.exact_checks, totals.metamorphic_checks);
+        std::printf("  key-switch coverage: %zu hybrid, %zu klss, %zu "
+                    "hoisted groups\n",
+                    totals.hybrid_switches, totals.klss_switches,
+                    totals.hoisted_groups);
+        std::printf("  dataflow coverage: %zu standard, %zu reordered, "
+                    "%zu fused\n",
+                    totals.standard_dataflows,
+                    totals.reordered_dataflows,
+                    totals.fused_dataflows);
+        if (totals.programs >= 20 &&
+            (totals.standard_dataflows == 0 ||
+             totals.reordered_dataflows == 0 ||
+             totals.fused_dataflows == 0)) {
             ++failures;
-            reportOracleFailure(params, seed, *report.failure,
-                                oracle_options);
+            std::printf("  FAIL coverage: a key-switch dataflow "
+                        "variant was never exercised\n");
+        }
+        if (failures == 0)
+            note("all programs match the reference limb for limb");
+    }
+
+    // Per-workload-family sweeps: the serving mixes (PIR, transformer,
+    // scheme-switch) shaped into oracle programs, seed-swept.
+    std::vector<std::pair<testkit::WorkloadFamily, Totals>> families;
+    if (family_only) {
+        header(std::string("Workload-family fuzzing: ") +
+               testkit::toString(only_family) + " x " +
+               std::to_string(programs) + " programs over " +
+               params.name);
+        Totals family_totals;
+        failures += familySweep(params, only_family, programs,
+                                start_seed, oracle_options,
+                                family_totals);
+        families.emplace_back(only_family, family_totals);
+    } else {
+        header("Workload-family fuzzing: pir / transformer / "
+               "scheme_switch x " +
+               std::to_string(family_programs) + " programs over " +
+               params.name + (smoke ? " [smoke]" : ""));
+        for (testkit::WorkloadFamily family :
+             testkit::kWorkloadFamilies) {
+            Totals family_totals;
+            failures += familySweep(params, family, family_programs,
+                                    start_seed, oracle_options,
+                                    family_totals);
+            families.emplace_back(family, family_totals);
         }
     }
-    std::printf("  %zu programs, %zu instructions, %zu exact + %zu "
-                "metamorphic checks\n",
-                totals.programs, totals.instructions,
-                totals.exact_checks, totals.metamorphic_checks);
-    std::printf("  key-switch coverage: %zu hybrid, %zu klss, %zu "
-                "hoisted groups\n",
-                totals.hybrid_switches, totals.klss_switches,
-                totals.hoisted_groups);
-    std::printf("  dataflow coverage: %zu standard, %zu reordered, "
-                "%zu fused\n",
-                totals.standard_dataflows, totals.reordered_dataflows,
-                totals.fused_dataflows);
-    if (totals.programs >= 20 &&
-        (totals.standard_dataflows == 0 ||
-         totals.reordered_dataflows == 0 ||
-         totals.fused_dataflows == 0)) {
-        ++failures;
-        std::printf("  FAIL coverage: a key-switch dataflow variant "
-                    "was never exercised\n");
-    }
-    if (failures == 0)
-        note("all programs match the reference limb for limb");
 
     if (!skip_negative)
         failures += negativeSelfTest(params);
@@ -349,6 +504,27 @@ main(int argc, char **argv)
             std::to_string(totals.reordered_dataflows) +
             ", \"fused\": " +
             std::to_string(totals.fused_dataflows) + "},\n";
+    json += "  \"workload_families\": [\n";
+    for (std::size_t i = 0; i < families.size(); ++i) {
+        const Totals &t = families[i].second;
+        json += std::string("    {\"family\": \"") +
+                testkit::toString(families[i].first) + "\"" +
+                ", \"programs\": " + std::to_string(t.programs) +
+                ", \"instructions\": " +
+                std::to_string(t.instructions) +
+                ", \"exact_checks\": " +
+                std::to_string(t.exact_checks) +
+                ", \"metamorphic_checks\": " +
+                std::to_string(t.metamorphic_checks) +
+                ", \"hybrid_switches\": " +
+                std::to_string(t.hybrid_switches) +
+                ", \"klss_switches\": " +
+                std::to_string(t.klss_switches) +
+                ", \"hoisted_groups\": " +
+                std::to_string(t.hoisted_groups) + "}";
+        json += i + 1 < families.size() ? ",\n" : "\n";
+    }
+    json += "  ],\n";
     json += std::string("  \"seed_evk\": ") +
             (seed_evk ? "true" : "false") + ",\n";
     json += "  \"model_check\": {\"scenarios\": " +

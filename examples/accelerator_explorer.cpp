@@ -25,6 +25,12 @@ main(int argc, char **argv)
         stream = trace::helrTrace(1024);
     } else if (workload == "ResNet-20") {
         stream = trace::resnetTrace();
+    } else if (workload == "PIR") {
+        stream = trace::pirTrace();
+    } else if (workload == "Transformer") {
+        stream = trace::transformerTrace();
+    } else if (workload == "SchemeSwitch") {
+        stream = trace::schemeSwitchTrace();
     } else {
         workload = "Bootstrap";
         stream = trace::bootstrapTrace();

@@ -111,7 +111,8 @@ AetherConfig::klssShare() const
 }
 
 Aether::Aether(cost::KeySwitchCostModel model, Settings settings)
-    : model_(model), worksets_(model), settings_(settings)
+    : model_(model), ss_model_(model), worksets_(model),
+      settings_(settings)
 {
 }
 
@@ -159,6 +160,41 @@ Aether::makeCandidate(const ckks::KeySwitchVariant &variant,
     return c;
 }
 
+MctCandidate
+Aether::makeConversionCandidate(const ckks::KeySwitchVariant &variant,
+                                std::size_t ell, std::size_t rotations,
+                                bool to_binary) const
+{
+    auto dir = to_binary ? cost::ConversionDirection::to_binary
+                         : cost::ConversionDirection::to_ckks;
+    MctCandidate c;
+    c.method = variant.method;
+    c.dataflow = variant.dataflow;
+    c.hoist = rotations;
+    c.cost_ops =
+        ss_model_.conversion(dir, variant, ell, rotations).total();
+    // Digits stay resident across the extraction/repack rotations
+    // exactly as for a hoisted site; the conversion key replaces the
+    // rotation evk.
+    c.key_bytes =
+        model_.digitsBytes(variant.method, ell) +
+        ss_model_.conversionKeyBytes(dir, variant.method, ell);
+    if (settings_.variant_delay_estimator) {
+        // The estimator covers the hoisted key-switch share; the
+        // conversion extras ride on the generic ops/s scale.
+        c.delay_s =
+            settings_.variant_delay_estimator(variant, ell, rotations) +
+            ss_model_.conversionExtras(dir, ell, rotations).total() /
+                settings_.ops_per_s;
+    } else {
+        c.delay_s = c.cost_ops / settings_.ops_per_s;
+    }
+    c.transfer_s =
+        ss_model_.conversionKeyBytes(dir, variant.method, ell) /
+        settings_.hbm_bytes_per_s;
+    return c;
+}
+
 std::vector<MctEntry>
 Aether::analyze(const trace::OpStream &stream) const
 {
@@ -179,6 +215,38 @@ Aether::analyze(const trace::OpStream &stream) const
         entry.level = op.level;
         entry.is_rotation = op.kind == trace::FheOpKind::hrot;
 
+        // Candidates: method x dataflow x hoisting. Standard dataflow
+        // is pushed first per method so STEP-3's smaller-key tie break
+        // keeps the textbook pipeline unless a CiFlow variant wins by
+        // more than the tolerance.
+        std::vector<ckks::KeySwitchDataflow> dataflows = {
+            ckks::KeySwitchDataflow::standard};
+        if (settings_.allow_dataflow) {
+            dataflows.push_back(ckks::KeySwitchDataflow::reordered);
+            dataflows.push_back(ckks::KeySwitchDataflow::fused);
+        }
+        std::vector<KeySwitchMethod> methods = {KeySwitchMethod::hybrid};
+        if (settings_.allow_klss)
+            methods.push_back(KeySwitchMethod::klss);
+
+        if (trace::isSchemeSwitch(op.kind)) {
+            // A conversion is one trace op whose hoist_size carries
+            // its extraction/repack rotation count; the pipeline
+            // shares one decomposition by construction, so only the
+            // hoisted configuration is a candidate.
+            entry.is_conversion = true;
+            entry.to_binary = op.kind == trace::FheOpKind::ckks_to_bin;
+            entry.times = std::max<std::size_t>(1, op.hoist_size);
+            entry.key_ids.push_back(entry.to_binary ? -3 : -4);
+            for (KeySwitchMethod m : methods)
+                for (auto df : dataflows)
+                    entry.candidates.push_back(makeConversionCandidate(
+                        ckks::KeySwitchVariant::of(m, df), entry.level,
+                        entry.times, entry.to_binary));
+            mct.push_back(std::move(entry));
+            continue;
+        }
+
         if (op.hoist_group != 0) {
             if (op.hoist_group == processed_group)
                 continue;  // rest of an already-analyzed group
@@ -196,19 +264,6 @@ Aether::analyze(const trace::OpStream &stream) const
                     : (op.kind == trace::FheOpKind::hmult ? -1 : -2));
         }
 
-        // Candidates: method x dataflow x hoisting. Standard dataflow
-        // is pushed first per method so STEP-3's smaller-key tie break
-        // keeps the textbook pipeline unless a CiFlow variant wins by
-        // more than the tolerance.
-        std::vector<ckks::KeySwitchDataflow> dataflows = {
-            ckks::KeySwitchDataflow::standard};
-        if (settings_.allow_dataflow) {
-            dataflows.push_back(ckks::KeySwitchDataflow::reordered);
-            dataflows.push_back(ckks::KeySwitchDataflow::fused);
-        }
-        std::vector<KeySwitchMethod> methods = {KeySwitchMethod::hybrid};
-        if (settings_.allow_klss)
-            methods.push_back(KeySwitchMethod::klss);
         for (KeySwitchMethod m : methods)
             for (auto df : dataflows)
                 entry.candidates.push_back(
@@ -289,13 +344,24 @@ Aether::select(const std::vector<MctEntry> &mct,
     // modeling Hemera's pool reuse across sites.
     std::map<std::pair<int, KeySwitchMethod>, double> resident;
 
-    auto incrementalTransfer = [&](const MctEntry &entry,
-                                   const MctCandidate &c) {
+    // Bytes of one evk for (entry, candidate): conversion sites use
+    // the conversion key, non-hoisted hybrid sites the Min-KS key.
+    auto perKeyBytes = [&](const MctEntry &entry,
+                           const MctCandidate &c) {
+        if (entry.is_conversion)
+            return ss_model_.conversionKeyBytes(
+                entry.to_binary ? cost::ConversionDirection::to_binary
+                                : cost::ConversionDirection::to_ckks,
+                c.method, entry.level);
         bool min_ks = c.hoist == 1 &&
                       c.method == KeySwitchMethod::hybrid;
-        double per_key = min_ks
-                             ? model_.evkBytesMinKs(c.method)
-                             : model_.evkBytes(c.method, entry.level);
+        return min_ks ? model_.evkBytesMinKs(c.method)
+                      : model_.evkBytes(c.method, entry.level);
+    };
+
+    auto incrementalTransfer = [&](const MctEntry &entry,
+                                   const MctCandidate &c) {
+        double per_key = perKeyBytes(entry, c);
         double bytes = 0;
         for (int id : entry.key_ids) {
             auto it = resident.find({id, c.method});
@@ -335,12 +401,7 @@ Aether::select(const std::vector<MctEntry> &mct,
             // Amortization requires the surrounding key working set
             // to actually fit the reserve — otherwise the key gets
             // evicted before its next use and pays full freight.
-            bool min_ks = c.hoist == 1 &&
-                          c.method == KeySwitchMethod::hybrid;
-            double per_key = min_ks
-                                 ? model_.evkBytesMinKs(c.method)
-                                 : model_.evkBytes(c.method,
-                                                   entry.level);
+            double per_key = perKeyBytes(entry, c);
             double window_set =
                 static_cast<double>(distinctKeysInWindow(entry_index)) *
                 per_key;
@@ -406,7 +467,10 @@ Aether::select(const std::vector<MctEntry> &mct,
         }
 
         // Commit the chosen keys to the resident set.
-        double per_key = model_.evkBytes(best->method, entry.level);
+        double per_key =
+            entry.is_conversion
+                ? perKeyBytes(entry, *best)
+                : model_.evkBytes(best->method, entry.level);
         for (int id : entry.key_ids) {
             auto &have = resident[{id, best->method}];
             have = std::max(have, per_key);

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "cost/opcount.hpp"
+#include "cost/scheme_switch.hpp"
 #include "cost/worksets.hpp"
 #include "trace/op.hpp"
 
@@ -62,9 +63,14 @@ struct MctEntry {
     std::size_t level = 0;       ///< ell at execution
     std::size_t times = 1;       ///< rotations at this site (h or 1)
     bool is_rotation = false;    ///< HRot vs HMult/conjugate
+    /** CKKS<->binary conversion site (`ckks_to_bin`/`bin_to_ckks`):
+     *  costed with `cost::SchemeSwitchCostModel`, always hoisted
+     *  (the pipeline shares one decomposition by construction). */
+    bool is_conversion = false;
+    bool to_binary = false;      ///< extraction vs repack direction
     /** Identities of the evks this site consumes (rotation steps, or
-     *  a single relin/conj id), used for key-reuse-aware transfer
-     *  estimates. */
+     *  a single relin/conj id; -3 = extraction key, -4 = repack key),
+     *  used for key-reuse-aware transfer estimates. */
     std::vector<int> key_ids;
     std::vector<MctCandidate> candidates;
 };
@@ -198,8 +204,12 @@ class Aether
     MctCandidate makeCandidate(const ckks::KeySwitchVariant &variant,
                                std::size_t ell, std::size_t hoist,
                                std::size_t site_rotations) const;
+    MctCandidate makeConversionCandidate(
+        const ckks::KeySwitchVariant &variant, std::size_t ell,
+        std::size_t rotations, bool to_binary) const;
 
     cost::KeySwitchCostModel model_;
+    cost::SchemeSwitchCostModel ss_model_;
     cost::WorkingSetModel worksets_;
     Settings settings_;
 };

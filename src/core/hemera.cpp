@@ -120,7 +120,10 @@ Hemera::plan(const trace::OpStream &stream, const AetherConfig &config,
         AetherDecision d = config.decisionFor(i);
         stats_.config_lookups_ns += kConfigLookupNs;
 
-        bool is_rotation = op.kind == trace::FheOpKind::hrot;
+        // Conversion sites key-switch their extraction/repack
+        // rotations, so they draw on the rotation key pool.
+        bool is_rotation = op.kind == trace::FheOpKind::hrot ||
+                           trace::isSchemeSwitch(op.kind);
         auto looked = pool_.lookup(std::min(op.level, max_level),
                                    d.variant(), is_rotation);
         if (!looked)
@@ -136,9 +139,12 @@ Hemera::plan(const trace::OpStream &stream, const AetherConfig &config,
         t.mode = options.mode;
         // A hoisted site needs all of its rotations' keys; a
         // sequential site streams them one at a time but still moves
-        // the same total volume.
+        // the same total volume. A conversion is a single op whose
+        // hoist_size carries its extraction/repack rotation count.
         double key_count = static_cast<double>(
-            op.hoist_group != 0 ? op.hoist_size : 1);
+            op.hoist_group != 0 || trace::isSchemeSwitch(op.kind)
+                ? op.hoist_size
+                : 1);
         t.full_bytes = entry.bytes * key_count;
         if (seed_mode) {
             // Only the `b` halves cross HBM; the `a` halves are

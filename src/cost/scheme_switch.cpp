@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Implementation of the scheme-switching cost model.
+ */
+#include "cost/scheme_switch.hpp"
+
+#include <cmath>
+
+namespace fast::cost {
+
+SchemeSwitchCostModel::SchemeSwitchCostModel(KeySwitchCostModel keyswitch,
+                                             Config config)
+    : ks_(keyswitch), config_(config)
+{
+}
+
+SchemeSwitchCostModel
+SchemeSwitchCostModel::fromParams(const ckks::CkksParams &params)
+{
+    return SchemeSwitchCostModel(KeySwitchCostModel::fromParams(params));
+}
+
+double
+SchemeSwitchCostModel::gateBootstrapOps() const
+{
+    // One blind rotation is n external products, each a pair of
+    // (I)NTTs plus the accumulator MACs over the small ring: the
+    // classic 4 n log2 n butterfly bound plus 2 n accumulator ops.
+    auto n = static_cast<double>(config_.bin_degree);
+    return 4.0 * n * std::log2(n) + 2.0 * n;
+}
+
+OpBreakdown
+SchemeSwitchCostModel::lutEval() const
+{
+    OpBreakdown b;
+    auto batch = static_cast<double>(config_.lut_batch);
+    double per_lut = gateBootstrapOps();
+    // The blind-rotation butterflies are NTT work; the accumulator
+    // MACs and the final sample extract are element-wise.
+    auto n = static_cast<double>(config_.bin_degree);
+    b.ntt = batch * (per_lut - 2.0 * n);
+    b.elementwise = batch * 3.0 * n;  // accumulate + sample extract
+    return b;
+}
+
+OpBreakdown
+SchemeSwitchCostModel::conversionExtras(ConversionDirection direction,
+                                        std::size_t ell,
+                                        std::size_t rotations) const
+{
+    OpBreakdown b;
+    auto n = static_cast<double>(ks_.config().degree);
+    auto limbs = static_cast<double>(ell + 1);
+    auto rots = static_cast<double>(std::max<std::size_t>(1, rotations));
+    if (direction == ConversionDirection::to_binary) {
+        // Scale/round every coefficient once per limb, then modulus-
+        // switch the gathered slots into the binary ring (a BConv-like
+        // MAC pass over the extraction outputs).
+        b.elementwise = n * limbs;
+        b.bconv = rots * static_cast<double>(config_.bin_degree) * limbs;
+    } else {
+        // Ring packing: one full-level (I)NTT pair over the big ring
+        // plus the scatter of the LWE results into slots.
+        b.ntt = 2.0 * ks_.nttOps() * limbs;
+        b.elementwise = n * limbs + rots * n;
+    }
+    return b;
+}
+
+OpBreakdown
+SchemeSwitchCostModel::conversion(ConversionDirection direction,
+                                  const ckks::KeySwitchVariant &variant,
+                                  std::size_t ell,
+                                  std::size_t rotations) const
+{
+    std::size_t rots = std::max<std::size_t>(1, rotations);
+    // The extraction/repack rotations share one decomposition — the
+    // conversion is a hoisted site by construction.
+    OpBreakdown b = ks_.keySwitch(variant, ell, rots);
+    b += conversionExtras(direction, ell, rots);
+    return b;
+}
+
+double
+SchemeSwitchCostModel::conversionKeyBytes(ConversionDirection direction,
+                                          ckks::KeySwitchMethod method,
+                                          std::size_t ell) const
+{
+    double base = ks_.evkBytes(method, ell);
+    return direction == ConversionDirection::to_ckks
+               ? base * config_.repack_key_scale
+               : base;
+}
+
+} // namespace fast::cost

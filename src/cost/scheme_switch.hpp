@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Cost model for Chameleon-style CKKS <-> binary scheme switching
+ * (PAPERS.md: Chameleon). A conversion site is one trace op covering
+ * the whole pipeline:
+ *
+ *   ckks_to_bin  slot extraction — a batch of hoisted rotations that
+ *                gathers the packed slots, a coefficient scale/round
+ *                pass, and the modulus switch into the small binary
+ *                ring;
+ *   lut_eval     one batch of binary-domain LUT evaluations (gate
+ *                bootstraps over the small ring — no CKKS key);
+ *   bin_to_ckks  repacking — hoisted rotations that scatter the LWE
+ *                results back into slots plus one full-level ring
+ *                packing NTT pass.
+ *
+ * The rotation share reuses `KeySwitchCostModel` (the conversions
+ * key-switch like any hoisted site, which is why Aether can score
+ * them in the MCT); the extraction/LUT/repack extras are the terms a
+ * pure key-switch model cannot see.
+ */
+#ifndef FAST_COST_SCHEME_SWITCH_HPP
+#define FAST_COST_SCHEME_SWITCH_HPP
+
+#include "cost/opcount.hpp"
+
+namespace fast::cost {
+
+/** Which way a conversion site crosses the scheme boundary. */
+enum class ConversionDirection {
+    to_binary,  ///< ckks_to_bin: slot extraction
+    to_ckks,    ///< bin_to_ckks: repacking (includes the refresh)
+};
+
+/**
+ * Conversion cost model layered over a `KeySwitchCostModel`. All
+ * compute is reported in the same modular-op units as the key-switch
+ * model so Aether can compare conversion candidates against ordinary
+ * key-switch sites with one `ops_per_s` scale.
+ */
+class SchemeSwitchCostModel
+{
+  public:
+    struct Config {
+        /** Binary-scheme ring degree n (TFHE-style small ring). */
+        std::size_t bin_degree = std::size_t(1) << 11;
+        /** LUT evaluations batched into one lut_eval trace op. */
+        std::size_t lut_batch = 64;
+        /**
+         * Repack-key size relative to a rotation evk at the same
+         * level (the ring-packing key carries an extra automorphism
+         * tower in Chameleon's construction).
+         */
+        double repack_key_scale = 1.25;
+    };
+
+    explicit SchemeSwitchCostModel(KeySwitchCostModel keyswitch)
+        : SchemeSwitchCostModel(keyswitch, Config{})
+    {
+    }
+    SchemeSwitchCostModel(KeySwitchCostModel keyswitch, Config config);
+
+    /** Build from a CKKS parameter set (key-switch model defaults). */
+    static SchemeSwitchCostModel fromParams(
+        const ckks::CkksParams &params);
+
+    const Config &config() const { return config_; }
+    const KeySwitchCostModel &keySwitchModel() const { return ks_; }
+
+    /**
+     * Full conversion cost at level @p ell with @p rotations
+     * extraction/repack rotations sharing one decomposition (the
+     * conversion is a single hoisted site by construction).
+     */
+    OpBreakdown conversion(ConversionDirection direction,
+                           const ckks::KeySwitchVariant &variant,
+                           std::size_t ell,
+                           std::size_t rotations) const;
+
+    /**
+     * The conversion-specific extras on top of the hoisted rotation
+     * key switches: extraction scale/round + modulus switch, or
+     * repack ring-packing NTT + scatter. This is what Aether adds to
+     * a plain hoisted candidate when costing a conversion site.
+     */
+    OpBreakdown conversionExtras(ConversionDirection direction,
+                                 std::size_t ell,
+                                 std::size_t rotations) const;
+
+    /** One lut_eval batch: `lut_batch` gate bootstraps. */
+    OpBreakdown lutEval() const;
+
+    /** Ops of a single gate bootstrap over the binary ring. */
+    double gateBootstrapOps() const;
+
+    /**
+     * Bytes of the conversion key (extraction key switches with a
+     * rotation-sized evk; the repack key is `repack_key_scale`
+     * heavier).
+     */
+    double conversionKeyBytes(ConversionDirection direction,
+                              ckks::KeySwitchMethod method,
+                              std::size_t ell) const;
+
+  private:
+    KeySwitchCostModel ks_;
+    Config config_;
+};
+
+} // namespace fast::cost
+
+#endif // FAST_COST_SCHEME_SWITCH_HPP

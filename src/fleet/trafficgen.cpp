@@ -9,6 +9,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "trace/workloads.hpp"
+
 namespace fast::fleet {
 
 namespace {
@@ -334,6 +336,38 @@ TrafficGen::openLoop(const std::vector<WorkloadSpec> &mix,
         out.push_back(std::move(request));
     }
     return out;
+}
+
+std::vector<WorkloadSpec>
+TrafficGen::servingMix()
+{
+    // Order matches trace::allServingWorkloads(). Bootstrap refreshes
+    // are latency-critical control traffic; HELR/ResNet/PIR supply the
+    // bulk of the volume; the transformer tenant stresses the hoisted
+    // rotation path; scheme switching rides at batch priority.
+    struct Entry {
+        const char *tenant;
+        serve::Priority priority;
+        double weight;
+    };
+    const Entry entries[] = {
+        {"tenant-boot", serve::Priority::high, 1.0},
+        {"tenant-helr", serve::Priority::normal, 2.0},
+        {"tenant-resnet", serve::Priority::normal, 2.0},
+        {"tenant-pir", serve::Priority::normal, 2.0},
+        {"tenant-transformer", serve::Priority::normal, 1.0},
+        {"tenant-switch", serve::Priority::low, 1.0},
+    };
+    auto streams = trace::allServingWorkloads();
+    if (streams.size() != std::size(entries))
+        throw std::logic_error(
+            "TrafficGen::servingMix: workload list changed size");
+    std::vector<WorkloadSpec> mix;
+    mix.reserve(streams.size());
+    for (std::size_t i = 0; i < streams.size(); ++i)
+        mix.push_back({entries[i].tenant, entries[i].priority,
+                       std::move(streams[i]), entries[i].weight});
+    return mix;
 }
 
 } // namespace fast::fleet

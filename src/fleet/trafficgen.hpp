@@ -146,6 +146,17 @@ class TrafficGen
     openLoop(const std::vector<WorkloadSpec> &mix, std::size_t count,
              double mean_interarrival_ns, std::uint64_t seed);
 
+    /**
+     * The canonical six-workload serving mix, one tenant per entry of
+     * `trace::allServingWorkloads()`: Bootstrap (high priority)
+     * control traffic, HELR-256 / ResNet-20 / PIR volume tenants, a
+     * rotation-heavy Transformer tenant, and a low-priority
+     * SchemeSwitch tenant carrying the CKKS<->binary conversions.
+     * With a Zipf tenant population the labels are ignored and only
+     * priorities/weights matter.
+     */
+    static std::vector<WorkloadSpec> servingMix();
+
   private:
     struct Client;
 

@@ -97,6 +97,8 @@ evkCacheKey(const trace::FheOp &op, KeySwitchMethod method)
     switch (op.kind) {
       case trace::FheOpKind::hmult: return id + ":relin";
       case trace::FheOpKind::conjugate: return id + ":conj";
+      case trace::FheOpKind::ckks_to_bin: return id + ":ext";
+      case trace::FheOpKind::bin_to_ckks: return id + ":rep";
       default: return id + ":rot" + std::to_string(op.rot_steps);
     }
 }
@@ -481,6 +483,42 @@ Lowering::lower(const trace::OpStream &stream,
           case trace::FheOpKind::modraise: {
             emitElementwise(out, l, 2.0, "modraise-lift");
             emitNtt(out, 2 * l, 36, 2, "modraise-ntt");
+            break;
+          }
+          case trace::FheOpKind::ckks_to_bin:
+          case trace::FheOpKind::bin_to_ckks: {
+            auto d = decisions.decisionFor(i);
+            bool to_bin = op.kind == trace::FheOpKind::ckks_to_bin;
+            std::size_t rots = std::max<std::size_t>(1, op.hoist_size);
+            // The extraction/repack rotations share one decomposition
+            // (the conversion is a hoisted site by construction); the
+            // conversion key is fetched once for the whole pipeline.
+            emitDecompose(out, d.method, op.level);
+            double fetch = evkFetch(op, d.method, op.level, true);
+            for (std::size_t r = 0; r < rots; ++r)
+                emitKeyMultModDown(out, d.variant(), op.level, true,
+                                   prefetch_enabled, r == 0 ? fetch : 0,
+                                   true);
+            if (to_bin) {
+                // Coefficient scale/round, then the modulus switch of
+                // the gathered slots into the small binary ring.
+                emitElementwise(out, l, 1.0, "extract-scale");
+                emitElementwise(out, 1, 1.0, "extract-modswitch");
+            } else {
+                // Ring packing: full-level (I)NTT pair over the big
+                // ring plus the scatter of LWE results into slots.
+                emitNtt(out, 2 * l, 36, 2, "repack-ntt");
+                emitElementwise(out, l, 1.0, "repack-scatter");
+            }
+            break;
+          }
+          case trace::FheOpKind::lut_eval: {
+            // One batch of gate bootstraps over the small binary ring
+            // (degree ~2^11 vs 2^16): blind-rotation butterflies ride
+            // the NTTU, accumulation and sample extract the KMU. No
+            // CKKS evaluation key crosses HBM.
+            emitNtt(out, 2, 36, 2, "lut-blind-rotate");
+            emitElementwise(out, 2, 1.0, "lut-accumulate");
             break;
           }
           case trace::FheOpKind::bootstrap_begin:

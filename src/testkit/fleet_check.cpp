@@ -21,6 +21,7 @@ enum class FleetScenarioKind {
     shard_loss,   ///< the high-priority home shard dies mid-run
     drain,        ///< autoscaler forced to drain down to min_shards
     scale_up,     ///< autoscaler forced to add up to max_shards
+    mixed,        ///< PIR-major + transformer-minor tenant population
 };
 
 const char *
@@ -31,6 +32,7 @@ toString(FleetScenarioKind kind)
     case FleetScenarioKind::shard_loss: return "shard-loss";
     case FleetScenarioKind::drain: return "drain";
     case FleetScenarioKind::scale_up: return "scale-up";
+    case FleetScenarioKind::mixed: return "mixed";
     }
     return "?";
 }
@@ -51,6 +53,7 @@ enumerateScenarios(const FleetCheckOptions &options)
         FleetScenarioKind::shard_loss,
         FleetScenarioKind::drain,
         FleetScenarioKind::scale_up,
+        FleetScenarioKind::mixed,
     };
     for (std::size_t shards : options.shard_counts) {
         for (std::uint64_t seed : options.seeds) {
@@ -95,6 +98,7 @@ fleetOptions(const FleetCheckOptions &check,
     switch (scenario.kind) {
     case FleetScenarioKind::steady:
     case FleetScenarioKind::shard_loss:
+    case FleetScenarioKind::mixed:
         break;
     case FleetScenarioKind::drain:
         // Watermark far above any achievable load: the autoscaler
@@ -163,6 +167,24 @@ checkFleet(const FleetCheckOptions &options)
     mix.push_back({"fuzz-b", serve::Priority::low,
                    lowerToOpStream(prog_b, params, "fuzz-b"), 2.0});
 
+    // Mixed-workload population: a PIR-shaped majority tenant next to
+    // a transformer-shaped minority. The router's evk-affinity credit
+    // consolidates the majority onto warm shards; the scenario asserts
+    // that consolidation never starves the minority tenant outright.
+    Program prog_pir = generateWorkloadProgram(
+        WorkloadFamily::pir, params, options.workload_seed, gen);
+    Program prog_tf = generateWorkloadProgram(
+        WorkloadFamily::transformer, params, options.workload_seed, gen);
+    std::vector<fleet::WorkloadSpec> mixed_mix;
+    mixed_mix.push_back({"pir-major", serve::Priority::normal,
+                         lowerToOpStream(prog_pir, params, "pir-major"),
+                         3.0});
+    mixed_mix.push_back({"tf-minor", serve::Priority::normal,
+                         lowerToOpStream(prog_tf, params, "tf-minor"),
+                         1.0});
+    std::size_t minority_served_scenarios = 0;
+    std::size_t mixed_scenarios = 0;
+
     auto fail = [&](const FleetScenario &scenario,
                     const std::string &property,
                     const std::string &detail) {
@@ -178,7 +200,10 @@ checkFleet(const FleetCheckOptions &options)
             try {
                 fleet::FleetOptions fleet_options =
                     fleetOptions(options, scenario);
-                fleet::Fleet fleet(fleet_options, mix,
+                const auto &scenario_mix =
+                    scenario.kind == FleetScenarioKind::mixed ? mixed_mix
+                                                              : mix;
+                fleet::Fleet fleet(fleet_options, scenario_mix,
                                    trafficOptions(options, scenario));
                 if (scenario.kind == FleetScenarioKind::shard_loss) {
                     // Kill the home shard of the high-priority
@@ -294,8 +319,51 @@ checkFleet(const FleetCheckOptions &options)
                      "fleet");
             break;
         }
+        case FleetScenarioKind::mixed: {
+            ++mixed_scenarios;
+            // Evk-affinity credit must not starve the minority
+            // workload: every tenant the router admitted gets served.
+            serve::TenantStats major, minor;
+            auto accumulate = [](serve::TenantStats &into,
+                                 const serve::TenantStats &from) {
+                into.submitted += from.submitted;
+                into.completed += from.completed;
+            };
+            for (const auto &record : first.shards) {
+                auto it = record.stats.tenants.find("pir-major");
+                if (it != record.stats.tenants.end())
+                    accumulate(major, it->second);
+                it = record.stats.tenants.find("tf-minor");
+                if (it != record.stats.tenants.end())
+                    accumulate(minor, it->second);
+            }
+            if (first.completed == 0)
+                fail(scenario, "progress",
+                     "mixed fault-free scenario completed nothing");
+            if (major.submitted > 0 && major.completed == 0)
+                fail(scenario, "majority_starved",
+                     "pir-major submitted work but completed none");
+            if (minor.submitted > 0 && minor.completed == 0) {
+                std::ostringstream os;
+                os << "tf-minor submitted " << minor.submitted
+                   << " requests but completed none (evk-affinity "
+                      "credit starved the minority workload)";
+                fail(scenario, "minority_starved", os.str());
+            }
+            if (minor.submitted > 0 && minor.completed > 0)
+                ++minority_served_scenarios;
+            break;
+        }
         }
     }
+
+    // Coverage teeth: the starvation property above must not pass
+    // vacuously. Somewhere in the sweep the minority tenant was both
+    // admitted and served.
+    if (mixed_scenarios > 0 && minority_served_scenarios == 0)
+        report.failures.push_back(
+            {"mixed/*", "minority_coverage",
+             "no mixed scenario ever served the minority tenant"});
     return report;
 }
 

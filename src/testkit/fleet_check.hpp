@@ -7,9 +7,9 @@
  * are claims about every combination of shard count, traffic seed,
  * fault plan, and autoscaler policy — not just the benchmark's canned
  * runs. This checker enumerates a small scenario grid — steady
- * routing, mid-run shard loss, a forced autoscaler drain, and a forced
- * scale-up — and replays each scenario twice against a fresh fleet,
- * asserting:
+ * routing, mid-run shard loss, a forced autoscaler drain, a forced
+ * scale-up, and a mixed PIR+transformer tenant population — and
+ * replays each scenario twice against a fresh fleet, asserting:
  *
  *   1. byte-identical `fleetStatsJson` across the replay (determinism,
  *      including under shard loss),
@@ -21,7 +21,10 @@
  *   4. autoscaler drains lose nothing — the drain scenario actually
  *      drains a shard, the drained shard is not dead, and its admitted
  *      backlog was served to a terminal state,
- *   5. the fault-free scenarios complete work (progress).
+ *   5. the fault-free scenarios complete work (progress),
+ *   6. in the mixed-workload scenario the router's evk-affinity
+ *      credit never starves the minority tenant: any tenant whose
+ *      requests were admitted to a shard also completes some.
  *
  * Shares `ModelCheckReport` with the scheduler checker so test
  * harnesses can treat both sweeps uniformly.

@@ -266,6 +266,178 @@ tryBuild(OpCode op, math::Prng &prng, const ckks::CkksParams &params,
     return false;
 }
 
+/**
+ * Structured emitter for the workload families: every helper computes
+ * the result shape with the same formulas (and the same division
+ * order) as `inferShapes`, so the produced program is well-typed by
+ * construction. Ids are contiguous, so `shapes_[id]` is the node.
+ */
+class WorkloadBuilder
+{
+  public:
+    WorkloadBuilder(const ckks::CkksParams &params,
+                    const GeneratorOptions &options, math::Prng &prng)
+        : params_(params), options_(options), prng_(prng)
+    {
+    }
+
+    Program take() { return std::move(program_); }
+
+    const ValueShape &shape(std::size_t id) const { return shapes_[id]; }
+
+    std::size_t input()
+    {
+        Instr instr;
+        instr.op = OpCode::input;
+        return emit(instr, {params_.maxLevel(), params_.scale});
+    }
+
+    /** Operands must share (level, scale) — guaranteed by callers. */
+    std::size_t add(std::size_t a, std::size_t b)
+    {
+        Instr instr;
+        instr.op = OpCode::add;
+        instr.a = a;
+        instr.b = b;
+        return emit(instr, shapes_[a]);
+    }
+
+    std::size_t sub(std::size_t a, std::size_t b)
+    {
+        Instr instr;
+        instr.op = OpCode::sub;
+        instr.a = a;
+        instr.b = b;
+        return emit(instr, shapes_[a]);
+    }
+
+    std::size_t negate(std::size_t a)
+    {
+        Instr instr;
+        instr.op = OpCode::negate;
+        instr.a = a;
+        return emit(instr, shapes_[a]);
+    }
+
+    std::size_t rotate(std::size_t a, int steps)
+    {
+        Instr instr;
+        instr.op = OpCode::rotate;
+        instr.a = a;
+        instr.steps = steps;
+        drawKeySwitch(&instr);
+        return emit(instr, shapes_[a]);
+    }
+
+    std::size_t conjugate(std::size_t a)
+    {
+        Instr instr;
+        instr.op = OpCode::conjugate;
+        instr.a = a;
+        drawKeySwitch(&instr);
+        return emit(instr, shapes_[a]);
+    }
+
+    std::size_t hoistedPair(std::size_t a, int steps, int steps2)
+    {
+        Instr instr;
+        instr.op = OpCode::hoisted_pair;
+        instr.a = a;
+        instr.steps = steps;
+        // Collapse collisions to a distinct, never-zero second step.
+        if (steps2 == steps)
+            steps2 = steps + 1 == 0 ? steps - 1 : steps + 1;
+        instr.steps2 = steps2;
+        drawKeySwitch(&instr);
+        return emit(instr, shapes_[a]);
+    }
+
+    std::size_t monoMult(std::size_t a)
+    {
+        Instr instr;
+        instr.op = OpCode::mono_mult;
+        instr.a = a;
+        instr.power = 1 + prng_.uniform(2 * params_.degree - 1);
+        return emit(instr, shapes_[a]);
+    }
+
+    /** PMult followed by the rescale that pays its level. */
+    std::size_t multiplyPlainRescaled(std::size_t a)
+    {
+        Instr instr;
+        instr.op = OpCode::multiply_plain;
+        instr.a = a;
+        std::size_t id = emit(
+            instr,
+            {shapes_[a].level, shapes_[a].scale * params_.scale});
+        return rescale(id);
+    }
+
+    /** CMult followed by its rescale. */
+    std::size_t multiplyConstRescaled(std::size_t a)
+    {
+        Instr instr;
+        instr.op = OpCode::multiply_const;
+        instr.a = a;
+        double v = prng_.uniformReal() * 1.5 - 0.75;
+        if (std::abs(v) < 0.125)
+            v += v < 0 ? -0.25 : 0.25;
+        instr.value = v;
+        std::size_t id = emit(
+            instr,
+            {shapes_[a].level, shapes_[a].scale * params_.scale});
+        return rescale(id);
+    }
+
+    /** Relinearized square followed by its rescale. */
+    std::size_t squareRescaled(std::size_t a)
+    {
+        Instr instr;
+        instr.op = OpCode::square;
+        instr.a = a;
+        drawKeySwitch(&instr);
+        std::size_t id = emit(
+            instr,
+            {shapes_[a].level, shapes_[a].scale * shapes_[a].scale});
+        return rescale(id);
+    }
+
+    int randomSteps() { return drawSteps(prng_, params_.slots); }
+
+  private:
+    std::size_t rescale(std::size_t a)
+    {
+        Instr instr;
+        instr.op = OpCode::rescale;
+        instr.a = a;
+        double scale =
+            shapes_[a].scale /
+            static_cast<double>(params_.q_chain[shapes_[a].level]);
+        return emit(instr, {shapes_[a].level - 1, scale});
+    }
+
+    void drawKeySwitch(Instr *instr)
+    {
+        instr->method = drawMethod(prng_, options_);
+        instr->dataflow = drawDataflow(prng_, options_);
+    }
+
+    std::size_t emit(Instr instr, ValueShape shape)
+    {
+        instr.id = next_id_++;
+        program_.instrs.push_back(instr);
+        shapes_.push_back(shape);
+        return instr.id;
+    }
+
+    const ckks::CkksParams &params_;
+    const GeneratorOptions &options_;
+    math::Prng &prng_;
+    Program program_;
+    std::vector<ValueShape> shapes_;
+    std::size_t next_id_ = 0;
+};
+
 } // namespace
 
 Program
@@ -315,6 +487,187 @@ generateProgram(const ckks::CkksParams &params, std::uint64_t seed,
         program.instrs.push_back(instr);
         nodes.push_back({instr.id, shape});
     }
+    return program;
+}
+
+const char *
+toString(WorkloadFamily family)
+{
+    switch (family) {
+      case WorkloadFamily::pir: return "pir";
+      case WorkloadFamily::transformer: return "transformer";
+      case WorkloadFamily::scheme_switch: return "scheme_switch";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * PIR-shaped program: rows derived from the database inputs are
+ * masked by the (plaintext) selector — one PMult + rescale per row —
+ * and folded down a HAdd tree, then compressed with a hoisted
+ * rotate-and-sum. Burns two multiplicative levels total.
+ */
+Program
+pirProgram(const ckks::CkksParams &params, math::Prng &prng,
+           const GeneratorOptions &options)
+{
+    WorkloadBuilder b(params, options, prng);
+    std::size_t db0 = b.input();
+    std::size_t db1 = b.input();
+
+    std::size_t rows = 6 + prng.uniform(7);
+    std::size_t fanin = 2 + prng.uniform(3);
+    std::size_t acc = 0;
+    bool have_acc = false;
+    std::size_t pending = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+        std::size_t row = b.rotate(r % 2 == 0 ? db0 : db1,
+                                   b.randomSteps());
+        std::size_t masked = b.multiplyPlainRescaled(row);
+        if (!have_acc) {
+            acc = masked;
+            have_acc = true;
+        } else {
+            acc = b.add(acc, masked);
+        }
+        // The accumulation tree's combining add at every full fan-in.
+        if (++pending == fanin) {
+            acc = b.add(acc, b.negate(masked));
+            pending = 0;
+        }
+    }
+    // Rotate-and-sum compression (hoisted pair = two rotations, one
+    // decomposition) and the response re-randomization mask.
+    std::size_t folded = b.hoistedPair(acc, b.randomSteps(),
+                                       b.randomSteps());
+    acc = b.add(acc, folded);
+    acc = b.multiplyPlainRescaled(acc);
+    return b.take();
+}
+
+/**
+ * Transformer-shaped program: per head, a BSGS score pass (hoisted
+ * babies + diagonal PMults), a polynomial softmax (square + CMult),
+ * and a value pass. Each head burns four multiplicative levels, so
+ * the chain bottoms out exactly at level 0 on the shallow test
+ * parameter sets (maxLevel >= 4).
+ */
+Program
+transformerProgram(const ckks::CkksParams &params, math::Prng &prng,
+                   const GeneratorOptions &options)
+{
+    WorkloadBuilder b(params, options, prng);
+    std::size_t x = b.input();
+    std::size_t heads = 1 + prng.uniform(2);
+    std::size_t tiles = 1 + prng.uniform(2);
+    std::size_t diagonals = 2 + prng.uniform(2);
+
+    std::size_t out = 0;
+    bool have_out = false;
+    for (std::size_t h = 0; h < heads; ++h) {
+        // Score pass: hoisted babies, diagonal masks, giant rotation.
+        std::size_t cur = b.hoistedPair(x, b.randomSteps(),
+                                        b.randomSteps());
+        cur = b.add(cur, x);
+        std::size_t score = b.multiplyPlainRescaled(cur);
+        for (std::size_t t = 1; t < tiles * diagonals; ++t) {
+            std::size_t diag = b.multiplyPlainRescaled(
+                b.rotate(cur, b.randomSteps()));
+            score = b.add(score, diag);
+        }
+        score = b.rotate(score, b.randomSteps());
+        // Polynomial softmax: square then a constant scaling step.
+        std::size_t soft = b.squareRescaled(score);
+        soft = b.multiplyConstRescaled(soft);
+        // Value pass: attention x V mirrors the score pass one level
+        // down; conjugation stands in for the transpose access.
+        std::size_t value = b.multiplyPlainRescaled(
+            b.conjugate(soft));
+        if (!have_out) {
+            out = value;
+            have_out = true;
+        } else {
+            out = b.add(out, value);
+        }
+    }
+    return b.take();
+}
+
+/**
+ * Scheme-switching-shaped program: per segment, a CKKS stretch
+ * (hoisted rotations + square), a masked extraction (rotate + PMult),
+ * a batch of exact LUT surrogates (monomial mults, conjugations,
+ * negations — the binary-domain ops have no CKKS scale effect), and
+ * a repack rotate-and-sum. Each segment burns two levels.
+ */
+Program
+schemeSwitchProgram(const ckks::CkksParams &params, math::Prng &prng,
+                    const GeneratorOptions &options)
+{
+    WorkloadBuilder b(params, options, prng);
+    std::size_t cur = b.input();
+    std::size_t max_segments =
+        std::max<std::size_t>(1, params.maxLevel() / 2);
+    std::size_t segments =
+        1 + (max_segments > 1 ? prng.uniform(
+                                    std::min<std::size_t>(
+                                        2, max_segments - 1) +
+                                    1)
+                              : 0);
+    for (std::size_t s = 0; s < segments; ++s) {
+        // CKKS segment.
+        std::size_t rot = b.hoistedPair(cur, b.randomSteps(),
+                                        b.randomSteps());
+        cur = b.add(cur, rot);
+        cur = b.squareRescaled(cur);
+        // Extraction: rotate the slots into place, mask them out.
+        cur = b.rotate(cur, b.randomSteps());
+        cur = b.multiplyPlainRescaled(cur);
+        // Binary-domain LUT surrogates (exact, scale-free ops).
+        std::size_t luts = 2 + prng.uniform(3);
+        for (std::size_t l = 0; l < luts; ++l) {
+            switch (prng.uniform(3)) {
+              case 0: cur = b.monoMult(cur); break;
+              case 1: cur = b.conjugate(cur); break;
+              default: cur = b.negate(cur); break;
+            }
+        }
+        // Repack: rotate-and-sum back into packed slots.
+        std::size_t rep = b.hoistedPair(cur, b.randomSteps(),
+                                        b.randomSteps());
+        cur = b.sub(cur, rep);
+    }
+    return b.take();
+}
+
+} // namespace
+
+Program
+generateWorkloadProgram(WorkloadFamily family,
+                        const ckks::CkksParams &params,
+                        std::uint64_t seed,
+                        const GeneratorOptions &options)
+{
+    // Family-salted stream so the same seed yields distinct but
+    // reproducible programs per family.
+    math::Prng prng(seed ^ 0x776f726b6c64ULL ^
+                    (static_cast<std::uint64_t>(family) << 56));
+    Program program;
+    switch (family) {
+      case WorkloadFamily::pir:
+        program = pirProgram(params, prng, options);
+        break;
+      case WorkloadFamily::transformer:
+        program = transformerProgram(params, prng, options);
+        break;
+      case WorkloadFamily::scheme_switch:
+        program = schemeSwitchProgram(params, prng, options);
+        break;
+    }
+    program.seed = seed;
+    program.param_set = params.name;
     return program;
 }
 

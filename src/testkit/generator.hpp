@@ -55,6 +55,45 @@ Program generateProgram(const ckks::CkksParams &params,
                         std::uint64_t seed,
                         const GeneratorOptions &options = {});
 
+/**
+ * Workload-shaped program families mirroring the `src/trace` serving
+ * generators: the same op-mix poles (PIR's PMult/HAdd accumulation,
+ * the transformer's hoisted BSGS + polynomial softmax, the scheme-
+ * switching extract/LUT/repack pipeline), but composed from the exact
+ * testkit opcodes — rotations and masks stand in for slot extraction,
+ * monomial mults and conjugations for the binary-domain LUTs — so the
+ * differential oracle checks every family limb-exact against the
+ * strict scalar reference without needing a real CKKS<->binary
+ * backend.
+ */
+enum class WorkloadFamily {
+    pir,           ///< deep PMult/HAdd accumulation + rotate-and-sum
+    transformer,   ///< hoisted BSGS attention + polynomial softmax
+    scheme_switch, ///< extract / LUT-surrogate / repack segments
+};
+
+/** All families, for seed sweeps and per-workload fuzz legs. */
+inline constexpr WorkloadFamily kWorkloadFamilies[] = {
+    WorkloadFamily::pir,
+    WorkloadFamily::transformer,
+    WorkloadFamily::scheme_switch,
+};
+
+const char *toString(WorkloadFamily family);
+
+/**
+ * Generate one workload-shaped program. Deterministic in (@p family,
+ * @p params, @p seed, @p options); the result always passes
+ * `inferShapes` and never descends below level 0 even on the shallow
+ * test parameter sets. `options.hybrid_fraction` /
+ * `options.standard_dataflow_fraction` steer the key-switch
+ * method/dataflow draws exactly as in `generateProgram`.
+ */
+Program generateWorkloadProgram(WorkloadFamily family,
+                                const ckks::CkksParams &params,
+                                std::uint64_t seed,
+                                const GeneratorOptions &options = {});
+
 } // namespace fast::testkit
 
 #endif // FAST_TESTKIT_GENERATOR_HPP

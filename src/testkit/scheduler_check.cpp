@@ -22,6 +22,8 @@ struct Scenario {
     std::size_t devices = 1;
     std::uint64_t seed = 1;
     serve::FaultPlan plan;
+    /** Uses the PIR-major + transformer-minor tenant mix. */
+    bool mixed = false;
 };
 
 std::string
@@ -39,10 +41,13 @@ enumerateScenarios(const ModelCheckOptions &options)
     std::vector<Scenario> scenarios;
     for (std::size_t devices : options.device_counts) {
         for (std::uint64_t seed : options.seeds) {
-            auto push = [&](serve::FaultPlan plan) {
+            auto push = [&](serve::FaultPlan plan,
+                            bool mixed = false) {
                 scenarios.push_back(
-                    {scenarioName(plan.name, devices, seed), devices,
-                     seed, std::move(plan)});
+                    {scenarioName(mixed ? "mixed-" + plan.name
+                                        : plan.name,
+                                  devices, seed),
+                     devices, seed, std::move(plan), mixed});
             };
             push(serve::FaultPlan::none());
             push(serve::FaultPlan::transientFaults(
@@ -51,6 +56,9 @@ enumerateScenarios(const ModelCheckOptions &options)
                 devices, options.horizon_ns, seed));
             push(serve::FaultPlan::evkStorm(devices,
                                             options.horizon_ns, seed));
+            // Mixed tenant population, fault-free: the evk-affinity
+            // device pick must not starve the minority workload.
+            push(serve::FaultPlan::none(), true);
             if (!options.single_event_grid)
                 continue;
             // Every fault kind, aimed at one device and at all of
@@ -118,6 +126,24 @@ checkScheduler(const ModelCheckOptions &options)
     mix.push_back({"fuzz-b", serve::Priority::low,
                    lowerToOpStream(prog_b, params, "fuzz-b"), 1.0});
 
+    // Mixed-workload mix: a PIR-shaped majority tenant next to a
+    // transformer-shaped minority at equal priority, so the only
+    // force that could starve the minority is the evk-affinity pick
+    // consolidating devices on the majority's resident keys.
+    Program prog_pir = generateWorkloadProgram(
+        WorkloadFamily::pir, params, options.workload_seed, gen);
+    Program prog_tf = generateWorkloadProgram(
+        WorkloadFamily::transformer, params, options.workload_seed, gen);
+    std::vector<fleet::WorkloadSpec> mixed_mix;
+    mixed_mix.push_back({"pir-major", serve::Priority::normal,
+                         lowerToOpStream(prog_pir, params, "pir-major"),
+                         3.0});
+    mixed_mix.push_back({"tf-minor", serve::Priority::normal,
+                         lowerToOpStream(prog_tf, params, "tf-minor"),
+                         1.0});
+    std::size_t mixed_scenarios = 0;
+    std::size_t minority_served_scenarios = 0;
+
     auto fail = [&](const Scenario &scenario,
                     const std::string &property,
                     const std::string &detail) {
@@ -128,8 +154,8 @@ checkScheduler(const ModelCheckOptions &options)
     for (const Scenario &scenario : enumerateScenarios(options)) {
         ++report.scenarios;
         auto arrivals = fleet::TrafficGen::openLoop(
-            mix, options.requests, options.mean_interarrival_ns,
-            scenario.seed);
+            scenario.mixed ? mixed_mix : mix, options.requests,
+            options.mean_interarrival_ns, scenario.seed);
 
         // One run = fresh pool + fresh scheduler; no state may leak
         // between the two replays or determinism means nothing.
@@ -205,7 +231,36 @@ checkScheduler(const ModelCheckOptions &options)
         if (scenario.plan.empty() && first.completed == 0)
             fail(scenario, "progress",
                  "fault-free scenario completed nothing");
+
+        if (scenario.mixed && scenario.plan.empty()) {
+            ++mixed_scenarios;
+            auto it = first.tenants.find("tf-minor");
+            if (it != first.tenants.end() &&
+                it->second.submitted > 0) {
+                if (it->second.completed == 0) {
+                    std::ostringstream os;
+                    os << "tf-minor submitted " << it->second.submitted
+                       << " requests but completed none (evk-affinity "
+                          "pick starved the minority workload)";
+                    fail(scenario, "minority_starved", os.str());
+                } else {
+                    ++minority_served_scenarios;
+                }
+            }
+            it = first.tenants.find("pir-major");
+            if (it != first.tenants.end() &&
+                it->second.submitted > 0 && it->second.completed == 0)
+                fail(scenario, "majority_starved",
+                     "pir-major submitted work but completed none");
+        }
     }
+
+    // Coverage teeth for the starvation property: at least one mixed
+    // scenario in the sweep actually admitted and served the minority.
+    if (mixed_scenarios > 0 && minority_served_scenarios == 0)
+        report.failures.push_back(
+            {"mixed-none/*", "minority_coverage",
+             "no mixed scenario ever served the minority tenant"});
     return report;
 }
 

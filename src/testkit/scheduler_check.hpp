@@ -14,7 +14,10 @@
  *   2. `requireBalanced()` holds (no request vanishes or doubles),
  *   3. the run terminates with finite makespan and a circuit-breaker
  *      opening count bounded by the retry budget (no livelock),
- *   4. the fault-free scenario actually completes work.
+ *   4. the fault-free scenario actually completes work,
+ *   5. in the mixed PIR+transformer tenant scenario the evk-affinity
+ *      device pick never starves the minority tenant: submitted
+ *      minority work always completes some requests.
  *
  * Workloads are generated CKKS programs lowered to the trace IR, so
  * the same seed that reproduces an oracle failure also reproduces the

@@ -21,8 +21,18 @@ toString(FheOpKind kind)
       case FheOpKind::modraise: return "ModRaise";
       case FheOpKind::bootstrap_begin: return "BootstrapBegin";
       case FheOpKind::bootstrap_end: return "BootstrapEnd";
+      case FheOpKind::ckks_to_bin: return "CkksToBin";
+      case FheOpKind::lut_eval: return "LutEval";
+      case FheOpKind::bin_to_ckks: return "BinToCkks";
     }
     return "?";
+}
+
+bool
+isSchemeSwitch(FheOpKind kind)
+{
+    return kind == FheOpKind::ckks_to_bin ||
+           kind == FheOpKind::bin_to_ckks;
 }
 
 std::size_t
@@ -40,6 +50,15 @@ OpStream::keySwitchCount() const
     std::size_t count = 0;
     for (const auto &op : ops)
         count += op.needsKeySwitch() ? 1 : 0;
+    return count;
+}
+
+std::size_t
+OpStream::schemeSwitchCount() const
+{
+    std::size_t count = 0;
+    for (const auto &op : ops)
+        count += isSchemeSwitch(op.kind) ? 1 : 0;
     return count;
 }
 

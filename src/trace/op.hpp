@@ -34,7 +34,23 @@ enum class FheOpKind {
     modraise,  ///< bootstrap ModRaise
     bootstrap_begin,  ///< marker: bootstrapping region entry
     bootstrap_end,    ///< marker: bootstrapping region exit
+    /** @name Scheme switching (Chameleon-style CKKS <-> binary).
+     * A conversion is one trace op covering the whole slot-extraction
+     * (ckks_to_bin) or repacking (bin_to_ckks) pipeline; `hoist_size`
+     * carries the number of extraction/repack rotations the pipeline
+     * runs, all sharing one decomposition (the conversion is emitted
+     * as a single hoisted site). lut_eval is one batch of
+     * binary-domain LUT evaluations between the conversions; it burns
+     * gate-bootstrap compute but no CKKS evaluation key. */
+    ///@{
+    ckks_to_bin,  ///< slot extraction into the binary scheme
+    lut_eval,     ///< binary-domain LUT evaluation batch
+    bin_to_ckks,  ///< repack binary results into CKKS slots
+    ///@}
 };
+
+/** True for the CKKS<->binary conversion ops (not lut_eval). */
+bool isSchemeSwitch(FheOpKind kind);
 
 const char *toString(FheOpKind kind);
 
@@ -53,11 +69,14 @@ struct FheOp {
     /** Number of rotations in that hoisting group. */
     std::size_t hoist_size = 1;
 
-    /** True for operations that need a key switch. */
+    /** True for operations that need a key switch. A conversion
+     *  key-switches its extraction/repack rotations, so Aether scores
+     *  it in the MCT and Hemera plans its key transfers like any
+     *  other site. */
     bool needsKeySwitch() const
     {
         return kind == FheOpKind::hmult || kind == FheOpKind::hrot ||
-               kind == FheOpKind::conjugate;
+               kind == FheOpKind::conjugate || isSchemeSwitch(kind);
     }
 };
 
@@ -67,8 +86,11 @@ struct OpStream {
     std::vector<FheOp> ops;
 
     std::size_t countKind(FheOpKind kind) const;
-    /** Count of key-switch operations (HMult + HRot + conj). */
+    /** Count of key-switch operations (HMult + HRot + conj +
+     *  scheme-switch conversions). */
     std::size_t keySwitchCount() const;
+    /** Count of CKKS<->binary conversion sites (both directions). */
+    std::size_t schemeSwitchCount() const;
     /** Histogram of key switches per level. */
     std::map<std::size_t, std::size_t> keySwitchLevels() const;
     /** Ops inside bootstrap_begin/end markers. */

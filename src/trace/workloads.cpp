@@ -26,6 +26,63 @@ BootstrapShape::forMemoryMb(double onchip_mb)
     return shape;
 }
 
+PirShape
+PirShape::forMemoryMb(double onchip_mb)
+{
+    PirShape shape;
+    if (onchip_mb < 128) {
+        // Few resident partial sums: skinny tree, long final fold.
+        shape.fanin = 4;
+        shape.fold_rotations = 16;
+    } else if (onchip_mb < 384) {
+        shape.fanin = 8;   // the default
+        shape.fold_rotations = 8;
+    } else {
+        shape.fanin = 16;  // wide tree, short fold
+        shape.fold_rotations = 4;
+    }
+    return shape;
+}
+
+TransformerShape
+TransformerShape::forMemoryMb(double onchip_mb)
+{
+    TransformerShape shape;
+    if (onchip_mb < 128) {
+        shape.baby_rotations = 4;   // 4 x 8 = 32 score diagonals
+        shape.giant_rotations = 8;
+    } else if (onchip_mb < 384) {
+        shape.baby_rotations = 8;   // 8 x 4 (the default)
+        shape.giant_rotations = 4;
+    } else {
+        shape.baby_rotations = 16;  // 16 x 2
+        shape.giant_rotations = 2;
+    }
+    return shape;
+}
+
+SchemeSwitchShape
+SchemeSwitchShape::forMemoryMb(double onchip_mb)
+{
+    SchemeSwitchShape shape;
+    if (onchip_mb < 128) {
+        // Narrow conversions: the intermediate slot vectors spill, so
+        // extraction and repack run in more, smaller rotation batches.
+        shape.extract_rotations = 4;
+        shape.repack_rotations = 4;
+        shape.luts = 12;
+    } else if (onchip_mb < 384) {
+        shape.extract_rotations = 8;  // the default
+        shape.repack_rotations = 8;
+        shape.luts = 6;
+    } else {
+        shape.extract_rotations = 16;
+        shape.repack_rotations = 16;
+        shape.luts = 3;
+    }
+    return shape;
+}
+
 TraceBuilder::TraceBuilder(std::string name)
 {
     stream_.name = std::move(name);
@@ -97,6 +154,30 @@ void
 TraceBuilder::modRaise(std::size_t ct, std::size_t to_level)
 {
     stream_.ops.push_back({FheOpKind::modraise, ct, to_level, 0, 0, 1});
+}
+
+void
+TraceBuilder::ckksToBin(std::size_t ct, std::size_t level,
+                        std::size_t rotations)
+{
+    // One op covers the whole extraction pipeline; hoist_size carries
+    // the rotation count (they share a single decomposition).
+    stream_.ops.push_back({FheOpKind::ckks_to_bin, ct, level, 0, 0,
+                           std::max<std::size_t>(1, rotations)});
+}
+
+void
+TraceBuilder::lutEval(std::size_t ct, std::size_t level)
+{
+    stream_.ops.push_back({FheOpKind::lut_eval, ct, level, 0, 0, 1});
+}
+
+void
+TraceBuilder::binToCkks(std::size_t ct, std::size_t level,
+                        std::size_t rotations)
+{
+    stream_.ops.push_back({FheOpKind::bin_to_ckks, ct, level, 0, 0,
+                           std::max<std::size_t>(1, rotations)});
 }
 
 std::size_t
@@ -284,6 +365,161 @@ resnetTrace()
     return builder.take();
 }
 
+OpStream
+pirTrace(const PirShape &shape)
+{
+    // Private database aggregation: every shard masks its rows
+    // against the (encrypted) selector with one PMult per row, folds
+    // the masked rows down a HAdd tree of the configured fan-in, and
+    // the per-shard partials are combined and compressed with a
+    // hoisted rotate-and-sum. The op mix is dominated by PMult/HAdd
+    // depth, not key switches — the opposite pole from Bootstrap.
+    TraceBuilder builder("PIR");
+    auto scaled = [&](std::size_t v) {
+        return std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::llround(static_cast<double>(v) * shape.scale)));
+    };
+    std::size_t shards = std::max<std::size_t>(1, shape.shards);
+    std::size_t rows = std::max<std::size_t>(
+        shards, scaled(shape.database_cts));
+    std::size_t per_shard = rows / shards;
+    std::size_t fanin = std::max<std::size_t>(2, shape.fanin);
+    std::size_t level = shape.start_level;
+
+    std::size_t result = builder.newCiphertext();
+    for (std::size_t s = 0; s < shards; ++s) {
+        std::size_t acc = builder.newCiphertext();
+        // Selector mask: one PMult per database row (single rescale —
+        // the mask is the only level consumed per row).
+        std::size_t pending = 0;
+        for (std::size_t r = 0; r < per_shard; ++r) {
+            std::size_t row = builder.newCiphertext();
+            builder.pmult(row, level, false);
+            builder.hadd(acc, level - 1);
+            // The accumulation tree folds every `fanin` partials into
+            // the shard accumulator with one extra combining add.
+            if (++pending == fanin) {
+                builder.hadd(acc, level - 1);
+                pending = 0;
+            }
+        }
+        // Fold the shard partial into the response.
+        builder.hadd(result, level - 1);
+    }
+    // Rotate-and-sum compression of the response vector (hoisted:
+    // every fold rotation shares the response's decomposition).
+    builder.hoistedRotations(result, level - 1,
+                             std::max<std::size_t>(
+                                 1, shape.fold_rotations));
+    for (std::size_t i = 0;
+         i < std::max<std::size_t>(1, shape.fold_rotations); ++i)
+        builder.hadd(result, level - 1);
+    // Response re-randomization mask before it leaves the server.
+    builder.pmult(result, level - 1, false);
+    return builder.take();
+}
+
+OpStream
+transformerTrace(const TransformerShape &shape)
+{
+    // One encrypted transformer block: per head and sequence tile,
+    // the Q*K^T score pass is a BSGS matrix product (hoisted baby
+    // rotations + diagonal PMults + giant rotations), the softmax is
+    // a short polynomial HMult chain, and the attention-weighted
+    // value pass mirrors the score pass one level down.
+    TraceBuilder builder("Transformer");
+    auto scaled = [&](std::size_t v) {
+        return std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::llround(static_cast<double>(v) * shape.scale)));
+    };
+    std::size_t act = builder.newCiphertext();
+    for (std::size_t h = 0; h < std::max<std::size_t>(1, shape.heads);
+         ++h) {
+        std::size_t level = shape.start_level;
+        // Score pass: BSGS over each sequence tile.
+        for (std::size_t t = 0;
+             t < std::max<std::size_t>(1, shape.seq_tiles); ++t) {
+            builder.hoistedRotations(act, level,
+                                     scaled(shape.baby_rotations));
+            for (std::size_t d = 0; d < scaled(shape.diagonals); ++d) {
+                builder.pmult(act, level, false);
+                builder.hadd(act, level);
+            }
+            for (std::size_t g = 0; g < scaled(shape.giant_rotations);
+                 ++g)
+                builder.rotation(act, level,
+                                 static_cast<int>((g + 1) * 16));
+        }
+        builder.rescale(act, level);
+        level -= 1;
+        // Polynomial softmax (single rescale per step keeps the chain
+        // inside the L_eff budget).
+        for (std::size_t m = 0; m < scaled(shape.softmax_mults); ++m) {
+            builder.cmult(act, level);
+            builder.hmult(act, level, false);
+            level -= 1;
+        }
+        builder.hadd(act, level);
+        // Value pass: attention x V, mirroring the score BSGS.
+        for (std::size_t t = 0;
+             t < std::max<std::size_t>(1, shape.seq_tiles); ++t) {
+            builder.hoistedRotations(act, level,
+                                     scaled(shape.baby_rotations));
+            for (std::size_t d = 0; d < scaled(shape.diagonals) / 2;
+                 ++d) {
+                builder.pmult(act, level, false);
+                builder.hadd(act, level);
+            }
+        }
+        builder.rescale(act, level);
+        level -= 1;
+        // Output projection.
+        builder.pmult(act, level, false);
+    }
+    return builder.take();
+}
+
+OpStream
+schemeSwitchTrace(const SchemeSwitchShape &shape)
+{
+    // Chameleon-style excursions: a CKKS arithmetic segment descends
+    // the modulus chain, the working vector is extracted into the
+    // binary scheme (ckks_to_bin), a batch of LUTs evaluates the
+    // non-arithmetic kernel, and the results are repacked into CKKS
+    // slots (bin_to_ckks) at the entry level — the repack includes
+    // the refresh, which is what makes the round trip a functional
+    // bootstrap substitute.
+    TraceBuilder builder("SchemeSwitch");
+    auto scaled = [&](std::size_t v) {
+        return std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::llround(static_cast<double>(v) * shape.scale)));
+    };
+    std::size_t ct = builder.newCiphertext();
+    for (std::size_t s = 0;
+         s < std::max<std::size_t>(1, shape.segments); ++s) {
+        std::size_t level = shape.start_level;
+        // CKKS segment: hoisted rotations + an HMult chain.
+        builder.hoistedRotations(ct, level,
+                                 scaled(shape.ckks_rotations));
+        for (std::size_t m = 0; m < scaled(shape.ckks_mults); ++m) {
+            builder.hmult(ct, level, false);
+            level -= 1;
+        }
+        // CKKS -> binary at the segment's floor level.
+        builder.ckksToBin(ct, level, scaled(shape.extract_rotations));
+        // Binary-domain LUT batches (level 0: binary cts are tiny).
+        for (std::size_t l = 0; l < scaled(shape.luts); ++l)
+            builder.lutEval(ct, 0);
+        // Binary -> CKKS repack at the entry level (refresh included).
+        builder.binToCkks(ct, shape.start_level,
+                          scaled(shape.repack_rotations));
+    }
+    return builder.take();
+}
+
 std::vector<OpStream>
 allBenchmarks()
 {
@@ -292,6 +528,19 @@ allBenchmarks()
     out.push_back(helrTrace(256));
     out.push_back(helrTrace(1024));
     out.push_back(resnetTrace());
+    return out;
+}
+
+std::vector<OpStream>
+allServingWorkloads()
+{
+    std::vector<OpStream> out;
+    out.push_back(bootstrapTrace());
+    out.push_back(helrTrace(256));
+    out.push_back(resnetTrace());
+    out.push_back(pirTrace());
+    out.push_back(transformerTrace());
+    out.push_back(schemeSwitchTrace());
     return out;
 }
 

@@ -41,6 +41,95 @@ struct BootstrapShape {
 };
 
 /**
+ * Shape parameters of the PIR / private database aggregation workload
+ * (ROADMAP item 3): a client query is PMult-masked against every
+ * shard of an encrypted database and the hits are folded down a
+ * HAdd accumulation tree, then compressed with rotate-and-sum. The
+ * op mix is deep PMult/HAdd with comparatively few key switches —
+ * the opposite pole from Bootstrap's rotation-heavy profile.
+ */
+struct PirShape {
+    std::size_t database_cts = 64;  ///< encrypted DB rows (ciphertexts)
+    std::size_t shards = 4;         ///< DB shards queried in parallel
+    std::size_t fanin = 8;          ///< accumulation-tree fan-in
+    std::size_t fold_rotations = 8; ///< final rotate-and-sum reduction
+    std::size_t start_level = 8;    ///< L_eff entry level
+    /** Linear scaling of the database size (smaller test DBs). */
+    double scale = 1.0;
+
+    /**
+     * Shape as a function of on-chip memory: a bigger scratchpad
+     * holds more partial accumulators resident, so the tree can be
+     * wider (larger fan-in) and needs fewer fold rotations; tight
+     * memory forces a skinny tree.
+     */
+    static PirShape forMemoryMb(double onchip_mb);
+};
+
+/** PIR / private database aggregation trace. */
+OpStream pirTrace(const PirShape &shape = {});
+
+/**
+ * Shape parameters of one encrypted transformer block (BSGS
+ * attention): per head, Q*K^T scores are formed by a baby-step/
+ * giant-step matrix product whose baby rotations are hoisted (one
+ * decomposition per tile — the PR 7/8 amortization showcase), the
+ * softmax is a short polynomial (HMult chain), and the attention-
+ * weighted value aggregation mirrors the score pass.
+ */
+struct TransformerShape {
+    std::size_t heads = 4;           ///< attention heads
+    std::size_t seq_tiles = 4;       ///< sequence tiles per head
+    std::size_t baby_rotations = 8;  ///< hoisted BSGS baby steps
+    std::size_t giant_rotations = 4; ///< giant steps, not hoisted
+    std::size_t diagonals = 16;      ///< PMults per tile (score diag.)
+    std::size_t softmax_mults = 3;   ///< polynomial softmax HMult depth
+    std::size_t start_level = 8;     ///< L_eff entry level
+    /** Linear scaling of every count (shorter sequences). */
+    double scale = 1.0;
+
+    /**
+     * BSGS decomposition as a function of on-chip memory, exactly as
+     * `BootstrapShape::forMemoryMb`: more scratchpad keeps more
+     * hoisted babies resident (fatter baby step, fewer giants).
+     */
+    static TransformerShape forMemoryMb(double onchip_mb);
+};
+
+/** One encrypted transformer block (BSGS attention). */
+OpStream transformerTrace(const TransformerShape &shape = {});
+
+/**
+ * Shape parameters of the Chameleon-style scheme-switching workload:
+ * CKKS arithmetic segments separated by CKKS->binary conversions
+ * (slot extraction), binary-domain LUT evaluation batches, and
+ * binary->CKKS repacking. The conversions are first-class trace ops
+ * (`FheOpKind::ckks_to_bin` / `bin_to_ckks`) that Aether scores in
+ * the MCT with `cost::SchemeSwitchCostModel`.
+ */
+struct SchemeSwitchShape {
+    std::size_t segments = 2;          ///< binary excursions
+    std::size_t ckks_mults = 4;        ///< HMults per CKKS segment
+    std::size_t ckks_rotations = 4;    ///< hoisted HRots per segment
+    std::size_t extract_rotations = 8; ///< slot-extraction rotations
+    std::size_t repack_rotations = 8;  ///< repacking rotations
+    std::size_t luts = 6;              ///< LUT batches per excursion
+    std::size_t start_level = 8;       ///< L_eff entry level
+    /** Linear scaling of every count. */
+    double scale = 1.0;
+
+    /**
+     * Conversion shape as a function of on-chip memory: extraction
+     * and repack rotations batch wider when the scratchpad can hold
+     * the intermediate slot vectors, narrower when it cannot.
+     */
+    static SchemeSwitchShape forMemoryMb(double onchip_mb);
+};
+
+/** Chameleon-style CKKS<->binary scheme-switching trace. */
+OpStream schemeSwitchTrace(const SchemeSwitchShape &shape = {});
+
+/**
  * Incrementally builds an OpStream, tracking the ciphertext index
  * counter and hoisting-group ids.
  */
@@ -77,6 +166,16 @@ class TraceBuilder
     /** Emit a full bootstrap pipeline; returns the refreshed level. */
     std::size_t emitBootstrap(std::size_t ct, const BootstrapShape &shape);
 
+    /** @name Scheme-switching ops (`rotations` extraction/repack
+     *  rotations share one decomposition inside the conversion). */
+    ///@{
+    void ckksToBin(std::size_t ct, std::size_t level,
+                   std::size_t rotations);
+    void lutEval(std::size_t ct, std::size_t level);
+    void binToCkks(std::size_t ct, std::size_t level,
+                   std::size_t rotations);
+    ///@}
+
   private:
     OpStream stream_;
     std::size_t next_ct_ = 0;
@@ -97,6 +196,15 @@ OpStream resnetTrace();
 
 /** All four benchmark traces keyed by the paper's names. */
 std::vector<OpStream> allBenchmarks();
+
+/**
+ * The six serving workloads: the paper's Bootstrap / HELR-256 /
+ * ResNet-20 plus the production families (PIR, Transformer,
+ * SchemeSwitch). This is the canonical workload list the serve and
+ * fleet benchmarks mix from and the golden shape-regression tests
+ * pin.
+ */
+std::vector<OpStream> allServingWorkloads();
 
 } // namespace fast::trace
 

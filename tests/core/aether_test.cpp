@@ -202,5 +202,87 @@ TEST(AetherConfig, DecisionLookupFallsBackToHybrid)
     EXPECT_EQ(d.hoist, 1u);
 }
 
+TEST(Aether, ConversionSitesAreScoredInTheMct)
+{
+    auto aether = makeAether();
+    auto stream = trace::schemeSwitchTrace();
+    auto mct = aether.analyze(stream);
+
+    std::size_t conversions = 0;
+    for (const auto &e : mct) {
+        if (!e.is_conversion)
+            continue;
+        ++conversions;
+        // hoist_size carries the extraction/repack rotation count;
+        // the key id tells extraction (-3) from repack (-4).
+        EXPECT_GT(e.times, 1u);
+        ASSERT_EQ(e.key_ids.size(), 1u);
+        EXPECT_EQ(e.key_ids.front(), e.to_binary ? -3 : -4);
+        for (const auto &c : e.candidates) {
+            EXPECT_EQ(c.hoist, e.times);
+            EXPECT_GT(c.cost_ops, 0.0);
+            EXPECT_GT(c.key_bytes, 0.0);
+            EXPECT_GT(c.delay_s, 0.0);
+        }
+        // A conversion costs more than the plain hoisted key switch
+        // its rotations alone would: the extras are visible.
+        auto variant = e.candidates.front().variant();
+        double ks_only = cost::KeySwitchCostModel()
+                             .keySwitch(variant, e.level, e.times)
+                             .total();
+        EXPECT_GT(e.candidates.front().cost_ops, ks_only);
+    }
+    EXPECT_EQ(conversions, stream.schemeSwitchCount());
+    // lut_eval burns no CKKS key and must NOT appear in the MCT: the
+    // entries are exactly the key-switch sites (hoist groups counted
+    // once), no more.
+    std::size_t sites = 0;
+    std::size_t last_group = 0;
+    for (const auto &op : stream.ops) {
+        if (!op.needsKeySwitch())
+            continue;
+        if (op.hoist_group != 0 && op.hoist_group == last_group)
+            continue;
+        if (op.hoist_group != 0)
+            last_group = op.hoist_group;
+        ++sites;
+    }
+    EXPECT_EQ(mct.size(), sites);
+}
+
+TEST(Aether, ConversionDecisionsSelectAndSerialize)
+{
+    auto aether = makeAether();
+    auto stream = trace::schemeSwitchTrace();
+    auto config = aether.run(stream);
+    // One decision per key-switch site (conversions included, LUT
+    // batches excluded); the round trip preserves them.
+    std::size_t sites = 0;
+    std::size_t last_group = 0;
+    for (const auto &op : stream.ops) {
+        if (!op.needsKeySwitch())
+            continue;
+        if (op.hoist_group != 0 && op.hoist_group == last_group)
+            continue;
+        if (op.hoist_group != 0)
+            last_group = op.hoist_group;
+        ++sites;
+    }
+    EXPECT_EQ(config.decisions.size(), sites);
+    auto round = AetherConfig::deserialize(config.serialize());
+    ASSERT_EQ(round.decisions.size(), config.decisions.size());
+    for (std::size_t i = 0; i < round.decisions.size(); ++i) {
+        EXPECT_EQ(round.decisions[i].op_index,
+                  config.decisions[i].op_index);
+        EXPECT_EQ(round.decisions[i].hoist, config.decisions[i].hoist);
+    }
+    // Conversion decisions keep their intrinsic hoisting.
+    for (const auto &d : config.decisions) {
+        const auto &op = stream.ops[d.op_index];
+        if (trace::isSchemeSwitch(op.kind))
+            EXPECT_EQ(d.hoist, op.hoist_size);
+    }
+}
+
 } // namespace
 } // namespace fast::core

@@ -262,5 +262,34 @@ TEST_F(HemeraTest, SeedExpansionHalvesTheHbmBytes)
     }
 }
 
+TEST(Hemera, ConversionSitesMoveAllPipelineKeys)
+{
+    // A scheme-switch conversion is one trace op whose hoist_size
+    // carries the extraction/repack rotation count: its transfer
+    // moves that many keys, drawn from the rotation key pool, and
+    // lut_eval ops plan no transfer at all.
+    Hemera hemera{cost::KeySwitchCostModel()};
+    Aether aether(cost::KeySwitchCostModel(), Aether::Settings{});
+    auto stream = trace::schemeSwitchTrace();
+    auto config = aether.run(stream);
+    auto plan = hemera.plan(stream, config, {});
+    ASSERT_TRUE(plan.isOk());
+
+    cost::KeySwitchCostModel model;
+    std::size_t conversion_transfers = 0;
+    for (const auto &t : plan.value().transfers) {
+        const auto &op = stream.ops[t.op_index];
+        EXPECT_NE(op.kind, trace::FheOpKind::lut_eval);
+        if (!trace::isSchemeSwitch(op.kind))
+            continue;
+        ++conversion_transfers;
+        double per_key = model.evkBytes(t.method, op.level);
+        EXPECT_NEAR(t.full_bytes,
+                    per_key * static_cast<double>(op.hoist_size),
+                    1.0);
+    }
+    EXPECT_EQ(conversion_transfers, stream.schemeSwitchCount());
+}
+
 } // namespace
 } // namespace fast::core

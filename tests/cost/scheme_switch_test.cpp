@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the CKKS<->binary scheme-switching cost model: the
+ * conversion cost dominates its key-switch share, extraction and
+ * repack carry the right kernel signatures, LUT batches scale with
+ * the batch size, and key bytes follow the direction.
+ */
+#include <gtest/gtest.h>
+
+#include "cost/scheme_switch.hpp"
+
+namespace fast::cost {
+namespace {
+
+class SchemeSwitchCostTest : public ::testing::Test
+{
+  protected:
+    SchemeSwitchCostModel model_{KeySwitchCostModel{}};
+    ckks::KeySwitchVariant hybrid_ = ckks::KeySwitchVariant::of(
+        ckks::KeySwitchMethod::hybrid,
+        ckks::KeySwitchDataflow::standard);
+};
+
+TEST_F(SchemeSwitchCostTest, ConversionExceedsItsKeySwitchShare)
+{
+    const std::size_t ell = 10, rots = 8;
+    double ks_only =
+        model_.keySwitchModel().keySwitch(hybrid_, ell, rots).total();
+    for (auto dir : {ConversionDirection::to_binary,
+                     ConversionDirection::to_ckks}) {
+        OpBreakdown conv = model_.conversion(dir, hybrid_, ell, rots);
+        EXPECT_GT(conv.total(), ks_only);
+        OpBreakdown extras = model_.conversionExtras(dir, ell, rots);
+        EXPECT_NEAR(conv.total(), ks_only + extras.total(),
+                    1e-6 * conv.total());
+    }
+}
+
+TEST_F(SchemeSwitchCostTest, DirectionsCarryDistinctKernelSignatures)
+{
+    // Extraction is a BConv-shaped modulus switch; repacking pays the
+    // full-level ring-packing NTT.
+    OpBreakdown ext = model_.conversionExtras(
+        ConversionDirection::to_binary, 10, 8);
+    EXPECT_GT(ext.bconv, 0.0);
+    EXPECT_EQ(ext.ntt, 0.0);
+
+    OpBreakdown rep = model_.conversionExtras(
+        ConversionDirection::to_ckks, 10, 8);
+    EXPECT_GT(rep.ntt, 0.0);
+    EXPECT_EQ(rep.bconv, 0.0);
+}
+
+TEST_F(SchemeSwitchCostTest, CostGrowsWithLevelAndRotations)
+{
+    auto total = [&](std::size_t ell, std::size_t rots) {
+        return model_
+            .conversion(ConversionDirection::to_binary, hybrid_, ell,
+                        rots)
+            .total();
+    };
+    EXPECT_GT(total(20, 8), total(5, 8));
+    EXPECT_GT(total(10, 16), total(10, 4));
+}
+
+TEST_F(SchemeSwitchCostTest, LutBatchScalesLinearly)
+{
+    SchemeSwitchCostModel::Config half;
+    half.lut_batch = 32;
+    SchemeSwitchCostModel half_model(KeySwitchCostModel{}, half);
+    EXPECT_NEAR(model_.lutEval().total(),
+                2.0 * half_model.lutEval().total(),
+                1e-9 * model_.lutEval().total());
+    // A gate bootstrap over the small ring is far cheaper than one
+    // big-ring NTT — the binary excursion pays in count, not size.
+    EXPECT_LT(model_.gateBootstrapOps(),
+              model_.keySwitchModel().nttOps());
+}
+
+TEST_F(SchemeSwitchCostTest, RepackKeyIsHeavierThanExtractionKey)
+{
+    for (auto method : {ckks::KeySwitchMethod::hybrid,
+                        ckks::KeySwitchMethod::klss}) {
+        double ext = model_.conversionKeyBytes(
+            ConversionDirection::to_binary, method, 10);
+        double rep = model_.conversionKeyBytes(
+            ConversionDirection::to_ckks, method, 10);
+        EXPECT_GT(rep, ext);
+        EXPECT_NEAR(rep, ext * model_.config().repack_key_scale,
+                    1e-9 * rep);
+        // Extraction key-switches with a rotation-sized evk.
+        EXPECT_NEAR(
+            ext, model_.keySwitchModel().evkBytes(method, 10),
+            1e-9 * ext);
+    }
+}
+
+TEST_F(SchemeSwitchCostTest, FromParamsMatchesKeySwitchDefaults)
+{
+    auto params = ckks::CkksParams::testSmall();
+    SchemeSwitchCostModel from = SchemeSwitchCostModel::fromParams(params);
+    EXPECT_EQ(from.keySwitchModel().config().degree, params.degree);
+}
+
+} // namespace
+} // namespace fast::cost

@@ -256,5 +256,34 @@ TEST(TrafficGen, ClosedLoopReleasesOnRejectionToo)
     EXPECT_EQ(gen.generate(1.5e6, 3e6).size(), 1u);
 }
 
+TEST(TrafficGen, ServingMixCoversAllSixWorkloads)
+{
+    auto mix = TrafficGen::servingMix();
+    auto workloads = trace::allServingWorkloads();
+    ASSERT_EQ(mix.size(), workloads.size());
+    double total_weight = 0;
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+        // Entry i carries workload i of the canonical list, intact.
+        EXPECT_EQ(mix[i].stream.name, workloads[i].name);
+        EXPECT_EQ(mix[i].stream.ops.size(), workloads[i].ops.size());
+        EXPECT_FALSE(mix[i].tenant.empty());
+        EXPECT_GT(mix[i].weight, 0.0);
+        total_weight += mix[i].weight;
+    }
+    EXPECT_DOUBLE_EQ(total_weight, 9.0);
+    // Bootstrap control traffic rides high priority; scheme switching
+    // is the batch tenant.
+    EXPECT_EQ(mix.front().priority, serve::Priority::high);
+    EXPECT_EQ(mix.back().priority, serve::Priority::low);
+    EXPECT_EQ(mix.back().stream.name, "SchemeSwitch");
+
+    // A modest open-loop draw hits every tenant of the mix.
+    auto arrivals = TrafficGen::openLoop(mix, 200, 1e5, 42);
+    std::set<std::string> seen;
+    for (const auto &request : arrivals)
+        seen.insert(request.tenant);
+    EXPECT_EQ(seen.size(), mix.size());
+}
+
 } // namespace
 } // namespace fast::fleet

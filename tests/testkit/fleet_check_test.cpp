@@ -31,9 +31,9 @@ TEST(FleetCheck, SweepHoldsAllProperties)
     options.seeds = {1, 2};
     auto report = checkFleet(options);
 
-    // steady + scale-up at every (count, seed), shard-loss + drain
-    // only where >= 2 shards: 2*2*3 + 2*2*2 = 20 scenarios.
-    EXPECT_EQ(report.scenarios, 20u);
+    // steady + scale-up + mixed at every (count, seed), shard-loss +
+    // drain only where >= 2 shards: 3*2*3 + 2*2*2 = 26 scenarios.
+    EXPECT_EQ(report.scenarios, 26u);
     EXPECT_EQ(report.runs, 2 * report.scenarios);
     EXPECT_TRUE(report.ok()) << describeFailures(report);
 }
@@ -50,7 +50,19 @@ TEST(FleetCheck, TightenedGridStillHolds)
     options.epoch_ns = 1.25e5;
     options.horizon_ns = 2e6;
     auto report = checkFleet(options);
-    EXPECT_EQ(report.scenarios, 4u);
+    EXPECT_EQ(report.scenarios, 5u);
+    EXPECT_TRUE(report.ok()) << describeFailures(report);
+}
+
+TEST(FleetCheck, MixedWorkloadScenarioRunsOnOneShard)
+{
+    // The mixed PIR+transformer population needs no failover pair, so
+    // it runs even on a single shard: steady + scale-up + mixed.
+    FleetCheckOptions options;
+    options.shard_counts = {1};
+    options.seeds = {1};
+    auto report = checkFleet(options);
+    EXPECT_EQ(report.scenarios, 3u);
     EXPECT_TRUE(report.ok()) << describeFailures(report);
 }
 

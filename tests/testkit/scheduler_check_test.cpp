@@ -28,8 +28,9 @@ smallOptions()
 TEST(SchedulerCheckTest, CannedPlansHoldAllProperties)
 {
     ModelCheckReport report = checkScheduler(smallOptions());
-    EXPECT_EQ(report.scenarios, 4u);  // none + 3 canned plans
-    EXPECT_EQ(report.runs, 8u);       // each replayed twice
+    // none + 3 canned plans + the mixed PIR+transformer scenario.
+    EXPECT_EQ(report.scenarios, 5u);
+    EXPECT_EQ(report.runs, 10u);      // each replayed twice
     EXPECT_TRUE(report.ok()) << (report.failures.empty()
                                      ? ""
                                      : report.failures[0].scenario +
@@ -42,9 +43,9 @@ TEST(SchedulerCheckTest, SingleEventGridSweepsEveryFaultKind)
     ModelCheckOptions options = smallOptions();
     options.single_event_grid = true;
     ModelCheckReport report = checkScheduler(options);
-    // 4 canned + 6 kinds x 2 targets x 2 activation points.
-    EXPECT_EQ(report.scenarios, 28u);
-    EXPECT_EQ(report.runs, 56u);
+    // 4 canned + 1 mixed + 6 kinds x 2 targets x 2 activation points.
+    EXPECT_EQ(report.scenarios, 29u);
+    EXPECT_EQ(report.runs, 58u);
     EXPECT_TRUE(report.ok());
 }
 
@@ -54,7 +55,7 @@ TEST(SchedulerCheckTest, SweepScalesAcrossPoolSizesAndSeeds)
     options.device_counts = {1, 2};
     options.seeds = {1, 2};
     ModelCheckReport report = checkScheduler(options);
-    EXPECT_EQ(report.scenarios, 16u);
+    EXPECT_EQ(report.scenarios, 20u);
     EXPECT_TRUE(report.ok());
 }
 

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Golden trace-shape regression tests (ISSUE 10): pin the op-type
+ * counts and level profiles of all six serving workloads so a
+ * generator refactor cannot silently change the benchmarked mix, plus
+ * edge-case coverage for the shape-from-memory helpers (tiny/huge
+ * scratchpad, scale != 1.0).
+ */
+#include <gtest/gtest.h>
+
+#include "trace/workloads.hpp"
+
+namespace fast::trace {
+namespace {
+
+/** The pinned golden profile of one workload trace. */
+struct GoldenShape {
+    const char *name;
+    std::size_t ops;
+    std::size_t hmult;
+    std::size_t pmult;
+    std::size_t cmult;
+    std::size_t hadd;
+    std::size_t hrot;
+    std::size_t conjugate;
+    std::size_t rescale;
+    std::size_t modraise;
+    std::size_t ckks_to_bin;
+    std::size_t lut_eval;
+    std::size_t bin_to_ckks;
+    std::size_t key_switches;
+    std::size_t scheme_switches;
+    std::size_t key_switch_levels;  ///< distinct levels with a switch
+};
+
+// Regenerating a workload MUST reproduce these numbers exactly; a
+// deliberate generator change updates the table in the same commit.
+constexpr GoldenShape kGolden[] = {
+    {"Bootstrap", 620, 40, 192, 21, 199, 72, 1, 92, 1, 0, 0, 0, 113,
+     0, 13},
+    {"HELR256", 501, 31, 140, 16, 162, 70, 1, 78, 1, 0, 0, 0, 102, 0,
+     16},
+    {"ResNet-20", 27475, 1660, 8321, 860, 8686, 3326, 40, 4462, 40, 0,
+     0, 0, 5026, 0, 17},
+    {"PIR", 222, 0, 65, 0, 84, 8, 0, 65, 0, 0, 0, 0, 8, 0, 1},
+    {"Transformer", 1528, 12, 388, 12, 388, 320, 0, 408, 0, 0, 0, 0,
+     332, 0, 5},
+    {"SchemeSwitch", 40, 8, 0, 0, 0, 8, 0, 8, 0, 2, 12, 2, 20, 4, 5},
+};
+
+TEST(WorkloadShapes, GoldenOpTypeCountsForAllSixWorkloads)
+{
+    auto workloads = allServingWorkloads();
+    ASSERT_EQ(workloads.size(), std::size(kGolden));
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const OpStream &s = workloads[i];
+        const GoldenShape &g = kGolden[i];
+        SCOPED_TRACE(g.name);
+        EXPECT_EQ(s.name, g.name);
+        EXPECT_EQ(s.ops.size(), g.ops);
+        EXPECT_EQ(s.countKind(FheOpKind::hmult), g.hmult);
+        EXPECT_EQ(s.countKind(FheOpKind::pmult), g.pmult);
+        EXPECT_EQ(s.countKind(FheOpKind::cmult), g.cmult);
+        EXPECT_EQ(s.countKind(FheOpKind::hadd), g.hadd);
+        EXPECT_EQ(s.countKind(FheOpKind::hrot), g.hrot);
+        EXPECT_EQ(s.countKind(FheOpKind::conjugate), g.conjugate);
+        EXPECT_EQ(s.countKind(FheOpKind::rescale), g.rescale);
+        EXPECT_EQ(s.countKind(FheOpKind::modraise), g.modraise);
+        EXPECT_EQ(s.countKind(FheOpKind::ckks_to_bin), g.ckks_to_bin);
+        EXPECT_EQ(s.countKind(FheOpKind::lut_eval), g.lut_eval);
+        EXPECT_EQ(s.countKind(FheOpKind::bin_to_ckks), g.bin_to_ckks);
+        EXPECT_EQ(s.keySwitchCount(), g.key_switches);
+        EXPECT_EQ(s.schemeSwitchCount(), g.scheme_switches);
+        EXPECT_EQ(s.keySwitchLevels().size(), g.key_switch_levels);
+    }
+}
+
+TEST(WorkloadShapes, WorkloadMixPolesAreDistinct)
+{
+    // The point of the new families: PIR sits at the PMult/HAdd pole
+    // (key switches are a rounding error), the transformer at the
+    // rotation pole, and SchemeSwitch carries the only conversions.
+    OpStream pir = pirTrace();
+    double pir_ks = static_cast<double>(pir.keySwitchCount()) /
+                    static_cast<double>(pir.ops.size());
+    EXPECT_LT(pir_ks, 0.10);
+
+    OpStream tf = transformerTrace();
+    double tf_rot = static_cast<double>(tf.countKind(FheOpKind::hrot)) /
+                    static_cast<double>(tf.ops.size());
+    EXPECT_GT(tf_rot, 0.15);
+
+    OpStream ss = schemeSwitchTrace();
+    EXPECT_EQ(ss.schemeSwitchCount(),
+              2 * SchemeSwitchShape{}.segments);
+    EXPECT_EQ(pir.schemeSwitchCount(), 0u);
+    EXPECT_EQ(tf.schemeSwitchCount(), 0u);
+}
+
+TEST(WorkloadShapes, ConversionOpsCarryRotationCounts)
+{
+    SchemeSwitchShape shape;
+    OpStream ss = schemeSwitchTrace(shape);
+    for (const auto &op : ss.ops) {
+        if (op.kind == FheOpKind::ckks_to_bin)
+            EXPECT_EQ(op.hoist_size, shape.extract_rotations);
+        if (op.kind == FheOpKind::bin_to_ckks) {
+            EXPECT_EQ(op.hoist_size, shape.repack_rotations);
+            EXPECT_EQ(op.level, shape.start_level);
+        }
+        if (op.kind == FheOpKind::lut_eval)
+            EXPECT_EQ(op.level, 0u);
+    }
+}
+
+TEST(WorkloadShapes, BootstrapForMemoryMbEdges)
+{
+    // Tiny scratchpad: skinny baby step, long giant loop.
+    BootstrapShape tiny = BootstrapShape::forMemoryMb(0.0);
+    EXPECT_EQ(tiny.baby_rotations, 2u);
+    EXPECT_EQ(tiny.giant_rotations, 16u);
+
+    // Threshold boundaries are half-open: 128 falls in the middle
+    // band, 384 in the top band.
+    EXPECT_EQ(BootstrapShape::forMemoryMb(127.999).baby_rotations, 2u);
+    EXPECT_EQ(BootstrapShape::forMemoryMb(128.0).baby_rotations, 4u);
+    EXPECT_EQ(BootstrapShape::forMemoryMb(383.999).baby_rotations, 4u);
+    EXPECT_EQ(BootstrapShape::forMemoryMb(384.0).baby_rotations, 8u);
+
+    // Huge scratchpad saturates at the fattest decomposition.
+    BootstrapShape huge = BootstrapShape::forMemoryMb(1e9);
+    EXPECT_EQ(huge.baby_rotations, 8u);
+    EXPECT_EQ(huge.giant_rotations, 4u);
+
+    // The baby x giant product covers the same diagonals either way.
+    EXPECT_EQ(tiny.baby_rotations * tiny.giant_rotations,
+              huge.baby_rotations * huge.giant_rotations);
+}
+
+TEST(WorkloadShapes, BootstrapScaleShrinksTheTrace)
+{
+    BootstrapShape half;
+    half.scale = 0.5;
+    OpStream full = bootstrapTrace();
+    OpStream sparse = bootstrapTrace(half);
+    EXPECT_LT(sparse.ops.size(), full.ops.size());
+    EXPECT_GT(sparse.ops.size(), full.ops.size() / 4);
+
+    // scale > 1 grows the trace.
+    BootstrapShape dbl;
+    dbl.scale = 2.0;
+    EXPECT_GT(bootstrapTrace(dbl).ops.size(), full.ops.size());
+}
+
+TEST(WorkloadShapes, PirForMemoryMbEdges)
+{
+    PirShape tiny = PirShape::forMemoryMb(0.0);
+    EXPECT_EQ(tiny.fanin, 4u);
+    EXPECT_EQ(tiny.fold_rotations, 16u);
+    PirShape huge = PirShape::forMemoryMb(1e9);
+    EXPECT_EQ(huge.fanin, 16u);
+    EXPECT_EQ(huge.fold_rotations, 4u);
+    // fanin x fold stays balanced across the bands.
+    EXPECT_EQ(tiny.fanin * tiny.fold_rotations,
+              huge.fanin * huge.fold_rotations);
+
+    PirShape half;
+    half.scale = 0.5;
+    EXPECT_LT(pirTrace(half).ops.size(), pirTrace().ops.size());
+    // Degenerate scale still yields a non-empty, valid trace.
+    PirShape zero;
+    zero.scale = 0.0;
+    EXPECT_GT(pirTrace(zero).ops.size(), 0u);
+}
+
+TEST(WorkloadShapes, TransformerForMemoryMbEdges)
+{
+    TransformerShape tiny = TransformerShape::forMemoryMb(0.0);
+    EXPECT_EQ(tiny.baby_rotations, 4u);
+    EXPECT_EQ(tiny.giant_rotations, 8u);
+    TransformerShape huge = TransformerShape::forMemoryMb(1e9);
+    EXPECT_EQ(huge.baby_rotations, 16u);
+    EXPECT_EQ(huge.giant_rotations, 2u);
+    EXPECT_EQ(tiny.baby_rotations * tiny.giant_rotations,
+              huge.baby_rotations * huge.giant_rotations);
+
+    TransformerShape half;
+    half.scale = 0.5;
+    EXPECT_LT(transformerTrace(half).ops.size(),
+              transformerTrace().ops.size());
+}
+
+TEST(WorkloadShapes, SchemeSwitchForMemoryMbEdges)
+{
+    SchemeSwitchShape tiny = SchemeSwitchShape::forMemoryMb(0.0);
+    EXPECT_EQ(tiny.extract_rotations, 4u);
+    EXPECT_EQ(tiny.luts, 12u);
+    SchemeSwitchShape huge = SchemeSwitchShape::forMemoryMb(1e9);
+    EXPECT_EQ(huge.extract_rotations, 16u);
+    EXPECT_EQ(huge.luts, 3u);
+    // Wider conversions trade against fewer LUT batches.
+    EXPECT_EQ(tiny.extract_rotations * tiny.luts,
+              huge.extract_rotations * huge.luts);
+
+    SchemeSwitchShape half;
+    half.scale = 0.5;
+    OpStream scaled = schemeSwitchTrace(half);
+    OpStream base = schemeSwitchTrace();
+    EXPECT_LT(scaled.ops.size(), base.ops.size());
+    // Conversions survive scaling: every segment still crosses the
+    // boundary both ways.
+    EXPECT_EQ(scaled.schemeSwitchCount(), base.schemeSwitchCount());
+}
+
+} // namespace
+} // namespace fast::trace
